@@ -1,0 +1,107 @@
+// Ablation of §4.3's multi-network heartbeat design: the watch daemon sends
+// heartbeats through ALL network interfaces of its node. With three
+// networks the GSD can tell a single-NIC failure from a node death and a
+// one-network loss is non-fatal ("the recovery time of network is 0,
+// because each node has three networks, only failure of one network isn't
+// fatal"). This bench removes that redundancy and shows what breaks.
+//
+// Scenario per configuration: cut ONE network interface of a compute node
+// and report how the kernel classifies it; then fail ONE ENTIRE network
+// and count false node-failure diagnoses.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace phoenix;
+using namespace phoenix::bench;
+
+namespace {
+
+struct AblationResult {
+  std::string nic_cut_diagnosis = "none";
+  double nic_cut_diagnose_s = 0;
+  std::size_t false_node_failures = 0;   // after losing one whole network
+  bool partition_services_survived = true;
+};
+
+AblationResult run_with_networks(std::size_t networks) {
+  AblationResult result;
+  kernel::FtParams params;
+  params.heartbeat_interval = 5 * sim::kSecond;  // faster turnaround, same logic
+
+  // --- single-NIC cut -------------------------------------------------------
+  {
+    cluster::ClusterSpec spec = paper_testbed();
+    spec.networks = networks;
+    Harness h(spec, params);
+    h.run_s(12.0);
+    h.kernel.fault_log().clear();
+    const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{0})[1];
+    h.run_until_after_heartbeat(victim);
+    h.injector.cut_interface(victim, net::NetworkId{0});
+    h.run_s(30.0);
+    for (const auto& record : h.kernel.fault_log().records()) {
+      if (record.node == victim) {
+        result.nic_cut_diagnosis = std::string(kernel::to_string(record.kind));
+        result.nic_cut_diagnose_s =
+            sim::to_seconds(record.diagnosed_at - record.detected_at);
+        break;
+      }
+    }
+  }
+
+  // --- one whole network fails ------------------------------------------------
+  {
+    cluster::ClusterSpec spec = paper_testbed();
+    spec.networks = networks;
+    Harness h(spec, params);
+    h.run_s(12.0);
+    h.kernel.fault_log().clear();
+    h.injector.fail_network(net::NetworkId{0});
+    h.run_s(40.0);
+    for (const auto& record : h.kernel.fault_log().records()) {
+      if (record.kind == kernel::FaultKind::kNodeFailure) {
+        ++result.false_node_failures;
+      }
+    }
+    for (std::uint32_t p = 0; p < spec.partitions; ++p) {
+      if (!h.kernel.event_service(net::PartitionId{p}).alive()) {
+        result.partition_services_survived = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation - heartbeats over all networks (paper design, 3 NICs/node)\n"
+      "vs a single network. Testbed: 136 nodes, 8 partitions.\n\n");
+  std::printf("%-10s | %-28s | %-26s | %s\n", "networks",
+              "one NIC cut classified as", "whole-network outage",
+              "services survive");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  for (const std::size_t networks : {3u, 2u, 1u}) {
+    const AblationResult r = run_with_networks(networks);
+    char outage[64];
+    std::snprintf(outage, sizeof(outage), "%zu false node failures",
+                  r.false_node_failures);
+    char nic[64];
+    std::snprintf(nic, sizeof(nic), "%s (%.3fs diag)", r.nic_cut_diagnosis.c_str(),
+                  r.nic_cut_diagnose_s);
+    std::printf("%-10zu | %-28s | %-26s | %s\n", networks, nic, outage,
+                r.partition_services_survived ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nWith >= 2 networks a NIC loss is pinpointed in sub-millisecond table\n"
+      "analysis and recovery costs nothing; with 1 network the same fault is\n"
+      "indistinguishable from node death (probe-timeout diagnosis, false\n"
+      "node-failure handling, and a whole-network outage takes every node\n"
+      "'down' at once). This is why the Dawning 4000A gives every node three\n"
+      "networks and why WD heartbeats traverse all of them.\n");
+  return 0;
+}

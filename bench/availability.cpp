@@ -1,0 +1,133 @@
+// Availability / MTTR study — quantifying the introduction's "high
+// availability support for business computing which promises delivering
+// 7x24 service" as a function of the ONE tunable the paper calls out: the
+// heartbeat interval.
+//
+// Two simulated hours per configuration on the 136-node testbed, with a
+// Poisson fault load (daemon kills, compute-node crashes with later repair,
+// NIC cuts). Reported per interval: handled faults, mean time to recover
+// (detection -> service restored), and whole-system availability (fraction
+// of time with no unrecovered fault outstanding, via the admin console's
+// fault analyzer).
+#include <cstdio>
+
+#include "admin/admin_console.h"
+#include "bench_util.h"
+
+using namespace phoenix;
+using namespace phoenix::bench;
+
+namespace {
+
+struct Row {
+  double interval_s;
+  std::size_t faults;
+  std::size_t unrecovered;
+  double mean_ttr_s;
+  double availability;
+};
+
+Row run(double interval_s) {
+  kernel::FtParams params;
+  params.heartbeat_interval = sim::from_seconds(interval_s);
+  Harness h(paper_testbed(), params);
+  admin::AdminConsole console(h.cluster,
+                              h.cluster.compute_nodes(net::PartitionId{0})[0],
+                              h.kernel);
+  h.run_s(3 * interval_s);
+  h.kernel.fault_log().clear();
+
+  // Poisson fault load: mean one fault per 4 minutes for 2 hours.
+  sim::Rng rng(2026);
+  double t = h.cluster.now() / 1e6;
+  const double horizon = t + 2.0 * 3600.0;
+  std::vector<net::NodeId> crashed;
+  while (t < horizon) {
+    t += rng.exponential(240.0);
+    const double dice = rng.uniform();
+    h.injector.schedule(sim::from_seconds(t), [&h, &rng, &crashed, dice] {
+      if (dice < 0.45) {
+        // Kill a random per-node daemon.
+        const auto node = net::NodeId{static_cast<std::uint32_t>(
+            rng.uniform_int(0, h.cluster.node_count() - 1))};
+        if (h.cluster.node(node).alive()) {
+          h.injector.kill_daemon(h.kernel.watch_daemon(node));
+        }
+      } else if (dice < 0.7) {
+        // Crash a compute node; repair it two minutes later.
+        const auto p = net::PartitionId{static_cast<std::uint32_t>(
+            rng.uniform_int(0, h.cluster.spec().partitions - 1))};
+        const auto computes = h.cluster.compute_nodes(p);
+        const auto node = computes[rng.uniform_int(0, computes.size() - 1)];
+        if (h.cluster.node(node).alive()) {
+          h.injector.crash_node(node);
+          h.injector.schedule(h.cluster.now() + 120 * sim::kSecond,
+                              [&h, node] {
+                                h.injector.restore_node(node);
+                                h.kernel.watch_daemon(node).start();
+                                h.kernel.detector(node).start();
+                                h.kernel.ppm(node).start();
+                              },
+                              "repair node");
+        }
+      } else if (dice < 0.85) {
+        // Kill a partition service.
+        const auto p = net::PartitionId{static_cast<std::uint32_t>(
+            rng.uniform_int(0, h.cluster.spec().partitions - 1))};
+        h.injector.kill_daemon(h.kernel.event_service(p));
+      } else {
+        // Flap a NIC for a minute.
+        const auto node = net::NodeId{static_cast<std::uint32_t>(
+            rng.uniform_int(0, h.cluster.node_count() - 1))};
+        const net::NetworkId network{static_cast<std::uint8_t>(rng.uniform_int(0, 2))};
+        h.injector.cut_interface(node, network);
+        h.injector.schedule(h.cluster.now() + 60 * sim::kSecond,
+                            [&h, node, network] {
+                              h.injector.restore_interface(node, network);
+                            },
+                            "repair nic");
+      }
+    }, "fault");
+  }
+  h.run_s(2.0 * 3600.0 + 300.0);
+
+  const admin::FaultAnalysis analysis = console.analyze_faults();
+  Row row;
+  row.interval_s = interval_s;
+  row.faults = analysis.total_faults;
+  row.unrecovered = analysis.unrecovered;
+  row.availability = analysis.availability;
+  double ttr = 0;
+  std::size_t n = 0;
+  for (const auto& [component, c] : analysis.by_component) {
+    if (c.recovered > 0) {
+      ttr += c.mean_ttr_s * static_cast<double>(c.recovered);
+      n += c.recovered;
+    }
+  }
+  row.mean_ttr_s = n == 0 ? 0 : ttr / static_cast<double>(n);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Availability study - 2 simulated hours of Poisson faults on the\n"
+      "136-node testbed, per heartbeat interval (the paper's tunable).\n\n");
+  std::printf("%-10s | %-8s | %-12s | %-14s | %s\n", "interval", "faults",
+              "unrecovered", "mean TTR", "availability");
+  std::printf("%s\n", std::string(66, '-').c_str());
+  for (const double interval_s : {1.0, 5.0, 15.0, 30.0}) {
+    const Row row = run(interval_s);
+    std::printf("%8.0fs | %-8zu | %-12zu | %11.2fs | %.5f\n", row.interval_s,
+                row.faults, row.unrecovered, row.mean_ttr_s, row.availability);
+  }
+  std::printf(
+      "\nTTR (and with it availability) tracks the heartbeat interval: the\n"
+      "paper's 'the sum of detecting, diagnosing and recovery time is almost\n"
+      "equal to the interval of sending heartbeat', integrated over a fault\n"
+      "load. Operators trade monitoring overhead for recovery speed with one\n"
+      "parameter.\n");
+  return 0;
+}

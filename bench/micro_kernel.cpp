@@ -1,0 +1,167 @@
+// Micro-benchmarks of the kernel primitives behind Figures 3-5: meta-group
+// view operations, event publish -> delivery, data-bulletin ingest/query,
+// checkpoint save/load, and the discrete-event engine itself. These measure
+// the implementation's real CPU cost (google-benchmark), complementing the
+// simulated-time experiments in the table benches.
+#include <benchmark/benchmark.h>
+
+#include "faults/fault_injector.h"
+#include "kernel/kernel.h"
+
+using namespace phoenix;
+
+namespace {
+
+cluster::ClusterSpec bench_spec(std::size_t partitions) {
+  cluster::ClusterSpec spec;
+  spec.partitions = partitions;
+  spec.computes_per_partition = 14;
+  spec.backups_per_partition = 1;
+  return spec;
+}
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(static_cast<sim::SimTime>(i), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_KernelBoot(benchmark::State& state) {
+  const auto partitions = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    cluster::Cluster cluster(bench_spec(partitions));
+    kernel::PhoenixKernel kernel(cluster);
+    kernel.boot();
+    benchmark::DoNotOptimize(kernel.partition_count());
+  }
+  state.SetLabel(std::to_string(partitions * 16) + " nodes");
+}
+BENCHMARK(BM_KernelBoot)->Arg(2)->Arg(8)->Arg(40);
+
+void BM_SimulatedMinute(benchmark::State& state) {
+  // Real CPU cost of simulating one minute of a running cluster.
+  const auto partitions = static_cast<std::size_t>(state.range(0));
+  cluster::Cluster cluster(bench_spec(partitions));
+  kernel::PhoenixKernel kernel(cluster);
+  kernel.boot();
+  for (auto _ : state) {
+    cluster.engine().run_for(60 * sim::kSecond);
+  }
+  state.SetLabel(std::to_string(partitions * 16) + " nodes");
+}
+BENCHMARK(BM_SimulatedMinute)->Arg(2)->Arg(8)->Arg(40);
+
+void BM_EventPublishDeliver(benchmark::State& state) {
+  cluster::Cluster cluster(bench_spec(4));
+  kernel::PhoenixKernel kernel(cluster);
+  kernel.boot();
+  cluster.engine().run_for(5 * sim::kSecond);
+  auto& es = kernel.event_service(net::PartitionId{0});
+  const auto consumers = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < consumers; ++i) {
+    kernel::Subscription sub;
+    sub.consumer = {net::NodeId{3}, net::PortId{static_cast<std::uint16_t>(100 + i)}};
+    sub.types = {"bench.event"};
+    es.subscribe_local(sub, /*replicate=*/false);
+  }
+  for (auto _ : state) {
+    kernel::Event e;
+    e.type = "bench.event";
+    es.publish_local(e);
+    // Drain the deliveries (they dead-letter: no daemons bound). A bounded
+    // run, not run(): the kernel's periodic timers never empty the queue.
+    cluster.engine().run_for(5 * sim::kMillisecond);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(consumers));
+}
+BENCHMARK(BM_EventPublishDeliver)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_BulletinIngest(benchmark::State& state) {
+  cluster::Cluster cluster(bench_spec(2));
+  kernel::PhoenixKernel kernel(cluster);
+  kernel.boot();
+  auto& db = kernel.bulletin(net::PartitionId{0});
+  kernel::NodeRecord record;
+  record.node = net::NodeId{2};
+  record.partition = net::PartitionId{0};
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    record.node = net::NodeId{2 + (i++ % 14)};
+    db.report_local(record, {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BulletinIngest);
+
+void BM_BulletinLocalQuery(benchmark::State& state) {
+  cluster::Cluster cluster(bench_spec(2));
+  kernel::PhoenixKernel kernel(cluster);
+  kernel.boot();
+  auto& db = kernel.bulletin(net::PartitionId{0});
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    kernel::NodeRecord record;
+    record.node = net::NodeId{n};
+    record.partition = net::PartitionId{0};
+    db.report_local(record, {});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.node_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BulletinLocalQuery);
+
+void BM_CheckpointSaveLoad(benchmark::State& state) {
+  cluster::Cluster cluster(bench_spec(2));
+  kernel::PhoenixKernel kernel(cluster);
+  kernel.boot();
+  auto& cs = kernel.checkpoint_service(net::PartitionId{0});
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    cs.save_local("bench", "key", data, /*replicate=*/false);
+    benchmark::DoNotOptimize(cs.load_local("bench", "key"));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CheckpointSaveLoad)->Arg(128)->Arg(4096)->Arg(1 << 16);
+
+void BM_MetaViewSerialize(benchmark::State& state) {
+  kernel::MetaView view;
+  view.view_id = 42;
+  for (std::uint32_t p = 0; p < static_cast<std::uint32_t>(state.range(0)); ++p) {
+    view.members.push_back(kernel::MetaMember{
+        net::PartitionId{p}, {net::NodeId{p * 17}, net::PortId{2}}, p});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel::MetaView::deserialize(view.serialize()));
+  }
+}
+BENCHMARK(BM_MetaViewSerialize)->Arg(8)->Arg(40)->Arg(128);
+
+void BM_FaultDetectionCycle(benchmark::State& state) {
+  // Real CPU cost of a full WD-kill detect/diagnose/recover cycle at 1 s
+  // heartbeats on a 2-partition cluster.
+  for (auto _ : state) {
+    cluster::Cluster cluster(bench_spec(2));
+    kernel::FtParams params;
+    params.heartbeat_interval = 1 * sim::kSecond;
+    kernel::PhoenixKernel kernel(cluster, params);
+    kernel.boot();
+    cluster.engine().run_for(3 * sim::kSecond);
+    faults::FaultInjector injector(cluster);
+    injector.kill_daemon(kernel.watch_daemon(net::NodeId{3}));
+    cluster.engine().run_for(5 * sim::kSecond);
+    benchmark::DoNotOptimize(kernel.fault_log().records().size());
+  }
+}
+BENCHMARK(BM_FaultDetectionCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

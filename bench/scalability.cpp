@@ -1,0 +1,147 @@
+// Reproduces the paper's §5.3 scalability evaluation and the §4.3 design
+// ablation behind it.
+//
+// Series reported:
+//  (a) per-GSD monitoring load vs. cluster size — with the paper's
+//      partitioned design the load per GSD is constant (one partition),
+//      while the ablated "flat" design (every node in one group, §4.3's
+//      rejected alternative) grows linearly;
+//  (b) meta-group size (#partitions) vs. flat membership size (#nodes);
+//  (c) cluster-wide data-bulletin query latency through the single access
+//      point, vs. cluster size (GridView's collection path);
+//  (d) event fan-out latency from publish to delivery across partitions.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gridview/gridview.h"
+#include "kernel/event/event_service.h"
+
+using namespace phoenix;
+using namespace phoenix::bench;
+
+namespace {
+
+struct ScalePoint {
+  std::size_t nodes = 0;
+  std::size_t partitions = 0;
+  double hb_per_gsd_per_interval = 0;   // partitioned design
+  double hb_flat_per_interval = 0;      // flat ablation (1 partition)
+  std::size_t meta_group_size = 0;
+  double query_latency_ms = 0;
+  double event_fanout_ms = 0;
+  std::uint64_t row_reply_bytes = 0;    // full-row cluster query
+  std::uint64_t agg_reply_bytes = 0;    // aggregate-pushdown cluster query
+};
+
+ScalePoint measure(std::size_t partitions, std::size_t computes) {
+  ScalePoint point;
+
+  kernel::FtParams params;
+  params.detector_sample_interval = 10 * sim::kSecond;
+
+  // --- partitioned design -------------------------------------------------
+  {
+    cluster::ClusterSpec spec;
+    spec.partitions = partitions;
+    spec.computes_per_partition = computes;
+    spec.backups_per_partition = 1;
+    Harness h(spec, params);
+    h.run_s(65.0);
+    const std::uint64_t before = h.kernel.gsd(net::PartitionId{0}).heartbeats_received();
+    h.run_s(120.0);  // 4 heartbeat intervals
+    const std::uint64_t received =
+        h.kernel.gsd(net::PartitionId{0}).heartbeats_received() - before;
+    point.nodes = h.cluster.node_count();
+    point.partitions = partitions;
+    point.hb_per_gsd_per_interval = static_cast<double>(received) / 4.0;
+    point.meta_group_size = h.kernel.gsd(net::PartitionId{0}).view().members.size();
+
+    // (c) single-access-point full-cluster query latency, via GridView.
+    gridview::GridView view(h.cluster, h.cluster.compute_nodes(net::PartitionId{0})[0],
+                            h.kernel, 20 * sim::kSecond);
+    view.start();
+    h.run_s(45.0);
+    point.query_latency_ms = sim::to_seconds(view.last_refresh_latency()) * 1e3;
+
+    // (c') reply bytes: full rows vs aggregate pushdown.
+    h.cluster.fabric().reset_stats();
+    view.refresh_now();
+    h.run_s(2.0);
+    {
+      const auto& by_type = h.cluster.fabric().total_stats().bytes_by_type;
+      const auto it = by_type.find("db.query_reply");
+      point.row_reply_bytes = it == by_type.end() ? 0 : it->second;
+    }
+    h.cluster.fabric().reset_stats();
+    view.set_aggregate_mode(true);
+    view.refresh_now();
+    h.run_s(2.0);
+    {
+      const auto& by_type = h.cluster.fabric().total_stats().bytes_by_type;
+      const auto it = by_type.find("db.query_reply");
+      point.agg_reply_bytes = it == by_type.end() ? 0 : it->second;
+    }
+    view.set_aggregate_mode(false);
+
+    // (d) event fan-out: publish at partition 0, measure delivery at the
+    // GridView consumer (it subscribed to failure events).
+    const sim::SimTime published = h.cluster.now();
+    kernel::Event e;
+    e.type = std::string(kernel::event_types::kNodeFailed);
+    e.subject_node = net::NodeId{0};
+    h.kernel.event_service(net::PartitionId{partitions > 1 ? 1u : 0u}).publish_local(e);
+    const std::size_t events_before = view.events().size();
+    while (view.events().size() == events_before) {
+      if (!h.cluster.engine().step()) break;
+    }
+    point.event_fanout_ms = sim::to_seconds(h.cluster.now() - published) * 1e3;
+  }
+
+  // --- flat ablation: the whole cluster as ONE group ----------------------
+  {
+    cluster::ClusterSpec flat;
+    flat.partitions = 1;
+    flat.computes_per_partition = partitions * computes + 2 * (partitions - 1);
+    flat.backups_per_partition = 1;
+    Harness h(flat, params);
+    h.run_s(65.0);
+    const std::uint64_t before = h.kernel.gsd(net::PartitionId{0}).heartbeats_received();
+    h.run_s(120.0);
+    point.hb_flat_per_interval = static_cast<double>(
+        h.kernel.gsd(net::PartitionId{0}).heartbeats_received() - before) / 4.0;
+  }
+
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Section 5.3 - scalability of the Phoenix kernel (and the Section 4.3\n"
+      "partitioned-group-vs-flat-group ablation)\n\n");
+  std::printf("%-7s | %-6s | %-20s | %-18s | %-10s | %-14s | %-12s | %-20s\n",
+              "nodes", "parts", "hb/GSD/interval", "hb flat (ablate)", "meta size",
+              "query latency", "event fanout", "reply KB (rows/agg)");
+  std::printf("%s\n", std::string(128, '-').c_str());
+
+  // 16-compute partitions, scaled from 72 to 1152 nodes (the Dawning 4000A
+  // itself is the 640-node point: 40 partitions).
+  for (const std::size_t partitions : {4u, 8u, 16u, 40u, 64u}) {
+    const ScalePoint p = measure(partitions, 14);
+    std::printf(
+        "%-7zu | %-6zu | %-20.1f | %-18.1f | %-10zu | %11.2fms | %9.2fms | %8.1f / %-8.2f\n",
+        p.nodes, p.partitions, p.hb_per_gsd_per_interval, p.hb_flat_per_interval,
+        p.meta_group_size, p.query_latency_ms, p.event_fanout_ms,
+        p.row_reply_bytes / 1e3, p.agg_reply_bytes / 1e3);
+  }
+
+  std::printf(
+      "\nPer-GSD heartbeat load is constant in the partitioned design and\n"
+      "grows linearly with cluster size in the flat ablation; the membership\n"
+      "protocol only ever manages #partitions members (\"it is unacceptable\n"
+      "for all nodes joining a group managed by group membership protocol\",\n"
+      "paper 4.3). Query latency through the single access point stays\n"
+      "flat because partition instances answer in parallel.\n");
+  return 0;
+}

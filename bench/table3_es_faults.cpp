@@ -1,0 +1,56 @@
+// Reproduces paper Table 3: "Three Unhealthy Situations for ES".
+//
+// Paper values:
+//   process: 30 s / 12 us / 0.12 s (sum 30.12 s) — GSD supervision restart,
+//            state retrieved from the checkpoint service
+//   node:    30 s / 0.3 s / 2.95 s (sum 33.25 s) — rides the GSD migration
+//   network: 30 s / 12 us / 0      (sum ~30 s)
+//
+// The network row is detected through the hosting node's per-network
+// heartbeat analysis (the ES itself does not heartbeat); we report the
+// kernel's network-fault record for the ES-hosting node.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace phoenix;
+using namespace phoenix::bench;
+
+int main() {
+  kernel::FtParams params;
+  const net::PartitionId target{5};
+
+  print_fault_table_header(
+      "Table 3 - Three Unhealthy Situations for ES (measured vs paper)");
+
+  Harness probe_cluster(paper_testbed(), params);
+  const net::NodeId server = probe_cluster.cluster.server_node(target);
+
+  const auto process = run_fault_scenario(
+      params, server,
+      [target](Harness& h) {
+        return h.injector.kill_daemon(h.kernel.event_service(target));
+      },
+      "ES", kernel::FaultKind::kProcessFailure);
+  if (process) print_fault_row("process", *process, "30s", "12us", "0.12s");
+
+  const auto node = run_fault_scenario(
+      params, server,
+      [server](Harness& h) { return h.injector.crash_node(server); }, "ES",
+      kernel::FaultKind::kNodeFailure);
+  if (node) print_fault_row("node", *node, "30s", "0.3s", "2.95s");
+
+  const auto network = run_fault_scenario(
+      params, server,
+      [server](Harness& h) {
+        return h.injector.cut_interface(server, net::NetworkId{2});
+      },
+      "WD", kernel::FaultKind::kNetworkFailure);
+  if (network) print_fault_row("network", *network, "30s", "12us", "0s");
+
+  std::printf(
+      "\nA recovered event service retrieves its consumer registry from the\n"
+      "checkpoint service, so registered consumers keep receiving events\n"
+      "without re-registering (verified by tests/event_test.cpp).\n");
+  return 0;
+}

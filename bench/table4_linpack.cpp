@@ -1,0 +1,116 @@
+// Reproduces paper Table 4: "Phoenix's Impact on Linpack Benchmark
+// Performance" — Linpack at 4 / 16 / 64 / 128 CPUs with and without the
+// Phoenix kernel daemons running.
+//
+// The daemon overhead is MEASURED from the simulated cluster (the CPU share
+// the per-node kernel daemons actually hold in the process tables while the
+// kernel runs), then applied to the analytic HPL model. The paper reports
+// that Phoenix costs Linpack roughly 1 % or less at every scale.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/hpl_model.h"
+#include "workload/mpi_job.h"
+
+using namespace phoenix;
+using namespace phoenix::bench;
+
+namespace {
+
+/// Boots a kernel on enough nodes for `cpus` and measures the average
+/// background CPU fraction the kernel daemons impose on compute nodes.
+double measured_daemon_fraction(unsigned cpus, unsigned cpus_per_node) {
+  cluster::ClusterSpec spec;
+  const unsigned nodes = std::max(1u, cpus / cpus_per_node);
+  spec.partitions = std::max<std::size_t>(1, nodes / 16);
+  spec.computes_per_partition =
+      (nodes + spec.partitions - 1) / spec.partitions;
+  spec.backups_per_partition = 0;
+  spec.cpus_per_node = cpus_per_node;
+
+  Harness h(spec);
+  h.run_s(120.0);  // settle: heartbeats, detector sampling
+
+  double fraction_sum = 0.0;
+  std::size_t count = 0;
+  for (std::uint32_t p = 0; p < spec.partitions; ++p) {
+    for (net::NodeId n : h.cluster.compute_nodes(net::PartitionId{p})) {
+      const auto& node = h.cluster.node(n);
+      fraction_sum += node.daemon_cpu_load() / node.cpus();
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : fraction_sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 4 - Phoenix's Impact on Linpack Benchmark Performance\n");
+  std::printf("%-6s | %-16s | %-16s | %-9s | %-22s\n", "CPU",
+              "Gflops w/o Phoenix", "Gflops w/ Phoenix", "ratio", "paper ratio");
+  std::printf("%s\n", std::string(84, '-').c_str());
+
+  constexpr unsigned kCpusPerNode = 4;
+  for (const unsigned cpus : {4u, 16u, 64u, 128u}) {
+    const double daemon_fraction = measured_daemon_fraction(cpus, kCpusPerNode);
+
+    workload::HplConfig without;
+    without.cpus = cpus;
+    const auto clean = workload::run_hpl_model(without);
+
+    workload::HplConfig with = without;
+    with.background_cpu_fraction = daemon_fraction;
+    const auto loaded = workload::run_hpl_model(with);
+
+    const double ratio = 100.0 * loaded.gflops / clean.gflops;
+    std::printf("%-6u | %16.2f | %16.2f | %8.2f%% | ~99%% (little impact)\n",
+                cpus, clean.gflops, loaded.gflops, ratio);
+  }
+
+  std::printf(
+      "\nDaemon footprint is measured from the live simulated process tables\n"
+      "(WD + detector + PPM per compute node). As in the paper, the kernel\n"
+      "has little impact on scientific computing at every scale.\n");
+
+  // Network-side companion measurement: a 32-rank ring-exchange application
+  // (HPL-like communication) shares the fabric with the kernel's control
+  // traffic for five simulated minutes; who uses the wire?
+  {
+    cluster::ClusterSpec spec;
+    spec.partitions = 4;
+    spec.computes_per_partition = 8;
+    spec.backups_per_partition = 0;
+    Harness h(spec);
+    workload::MpiJobConfig mpi;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      for (net::NodeId n : h.cluster.compute_nodes(net::PartitionId{p})) {
+        mpi.nodes.push_back(n);
+      }
+    }
+    workload::MpiJob job(h.cluster, mpi);
+    h.run_s(30.0);
+    h.cluster.fabric().reset_stats();
+    job.start();
+    h.run_s(300.0);
+    job.stop();
+
+    const auto stats = h.cluster.fabric().total_stats();
+    std::uint64_t app = 0, total = 0;
+    for (const auto& [type, bytes] : stats.bytes_by_type) {
+      total += bytes;
+      if (type.rfind("app.", 0) == 0) app += bytes;
+    }
+    const std::uint64_t control = total - app;
+    std::printf(
+        "\nNetwork share over 5 min with a 32-rank ring-exchange app running:\n"
+        "  application traffic: %8.2f MB\n"
+        "  kernel control traffic: %5.2f MB (%.3f%% of the wire)\n"
+        "The kernel's heartbeats, detector exports and federation chatter are\n"
+        "noise next to application communication.\n",
+        app / 1e6, control / 1e6,
+        total > 0 ? 100.0 * static_cast<double>(control) / static_cast<double>(total)
+                  : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Business application runtime demo — the fourth user environment of the
+// paper's Figure 1: a three-tier business application (web / app / db) kept
+// highly available and load-balanced by the phoenix::biz runtime, which is
+// built entirely on documented kernel interfaces (PPM deployment, detector
+// events, bulletin load data).
+//
+//   $ ./build/examples/business_runtime
+#include <cstdio>
+
+#include "biz/business_runtime.h"
+#include "faults/fault_injector.h"
+#include "kernel/kernel.h"
+#include "workload/resource_model.h"
+
+using namespace phoenix;
+
+int main() {
+  cluster::ClusterSpec spec;
+  spec.partitions = 2;
+  spec.computes_per_partition = 6;
+  spec.backups_per_partition = 1;
+  cluster::Cluster cluster(spec);
+
+  kernel::FtParams params;
+  params.heartbeat_interval = 2 * sim::kSecond;
+  params.detector_sample_interval = 1 * sim::kSecond;
+  kernel::PhoenixKernel kernel(cluster, params);
+  kernel.boot();
+
+  workload::ResourceModel model(cluster);
+  model.start();
+
+  biz::BizConfig config;
+  config.tiers = {{"web", 4, 0.5}, {"app", 3, 1.0}, {"db", 2, 2.0}};
+  config.placement = biz::PlacementPolicy::kLeastLoaded;
+  config.request_interval = 200 * sim::kMillisecond;  // 5 requests/s
+  biz::BusinessRuntime runtime(cluster, cluster.server_node(net::PartitionId{0}),
+                               kernel, config);
+  runtime.start();
+  cluster.engine().run_for(5 * sim::kSecond);
+
+  std::printf("== deployed ==\n  %s\n", runtime.render_status().c_str());
+
+  faults::FaultInjector injector(cluster);
+
+  std::printf("\n== killing one db replica process ==\n");
+  // Find and kill one db-tier process directly in the node's process table.
+  for (net::NodeId n : runtime.replica_nodes("db")) {
+    for (const auto& proc : cluster.node(n).processes()) {
+      if (proc.name == "biz.db" && proc.state == cluster::ProcessState::kRunning) {
+        cluster.node(n).terminate_process(proc.pid, cluster::ProcessState::kKilled,
+                                          cluster.now());
+        goto killed;
+      }
+    }
+  }
+killed:
+  cluster.engine().run_for(8 * sim::kSecond);
+  std::printf("  %s\n", runtime.render_status().c_str());
+
+  std::printf("\n== crashing a compute node hosting replicas ==\n");
+  injector.crash_node(runtime.replica_nodes("web").front());
+  cluster.engine().run_for(15 * sim::kSecond);
+  std::printf("  %s\n", runtime.render_status().c_str());
+
+  cluster.engine().run_for(60 * sim::kSecond);
+  std::printf("\n== after one quiet minute ==\n  %s\n",
+              runtime.render_status().c_str());
+  std::printf(
+      "\nrequest availability stayed at %.4f through a process kill and a node\n"
+      "crash; every tier healed back to its target replica count without\n"
+      "operator action.\n",
+      runtime.stats().availability());
+  return 0;
+}

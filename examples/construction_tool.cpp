@@ -1,0 +1,59 @@
+// System construction tool demo (paper §3): plan and execute a staged,
+// verified boot of a cluster that has some hardware already broken, then
+// show the resulting system running.
+//
+//   $ ./build/examples/construction_tool
+#include <cstdio>
+
+#include "construct/constructor.h"
+#include "faults/fault_injector.h"
+
+using namespace phoenix;
+
+int main() {
+  cluster::ClusterSpec spec;
+  spec.partitions = 6;
+  spec.computes_per_partition = 8;
+  spec.backups_per_partition = 1;
+  cluster::Cluster cluster(spec);
+
+  // Realistic delivery: two compute nodes arrive dead and one NIC is bad.
+  cluster.crash_node(cluster.compute_nodes(net::PartitionId{2})[1]);
+  cluster.crash_node(cluster.compute_nodes(net::PartitionId{4})[5]);
+  cluster.fabric().set_interface_up(cluster.compute_nodes(net::PartitionId{0})[3],
+                                    net::NetworkId{2}, false);
+
+  kernel::FtParams params;
+  params.heartbeat_interval = 2 * sim::kSecond;
+  params.detector_sample_interval = 1 * sim::kSecond;
+  kernel::PhoenixKernel kernel(cluster, params);
+
+  construct::SystemConstructor constructor(kernel);
+
+  std::printf("== boot plan (dry run) ==\n");
+  for (const auto& step : constructor.plan()) {
+    std::printf("  %s\n", step.c_str());
+  }
+
+  std::printf("\n== executing staged boot ==\n");
+  const construct::BootReport report = constructor.execute();
+  std::printf("%s\n", report.to_string().c_str());
+
+  std::printf("== system state after construction ==\n");
+  std::printf("  meta-group: %zu members, leader partition %u\n",
+              kernel.gsd(net::PartitionId{0}).view().members.size(),
+              kernel.gsd(net::PartitionId{0}).view().leader()->partition.value);
+  std::printf("  configuration knows %zu hardware keys\n",
+              kernel.config().keys_with_prefix("hardware/").size());
+
+  // The bad NIC gets noticed by normal operation soon after boot.
+  cluster.engine().run_for(10 * sim::kSecond);
+  for (const auto& r : kernel.fault_log().records()) {
+    if (r.kind == kernel::FaultKind::kNetworkFailure) {
+      std::printf("  post-boot health: network %u of node %u flagged (diagnosed in %s)\n",
+                  r.network.value, r.node.value,
+                  sim::format_duration(r.diagnosed_at - r.detected_at).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Building a brand-new user environment on the Phoenix kernel — the paper's
+// central claim (§4.1, §5.4): "Based on Phoenix kernel, user environments
+// can be easily constructed according to users' needs."
+//
+// This file constructs a complete "cluster alarm center" user environment —
+// threshold alerts on CPU usage, failure paging, an escalation audit trail
+// persisted through the checkpoint service, and a periodic health probe of
+// every node — in under a hundred lines of logic, using only the uniform
+// KernelApi facade. No kernel internals, no scalability or fault-tolerance
+// code: the kernel provides all of it.
+//
+//   $ ./build/examples/custom_user_env
+#include <cstdio>
+
+#include "faults/fault_injector.h"
+#include "kernel/api.h"
+#include "workload/resource_model.h"
+
+using namespace phoenix;
+
+int main() {
+  cluster::ClusterSpec spec;
+  spec.partitions = 3;
+  spec.computes_per_partition = 5;
+  spec.backups_per_partition = 1;
+  cluster::Cluster cluster(spec);
+
+  kernel::FtParams params;
+  params.heartbeat_interval = 2 * sim::kSecond;
+  params.detector_sample_interval = 1 * sim::kSecond;
+  kernel::PhoenixKernel kernel(cluster, params);
+  kernel.boot();
+
+  workload::ResourceModel model(cluster);
+  model.start();
+  cluster.engine().run_for(3 * sim::kSecond);
+
+  // --- the whole user environment ------------------------------------------
+  kernel::KernelApi api(cluster, cluster.compute_nodes(net::PartitionId{2})[0],
+                        kernel);
+  int pages_sent = 0;
+  std::string audit_log;
+
+  // 1. Page on any failure event, cluster-wide, via one subscription.
+  api.subscribe({"node.*", "network.*", "service.*"}, [&](const kernel::Event& e) {
+    ++pages_sent;
+    audit_log += "[" + sim::format_duration(e.timestamp) + "] PAGE: " + e.type +
+                 " node " + std::to_string(e.subject_node.value) + "\n";
+    api.checkpoint_save("alarm-center", "audit", audit_log,
+                        [](bool, std::uint64_t) {});
+    std::printf("  PAGE: %-18s node=%u\n", e.type.c_str(), e.subject_node.value);
+  });
+
+  // 2. Every 10 s, query the bulletin federation for hot nodes (one call,
+  //    filter pushed down to every partition instance).
+  sim::PeriodicTask hot_scan(cluster.engine(), 10 * sim::kSecond, [&] {
+    kernel::BulletinFilter hot;
+    hot.min_cpu_pct = 90.0;
+    api.query(kernel::BulletinTable::kNodes, true, hot,
+              [&](std::vector<kernel::NodeRecord> rows, auto) {
+                for (const auto& row : rows) {
+                  std::printf("  ALERT: node %u at %.1f%% CPU\n", row.node.value,
+                              row.usage.cpu_pct);
+                }
+              });
+  });
+  hot_scan.start();
+
+  // 3. Hourly configuration self-check via the configuration service.
+  api.config_get("hardware/nodes", [&](std::optional<std::string> v) {
+    std::printf("alarm center armed over %s nodes\n\n",
+                v ? v->c_str() : "?");
+  });
+  cluster.engine().run_for(2 * sim::kSecond);
+
+  // --- exercise it ------------------------------------------------------------
+  faults::FaultInjector injector(cluster);
+  std::printf("== injecting: hot node, NIC cut, node crash, service kill ==\n");
+  // A CPU hog keeps one node pegged (the resource model folds process load
+  // into the gauges the detectors export).
+  api.spawn(cluster.compute_nodes(net::PartitionId{0})[1],
+            kernel::ProcessSpec{"cpu-hog", "loadtest", 4.0, 0, 0},
+            [](bool, cluster::Pid) {});
+  injector.cut_interface(cluster.compute_nodes(net::PartitionId{1})[0],
+                         net::NetworkId{2});
+  injector.crash_node(cluster.compute_nodes(net::PartitionId{0})[3]);
+  injector.kill_daemon(kernel.event_service(net::PartitionId{1}));
+  cluster.engine().run_for(20 * sim::kSecond);
+
+  // The audit trail survived in the checkpoint federation.
+  std::optional<std::string> recovered;
+  api.checkpoint_load("alarm-center", "audit",
+                      [&](std::optional<std::string> data) { recovered = data; });
+  cluster.engine().run_for(2 * sim::kSecond);
+
+  std::printf("\n%d pages sent; audit trail (%zu bytes) persisted in the "
+              "checkpoint federation:\n%s",
+              pages_sent, recovered ? recovered->size() : 0,
+              recovered ? recovered->c_str() : "(missing)\n");
+  std::printf(
+      "\nTotal user-environment code: one subscription, one filtered query\n"
+      "loop, one checkpoint key. Scalability, failover, and state recovery\n"
+      "all came from the kernel.\n");
+  return 0;
+}

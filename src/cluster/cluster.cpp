@@ -1,0 +1,142 @@
+#include "cluster/cluster.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "cluster/daemon.h"
+
+namespace phoenix::cluster {
+
+Cluster::Cluster(const ClusterSpec& spec)
+    : spec_(spec),
+      engine_(spec.seed),
+      fabric_(engine_, spec.total_nodes(), spec.networks) {
+  if (spec.partitions == 0) throw std::invalid_argument("cluster needs >= 1 partition");
+  nodes_.reserve(spec.total_nodes());
+  std::size_t compute_index = 0;
+  for (std::size_t p = 0; p < spec.partitions; ++p) {
+    const PartitionId pid{static_cast<std::uint32_t>(p)};
+    auto add = [&](NodeRole role) {
+      const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+      std::string arch = spec.default_arch;
+      if (role == NodeRole::kCompute && !spec.compute_archs.empty()) {
+        arch = spec.compute_archs[compute_index++ % spec.compute_archs.size()];
+      }
+      nodes_.emplace_back(id, pid, role, spec.cpus_per_node, std::move(arch),
+                          spec.cpu_speed_ghz);
+    };
+    add(NodeRole::kServer);
+    for (std::size_t b = 0; b < spec.backups_per_partition; ++b) add(NodeRole::kBackup);
+    for (std::size_t c = 0; c < spec.computes_per_partition; ++c) add(NodeRole::kCompute);
+  }
+
+  // Two-level topology: a partition shares an edge switch; inter-partition
+  // traffic crosses the core and pays extra latency.
+  fabric_.set_group_size(spec.nodes_per_partition());
+  fabric_.set_node_alive_predicate(
+      [this](NodeId id) { return node(id).alive(); });
+  fabric_.set_delivery_handler(
+      [this](const net::Envelope& env) { deliver(env); });
+}
+
+Node& Cluster::node(NodeId id) {
+  return nodes_.at(id.value);
+}
+
+const Node& Cluster::node(NodeId id) const {
+  return nodes_.at(id.value);
+}
+
+NodeId Cluster::server_node(PartitionId p) const {
+  return NodeId{static_cast<std::uint32_t>(p.value * spec_.nodes_per_partition())};
+}
+
+std::vector<NodeId> Cluster::backup_nodes(PartitionId p) const {
+  std::vector<NodeId> out;
+  const std::size_t base = p.value * spec_.nodes_per_partition();
+  for (std::size_t b = 0; b < spec_.backups_per_partition; ++b) {
+    out.push_back(NodeId{static_cast<std::uint32_t>(base + 1 + b)});
+  }
+  return out;
+}
+
+std::vector<NodeId> Cluster::compute_nodes(PartitionId p) const {
+  std::vector<NodeId> out;
+  const std::size_t base =
+      p.value * spec_.nodes_per_partition() + 1 + spec_.backups_per_partition;
+  for (std::size_t c = 0; c < spec_.computes_per_partition; ++c) {
+    out.push_back(NodeId{static_cast<std::uint32_t>(base + c)});
+  }
+  return out;
+}
+
+std::vector<NodeId> Cluster::partition_nodes(PartitionId p) const {
+  std::vector<NodeId> out;
+  const std::size_t base = p.value * spec_.nodes_per_partition();
+  for (std::size_t i = 0; i < spec_.nodes_per_partition(); ++i) {
+    out.push_back(NodeId{static_cast<std::uint32_t>(base + i)});
+  }
+  return out;
+}
+
+PartitionId Cluster::partition_of(NodeId id) const {
+  return PartitionId{
+      static_cast<std::uint32_t>(id.value / spec_.nodes_per_partition())};
+}
+
+void Cluster::crash_node(NodeId id) {
+  Node& n = node(id);
+  if (!n.alive()) return;
+  n.set_alive(false);
+  fabric_.set_node_links_up(id, false);
+  // Every daemon and process on the node dies with it.
+  for (Daemon* d : daemons_on(id)) d->kill();
+  for (const ProcessInfo& p : n.processes()) {
+    n.terminate_process(p.pid, ProcessState::kKilled, engine_.now());
+  }
+}
+
+void Cluster::restore_node(NodeId id) {
+  Node& n = node(id);
+  if (n.alive()) return;
+  n.set_alive(true);
+  fabric_.set_node_links_up(id, true);
+}
+
+void Cluster::register_daemon(Daemon& daemon) {
+  const auto [it, inserted] = daemons_.emplace(daemon.address(), &daemon);
+  if (!inserted) {
+    throw std::logic_error("address already bound: node " +
+                           std::to_string(daemon.address().node.value) + " port " +
+                           std::to_string(daemon.address().port.value));
+  }
+}
+
+void Cluster::unregister_daemon(const Daemon& daemon) {
+  auto it = daemons_.find(daemon.address());
+  if (it != daemons_.end() && it->second == &daemon) daemons_.erase(it);
+}
+
+Daemon* Cluster::daemon_at(const net::Address& addr) const {
+  auto it = daemons_.find(addr);
+  return it == daemons_.end() ? nullptr : it->second;
+}
+
+std::vector<Daemon*> Cluster::daemons_on(NodeId node) const {
+  std::vector<Daemon*> out;
+  for (const auto& [addr, d] : daemons_) {
+    if (addr.node == node) out.push_back(d);
+  }
+  return out;
+}
+
+void Cluster::deliver(const net::Envelope& env) {
+  Daemon* d = daemon_at(env.to);
+  if (d == nullptr || !d->alive()) {
+    ++dead_letters_;
+    return;
+  }
+  d->deliver(env);
+}
+
+}  // namespace phoenix::cluster

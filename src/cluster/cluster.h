@@ -1,0 +1,115 @@
+// The simulated cluster: engine + fabric + nodes + daemon registry.
+//
+// Layout follows the paper's management framework (§4.3): the cluster is a
+// sequence of partitions, each with one server node, one or more backup
+// nodes, and compute nodes. Node ids are dense and laid out partition by
+// partition as [server, backups..., computes...].
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/node.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace phoenix::cluster {
+
+class Daemon;
+
+struct ClusterSpec {
+  std::size_t partitions = 8;
+  std::size_t computes_per_partition = 16;
+  std::size_t backups_per_partition = 1;
+  std::size_t networks = 3;  // the Dawning 4000A gives every node 3 networks
+  unsigned cpus_per_node = 4;
+  std::uint64_t seed = 42;
+
+  /// Heterogeneous hardware: architectures assigned to compute nodes
+  /// round-robin (empty = every node is `default_arch`). Server and backup
+  /// nodes always use `default_arch`.
+  std::string default_arch = "x86_64";
+  std::vector<std::string> compute_archs;
+  double cpu_speed_ghz = 2.2;
+
+  std::size_t nodes_per_partition() const noexcept {
+    return 1 + backups_per_partition + computes_per_partition;
+  }
+  std::size_t total_nodes() const noexcept {
+    return partitions * nodes_per_partition();
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterSpec& spec);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterSpec& spec() const noexcept { return spec_; }
+  sim::Engine& engine() noexcept { return engine_; }
+  net::Fabric& fabric() noexcept { return fabric_; }
+  sim::Tracer& tracer() noexcept { return tracer_; }
+  const sim::Tracer& tracer() const noexcept { return tracer_; }
+  sim::SimTime now() const noexcept { return engine_.now(); }
+
+  // --- nodes ---------------------------------------------------------------
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  std::vector<Node>& nodes() noexcept { return nodes_; }
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+  NodeId server_node(PartitionId p) const;
+  std::vector<NodeId> backup_nodes(PartitionId p) const;
+  std::vector<NodeId> compute_nodes(PartitionId p) const;
+  std::vector<NodeId> partition_nodes(PartitionId p) const;
+  PartitionId partition_of(NodeId id) const;
+
+  /// Powers a node off: all daemons and processes on it die immediately,
+  /// all its network interfaces go down.
+  void crash_node(NodeId id);
+
+  /// Powers a crashed node back on with links up. Daemons do NOT restart
+  /// automatically — recovery is the group service's job.
+  void restore_node(NodeId id);
+
+  // --- daemon registry -------------------------------------------------------
+
+  /// Registers a daemon at its address. At most one daemon per address.
+  void register_daemon(Daemon& daemon);
+  void unregister_daemon(const Daemon& daemon);
+
+  /// The daemon bound to `addr`, or nullptr.
+  Daemon* daemon_at(const net::Address& addr) const;
+
+  /// All registered daemons hosted on `node`.
+  std::vector<Daemon*> daemons_on(NodeId node) const;
+
+  /// Messages that arrived for a missing or dead daemon.
+  std::uint64_t dead_letters() const noexcept { return dead_letters_; }
+
+  /// Fresh cluster-unique pid.
+  Pid next_pid() noexcept { return next_pid_++; }
+
+ private:
+  void deliver(const net::Envelope& env);
+
+  ClusterSpec spec_;
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  sim::Tracer tracer_;
+  std::vector<Node> nodes_;
+  std::unordered_map<net::Address, Daemon*> daemons_;
+  std::uint64_t dead_letters_ = 0;
+  Pid next_pid_ = 1;
+};
+
+}  // namespace phoenix::cluster

@@ -1,0 +1,94 @@
+#include "cluster/daemon.h"
+
+namespace phoenix::cluster {
+
+Daemon::Daemon(Cluster& cluster, std::string name, NodeId node, net::PortId port,
+               double cpu_share)
+    : cluster_(cluster),
+      name_(std::move(name)),
+      node_(node),
+      port_(port),
+      cpu_share_(cpu_share) {
+  cluster_.register_daemon(*this);
+}
+
+Daemon::~Daemon() {
+  if (running_) {
+    Node& n = cluster_.node(node_);
+    n.terminate_process(pid_, ProcessState::kExited, cluster_.now());
+  }
+  cluster_.unregister_daemon(*this);
+}
+
+bool Daemon::alive() const {
+  return running_ && cluster_.node(node_).alive();
+}
+
+void Daemon::start() {
+  if (running_) return;
+  running_ = true;
+  pid_ = cluster_.next_pid();
+  cluster_.node(node_).add_process(ProcessInfo{
+      .pid = pid_,
+      .name = name_,
+      .owner = "kernel",
+      .state = ProcessState::kRunning,
+      .cpu_share = cpu_share_,
+      .started_at = cluster_.now(),
+  });
+  on_start();
+}
+
+void Daemon::stop() {
+  if (!running_) return;
+  on_stop();
+  running_ = false;
+  cluster_.node(node_).terminate_process(pid_, ProcessState::kExited, cluster_.now());
+}
+
+void Daemon::kill() {
+  if (!running_) return;
+  running_ = false;
+  cluster_.node(node_).terminate_process(pid_, ProcessState::kKilled, cluster_.now());
+}
+
+void Daemon::unbind() {
+  cluster_.unregister_daemon(*this);  // no-op if another daemon holds the address
+}
+
+void Daemon::deliver(const net::Envelope& env) {
+  if (!alive()) return;
+  handle(env);
+}
+
+namespace {
+bool sendable(const Cluster& cluster, const net::Address& to) {
+  return to.valid() && to.node.value < cluster.node_count();
+}
+}  // namespace
+
+bool Daemon::send(const net::Address& to, net::NetworkId network,
+                  std::shared_ptr<const net::Message> msg) {
+  if (!alive() || !sendable(cluster_, to)) return false;
+  return cluster_.fabric().send(address(), to, network, std::move(msg));
+}
+
+net::NetworkId Daemon::send_any(const net::Address& to,
+                                std::shared_ptr<const net::Message> msg) {
+  if (!alive() || !sendable(cluster_, to)) return net::NetworkId{};
+  return cluster_.fabric().send_any(address(), to, std::move(msg));
+}
+
+std::size_t Daemon::send_all_networks(const net::Address& to,
+                                      std::shared_ptr<const net::Message> msg) {
+  if (!alive() || !sendable(cluster_, to)) return 0;
+  std::size_t sent = 0;
+  auto& fabric = cluster_.fabric();
+  for (std::size_t n = 0; n < fabric.network_count(); ++n) {
+    const net::NetworkId net{static_cast<std::uint8_t>(n)};
+    if (fabric.send(address(), to, net, msg)) ++sent;
+  }
+  return sent;
+}
+
+}  // namespace phoenix::cluster

@@ -1,0 +1,89 @@
+#include "cluster/node.h"
+
+#include <utility>
+
+namespace phoenix::cluster {
+
+std::string_view to_string(NodeRole role) noexcept {
+  switch (role) {
+    case NodeRole::kServer: return "server";
+    case NodeRole::kBackup: return "backup";
+    case NodeRole::kCompute: return "compute";
+  }
+  return "?";
+}
+
+std::string_view to_string(ProcessState state) noexcept {
+  switch (state) {
+    case ProcessState::kRunning: return "running";
+    case ProcessState::kExited: return "exited";
+    case ProcessState::kKilled: return "killed";
+  }
+  return "?";
+}
+
+Node::Node(NodeId id, PartitionId partition, NodeRole role, unsigned cpus,
+           std::string arch, double cpu_speed_ghz)
+    : id_(id),
+      partition_(partition),
+      role_(role),
+      cpus_(cpus),
+      arch_(std::move(arch)),
+      cpu_speed_ghz_(cpu_speed_ghz) {}
+
+void Node::add_process(ProcessInfo info) {
+  processes_.insert_or_assign(info.pid, std::move(info));
+}
+
+bool Node::terminate_process(Pid pid, ProcessState final_state, sim::SimTime now,
+                             int exit_code) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end() || it->second.state != ProcessState::kRunning) return false;
+  it->second.state = final_state;
+  it->second.ended_at = now;
+  it->second.exit_code = exit_code;
+  return true;
+}
+
+std::size_t Node::reap() {
+  std::size_t removed = 0;
+  for (auto it = processes_.begin(); it != processes_.end();) {
+    if (it->second.state != ProcessState::kRunning) {
+      it = processes_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+const ProcessInfo* Node::find_process(Pid pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+std::vector<ProcessInfo> Node::processes() const {
+  std::vector<ProcessInfo> out;
+  out.reserve(processes_.size());
+  for (const auto& [pid, info] : processes_) out.push_back(info);
+  return out;
+}
+
+std::size_t Node::running_process_count() const {
+  std::size_t n = 0;
+  for (const auto& [pid, info] : processes_) {
+    if (info.state == ProcessState::kRunning) ++n;
+  }
+  return n;
+}
+
+double Node::daemon_cpu_load() const {
+  double load = 0.0;
+  for (const auto& [pid, info] : processes_) {
+    if (info.state == ProcessState::kRunning) load += info.cpu_share;
+  }
+  return load;
+}
+
+}  // namespace phoenix::cluster

@@ -1,0 +1,147 @@
+#include "construct/constructor.h"
+
+#include <sstream>
+
+namespace phoenix::construct {
+
+SystemConstructor::SystemConstructor(kernel::PhoenixKernel& kernel,
+                                     ConstructOptions options)
+    : kernel_(kernel), options_(options) {}
+
+std::vector<std::string> SystemConstructor::plan() const {
+  std::vector<std::string> steps;
+  const auto& spec = kernel_.cluster().spec();
+  steps.push_back("probe: check " + std::to_string(spec.total_nodes()) +
+                  " nodes x " + std::to_string(spec.networks) + " networks");
+  steps.push_back("core: start configuration (introspect) + security on node " +
+                  std::to_string(kernel_.cluster().server_node(net::PartitionId{0}).value));
+  for (std::size_t p = 0; p < spec.partitions; ++p) {
+    std::ostringstream step;
+    step << "partition " << p << ": deploy " << spec.nodes_per_partition()
+         << " nodes, start CS/ES/DB/GSD ("
+         << (p == 0 ? "found meta-group" : "join meta-group") << "), verify";
+    steps.push_back(step.str());
+  }
+  steps.push_back("report: aggregate per-partition results");
+  return steps;
+}
+
+BootReport SystemConstructor::execute() {
+  BootReport report;
+  auto& cluster = kernel_.cluster();
+  const auto& spec = cluster.spec();
+  const sim::SimTime t0 = cluster.now();
+
+  // -- probe ---------------------------------------------------------------
+  report.nodes_total = cluster.node_count();
+  for (const auto& node : cluster.nodes()) {
+    if (!node.alive()) {
+      ++report.nodes_dead_at_probe;
+      continue;
+    }
+    for (std::size_t n = 0; n < spec.networks; ++n) {
+      if (!cluster.fabric().interface_up(node.id(),
+                                         net::NetworkId{static_cast<std::uint8_t>(n)})) {
+        ++report.interfaces_down_at_probe;
+      }
+    }
+  }
+
+  // -- deploy objects + core services ---------------------------------------
+  if (!kernel_.daemons_created()) kernel_.create_daemons();
+  kernel_.start_core_services();
+  cluster.engine().run_for(100 * sim::kMillisecond);
+
+  // -- partitions, in order --------------------------------------------------
+  bool ring_founded = false;
+  report.ok = true;
+  for (std::size_t p = 0; p < spec.partitions; ++p) {
+    const net::PartitionId pid{static_cast<std::uint32_t>(p)};
+    PartitionReport pr = bring_up_partition(pid, /*found_ring=*/!ring_founded);
+    if (pr.ring_member) ring_founded = true;
+    if (!pr.ok) {
+      report.ok = false;
+      if (options_.stop_on_failure) {
+        report.partitions.push_back(std::move(pr));
+        break;
+      }
+    }
+    report.partitions.push_back(std::move(pr));
+  }
+
+  report.total_time = cluster.now() - t0;
+  return report;
+}
+
+PartitionReport SystemConstructor::bring_up_partition(net::PartitionId p,
+                                                      bool found_ring) {
+  auto& cluster = kernel_.cluster();
+  PartitionReport pr;
+  pr.partition = p;
+  pr.started_at = cluster.now();
+
+  // The partition's server must be alive to host its services; fall back to
+  // the first live migration target otherwise.
+  const net::NodeId server = cluster.server_node(p);
+  if (!cluster.node(server).alive()) {
+    pr.note = "server node dead at boot";
+    pr.ok = false;
+    return pr;
+  }
+
+  for (net::NodeId n : cluster.partition_nodes(p)) {
+    if (!cluster.node(n).alive()) {
+      ++pr.nodes_skipped;
+      continue;
+    }
+    kernel_.start_node_daemons(n);
+    ++pr.nodes_deployed;
+  }
+  kernel_.start_partition_services(p, found_ring);
+
+  // -- verify -----------------------------------------------------------------
+  const sim::SimTime deadline = cluster.now() + options_.partition_timeout;
+  auto& gsd = kernel_.gsd(p);
+  while (cluster.now() < deadline && !(gsd.joined() && gsd.view().contains(p))) {
+    cluster.engine().run_for(250 * sim::kMillisecond);
+  }
+  pr.ring_member = gsd.joined() && gsd.view().contains(p);
+
+  if (options_.verify_bulletin) {
+    const auto& db = kernel_.bulletin(p);
+    while (cluster.now() < deadline && db.node_row_count() < pr.nodes_deployed) {
+      cluster.engine().run_for(250 * sim::kMillisecond);
+    }
+    pr.bulletin_rows = db.node_row_count();
+  }
+
+  pr.ready_at = cluster.now();
+  pr.ok = pr.ring_member &&
+          (!options_.verify_bulletin || pr.bulletin_rows >= pr.nodes_deployed);
+  if (!pr.ok && pr.note.empty()) {
+    pr.note = pr.ring_member ? "bulletin did not fill before timeout"
+                             : "GSD did not join the meta-group";
+  }
+  return pr;
+}
+
+std::string BootReport::to_string() const {
+  std::ostringstream out;
+  out << "boot " << (ok ? "OK" : "FAILED") << " in "
+      << sim::format_duration(total_time) << "; nodes " << nodes_total << " ("
+      << nodes_dead_at_probe << " dead at probe, " << interfaces_down_at_probe
+      << " interfaces down)\n";
+  for (const auto& pr : partitions) {
+    out << "  partition " << pr.partition.value << ": "
+        << (pr.ok ? "ok" : "FAILED") << ", deployed " << pr.nodes_deployed
+        << " nodes (" << pr.nodes_skipped << " skipped), ring="
+        << (pr.ring_member ? "joined" : "no") << ", bulletin rows "
+        << pr.bulletin_rows << ", took "
+        << sim::format_duration(pr.ready_at - pr.started_at);
+    if (!pr.note.empty()) out << " [" << pr.note << "]";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace phoenix::construct

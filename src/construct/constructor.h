@@ -1,0 +1,81 @@
+// System construction tool (paper §3): "System constructor configures,
+// deploys and boots cluster system with system construction tool, and
+// system construction tool behaves like the BIOS and kernel booting module
+// of a host operating system."
+//
+// Unlike PhoenixKernel::boot()'s all-at-once bring-up, the constructor
+// performs a staged, verified rollout:
+//
+//   probe    — POST-style hardware check: node liveness, per-network
+//              interface state, dead-node inventory;
+//   core     — configuration service (with hardware introspection) and
+//              security service on the head node;
+//   per partition, in order —
+//     deploy    node daemons (PPM, detector, WD) on each live node,
+//     services  checkpoint / event / bulletin instances + the GSD
+//               (the first GSD founds the meta-group; later ones join),
+//     verify    wait for the GSD to join the ring and for detectors to
+//               populate the partition's bulletin; record the duration.
+//
+// The result is a BootReport a system constructor can read top to bottom,
+// plus a plan() dry-run that lists the steps without executing them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace phoenix::construct {
+
+struct PartitionReport {
+  net::PartitionId partition;
+  bool ok = false;
+  bool ring_member = false;       // GSD joined the meta-group
+  std::size_t nodes_deployed = 0;
+  std::size_t nodes_skipped = 0;  // dead at deploy time
+  std::size_t bulletin_rows = 0;  // rows after the first detector round
+  sim::SimTime started_at = 0;
+  sim::SimTime ready_at = 0;
+  std::string note;
+};
+
+struct BootReport {
+  bool ok = false;
+  std::size_t nodes_total = 0;
+  std::size_t nodes_dead_at_probe = 0;
+  std::size_t interfaces_down_at_probe = 0;
+  std::vector<PartitionReport> partitions;
+  sim::SimTime total_time = 0;
+
+  std::string to_string() const;
+};
+
+struct ConstructOptions {
+  /// Maximum simulated time to wait for one partition to verify.
+  sim::SimTime partition_timeout = 60 * sim::kSecond;
+  /// Require at least one detector round in the partition bulletin.
+  bool verify_bulletin = true;
+  /// Refuse to continue when a partition fails verification.
+  bool stop_on_failure = false;
+};
+
+class SystemConstructor {
+ public:
+  SystemConstructor(kernel::PhoenixKernel& kernel, ConstructOptions options = {});
+
+  /// Dry run: the ordered step list, one line per step.
+  std::vector<std::string> plan() const;
+
+  /// Executes the staged boot, driving the simulation while verifying.
+  /// Idempotent guard: throws if the kernel was already booted.
+  BootReport execute();
+
+ private:
+  PartitionReport bring_up_partition(net::PartitionId p, bool found_ring);
+
+  kernel::PhoenixKernel& kernel_;
+  ConstructOptions options_;
+};
+
+}  // namespace phoenix::construct

@@ -1,0 +1,65 @@
+#include "faults/fault_injector.h"
+
+#include <utility>
+
+namespace phoenix::faults {
+
+sim::SimTime FaultInjector::record(std::string what) {
+  const sim::SimTime t = cluster_.now();
+  history_.push_back(InjectionRecord{t, std::move(what)});
+  return t;
+}
+
+sim::SimTime FaultInjector::kill_daemon(cluster::Daemon& daemon) {
+  daemon.kill();
+  return record("kill " + daemon.name() + " on node " +
+                std::to_string(daemon.node_id().value));
+}
+
+sim::SimTime FaultInjector::crash_node(net::NodeId node) {
+  cluster_.crash_node(node);
+  return record("crash node " + std::to_string(node.value));
+}
+
+sim::SimTime FaultInjector::restore_node(net::NodeId node) {
+  cluster_.restore_node(node);
+  return record("restore node " + std::to_string(node.value));
+}
+
+sim::SimTime FaultInjector::cut_interface(net::NodeId node, net::NetworkId network) {
+  cluster_.fabric().set_interface_up(node, network, false);
+  return record("cut node " + std::to_string(node.value) + " network " +
+                std::to_string(network.value));
+}
+
+sim::SimTime FaultInjector::restore_interface(net::NodeId node,
+                                              net::NetworkId network) {
+  cluster_.fabric().set_interface_up(node, network, true);
+  return record("restore node " + std::to_string(node.value) + " network " +
+                std::to_string(network.value));
+}
+
+sim::SimTime FaultInjector::fail_network(net::NetworkId network) {
+  for (const auto& node : cluster_.nodes()) {
+    cluster_.fabric().set_interface_up(node.id(), network, false);
+  }
+  return record("fail network " + std::to_string(network.value));
+}
+
+sim::SimTime FaultInjector::restore_network(net::NetworkId network) {
+  for (const auto& node : cluster_.nodes()) {
+    cluster_.fabric().set_interface_up(node.id(), network, true);
+  }
+  return record("restore network " + std::to_string(network.value));
+}
+
+void FaultInjector::schedule(sim::SimTime at, std::function<void()> action,
+                             std::string label) {
+  cluster_.engine().schedule_at(
+      at, [this, action = std::move(action), label = std::move(label)] {
+        record(label);
+        action();
+      });
+}
+
+}  // namespace phoenix::faults

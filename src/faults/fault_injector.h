@@ -1,0 +1,60 @@
+// Fault-injection framework (paper §5.1: "By the means of fault injection,
+// we get the information in Table 1-3").
+//
+// Injects the three unhealthy situations the paper evaluates — process
+// death, node crash, single-network-interface failure — plus restores and
+// scripted scenarios. Every injection is journaled with its simulated time
+// so the benches can compute detection latency against the kernel's
+// FaultLog.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/daemon.h"
+
+namespace phoenix::faults {
+
+struct InjectionRecord {
+  sim::SimTime at = 0;
+  std::string what;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(cluster::Cluster& cluster) : cluster_(cluster) {}
+
+  /// Kills a daemon process (SIGKILL semantics: no cleanup, no notice).
+  sim::SimTime kill_daemon(cluster::Daemon& daemon);
+
+  /// Powers a node off: daemons and processes die, links drop.
+  sim::SimTime crash_node(net::NodeId node);
+
+  /// Powers a crashed node back on (daemons stay down until restarted).
+  sim::SimTime restore_node(net::NodeId node);
+
+  /// Fails one network interface of one node.
+  sim::SimTime cut_interface(net::NodeId node, net::NetworkId network);
+  sim::SimTime restore_interface(net::NodeId node, net::NetworkId network);
+
+  /// Partitions the given network cluster-wide (every node's interface on
+  /// that network goes down) — a switch failure.
+  sim::SimTime fail_network(net::NetworkId network);
+  sim::SimTime restore_network(net::NetworkId network);
+
+  /// Schedules an arbitrary injection at an absolute simulated time.
+  void schedule(sim::SimTime at, std::function<void()> action, std::string label);
+
+  const std::vector<InjectionRecord>& history() const noexcept { return history_; }
+  void clear_history() { history_.clear(); }
+
+ private:
+  sim::SimTime record(std::string what);
+
+  cluster::Cluster& cluster_;
+  std::vector<InjectionRecord> history_;
+};
+
+}  // namespace phoenix::faults

@@ -1,0 +1,271 @@
+#include "kernel/api.h"
+
+namespace phoenix::kernel {
+
+KernelApi::KernelApi(cluster::Cluster& cluster, net::NodeId node,
+                     PhoenixKernel& kernel, net::PortId port)
+    : Daemon(cluster, "api", node, port),
+      kernel_(kernel),
+      home_partition_(cluster.partition_of(node)) {
+  start();
+}
+
+std::uint64_t KernelApi::issue(std::function<void(const net::Message&)> complete,
+                               std::function<void()> expire) {
+  const std::uint64_t id = next_id_++;
+  pending_[id] = Pending{std::move(complete), std::move(expire)};
+  engine().schedule_after(call_timeout_, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    ++timeouts_;
+    if (p.expire) p.expire();
+  });
+  return id;
+}
+
+void KernelApi::finish(std::uint64_t id, const net::Message& msg) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (p.complete) p.complete(msg);
+}
+
+// --- configuration -------------------------------------------------------------
+
+void KernelApi::config_get(const std::string& key, GetCallback done) {
+  auto msg = std::make_shared<ConfigGetMsg>();
+  msg->key = key;
+  msg->reply_to = address();
+  msg->request_id = issue(
+      [done](const net::Message& m) {
+        const auto* reply = net::message_cast<ConfigGetReplyMsg>(m);
+        if (reply != nullptr && reply->found) {
+          done(reply->value);
+        } else {
+          done(std::nullopt);
+        }
+      },
+      [done] { done(std::nullopt); });
+  send_any(kernel_.service_address(ServiceKind::kConfiguration, net::PartitionId{0}),
+           std::move(msg));
+}
+
+void KernelApi::config_set(const std::string& key, const std::string& value,
+                           SetCallback done) {
+  auto msg = std::make_shared<ConfigSetMsg>();
+  msg->key = key;
+  msg->value = value;
+  msg->reply_to = address();
+  msg->request_id = issue(
+      [done](const net::Message& m) {
+        const auto* reply = net::message_cast<ConfigSetReplyMsg>(m);
+        done(reply != nullptr, reply != nullptr ? reply->version : 0);
+      },
+      [done] { done(false, 0); });
+  send_any(kernel_.service_address(ServiceKind::kConfiguration, net::PartitionId{0}),
+           std::move(msg));
+}
+
+// --- security -------------------------------------------------------------------
+
+void KernelApi::authenticate(const std::string& user, const std::string& secret,
+                             AuthCallback done) {
+  auto msg = std::make_shared<AuthRequestMsg>();
+  msg->user = user;
+  msg->secret = secret;
+  msg->reply_to = address();
+  msg->request_id = issue(
+      [done](const net::Message& m) {
+        const auto* reply = net::message_cast<AuthReplyMsg>(m);
+        if (reply != nullptr && reply->ok) {
+          done(reply->token);
+        } else {
+          done(std::nullopt);
+        }
+      },
+      [done] { done(std::nullopt); });
+  send_any(kernel_.service_address(ServiceKind::kSecurity, net::PartitionId{0}),
+           std::move(msg));
+}
+
+void KernelApi::authorize(const Token& token, const std::string& action,
+                          const std::string& resource, AuthzCallback done) {
+  auto msg = std::make_shared<AuthzRequestMsg>();
+  msg->token = token;
+  msg->action = action;
+  msg->resource = resource;
+  msg->reply_to = address();
+  msg->request_id = issue(
+      [done](const net::Message& m) {
+        const auto* reply = net::message_cast<AuthzReplyMsg>(m);
+        done(reply != nullptr && reply->allowed);
+      },
+      [done] { done(false); });
+  send_any(kernel_.service_address(ServiceKind::kSecurity, net::PartitionId{0}),
+           std::move(msg));
+}
+
+// --- checkpoint -----------------------------------------------------------------
+
+void KernelApi::checkpoint_save(const std::string& service, const std::string& key,
+                                std::string data, SaveCallback done) {
+  auto msg = std::make_shared<CheckpointSaveMsg>();
+  msg->service = service;
+  msg->key = key;
+  msg->data = std::move(data);
+  msg->reply_to = address();
+  msg->request_id = issue(
+      [done](const net::Message& m) {
+        const auto* reply = net::message_cast<CheckpointSaveReplyMsg>(m);
+        done(reply != nullptr, reply != nullptr ? reply->version : 0);
+      },
+      [done] { done(false, 0); });
+  send_any(kernel_.service_address(ServiceKind::kCheckpointService, home_partition_),
+           std::move(msg));
+}
+
+void KernelApi::checkpoint_load(const std::string& service, const std::string& key,
+                                LoadCallback done) {
+  auto msg = std::make_shared<CheckpointLoadMsg>();
+  msg->service = service;
+  msg->key = key;
+  msg->reply_to = address();
+  msg->request_id = issue(
+      [done](const net::Message& m) {
+        const auto* reply = net::message_cast<CheckpointLoadReplyMsg>(m);
+        if (reply != nullptr && reply->found) {
+          done(reply->data);
+        } else {
+          done(std::nullopt);
+        }
+      },
+      [done] { done(std::nullopt); });
+  send_any(kernel_.service_address(ServiceKind::kCheckpointService, home_partition_),
+           std::move(msg));
+}
+
+// --- data bulletin --------------------------------------------------------------
+
+void KernelApi::query(BulletinTable table, bool cluster_scope,
+                      BulletinFilter filter, QueryCallback done) {
+  auto msg = std::make_shared<DbQueryMsg>();
+  msg->table = table;
+  msg->cluster_scope = cluster_scope;
+  msg->filter = std::move(filter);
+  msg->reply_to = address();
+  msg->query_id = issue(
+      [done](const net::Message& m) {
+        const auto* reply = net::message_cast<DbQueryReplyMsg>(m);
+        if (reply != nullptr) {
+          done(reply->node_rows, reply->app_rows);
+        } else {
+          done({}, {});
+        }
+      },
+      [done] { done({}, {}); });
+  send_any(kernel_.service_address(ServiceKind::kDataBulletin, home_partition_),
+           std::move(msg));
+}
+
+// --- events ---------------------------------------------------------------------
+
+void KernelApi::subscribe(std::vector<std::string> types, EventCallback on_event) {
+  on_event_ = std::move(on_event);
+  auto msg = std::make_shared<EsSubscribeMsg>();
+  msg->subscription.consumer = address();
+  msg->subscription.types = std::move(types);
+  send_any(kernel_.service_address(ServiceKind::kEventService, home_partition_),
+           std::move(msg));
+}
+
+void KernelApi::publish(Event event) {
+  auto msg = std::make_shared<EsPublishMsg>();
+  msg->event = std::move(event);
+  send_any(kernel_.service_address(ServiceKind::kEventService, home_partition_),
+           std::move(msg));
+}
+
+// --- ppm ------------------------------------------------------------------------
+
+void KernelApi::spawn(net::NodeId node, ProcessSpec spec, SpawnCallback done,
+                      std::function<void(cluster::Pid)> on_exit) {
+  auto msg = std::make_shared<SpawnMsg>();
+  msg->spec = std::move(spec);
+  msg->reply_to = address();
+  if (on_exit) msg->exit_notify = address();
+  msg->request_id = issue(
+      [this, done, on_exit](const net::Message& m) {
+        const auto* reply = net::message_cast<SpawnReplyMsg>(m);
+        if (reply != nullptr && reply->ok) {
+          if (on_exit) exit_watch_[reply->pid] = on_exit;
+          done(true, reply->pid);
+        } else {
+          done(false, 0);
+        }
+      },
+      [done] { done(false, 0); });
+  send_any({node, port_of(ServiceKind::kProcessManager)}, std::move(msg));
+}
+
+void KernelApi::parallel_command(const std::string& command,
+                                 std::vector<net::NodeId> nodes,
+                                 std::size_t fanout, CommandCallback done) {
+  if (nodes.empty()) {
+    done(0, 0);
+    return;
+  }
+  auto msg = std::make_shared<ParallelCmdMsg>();
+  msg->command = command;
+  msg->nodes = std::move(nodes);
+  msg->fanout = fanout;
+  msg->reply_to = address();
+  const net::Address root{msg->nodes.front(),
+                          port_of(ServiceKind::kProcessManager)};
+  msg->request_id = issue(
+      [done](const net::Message& m) {
+        const auto* reply = net::message_cast<ParallelCmdReplyMsg>(m);
+        if (reply != nullptr) {
+          done(reply->succeeded, reply->failed);
+        } else {
+          done(0, 0);
+        }
+      },
+      [done] { done(0, 0); });
+  send_any(root, std::move(msg));
+}
+
+// --- dispatch -------------------------------------------------------------------
+
+void KernelApi::handle(const net::Envelope& env) {
+  const net::Message& m = *env.message;
+
+  if (const auto* notify = net::message_cast<EsNotifyMsg>(m)) {
+    if (on_event_) on_event_(notify->event);
+    return;
+  }
+  if (const auto* exited = net::message_cast<ExitNotifyMsg>(m)) {
+    auto it = exit_watch_.find(exited->pid);
+    if (it != exit_watch_.end()) {
+      auto cb = std::move(it->second);
+      exit_watch_.erase(it);
+      cb(exited->pid);
+    }
+    return;
+  }
+
+  // Correlated replies: every protocol uses a request/query id field.
+  if (const auto* r = net::message_cast<ConfigGetReplyMsg>(m)) return finish(r->request_id, m);
+  if (const auto* r = net::message_cast<ConfigSetReplyMsg>(m)) return finish(r->request_id, m);
+  if (const auto* r = net::message_cast<AuthReplyMsg>(m)) return finish(r->request_id, m);
+  if (const auto* r = net::message_cast<AuthzReplyMsg>(m)) return finish(r->request_id, m);
+  if (const auto* r = net::message_cast<CheckpointSaveReplyMsg>(m)) return finish(r->request_id, m);
+  if (const auto* r = net::message_cast<CheckpointLoadReplyMsg>(m)) return finish(r->request_id, m);
+  if (const auto* r = net::message_cast<DbQueryReplyMsg>(m)) return finish(r->query_id, m);
+  if (const auto* r = net::message_cast<SpawnReplyMsg>(m)) return finish(r->request_id, m);
+  if (const auto* r = net::message_cast<ParallelCmdReplyMsg>(m)) return finish(r->request_id, m);
+}
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,126 @@
+// KernelApi — the uniform client interface to the Phoenix kernel.
+//
+// The paper (§4.2): "Phoenix kernel provides documented interfaces and
+// parallel command calls for user environments in different forms with
+// uniformed semantics (Such as Socket, RPC and ORB etc.)". This class is
+// that uniform form: an asynchronous, callback-based RPC facade over the
+// kernel's message protocols, with request correlation, per-call timeouts,
+// and location transparency (calls go to the caller's partition instance of
+// each federated service; the federation makes that a full access point).
+//
+// Every user environment in this repository could be written against this
+// class alone; GridView-style monitors, submission portals, and management
+// tools need nothing else from the kernel.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/daemon.h"
+#include "kernel/bulletin/data_bulletin.h"
+#include "kernel/checkpoint/checkpoint_service.h"
+#include "kernel/config/configuration_service.h"
+#include "kernel/event/event_service.h"
+#include "kernel/kernel.h"
+#include "kernel/ppm/process_manager.h"
+#include "kernel/security/security_service.h"
+
+namespace phoenix::kernel {
+
+class KernelApi final : public cluster::Daemon {
+ public:
+  /// Binds the API endpoint on `node` with a caller-chosen port (several
+  /// clients may coexist on one node with different ports).
+  KernelApi(cluster::Cluster& cluster, net::NodeId node, PhoenixKernel& kernel,
+            net::PortId port = net::PortId{30});
+
+  /// Default per-call deadline; expired calls complete with nullopt/false.
+  void set_call_timeout(sim::SimTime t) noexcept { call_timeout_ = t; }
+
+  // --- configuration ----------------------------------------------------------
+
+  using GetCallback = std::function<void(std::optional<std::string>)>;
+  void config_get(const std::string& key, GetCallback done);
+
+  using SetCallback = std::function<void(bool ok, std::uint64_t version)>;
+  void config_set(const std::string& key, const std::string& value,
+                  SetCallback done);
+
+  // --- security ----------------------------------------------------------------
+
+  using AuthCallback = std::function<void(std::optional<Token>)>;
+  void authenticate(const std::string& user, const std::string& secret,
+                    AuthCallback done);
+
+  using AuthzCallback = std::function<void(bool allowed)>;
+  void authorize(const Token& token, const std::string& action,
+                 const std::string& resource, AuthzCallback done);
+
+  // --- checkpoint ----------------------------------------------------------------
+
+  using SaveCallback = std::function<void(bool ok, std::uint64_t version)>;
+  void checkpoint_save(const std::string& service, const std::string& key,
+                       std::string data, SaveCallback done);
+
+  using LoadCallback = std::function<void(std::optional<std::string>)>;
+  void checkpoint_load(const std::string& service, const std::string& key,
+                       LoadCallback done);
+
+  // --- data bulletin ----------------------------------------------------------------
+
+  using QueryCallback = std::function<void(std::vector<NodeRecord>,
+                                           std::vector<AppRecord>)>;
+  void query(BulletinTable table, bool cluster_scope, BulletinFilter filter,
+             QueryCallback done);
+
+  // --- events ----------------------------------------------------------------
+
+  using EventCallback = std::function<void(const Event&)>;
+  /// Subscribes this endpoint; matching events invoke `on_event` forever.
+  void subscribe(std::vector<std::string> types, EventCallback on_event);
+  void publish(Event event);
+
+  // --- parallel process management -------------------------------------------------
+
+  using SpawnCallback = std::function<void(bool ok, cluster::Pid pid)>;
+  /// `on_exit` (optional) fires when the process ends.
+  void spawn(net::NodeId node, ProcessSpec spec, SpawnCallback done,
+             std::function<void(cluster::Pid)> on_exit = {});
+
+  using CommandCallback =
+      std::function<void(std::uint64_t succeeded, std::uint64_t failed)>;
+  void parallel_command(const std::string& command, std::vector<net::NodeId> nodes,
+                        std::size_t fanout, CommandCallback done);
+
+  /// Calls still awaiting replies (tests).
+  std::size_t pending_calls() const noexcept { return pending_.size(); }
+  std::uint64_t timed_out_calls() const noexcept { return timeouts_; }
+
+ private:
+  void handle(const net::Envelope& env) override;
+
+  /// One in-flight call: a type-erased completion plus a timeout handler.
+  struct Pending {
+    std::function<void(const net::Message&)> complete;
+    std::function<void()> expire;
+  };
+
+  std::uint64_t issue(std::function<void(const net::Message&)> complete,
+                      std::function<void()> expire);
+  void finish(std::uint64_t id, const net::Message& msg);
+
+  PhoenixKernel& kernel_;
+  net::PartitionId home_partition_;
+  sim::SimTime call_timeout_ = 10 * sim::kSecond;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<cluster::Pid, std::function<void(cluster::Pid)>> exit_watch_;
+  EventCallback on_event_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace phoenix::kernel

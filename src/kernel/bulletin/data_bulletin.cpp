@@ -1,0 +1,232 @@
+#include "kernel/bulletin/data_bulletin.h"
+
+#include <utility>
+
+#include "kernel/service_msgs.h"
+
+namespace phoenix::kernel {
+
+UsageSummary summarize(const std::vector<NodeRecord>& nodes,
+                       const std::vector<AppRecord>& apps) {
+  UsageSummary s;
+  s.node_count = nodes.size();
+  s.app_count = apps.size();
+  for (const auto& n : nodes) {
+    if (n.alive) ++s.alive_count;
+    s.avg_cpu_pct += n.usage.cpu_pct;
+    s.avg_mem_pct += n.usage.mem_pct;
+    s.avg_swap_pct += n.usage.swap_pct;
+  }
+  if (!nodes.empty()) {
+    const double count = static_cast<double>(nodes.size());
+    s.avg_cpu_pct /= count;
+    s.avg_mem_pct /= count;
+    s.avg_swap_pct /= count;
+  }
+  return s;
+}
+
+void merge_summary(UsageSummary& into, const UsageSummary& from) {
+  const double total =
+      static_cast<double>(into.node_count) + static_cast<double>(from.node_count);
+  if (total > 0) {
+    const double wi = static_cast<double>(into.node_count) / total;
+    const double wf = static_cast<double>(from.node_count) / total;
+    into.avg_cpu_pct = wi * into.avg_cpu_pct + wf * from.avg_cpu_pct;
+    into.avg_mem_pct = wi * into.avg_mem_pct + wf * from.avg_mem_pct;
+    into.avg_swap_pct = wi * into.avg_swap_pct + wf * from.avg_swap_pct;
+  }
+  into.node_count += from.node_count;
+  into.alive_count += from.alive_count;
+  into.app_count += from.app_count;
+}
+
+DataBulletin::DataBulletin(cluster::Cluster& cluster, net::NodeId node,
+                           net::PartitionId partition, const FtParams& params,
+                           ServiceDirectory* directory, double cpu_share)
+    : Daemon(cluster, "db/" + std::to_string(partition.value), node,
+             port_of(ServiceKind::kDataBulletin), cpu_share),
+      partition_(partition),
+      params_(params),
+      directory_(directory),
+      staleness_horizon_(6 * params.detector_sample_interval),
+      sweeper_(cluster.engine(), params.detector_sample_interval,
+               [this] { sweep_stale(); }) {}
+
+void DataBulletin::set_staleness_horizon(sim::SimTime t) {
+  staleness_horizon_ = t;
+}
+
+void DataBulletin::on_start() {
+  if (staleness_horizon_ > 0) {
+    sweeper_.set_period(params_.detector_sample_interval);
+    sweeper_.start_after(staleness_horizon_);
+  }
+  // Bulletin state is soft (detectors repopulate it within one sampling
+  // period), so a restarted instance reports ready immediately.
+  if (directory_ == nullptr) return;
+  auto up = std::make_shared<ServiceUpMsg>();
+  up->kind = ServiceKind::kDataBulletin;
+  up->partition = partition_;
+  up->service = address();
+  send_any(directory_->service_address(ServiceKind::kGroupService, partition_),
+           std::move(up));
+}
+
+void DataBulletin::on_stop() { sweeper_.stop(); }
+
+void DataBulletin::sweep_stale() {
+  if (staleness_horizon_ == 0 || !alive()) return;
+  const sim::SimTime now_t = now();
+  for (auto it = node_table_.begin(); it != node_table_.end();) {
+    const sim::SimTime age = now_t - it->second.updated_at;
+    if (age > 2 * staleness_horizon_) {
+      app_table_.erase(it->first);
+      it = node_table_.erase(it);
+      continue;
+    }
+    if (age > staleness_horizon_) it->second.alive = false;
+    ++it;
+  }
+}
+
+void DataBulletin::report_local(const NodeRecord& record, std::vector<AppRecord> apps) {
+  node_table_[record.node.value] = record;
+  app_table_[record.node.value] = std::move(apps);
+}
+
+std::vector<NodeRecord> DataBulletin::node_rows() const {
+  std::vector<NodeRecord> out;
+  out.reserve(node_table_.size());
+  for (const auto& [id, rec] : node_table_) out.push_back(rec);
+  return out;
+}
+
+std::vector<AppRecord> DataBulletin::app_rows() const {
+  std::vector<AppRecord> out;
+  for (const auto& [id, apps] : app_table_) {
+    out.insert(out.end(), apps.begin(), apps.end());
+  }
+  return out;
+}
+
+std::vector<NodeRecord> DataBulletin::node_rows(const BulletinFilter& filter) const {
+  std::vector<NodeRecord> out;
+  for (const auto& [id, rec] : node_table_) {
+    if (filter.matches(rec)) out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<AppRecord> DataBulletin::app_rows(const BulletinFilter& filter) const {
+  std::vector<AppRecord> out;
+  for (const auto& [id, apps] : app_table_) {
+    for (const auto& app : apps) {
+      if (filter.matches(app, partition_)) out.push_back(app);
+    }
+  }
+  return out;
+}
+
+void DataBulletin::handle_query(const DbQueryMsg& q) {
+  const std::uint64_t local_id = next_local_id_++;
+  PendingQuery pending;
+  pending.reply_to = q.reply_to;
+  pending.query_id = q.query_id;
+  pending.table = q.table;
+  pending.aggregate_only = q.aggregate_only;
+  if (q.aggregate_only) {
+    pending.summary = summarize(node_rows(q.filter), app_rows(q.filter));
+  } else {
+    if (q.table != BulletinTable::kApps) pending.node_rows = node_rows(q.filter);
+    if (q.table != BulletinTable::kNodes) pending.app_rows = app_rows(q.filter);
+  }
+
+  if (q.cluster_scope && directory_ != nullptr) {
+    for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
+      const net::PartitionId pid{static_cast<std::uint32_t>(p)};
+      if (pid == partition_) continue;
+      auto sub = std::make_shared<DbPartitionQueryMsg>();
+      sub->query_id = local_id;
+      sub->table = q.table;
+      sub->aggregate_only = q.aggregate_only;
+      sub->filter = q.filter;
+      sub->reply_to = address();
+      if (send_any(directory_->service_address(ServiceKind::kDataBulletin, pid),
+                   std::move(sub))
+              .valid()) {
+        ++pending.awaiting;
+      }
+    }
+  }
+
+  pending_.emplace(local_id, std::move(pending));
+  if (pending_.at(local_id).awaiting == 0) {
+    finish_query(local_id);
+    return;
+  }
+  // Answer with whatever arrived by the deadline; dead peers just reduce
+  // partitions_included.
+  engine().schedule_after(query_timeout_, [this, local_id] { finish_query(local_id); });
+}
+
+void DataBulletin::finish_query(std::uint64_t local_id) {
+  auto it = pending_.find(local_id);
+  if (it == pending_.end() || it->second.done) return;
+  it->second.done = true;
+  PendingQuery result = std::move(it->second);
+  pending_.erase(it);
+  if (!result.reply_to.valid() || !alive()) return;
+  auto reply = std::make_shared<DbQueryReplyMsg>();
+  reply->query_id = result.query_id;
+  reply->node_rows = std::move(result.node_rows);
+  reply->app_rows = std::move(result.app_rows);
+  reply->aggregated = result.aggregate_only;
+  reply->summary = result.summary;
+  reply->partitions_included = result.partitions_included;
+  send_any(result.reply_to, std::move(reply));
+}
+
+void DataBulletin::handle(const net::Envelope& env) {
+  const net::Message& m = *env.message;
+
+  if (const auto* report = net::message_cast<DbReportMsg>(m)) {
+    report_local(report->node_record, report->apps);
+    return;
+  }
+  if (const auto* query = net::message_cast<DbQueryMsg>(m)) {
+    handle_query(*query);
+    return;
+  }
+  if (const auto* pq = net::message_cast<DbPartitionQueryMsg>(m)) {
+    auto reply = std::make_shared<DbQueryReplyMsg>();
+    reply->query_id = pq->query_id;
+    if (pq->aggregate_only) {
+      reply->aggregated = true;
+      reply->summary = summarize(node_rows(pq->filter), app_rows(pq->filter));
+    } else {
+      if (pq->table != BulletinTable::kApps) reply->node_rows = node_rows(pq->filter);
+      if (pq->table != BulletinTable::kNodes) reply->app_rows = app_rows(pq->filter);
+    }
+    send_any(pq->reply_to, std::move(reply));
+    return;
+  }
+  if (const auto* pr = net::message_cast<DbQueryReplyMsg>(m)) {
+    auto it = pending_.find(pr->query_id);
+    if (it == pending_.end() || it->second.done) return;
+    PendingQuery& pending = it->second;
+    if (pending.aggregate_only && pr->aggregated) {
+      merge_summary(pending.summary, pr->summary);
+    } else {
+      pending.node_rows.insert(pending.node_rows.end(), pr->node_rows.begin(),
+                               pr->node_rows.end());
+      pending.app_rows.insert(pending.app_rows.end(), pr->app_rows.begin(),
+                              pr->app_rows.end());
+    }
+    pending.partitions_included += pr->partitions_included;
+    if (--pending.awaiting == 0) finish_query(pr->query_id);
+    return;
+  }
+}
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,213 @@
+// Data bulletin service (paper §4.2, §4.4): the in-memory database of
+// cluster-wide physical-resource and application state.
+//
+// One instance per partition; detectors on each node export their state to
+// the partition's instance. The instances form a complete-graph federation:
+// a client may query ANY instance for cluster-wide data and that instance
+// fans the query out to its peers and merges the answers — the single
+// access point of §4.4. If one instance is down, only its partition's rows
+// are missing from the merged answer (paper: "only the state of one
+// partition can't be obtained").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/daemon.h"
+#include "cluster/node.h"
+#include "kernel/ft_params.h"
+#include "kernel/service_kind.h"
+#include "net/message.h"
+
+namespace phoenix::kernel {
+
+/// One node's gauge row in the bulletin.
+struct NodeRecord {
+  net::NodeId node;
+  net::PartitionId partition;
+  cluster::ResourceUsage usage;
+  bool alive = true;
+  sim::SimTime updated_at = 0;
+
+  static constexpr std::size_t kWireBytes = cluster::ResourceUsage::kWireBytes + 24;
+};
+
+/// One application process row in the bulletin.
+struct AppRecord {
+  net::NodeId node;
+  cluster::Pid pid = 0;
+  std::string name;
+  std::string owner;
+  cluster::ProcessState state = cluster::ProcessState::kRunning;
+  double cpu_share = 0.0;
+  sim::SimTime started_at = 0;
+
+  std::size_t wire_bytes() const noexcept { return name.size() + owner.size() + 40; }
+};
+
+enum class BulletinTable : std::uint8_t { kNodes, kApps, kBoth };
+
+/// Row predicate evaluated AT each federation instance (filter pushdown:
+/// only matching rows travel back to the access point).
+struct BulletinFilter {
+  bool has_partition = false;
+  net::PartitionId partition;   // node+app rows: restrict to this partition
+  std::string owner;            // app rows: exact owner match ("" = any)
+  double min_cpu_pct = -1.0;    // node rows: cpu_pct >= threshold (<0 = any)
+  bool alive_only = false;      // node rows: reporting nodes only
+
+  bool matches(const NodeRecord& row) const {
+    if (has_partition && row.partition != partition) return false;
+    if (min_cpu_pct >= 0.0 && row.usage.cpu_pct < min_cpu_pct) return false;
+    if (alive_only && !row.alive) return false;
+    return true;
+  }
+  bool matches(const AppRecord& row, net::PartitionId row_partition) const {
+    if (has_partition && row_partition != partition) return false;
+    if (!owner.empty() && row.owner != owner) return false;
+    return true;
+  }
+  std::size_t wire_bytes() const noexcept { return owner.size() + 16; }
+};
+
+/// Detector export: one node's physical + application state.
+struct DbReportMsg final : net::Message {
+  NodeRecord node_record;
+  std::vector<AppRecord> apps;
+
+  std::string_view type() const noexcept override { return "db.report"; }
+  std::size_t wire_size() const noexcept override {
+    std::size_t n = NodeRecord::kWireBytes;
+    for (const auto& a : apps) n += a.wire_bytes();
+    return n;
+  }
+};
+
+/// Cluster-wide usage aggregates (what GridView's Figure-6 dashboard shows).
+struct UsageSummary {
+  std::size_t node_count = 0;
+  std::size_t alive_count = 0;
+  double avg_cpu_pct = 0.0;
+  double avg_mem_pct = 0.0;
+  double avg_swap_pct = 0.0;
+  std::size_t app_count = 0;
+};
+
+UsageSummary summarize(const std::vector<NodeRecord>& nodes,
+                       const std::vector<AppRecord>& apps);
+
+/// Merges `from` into `into` (weighted means; used when partition instances
+/// aggregate locally and only summaries travel to the access point).
+void merge_summary(UsageSummary& into, const UsageSummary& from);
+
+struct DbQueryMsg final : net::Message {
+  std::uint64_t query_id = 0;
+  BulletinTable table = BulletinTable::kBoth;
+  bool cluster_scope = true;  // false: this partition only
+  /// Aggregation pushdown: every instance summarizes locally and only the
+  /// UsageSummary travels back — constant-size replies at any cluster size.
+  bool aggregate_only = false;
+  BulletinFilter filter;
+  net::Address reply_to;
+
+  std::string_view type() const noexcept override { return "db.query"; }
+  std::size_t wire_size() const noexcept override {
+    return 24 + filter.wire_bytes();
+  }
+};
+
+/// Peer-to-peer leg of a cluster-scope query.
+struct DbPartitionQueryMsg final : net::Message {
+  std::uint64_t query_id = 0;
+  BulletinTable table = BulletinTable::kBoth;
+  bool aggregate_only = false;
+  BulletinFilter filter;
+  net::Address reply_to;
+
+  std::string_view type() const noexcept override { return "db.partition_query"; }
+  std::size_t wire_size() const noexcept override {
+    return 24 + filter.wire_bytes();
+  }
+};
+
+struct DbQueryReplyMsg final : net::Message {
+  std::uint64_t query_id = 0;
+  std::vector<NodeRecord> node_rows;
+  std::vector<AppRecord> app_rows;
+  bool aggregated = false;
+  UsageSummary summary;  // valid when aggregated
+  std::uint32_t partitions_included = 1;
+
+  std::string_view type() const noexcept override { return "db.query_reply"; }
+  std::size_t wire_size() const noexcept override {
+    std::size_t n = 24 + node_rows.size() * NodeRecord::kWireBytes;
+    for (const auto& a : app_rows) n += a.wire_bytes();
+    if (aggregated) n += 48;
+    return n;
+  }
+};
+
+class DataBulletin final : public cluster::Daemon {
+ public:
+  DataBulletin(cluster::Cluster& cluster, net::NodeId node,
+               net::PartitionId partition, const FtParams& params,
+               ServiceDirectory* directory, double cpu_share = 0.0);
+
+  net::PartitionId partition() const noexcept { return partition_; }
+
+  /// How long a cluster-scope query waits for slow/dead peers.
+  void set_query_timeout(sim::SimTime t) noexcept { query_timeout_ = t; }
+
+  /// Rows not refreshed within this horizon are marked not-alive, and rows
+  /// twice as old are evicted (a crashed node's detector stops reporting).
+  /// 0 disables the sweep. Default: 6x the detector sampling interval.
+  void set_staleness_horizon(sim::SimTime t);
+
+  // --- local API ----------------------------------------------------------
+
+  void report_local(const NodeRecord& record, std::vector<AppRecord> apps);
+  std::vector<NodeRecord> node_rows() const;
+  std::vector<AppRecord> app_rows() const;
+  std::vector<NodeRecord> node_rows(const BulletinFilter& filter) const;
+  std::vector<AppRecord> app_rows(const BulletinFilter& filter) const;
+  std::size_t node_row_count() const noexcept { return node_table_.size(); }
+
+  /// One staleness sweep now (also runs periodically while started).
+  void sweep_stale();
+
+ private:
+  void handle(const net::Envelope& env) override;
+  void on_start() override;
+  void on_stop() override;
+  void handle_query(const DbQueryMsg& q);
+  void finish_query(std::uint64_t local_id);
+
+  struct PendingQuery {
+    net::Address reply_to;
+    std::uint64_t query_id = 0;  // caller's id
+    BulletinTable table = BulletinTable::kBoth;
+    bool aggregate_only = false;
+    std::vector<NodeRecord> node_rows;
+    std::vector<AppRecord> app_rows;
+    UsageSummary summary;
+    std::uint32_t partitions_included = 1;
+    std::size_t awaiting = 0;
+    bool done = false;
+  };
+
+  net::PartitionId partition_;
+  const FtParams& params_;
+  ServiceDirectory* directory_;
+  sim::SimTime query_timeout_ = 500 * sim::kMillisecond;
+  sim::SimTime staleness_horizon_ = 0;  // set from params in constructor
+  sim::PeriodicTask sweeper_;
+  std::unordered_map<std::uint32_t, NodeRecord> node_table_;       // by node id
+  std::unordered_map<std::uint32_t, std::vector<AppRecord>> app_table_;  // by node id
+  std::unordered_map<std::uint64_t, PendingQuery> pending_;
+  std::uint64_t next_local_id_ = 1;
+};
+
+}  // namespace phoenix::kernel

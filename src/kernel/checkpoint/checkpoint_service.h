@@ -1,0 +1,219 @@
+// Checkpoint service (paper §4.2, §4.4).
+//
+// One instance per partition, on the partition's server node; the instances
+// form a federation. Upper-layer services save their own state here and
+// retrieve it after a restart or migration. Writes replicate to the next
+// `replication_factor - 1` partitions in ring order, so a service migrated
+// to a different node — even a different partition's checkpoint instance —
+// can recover its state by asking the federation.
+//
+// Serving a load costs a disk-read delay (local) or a replicated-segment
+// scan delay (federation fetch); both are FtParams knobs calibrated to the
+// paper's measured recovery constants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/daemon.h"
+#include "kernel/ft_params.h"
+#include "kernel/service_kind.h"
+#include "kernel/service_msgs.h"
+#include "net/message.h"
+
+namespace phoenix::kernel {
+
+struct CheckpointSaveMsg final : net::Message {
+  std::string service;  // owning service, e.g. "es/3"
+  std::string key;
+  std::string data;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "ckpt.save"; }
+  std::size_t wire_size() const noexcept override {
+    return service.size() + key.size() + data.size() + 16;
+  }
+};
+
+struct CheckpointSaveReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  std::uint64_t version = 0;
+
+  std::string_view type() const noexcept override { return "ckpt.save_reply"; }
+  std::size_t wire_size() const noexcept override { return 16; }
+};
+
+struct CheckpointReplicateMsg final : net::Message {
+  std::string service;
+  std::string key;
+  std::string data;
+  std::uint64_t version = 0;
+  bool deleted = false;
+
+  std::string_view type() const noexcept override { return "ckpt.replicate"; }
+  std::size_t wire_size() const noexcept override {
+    return service.size() + key.size() + data.size() + 17;
+  }
+};
+
+struct CheckpointLoadMsg final : net::Message {
+  std::string service;
+  std::string key;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "ckpt.load"; }
+  std::size_t wire_size() const noexcept override {
+    return service.size() + key.size() + 16;
+  }
+};
+
+struct CheckpointLoadReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  bool found = false;
+  std::string data;
+  std::uint64_t version = 0;
+
+  std::string_view type() const noexcept override { return "ckpt.load_reply"; }
+  std::size_t wire_size() const noexcept override { return data.size() + 25; }
+};
+
+/// Peer-to-peer fetch inside the federation (a load that missed locally).
+struct CheckpointFetchMsg final : net::Message {
+  std::string service;
+  std::string key;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "ckpt.fetch"; }
+  std::size_t wire_size() const noexcept override {
+    return service.size() + key.size() + 16;
+  }
+};
+
+struct CheckpointDeleteMsg final : net::Message {
+  std::string service;
+  std::string key;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "ckpt.delete"; }
+  std::size_t wire_size() const noexcept override {
+    return service.size() + key.size() + 16;
+  }
+};
+
+struct CheckpointDeleteReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  bool existed = false;
+
+  std::string_view type() const noexcept override { return "ckpt.delete_reply"; }
+  std::size_t wire_size() const noexcept override { return 9; }
+};
+
+/// Lists the keys a service has saved at this instance.
+struct CheckpointListMsg final : net::Message {
+  std::string service;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "ckpt.list"; }
+  std::size_t wire_size() const noexcept override { return service.size() + 16; }
+};
+
+struct CheckpointListReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  std::vector<std::string> keys;
+
+  std::string_view type() const noexcept override { return "ckpt.list_reply"; }
+  std::size_t wire_size() const noexcept override {
+    std::size_t n = 16;
+    for (const auto& k : keys) n += k.size() + 1;
+    return n;
+  }
+};
+
+/// Deletes a service's entire namespace ("deleting system state", §4.2).
+struct CheckpointDeleteNamespaceMsg final : net::Message {
+  std::string service;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "ckpt.delete_ns"; }
+  std::size_t wire_size() const noexcept override { return service.size() + 16; }
+};
+
+struct CheckpointDeleteNamespaceReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  std::uint64_t removed = 0;
+
+  std::string_view type() const noexcept override { return "ckpt.delete_ns_reply"; }
+  std::size_t wire_size() const noexcept override { return 16; }
+};
+
+class CheckpointService final : public cluster::Daemon {
+ public:
+  CheckpointService(cluster::Cluster& cluster, net::NodeId node,
+                    net::PartitionId partition, const FtParams& params,
+                    ServiceDirectory* directory, double cpu_share = 0.0);
+
+  net::PartitionId partition() const noexcept { return partition_; }
+
+  /// Writes replicate to this many instances total (including this one).
+  void set_replication_factor(std::size_t r) noexcept { replication_factor_ = r; }
+
+  // --- local API ----------------------------------------------------------
+
+  std::uint64_t save_local(const std::string& service, const std::string& key,
+                           std::string data, bool replicate = true);
+  std::optional<std::string> load_local(const std::string& service,
+                                        const std::string& key) const;
+  bool delete_local(const std::string& service, const std::string& key,
+                    bool replicate = true);
+  std::size_t entry_count() const noexcept { return store_.size(); }
+
+  /// Keys a service has saved at this instance, sorted.
+  std::vector<std::string> list_keys(const std::string& service) const;
+
+  /// Deletes every key of a service ("deleting system state", paper §4.2),
+  /// replicated across the federation. Returns the local count removed.
+  std::size_t delete_namespace(const std::string& service, bool replicate = true);
+
+ private:
+  void handle(const net::Envelope& env) override;
+  void on_start() override;
+  void replicate(const std::string& service, const std::string& key,
+                 const std::string& data, std::uint64_t version, bool deleted);
+  std::vector<net::Address> federation_peers() const;
+
+  struct Entry {
+    std::string data;
+    std::uint64_t version = 0;
+  };
+
+  struct PendingLoad {
+    net::Address reply_to;
+    std::uint64_t request_id = 0;
+    std::size_t awaiting = 0;
+    bool answered = false;
+  };
+  void finish_load(std::uint64_t fetch_id);
+
+  net::PartitionId partition_;
+  const FtParams& params_;
+  ServiceDirectory* directory_;
+  std::size_t replication_factor_ = 2;
+  std::map<std::pair<std::string, std::string>, Entry> store_;
+  std::uint64_t next_version_ = 1;
+  std::unordered_map<std::uint64_t, PendingLoad> pending_loads_;
+  std::uint64_t next_fetch_id_ = 1;
+};
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,78 @@
+#include "kernel/config/configuration_service.h"
+
+#include <memory>
+
+#include "kernel/service_kind.h"
+
+namespace phoenix::kernel {
+
+ConfigurationService::ConfigurationService(cluster::Cluster& cluster,
+                                           net::NodeId node, double cpu_share)
+    : Daemon(cluster, "config", node, port_of(ServiceKind::kConfiguration),
+             cpu_share) {}
+
+void ConfigurationService::introspect() {
+  const auto& spec = cluster().spec();
+  set("hardware/partitions", std::to_string(spec.partitions));
+  set("hardware/nodes", std::to_string(spec.total_nodes()));
+  set("hardware/networks", std::to_string(spec.networks));
+  set("hardware/nodes_per_partition", std::to_string(spec.nodes_per_partition()));
+  for (const auto& n : cluster().nodes()) {
+    const std::string base = "hardware/node/" + std::to_string(n.id().value);
+    set(base + "/role", std::string(cluster::to_string(n.role())));
+    set(base + "/partition", std::to_string(n.partition().value));
+    set(base + "/cpus", std::to_string(n.cpus()));
+    set(base + "/arch", n.arch());
+  }
+}
+
+std::optional<std::string> ConfigurationService::get(const std::string& key) const {
+  auto it = tree_.find(key);
+  if (it == tree_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::uint64_t ConfigurationService::set(const std::string& key, std::string value) {
+  const std::uint64_t v = ++version_;
+  tree_[key] = Entry{std::move(value), v};
+  if (change_hook_) change_hook_(key, tree_[key].value, v);
+  return v;
+}
+
+bool ConfigurationService::erase(const std::string& key) {
+  return tree_.erase(key) > 0;
+}
+
+std::vector<std::string> ConfigurationService::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = tree_.lower_bound(prefix); it != tree_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void ConfigurationService::handle(const net::Envelope& env) {
+  if (const auto* get_msg = net::message_cast<ConfigGetMsg>(*env.message)) {
+    auto reply = std::make_shared<ConfigGetReplyMsg>();
+    reply->request_id = get_msg->request_id;
+    reply->key = get_msg->key;
+    if (auto v = get(get_msg->key)) {
+      reply->found = true;
+      reply->value = *v;
+      reply->version = tree_.at(get_msg->key).version;
+    }
+    send_any(get_msg->reply_to, std::move(reply));
+    return;
+  }
+  if (const auto* set_msg = net::message_cast<ConfigSetMsg>(*env.message)) {
+    auto reply = std::make_shared<ConfigSetReplyMsg>();
+    reply->request_id = set_msg->request_id;
+    reply->version = set(set_msg->key, set_msg->value);
+    send_any(set_msg->reply_to, std::move(reply));
+    return;
+  }
+}
+
+}  // namespace phoenix::kernel

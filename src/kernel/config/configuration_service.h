@@ -1,0 +1,105 @@
+// Configuration service (paper §4.2).
+//
+// One instance per cluster. Holds a versioned key/value tree describing
+// physical resources, kernel services, and user environments; populates the
+// hardware branch by self-introspection of the cluster; serves get/set over
+// messages and notifies subscribers of changes through the event service.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/daemon.h"
+#include "net/message.h"
+
+namespace phoenix::kernel {
+
+/// Request/response message pair for reads.
+struct ConfigGetMsg final : net::Message {
+  std::string key;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "config.get"; }
+  std::size_t wire_size() const noexcept override { return key.size() + 16; }
+};
+
+struct ConfigGetReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  bool found = false;
+  std::string key;
+  std::string value;
+  std::uint64_t version = 0;
+
+  std::string_view type() const noexcept override { return "config.get_reply"; }
+  std::size_t wire_size() const noexcept override {
+    return key.size() + value.size() + 24;
+  }
+};
+
+struct ConfigSetMsg final : net::Message {
+  std::string key;
+  std::string value;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "config.set"; }
+  std::size_t wire_size() const noexcept override {
+    return key.size() + value.size() + 16;
+  }
+};
+
+struct ConfigSetReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  std::uint64_t version = 0;
+
+  std::string_view type() const noexcept override { return "config.set_reply"; }
+  std::size_t wire_size() const noexcept override { return 16; }
+};
+
+class ConfigurationService final : public cluster::Daemon {
+ public:
+  /// Callback invoked on every successful set (the kernel bridges this to a
+  /// "config.changed" event through the event service).
+  using ChangeHook = std::function<void(const std::string& key,
+                                        const std::string& value,
+                                        std::uint64_t version)>;
+
+  ConfigurationService(cluster::Cluster& cluster, net::NodeId node,
+                       double cpu_share = 0.0);
+
+  // --- local API (used in-process by kernel components and tests) --------
+
+  /// Scans the cluster and fills the "hardware/..." branch: node count,
+  /// partition layout, per-node role/cpus, network count.
+  void introspect();
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::uint64_t set(const std::string& key, std::string value);
+  bool erase(const std::string& key);
+
+  /// All keys under the given prefix, sorted.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  std::uint64_t version() const noexcept { return version_; }
+  std::size_t size() const noexcept { return tree_.size(); }
+
+  void set_change_hook(ChangeHook hook) { change_hook_ = std::move(hook); }
+
+ private:
+  void handle(const net::Envelope& env) override;
+
+  struct Entry {
+    std::string value;
+    std::uint64_t version;
+  };
+  std::map<std::string, Entry> tree_;
+  std::uint64_t version_ = 0;
+  ChangeHook change_hook_;
+};
+
+}  // namespace phoenix::kernel

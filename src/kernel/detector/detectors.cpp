@@ -1,0 +1,104 @@
+#include "kernel/detector/detectors.h"
+
+#include <utility>
+
+#include "kernel/event/event_service.h"
+
+namespace phoenix::kernel {
+
+DetectorDaemon::DetectorDaemon(cluster::Cluster& cluster, net::NodeId node,
+                               const FtParams& params, ServiceDirectory* directory,
+                               double cpu_share)
+    : Daemon(cluster, "detector", node, port_of(ServiceKind::kDetector), cpu_share),
+      params_(params),
+      directory_(directory),
+      sampler_(cluster.engine(), params.detector_sample_interval, [this] { sample(); }) {}
+
+void DetectorDaemon::on_start() {
+  sampler_.set_period(params_.detector_sample_interval);
+  // Stagger the first sample so a thousand detectors do not fire in the
+  // same microsecond (self-synchronization would be unrealistic).
+  sampler_.start_after(engine().rng().uniform_int(1, params_.detector_sample_interval));
+}
+
+void DetectorDaemon::on_stop() { sampler_.stop(); }
+
+void DetectorDaemon::publish(Event event) {
+  if (directory_ == nullptr) return;
+  auto pub = std::make_shared<EsPublishMsg>();
+  pub->event = std::move(event);
+  const auto partition = cluster().partition_of(node_id());
+  send_any(directory_->service_address(ServiceKind::kEventService, partition),
+           std::move(pub));
+}
+
+void DetectorDaemon::sample() {
+  if (!alive()) return;
+  ++samples_;
+  const auto& node = cluster().node(node_id());
+  const auto partition = cluster().partition_of(node_id());
+
+  NodeRecord record;
+  record.node = node_id();
+  record.partition = partition;
+  record.usage = node.resources();
+  record.alive = true;
+  record.updated_at = now();
+
+  std::vector<AppRecord> apps;
+  std::unordered_map<cluster::Pid, cluster::ProcessState> current;
+  for (const auto& p : node.processes()) {
+    current[p.pid] = p.state;
+    if (p.owner != "kernel" && p.state == cluster::ProcessState::kRunning) {
+      apps.push_back(AppRecord{
+          .node = node_id(),
+          .pid = p.pid,
+          .name = p.name,
+          .owner = p.owner,
+          .state = p.state,
+          .cpu_share = p.cpu_share,
+          .started_at = p.started_at,
+      });
+    }
+    // Application state transitions -> events.
+    const auto it = last_states_.find(p.pid);
+    if (p.owner != "kernel") {
+      if (it == last_states_.end() && p.state == cluster::ProcessState::kRunning) {
+        Event e;
+        e.type = std::string(event_types::kAppStarted);
+        e.subject_node = node_id();
+        e.partition = partition;
+        e.attrs = {{"pid", std::to_string(p.pid)}, {"name", p.name}, {"owner", p.owner}};
+        publish(std::move(e));
+      } else if (it != last_states_.end() &&
+                 it->second == cluster::ProcessState::kRunning &&
+                 p.state != cluster::ProcessState::kRunning) {
+        Event e;
+        e.type = std::string(event_types::kAppExited);
+        e.subject_node = node_id();
+        e.partition = partition;
+        e.attrs = {{"pid", std::to_string(p.pid)},
+                   {"name", p.name},
+                   {"owner", p.owner},
+                   {"state", std::string(cluster::to_string(p.state))},
+                   {"exit_code", std::to_string(p.exit_code)}};
+        publish(std::move(e));
+      }
+    }
+  }
+  last_states_ = std::move(current);
+
+  if (directory_ != nullptr) {
+    auto report = std::make_shared<DbReportMsg>();
+    report->node_record = record;
+    report->apps = std::move(apps);
+    send_any(directory_->service_address(ServiceKind::kDataBulletin, partition),
+             std::move(report));
+  }
+}
+
+void DetectorDaemon::handle(const net::Envelope& env) {
+  (void)env;  // detectors are push-only
+}
+
+}  // namespace phoenix::kernel

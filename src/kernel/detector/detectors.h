@@ -1,0 +1,50 @@
+// Detector services (paper §4.2).
+//
+// One detector daemon per node hosting the four logical detectors:
+//  - physical resource detector: samples CPU/memory/swap/disk/net gauges and
+//    exports them to the partition's data bulletin (schedulers feed on this);
+//  - application state detector: exports the process table and publishes
+//    app.started / app.exited events (the business runtime and PWS feed on
+//    this);
+//  - node state and network state detection are realized on the GSD side by
+//    analysing the watch daemon's per-network heartbeats (§4.3), so this
+//    daemon carries no explicit logic for them.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "cluster/daemon.h"
+#include "kernel/bulletin/data_bulletin.h"
+#include "kernel/event/event.h"
+#include "kernel/ft_params.h"
+#include "kernel/service_kind.h"
+
+namespace phoenix::kernel {
+
+class DetectorDaemon final : public cluster::Daemon {
+ public:
+  DetectorDaemon(cluster::Cluster& cluster, net::NodeId node,
+                 const FtParams& params, ServiceDirectory* directory,
+                 double cpu_share = 0.0);
+
+  /// Forces one sampling pass immediately (tests / benches).
+  void sample_now() { sample(); }
+
+  std::uint64_t samples_taken() const noexcept { return samples_; }
+
+ private:
+  void handle(const net::Envelope& env) override;
+  void on_start() override;
+  void on_stop() override;
+  void sample();
+  void publish(Event event);
+
+  const FtParams& params_;
+  ServiceDirectory* directory_;
+  sim::PeriodicTask sampler_;
+  std::unordered_map<cluster::Pid, cluster::ProcessState> last_states_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,90 @@
+// Event model for the Phoenix event service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace phoenix::kernel {
+
+/// Well-known event types pushed by kernel services.
+namespace event_types {
+inline constexpr std::string_view kNodeFailed = "node.failed";
+inline constexpr std::string_view kNodeRecovered = "node.recovered";
+inline constexpr std::string_view kNetworkFailed = "network.failed";
+inline constexpr std::string_view kNetworkRecovered = "network.recovered";
+inline constexpr std::string_view kServiceFailed = "service.failed";
+inline constexpr std::string_view kServiceRecovered = "service.recovered";
+inline constexpr std::string_view kGsdMigrated = "gsd.migrated";
+inline constexpr std::string_view kAppStarted = "app.started";
+inline constexpr std::string_view kAppExited = "app.exited";
+inline constexpr std::string_view kConfigChanged = "config.changed";
+}  // namespace event_types
+
+struct Event {
+  std::string type;
+  net::NodeId subject_node{};        // node the event is about (optional)
+  net::PartitionId partition{};      // partition the event originated in
+  sim::SimTime timestamp = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  // Identity assigned by the publishing event-service instance.
+  std::uint32_t origin_es = 0;
+  std::uint64_t seq = 0;
+
+  /// Attribute lookup; empty string when absent.
+  std::string attr(std::string_view key) const {
+    for (const auto& [k, v] : attrs) {
+      if (k == key) return v;
+    }
+    return {};
+  }
+
+  std::size_t wire_bytes() const noexcept {
+    std::size_t n = type.size() + 32;
+    for (const auto& [k, v] : attrs) n += k.size() + v.size() + 2;
+    return n;
+  }
+};
+
+/// A consumer's registration: which event types (empty = all) and which
+/// attribute values (all listed pairs must match) it wants delivered.
+/// A type entry ending in ".*" matches every type with that prefix (so
+/// "node.*" covers node.failed and node.recovered); a lone "*" matches all.
+struct Subscription {
+  net::Address consumer;
+  std::vector<std::string> types;                              // empty = all
+  std::vector<std::pair<std::string, std::string>> attr_filters;
+
+  static bool type_matches(std::string_view pattern, std::string_view type) {
+    if (pattern == "*") return true;
+    if (pattern.size() >= 2 && pattern.substr(pattern.size() - 2) == ".*") {
+      const std::string_view prefix = pattern.substr(0, pattern.size() - 1);
+      return type.size() >= prefix.size() && type.substr(0, prefix.size()) == prefix;
+    }
+    return pattern == type;
+  }
+
+  bool matches(const Event& e) const {
+    if (!types.empty()) {
+      bool hit = false;
+      for (const auto& t : types) {
+        if (type_matches(t, e.type)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) return false;
+    }
+    for (const auto& [k, v] : attr_filters) {
+      if (e.attr(k) != v) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,251 @@
+#include "kernel/event/event_service.h"
+
+#include <sstream>
+#include <utility>
+
+namespace phoenix::kernel {
+
+namespace {
+
+std::string encode_address(const net::Address& a) {
+  return std::to_string(a.node.value) + "," + std::to_string(a.port.value);
+}
+
+net::Address decode_address(const std::string& s) {
+  const auto comma = s.find(',');
+  if (comma == std::string::npos) return {};
+  try {
+    return {net::NodeId{static_cast<std::uint32_t>(std::stoul(s.substr(0, comma)))},
+            net::PortId{static_cast<std::uint16_t>(std::stoul(s.substr(comma + 1)))}};
+  } catch (const std::exception&) {
+    return {};  // corrupted checkpoint entry
+  }
+}
+
+}  // namespace
+
+EventService::EventService(cluster::Cluster& cluster, net::NodeId node,
+                           net::PartitionId partition, const FtParams& params,
+                           ServiceDirectory* directory, double cpu_share)
+    : Daemon(cluster, "es/" + std::to_string(partition.value), node,
+             port_of(ServiceKind::kEventService), cpu_share),
+      partition_(partition),
+      params_(params),
+      directory_(directory) {}
+
+void EventService::on_start() {
+  if (directory_ == nullptr) return;
+  // Recover the consumer registry from the checkpoint service, then report
+  // readiness to the partition's GSD. On a cold first start the load misses
+  // and we come up with an empty registry.
+  recovery_attempts_left_ = 5;
+  attempt_recovery_load();
+}
+
+void EventService::attempt_recovery_load() {
+  if (!alive()) return;
+  if (recovery_attempts_left_ <= 0) {
+    recovery_load_id_ = 0;
+    announce_up();  // give up on recovery: come up empty
+    return;
+  }
+  --recovery_attempts_left_;
+  recovery_load_id_ = engine().rng().next() | 1;
+  auto load = std::make_shared<CheckpointLoadMsg>();
+  load->service = "es/" + std::to_string(partition_.value);
+  load->key = "registry";
+  load->reply_to = address();
+  load->request_id = recovery_load_id_;
+  const auto cs =
+      directory_->service_address(ServiceKind::kCheckpointService, partition_);
+  send_any(cs, std::move(load));
+  // The checkpoint instance may itself still be starting (joint migration);
+  // retry until it answers or attempts run out.
+  const std::uint64_t this_try = recovery_load_id_;
+  engine().schedule_after(2 * sim::kSecond + params_.checkpoint_federation_fetch,
+                          [this, this_try] {
+                            if (recovery_load_id_ == this_try) attempt_recovery_load();
+                          });
+}
+
+void EventService::announce_up() {
+  if (directory_ == nullptr) return;
+  auto up = std::make_shared<ServiceUpMsg>();
+  up->kind = ServiceKind::kEventService;
+  up->partition = partition_;
+  up->service = address();
+  send_any(directory_->service_address(ServiceKind::kGroupService, partition_),
+           std::move(up));
+}
+
+void EventService::subscribe_local(Subscription sub, bool replicate) {
+  const net::Address consumer = sub.consumer;
+  subscriptions_[consumer] = std::move(sub);
+  checkpoint_registry();
+  if (replicate && directory_ != nullptr) {
+    for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
+      const net::PartitionId pid{static_cast<std::uint32_t>(p)};
+      if (pid == partition_) continue;
+      auto sync = std::make_shared<EsSyncMsg>();
+      sync->subscription = subscriptions_[consumer];
+      send_any(directory_->service_address(ServiceKind::kEventService, pid),
+               std::move(sync));
+    }
+  }
+}
+
+void EventService::unsubscribe_local(const net::Address& consumer, bool replicate) {
+  if (subscriptions_.erase(consumer) == 0) return;
+  checkpoint_registry();
+  if (replicate && directory_ != nullptr) {
+    for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
+      const net::PartitionId pid{static_cast<std::uint32_t>(p)};
+      if (pid == partition_) continue;
+      auto sync = std::make_shared<EsSyncMsg>();
+      sync->subscription.consumer = consumer;
+      sync->remove = true;
+      send_any(directory_->service_address(ServiceKind::kEventService, pid),
+               std::move(sync));
+    }
+  }
+}
+
+void EventService::set_history_limit(std::size_t n) {
+  history_limit_ = n;
+  while (history_.size() > history_limit_) history_.pop_front();
+}
+
+void EventService::publish_local(Event event) {
+  event.origin_es = partition_.value;
+  event.seq = next_seq_++;
+  if (event.timestamp == 0) event.timestamp = now();
+  for (const auto& [consumer, sub] : subscriptions_) {
+    if (!sub.matches(event)) continue;
+    auto notify = std::make_shared<EsNotifyMsg>();
+    notify->event = event;
+    send_any(consumer, std::move(notify));
+  }
+  if (history_limit_ > 0) {
+    history_.push_back(std::move(event));
+    while (history_.size() > history_limit_) history_.pop_front();
+  }
+}
+
+std::string EventService::serialize_registry() const {
+  std::ostringstream out;
+  for (const auto& [consumer, sub] : subscriptions_) {
+    out << encode_address(consumer) << '|';
+    for (std::size_t i = 0; i < sub.types.size(); ++i) {
+      if (i > 0) out << ';';
+      out << sub.types[i];
+    }
+    out << '|';
+    for (std::size_t i = 0; i < sub.attr_filters.size(); ++i) {
+      if (i > 0) out << ';';
+      out << sub.attr_filters[i].first << '=' << sub.attr_filters[i].second;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void EventService::restore_registry(const std::string& data) {
+  subscriptions_.clear();
+  std::istringstream in(data);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto bar1 = line.find('|');
+    const auto bar2 = line.find('|', bar1 + 1);
+    if (bar1 == std::string::npos || bar2 == std::string::npos) continue;
+    Subscription sub;
+    sub.consumer = decode_address(line.substr(0, bar1));
+    if (!sub.consumer.valid() ||
+        sub.consumer.node.value >= cluster().node_count()) {
+      continue;  // corrupted entry: drop it rather than poisoning delivery
+    }
+
+    std::istringstream types(line.substr(bar1 + 1, bar2 - bar1 - 1));
+    std::string t;
+    while (std::getline(types, t, ';')) {
+      if (!t.empty()) sub.types.push_back(t);
+    }
+
+    std::istringstream filters(line.substr(bar2 + 1));
+    std::string f;
+    while (std::getline(filters, f, ';')) {
+      const auto eq = f.find('=');
+      if (eq != std::string::npos) {
+        sub.attr_filters.emplace_back(f.substr(0, eq), f.substr(eq + 1));
+      }
+    }
+    subscriptions_[sub.consumer] = std::move(sub);
+  }
+}
+
+void EventService::checkpoint_registry() {
+  if (directory_ == nullptr) return;
+  auto save = std::make_shared<CheckpointSaveMsg>();
+  save->service = "es/" + std::to_string(partition_.value);
+  save->key = "registry";
+  save->data = serialize_registry();
+  send_any(directory_->service_address(ServiceKind::kCheckpointService, partition_),
+           std::move(save));
+}
+
+void EventService::handle(const net::Envelope& env) {
+  const net::Message& m = *env.message;
+
+  if (const auto* sub = net::message_cast<EsSubscribeMsg>(m)) {
+    if (sub->remove) {
+      unsubscribe_local(sub->subscription.consumer);
+    } else {
+      subscribe_local(sub->subscription);
+    }
+    return;
+  }
+  if (const auto* reg = net::message_cast<EsRegisterSupplierMsg>(m)) {
+    if (reg->remove) {
+      suppliers_.erase(reg->supplier);
+    } else {
+      suppliers_[reg->supplier] = reg->types;
+    }
+    return;
+  }
+  if (const auto* pub = net::message_cast<EsPublishMsg>(m)) {
+    publish_local(pub->event);
+    return;
+  }
+  if (const auto* replay = net::message_cast<EsReplayMsg>(m)) {
+    for (const Event& e : history_) {
+      if (e.seq <= replay->after_seq) continue;
+      if (!replay->subscription.matches(e)) continue;
+      auto notify = std::make_shared<EsNotifyMsg>();
+      notify->event = e;
+      send_any(replay->subscription.consumer, std::move(notify));
+    }
+    return;
+  }
+  if (const auto* sync = net::message_cast<EsSyncMsg>(m)) {
+    if (sync->remove) {
+      subscriptions_.erase(sync->subscription.consumer);
+    } else {
+      subscriptions_[sync->subscription.consumer] = sync->subscription;
+    }
+    checkpoint_registry();
+    return;
+  }
+  if (const auto* lr = net::message_cast<CheckpointLoadReplyMsg>(m)) {
+    if (lr->request_id != recovery_load_id_) return;
+    recovery_load_id_ = 0;
+    if (lr->found) restore_registry(lr->data);
+    announce_up();
+    // Establish a registry checkpoint immediately (even when empty), so the
+    // next recovery's load hits the warm local segment instead of scanning
+    // the federation.
+    checkpoint_registry();
+    return;
+  }
+}
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,90 @@
+// Fault-handling measurement log.
+//
+// Group service daemons append a record per handled fault with timestamps
+// for each phase. The fault-injection benches (Tables 1-3) combine these
+// with the known injection times to report detect / diagnose / recover
+// durations exactly the way the paper does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace phoenix::kernel {
+
+enum class FaultKind : std::uint8_t {
+  kProcessFailure,   // a daemon died, its node is fine
+  kNodeFailure,      // the whole node is unreachable
+  kNetworkFailure,   // one interface is down, the node is fine
+};
+
+std::string_view to_string(FaultKind kind) noexcept;
+
+struct FaultRecord {
+  std::string component;          // "WD", "GSD", "ES", "DB", "CS", extension name
+  FaultKind kind;
+  net::NodeId node;               // node the fault was located on
+  net::PartitionId partition;     // partition the fault belongs to
+  net::NetworkId network;         // valid for kNetworkFailure only
+  sim::SimTime last_seen_at = 0;  // last sign of life before the anomaly
+                                  // (the outage's estimated start; 0 = unknown)
+  sim::SimTime detected_at = 0;   // anomaly first noticed
+  sim::SimTime diagnosed_at = 0;  // classification complete
+  sim::SimTime recovered_at = 0;  // service back up (== diagnosed_at when no recovery action)
+  bool recovered = false;         // recovery phase completed
+};
+
+class FaultLog {
+ public:
+  void append(FaultRecord record) { records_.push_back(std::move(record)); }
+
+  /// Marks the newest matching non-recovered record as recovered at `t`.
+  /// Returns false when no matching record exists.
+  bool mark_recovered(const std::string& component, net::NodeId node,
+                      sim::SimTime t) {
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+      if (!it->recovered && it->component == component && it->node == node) {
+        it->recovered = true;
+        it->recovered_at = t;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Same, but matched by partition (used after migrations, where the
+  /// recovered instance runs on a different node than the failed one).
+  bool mark_recovered_partition(const std::string& component,
+                                net::PartitionId partition, sim::SimTime t) {
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+      if (!it->recovered && it->component == component &&
+          it->partition == partition) {
+        it->recovered = true;
+        it->recovered_at = t;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<FaultRecord>& records() const noexcept { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Newest record matching component (and kind, when given).
+  std::optional<FaultRecord> last(const std::string& component,
+                                  std::optional<FaultKind> kind = {}) const {
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+      if (it->component == component && (!kind || it->kind == *kind)) return *it;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace phoenix::kernel

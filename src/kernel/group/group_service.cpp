@@ -1,0 +1,989 @@
+#include "kernel/group/group_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "kernel/checkpoint/checkpoint_service.h"
+#include "kernel/event/event_service.h"
+#include "kernel/ppm/process_manager.h"
+
+namespace phoenix::kernel {
+
+namespace {
+constexpr sim::SimTime kJoinRetryPeriod = 2 * sim::kSecond;
+}  // namespace
+
+GroupServiceDaemon::GroupServiceDaemon(cluster::Cluster& cluster, net::NodeId node,
+                                       net::PartitionId partition,
+                                       const FtParams& params,
+                                       ServiceDirectory* directory, FaultLog* log,
+                                       std::vector<SupervisedSpec> default_supervised,
+                                       double cpu_share)
+    : Daemon(cluster, "gsd/" + std::to_string(partition.value), node,
+             port_of(ServiceKind::kGroupService), cpu_share),
+      partition_(partition),
+      params_(params),
+      directory_(directory),
+      log_(log),
+      supervised_(std::move(default_supervised)),
+      partition_checker_(cluster.engine(), params.heartbeat_interval,
+                         [this] { check_partition(); }),
+      meta_checker_(cluster.engine(), params.heartbeat_interval,
+                    [this] { check_meta(); }),
+      service_checker_(cluster.engine(), params.heartbeat_interval,
+                       [this] { check_services(); }),
+      ring_beater_(cluster.engine(), params.heartbeat_interval,
+                   [this] { send_ring_heartbeat(); }),
+      join_retrier_(cluster.engine(), kJoinRetryPeriod, [this] { try_rejoin(); }) {}
+
+void GroupServiceDaemon::set_initial_view(MetaView view) {
+  view_ = std::move(view);
+  joined_ = view_.contains(partition_);
+  booted_with_view_ = true;
+  pred_partition_ = net::PartitionId{};
+}
+
+bool GroupServiceDaemon::is_leader() const {
+  auto l = view_.leader();
+  return l && l->partition == partition_ && joined_;
+}
+
+bool GroupServiceDaemon::is_princess() const {
+  auto p = view_.princess();
+  return p && p->partition == partition_ && joined_;
+}
+
+void GroupServiceDaemon::supervise(SupervisedSpec spec) {
+  for (auto& existing : supervised_) {
+    if (existing.component == spec.component) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  supervised_.push_back(std::move(spec));
+}
+
+GroupServiceDaemon::NodeStatus GroupServiceDaemon::node_status(net::NodeId node) const {
+  auto it = watches_.find(node.value);
+  return it == watches_.end() ? NodeStatus::kHealthy : it->second.status;
+}
+
+void GroupServiceDaemon::on_start() {
+  // Members seeded at cluster boot carry incarnation 0; every restart or
+  // migration gets a strictly larger one so tombstones can tell them apart.
+  incarnation_ = booted_with_view_ ? 0 : std::max<std::uint64_t>(now(), 1);
+
+  // Fresh watch table: give every partition node a full grace period.
+  watches_.clear();
+  const std::size_t nets = cluster().fabric().network_count();
+  for (net::NodeId n : cluster().partition_nodes(partition_)) {
+    NodeWatch watch;
+    watch.last_per_net.assign(nets, now());
+    watch.net_failed.assign(nets, false);
+    watches_.emplace(n.value, std::move(watch));
+  }
+  pred_last_per_net_.assign(nets, now());
+  pred_net_failed_.assign(nets, false);
+  pred_diagnosing_ = false;
+  probes_.clear();
+  pending_recoveries_.clear();
+  service_recovering_.clear();
+
+  const sim::SimTime interval = params_.heartbeat_interval;
+  // Heartbeat staleness is judged against interval + grace, but the SCAN
+  // runs at grace granularity so a missed heartbeat is noticed promptly
+  // (paper §5.1: detection time ~= the heartbeat interval, not a multiple
+  // of it). Supervision of local services stays at the full interval — the
+  // paper's Table 3 measures a 30 s detection for a dead event service.
+  const sim::SimTime scan =
+      std::max<sim::SimTime>(params_.heartbeat_grace, 50 * sim::kMillisecond);
+  partition_checker_.set_period(scan);
+  meta_checker_.set_period(scan);
+  service_checker_.set_period(interval);
+  ring_beater_.set_period(interval);
+  partition_checker_.start_after(interval + params_.heartbeat_grace +
+                                 1 * sim::kMillisecond);
+  meta_checker_.start_after(interval + params_.heartbeat_grace +
+                            2 * sim::kMillisecond);
+  service_checker_.start_after(interval + 3 * sim::kMillisecond);
+  ring_beater_.start_after(engine().rng().uniform_int(1, 10 * sim::kMillisecond));
+
+  announce_to_partition();
+
+  futile_join_attempts_ = 0;
+  if (booted_with_view_ && !started_before_) {
+    // Cluster boot: the kernel seeded the full view; nothing to recover.
+    // Persist it so a later in-place restart recovers from the warm local
+    // checkpoint segment instead of scanning the federation.
+    booted_with_view_ = false;
+    checkpoint_state();
+  } else if (bootstrap_requested_ && !started_before_) {
+    // Ring founder (staged construction): start a singleton meta-group.
+    bootstrap_requested_ = false;
+    MetaView v;
+    v.view_id = 1;
+    v.members = {MetaMember{partition_, address(), incarnation_}};
+    view_ = std::move(v);
+    joined_ = true;
+    checkpoint_state();
+  } else {
+    // Restart or migration: recover the last view, then rejoin the ring.
+    booted_with_view_ = false;
+    joined_ = false;
+    fetch_state_and_join();
+  }
+  started_before_ = true;
+}
+
+void GroupServiceDaemon::on_stop() {
+  partition_checker_.stop();
+  meta_checker_.stop();
+  service_checker_.stop();
+  ring_beater_.stop();
+  join_retrier_.stop();
+}
+
+void GroupServiceDaemon::publish(Event e) {
+  if (directory_ == nullptr) return;
+  e.partition = partition_;
+  auto msg = std::make_shared<EsPublishMsg>();
+  msg->event = std::move(e);
+  send_any(directory_->service_address(ServiceKind::kEventService, partition_),
+           std::move(msg));
+}
+
+void GroupServiceDaemon::announce_to_partition() {
+  // Every WD re-points its heartbeats — including the one on our own node,
+  // which matters after a migration (it was beating the dead server).
+  for (net::NodeId n : cluster().partition_nodes(partition_)) {
+    auto announce = std::make_shared<GsdAnnounceMsg>();
+    announce->gsd = address();
+    announce->partition = partition_;
+    send_any({n, port_of(ServiceKind::kWatchDaemon)}, std::move(announce));
+  }
+}
+
+void GroupServiceDaemon::checkpoint_state() {
+  if (directory_ == nullptr) return;
+  auto save = std::make_shared<CheckpointSaveMsg>();
+  save->service = "gsd/" + std::to_string(partition_.value);
+  save->key = "view";
+  save->data = view_.serialize();
+  send_any(directory_->service_address(ServiceKind::kCheckpointService, partition_),
+           std::move(save));
+}
+
+// --- partition (WD) monitoring ----------------------------------------------
+
+void GroupServiceDaemon::handle_heartbeat(const HeartbeatMsg& hb,
+                                          net::NetworkId network) {
+  ++heartbeats_received_;
+  auto it = watches_.find(hb.node.value);
+  if (it == watches_.end()) return;  // not one of ours
+  NodeWatch& watch = it->second;
+  if (network.value >= watch.last_per_net.size()) return;
+  watch.last_per_net[network.value] = now();
+
+  if (watch.net_failed[network.value]) {
+    watch.net_failed[network.value] = false;
+    Event e;
+    e.type = std::string(event_types::kNetworkRecovered);
+    e.subject_node = hb.node;
+    e.attrs = {{"network", std::to_string(network.value)}};
+    publish(std::move(e));
+  }
+  if (watch.status == NodeStatus::kNodeFailed) {
+    watch.status = NodeStatus::kHealthy;
+    Event e;
+    e.type = std::string(event_types::kNodeRecovered);
+    e.subject_node = hb.node;
+    publish(std::move(e));
+  } else if (watch.status == NodeStatus::kProcessFailed) {
+    // The restarted WD is beating again.
+    watch.status = NodeStatus::kHealthy;
+    if (log_ != nullptr && log_->mark_recovered("WD", hb.node, now())) {
+      Event e;
+      e.type = std::string(event_types::kServiceRecovered);
+      e.subject_node = hb.node;
+      e.attrs = {{"service", "WD"}};
+      publish(std::move(e));
+    }
+  }
+}
+
+void GroupServiceDaemon::check_partition() {
+  if (!alive()) return;
+  const sim::SimTime threshold = params_.heartbeat_interval + params_.heartbeat_grace;
+  // Single-network classification may require several consecutive misses
+  // (lossy-fabric tolerance); node-level silence always uses one interval.
+  const sim::SimTime net_threshold =
+      params_.network_miss_rounds * params_.heartbeat_interval +
+      params_.heartbeat_grace;
+  for (auto& [node_value, watch] : watches_) {
+    const net::NodeId node{node_value};
+    if (watch.diagnosing || watch.status == NodeStatus::kNodeFailed ||
+        watch.status == NodeStatus::kProcessFailed) {
+      continue;
+    }
+    std::size_t fresh = 0;
+    for (sim::SimTime last : watch.last_per_net) {
+      if (now() - last <= threshold) ++fresh;
+    }
+    if (fresh == watch.last_per_net.size()) continue;
+
+    if (fresh == 0) {
+      begin_node_diagnosis(node);
+      continue;
+    }
+    // Some interfaces deliver and some do not: single-network failures.
+    for (std::size_t n = 0; n < watch.last_per_net.size(); ++n) {
+      if (now() - watch.last_per_net[n] > net_threshold && !watch.net_failed[n]) {
+        watch.net_failed[n] = true;
+        diagnose_network_failure(node, net::NetworkId{static_cast<std::uint8_t>(n)},
+                                 now(), "WD", watch.last_per_net[n]);
+      }
+    }
+  }
+}
+
+void GroupServiceDaemon::diagnose_network_failure(net::NodeId node,
+                                                  net::NetworkId network,
+                                                  sim::SimTime detected_at,
+                                                  const char* component,
+                                                  sim::SimTime last_seen_at) {
+  // Diagnosis is pure analysis of the per-network arrival table.
+  engine().schedule_after(
+      params_.network_analysis_time,
+      [this, node, network, detected_at, component, last_seen_at] {
+        if (!alive()) return;
+        if (log_ != nullptr) {
+          log_->append(FaultRecord{
+              .component = component,
+              .kind = FaultKind::kNetworkFailure,
+              .node = node,
+              .partition = cluster().partition_of(node),
+              .network = network,
+              .last_seen_at = last_seen_at,
+              .detected_at = detected_at,
+              .diagnosed_at = now(),
+              .recovered_at = now(),  // one of three networks: nothing to repair
+              .recovered = true,
+          });
+        }
+        Event e;
+        e.type = std::string(event_types::kNetworkFailed);
+        e.subject_node = node;
+        e.attrs = {{"network", std::to_string(network.value)},
+                   {"component", component}};
+        publish(std::move(e));
+      });
+}
+
+void GroupServiceDaemon::begin_node_diagnosis(net::NodeId node) {
+  trace(sim::TraceLevel::kWarn,
+        "node " + std::to_string(node.value) + " silent on every network; probing");
+  NodeWatch& watch = watches_.at(node.value);
+  watch.status = NodeStatus::kSuspect;
+  watch.diagnosing = true;
+  const std::uint64_t id = next_probe_id_++;
+  Probe probe;
+  probe.node = node;
+  probe.attempts_left = params_.node_probe_attempts;
+  probe.meta = false;
+  probe.detected_at = now();
+  probe.started_at = now();
+  probe.last_seen_at =
+      *std::max_element(watch.last_per_net.begin(), watch.last_per_net.end());
+  probes_.emplace(id, probe);
+  probe_attempt(id);
+}
+
+void GroupServiceDaemon::probe_attempt(std::uint64_t probe_id) {
+  if (!alive()) return;
+  auto it = probes_.find(probe_id);
+  if (it == probes_.end() || it->second.answered) return;
+  Probe& probe = it->second;
+
+  if (probe.attempts_left == 0) {
+    // Every attempt timed out: the node is dead.
+    if (probe.meta) {
+      const MetaMember member = probe.meta_member;
+      const sim::SimTime detected = probe.detected_at;
+      const sim::SimTime last_seen = probe.last_seen_at;
+      probes_.erase(it);
+      conclude_meta_failure(member, /*node_dead=*/true, detected, last_seen);
+    } else {
+      const net::NodeId node = probe.node;
+      const sim::SimTime detected = probe.detected_at;
+      const sim::SimTime last_seen = probe.last_seen_at;
+      probes_.erase(it);
+      conclude_node_failure(node, detected, last_seen);
+    }
+    return;
+  }
+
+  --probe.attempts_left;
+  auto msg = std::make_shared<ProbeMsg>();
+  msg->reply_to = address();
+  msg->probe_id = probe_id;
+  send_all_networks(ppm_at(probe.node), std::move(msg));
+  const sim::SimTime timeout =
+      probe.meta ? params_.meta_probe_timeout : params_.node_probe_timeout;
+  engine().schedule_after(timeout, [this, probe_id] { probe_attempt(probe_id); });
+}
+
+void GroupServiceDaemon::conclude_wd_process_failure(net::NodeId node,
+                                                     sim::SimTime detected_at,
+                                                     sim::SimTime last_seen_at) {
+  if (!alive()) return;
+  trace(sim::TraceLevel::kWarn,
+        "diagnosed WD process failure on node " + std::to_string(node.value) +
+            "; restarting via PPM");
+  auto wit = watches_.find(node.value);
+  if (wit != watches_.end()) {
+    wit->second.status = NodeStatus::kProcessFailed;
+    wit->second.diagnosing = false;
+  }
+  if (log_ != nullptr) {
+    log_->append(FaultRecord{
+        .component = "WD",
+        .kind = FaultKind::kProcessFailure,
+        .node = node,
+        .partition = partition_,
+        .network = net::NetworkId{},
+        .last_seen_at = last_seen_at,
+        .detected_at = detected_at,
+        .diagnosed_at = now(),
+    });
+  }
+  Event e;
+  e.type = std::string(event_types::kServiceFailed);
+  e.subject_node = node;
+  e.attrs = {{"service", "WD"}};
+  publish(std::move(e));
+
+  // Recovery: have the node's PPM restart the watch daemon.
+  const std::uint64_t rid = next_request_id_++;
+  pending_recoveries_[rid] = PendingRecovery{"WD", node};
+  auto restart = std::make_shared<StartServiceMsg>();
+  restart->kind = ServiceKind::kWatchDaemon;
+  restart->partition = partition_;
+  restart->create = false;
+  restart->reply_to = address();
+  restart->request_id = rid;
+  send_any(ppm_at(node), std::move(restart));
+}
+
+void GroupServiceDaemon::conclude_node_failure(net::NodeId node,
+                                               sim::SimTime detected_at,
+                                               sim::SimTime last_seen_at) {
+  if (!alive()) return;
+  trace(sim::TraceLevel::kWarn,
+        "diagnosed node failure: node " + std::to_string(node.value));
+  auto wit = watches_.find(node.value);
+  if (wit != watches_.end()) {
+    wit->second.status = NodeStatus::kNodeFailed;
+    wit->second.diagnosing = false;
+  }
+  if (log_ != nullptr) {
+    // The WD is the node's representative: with the node gone there is
+    // nothing to migrate, so recovery is complete at diagnosis (paper §5.1).
+    log_->append(FaultRecord{
+        .component = "WD",
+        .kind = FaultKind::kNodeFailure,
+        .node = node,
+        .partition = partition_,
+        .network = net::NetworkId{},
+        .last_seen_at = last_seen_at,
+        .detected_at = detected_at,
+        .diagnosed_at = now(),
+        .recovered_at = now(),
+        .recovered = true,
+    });
+  }
+  Event e;
+  e.type = std::string(event_types::kNodeFailed);
+  e.subject_node = node;
+  publish(std::move(e));
+}
+
+// --- meta-group ---------------------------------------------------------------
+
+void GroupServiceDaemon::send_ring_heartbeat() {
+  if (!alive() || !joined_ || view_.members.size() < 2) return;
+  auto succ = view_.successor_of(partition_);
+  if (!succ) return;
+  auto hb = std::make_shared<RingHeartbeatMsg>();
+  hb->from_partition = partition_;
+  hb->view_id = view_.view_id;
+  hb->seq = ++ring_seq_;
+  send_all_networks(succ->gsd, std::move(hb));
+}
+
+void GroupServiceDaemon::check_meta() {
+  if (!alive() || !joined_ || view_.members.size() < 2 || pred_diagnosing_) return;
+  auto pred = view_.predecessor_of(partition_);
+  if (!pred) return;
+  if (pred->partition != pred_partition_) {
+    // Predecessor changed since the last check; restart the grace window.
+    pred_partition_ = pred->partition;
+    std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+    std::fill(pred_net_failed_.begin(), pred_net_failed_.end(), false);
+    return;
+  }
+  const sim::SimTime threshold = params_.heartbeat_interval + params_.heartbeat_grace;
+  std::size_t fresh = 0;
+  for (sim::SimTime last : pred_last_per_net_) {
+    if (now() - last <= threshold) ++fresh;
+  }
+  if (fresh == pred_last_per_net_.size()) return;
+
+  if (fresh == 0) {
+    pred_diagnosing_ = true;
+    const std::uint64_t id = next_probe_id_++;
+    Probe probe;
+    probe.node = pred->gsd.node;
+    probe.attempts_left = 1;
+    probe.meta = true;
+    probe.detected_at = now();
+    probe.started_at = now();
+    probe.last_seen_at =
+        *std::max_element(pred_last_per_net_.begin(), pred_last_per_net_.end());
+    probe.meta_member = *pred;
+    probes_.emplace(id, probe);
+    probe_attempt(id);
+    return;
+  }
+  const sim::SimTime net_threshold =
+      params_.network_miss_rounds * params_.heartbeat_interval +
+      params_.heartbeat_grace;
+  for (std::size_t n = 0; n < pred_last_per_net_.size(); ++n) {
+    if (now() - pred_last_per_net_[n] > net_threshold && !pred_net_failed_[n]) {
+      pred_net_failed_[n] = true;
+      diagnose_network_failure(pred->gsd.node,
+                               net::NetworkId{static_cast<std::uint8_t>(n)}, now(),
+                               "GSD", pred_last_per_net_[n]);
+    }
+  }
+}
+
+void GroupServiceDaemon::conclude_meta_failure(const MetaMember& pred, bool node_dead,
+                                               sim::SimTime detected_at,
+                                               sim::SimTime last_seen_at) {
+  if (!alive()) return;
+  pred_diagnosing_ = false;
+  // Only remove the exact member we diagnosed: if the partition's entry was
+  // replaced in the meantime (planned handover, concurrent recovery), the
+  // stale diagnosis must not expel the new instance.
+  const auto diagnosed_idx = view_.index_of(pred.partition);
+  if (!diagnosed_idx || !(view_.members[*diagnosed_idx] == pred)) return;
+  if (!node_dead && pred.partition == pred_partition_) {
+    // Confirmation round: a ring heartbeat since detection exonerates it.
+    for (sim::SimTime last : pred_last_per_net_) {
+      if (last > detected_at) return;
+    }
+  }
+
+  const sim::SimTime diagnosed_at = now();
+  const FaultKind kind =
+      node_dead ? FaultKind::kNodeFailure : FaultKind::kProcessFailure;
+  if (log_ != nullptr) {
+    log_->append(FaultRecord{
+        .component = "GSD",
+        .kind = kind,
+        .node = pred.gsd.node,
+        .partition = pred.partition,
+        .network = net::NetworkId{},
+        .last_seen_at = last_seen_at,
+        .detected_at = detected_at,
+        .diagnosed_at = diagnosed_at,
+    });
+    if (node_dead) {
+      // The server node carried the partition's kernel services too.
+      for (const char* component : {"ES", "DB", "CS"}) {
+        log_->append(FaultRecord{
+            .component = component,
+            .kind = FaultKind::kNodeFailure,
+            .node = pred.gsd.node,
+            .partition = pred.partition,
+            .network = net::NetworkId{},
+            .last_seen_at = last_seen_at,
+            .detected_at = detected_at,
+            .diagnosed_at = diagnosed_at,
+        });
+      }
+    }
+  }
+  {
+    Event e;
+    e.type = std::string(node_dead ? event_types::kNodeFailed
+                                   : event_types::kServiceFailed);
+    e.subject_node = pred.gsd.node;
+    e.attrs = {{"service", "GSD"},
+               {"failed_partition", std::to_string(pred.partition.value)}};
+    publish(std::move(e));
+  }
+
+  // View change: drop the failed member and tell the survivors.
+  tombstones_[pred.partition.value] =
+      std::max(tombstones_[pred.partition.value], pred.incarnation);
+  MetaView next = view_;
+  next.remove(pred.partition);
+  ++next.view_id;
+  apply_view(next);
+  broadcast_view();
+
+  // Recovery of the failed partition.
+  if (!node_dead) {
+    auto restart = std::make_shared<StartServiceMsg>();
+    restart->kind = ServiceKind::kGroupService;
+    restart->partition = pred.partition;
+    restart->create = false;
+    restart->request_id = next_request_id_++;
+    send_any(ppm_at(pred.gsd.node), std::move(restart));
+  } else {
+    migrate_partition(pred);
+  }
+}
+
+void GroupServiceDaemon::migrate_partition(const MetaMember& failed) {
+  engine().schedule_after(params_.migration_select_time, [this, failed] {
+    if (!alive() || directory_ == nullptr) return;
+    const auto targets = directory_->migration_targets(failed.partition);
+    if (targets.empty()) {
+      Event e;
+      e.type = "partition.lost";
+      e.attrs = {{"partition", std::to_string(failed.partition.value)}};
+      publish(std::move(e));
+      return;
+    }
+    trace(sim::TraceLevel::kWarn,
+          "migrating partition " + std::to_string(failed.partition.value) +
+              " services from node " + std::to_string(failed.gsd.node.value) +
+              " to node " + std::to_string(targets.front().value));
+    auto start = std::make_shared<StartServiceMsg>();
+    start->kind = ServiceKind::kGroupService;
+    start->partition = failed.partition;
+    start->create = true;
+    start->request_id = next_request_id_++;
+    send_any(ppm_at(targets.front()), std::move(start));
+    Event e;
+    e.type = std::string(event_types::kGsdMigrated);
+    e.subject_node = targets.front();
+    e.attrs = {{"partition", std::to_string(failed.partition.value)},
+               {"from_node", std::to_string(failed.gsd.node.value)},
+               {"to_node", std::to_string(targets.front().value)}};
+    publish(std::move(e));
+  });
+}
+
+void GroupServiceDaemon::apply_view(MetaView incoming) {
+  if (incoming.view_id < view_.view_id) return;
+  if (incoming.view_id == view_.view_id) {
+    const std::string mine = view_.serialize();
+    const std::string theirs = incoming.serialize();
+    if (theirs == mine) return;
+    // Equal-id conflict (e.g. two concurrent ring founders): pick a
+    // deterministic winner — more members first, then serialization order —
+    // so every member converges on the same view.
+    if (incoming.members.size() < view_.members.size()) return;
+    if (incoming.members.size() == view_.members.size() && theirs > mine) return;
+  }
+
+  // Drop members our tombstones say are dead (stale entries from slow views).
+  std::erase_if(incoming.members, [this](const MetaMember& m) {
+    auto it = tombstones_.find(m.partition.value);
+    return it != tombstones_.end() && m.incarnation <= it->second;
+  });
+
+  trace(sim::TraceLevel::kInfo,
+        "applying view " + std::to_string(incoming.view_id) + " with " +
+            std::to_string(incoming.members.size()) + " members");
+  const MetaView old = std::exchange(view_, std::move(incoming));
+
+  joined_ = false;
+  for (const MetaMember& m : view_.members) {
+    if (m.partition == partition_ && m.incarnation == incarnation_) joined_ = true;
+  }
+  if (joined_) {
+    join_retrier_.stop();
+  } else if (running()) {
+    // Expelled by someone's view change (e.g. a stale diagnosis): get back
+    // in rather than silently running outside the ring.
+    join_retrier_.start_after(kJoinRetryPeriod);
+  }
+
+  // Predecessor may have changed; reset its grace window if so.
+  auto pred = view_.predecessor_of(partition_);
+  const net::PartitionId new_pred = pred ? pred->partition : net::PartitionId{};
+  if (new_pred != pred_partition_) {
+    pred_partition_ = new_pred;
+    std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+    std::fill(pred_net_failed_.begin(), pred_net_failed_.end(), false);
+    pred_diagnosing_ = false;
+  }
+
+  // A member that is new or re-incarnated relative to the old view means a
+  // GSD recovery completed; close its fault record (first applier wins).
+  for (const MetaMember& m : view_.members) {
+    auto old_idx = old.index_of(m.partition);
+    const bool changed =
+        !old_idx || !(old.members[*old_idx].gsd == m.gsd &&
+                      old.members[*old_idx].incarnation == m.incarnation);
+    if (changed && log_ != nullptr &&
+        log_->mark_recovered_partition("GSD", m.partition, now())) {
+      Event e;
+      e.type = std::string(event_types::kServiceRecovered);
+      e.subject_node = m.gsd.node;
+      e.attrs = {{"service", "GSD"},
+                 {"partition", std::to_string(m.partition.value)}};
+      publish(std::move(e));
+    }
+  }
+
+  checkpoint_state();
+}
+
+void GroupServiceDaemon::broadcast_view() {
+  for (const MetaMember& m : view_.members) {
+    if (m.partition == partition_) continue;
+    auto msg = std::make_shared<ViewChangeMsg>();
+    msg->view = view_;
+    send_any(m.gsd, std::move(msg));
+  }
+}
+
+void GroupServiceDaemon::handle_join(const MetaJoinMsg& join) {
+  const MetaMember& member = join.member;
+  if (member.partition == partition_) return;
+
+  if (!is_leader()) {
+    // Forward to the current leader.
+    auto leader = view_.leader();
+    if (leader && leader->partition != partition_) {
+      auto fwd = std::make_shared<MetaJoinMsg>();
+      fwd->member = member;
+      send_any(leader->gsd, std::move(fwd));
+    }
+    return;
+  }
+
+  auto tomb = tombstones_.find(member.partition.value);
+  if (tomb != tombstones_.end() && member.incarnation <= tomb->second) return;
+
+  auto existing = view_.index_of(member.partition);
+  if (existing) {
+    const MetaMember& cur = view_.members[*existing];
+    if (cur.incarnation >= member.incarnation) {
+      // Duplicate join: re-send the current view so the joiner learns it.
+      auto msg = std::make_shared<ViewChangeMsg>();
+      msg->view = view_;
+      send_any(member.gsd, std::move(msg));
+      return;
+    }
+  }
+
+  MetaView next = view_;
+  next.remove(member.partition);
+  next.members.push_back(member);  // rejoiners go to the tail (paper's order)
+  ++next.view_id;
+  apply_view(next);
+  broadcast_view();
+  // The joiner may not be in our broadcast path if apply_view dropped it;
+  // send the view directly too.
+  auto msg = std::make_shared<ViewChangeMsg>();
+  msg->view = view_;
+  send_any(member.gsd, std::move(msg));
+}
+
+void GroupServiceDaemon::try_rejoin() {
+  if (!alive() || joined_ || directory_ == nullptr) return;
+  if (++futile_join_attempts_ > 10) {
+    // Nobody answered ten rounds of joins: the ring is gone (or we are the
+    // first GSD up). Found a fresh singleton group; others will join it.
+    futile_join_attempts_ = 0;
+    join_retrier_.stop();
+    MetaView v;
+    v.view_id = view_.view_id + 1;
+    v.members = {MetaMember{partition_, address(), incarnation_}};
+    view_ = std::move(v);
+    joined_ = true;
+    checkpoint_state();
+    return;
+  }
+  auto join = std::make_shared<MetaJoinMsg>();
+  join->member = MetaMember{partition_, address(), incarnation_};
+  for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
+    const net::PartitionId pid{static_cast<std::uint32_t>(p)};
+    if (pid == partition_) continue;
+    send_any(directory_->service_address(ServiceKind::kGroupService, pid), join);
+  }
+}
+
+void GroupServiceDaemon::fetch_state_and_join() {
+  if (directory_ == nullptr) {
+    joined_ = true;
+    return;
+  }
+  if (directory_->partition_count() == 1) {
+    // Nothing to rejoin; adopt a singleton view.
+    MetaView v;
+    v.view_id = view_.view_id + 1;
+    v.members = {MetaMember{partition_, address(), incarnation_}};
+    view_ = v;
+    joined_ = true;
+    check_services();
+    return;
+  }
+
+  // Ask both our own partition's checkpoint instance (fast path after an
+  // in-place restart) and the ring replica (survives server-node death).
+  const std::uint64_t load_id = engine().rng().next() | 1;
+  auto send_load = [this, load_id](net::PartitionId target) {
+    auto load = std::make_shared<CheckpointLoadMsg>();
+    load->service = "gsd/" + std::to_string(partition_.value);
+    load->key = "view";
+    load->reply_to = address();
+    load->request_id = load_id;
+    send_any(directory_->service_address(ServiceKind::kCheckpointService, target),
+             std::move(load));
+  };
+  send_load(partition_);
+  send_load(net::PartitionId{static_cast<std::uint32_t>(
+      (partition_.value + 1) % directory_->partition_count())});
+  state_load_id_ = load_id;
+
+  // Whether or not the state fetch answers, keep trying to join; and bring
+  // local services back regardless.
+  join_retrier_.start_after(params_.checkpoint_federation_fetch +
+                            500 * sim::kMillisecond);
+}
+
+void GroupServiceDaemon::check_services() {
+  if (!alive() || directory_ == nullptr) return;
+  bool created_cs_this_pass = false;
+
+  // Checkpoint entries first: every other service recovers its state
+  // through the checkpoint service, so it must come back before them.
+  std::vector<const SupervisedSpec*> ordered;
+  for (const auto& s : supervised_) {
+    if (s.kind == ServiceKind::kCheckpointService) ordered.push_back(&s);
+  }
+  for (const auto& s : supervised_) {
+    if (s.kind != ServiceKind::kCheckpointService) ordered.push_back(&s);
+  }
+
+  for (const SupervisedSpec* spec : ordered) {
+    const net::Address addr{node_id(), spec->port};
+    cluster::Daemon* d = cluster().daemon_at(addr);
+    if (d != nullptr && d->alive()) continue;
+    if (service_recovering_[spec->component]) continue;
+
+    const bool create = (d == nullptr);  // no instance here: migrated partition
+    if (create && spec->kind != ServiceKind::kCheckpointService &&
+        created_cs_this_pass) {
+      continue;  // wait until the new checkpoint instance reports up
+    }
+
+    const sim::SimTime detected_at = now();
+    service_recovering_[spec->component] = true;
+    engine().schedule_after(
+        params_.local_diagnose_time,
+        [this, spec = *spec, detected_at, create] {
+          if (!alive()) return;
+          if (log_ != nullptr && !create) {
+            // In-place restarts are process failures; created instances
+            // belong to a node-failure record already logged by the
+            // migration initiator.
+            log_->append(FaultRecord{
+                .component = spec.component,
+                .kind = FaultKind::kProcessFailure,
+                .node = node_id(),
+                .partition = partition_,
+                .network = net::NetworkId{},
+                // Death happened between supervision checks; the previous
+                // check is the last confirmed sign of life.
+                .last_seen_at = detected_at > params_.heartbeat_interval
+                                    ? detected_at - params_.heartbeat_interval
+                                    : 0,
+                .detected_at = detected_at,
+                .diagnosed_at = now(),
+            });
+          }
+          Event e;
+          e.type = std::string(event_types::kServiceFailed);
+          e.subject_node = node_id();
+          e.attrs = {{"service", spec.component}};
+          publish(std::move(e));
+
+          auto start = std::make_shared<StartServiceMsg>();
+          start->kind = spec.kind;
+          start->extension = spec.extension;
+          start->extension_port = spec.port;
+          start->partition = partition_;
+          start->create = create;
+          start->request_id = next_request_id_++;
+          send_any(ppm_at(node_id()), std::move(start));
+        });
+    if (create && spec->kind == ServiceKind::kCheckpointService) {
+      created_cs_this_pass = true;
+    }
+  }
+}
+
+void GroupServiceDaemon::handle_service_up(const ServiceUpMsg& up) {
+  std::string component = up.extension;
+  if (component.empty()) {
+    switch (up.kind) {
+      case ServiceKind::kEventService: component = "ES"; break;
+      case ServiceKind::kDataBulletin: component = "DB"; break;
+      case ServiceKind::kCheckpointService: component = "CS"; break;
+      default: component = std::string(to_string(up.kind)); break;
+    }
+  }
+  service_recovering_[component] = false;
+  if (log_ != nullptr &&
+      log_->mark_recovered_partition(component, partition_, now())) {
+    Event e;
+    e.type = std::string(event_types::kServiceRecovered);
+    e.subject_node = up.service.node;
+    e.attrs = {{"service", component}};
+    publish(std::move(e));
+  }
+  if (up.kind == ServiceKind::kCheckpointService) {
+    // The checkpoint instance is back: bring up services waiting on it.
+    check_services();
+  }
+}
+
+// --- dispatch -----------------------------------------------------------------
+
+void GroupServiceDaemon::handle(const net::Envelope& env) {
+  const net::Message& m = *env.message;
+
+  if (const auto* hb = net::message_cast<HeartbeatMsg>(m)) {
+    handle_heartbeat(*hb, env.network);
+    return;
+  }
+  if (const auto* ring = net::message_cast<RingHeartbeatMsg>(m)) {
+    if (ring->from_partition == pred_partition_ &&
+        env.network.value < pred_last_per_net_.size()) {
+      pred_last_per_net_[env.network.value] = now();
+      if (pred_diagnosing_) {
+        // A live predecessor cancels any suspicion, including probes in flight.
+        pred_diagnosing_ = false;
+        std::erase_if(probes_, [&](const auto& kv) {
+          return kv.second.meta &&
+                 kv.second.meta_member.partition == ring->from_partition;
+        });
+      }
+      if (pred_net_failed_[env.network.value]) {
+        pred_net_failed_[env.network.value] = false;
+        Event e;
+        e.type = std::string(event_types::kNetworkRecovered);
+        e.subject_node = env.from.node;
+        e.attrs = {{"network", std::to_string(env.network.value)},
+                   {"component", "GSD"}};
+        publish(std::move(e));
+      }
+    }
+    return;
+  }
+  if (const auto* reply = net::message_cast<ProbeReplyMsg>(m)) {
+    auto it = probes_.find(reply->probe_id);
+    if (it == probes_.end() || it->second.answered) return;
+    it->second.answered = true;
+    const Probe probe = it->second;
+    probes_.erase(it);
+    if (probe.meta) {
+      if (reply->gsd_running) {
+        // The GSD process is alive on its node: the ring heartbeats were
+        // lost in transit, not a failure. Reset the grace window.
+        pred_diagnosing_ = false;
+        if (probe.meta_member.partition == pred_partition_) {
+          std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+        }
+        return;
+      }
+      // The node answered but its GSD is dead: one confirmation round
+      // before declaring the GSD process dead and reforming the ring.
+      engine().schedule_after(params_.process_confirm_delay, [this, probe] {
+        conclude_meta_failure(probe.meta_member, /*node_dead=*/false,
+                              probe.detected_at, probe.last_seen_at);
+      });
+    } else {
+      if (reply->wd_running) {
+        // False alarm (lost heartbeats): the WD process is alive.
+        auto wit = watches_.find(probe.node.value);
+        if (wit != watches_.end()) {
+          wit->second.diagnosing = false;
+          wit->second.status = NodeStatus::kHealthy;
+          std::fill(wit->second.last_per_net.begin(),
+                    wit->second.last_per_net.end(), now());
+        }
+        return;
+      }
+      // The node answered and its WD is dead. One more confirmation round
+      // before declaring it.
+      engine().schedule_after(params_.process_confirm_delay,
+                              [this, probe] {
+                                conclude_wd_process_failure(
+                                    probe.node, probe.detected_at,
+                                    probe.last_seen_at);
+                              });
+    }
+    return;
+  }
+  if (const auto* view = net::message_cast<ViewChangeMsg>(m)) {
+    apply_view(view->view);
+    return;
+  }
+  if (const auto* join = net::message_cast<MetaJoinMsg>(m)) {
+    handle_join(*join);
+    return;
+  }
+  if (const auto* up = net::message_cast<ServiceUpMsg>(m)) {
+    handle_service_up(*up);
+    return;
+  }
+  if (const auto* sreply = net::message_cast<StartServiceReplyMsg>(m)) {
+    auto it = pending_recoveries_.find(sreply->request_id);
+    if (it == pending_recoveries_.end()) return;
+    const PendingRecovery rec = it->second;
+    pending_recoveries_.erase(it);
+    if (!sreply->ok) return;
+    if (log_ != nullptr && log_->mark_recovered(rec.component, rec.node, now())) {
+      Event e;
+      e.type = std::string(event_types::kServiceRecovered);
+      e.subject_node = rec.node;
+      e.attrs = {{"service", rec.component}};
+      publish(std::move(e));
+    }
+    if (rec.component == "WD") {
+      auto wit = watches_.find(rec.node.value);
+      if (wit != watches_.end() && wit->second.status == NodeStatus::kProcessFailed) {
+        wit->second.status = NodeStatus::kHealthy;
+      }
+    }
+    return;
+  }
+  if (const auto* lr = net::message_cast<CheckpointLoadReplyMsg>(m)) {
+    if (lr->request_id != state_load_id_ || state_load_id_ == 0) return;
+    state_load_id_ = 0;
+    if (lr->found) {
+      MetaView recovered = MetaView::deserialize(lr->data);
+      // The recovered view predates our death; adopt it as a hint for the
+      // membership we are rejoining (addresses of live members).
+      if (recovered.view_id >= view_.view_id) {
+        recovered.remove(partition_);  // our old entry is stale
+        view_ = std::move(recovered);
+      }
+    }
+    try_rejoin();
+    join_retrier_.start_after(kJoinRetryPeriod);
+    check_services();
+    return;
+  }
+}
+
+}  // namespace phoenix::kernel

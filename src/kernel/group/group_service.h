@@ -1,0 +1,204 @@
+// Group Service Daemon — GSD (paper §4.3, §4.4).
+//
+// One GSD per partition, hosted on the partition's server node. It is the
+// kernel component that solves scalability and high availability at once:
+//
+//  * Partition monitoring: receives the watch daemons' per-network
+//    heartbeats and classifies anomalies into process / node / network
+//    failures by probing the suspected node's PPM daemon. Recoveries are
+//    ordered through PPM (restart WD in place; nothing to do for a dead
+//    compute node; single-NIC failures are only reported — each node has
+//    three networks, so one loss is not fatal).
+//
+//  * Meta-group membership: the GSDs form a ring (join order; Leader is
+//    the first member, Princess the second). Each member ring-heartbeats
+//    its successor over all networks and monitors its predecessor. The
+//    member next to a failed member removes it from the view, broadcasts
+//    the new view, and recovers the failed partition: restart the GSD in
+//    place (process death) or migrate it — and the partition's ES/CS/DB —
+//    to a backup node (server-node death).
+//
+//  * Service supervision: kernel services (and registered extension
+//    services such as the PWS scheduler) on the GSD's node are liveness-
+//    checked every heartbeat interval; dead ones are restarted through PPM
+//    and recover their state from the checkpoint service.
+//
+// All fault handling is journaled into the shared FaultLog with detection /
+// diagnosis / recovery timestamps — the raw data behind Tables 1-3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/daemon.h"
+#include "kernel/event/event.h"
+#include "kernel/fault_log.h"
+#include "kernel/ft_params.h"
+#include "kernel/group/meta_group.h"
+#include "kernel/group/watch_daemon.h"
+#include "kernel/service_kind.h"
+#include "kernel/service_msgs.h"
+
+namespace phoenix::kernel {
+
+/// A service the GSD supervises on its own node.
+struct SupervisedSpec {
+  std::string component;   // fault-log label: "ES", "DB", "CS", extension name
+  ServiceKind kind = ServiceKind::kEventService;
+  std::string extension;   // non-empty: extension service (port from spec)
+  net::PortId port;        // mailbox port of the supervised instance
+};
+
+class GroupServiceDaemon final : public cluster::Daemon {
+ public:
+  enum class NodeStatus : std::uint8_t {
+    kHealthy,
+    kSuspect,        // all-network silence, diagnosis in progress
+    kProcessFailed,  // WD dead, node alive, restart in flight
+    kNodeFailed,
+  };
+
+  GroupServiceDaemon(cluster::Cluster& cluster, net::NodeId node,
+                     net::PartitionId partition, const FtParams& params,
+                     ServiceDirectory* directory, FaultLog* log,
+                     std::vector<SupervisedSpec> default_supervised = {},
+                     double cpu_share = 0.0);
+
+  net::PartitionId partition() const noexcept { return partition_; }
+
+  /// Seeds the initial meta-group view (used at cluster boot so the ring
+  /// forms without a join storm).
+  void set_initial_view(MetaView view);
+
+  /// Marks this GSD as the ring founder: on start it forms a singleton view
+  /// immediately instead of searching for peers. Used by the system
+  /// construction tool's staged boot; later GSDs join incrementally.
+  void request_bootstrap() noexcept { bootstrap_requested_ = true; }
+
+  bool joined() const noexcept { return joined_; }
+
+  const MetaView& view() const noexcept { return view_; }
+  bool is_leader() const;
+  bool is_princess() const;
+  std::uint64_t incarnation() const noexcept { return incarnation_; }
+
+  /// Registers an extension service on this node for supervision.
+  void supervise(SupervisedSpec spec);
+
+  NodeStatus node_status(net::NodeId node) const;
+
+  /// Heartbeats received per node (tests).
+  std::uint64_t heartbeats_received() const noexcept { return heartbeats_received_; }
+
+ private:
+  void handle(const net::Envelope& env) override;
+  void on_start() override;
+  void on_stop() override;
+
+  // -- partition monitoring --
+  void handle_heartbeat(const HeartbeatMsg& hb, net::NetworkId network);
+  void check_partition();
+  void begin_node_diagnosis(net::NodeId node);
+  void probe_attempt(std::uint64_t probe_id);
+  void conclude_wd_process_failure(net::NodeId node, sim::SimTime detected_at,
+                                   sim::SimTime last_seen_at);
+  void conclude_node_failure(net::NodeId node, sim::SimTime detected_at,
+                             sim::SimTime last_seen_at);
+  void diagnose_network_failure(net::NodeId node, net::NetworkId network,
+                                sim::SimTime detected_at, const char* component,
+                                sim::SimTime last_seen_at);
+
+  // -- meta-group --
+  void send_ring_heartbeat();
+  void check_meta();
+  void conclude_meta_failure(const MetaMember& pred, bool node_dead,
+                             sim::SimTime detected_at, sim::SimTime last_seen_at);
+  void apply_view(MetaView incoming);
+  void broadcast_view();
+  void handle_join(const MetaJoinMsg& join);
+  void try_rejoin();
+  void fetch_state_and_join();
+  void migrate_partition(const MetaMember& failed);
+
+  // -- supervision --
+  void check_services();
+  void handle_service_up(const ServiceUpMsg& up);
+
+  // -- helpers --
+  void publish(Event e);
+  net::Address ppm_at(net::NodeId node) const {
+    return {node, port_of(ServiceKind::kProcessManager)};
+  }
+  void announce_to_partition();
+  void checkpoint_state();
+
+  net::PartitionId partition_;
+  const FtParams& params_;
+  ServiceDirectory* directory_;
+  FaultLog* log_;
+  std::uint64_t incarnation_ = 0;
+
+  // Partition (WD) monitoring state.
+  struct NodeWatch {
+    std::vector<sim::SimTime> last_per_net;  // last heartbeat per network
+    std::vector<bool> net_failed;            // per-network failure latched
+    NodeStatus status = NodeStatus::kHealthy;
+    bool diagnosing = false;
+  };
+  std::unordered_map<std::uint32_t, NodeWatch> watches_;
+  std::uint64_t heartbeats_received_ = 0;
+
+  // Probe bookkeeping (both WD diagnosis and meta-group cross-checks).
+  struct Probe {
+    net::NodeId node;
+    int attempts_left = 0;
+    bool meta = false;
+    sim::SimTime detected_at = 0;
+    sim::SimTime started_at = 0;
+    sim::SimTime last_seen_at = 0;
+    bool answered = false;
+    MetaMember meta_member;  // valid when meta
+  };
+  std::unordered_map<std::uint64_t, Probe> probes_;
+  std::uint64_t next_probe_id_ = 1;
+
+  // Recovery actions in flight, keyed by StartService request id.
+  struct PendingRecovery {
+    std::string component;
+    net::NodeId node;
+  };
+  std::unordered_map<std::uint64_t, PendingRecovery> pending_recoveries_;
+  std::uint64_t next_request_id_ = 1;
+
+  // Meta-group state.
+  MetaView view_;
+  std::uint64_t ring_seq_ = 0;
+  std::vector<sim::SimTime> pred_last_per_net_;
+  std::vector<bool> pred_net_failed_;
+  net::PartitionId pred_partition_{};
+  bool pred_diagnosing_ = false;
+  std::unordered_map<std::uint32_t, std::uint64_t> tombstones_;  // partition -> incarnation
+  bool joined_ = false;
+  bool booted_with_view_ = false;
+  bool bootstrap_requested_ = false;
+  bool started_before_ = false;
+  std::uint64_t state_load_id_ = 0;
+  int futile_join_attempts_ = 0;
+
+  // Supervised services.
+  std::vector<SupervisedSpec> supervised_;
+  std::unordered_map<std::string, bool> service_recovering_;  // by component
+
+  // Timers.
+  sim::PeriodicTask partition_checker_;
+  sim::PeriodicTask meta_checker_;
+  sim::PeriodicTask service_checker_;
+  sim::PeriodicTask ring_beater_;
+  sim::PeriodicTask join_retrier_;
+};
+
+}  // namespace phoenix::kernel

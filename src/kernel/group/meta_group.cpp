@@ -1,0 +1,46 @@
+#include "kernel/group/meta_group.h"
+
+#include <sstream>
+
+namespace phoenix::kernel {
+
+std::string MetaView::serialize() const {
+  std::ostringstream out;
+  out << view_id;
+  for (const auto& m : members) {
+    out << '|' << m.partition.value << ',' << m.gsd.node.value << ','
+        << m.gsd.port.value << ',' << m.incarnation;
+  }
+  return out.str();
+}
+
+MetaView MetaView::deserialize(const std::string& data) {
+  MetaView view;
+  std::istringstream in(data);
+  std::string field;
+  if (!std::getline(in, field, '|')) return view;
+  try {
+    view.view_id = std::stoull(field);
+  } catch (const std::exception&) {
+    return view;
+  }
+  while (std::getline(in, field, '|')) {
+    std::istringstream member(field);
+    std::string part, node, port, inc;
+    if (std::getline(member, part, ',') && std::getline(member, node, ',') &&
+        std::getline(member, port, ',') && std::getline(member, inc, ',')) {
+      try {
+        view.members.push_back(MetaMember{
+            net::PartitionId{static_cast<std::uint32_t>(std::stoul(part))},
+            net::Address{net::NodeId{static_cast<std::uint32_t>(std::stoul(node))},
+                         net::PortId{static_cast<std::uint16_t>(std::stoul(port))}},
+            std::stoull(inc)});
+      } catch (const std::exception&) {
+        // Skip malformed member entries rather than failing recovery.
+      }
+    }
+  }
+  return view;
+}
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,106 @@
+// Meta-group membership types (paper §4.3, Figure 3).
+//
+// The GSDs of all partitions form a meta-group arranged as a ring. The
+// member list is kept in JOIN order: the first member is the Leader, the
+// second the Princess. Each member sends ring heartbeats to its successor
+// and monitors its predecessor; the member next to a failed member takes
+// over (initiates the view change and the recovery of that partition).
+// A failed-and-recovered member rejoins at the tail, so leadership moves
+// exactly as the paper describes: Princess takes over a failed Leader, the
+// member next to a failed Princess becomes Princess, and so on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/message.h"
+
+namespace phoenix::kernel {
+
+struct MetaMember {
+  net::PartitionId partition;
+  net::Address gsd;
+  /// Start timestamp of the GSD instance; lets the membership protocol tell
+  /// a rejoined member from a stale view entry (tombstone comparison).
+  std::uint64_t incarnation = 0;
+
+  friend bool operator==(const MetaMember&, const MetaMember&) = default;
+};
+
+struct MetaView {
+  std::uint64_t view_id = 0;
+  std::vector<MetaMember> members;  // join order; [0]=Leader, [1]=Princess
+
+  std::optional<std::size_t> index_of(net::PartitionId p) const {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i].partition == p) return i;
+    }
+    return std::nullopt;
+  }
+
+  bool contains(net::PartitionId p) const { return index_of(p).has_value(); }
+
+  /// Successor / predecessor in ring order (list order, wrapping).
+  std::optional<MetaMember> successor_of(net::PartitionId p) const {
+    auto i = index_of(p);
+    if (!i || members.size() < 2) return std::nullopt;
+    return members[(*i + 1) % members.size()];
+  }
+  std::optional<MetaMember> predecessor_of(net::PartitionId p) const {
+    auto i = index_of(p);
+    if (!i || members.size() < 2) return std::nullopt;
+    return members[(*i + members.size() - 1) % members.size()];
+  }
+
+  std::optional<MetaMember> leader() const {
+    if (members.empty()) return std::nullopt;
+    return members.front();
+  }
+  std::optional<MetaMember> princess() const {
+    if (members.size() < 2) return std::nullopt;
+    return members[1];
+  }
+
+  bool remove(net::PartitionId p) {
+    auto i = index_of(p);
+    if (!i) return false;
+    members.erase(members.begin() + static_cast<std::ptrdiff_t>(*i));
+    return true;
+  }
+
+  std::string serialize() const;
+  static MetaView deserialize(const std::string& data);
+};
+
+/// Ring heartbeat: each member to its successor, over all networks.
+struct RingHeartbeatMsg final : net::Message {
+  net::PartitionId from_partition;
+  std::uint64_t view_id = 0;
+  std::uint64_t seq = 0;
+
+  std::string_view type() const noexcept override { return "meta.ring_heartbeat"; }
+  std::size_t wire_size() const noexcept override { return 24; }
+};
+
+/// View dissemination (initiator or leader -> all members).
+struct ViewChangeMsg final : net::Message {
+  MetaView view;
+
+  std::string_view type() const noexcept override { return "meta.view_change"; }
+  std::size_t wire_size() const noexcept override {
+    return 16 + view.members.size() * 12;
+  }
+};
+
+/// A restarted / migrated GSD asking to (re)join the meta-group.
+struct MetaJoinMsg final : net::Message {
+  MetaMember member;
+
+  std::string_view type() const noexcept override { return "meta.join"; }
+  std::size_t wire_size() const noexcept override { return 16; }
+};
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,46 @@
+#include "kernel/group/watch_daemon.h"
+
+namespace phoenix::kernel {
+
+WatchDaemon::WatchDaemon(cluster::Cluster& cluster, net::NodeId node,
+                         const FtParams& params, ServiceDirectory* directory,
+                         double cpu_share)
+    : Daemon(cluster, "wd", node, port_of(ServiceKind::kWatchDaemon), cpu_share),
+      params_(params),
+      directory_(directory),
+      beater_(cluster.engine(), params.heartbeat_interval, [this] { beat(); }) {}
+
+void WatchDaemon::on_start() {
+  if (directory_ != nullptr) {
+    gsd_ = directory_->service_address(ServiceKind::kGroupService,
+                                       cluster().partition_of(node_id()));
+  }
+  beater_.set_period(params_.heartbeat_interval);
+  // First heartbeat goes out almost immediately so a restarted WD announces
+  // itself to the GSD without waiting a full period.
+  beater_.start_after(engine().rng().uniform_int(1, 10 * sim::kMillisecond));
+}
+
+void WatchDaemon::on_stop() { beater_.stop(); }
+
+void WatchDaemon::beat() {
+  if (!alive() || !gsd_.valid()) return;
+  auto hb = std::make_shared<HeartbeatMsg>();
+  hb->node = node_id();
+  hb->seq = ++seq_;
+  hb->usage = cluster().node(node_id()).resources();
+  hb->sent_at = now();
+  last_sent_at_ = now();
+  send_all_networks(gsd_, std::move(hb));
+}
+
+void WatchDaemon::handle(const net::Envelope& env) {
+  if (const auto* announce = net::message_cast<GsdAnnounceMsg>(*env.message)) {
+    gsd_ = announce->gsd;
+    // Heartbeat the new GSD promptly so it sees this node as healthy.
+    beat();
+    return;
+  }
+}
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,70 @@
+// Watch daemon (paper §4.3).
+//
+// One WD per node. Every heartbeat interval it sends a heartbeat — carrying
+// the node's current resource gauges — to its partition's GSD through ALL
+// network interfaces of the node. The GSD tells nodes from links apart by
+// which interfaces the heartbeat arrived on. The WD is "the representative
+// of the hosting node": if the node dies the WD dies with it and migrating
+// it would be meaningless (paper, Table 1 discussion).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/daemon.h"
+#include "cluster/node.h"
+#include "kernel/ft_params.h"
+#include "kernel/service_kind.h"
+#include "net/message.h"
+
+namespace phoenix::kernel {
+
+struct HeartbeatMsg final : net::Message {
+  net::NodeId node;
+  std::uint64_t seq = 0;
+  cluster::ResourceUsage usage;
+  sim::SimTime sent_at = 0;
+
+  std::string_view type() const noexcept override { return "group.heartbeat"; }
+  std::size_t wire_size() const noexcept override {
+    return cluster::ResourceUsage::kWireBytes + 24;
+  }
+};
+
+/// Announcement a (re)started or migrated GSD broadcasts to its partition so
+/// every WD re-points its heartbeats.
+struct GsdAnnounceMsg final : net::Message {
+  net::Address gsd;
+  net::PartitionId partition;
+
+  std::string_view type() const noexcept override { return "group.gsd_announce"; }
+  std::size_t wire_size() const noexcept override { return 16; }
+};
+
+class WatchDaemon final : public cluster::Daemon {
+ public:
+  WatchDaemon(cluster::Cluster& cluster, net::NodeId node, const FtParams& params,
+              ServiceDirectory* directory, double cpu_share = 0.0);
+
+  /// Time the most recent heartbeat was sent (0 if none yet). The fault
+  /// benches inject failures right after a heartbeat, as the paper did.
+  sim::SimTime last_sent_at() const noexcept { return last_sent_at_; }
+  std::uint64_t heartbeats_sent() const noexcept { return seq_; }
+
+  net::Address gsd_address() const noexcept { return gsd_; }
+
+ private:
+  void handle(const net::Envelope& env) override;
+  void on_start() override;
+  void on_stop() override;
+  void beat();
+
+  const FtParams& params_;
+  ServiceDirectory* directory_;
+  sim::PeriodicTask beater_;
+  net::Address gsd_;
+  std::uint64_t seq_ = 0;
+  sim::SimTime last_sent_at_ = 0;
+};
+
+}  // namespace phoenix::kernel

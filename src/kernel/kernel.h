@@ -1,0 +1,148 @@
+// PhoenixKernel: the public facade of the Fire Phoenix kernel.
+//
+// Owns every kernel daemon, implements the ServiceDirectory used for
+// locating / creating / migrating per-partition service instances, and
+// boots the whole stack on a simulated cluster:
+//
+//   per node:       watch daemon, detector daemon, process manager
+//   per partition:  GSD, event service, checkpoint service, data bulletin
+//                   (all on the partition's server node)
+//   cluster-wide:   configuration service, security service (partition 0)
+//
+// User environments (PWS, GridView, ...) are built against this facade and
+// can register extension services for supervision and migration.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "kernel/bulletin/data_bulletin.h"
+#include "kernel/checkpoint/checkpoint_service.h"
+#include "kernel/config/configuration_service.h"
+#include "kernel/detector/detectors.h"
+#include "kernel/event/event_service.h"
+#include "kernel/fault_log.h"
+#include "kernel/ft_params.h"
+#include "kernel/group/group_service.h"
+#include "kernel/group/watch_daemon.h"
+#include "kernel/ppm/process_manager.h"
+#include "kernel/security/security_service.h"
+#include "kernel/service_kind.h"
+
+namespace phoenix::kernel {
+
+class PhoenixKernel final : public ServiceDirectory {
+ public:
+  explicit PhoenixKernel(cluster::Cluster& cluster, FtParams params = {});
+  ~PhoenixKernel() override;
+
+  PhoenixKernel(const PhoenixKernel&) = delete;
+  PhoenixKernel& operator=(const PhoenixKernel&) = delete;
+
+  /// Creates and starts every kernel daemon and seeds the meta-group view.
+  /// Call once; the engine must then be run to let the system settle.
+  void boot();
+
+  // --- staged construction API (used by construct::SystemConstructor) ------
+  //
+  // Instead of boot()'s all-at-once bring-up, the system construction tool
+  // deploys partition by partition with verification between steps. The
+  // meta-group ring then forms incrementally: the first partition's GSD
+  // founds a singleton group and every later GSD joins it.
+
+  /// Creates every daemon object and the service directory; starts nothing.
+  void create_daemons();
+  bool daemons_created() const noexcept { return created_; }
+
+  /// Starts the cluster-wide configuration (with hardware introspection)
+  /// and security services.
+  void start_core_services();
+
+  /// Starts the per-node daemons (PPM, detector, WD) on one node.
+  void start_node_daemons(net::NodeId node);
+
+  /// Starts one partition's services (checkpoint, event, bulletin, GSD).
+  /// With `found_ring` the GSD bootstraps a singleton meta-group; otherwise
+  /// it joins the existing ring.
+  void start_partition_services(net::PartitionId p, bool found_ring);
+
+  cluster::Cluster& cluster() noexcept { return cluster_; }
+  const FtParams& params() const noexcept { return params_; }
+  FaultLog& fault_log() noexcept { return log_; }
+
+  // --- daemon accessors (current instances) -------------------------------
+
+  GroupServiceDaemon& gsd(net::PartitionId p) { return *gsds_.at(p.value); }
+  EventService& event_service(net::PartitionId p) { return *ess_.at(p.value); }
+  CheckpointService& checkpoint_service(net::PartitionId p) { return *css_.at(p.value); }
+  DataBulletin& bulletin(net::PartitionId p) { return *dbs_.at(p.value); }
+  WatchDaemon& watch_daemon(net::NodeId n) { return *wds_.at(n.value); }
+  DetectorDaemon& detector(net::NodeId n) { return *detectors_.at(n.value); }
+  ProcessManager& ppm(net::NodeId n) { return *ppms_.at(n.value); }
+  ConfigurationService& config() { return *config_; }
+  SecurityService& security() { return *security_; }
+
+  // --- extension services ---------------------------------------------------
+
+  /// Factory for an extension service instance on a given node. The daemon
+  /// it returns must bind a port that is unique on that node.
+  using ExtensionFactory =
+      std::function<std::unique_ptr<cluster::Daemon>(net::NodeId)>;
+
+  /// Registers a named extension (e.g. "pws.scheduler") so the recovery
+  /// machinery can recreate it during migrations.
+  void register_extension(const std::string& name, ExtensionFactory factory);
+
+  /// Current instance of a named extension, or nullptr.
+  cluster::Daemon* extension(const std::string& name) const;
+
+  // --- ServiceDirectory -------------------------------------------------------
+
+  net::NodeId service_node(ServiceKind kind, net::PartitionId p) const override;
+  void set_service_node(ServiceKind kind, net::PartitionId p,
+                        net::NodeId node) override;
+  cluster::Daemon* create_service(ServiceKind kind, net::PartitionId p,
+                                  net::NodeId node) override;
+  cluster::Daemon* create_extension(const std::string& name,
+                                    net::NodeId node) override;
+  std::vector<net::NodeId> migration_targets(net::PartitionId p) const override;
+  std::size_t partition_count() const override { return cluster_.spec().partitions; }
+
+ private:
+  std::vector<SupervisedSpec> default_supervised() const;
+
+  cluster::Cluster& cluster_;
+  FtParams params_;
+  FaultLog log_;
+  bool booted_ = false;
+  bool created_ = false;
+
+  // Per-node daemons (indexed by node id).
+  std::vector<std::unique_ptr<WatchDaemon>> wds_;
+  std::vector<std::unique_ptr<DetectorDaemon>> detectors_;
+  std::vector<std::unique_ptr<ProcessManager>> ppms_;
+
+  // Per-partition service instances (indexed by partition id). Replaced on
+  // migration; old instances move to the graveyard so their pending timers
+  // stay safe.
+  std::vector<std::unique_ptr<GroupServiceDaemon>> gsds_;
+  std::vector<std::unique_ptr<EventService>> ess_;
+  std::vector<std::unique_ptr<CheckpointService>> css_;
+  std::vector<std::unique_ptr<DataBulletin>> dbs_;
+  std::vector<std::unique_ptr<cluster::Daemon>> graveyard_;
+
+  std::unique_ptr<ConfigurationService> config_;
+  std::unique_ptr<SecurityService> security_;
+
+  // kind -> partition -> hosting node.
+  std::map<ServiceKind, std::vector<net::NodeId>> service_nodes_;
+
+  std::map<std::string, ExtensionFactory> extension_factories_;
+  std::map<std::string, std::unique_ptr<cluster::Daemon>> extension_instances_;
+};
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,262 @@
+#include "kernel/ppm/process_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace phoenix::kernel {
+
+namespace {
+/// Give up on a parallel-command subtree after this long.
+constexpr sim::SimTime kCmdTimeout = 5 * sim::kSecond;
+}  // namespace
+
+ProcessManager::ProcessManager(cluster::Cluster& cluster, net::NodeId node,
+                               const FtParams& params, ServiceDirectory* directory,
+                               double cpu_share)
+    : Daemon(cluster, "ppm", node, port_of(ServiceKind::kProcessManager), cpu_share),
+      params_(params),
+      directory_(directory) {}
+
+cluster::Pid ProcessManager::spawn_local(const ProcessSpec& spec,
+                                         net::Address exit_notify) {
+  auto& node = cluster().node(node_id());
+  const cluster::Pid pid = cluster().next_pid();
+  node.add_process(cluster::ProcessInfo{
+      .pid = pid,
+      .name = spec.name,
+      .owner = spec.owner,
+      .state = cluster::ProcessState::kRunning,
+      .cpu_share = spec.cpu_share,
+      .started_at = now(),
+  });
+  if (spec.duration > 0) {
+    engine().schedule_after(spec.duration, [this, pid, exit_notify] {
+      process_exited(pid, exit_notify);
+    });
+  }
+  return pid;
+}
+
+void ProcessManager::process_exited(cluster::Pid pid, net::Address notify) {
+  auto& node = cluster().node(node_id());
+  if (!node.alive()) return;  // the node died first; nothing exits cleanly
+  if (!node.terminate_process(pid, cluster::ProcessState::kExited, now())) return;
+  if (notify.valid() && alive()) {
+    auto msg = std::make_shared<ExitNotifyMsg>();
+    msg->pid = pid;
+    msg->node = node_id();
+    const cluster::ProcessInfo* info = node.find_process(pid);
+    if (info != nullptr) msg->name = info->name;
+    send_any(notify, std::move(msg));
+  }
+}
+
+sim::SimTime ProcessManager::exec_time_for(ServiceKind kind, bool extension) const {
+  if (extension) return params_.service_exec_time;
+  switch (kind) {
+    case ServiceKind::kWatchDaemon: return params_.wd_exec_time;
+    case ServiceKind::kGroupService: return params_.gsd_exec_time;
+    default: return params_.service_exec_time;
+  }
+}
+
+void ProcessManager::handle_spawn(const SpawnMsg& msg) {
+  const cluster::Pid pid = spawn_local(msg.spec, msg.exit_notify);
+  if (msg.reply_to.valid()) {
+    auto reply = std::make_shared<SpawnReplyMsg>();
+    reply->request_id = msg.request_id;
+    reply->ok = true;
+    reply->pid = pid;
+    reply->node = node_id();
+    send_any(msg.reply_to, std::move(reply));
+  }
+}
+
+void ProcessManager::handle_start_service(const StartServiceMsg& msg) {
+  auto reply = std::make_shared<StartServiceReplyMsg>();
+  reply->request_id = msg.request_id;
+
+  cluster::Daemon* target = nullptr;
+  if (msg.create) {
+    if (directory_ != nullptr) {
+      target = msg.extension.empty()
+                   ? directory_->create_service(msg.kind, msg.partition, node_id())
+                   : directory_->create_extension(msg.extension, node_id());
+    }
+  } else {
+    // Restart the existing (dead) instance object bound on this node.
+    const net::PortId port =
+        msg.extension.empty() ? port_of(msg.kind) : msg.extension_port;
+    target = cluster().daemon_at({node_id(), port});
+  }
+
+  if (target == nullptr) {
+    if (msg.reply_to.valid()) send_any(msg.reply_to, std::move(reply));
+    return;
+  }
+
+  const sim::SimTime exec = exec_time_for(msg.kind, !msg.extension.empty());
+  const net::Address service_addr = target->address();
+  engine().schedule_after(exec, [this, target, service_addr, reply_to = msg.reply_to,
+                                 request_id = msg.request_id] {
+    if (!cluster().node(node_id()).alive()) return;
+    target->start();
+    if (reply_to.valid() && alive()) {
+      auto r = std::make_shared<StartServiceReplyMsg>();
+      r->request_id = request_id;
+      r->ok = true;
+      r->service = service_addr;
+      send_any(reply_to, std::move(r));
+    }
+  });
+}
+
+void ProcessManager::handle_parallel_cmd(const ParallelCmdMsg& msg) {
+  // Execute locally, then fan the remaining nodes out to up to `fanout`
+  // children; each child covers a contiguous chunk of the node list.
+  std::vector<net::NodeId> rest;
+  for (net::NodeId n : msg.nodes) {
+    if (n != node_id()) rest.push_back(n);
+  }
+
+  const std::uint64_t cmd_id = next_cmd_id_++;
+  PendingCmd pending;
+  pending.reply_to = msg.reply_to;
+  pending.request_id = msg.request_id;
+  pending.succeeded = 1;  // local execution (accounted below after exec time)
+
+  const std::size_t fanout = std::max<std::size_t>(1, msg.fanout);
+  const std::size_t chunks = std::min(fanout, rest.size());
+  for (std::size_t i = 0; i < chunks; ++i) {
+    // Chunk i takes elements [i*len, (i+1)*len) with remainder spread left.
+    const std::size_t base = rest.size() / chunks;
+    const std::size_t extra = rest.size() % chunks;
+    const std::size_t begin = i * base + std::min(i, extra);
+    const std::size_t end = begin + base + (i < extra ? 1 : 0);
+    if (begin >= end) continue;
+
+    auto sub = std::make_shared<ParallelCmdMsg>();
+    sub->command = msg.command;
+    sub->nodes.assign(rest.begin() + static_cast<std::ptrdiff_t>(begin),
+                      rest.begin() + static_cast<std::ptrdiff_t>(end));
+    sub->fanout = fanout;
+    sub->reply_to = address();
+    sub->request_id = cmd_id;
+    const net::Address child{sub->nodes.front(), port_of(ServiceKind::kProcessManager)};
+    const std::size_t chunk_size = end - begin;
+    if (send_any(child, std::move(sub)).valid()) {
+      ++pending.awaiting;
+    } else {
+      pending.failed += chunk_size;  // unreachable chunk head: whole chunk lost
+    }
+  }
+
+  ++pending.awaiting;  // one slot for the local execution below
+  pending_cmds_.emplace(cmd_id, pending);
+
+  // Local execution cost; completes the subtree if all children are done.
+  engine().schedule_after(kCommandExecTime, [this, cmd_id] {
+    auto it = pending_cmds_.find(cmd_id);
+    if (it == pending_cmds_.end()) return;
+    if (--it->second.awaiting == 0) {
+      PendingCmd done = it->second;
+      pending_cmds_.erase(it);
+      if (done.reply_to.valid() && alive()) {
+        auto reply = std::make_shared<ParallelCmdReplyMsg>();
+        reply->request_id = done.request_id;
+        reply->succeeded = done.succeeded;
+        reply->failed = done.failed;
+        send_any(done.reply_to, std::move(reply));
+      }
+    }
+  });
+
+  // Subtree timeout: whatever has not replied by then counts as failed.
+  engine().schedule_after(kCmdTimeout, [this, cmd_id] {
+    auto it = pending_cmds_.find(cmd_id);
+    if (it == pending_cmds_.end()) return;
+    PendingCmd done = it->second;
+    pending_cmds_.erase(it);
+    if (done.reply_to.valid() && alive()) {
+      auto reply = std::make_shared<ParallelCmdReplyMsg>();
+      reply->request_id = done.request_id;
+      reply->succeeded = done.succeeded;
+      reply->failed = done.failed + done.awaiting;  // lost subtrees
+      send_any(done.reply_to, std::move(reply));
+    }
+  });
+}
+
+void ProcessManager::handle(const net::Envelope& env) {
+  const net::Message& m = *env.message;
+
+  if (const auto* probe = net::message_cast<ProbeMsg>(m)) {
+    auto reply = std::make_shared<ProbeReplyMsg>();
+    reply->probe_id = probe->probe_id;
+    reply->node = node_id();
+    const auto* wd = cluster().daemon_at(
+        {node_id(), port_of(ServiceKind::kWatchDaemon)});
+    reply->wd_running = wd != nullptr && wd->alive();
+    const auto* gsd = cluster().daemon_at(
+        {node_id(), port_of(ServiceKind::kGroupService)});
+    reply->gsd_running = gsd != nullptr && gsd->alive();
+    // Answer on the same network the probe arrived on: the prober is
+    // checking reachability of this node, not of a particular path.
+    send(probe->reply_to, env.network, std::move(reply));
+    return;
+  }
+  if (const auto* spawn = net::message_cast<SpawnMsg>(m)) {
+    handle_spawn(*spawn);
+    return;
+  }
+  if (const auto* killm = net::message_cast<KillMsg>(m)) {
+    auto& node = cluster().node(node_id());
+    const bool ok =
+        node.terminate_process(killm->pid, cluster::ProcessState::kKilled, now());
+    if (killm->reply_to.valid()) {
+      auto reply = std::make_shared<KillReplyMsg>();
+      reply->request_id = killm->request_id;
+      reply->ok = ok;
+      send_any(killm->reply_to, std::move(reply));
+    }
+    return;
+  }
+  if (const auto* cleanup = net::message_cast<CleanupMsg>(m)) {
+    const std::size_t reaped = cluster().node(node_id()).reap();
+    if (cleanup->reply_to.valid()) {
+      auto reply = std::make_shared<CleanupReplyMsg>();
+      reply->request_id = cleanup->request_id;
+      reply->reaped = reaped;
+      send_any(cleanup->reply_to, std::move(reply));
+    }
+    return;
+  }
+  if (const auto* start = net::message_cast<StartServiceMsg>(m)) {
+    handle_start_service(*start);
+    return;
+  }
+  if (const auto* cmd = net::message_cast<ParallelCmdMsg>(m)) {
+    handle_parallel_cmd(*cmd);
+    return;
+  }
+  if (const auto* creply = net::message_cast<ParallelCmdReplyMsg>(m)) {
+    auto it = pending_cmds_.find(creply->request_id);
+    if (it == pending_cmds_.end()) return;
+    it->second.succeeded += creply->succeeded;
+    it->second.failed += creply->failed;
+    if (--it->second.awaiting == 0) {
+      PendingCmd done = it->second;
+      pending_cmds_.erase(it);
+      if (done.reply_to.valid()) {
+        auto reply = std::make_shared<ParallelCmdReplyMsg>();
+        reply->request_id = done.request_id;
+        reply->succeeded = done.succeeded;
+        reply->failed = done.failed;
+        send_any(done.reply_to, std::move(reply));
+      }
+    }
+    return;
+  }
+}
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,125 @@
+#include "kernel/security/security_service.h"
+
+#include <memory>
+
+#include "kernel/service_kind.h"
+
+namespace phoenix::kernel {
+
+namespace {
+
+/// FNV-1a 64-bit over a byte string, mixed with a key. Deterministic and
+/// collision-resistant enough for a simulated MAC.
+std::uint64_t fnv1a(std::uint64_t seed, std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string StreamCipher::apply(std::string_view data) const {
+  std::string out(data);
+  std::uint64_t state = key_ ^ 0x9e3779b97f4a7c15ULL;
+  for (char& c : out) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    c = static_cast<char>(static_cast<unsigned char>(c) ^
+                          static_cast<unsigned char>(state >> 33));
+  }
+  return out;
+}
+
+SecurityService::SecurityService(cluster::Cluster& cluster, net::NodeId node,
+                                 double cpu_share)
+    : Daemon(cluster, "security", node, port_of(ServiceKind::kSecurity), cpu_share),
+      signing_key_(cluster.engine().rng().next()) {}
+
+void SecurityService::add_user(const std::string& user, const std::string& secret,
+                               std::vector<std::string> roles) {
+  users_[user] = UserEntry{secret, std::move(roles)};
+}
+
+bool SecurityService::remove_user(const std::string& user) {
+  return users_.erase(user) > 0;
+}
+
+void SecurityService::grant(const std::string& role, const std::string& action,
+                            const std::string& resource_prefix) {
+  acls_[role].push_back(AclRule{action, resource_prefix});
+}
+
+std::uint64_t SecurityService::sign(const std::string& user, std::uint64_t nonce,
+                                    sim::SimTime expires_at) const {
+  std::string material = user;
+  material += '\x1f';
+  material += std::to_string(nonce);
+  material += '\x1f';
+  material += std::to_string(expires_at);
+  return fnv1a(signing_key_, material);
+}
+
+std::optional<Token> SecurityService::authenticate(const std::string& user,
+                                                   const std::string& secret) {
+  auto it = users_.find(user);
+  if (it == users_.end() || it->second.secret != secret) return std::nullopt;
+  Token t;
+  t.user = user;
+  t.nonce = next_nonce_++;
+  t.expires_at = now() + token_lifetime_;
+  t.mac = sign(user, t.nonce, t.expires_at);
+  return t;
+}
+
+bool SecurityService::validate(const Token& token) const {
+  if (!users_.contains(token.user)) return false;
+  if (token.expires_at <= now()) return false;
+  return token.mac == sign(token.user, token.nonce, token.expires_at);
+}
+
+bool SecurityService::authorize(const Token& token, const std::string& action,
+                                const std::string& resource,
+                                std::string* reason) const {
+  if (!validate(token)) {
+    if (reason) *reason = "invalid or expired token";
+    return false;
+  }
+  const auto user_it = users_.find(token.user);
+  for (const std::string& role : user_it->second.roles) {
+    const auto acl_it = acls_.find(role);
+    if (acl_it == acls_.end()) continue;
+    for (const AclRule& rule : acl_it->second) {
+      if (rule.action != action && rule.action != "*") continue;
+      if (resource.compare(0, rule.resource_prefix.size(), rule.resource_prefix) == 0) {
+        return true;
+      }
+    }
+  }
+  if (reason) *reason = "no role grants '" + action + "' on '" + resource + "'";
+  return false;
+}
+
+void SecurityService::handle(const net::Envelope& env) {
+  if (const auto* auth = net::message_cast<AuthRequestMsg>(*env.message)) {
+    auto reply = std::make_shared<AuthReplyMsg>();
+    reply->request_id = auth->request_id;
+    if (auto token = authenticate(auth->user, auth->secret)) {
+      reply->ok = true;
+      reply->token = *token;
+    }
+    send_any(auth->reply_to, std::move(reply));
+    return;
+  }
+  if (const auto* authz = net::message_cast<AuthzRequestMsg>(*env.message)) {
+    auto reply = std::make_shared<AuthzReplyMsg>();
+    reply->request_id = authz->request_id;
+    reply->allowed =
+        authorize(authz->token, authz->action, authz->resource, &reply->reason);
+    send_any(authz->reply_to, std::move(reply));
+    return;
+  }
+}
+
+}  // namespace phoenix::kernel

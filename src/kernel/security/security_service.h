@@ -1,0 +1,139 @@
+// Security service (paper §4.2): authentication, authorization, encryption.
+//
+// One instance per cluster. Users authenticate with a shared secret and get
+// a time-limited token; actions on resources are authorized against a
+// role -> permission ACL table. "Encryption" is a keyed stream scrambler —
+// a stand-in that exercises the encrypt/decrypt code path without claiming
+// cryptographic strength (documented substitution; a deployment would slot
+// in a real cipher behind the same interface).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/daemon.h"
+#include "net/message.h"
+
+namespace phoenix::kernel {
+
+/// An opaque authentication token.
+struct Token {
+  std::string user;
+  std::uint64_t mac = 0;        // keyed hash over user|nonce|expiry
+  std::uint64_t nonce = 0;
+  sim::SimTime expires_at = 0;
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+struct AuthRequestMsg final : net::Message {
+  std::string user;
+  std::string secret;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "security.auth"; }
+  std::size_t wire_size() const noexcept override {
+    return user.size() + secret.size() + 16;
+  }
+};
+
+struct AuthReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  Token token;
+
+  std::string_view type() const noexcept override { return "security.auth_reply"; }
+  std::size_t wire_size() const noexcept override { return token.user.size() + 40; }
+};
+
+struct AuthzRequestMsg final : net::Message {
+  Token token;
+  std::string action;    // e.g. "job.submit"
+  std::string resource;  // e.g. "pool/batch"
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "security.authz"; }
+  std::size_t wire_size() const noexcept override {
+    return token.user.size() + action.size() + resource.size() + 40;
+  }
+};
+
+struct AuthzReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  bool allowed = false;
+  std::string reason;
+
+  std::string_view type() const noexcept override { return "security.authz_reply"; }
+  std::size_t wire_size() const noexcept override { return reason.size() + 17; }
+};
+
+/// Keyed stream scrambler used for payload obfuscation.
+class StreamCipher {
+ public:
+  explicit StreamCipher(std::uint64_t key) noexcept : key_(key) {}
+
+  /// Symmetric: applying twice with the same key restores the input.
+  std::string apply(std::string_view data) const;
+
+ private:
+  std::uint64_t key_;
+};
+
+class SecurityService final : public cluster::Daemon {
+ public:
+  SecurityService(cluster::Cluster& cluster, net::NodeId node,
+                  double cpu_share = 0.0);
+
+  // --- administration (local API) ----------------------------------------
+
+  void add_user(const std::string& user, const std::string& secret,
+                std::vector<std::string> roles);
+  bool remove_user(const std::string& user);
+
+  /// Grants `role` the right to perform `action` on resources matching
+  /// `resource_prefix` (prefix match; empty prefix = everything).
+  void grant(const std::string& role, const std::string& action,
+             const std::string& resource_prefix);
+
+  void set_token_lifetime(sim::SimTime lifetime) noexcept { token_lifetime_ = lifetime; }
+
+  // --- core operations (local API; the message handlers call these) ------
+
+  std::optional<Token> authenticate(const std::string& user,
+                                    const std::string& secret);
+
+  /// Validates the token (signature + expiry) and checks the ACL.
+  bool authorize(const Token& token, const std::string& action,
+                 const std::string& resource, std::string* reason = nullptr) const;
+
+  /// True when the token is genuine and unexpired.
+  bool validate(const Token& token) const;
+
+ private:
+  void handle(const net::Envelope& env) override;
+  std::uint64_t sign(const std::string& user, std::uint64_t nonce,
+                     sim::SimTime expires_at) const;
+
+  struct UserEntry {
+    std::string secret;
+    std::vector<std::string> roles;
+  };
+  struct AclRule {
+    std::string action;
+    std::string resource_prefix;
+  };
+
+  std::unordered_map<std::string, UserEntry> users_;
+  std::unordered_map<std::string, std::vector<AclRule>> acls_;  // role -> rules
+  std::uint64_t signing_key_;
+  std::uint64_t next_nonce_ = 1;
+  sim::SimTime token_lifetime_ = 8 * sim::kHour;
+};
+
+}  // namespace phoenix::kernel

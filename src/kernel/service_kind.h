@@ -1,0 +1,72 @@
+// Service kinds and the service directory interface.
+//
+// Phoenix daemons locate each other through well-known ports plus a
+// directory that tracks which node currently hosts each per-partition
+// service instance (the hosting node changes when the group service migrates
+// a failed service to a backup node). In the real system this information
+// lives in the configuration service and is pushed via announcements; here
+// the directory is the kernel's authoritative cache of it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/daemon.h"
+#include "net/ids.h"
+
+namespace phoenix::kernel {
+
+enum class ServiceKind : std::uint8_t {
+  kWatchDaemon,
+  kGroupService,
+  kEventService,
+  kCheckpointService,
+  kDataBulletin,
+  kProcessManager,
+  kConfiguration,
+  kSecurity,
+  kDetector,
+};
+
+std::string_view to_string(ServiceKind kind) noexcept;
+net::PortId port_of(ServiceKind kind) noexcept;
+
+/// Kernel-side interface the group service and PPM use to locate, create,
+/// and relocate service instances. Implemented by PhoenixKernel.
+class ServiceDirectory {
+ public:
+  virtual ~ServiceDirectory() = default;
+
+  /// Node currently hosting the given per-partition service.
+  virtual net::NodeId service_node(ServiceKind kind, net::PartitionId p) const = 0;
+
+  /// Current address of the given per-partition service instance.
+  net::Address service_address(ServiceKind kind, net::PartitionId p) const {
+    return {service_node(kind, p), port_of(kind)};
+  }
+
+  /// Records that `kind`'s partition-`p` instance now lives on `node`.
+  virtual void set_service_node(ServiceKind kind, net::PartitionId p,
+                                net::NodeId node) = 0;
+
+  /// Creates (but does not start) a fresh instance of a per-partition
+  /// service on `node`, replacing any previous instance object for that
+  /// partition. Returns the new daemon.
+  virtual cluster::Daemon* create_service(ServiceKind kind, net::PartitionId p,
+                                          net::NodeId node) = 0;
+
+  /// Creates (not started) a fresh instance of an extension service
+  /// registered by name (e.g. "pws.scheduler"). Null when unknown.
+  virtual cluster::Daemon* create_extension(const std::string& name,
+                                            net::NodeId node) = 0;
+
+  /// Live backup nodes usable as migration targets within partition `p`,
+  /// best candidate first.
+  virtual std::vector<net::NodeId> migration_targets(net::PartitionId p) const = 0;
+
+  /// Number of partitions (== meta-group size when all GSDs are healthy).
+  virtual std::size_t partition_count() const = 0;
+};
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,25 @@
+// Cross-service control messages.
+#pragma once
+
+#include <string>
+
+#include "kernel/service_kind.h"
+#include "net/ids.h"
+#include "net/message.h"
+
+namespace phoenix::kernel {
+
+/// Sent by a service instance to its partition's GSD when it has finished
+/// starting (including any checkpoint-based state recovery). The GSD uses
+/// it to close open fault records; reports with no open record are ignored.
+struct ServiceUpMsg final : net::Message {
+  ServiceKind kind = ServiceKind::kEventService;
+  std::string extension;  // non-empty for extension services
+  net::PartitionId partition;
+  net::Address service;
+
+  std::string_view type() const noexcept override { return "service.up"; }
+  std::size_t wire_size() const noexcept override { return extension.size() + 24; }
+};
+
+}  // namespace phoenix::kernel

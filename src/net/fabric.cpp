@@ -1,0 +1,121 @@
+#include "net/fabric.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace phoenix::net {
+
+sim::SimTime LatencyModel::sample(std::size_t bytes, sim::Rng& rng,
+                                  bool cross_group) const {
+  double raw = static_cast<double>(base) + per_byte_us * static_cast<double>(bytes);
+  if (cross_group) raw += static_cast<double>(cross_group_extra);
+  const double jitter = raw * jitter_frac;
+  const double total = raw + rng.uniform(-jitter, jitter);
+  return total < 1.0 ? sim::SimTime{1} : static_cast<sim::SimTime>(total);
+}
+
+Fabric::Fabric(sim::Engine& engine, std::size_t node_count, std::size_t network_count)
+    : engine_(engine),
+      node_count_(node_count),
+      network_count_(network_count),
+      interface_up_(node_count * network_count, 1),
+      stats_(network_count) {
+  if (network_count == 0) throw std::invalid_argument("Fabric requires >= 1 network");
+}
+
+bool Fabric::interface_up(NodeId node, NetworkId network) const {
+  assert(node.value < node_count_ && network.value < network_count_);
+  return interface_up_[index(node, network)] != 0;
+}
+
+void Fabric::set_interface_up(NodeId node, NetworkId network, bool up) {
+  assert(node.value < node_count_ && network.value < network_count_);
+  interface_up_[index(node, network)] = up ? 1 : 0;
+}
+
+void Fabric::set_node_links_up(NodeId node, bool up) {
+  for (std::size_t n = 0; n < network_count_; ++n) {
+    set_interface_up(node, NetworkId{static_cast<std::uint8_t>(n)}, up);
+  }
+}
+
+bool Fabric::any_path(NodeId a, NodeId b) const {
+  for (std::size_t n = 0; n < network_count_; ++n) {
+    const NetworkId net{static_cast<std::uint8_t>(n)};
+    if (interface_up(a, net) && interface_up(b, net)) return true;
+  }
+  return false;
+}
+
+bool Fabric::send(const Address& from, const Address& to, NetworkId network,
+                  std::shared_ptr<const Message> message) {
+  assert(message != nullptr);
+  NetworkStats& st = stats_.at(network.value);
+  const std::size_t bytes = kWireHeaderBytes + message->wire_size();
+
+  if (!node_alive(from.node) || !node_alive(to.node) ||
+      !interface_up(from.node, network) || !interface_up(to.node, network)) {
+    ++st.messages_dropped;
+    return false;
+  }
+
+  ++st.messages_sent;
+  st.bytes_sent += bytes;
+  st.bytes_by_type[std::string(message->type())] += bytes;
+
+  if (latency_.loss_probability > 0.0 &&
+      engine_.rng().chance(latency_.loss_probability)) {
+    ++st.messages_lost;  // vanished on the wire; sender cannot tell
+    return true;
+  }
+
+  const bool cross_group =
+      group_size_ > 0 &&
+      from.node.value / group_size_ != to.node.value / group_size_;
+  const sim::SimTime latency = latency_.sample(bytes, engine_.rng(), cross_group);
+  Envelope env{from, to, network, std::move(message)};
+  engine_.schedule_after(latency, [this, env = std::move(env)] {
+    // Delivery-time checks: the destination may have died or its interface
+    // may have been cut while the message was in flight.
+    if (!node_alive(env.to.node) || !interface_up(env.to.node, env.network)) {
+      ++stats_.at(env.network.value).messages_dropped;
+      return;
+    }
+    if (deliver_) deliver_(env);
+  });
+  return true;
+}
+
+NetworkId Fabric::send_any(const Address& from, const Address& to,
+                           std::shared_ptr<const Message> message) {
+  for (std::size_t n = 0; n < network_count_; ++n) {
+    const NetworkId net{static_cast<std::uint8_t>(n)};
+    if (interface_up(from.node, net) && interface_up(to.node, net)) {
+      if (send(from, to, net, message)) return net;
+    }
+  }
+  return NetworkId{};
+}
+
+const NetworkStats& Fabric::stats(NetworkId network) const {
+  return stats_.at(network.value);
+}
+
+NetworkStats Fabric::total_stats() const {
+  NetworkStats total;
+  for (const auto& st : stats_) {
+    total.messages_sent += st.messages_sent;
+    total.bytes_sent += st.bytes_sent;
+    total.messages_dropped += st.messages_dropped;
+    total.messages_lost += st.messages_lost;
+    for (const auto& [type, bytes] : st.bytes_by_type) total.bytes_by_type[type] += bytes;
+  }
+  return total;
+}
+
+void Fabric::reset_stats() {
+  for (auto& st : stats_) st = NetworkStats{};
+}
+
+}  // namespace phoenix::net

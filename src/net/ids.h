@@ -1,0 +1,86 @@
+// Strong identifier types shared by the network and cluster layers.
+//
+// Plain integers invite mixing node ids with partition ids; these wrappers
+// make such bugs type errors while staying trivially copyable and hashable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace phoenix::net {
+
+namespace detail {
+/// CRTP strong integer id. Comparable, hashable, streamable via value().
+template <typename Tag, typename Rep = std::uint32_t>
+struct StrongId {
+  Rep value = kInvalid;
+
+  static constexpr Rep kInvalid = ~Rep{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  constexpr bool valid() const noexcept { return value != kInvalid; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+}  // namespace detail
+
+/// A physical node in the cluster; dense, 0-based.
+struct NodeId : detail::StrongId<NodeId> {
+  using StrongId::StrongId;
+};
+
+/// A cluster partition (server + backup + compute nodes); dense, 0-based.
+struct PartitionId : detail::StrongId<PartitionId> {
+  using StrongId::StrongId;
+};
+
+/// One of the (typically three) independent networks each node attaches to.
+struct NetworkId : detail::StrongId<NetworkId, std::uint8_t> {
+  using StrongId::StrongId;
+};
+
+/// A daemon's mailbox port on a node (like a TCP port, statically assigned).
+struct PortId : detail::StrongId<PortId, std::uint16_t> {
+  using StrongId::StrongId;
+};
+
+/// A daemon address: (node, port).
+struct Address {
+  NodeId node;
+  PortId port;
+
+  constexpr bool valid() const noexcept { return node.valid() && port.valid(); }
+  friend constexpr bool operator==(const Address&, const Address&) = default;
+  friend constexpr auto operator<=>(const Address&, const Address&) = default;
+};
+
+}  // namespace phoenix::net
+
+namespace std {
+template <>
+struct hash<phoenix::net::NodeId> {
+  size_t operator()(phoenix::net::NodeId id) const noexcept { return id.value; }
+};
+template <>
+struct hash<phoenix::net::PartitionId> {
+  size_t operator()(phoenix::net::PartitionId id) const noexcept { return id.value; }
+};
+template <>
+struct hash<phoenix::net::NetworkId> {
+  size_t operator()(phoenix::net::NetworkId id) const noexcept { return id.value; }
+};
+template <>
+struct hash<phoenix::net::PortId> {
+  size_t operator()(phoenix::net::PortId id) const noexcept { return id.value; }
+};
+template <>
+struct hash<phoenix::net::Address> {
+  size_t operator()(const phoenix::net::Address& a) const noexcept {
+    return (static_cast<size_t>(a.node.value) << 16) ^ a.port.value;
+  }
+};
+}  // namespace std

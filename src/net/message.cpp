@@ -1,0 +1,7 @@
+#include "net/message.h"
+
+namespace phoenix::net {
+
+// Message is header-only apart from anchoring the vtable here.
+
+}  // namespace phoenix::net

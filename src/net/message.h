@@ -1,0 +1,49 @@
+// Message base class for all daemon-to-daemon traffic.
+//
+// Messages are polymorphic C++ objects rather than serialized bytes — the
+// simulator never crosses a process boundary — but every message reports a
+// wire_size() so the fabric can account bandwidth the way a real deployment
+// would (the PWS-vs-PBS experiment depends on this).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "net/ids.h"
+
+namespace phoenix::net {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Stable message type name, e.g. "group.heartbeat". Used for tracing,
+  /// stats breakdown, and dynamic dispatch checks in tests.
+  virtual std::string_view type() const noexcept = 0;
+
+  /// Bytes this message would occupy on the wire (header + payload).
+  virtual std::size_t wire_size() const noexcept = 0;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+/// Common fixed header cost applied to every message (addresses, type tag,
+/// length, checksum — roughly a UDP-ish control datagram header).
+inline constexpr std::size_t kWireHeaderBytes = 64;
+
+/// Downcast helper: returns nullptr when the runtime type does not match.
+template <typename T>
+const T* message_cast(const Message& m) noexcept {
+  return dynamic_cast<const T*>(&m);
+}
+
+/// Envelope: a message in flight between two daemon addresses on one network.
+struct Envelope {
+  Address from;
+  Address to;
+  NetworkId network;
+  std::shared_ptr<const Message> message;
+};
+
+}  // namespace phoenix::net

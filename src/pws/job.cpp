@@ -1,0 +1,101 @@
+#include "pws/job.h"
+
+#include <sstream>
+
+namespace phoenix::pws {
+
+std::string_view to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kAuthorizing: return "authorizing";
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kRejected: return "rejected";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
+
+std::string serialize_jobs(const std::map<JobId, Job>& jobs) {
+  std::ostringstream out;
+  for (const auto& [id, job] : jobs) {
+    out << id << '|' << job.name << '|' << job.user << '|' << job.pool << '|'
+        << job.nodes_needed << '|' << job.duration << '|'
+        << static_cast<int>(job.state) << '|' << job.submitted_at << '|'
+        << job.started_at << '|' << job.finished_at << '|' << job.exited << '|'
+        << job.requeues << '|' << job.priority << '|' << job.walltime_limit
+        << '|' << job.arch << '|' << job.after_ok << '|';
+    for (std::size_t i = 0; i < job.allocated.size(); ++i) {
+      if (i > 0) out << ',';
+      out << job.allocated[i].value;
+    }
+    out << '|';
+    bool first = true;
+    for (const auto& [node, pid] : job.pids) {
+      if (!first) out << ',';
+      first = false;
+      out << node << '=' << pid;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::map<JobId, Job> deserialize_jobs(const std::string& data) {
+  std::map<JobId, Job> jobs;
+  std::istringstream in(data);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string f;
+    Job job;
+    auto next = [&]() -> std::string {
+      std::getline(fields, f, '|');
+      return f;
+    };
+    try {
+      job.id = std::stoull(next());
+      job.name = next();
+      job.user = next();
+      job.pool = next();
+      job.nodes_needed = static_cast<unsigned>(std::stoul(next()));
+      job.duration = std::stoull(next());
+      job.state = static_cast<JobState>(std::stoi(next()));
+      job.submitted_at = std::stoull(next());
+      job.started_at = std::stoull(next());
+      job.finished_at = std::stoull(next());
+      job.exited = static_cast<unsigned>(std::stoul(next()));
+      job.requeues = static_cast<unsigned>(std::stoul(next()));
+      job.priority = std::stoi(next());
+      job.walltime_limit = std::stoull(next());
+      job.arch = next();
+      job.after_ok = std::stoull(next());
+      std::istringstream alloc(next());
+      std::string a;
+      while (std::getline(alloc, a, ',')) {
+        if (!a.empty()) {
+          job.allocated.push_back(
+              net::NodeId{static_cast<std::uint32_t>(std::stoul(a))});
+        }
+      }
+      std::istringstream pids(next());
+      std::string p;
+      while (std::getline(pids, p, ',')) {
+        const auto eq = p.find('=');
+        if (eq != std::string::npos) {
+          job.pids[static_cast<std::uint32_t>(std::stoul(p.substr(0, eq)))] =
+              std::stoull(p.substr(eq + 1));
+        }
+      }
+    } catch (const std::exception&) {
+      continue;  // skip malformed lines rather than aborting recovery
+    }
+    jobs.emplace(job.id, std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace phoenix::pws

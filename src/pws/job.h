@@ -1,0 +1,78 @@
+// PWS job model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace phoenix::pws {
+
+enum class JobState : std::uint8_t {
+  kAuthorizing,  // waiting for the security service's verdict
+  kQueued,
+  kRunning,
+  kCompleted,
+  kFailed,     // a hosting node died and the retry budget is exhausted
+  kRejected,   // authorization denied
+  kCancelled,
+  kTimedOut,   // exceeded its walltime limit and was killed
+};
+
+std::string_view to_string(JobState state) noexcept;
+
+using JobId = std::uint64_t;
+
+/// What a user hands to a job-management system (PWS or the PBS baseline).
+struct SubmitRequest {
+  std::string name;
+  std::string user;
+  std::string pool;
+  unsigned nodes = 1;
+  sim::SimTime duration = 0;
+  int priority = 0;               // higher runs first within a pool
+  sim::SimTime walltime_limit = 0;  // 0 = unlimited; exceeded jobs are killed
+  std::string arch;               // required node architecture ("" = any)
+  /// Dependency: this job may only start after the given job COMPLETED
+  /// successfully ("afterok"). If the dependency fails / is cancelled /
+  /// times out, this job is cancelled too. 0 = no dependency.
+  JobId after_ok = 0;
+};
+
+struct Job {
+  JobId id = 0;
+  std::string name;
+  std::string user;
+  std::string pool;
+  unsigned nodes_needed = 1;
+  sim::SimTime duration = 0;
+  int priority = 0;
+  sim::SimTime walltime_limit = 0;
+  std::string arch;
+  JobId after_ok = 0;
+
+  JobState state = JobState::kQueued;
+  sim::SimTime submitted_at = 0;
+  sim::SimTime started_at = 0;
+  sim::SimTime finished_at = 0;
+  std::vector<net::NodeId> allocated;
+  std::map<std::uint32_t, cluster::Pid> pids;  // node id -> process id
+  unsigned exited = 0;
+  unsigned requeues = 0;
+
+  bool terminal() const noexcept {
+    return state == JobState::kCompleted || state == JobState::kFailed ||
+           state == JobState::kRejected || state == JobState::kCancelled ||
+           state == JobState::kTimedOut;
+  }
+};
+
+/// One line per job; used for the scheduler's checkpoint state.
+std::string serialize_jobs(const std::map<JobId, Job>& jobs);
+std::map<JobId, Job> deserialize_jobs(const std::string& data);
+
+}  // namespace phoenix::pws

@@ -1,0 +1,56 @@
+#include "pws/pool.h"
+
+#include <algorithm>
+
+namespace phoenix::pws {
+
+std::string_view to_string(SchedPolicy policy) noexcept {
+  switch (policy) {
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kSjf: return "sjf";
+    case SchedPolicy::kFairShare: return "fair-share";
+    case SchedPolicy::kBackfill: return "backfill";
+  }
+  return "?";
+}
+
+void Pool::order_queue(const std::map<JobId, Job>& jobs,
+                       const std::map<std::string, double>& usage) {
+  auto duration_of = [&](JobId id) -> sim::SimTime {
+    auto it = jobs.find(id);
+    return it == jobs.end() ? 0 : it->second.duration;
+  };
+  auto usage_of = [&](JobId id) -> double {
+    auto it = jobs.find(id);
+    if (it == jobs.end()) return 0.0;
+    auto u = usage.find(it->second.user);
+    return u == usage.end() ? 0.0 : u->second;
+  };
+
+  switch (config_.policy) {
+    case SchedPolicy::kFifo:
+    case SchedPolicy::kBackfill:
+      // Submission (== insertion) order; nothing to do.
+      break;
+    case SchedPolicy::kSjf:
+      std::stable_sort(queue_.begin(), queue_.end(),
+                       [&](JobId a, JobId b) { return duration_of(a) < duration_of(b); });
+      break;
+    case SchedPolicy::kFairShare:
+      std::stable_sort(queue_.begin(), queue_.end(),
+                       [&](JobId a, JobId b) { return usage_of(a) < usage_of(b); });
+      break;
+  }
+
+  // Priority overrides any policy: higher-priority jobs first, policy order
+  // (stable) as the tiebreak within a priority level.
+  auto priority_of = [&](JobId id) -> int {
+    auto it = jobs.find(id);
+    return it == jobs.end() ? 0 : it->second.priority;
+  };
+  std::stable_sort(queue_.begin(), queue_.end(), [&](JobId a, JobId b) {
+    return priority_of(a) > priority_of(b);
+  });
+}
+
+}  // namespace phoenix::pws

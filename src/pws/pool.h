@@ -1,0 +1,63 @@
+// PWS pools and scheduling policies (paper §5.4).
+//
+// PWS "supports multi-pools with customized scheduling policies for
+// different pools and dynamic leasing among different pools". A pool owns a
+// set of nodes and a queue ordered by its policy; idle nodes of a lending
+// pool can be leased to a borrowing pool and are returned when freed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+#include "pws/job.h"
+
+namespace phoenix::pws {
+
+enum class SchedPolicy : std::uint8_t {
+  kFifo,
+  kSjf,        // shortest (estimated) job first
+  kFairShare,  // least-consuming user first (node-seconds)
+  kBackfill,   // FIFO head reservation + EASY backfill
+};
+
+std::string_view to_string(SchedPolicy policy) noexcept;
+
+struct PoolConfig {
+  std::string name;
+  SchedPolicy policy = SchedPolicy::kFifo;
+  std::vector<net::NodeId> nodes;
+  bool allow_lending = true;
+  bool allow_borrowing = true;
+};
+
+class Pool {
+ public:
+  explicit Pool(PoolConfig config) : config_(std::move(config)) {}
+
+  const std::string& name() const noexcept { return config_.name; }
+  SchedPolicy policy() const noexcept { return config_.policy; }
+  const PoolConfig& config() const noexcept { return config_; }
+  const std::vector<net::NodeId>& owned_nodes() const noexcept {
+    return config_.nodes;
+  }
+
+  std::deque<JobId>& queue() noexcept { return queue_; }
+  const std::deque<JobId>& queue() const noexcept { return queue_; }
+
+  /// Orders the queue according to the pool's policy. `usage` maps user ->
+  /// consumed node-seconds (fair share); `jobs` resolves queue entries.
+  /// FIFO order is the tiebreak everywhere; kBackfill keeps FIFO order
+  /// (backfilling is an allocation-time decision, not a queue order).
+  void order_queue(const std::map<JobId, Job>& jobs,
+                   const std::map<std::string, double>& usage);
+
+ private:
+  PoolConfig config_;
+  std::deque<JobId> queue_;
+};
+
+}  // namespace phoenix::pws

@@ -1,0 +1,50 @@
+#include "pws/pws.h"
+
+#include <stdexcept>
+
+namespace phoenix::pws {
+
+PwsSystem::PwsSystem(kernel::PhoenixKernel& kernel, PwsConfig config,
+                     net::NodeId node)
+    : kernel_(kernel) {
+  if (!node.valid()) {
+    node = kernel.cluster().server_node(net::PartitionId{0});
+  }
+
+  // Factory the kernel uses both now and when recreating the scheduler on a
+  // backup node after a migration.
+  auto shared_config = std::make_shared<PwsConfig>(std::move(config));
+  kernel_.register_extension(
+      kExtensionName,
+      [&kernel, shared_config](net::NodeId target)
+          -> std::unique_ptr<cluster::Daemon> {
+        return std::make_unique<PwsScheduler>(kernel.cluster(), target, kernel,
+                                              *shared_config);
+      });
+
+  cluster::Daemon* created = kernel_.create_extension(kExtensionName, node);
+  if (created == nullptr) {
+    throw std::logic_error("failed to create PWS scheduler");
+  }
+  created->start();
+
+  // Put the scheduler under GSD supervision in its partition.
+  const auto partition = kernel_.cluster().partition_of(node);
+  kernel_.gsd(partition).supervise(kernel::SupervisedSpec{
+      kExtensionName, kernel::ServiceKind::kEventService /*unused for extensions*/,
+      kExtensionName, cluster::ports::kPwsScheduler});
+}
+
+PwsScheduler& PwsSystem::scheduler() {
+  auto* d = kernel_.extension(kExtensionName);
+  if (d == nullptr) throw std::logic_error("PWS scheduler not instantiated");
+  return *static_cast<PwsScheduler*>(d);
+}
+
+const PwsScheduler& PwsSystem::scheduler() const {
+  auto* d = kernel_.extension(kExtensionName);
+  if (d == nullptr) throw std::logic_error("PWS scheduler not instantiated");
+  return *static_cast<PwsScheduler*>(d);
+}
+
+}  // namespace phoenix::pws

@@ -1,0 +1,36 @@
+// PwsSystem: lifecycle facade for the PWS job-management environment.
+//
+// Registers the scheduler as a Phoenix extension service so the kernel's
+// recovery machinery (GSD supervision, checkpoint-based state recovery,
+// migration to a backup node) applies to it — the high availability the
+// paper contrasts against PBS.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.h"
+#include "pws/scheduler.h"
+
+namespace phoenix::pws {
+
+class PwsSystem {
+ public:
+  /// Creates the scheduler on `node` (default: partition 0's server node)
+  /// and wires it into the kernel's supervision and migration machinery.
+  PwsSystem(kernel::PhoenixKernel& kernel, PwsConfig config,
+            net::NodeId node = net::NodeId{});
+
+  /// Current scheduler instance (replaced transparently on migration).
+  PwsScheduler& scheduler();
+  const PwsScheduler& scheduler() const;
+
+  JobId submit(const SubmitRequest& request) { return scheduler().submit(request); }
+
+  static constexpr const char* kExtensionName = "pws.scheduler";
+
+ private:
+  kernel::PhoenixKernel& kernel_;
+};
+
+}  // namespace phoenix::pws

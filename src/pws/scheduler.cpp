@@ -1,0 +1,659 @@
+#include "pws/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "kernel/ppm/process_manager.h"
+
+namespace phoenix::pws {
+
+using kernel::ServiceKind;
+
+PwsScheduler::PwsScheduler(cluster::Cluster& cluster, net::NodeId node,
+                           kernel::PhoenixKernel& kernel, PwsConfig config)
+    : Daemon(cluster, "pws.scheduler", node, cluster::ports::kPwsScheduler),
+      kernel_(kernel),
+      config_(std::move(config)),
+      ticker_(cluster.engine(), config_.schedule_tick, [this] { schedule_pass(); }) {
+  for (const auto& pool_config : config_.pools) {
+    pools_.emplace(pool_config.name, Pool(pool_config));
+    for (net::NodeId n : pool_config.nodes) {
+      slots_[n.value] = NodeSlot{pool_config.name, "", 0,
+                                 cluster.node(n).alive()};
+    }
+  }
+}
+
+void PwsScheduler::on_start() {
+  ticker_.set_period(config_.schedule_tick);
+  ticker_.start_after(config_.schedule_tick);
+  subscribe_events();
+  if (started_before_) {
+    recover_state();
+  } else {
+    announce_up();
+  }
+  started_before_ = true;
+}
+
+void PwsScheduler::on_stop() { ticker_.stop(); }
+
+void PwsScheduler::subscribe_events() {
+  kernel::Subscription sub;
+  sub.consumer = address();
+  sub.types = {std::string(kernel::event_types::kNodeFailed),
+               std::string(kernel::event_types::kNodeRecovered)};
+  auto msg = std::make_shared<kernel::EsSubscribeMsg>();
+  msg->subscription = std::move(sub);
+  const auto partition = cluster().partition_of(node_id());
+  send_any(kernel_.service_address(ServiceKind::kEventService, partition),
+           std::move(msg));
+}
+
+void PwsScheduler::announce_up() {
+  const auto partition = cluster().partition_of(node_id());
+  auto up = std::make_shared<kernel::ServiceUpMsg>();
+  up->extension = "pws.scheduler";
+  up->partition = partition;
+  up->service = address();
+  send_any(kernel_.service_address(ServiceKind::kGroupService, partition),
+           std::move(up));
+}
+
+// --- submission ---------------------------------------------------------------
+
+JobId PwsScheduler::submit(const SubmitRequest& request) {
+  Job job;
+  job.id = next_job_id_++;
+  job.name = request.name.empty() ? "job" + std::to_string(job.id) : request.name;
+  job.user = request.user;
+  job.pool = request.pool;
+  job.nodes_needed = std::max(1u, request.nodes);
+  job.duration = request.duration;
+  job.priority = request.priority;
+  job.walltime_limit = request.walltime_limit;
+  job.arch = request.arch;
+  job.after_ok = request.after_ok;
+  job.state = JobState::kQueued;
+  job.submitted_at = now();
+
+  auto pool_it = pools_.find(job.pool);
+  if (pool_it == pools_.end()) {
+    job.state = JobState::kRejected;
+    ++stats_.rejected;
+    const JobId id = job.id;
+    jobs_.emplace(id, std::move(job));
+    return id;
+  }
+  const JobId id = job.id;
+  jobs_.emplace(id, std::move(job));
+  pool_it->second.queue().push_back(id);
+  ++stats_.submitted;
+  checkpoint_state();
+  return id;
+}
+
+bool PwsScheduler::cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.terminal()) return false;
+  Job& job = it->second;
+  if (job.state == JobState::kQueued || job.state == JobState::kAuthorizing) {
+    auto pool_it = pools_.find(job.pool);
+    if (pool_it != pools_.end()) {
+      auto& q = pool_it->second.queue();
+      std::erase(q, id);
+    }
+    job.state = JobState::kCancelled;
+    job.finished_at = now();
+    checkpoint_state();
+    return true;
+  }
+  // Running: kill every process, free the slots.
+  for (const auto& [node_value, pid] : job.pids) {
+    auto kill = std::make_shared<kernel::KillMsg>();
+    kill->pid = pid;
+    send_any({net::NodeId{node_value}, kernel::port_of(ServiceKind::kProcessManager)},
+             std::move(kill));
+    pid_to_job_.erase(pid);
+  }
+  for (net::NodeId n : job.allocated) {
+    auto slot = slots_.find(n.value);
+    if (slot != slots_.end() && slot->second.running_job == id) {
+      slot->second.running_job = 0;
+      slot->second.leased_to.clear();
+    }
+  }
+  finish_job(job, JobState::kCancelled);
+  return true;
+}
+
+// --- scheduling -----------------------------------------------------------------
+
+std::string PwsScheduler::effective_pool(net::NodeId node) const {
+  auto it = slots_.find(node.value);
+  if (it == slots_.end()) return {};
+  return it->second.leased_to.empty() ? it->second.owner_pool
+                                      : it->second.leased_to;
+}
+
+bool PwsScheduler::is_leased(net::NodeId node) const {
+  auto it = slots_.find(node.value);
+  return it != slots_.end() && !it->second.leased_to.empty();
+}
+
+std::vector<net::NodeId> PwsScheduler::free_nodes_of(
+    const std::string& pool_name, const std::string& arch) const {
+  std::vector<net::NodeId> out;
+  for (const auto& [node_value, slot] : slots_) {
+    if (slot.running_job != 0 || !slot.node_alive) continue;
+    const std::string& serving =
+        slot.leased_to.empty() ? slot.owner_pool : slot.leased_to;
+    if (serving != pool_name) continue;
+    if (!arch.empty() &&
+        cluster().node(net::NodeId{node_value}).arch() != arch) {
+      continue;  // architecture constraint (heterogeneous clusters)
+    }
+    out.push_back(net::NodeId{node_value});
+  }
+  return out;
+}
+
+std::size_t PwsScheduler::borrow_nodes(Pool& pool, std::size_t deficit) {
+  if (!pool.config().allow_borrowing) return 0;
+  std::size_t borrowed = 0;
+  for (auto& [other_name, other] : pools_) {
+    if (borrowed >= deficit) break;
+    if (other_name == pool.name() || !other.config().allow_lending) continue;
+    // Only lend nodes the owner is not about to use itself.
+    if (!other.queue().empty()) continue;
+    for (const auto& [node_value, _] : slots_) {
+      if (borrowed >= deficit) break;
+      auto& slot = slots_[node_value];
+      if (slot.owner_pool == other_name && slot.leased_to.empty() &&
+          slot.running_job == 0 && slot.node_alive) {
+        slot.leased_to = pool.name();
+        ++borrowed;
+        ++stats_.leases_granted;
+      }
+    }
+  }
+  return borrowed;
+}
+
+sim::SimTime PwsScheduler::shadow_time(const Job& head,
+                                       const std::string& pool_name) const {
+  // Earliest time the head job could start: walk running jobs serving this
+  // pool in completion order, accumulating freed nodes.
+  std::vector<std::pair<sim::SimTime, unsigned>> completions;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    unsigned nodes_in_pool = 0;
+    for (net::NodeId n : job.allocated) {
+      if (effective_pool(n) == pool_name) ++nodes_in_pool;
+    }
+    if (nodes_in_pool > 0) {
+      completions.emplace_back(job.started_at + job.duration, nodes_in_pool);
+    }
+  }
+  std::sort(completions.begin(), completions.end());
+  std::size_t available = free_nodes_of(pool_name, head.arch).size();
+  for (const auto& [finish, freed] : completions) {
+    available += freed;
+    if (available >= head.nodes_needed) return finish;
+  }
+  return sim::kNever;
+}
+
+void PwsScheduler::schedule_pass() {
+  if (!alive()) return;
+  enforce_walltime();
+  for (auto& [name, pool] : pools_) {
+    pool.order_queue(jobs_, user_usage_);
+    auto& queue = pool.queue();
+
+    bool head_blocked = false;
+    sim::SimTime head_shadow = sim::kNever;
+    for (std::size_t i = 0; i < queue.size();) {
+      auto job_it = jobs_.find(queue[i]);
+      if (job_it == jobs_.end() || job_it->second.terminal()) {
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      Job& job = job_it->second;
+
+      // Dependency gate ("afterok"): wait for the dependency to complete;
+      // cancel this job if the dependency ended any other way.
+      if (job.after_ok != 0) {
+        const auto dep = jobs_.find(job.after_ok);
+        const bool dep_ok =
+            dep != jobs_.end() && dep->second.state == JobState::kCompleted;
+        const bool dep_dead =
+            dep == jobs_.end() ||
+            (dep->second.terminal() && dep->second.state != JobState::kCompleted);
+        if (dep_dead) {
+          job.state = JobState::kCancelled;
+          job.finished_at = now();
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        if (!dep_ok) {
+          ++i;  // dependency still pending: skip without blocking the head
+          continue;
+        }
+      }
+
+      if (head_blocked) {
+        // EASY backfill: later jobs may run if they fit now and finish
+        // before the head's reserved start.
+        if (pool.policy() != SchedPolicy::kBackfill) break;
+        if (now() + job.duration > head_shadow) {
+          ++i;
+          continue;
+        }
+      }
+
+      std::vector<net::NodeId> free = free_nodes_of(name, job.arch);
+      if (free.size() < job.nodes_needed) {
+        const std::size_t got =
+            borrow_nodes(pool, job.nodes_needed - free.size());
+        if (got > 0) free = free_nodes_of(name, job.arch);
+      }
+      if (free.size() < job.nodes_needed) {
+        if (!head_blocked) {
+          head_blocked = true;
+          head_shadow = shadow_time(job, name);
+        }
+        ++i;
+        continue;
+      }
+
+      free.resize(job.nodes_needed);
+      job.allocated = free;
+      job.state = JobState::kRunning;
+      job.started_at = now();
+      stats_.total_wait_seconds += sim::to_seconds(now() - job.submitted_at);
+      for (net::NodeId n : free) slots_[n.value].running_job = job.id;
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+      launch(job);
+    }
+  }
+  checkpoint_state();
+}
+
+void PwsScheduler::enforce_walltime() {
+  std::vector<JobId> victims;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kRunning && job.walltime_limit > 0 &&
+        now() > job.started_at + job.walltime_limit) {
+      victims.push_back(id);
+    }
+  }
+  for (const JobId id : victims) {
+    Job& job = jobs_.at(id);
+    for (const auto& [node_value, pid] : job.pids) {
+      pid_to_job_.erase(pid);
+      auto kill = std::make_shared<kernel::KillMsg>();
+      kill->pid = pid;
+      send_any({net::NodeId{node_value},
+                kernel::port_of(ServiceKind::kProcessManager)},
+               std::move(kill));
+    }
+    for (net::NodeId n : job.allocated) {
+      auto slot = slots_.find(n.value);
+      if (slot != slots_.end() && slot->second.running_job == id) {
+        slot->second.running_job = 0;
+        slot->second.leased_to.clear();
+      }
+    }
+    ++stats_.timed_out;
+    finish_job(job, JobState::kTimedOut);
+  }
+}
+
+void PwsScheduler::launch(Job& job) {
+  for (net::NodeId n : job.allocated) {
+    auto spawn = std::make_shared<kernel::SpawnMsg>();
+    spawn->spec.name = job.name;
+    spawn->spec.owner = job.user;
+    spawn->spec.cpu_share = static_cast<double>(cluster().node(n).cpus());
+    spawn->spec.duration = job.duration;
+    spawn->reply_to = address();
+    spawn->exit_notify = address();
+    spawn->request_id = next_request_id_++;
+    pending_spawns_[spawn->request_id] = PendingSpawn{job.id, n};
+    send_any({n, kernel::port_of(ServiceKind::kProcessManager)}, std::move(spawn));
+  }
+}
+
+void PwsScheduler::complete_process(cluster::Pid pid, net::NodeId node) {
+  auto map_it = pid_to_job_.find(pid);
+  if (map_it == pid_to_job_.end()) return;
+  const JobId job_id = map_it->second;
+  pid_to_job_.erase(map_it);
+
+  auto job_it = jobs_.find(job_id);
+  if (job_it == jobs_.end()) return;
+  Job& job = job_it->second;
+  if (job.state != JobState::kRunning) return;
+  ++job.exited;
+  user_usage_[job.user] += sim::to_seconds(job.duration);
+
+  auto slot = slots_.find(node.value);
+  if (slot != slots_.end() && slot->second.running_job == job_id) {
+    slot->second.running_job = 0;
+    slot->second.leased_to.clear();  // leased capacity returns to its owner
+  }
+  if (job.exited >= job.allocated.size()) {
+    finish_job(job, JobState::kCompleted);
+    // Freed nodes may unblock queued work without waiting a full tick.
+    engine().schedule_after(1 * sim::kMillisecond, [this] { schedule_pass(); });
+  }
+}
+
+void PwsScheduler::finish_job(Job& job, JobState final_state) {
+  job.state = final_state;
+  job.finished_at = now();
+  if (final_state == JobState::kCompleted) ++stats_.completed;
+  if (final_state == JobState::kFailed) ++stats_.failed;
+  checkpoint_state();
+}
+
+void PwsScheduler::handle_node_failed(net::NodeId node) {
+  auto slot = slots_.find(node.value);
+  if (slot == slots_.end()) return;
+  slot->second.node_alive = false;
+  const JobId victim = slot->second.running_job;
+  slot->second.running_job = 0;
+  slot->second.leased_to.clear();
+  if (victim == 0) return;
+
+  auto job_it = jobs_.find(victim);
+  if (job_it == jobs_.end() || job_it->second.state != JobState::kRunning) return;
+  Job& job = job_it->second;
+
+  // Kill the job's surviving processes and free their slots.
+  for (const auto& [node_value, pid] : job.pids) {
+    pid_to_job_.erase(pid);
+    if (node_value == node.value) continue;
+    auto kill = std::make_shared<kernel::KillMsg>();
+    kill->pid = pid;
+    send_any({net::NodeId{node_value}, kernel::port_of(ServiceKind::kProcessManager)},
+             std::move(kill));
+  }
+  for (net::NodeId n : job.allocated) {
+    auto s = slots_.find(n.value);
+    if (s != slots_.end() && s->second.running_job == victim) {
+      s->second.running_job = 0;
+      s->second.leased_to.clear();
+    }
+  }
+  requeue_or_fail(job);
+}
+
+void PwsScheduler::requeue_or_fail(Job& job) {
+  job.allocated.clear();
+  job.pids.clear();
+  job.exited = 0;
+  if (job.requeues < config_.max_requeues) {
+    ++job.requeues;
+    ++stats_.requeued;
+    job.state = JobState::kQueued;
+    auto pool_it = pools_.find(job.pool);
+    if (pool_it != pools_.end()) pool_it->second.queue().push_front(job.id);
+    checkpoint_state();
+  } else {
+    finish_job(job, JobState::kFailed);
+  }
+}
+
+// --- state persistence ------------------------------------------------------------
+
+void PwsScheduler::checkpoint_state() {
+  auto save = std::make_shared<kernel::CheckpointSaveMsg>();
+  save->service = "pws";
+  save->key = "jobs";
+  save->data = serialize_jobs(jobs_);
+  const auto partition = cluster().partition_of(node_id());
+  send_any(kernel_.service_address(ServiceKind::kCheckpointService, partition),
+           std::move(save));
+}
+
+void PwsScheduler::recover_state() {
+  recovery_load_id_ = next_request_id_++;
+  auto load = std::make_shared<kernel::CheckpointLoadMsg>();
+  load->service = "pws";
+  load->key = "jobs";
+  load->reply_to = address();
+  load->request_id = recovery_load_id_;
+  const auto partition = cluster().partition_of(node_id());
+  send_any(kernel_.service_address(ServiceKind::kCheckpointService, partition),
+           std::move(load));
+}
+
+void PwsScheduler::reconcile_with_bulletin() {
+  // Running jobs may have finished while we were down; ask the bulletin
+  // federation which application processes still exist.
+  reconcile_query_id_ = next_request_id_++;
+  auto query = std::make_shared<kernel::DbQueryMsg>();
+  query->query_id = reconcile_query_id_;
+  query->table = kernel::BulletinTable::kApps;
+  query->cluster_scope = true;
+  query->reply_to = address();
+  const auto partition = cluster().partition_of(node_id());
+  send_any(kernel_.service_address(ServiceKind::kDataBulletin, partition),
+           std::move(query));
+}
+
+// --- message handling ------------------------------------------------------------
+
+void PwsScheduler::handle(const net::Envelope& env) {
+  const net::Message& m = *env.message;
+
+  if (const auto* submit = net::message_cast<PwsSubmitMsg>(m)) {
+    if (config_.use_security) {
+      Job job;
+      job.id = next_job_id_++;
+      job.name = submit->request.name.empty() ? "job" + std::to_string(job.id)
+                                              : submit->request.name;
+      job.user = submit->request.user;
+      job.pool = submit->request.pool;
+      job.nodes_needed = std::max(1u, submit->request.nodes);
+      job.duration = submit->request.duration;
+      job.state = JobState::kAuthorizing;
+      job.submitted_at = now();
+      const JobId id = job.id;
+      jobs_.emplace(id, std::move(job));
+
+      auto authz = std::make_shared<kernel::AuthzRequestMsg>();
+      authz->token = submit->token;
+      authz->action = "job.submit";
+      authz->resource = "pool/" + submit->request.pool;
+      authz->reply_to = address();
+      authz->request_id = next_request_id_++;
+      pending_authz_[authz->request_id] =
+          PendingAuthz{id, submit->reply_to, submit->request_id};
+      send_any(kernel_.service_address(ServiceKind::kSecurity, net::PartitionId{0}),
+               std::move(authz));
+      return;
+    }
+    const JobId accepted = this->submit(submit->request);
+    if (submit->reply_to.valid()) {
+      auto reply = std::make_shared<PwsSubmitReplyMsg>();
+      reply->request_id = submit->request_id;
+      reply->accepted = jobs_.at(accepted).state != JobState::kRejected;
+      reply->job_id = accepted;
+      send_any(submit->reply_to, std::move(reply));
+    }
+    return;
+  }
+
+  if (const auto* query = net::message_cast<PwsQueryMsg>(m)) {
+    auto reply = std::make_shared<PwsQueryReplyMsg>();
+    reply->request_id = query->request_id;
+    for (const auto& [id, job] : jobs_) {
+      if (query->job_id != 0 && id != query->job_id) continue;
+      if (!query->user.empty() && job.user != query->user) continue;
+      reply->jobs.push_back(job);
+    }
+    send_any(query->reply_to, std::move(reply));
+    return;
+  }
+
+  if (const auto* cancel_msg = net::message_cast<PwsCancelMsg>(m)) {
+    auto reply = std::make_shared<PwsCancelReplyMsg>();
+    reply->request_id = cancel_msg->request_id;
+    reply->cancelled = cancel(cancel_msg->job_id);
+    if (cancel_msg->reply_to.valid()) send_any(cancel_msg->reply_to, std::move(reply));
+    return;
+  }
+
+  if (const auto* authz = net::message_cast<kernel::AuthzReplyMsg>(m)) {
+    auto it = pending_authz_.find(authz->request_id);
+    if (it == pending_authz_.end()) return;
+    const PendingAuthz pending = it->second;
+    pending_authz_.erase(it);
+    auto job_it = jobs_.find(pending.job);
+    if (job_it == jobs_.end()) return;
+    Job& job = job_it->second;
+    bool accepted = false;
+    std::string reason = authz->reason;
+    if (!authz->allowed) {
+      job.state = JobState::kRejected;
+      job.finished_at = now();
+      ++stats_.rejected;
+    } else if (auto pool_it = pools_.find(job.pool); pool_it == pools_.end()) {
+      job.state = JobState::kRejected;
+      job.finished_at = now();
+      ++stats_.rejected;
+      reason = "unknown pool '" + job.pool + "'";
+    } else {
+      job.state = JobState::kQueued;
+      pool_it->second.queue().push_back(job.id);
+      ++stats_.submitted;
+      accepted = true;
+    }
+    checkpoint_state();
+    if (pending.reply_to.valid()) {
+      auto reply = std::make_shared<PwsSubmitReplyMsg>();
+      reply->request_id = pending.caller_request_id;
+      reply->accepted = accepted;
+      reply->job_id = job.id;
+      reply->reason = std::move(reason);
+      send_any(pending.reply_to, std::move(reply));
+    }
+    return;
+  }
+
+  if (const auto* spawn = net::message_cast<kernel::SpawnReplyMsg>(m)) {
+    auto it = pending_spawns_.find(spawn->request_id);
+    if (it == pending_spawns_.end()) return;
+    const PendingSpawn pending = it->second;
+    pending_spawns_.erase(it);
+    auto job_it = jobs_.find(pending.job);
+    if (job_it == jobs_.end() || !spawn->ok) return;
+    job_it->second.pids[pending.node.value] = spawn->pid;
+    pid_to_job_[spawn->pid] = pending.job;
+    checkpoint_state();
+    return;
+  }
+
+  if (const auto* exit = net::message_cast<kernel::ExitNotifyMsg>(m)) {
+    complete_process(exit->pid, exit->node);
+    return;
+  }
+
+  if (const auto* notify = net::message_cast<kernel::EsNotifyMsg>(m)) {
+    const kernel::Event& e = notify->event;
+    if (e.type == kernel::event_types::kNodeFailed) {
+      handle_node_failed(e.subject_node);
+    } else if (e.type == kernel::event_types::kNodeRecovered) {
+      auto slot = slots_.find(e.subject_node.value);
+      if (slot != slots_.end()) slot->second.node_alive = true;
+    }
+    return;
+  }
+
+  if (const auto* load = net::message_cast<kernel::CheckpointLoadReplyMsg>(m)) {
+    if (load->request_id != recovery_load_id_ || recovery_load_id_ == 0) return;
+    recovery_load_id_ = 0;
+    if (load->found) {
+      jobs_ = deserialize_jobs(load->data);
+      // Rebuild volatile indices from the recovered job table.
+      for (auto& [id, job] : jobs_) {
+        if (id >= next_job_id_) next_job_id_ = id + 1;
+        if (job.state == JobState::kRunning) {
+          for (net::NodeId n : job.allocated) {
+            auto slot = slots_.find(n.value);
+            if (slot != slots_.end()) slot->second.running_job = id;
+          }
+          for (const auto& [node_value, pid] : job.pids) pid_to_job_[pid] = id;
+        } else if (job.state == JobState::kQueued ||
+                   job.state == JobState::kAuthorizing) {
+          job.state = JobState::kQueued;
+          auto pool_it = pools_.find(job.pool);
+          if (pool_it != pools_.end()) pool_it->second.queue().push_back(id);
+        }
+      }
+      reconcile_with_bulletin();
+    } else {
+      announce_up();
+    }
+    return;
+  }
+
+  if (const auto* reply = net::message_cast<kernel::DbQueryReplyMsg>(m)) {
+    if (reply->query_id != reconcile_query_id_ || reconcile_query_id_ == 0) return;
+    reconcile_query_id_ = 0;
+    // Any tracked pid that the bulletin no longer lists finished while we
+    // were down.
+    std::vector<std::pair<cluster::Pid, net::NodeId>> gone;
+    for (const auto& [pid, job_id] : pid_to_job_) {
+      bool found = false;
+      for (const auto& row : reply->app_rows) {
+        if (row.pid == pid) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        auto job_it = jobs_.find(job_id);
+        if (job_it != jobs_.end()) {
+          for (const auto& [node_value, p] : job_it->second.pids) {
+            if (p == pid) gone.emplace_back(pid, net::NodeId{node_value});
+          }
+        }
+      }
+    }
+    for (const auto& [pid, node] : gone) complete_process(pid, node);
+    announce_up();
+    return;
+  }
+}
+
+const Job* PwsScheduler::job(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+const Pool* PwsScheduler::pool(const std::string& name) const {
+  auto it = pools_.find(name);
+  return it == pools_.end() ? nullptr : &it->second;
+}
+
+std::size_t PwsScheduler::queued_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kQueued) ++n;
+  }
+  return n;
+}
+
+std::size_t PwsScheduler::running_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kRunning) ++n;
+  }
+  return n;
+}
+
+}  // namespace phoenix::pws

@@ -1,0 +1,208 @@
+// PWS scheduler daemon (paper §5.4, Figure 8).
+//
+// The Partitioned Workload Solution job-management system built on the
+// Phoenix kernel. Compared with PBS, the kernel already provides most of
+// the machinery, so this module is only the user interface and scheduling
+// logic:
+//  - cluster-wide resource state comes from the data bulletin federation
+//    (no per-node polling);
+//  - node failure/recovery arrives as event-service pushes, and jobs on a
+//    dead node are requeued automatically;
+//  - job loading goes through the parallel process management service;
+//  - submissions are authorized by the security service;
+//  - scheduler state is checkpointed, and the GSD supervises the scheduler
+//    as an extension service — the HA the paper says PBS lacks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/daemon.h"
+#include "kernel/kernel.h"
+#include "kernel/security/security_service.h"
+#include "pws/job.h"
+#include "pws/pool.h"
+
+namespace phoenix::pws {
+
+struct PwsSubmitMsg final : net::Message {
+  SubmitRequest request;
+  kernel::Token token;  // validated against the security service if enabled
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "pws.submit"; }
+  std::size_t wire_size() const noexcept override {
+    return request.name.size() + request.user.size() + request.pool.size() + 48;
+  }
+};
+
+struct PwsSubmitReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  bool accepted = false;
+  JobId job_id = 0;
+  std::string reason;
+
+  std::string_view type() const noexcept override { return "pws.submit_reply"; }
+  std::size_t wire_size() const noexcept override { return reason.size() + 24; }
+};
+
+/// qstat-style query: all jobs, one user's jobs, or a single job id.
+struct PwsQueryMsg final : net::Message {
+  std::string user;   // non-empty: restrict to this user
+  JobId job_id = 0;   // non-zero: this job only
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "pws.query"; }
+  std::size_t wire_size() const noexcept override { return user.size() + 24; }
+};
+
+struct PwsQueryReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  std::vector<Job> jobs;
+
+  std::string_view type() const noexcept override { return "pws.query_reply"; }
+  std::size_t wire_size() const noexcept override {
+    std::size_t n = 16;
+    for (const auto& j : jobs) n += j.name.size() + j.user.size() + 64;
+    return n;
+  }
+};
+
+/// qdel-style cancellation.
+struct PwsCancelMsg final : net::Message {
+  JobId job_id = 0;
+  net::Address reply_to;
+  std::uint64_t request_id = 0;
+
+  std::string_view type() const noexcept override { return "pws.cancel"; }
+  std::size_t wire_size() const noexcept override { return 24; }
+};
+
+struct PwsCancelReplyMsg final : net::Message {
+  std::uint64_t request_id = 0;
+  bool cancelled = false;
+
+  std::string_view type() const noexcept override { return "pws.cancel_reply"; }
+  std::size_t wire_size() const noexcept override { return 9; }
+};
+
+struct PwsStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t leases_granted = 0;
+  double total_wait_seconds = 0.0;  // queued -> started, over completed jobs
+};
+
+struct PwsConfig {
+  std::vector<PoolConfig> pools;
+  sim::SimTime schedule_tick = 1 * sim::kSecond;
+  unsigned max_requeues = 2;
+  bool use_security = false;  // route submissions through the security service
+};
+
+class PwsScheduler final : public cluster::Daemon {
+ public:
+  PwsScheduler(cluster::Cluster& cluster, net::NodeId node,
+               kernel::PhoenixKernel& kernel, PwsConfig config);
+
+  // --- submission -------------------------------------------------------------
+
+  /// Trusted local submission (bypasses the security round-trip).
+  JobId submit(const SubmitRequest& request);
+
+  /// Cancels a queued job; running jobs are killed on every node.
+  bool cancel(JobId id);
+
+  // --- introspection ------------------------------------------------------------
+
+  const Job* job(JobId id) const;
+  const std::map<JobId, Job>& jobs() const noexcept { return jobs_; }
+  const PwsStats& stats() const noexcept { return stats_; }
+  const Pool* pool(const std::string& name) const;
+  std::size_t queued_count() const;
+  std::size_t running_count() const;
+
+  /// Pool a node's capacity currently serves (leases change this).
+  std::string effective_pool(net::NodeId node) const;
+  bool is_leased(net::NodeId node) const;
+
+  /// Per-user consumed node-seconds (fair-share input).
+  const std::map<std::string, double>& user_usage() const noexcept {
+    return user_usage_;
+  }
+
+  /// Forces a scheduling pass now (tests).
+  void schedule_now() { schedule_pass(); }
+
+ private:
+  void handle(const net::Envelope& env) override;
+  void on_start() override;
+  void on_stop() override;
+
+  void schedule_pass();
+  bool try_start(Job& job, Pool& pool,
+                 const std::vector<net::NodeId>& free_nodes_hint);
+  std::vector<net::NodeId> free_nodes_of(const std::string& pool_name,
+                                         const std::string& arch = {}) const;
+  std::size_t borrow_nodes(Pool& pool, std::size_t deficit);
+  void launch(Job& job);
+  void complete_process(cluster::Pid pid, net::NodeId node);
+  void finish_job(Job& job, JobState final_state);
+  void handle_node_failed(net::NodeId node);
+  void requeue_or_fail(Job& job);
+  void enforce_walltime();
+  void subscribe_events();
+  void checkpoint_state();
+  void recover_state();
+  void reconcile_with_bulletin();
+  void announce_up();
+  sim::SimTime shadow_time(const Job& head, const std::string& pool_name) const;
+
+  kernel::PhoenixKernel& kernel_;
+  PwsConfig config_;
+  std::map<std::string, Pool> pools_;
+
+  struct NodeSlot {
+    std::string owner_pool;
+    std::string leased_to;  // empty: serving its owner
+    JobId running_job = 0;
+    bool node_alive = true;
+  };
+  std::map<std::uint32_t, NodeSlot> slots_;
+
+  std::map<JobId, Job> jobs_;
+  std::map<std::string, double> user_usage_;
+  PwsStats stats_;
+  JobId next_job_id_ = 1;
+  std::uint64_t next_request_id_ = 1;
+
+  // In-flight request correlation.
+  struct PendingAuthz {
+    JobId job;
+    net::Address reply_to;
+    std::uint64_t caller_request_id = 0;
+  };
+  std::map<std::uint64_t, PendingAuthz> pending_authz_;
+  struct PendingSpawn {
+    JobId job;
+    net::NodeId node;
+  };
+  std::map<std::uint64_t, PendingSpawn> pending_spawns_;
+  std::map<cluster::Pid, JobId> pid_to_job_;
+
+  sim::PeriodicTask ticker_;
+  bool started_before_ = false;
+  std::uint64_t recovery_load_id_ = 0;
+  std::uint64_t reconcile_query_id_ = 0;
+};
+
+}  // namespace phoenix::pws

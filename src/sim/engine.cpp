@@ -1,0 +1,100 @@
+#include "sim/engine.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace phoenix::sim {
+
+std::string format_duration(SimTime t) {
+  char buf[48];
+  if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "us", t);
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(t) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", to_seconds(t));
+  }
+  return buf;
+}
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+EventId Engine::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{t, seq, std::move(cb)});
+  live_.insert(seq);
+  return EventId{seq};
+}
+
+EventId Engine::schedule_after(SimTime delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Engine::cancel(EventId id) {
+  // Lazy cancellation: the entry stays queued and is skipped when popped.
+  return live_.erase(id.value) > 0;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (live_.erase(e.seq) == 0) continue;  // was cancelled
+    now_ = e.time;
+    ++executed_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (step()) ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+PeriodicTask::PeriodicTask(Engine& engine, SimTime period, Tick tick)
+    : engine_(engine), period_(period), tick_(std::move(tick)) {}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start() { start_after(period_); }
+
+void PeriodicTask::start_after(SimTime initial_delay) {
+  stop();
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicTask::stop() {
+  if (pending_.value != 0) {
+    engine_.cancel(pending_);
+    pending_ = EventId{};
+  }
+  running_ = false;
+}
+
+void PeriodicTask::arm(SimTime delay) {
+  pending_ = engine_.schedule_after(delay, [this] {
+    pending_ = EventId{};
+    if (!running_) return;
+    tick_();
+    // tick_ may have called stop() (or even start()); only re-arm if still
+    // running and nothing else re-armed us.
+    if (running_ && pending_.value == 0) arm(period_);
+  });
+}
+
+}  // namespace phoenix::sim

@@ -1,0 +1,122 @@
+// Discrete-event simulation engine.
+//
+// The engine owns the virtual clock and a priority queue of scheduled
+// callbacks. All Phoenix daemons are actors driven entirely by engine
+// events: message deliveries, timers, and fault injections. Determinism:
+// ties on time are broken by insertion sequence number.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace phoenix::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Engine(std::uint64_t seed = 42);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (clamped to now()).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `delay` microseconds from now.
+  EventId schedule_after(SimTime delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if it had not yet fired.
+  bool cancel(EventId id);
+
+  /// Runs the single earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or `max_events` have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  std::size_t run_until(SimTime t);
+
+  /// Runs for `delta` of simulated time from now.
+  std::size_t run_for(SimTime delta) { return run_until(now_ + delta); }
+
+  /// Number of events still pending.
+  std::size_t pending() const noexcept { return live_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;  // scheduled, not yet fired/cancelled
+  Rng rng_;
+};
+
+/// A self-rescheduling periodic timer. Construction does not start it;
+/// call start(). Stopping is safe from inside the tick callback.
+class PeriodicTask {
+ public:
+  using Tick = std::function<void()>;
+
+  PeriodicTask(Engine& engine, SimTime period, Tick tick);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Arms the timer: first tick fires after `initial_delay` (default: one period).
+  void start();
+  void start_after(SimTime initial_delay);
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  SimTime period() const noexcept { return period_; }
+
+  /// Changes the period; takes effect at the next (re)arming.
+  void set_period(SimTime period) noexcept { period_ = period; }
+
+ private:
+  void arm(SimTime delay);
+
+  Engine& engine_;
+  SimTime period_;
+  Tick tick_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace phoenix::sim

@@ -1,0 +1,42 @@
+// Simulated-time primitives.
+//
+// Phoenix reproduces cluster-scale timing behaviour (30 s heartbeats,
+// sub-millisecond diagnosis probes) on one machine, so all components run
+// against a virtual clock measured in integer microseconds. Integer time
+// keeps event ordering exact and runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace phoenix::sim {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Signed duration in microseconds (deltas may be negative in intermediate math).
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1'000'000;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+/// Never: a schedule time no event can reach.
+inline constexpr SimTime kNever = ~SimTime{0};
+
+/// Converts a microsecond count to seconds as a double (for reporting only).
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts (possibly fractional) seconds to simulated microseconds.
+constexpr SimTime from_seconds(double seconds) noexcept {
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond));
+}
+
+/// Renders a time as a short human-readable string, e.g. "30.39s" or "348us".
+std::string format_duration(SimTime t);
+
+}  // namespace phoenix::sim

@@ -1,0 +1,55 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace phoenix::sim {
+
+std::string_view to_string(TraceLevel level) noexcept {
+  switch (level) {
+    case TraceLevel::kDebug: return "debug";
+    case TraceLevel::kInfo: return "info";
+    case TraceLevel::kWarn: return "warn";
+  }
+  return "?";
+}
+
+void Tracer::set_capacity(std::size_t n) {
+  capacity_ = n;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+void Tracer::record(SimTime at, TraceLevel level, std::string component,
+                    std::string message) {
+  if (!enabled_ || level < min_level_) return;
+  ++recorded_;
+  entries_.push_back(TraceEntry{at, level, std::move(component), std::move(message)});
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+void Tracer::clear() { entries_.clear(); }
+
+std::deque<TraceEntry> Tracer::filtered(const std::string& prefix,
+                                        std::size_t limit) const {
+  std::deque<TraceEntry> out;
+  for (auto it = entries_.rbegin(); it != entries_.rend() && out.size() < limit;
+       ++it) {
+    if (it->component.compare(0, prefix.size(), prefix) == 0) {
+      out.push_front(*it);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::dump(std::size_t last_n) const {
+  std::ostringstream out;
+  const std::size_t begin =
+      entries_.size() > last_n ? entries_.size() - last_n : 0;
+  for (std::size_t i = begin; i < entries_.size(); ++i) {
+    const TraceEntry& e = entries_[i];
+    out << '[' << format_duration(e.at) << "] " << to_string(e.level) << ' '
+        << e.component << ": " << e.message << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace phoenix::sim

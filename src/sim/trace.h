@@ -1,0 +1,64 @@
+// Structured tracing for the simulated cluster.
+//
+// A bounded in-memory journal of (time, level, component, message) entries,
+// owned by the Cluster and fed by daemons through Daemon::trace(). Disabled
+// by default — recording costs one branch — and intended for debugging
+// protocol interactions and for the admin console's "fault analysis" dumps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "sim/time.h"
+
+namespace phoenix::sim {
+
+enum class TraceLevel : std::uint8_t { kDebug, kInfo, kWarn };
+
+std::string_view to_string(TraceLevel level) noexcept;
+
+struct TraceEntry {
+  SimTime at = 0;
+  TraceLevel level = TraceLevel::kInfo;
+  std::string component;  // daemon name, e.g. "gsd/3"
+  std::string message;
+};
+
+class Tracer {
+ public:
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  /// Entries below this level are not recorded (default: kDebug = all).
+  void set_min_level(TraceLevel level) noexcept { min_level_ = level; }
+
+  /// Retention bound; oldest entries are evicted first.
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  void record(SimTime at, TraceLevel level, std::string component,
+              std::string message);
+
+  const std::deque<TraceEntry>& entries() const noexcept { return entries_; }
+  std::uint64_t recorded_total() const noexcept { return recorded_; }
+  void clear();
+
+  /// Entries whose component starts with `prefix` ("" = all), newest-first
+  /// capped at `limit`.
+  std::deque<TraceEntry> filtered(const std::string& prefix,
+                                  std::size_t limit = SIZE_MAX) const;
+
+  /// Renders the newest `last_n` entries, one per line.
+  std::string dump(std::size_t last_n = 50) const;
+
+ private:
+  bool enabled_ = false;
+  TraceLevel min_level_ = TraceLevel::kDebug;
+  std::size_t capacity_ = 4096;
+  std::deque<TraceEntry> entries_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace phoenix::sim

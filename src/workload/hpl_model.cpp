@@ -1,0 +1,31 @@
+#include "workload/hpl_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phoenix::workload {
+
+double default_problem_size(unsigned cpus) {
+  // Keep per-CPU memory roughly constant: n grows with sqrt(cpus).
+  // Base of 20000 at 4 CPUs matches typical 2004-era per-node memory.
+  return 20000.0 * std::sqrt(static_cast<double>(cpus) / 4.0);
+}
+
+HplResult run_hpl_model(const HplConfig& config) {
+  HplResult r;
+  const double cpus = static_cast<double>(std::max(1u, config.cpus));
+  const double n = config.problem_size_n > 0 ? config.problem_size_n
+                                             : default_problem_size(config.cpus);
+  const double flops = (2.0 / 3.0) * n * n * n + 2.0 * n * n;
+
+  const double parallel_eff = 1.0 / (1.0 + config.comm_alpha * std::log2(cpus));
+  const double available = std::clamp(1.0 - config.background_cpu_fraction, 0.0, 1.0);
+
+  const double peak = cpus * config.peak_gflops_per_cpu;  // GFLOPS
+  r.gflops = peak * parallel_eff * available;
+  r.efficiency = r.gflops / peak;
+  r.time_seconds = r.gflops > 0 ? flops / (r.gflops * 1e9) : 0.0;
+  return r;
+}
+
+}  // namespace phoenix::workload

@@ -1,0 +1,42 @@
+// Analytic Linpack (HPL) performance model.
+//
+// The paper's Table 4 measures the impact of the Phoenix kernel daemons on
+// Linpack at 4-128 CPUs. We cannot run HPL inside a discrete-event
+// simulation, so we model it: HPL performs 2/3·n³ + 2·n² floating-point
+// operations; delivered performance is peak × parallel efficiency, with
+// efficiency decaying logarithmically in CPU count (communication and
+// load-imbalance losses); background daemons subtract their measured CPU
+// share from the capacity available to the benchmark. The experiment's
+// quantity of interest — the WITH/WITHOUT Phoenix ratio — depends only on
+// that daemon share, which is measured from the simulated cluster itself.
+#pragma once
+
+#include <cstddef>
+
+namespace phoenix::workload {
+
+struct HplConfig {
+  unsigned cpus = 4;
+  /// Per-CPU peak, GFLOPS (the Dawning 4000A's 2.2 GHz Opteron ≈ 4.4).
+  double peak_gflops_per_cpu = 4.4;
+  /// Matrix dimension. 0 = choose a memory-scaled default for `cpus`.
+  double problem_size_n = 0;
+  /// Parallel-efficiency decay per doubling of CPU count.
+  double comm_alpha = 0.035;
+  /// CPU fraction consumed by background daemons (0 = dedicated machine).
+  double background_cpu_fraction = 0.0;
+};
+
+struct HplResult {
+  double gflops = 0.0;
+  double time_seconds = 0.0;
+  double efficiency = 0.0;  // delivered / peak
+};
+
+/// Memory-scaled default problem size (~weak scaling, as HPL is tuned).
+double default_problem_size(unsigned cpus);
+
+/// Evaluates the model.
+HplResult run_hpl_model(const HplConfig& config);
+
+}  // namespace phoenix::workload

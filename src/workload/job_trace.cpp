@@ -1,0 +1,37 @@
+#include "workload/job_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace phoenix::workload {
+
+std::vector<TraceJob> generate_trace(const TraceParams& params) {
+  sim::Rng rng(params.seed);
+  std::vector<TraceJob> jobs;
+  jobs.reserve(params.job_count);
+  double clock_s = 0.0;
+  for (std::size_t i = 0; i < params.job_count; ++i) {
+    clock_s += rng.exponential(params.mean_interarrival_s);
+    TraceJob job;
+    job.arrival = sim::from_seconds(clock_s);
+    job.duration = sim::from_seconds(
+        std::max(params.min_duration_s, rng.exponential(params.mean_duration_s)));
+    // Node counts: mostly 1-2, occasionally up to max (geometric-ish).
+    unsigned nodes = 1;
+    while (nodes < params.max_nodes && rng.chance(0.45)) nodes *= 2;
+    job.nodes = std::min(nodes, params.max_nodes);
+    job.user = params.users.empty()
+                   ? "user"
+                   : params.users[rng.uniform_int(0, params.users.size() - 1)];
+    job.pool = params.pools.empty()
+                   ? "batch"
+                   : params.pools[rng.uniform_int(0, params.pools.size() - 1)];
+    job.name = "job" + std::to_string(i);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace phoenix::workload

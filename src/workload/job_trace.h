@@ -1,0 +1,38 @@
+// Synthetic job-trace generator for the job-management experiments.
+//
+// Poisson arrivals, exponential-with-floor durations, node counts drawn
+// from a skewed distribution (many small jobs, few large ones) — the usual
+// shape of scientific-computing batch traces. Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace phoenix::workload {
+
+struct TraceJob {
+  sim::SimTime arrival = 0;
+  unsigned nodes = 1;
+  sim::SimTime duration = 0;
+  std::string user;
+  std::string pool;
+  std::string name;
+};
+
+struct TraceParams {
+  std::size_t job_count = 100;
+  double mean_interarrival_s = 30.0;
+  double mean_duration_s = 300.0;
+  double min_duration_s = 10.0;
+  unsigned max_nodes = 8;
+  std::vector<std::string> users = {"alice", "bob", "carol"};
+  std::vector<std::string> pools = {"batch"};
+  std::uint64_t seed = 7;
+};
+
+std::vector<TraceJob> generate_trace(const TraceParams& params);
+
+}  // namespace phoenix::workload

@@ -1,0 +1,50 @@
+#include "workload/resource_model.h"
+
+#include <algorithm>
+
+namespace phoenix::workload {
+
+ResourceModel::ResourceModel(cluster::Cluster& cluster, ResourceModelParams params)
+    : cluster_(cluster),
+      params_(params),
+      updater_(cluster.engine(), params.update_interval, [this] { update_once(); }) {}
+
+void ResourceModel::start() { updater_.start_after(1 * sim::kMillisecond); }
+
+void ResourceModel::stop() { updater_.stop(); }
+
+void ResourceModel::update_once() {
+  for (auto& node : cluster_.nodes()) {
+    if (node.alive()) update_node(node);
+  }
+}
+
+void ResourceModel::update_node(cluster::Node& node) {
+  auto& rng = cluster_.engine().rng();
+  auto& u = node.resources();
+
+  auto walk = [&](double current, double base, double noise) {
+    const double reverted = current + params_.reversion * (base - current);
+    return reverted + rng.uniform(-noise, noise);
+  };
+
+  // CPU: baseline walk plus what the process table actually consumes.
+  const double proc_pct =
+      100.0 * node.daemon_cpu_load() / static_cast<double>(std::max(1u, node.cpus()));
+  // Approximate the baseline by removing the current process contribution
+  // (it changes slowly relative to the update interval).
+  const double cpu_base =
+      walk(std::max(0.0, u.cpu_pct - proc_pct), params_.base_cpu_pct,
+           params_.cpu_noise);
+  u.cpu_pct = std::clamp(cpu_base + proc_pct, 0.0, 100.0);
+  u.mem_pct = std::clamp(walk(u.mem_pct, params_.base_mem_pct, params_.mem_noise),
+                         0.0, 100.0);
+  u.swap_pct = std::clamp(
+      walk(u.swap_pct, params_.base_swap_pct, params_.swap_noise), 0.0, 100.0);
+  u.disk_io_mbps = std::max(
+      0.0, walk(u.disk_io_mbps, params_.base_disk_mbps, params_.base_disk_mbps / 3));
+  u.net_io_mbps = std::max(
+      0.0, walk(u.net_io_mbps, params_.base_net_mbps, params_.base_net_mbps / 3));
+}
+
+}  // namespace phoenix::workload

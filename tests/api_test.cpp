@@ -1,0 +1,177 @@
+// KernelApi tests: the uniform RPC facade — correlation, timeouts, and the
+// full surface (config, security, checkpoint, bulletin, events, PPM).
+#include "kernel/api.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+
+namespace phoenix::kernel {
+namespace {
+
+using phoenix::testing::KernelHarness;
+using phoenix::testing::fast_ft_params;
+using phoenix::testing::small_cluster_spec;
+
+class ApiTest : public ::testing::Test {
+ protected:
+  ApiTest()
+      : h(small_cluster_spec(), fast_ft_params()),
+        api(h.cluster, h.cluster.compute_nodes(net::PartitionId{1})[0], h.kernel) {
+    h.run_s(2.0);
+  }
+
+  KernelHarness h;
+  KernelApi api;
+};
+
+TEST_F(ApiTest, ConfigRoundTrip) {
+  bool set_done = false;
+  api.config_set("api/key", "hello", [&](bool ok, std::uint64_t version) {
+    set_done = true;
+    EXPECT_TRUE(ok);
+    EXPECT_GT(version, 0u);
+  });
+  h.run_s(1.0);
+  EXPECT_TRUE(set_done);
+
+  std::optional<std::string> got;
+  api.config_get("api/key", [&](std::optional<std::string> value) { got = value; });
+  h.run_s(1.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "hello");
+
+  bool missing_done = false;
+  api.config_get("api/nope", [&](std::optional<std::string> value) {
+    missing_done = true;
+    EXPECT_FALSE(value.has_value());
+  });
+  h.run_s(1.0);
+  EXPECT_TRUE(missing_done);
+}
+
+TEST_F(ApiTest, SecurityFlow) {
+  h.kernel.security().add_user("alice", "pw", {"dev"});
+  h.kernel.security().grant("dev", "deploy", "env/");
+
+  std::optional<Token> token;
+  api.authenticate("alice", "pw", [&](std::optional<Token> t) { token = t; });
+  h.run_s(1.0);
+  ASSERT_TRUE(token.has_value());
+
+  bool allowed = false, denied = true;
+  api.authorize(*token, "deploy", "env/prod", [&](bool ok) { allowed = ok; });
+  api.authorize(*token, "shutdown", "env/prod", [&](bool ok) { denied = ok; });
+  h.run_s(1.0);
+  EXPECT_TRUE(allowed);
+  EXPECT_FALSE(denied);
+
+  std::optional<Token> bad = Token{};
+  api.authenticate("alice", "wrong", [&](std::optional<Token> t) { bad = t; });
+  h.run_s(1.0);
+  EXPECT_FALSE(bad.has_value());
+}
+
+TEST_F(ApiTest, CheckpointRoundTrip) {
+  bool saved = false;
+  api.checkpoint_save("apisvc", "state", "blob-data",
+                      [&](bool ok, std::uint64_t) { saved = ok; });
+  h.run_s(1.0);
+  EXPECT_TRUE(saved);
+
+  std::optional<std::string> loaded;
+  api.checkpoint_load("apisvc", "state",
+                      [&](std::optional<std::string> data) { loaded = data; });
+  h.run_s(2.0);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "blob-data");
+}
+
+TEST_F(ApiTest, ClusterQueryThroughHomePartition) {
+  h.run_s(3.0);  // detectors fill the bulletin
+  std::vector<NodeRecord> nodes;
+  api.query(BulletinTable::kNodes, /*cluster_scope=*/true, {},
+            [&](std::vector<NodeRecord> n, std::vector<AppRecord>) {
+              nodes = std::move(n);
+            });
+  h.run_s(2.0);
+  EXPECT_EQ(nodes.size(), h.cluster.node_count());
+}
+
+TEST_F(ApiTest, EventsSubscribeAndPublish) {
+  std::vector<std::string> seen;
+  api.subscribe({"api.*"}, [&](const Event& e) { seen.push_back(e.type); });
+  h.run_s(1.0);
+
+  Event e;
+  e.type = "api.ping";
+  api.publish(e);
+  Event other;
+  other.type = "unrelated";
+  api.publish(other);
+  h.run_s(1.0);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "api.ping");
+}
+
+TEST_F(ApiTest, SpawnWithExitNotification) {
+  bool spawned = false;
+  cluster::Pid pid = 0;
+  cluster::Pid exited_pid = 0;
+  api.spawn(h.cluster.compute_nodes(net::PartitionId{0})[1],
+            ProcessSpec{"apijob", "alice", 1.0, 2 * sim::kSecond, 0},
+            [&](bool ok, cluster::Pid p) {
+              spawned = ok;
+              pid = p;
+            },
+            [&](cluster::Pid p) { exited_pid = p; });
+  h.run_s(1.0);
+  EXPECT_TRUE(spawned);
+  EXPECT_GT(pid, 0u);
+  EXPECT_EQ(exited_pid, 0u);
+  h.run_s(3.0);
+  EXPECT_EQ(exited_pid, pid);
+}
+
+TEST_F(ApiTest, ParallelCommandAggregates) {
+  std::vector<net::NodeId> nodes;
+  for (const auto& node : h.cluster.nodes()) nodes.push_back(node.id());
+  std::uint64_t ok = 0, bad = 1;
+  api.parallel_command("sync", nodes, 4, [&](std::uint64_t s, std::uint64_t f) {
+    ok = s;
+    bad = f;
+  });
+  h.run_s(10.0);
+  EXPECT_EQ(ok, h.cluster.node_count());
+  EXPECT_EQ(bad, 0u);
+}
+
+TEST_F(ApiTest, CallTimeoutFiresWhenServiceUnreachable) {
+  api.set_call_timeout(2 * sim::kSecond);
+  // Kill the configuration service AND its host node so nothing answers.
+  h.injector.crash_node(h.cluster.server_node(net::PartitionId{0}));
+  bool completed = false;
+  bool got_value = true;
+  api.config_get("any", [&](std::optional<std::string> value) {
+    completed = true;
+    got_value = value.has_value();
+  });
+  h.run_s(5.0);
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(got_value);
+  EXPECT_EQ(api.timed_out_calls(), 1u);
+  EXPECT_EQ(api.pending_calls(), 0u);
+}
+
+TEST_F(ApiTest, EmptyParallelCommandCompletesImmediately) {
+  bool done = false;
+  api.parallel_command("noop", {}, 4, [&](std::uint64_t s, std::uint64_t f) {
+    done = true;
+    EXPECT_EQ(s, 0u);
+    EXPECT_EQ(f, 0u);
+  });
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace phoenix::kernel

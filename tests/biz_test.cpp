@@ -1,0 +1,140 @@
+// Business runtime tests: deployment, self-healing, placement policies,
+// request availability accounting.
+#include "biz/business_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+
+namespace phoenix::biz {
+namespace {
+
+using phoenix::testing::KernelHarness;
+
+kernel::FtParams biz_params() {
+  kernel::FtParams p = phoenix::testing::fast_ft_params();
+  p.detector_sample_interval = 1 * sim::kSecond;
+  return p;
+}
+
+class BizTest : public ::testing::Test {
+ protected:
+  BizTest() : h(phoenix::testing::small_cluster_spec(), biz_params()) {
+    BizConfig config;
+    config.tiers = {{"web", 3, 0.5}, {"db", 2, 1.0}};
+    config.request_interval = 500 * sim::kMillisecond;
+    runtime = std::make_unique<BusinessRuntime>(
+        h.cluster, h.cluster.server_node(net::PartitionId{0}), h.kernel, config);
+    runtime->start();
+    h.run_s(3.0);
+  }
+
+  KernelHarness h;
+  std::unique_ptr<BusinessRuntime> runtime;
+};
+
+TEST_F(BizTest, DeploysTargetReplicaCounts) {
+  EXPECT_EQ(runtime->replicas_running("web"), 3u);
+  EXPECT_EQ(runtime->replicas_running("db"), 2u);
+  EXPECT_EQ(runtime->stats().deployed, 5u);
+}
+
+TEST_F(BizTest, RequestsServedWhenAllTiersUp) {
+  h.run_s(10.0);
+  EXPECT_GT(runtime->stats().requests_served, 10u);
+  EXPECT_EQ(runtime->stats().requests_failed, 0u);
+  EXPECT_DOUBLE_EQ(runtime->stats().availability(), 1.0);
+}
+
+TEST_F(BizTest, ProcessDeathHealed) {
+  const auto nodes = runtime->replica_nodes("db");
+  ASSERT_FALSE(nodes.empty());
+  // Kill one db replica directly.
+  for (const auto& proc : h.cluster.node(nodes[0]).processes()) {
+    if (proc.name == "biz.db" && proc.state == cluster::ProcessState::kRunning) {
+      h.cluster.node(nodes[0]).terminate_process(
+          proc.pid, cluster::ProcessState::kKilled, h.cluster.now());
+      break;
+    }
+  }
+  h.run_s(8.0);  // app detector publishes the exit; runtime redeploys
+  EXPECT_EQ(runtime->replicas_running("db"), 2u);
+  EXPECT_GE(runtime->stats().restarts, 1u);
+}
+
+TEST_F(BizTest, NodeCrashHealsAllReplicasOnIt) {
+  const auto web_nodes = runtime->replica_nodes("web");
+  ASSERT_FALSE(web_nodes.empty());
+  h.injector.crash_node(web_nodes[0]);
+  h.run_s(15.0);
+  EXPECT_EQ(runtime->replicas_running("web"), 3u);
+  for (net::NodeId n : runtime->replica_nodes("web")) {
+    EXPECT_TRUE(h.cluster.node(n).alive());
+  }
+}
+
+TEST_F(BizTest, TotalTierLossFailsRequestsThenRecovers) {
+  // Crash every node hosting db replicas at once.
+  for (net::NodeId n : runtime->replica_nodes("db")) {
+    h.injector.crash_node(n);
+  }
+  h.run_s(20.0);  // outage window, then healing
+  EXPECT_GT(runtime->stats().requests_failed, 0u);
+  EXPECT_EQ(runtime->replicas_running("db"), 2u);  // healed
+  h.run_s(5.0);
+  EXPECT_LT(runtime->stats().availability(), 1.0);
+  EXPECT_GT(runtime->stats().availability(), 0.3);
+}
+
+TEST(BizPlacementTest, LeastLoadedAvoidsHotNodes) {
+  KernelHarness h(phoenix::testing::small_cluster_spec(), biz_params());
+  // Make partition 0's computes hot, partition 1's idle, and let detectors
+  // export that to the bulletin.
+  for (net::NodeId n : h.cluster.compute_nodes(net::PartitionId{0})) {
+    h.cluster.node(n).resources().cpu_pct = 95.0;
+  }
+  for (net::NodeId n : h.cluster.compute_nodes(net::PartitionId{1})) {
+    h.cluster.node(n).resources().cpu_pct = 2.0;
+  }
+  for (const auto& node : h.cluster.nodes()) {
+    h.kernel.detector(node.id()).sample_now();
+  }
+  h.run_s(1.0);
+
+  BizConfig config;
+  config.tiers = {{"web", 4, 0.1}};
+  config.placement = PlacementPolicy::kLeastLoaded;
+  config.load_refresh_interval = 1 * sim::kSecond;
+  BusinessRuntime runtime(h.cluster, h.cluster.server_node(net::PartitionId{0}),
+                          h.kernel, config);
+  runtime.start();
+  // Let one load refresh land, then heal-redeploy by crashing a replica...
+  // simpler: the FIRST deployment happens before any load data arrives
+  // (round-robin fallback), so force re-deploys after the cache fills.
+  h.run_s(3.0);
+  for (net::NodeId n : runtime.replica_nodes("web")) {
+    if (h.cluster.partition_of(n) == net::PartitionId{0}) {
+      h.injector.crash_node(n);
+    }
+  }
+  h.run_s(15.0);
+
+  ASSERT_EQ(runtime.replicas_running("web"), 4u);
+  for (net::NodeId n : runtime.replica_nodes("web")) {
+    EXPECT_EQ(h.cluster.partition_of(n), net::PartitionId{1})
+        << "replica landed on hot node " << n.value;
+  }
+}
+
+TEST(BizConfigTest, NoTiersMeansRequestsFail) {
+  KernelHarness h(phoenix::testing::small_cluster_spec(), biz_params());
+  BizConfig config;  // empty tiers
+  BusinessRuntime runtime(h.cluster, h.cluster.server_node(net::PartitionId{0}),
+                          h.kernel, config);
+  runtime.start();
+  h.run_s(1.0);
+  EXPECT_FALSE(runtime.route_request());
+}
+
+}  // namespace
+}  // namespace phoenix::biz

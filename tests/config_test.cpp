@@ -1,0 +1,138 @@
+// Configuration service tests: key tree, versioning, introspection,
+// change hooks, and the message interface.
+#include "kernel/config/configuration_service.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+#include "test_client.h"
+
+namespace phoenix::kernel {
+namespace {
+
+using phoenix::testing::TestClient;
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  ConfigTest()
+      : cluster(phoenix::testing::small_cluster_spec()),
+        service(cluster, net::NodeId{0}) {
+    service.start();
+  }
+
+  cluster::Cluster cluster;
+  ConfigurationService service;
+};
+
+TEST_F(ConfigTest, GetMissingKeyReturnsNullopt) {
+  EXPECT_FALSE(service.get("nope").has_value());
+}
+
+TEST_F(ConfigTest, SetThenGet) {
+  service.set("a/b", "value");
+  ASSERT_TRUE(service.get("a/b").has_value());
+  EXPECT_EQ(*service.get("a/b"), "value");
+}
+
+TEST_F(ConfigTest, VersionsAreMonotonic) {
+  const auto v1 = service.set("k", "1");
+  const auto v2 = service.set("k", "2");
+  const auto v3 = service.set("other", "x");
+  EXPECT_LT(v1, v2);
+  EXPECT_LT(v2, v3);
+  EXPECT_EQ(service.version(), v3);
+  EXPECT_EQ(*service.get("k"), "2");
+}
+
+TEST_F(ConfigTest, EraseRemovesKey) {
+  service.set("gone", "soon");
+  EXPECT_TRUE(service.erase("gone"));
+  EXPECT_FALSE(service.erase("gone"));
+  EXPECT_FALSE(service.get("gone").has_value());
+}
+
+TEST_F(ConfigTest, PrefixQuery) {
+  service.set("hw/node/0", "a");
+  service.set("hw/node/1", "b");
+  service.set("hw/other", "c");
+  service.set("zz", "d");
+  const auto keys = service.keys_with_prefix("hw/node/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "hw/node/0");
+  EXPECT_EQ(keys[1], "hw/node/1");
+  EXPECT_EQ(service.keys_with_prefix("nomatch").size(), 0u);
+}
+
+TEST_F(ConfigTest, IntrospectionPopulatesHardwareBranch) {
+  service.introspect();
+  EXPECT_EQ(*service.get("hardware/partitions"), "2");
+  EXPECT_EQ(*service.get("hardware/nodes"), "12");
+  EXPECT_EQ(*service.get("hardware/networks"), "3");
+  EXPECT_EQ(*service.get("hardware/node/0/role"), "server");
+  EXPECT_EQ(*service.get("hardware/node/1/role"), "backup");
+  EXPECT_EQ(*service.get("hardware/node/2/role"), "compute");
+  EXPECT_EQ(*service.get("hardware/node/6/partition"), "1");
+  EXPECT_EQ(*service.get("hardware/node/0/cpus"), "4");
+}
+
+TEST_F(ConfigTest, ChangeHookFires) {
+  std::vector<std::string> changed;
+  service.set_change_hook(
+      [&](const std::string& key, const std::string&, std::uint64_t) {
+        changed.push_back(key);
+      });
+  service.set("x", "1");
+  service.set("y", "2");
+  EXPECT_EQ(changed, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST_F(ConfigTest, MessageGetAndSet) {
+  TestClient client(cluster, net::NodeId{2});
+  auto set = std::make_shared<ConfigSetMsg>();
+  set->key = "remote";
+  set->value = "hello";
+  set->reply_to = client.address();
+  set->request_id = 7;
+  client.send_any(service.address(), set);
+  cluster.engine().run();
+  const auto* set_reply = client.last_of_type<ConfigSetReplyMsg>();
+  ASSERT_NE(set_reply, nullptr);
+  EXPECT_EQ(set_reply->request_id, 7u);
+  EXPECT_GT(set_reply->version, 0u);
+
+  auto get = std::make_shared<ConfigGetMsg>();
+  get->key = "remote";
+  get->reply_to = client.address();
+  get->request_id = 8;
+  client.send_any(service.address(), get);
+  cluster.engine().run();
+  const auto* get_reply = client.last_of_type<ConfigGetReplyMsg>();
+  ASSERT_NE(get_reply, nullptr);
+  EXPECT_TRUE(get_reply->found);
+  EXPECT_EQ(get_reply->value, "hello");
+}
+
+TEST_F(ConfigTest, MessageGetMissingKey) {
+  TestClient client(cluster, net::NodeId{2});
+  auto get = std::make_shared<ConfigGetMsg>();
+  get->key = "missing";
+  get->reply_to = client.address();
+  client.send_any(service.address(), get);
+  cluster.engine().run();
+  const auto* reply = client.last_of_type<ConfigGetReplyMsg>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_FALSE(reply->found);
+}
+
+TEST(ConfigKernelTest, DirectoryUpdatesLandInConfig) {
+  phoenix::testing::KernelHarness h(phoenix::testing::small_cluster_spec(),
+                                    phoenix::testing::fast_ft_params());
+  h.run_s(1.0);
+  // The kernel mirrors service placement into the configuration tree.
+  h.kernel.set_service_node(ServiceKind::kEventService, net::PartitionId{1},
+                            net::NodeId{7});
+  EXPECT_EQ(*h.kernel.config().get("services/es/1/node"), "7");
+}
+
+}  // namespace
+}  // namespace phoenix::kernel

@@ -1,0 +1,165 @@
+// System construction tool tests: dry-run plans, staged verified boot,
+// incremental ring formation, degraded boot with dead hardware.
+#include "construct/constructor.h"
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_injector.h"
+#include "kernel_fixture.h"
+
+namespace phoenix::construct {
+namespace {
+
+using phoenix::testing::fast_ft_params;
+
+cluster::ClusterSpec spec4() {
+  cluster::ClusterSpec spec;
+  spec.partitions = 4;
+  spec.computes_per_partition = 3;
+  spec.backups_per_partition = 1;
+  return spec;
+}
+
+TEST(ConstructPlanTest, PlanListsEveryStage) {
+  cluster::Cluster cluster(spec4());
+  kernel::PhoenixKernel kernel(cluster, fast_ft_params());
+  SystemConstructor constructor(kernel);
+  const auto steps = constructor.plan();
+  ASSERT_EQ(steps.size(), 2u + 4u + 1u);  // probe, core, 4 partitions, report
+  EXPECT_NE(steps[0].find("probe"), std::string::npos);
+  EXPECT_NE(steps[1].find("core"), std::string::npos);
+  EXPECT_NE(steps[2].find("found meta-group"), std::string::npos);
+  EXPECT_NE(steps[3].find("join meta-group"), std::string::npos);
+}
+
+TEST(ConstructTest, StagedBootBringsUpWholeCluster) {
+  cluster::Cluster cluster(spec4());
+  kernel::PhoenixKernel kernel(cluster, fast_ft_params());
+  SystemConstructor constructor(kernel);
+  const BootReport report = constructor.execute();
+
+  EXPECT_TRUE(report.ok) << report.to_string();
+  ASSERT_EQ(report.partitions.size(), 4u);
+  for (const auto& pr : report.partitions) {
+    EXPECT_TRUE(pr.ok) << report.to_string();
+    EXPECT_TRUE(pr.ring_member);
+    EXPECT_EQ(pr.nodes_deployed, 5u);
+    EXPECT_GE(pr.bulletin_rows, 5u);
+  }
+  // The ring formed incrementally and every member agrees.
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(kernel.gsd(net::PartitionId{p}).view().members.size(), 4u);
+  }
+  // Join order == partition order, so partition 0 leads.
+  EXPECT_TRUE(kernel.gsd(net::PartitionId{0}).is_leader());
+  EXPECT_TRUE(kernel.gsd(net::PartitionId{1}).is_princess());
+}
+
+TEST(ConstructTest, ConstructedSystemSurvivesFaults) {
+  // A staged-boot cluster must be as fault-tolerant as a boot() cluster.
+  cluster::Cluster cluster(spec4());
+  kernel::PhoenixKernel kernel(cluster, fast_ft_params());
+  SystemConstructor constructor(kernel);
+  ASSERT_TRUE(constructor.execute().ok);
+
+  faults::FaultInjector injector(cluster);
+  injector.crash_node(cluster.server_node(net::PartitionId{2}));
+  cluster.engine().run_for(25 * sim::kSecond);
+
+  EXPECT_TRUE(kernel.gsd(net::PartitionId{2}).alive());
+  EXPECT_NE(kernel.gsd(net::PartitionId{2}).node_id(),
+            cluster.server_node(net::PartitionId{2}));
+  const auto record = kernel.fault_log().last("GSD");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->recovered);
+}
+
+TEST(ConstructTest, DeadComputeNodesSkippedAndReported) {
+  cluster::Cluster cluster(spec4());
+  cluster.crash_node(cluster.compute_nodes(net::PartitionId{1})[0]);
+  cluster.crash_node(cluster.compute_nodes(net::PartitionId{1})[1]);
+
+  kernel::PhoenixKernel kernel(cluster, fast_ft_params());
+  SystemConstructor constructor(kernel);
+  const BootReport report = constructor.execute();
+
+  EXPECT_EQ(report.nodes_dead_at_probe, 2u);
+  const auto& pr = report.partitions[1];
+  EXPECT_EQ(pr.nodes_skipped, 2u);
+  EXPECT_EQ(pr.nodes_deployed, 3u);
+  EXPECT_TRUE(pr.ok) << report.to_string();
+}
+
+TEST(ConstructTest, DeadServerNodeFailsItsPartitionOnly) {
+  cluster::Cluster cluster(spec4());
+  cluster.crash_node(cluster.server_node(net::PartitionId{2}));
+
+  kernel::PhoenixKernel kernel(cluster, fast_ft_params());
+  SystemConstructor constructor(kernel);
+  const BootReport report = constructor.execute();
+
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.partitions.size(), 4u);
+  EXPECT_TRUE(report.partitions[0].ok);
+  EXPECT_TRUE(report.partitions[1].ok);
+  EXPECT_FALSE(report.partitions[2].ok);
+  EXPECT_NE(report.partitions[2].note.find("server"), std::string::npos);
+  EXPECT_TRUE(report.partitions[3].ok);
+  // The ring formed from the three healthy partitions.
+  EXPECT_EQ(kernel.gsd(net::PartitionId{0}).view().members.size(), 3u);
+}
+
+TEST(ConstructTest, StopOnFailureHaltsRollout) {
+  cluster::Cluster cluster(spec4());
+  cluster.crash_node(cluster.server_node(net::PartitionId{1}));
+
+  kernel::PhoenixKernel kernel(cluster, fast_ft_params());
+  ConstructOptions options;
+  options.stop_on_failure = true;
+  SystemConstructor constructor(kernel, options);
+  const BootReport report = constructor.execute();
+
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.partitions.size(), 2u);  // 0 ok, 1 failed, stop
+}
+
+TEST(ConstructTest, ReportRendersHumanReadable) {
+  cluster::Cluster cluster(spec4());
+  kernel::PhoenixKernel kernel(cluster, fast_ft_params());
+  SystemConstructor constructor(kernel);
+  const std::string text = constructor.execute().to_string();
+  EXPECT_NE(text.find("boot OK"), std::string::npos);
+  EXPECT_NE(text.find("partition 0"), std::string::npos);
+  EXPECT_NE(text.find("ring=joined"), std::string::npos);
+}
+
+TEST(RingBootstrapTest, LoneRestartedGsdFoundsNewGroupEventually) {
+  // If every peer is unreachable, a recovering GSD must not retry joining
+  // forever: after bounded attempts it founds a singleton group.
+  cluster::ClusterSpec spec;
+  spec.partitions = 2;
+  spec.computes_per_partition = 2;
+  spec.backups_per_partition = 1;
+  cluster::Cluster cluster(spec);
+  kernel::PhoenixKernel kernel(cluster, fast_ft_params());
+  kernel.boot();
+  cluster.engine().run_for(5 * sim::kSecond);
+
+  faults::FaultInjector injector(cluster);
+  // Kill partition 1's whole server (its GSD dies and stays dead: also kill
+  // the backup so migration cannot happen), then restart partition 0's GSD.
+  injector.crash_node(cluster.server_node(net::PartitionId{1}));
+  injector.crash_node(cluster.backup_nodes(net::PartitionId{1})[0]);
+  for (net::NodeId n : cluster.compute_nodes(net::PartitionId{1})) {
+    injector.crash_node(n);
+  }
+  injector.kill_daemon(kernel.gsd(net::PartitionId{0}));
+  kernel.gsd(net::PartitionId{0}).start();
+  cluster.engine().run_for(60 * sim::kSecond);
+
+  EXPECT_TRUE(kernel.gsd(net::PartitionId{0}).joined());
+  EXPECT_TRUE(kernel.gsd(net::PartitionId{0}).is_leader());
+}
+
+}  // namespace
+}  // namespace phoenix::construct

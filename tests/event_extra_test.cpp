@@ -1,0 +1,140 @@
+// Event-service extension tests: wildcard type patterns and history replay.
+#include <gtest/gtest.h>
+
+#include "kernel/event/event_service.h"
+#include "kernel_fixture.h"
+#include "test_client.h"
+
+namespace phoenix::kernel {
+namespace {
+
+using phoenix::testing::KernelHarness;
+using phoenix::testing::TestClient;
+using phoenix::testing::fast_ft_params;
+using phoenix::testing::small_cluster_spec;
+
+TEST(TypePatternTest, ExactPrefixAndStar) {
+  EXPECT_TRUE(Subscription::type_matches("node.failed", "node.failed"));
+  EXPECT_FALSE(Subscription::type_matches("node.failed", "node.recovered"));
+  EXPECT_TRUE(Subscription::type_matches("node.*", "node.failed"));
+  EXPECT_TRUE(Subscription::type_matches("node.*", "node.recovered"));
+  EXPECT_FALSE(Subscription::type_matches("node.*", "network.failed"));
+  EXPECT_FALSE(Subscription::type_matches("node.*", "node"));
+  EXPECT_TRUE(Subscription::type_matches("*", "anything.at.all"));
+}
+
+class EventExtraTest : public ::testing::Test {
+ protected:
+  EventExtraTest() : h(small_cluster_spec(), fast_ft_params()) { h.run_s(1.0); }
+
+  EventService& es(std::uint32_t p) {
+    return h.kernel.event_service(net::PartitionId{p});
+  }
+
+  KernelHarness h;
+};
+
+TEST_F(EventExtraTest, WildcardSubscriptionSpansTypes) {
+  TestClient client(h.cluster, net::NodeId{2});
+  Subscription sub;
+  sub.consumer = client.address();
+  sub.types = {"node.*"};
+  es(0).subscribe_local(sub, false);
+
+  for (const char* type : {"node.failed", "node.recovered", "network.failed"}) {
+    Event e;
+    e.type = type;
+    es(0).publish_local(e);
+  }
+  h.run_s(1.0);
+  EXPECT_EQ(client.of_type<EsNotifyMsg>().size(), 2u);
+}
+
+TEST_F(EventExtraTest, ReplayDeliversHistoryToLateSubscriber) {
+  // Publish history BEFORE the consumer exists.
+  for (int i = 0; i < 5; ++i) {
+    Event e;
+    e.type = "audit.entry";
+    e.attrs = {{"index", std::to_string(i)}};
+    es(0).publish_local(e);
+  }
+  h.run_s(1.0);
+
+  TestClient late(h.cluster, net::NodeId{3});
+  auto replay = std::make_shared<EsReplayMsg>();
+  replay->subscription.consumer = late.address();
+  replay->subscription.types = {"audit.entry"};
+  late.send_any(es(0).address(), replay);
+  h.run_s(1.0);
+
+  const auto got = late.of_type<EsNotifyMsg>();
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got.front()->event.attr("index"), "0");
+  EXPECT_EQ(got.back()->event.attr("index"), "4");
+}
+
+TEST_F(EventExtraTest, ReplayAfterSeqSkipsOldEvents) {
+  std::uint64_t third_seq = 0;
+  for (int i = 0; i < 5; ++i) {
+    Event e;
+    e.type = "audit.entry";
+    es(0).publish_local(e);
+    if (i == 2) third_seq = es(0).published_count();
+  }
+  TestClient late(h.cluster, net::NodeId{3});
+  auto replay = std::make_shared<EsReplayMsg>();
+  replay->subscription.consumer = late.address();
+  replay->after_seq = third_seq;
+  late.send_any(es(0).address(), replay);
+  h.run_s(1.0);
+  EXPECT_EQ(late.of_type<EsNotifyMsg>().size(), 2u);
+}
+
+TEST_F(EventExtraTest, ReplayHonorsFilters) {
+  for (int i = 0; i < 4; ++i) {
+    Event e;
+    e.type = i % 2 == 0 ? "a.even" : "a.odd";
+    es(0).publish_local(e);
+  }
+  TestClient late(h.cluster, net::NodeId{3});
+  auto replay = std::make_shared<EsReplayMsg>();
+  replay->subscription.consumer = late.address();
+  replay->subscription.types = {"a.odd"};
+  late.send_any(es(0).address(), replay);
+  h.run_s(1.0);
+  EXPECT_EQ(late.of_type<EsNotifyMsg>().size(), 2u);
+}
+
+TEST_F(EventExtraTest, HistoryBounded) {
+  es(0).set_history_limit(10);
+  for (int i = 0; i < 50; ++i) {
+    Event e;
+    e.type = "flood";
+    es(0).publish_local(e);
+  }
+  EXPECT_EQ(es(0).history_size(), 10u);
+
+  // Replay returns only the retained tail.
+  TestClient late(h.cluster, net::NodeId{3});
+  auto replay = std::make_shared<EsReplayMsg>();
+  replay->subscription.consumer = late.address();
+  late.send_any(es(0).address(), replay);
+  h.run_s(1.0);
+  EXPECT_EQ(late.of_type<EsNotifyMsg>().size(), 10u);
+}
+
+TEST_F(EventExtraTest, HistoryDisabledMeansNoReplay) {
+  es(0).set_history_limit(0);
+  Event e;
+  e.type = "gone";
+  es(0).publish_local(e);
+  TestClient late(h.cluster, net::NodeId{3});
+  auto replay = std::make_shared<EsReplayMsg>();
+  replay->subscription.consumer = late.address();
+  late.send_any(es(0).address(), replay);
+  h.run_s(1.0);
+  EXPECT_EQ(late.of_type<EsNotifyMsg>().size(), 0u);
+}
+
+}  // namespace
+}  // namespace phoenix::kernel

@@ -1,0 +1,102 @@
+// FaultLog unit tests: record matching and recovery-marking semantics the
+// whole fault-handling pipeline depends on.
+#include "kernel/fault_log.h"
+
+#include <gtest/gtest.h>
+
+namespace phoenix::kernel {
+namespace {
+
+FaultRecord record(const char* component, net::NodeId node,
+                   net::PartitionId partition,
+                   FaultKind kind = FaultKind::kProcessFailure) {
+  FaultRecord r;
+  r.component = component;
+  r.kind = kind;
+  r.node = node;
+  r.partition = partition;
+  r.detected_at = 100;
+  r.diagnosed_at = 200;
+  return r;
+}
+
+TEST(FaultLogTest, AppendAndLast) {
+  FaultLog log;
+  EXPECT_FALSE(log.last("WD").has_value());
+  log.append(record("WD", net::NodeId{1}, net::PartitionId{0}));
+  log.append(record("ES", net::NodeId{2}, net::PartitionId{0}));
+  log.append(record("WD", net::NodeId{3}, net::PartitionId{1}));
+
+  ASSERT_TRUE(log.last("WD").has_value());
+  EXPECT_EQ(log.last("WD")->node.value, 3u);  // newest match
+  EXPECT_EQ(log.last("ES")->node.value, 2u);
+  EXPECT_FALSE(log.last("DB").has_value());
+  EXPECT_EQ(log.records().size(), 3u);
+}
+
+TEST(FaultLogTest, LastWithKindFilter) {
+  FaultLog log;
+  log.append(record("WD", net::NodeId{1}, net::PartitionId{0},
+                    FaultKind::kNodeFailure));
+  log.append(record("WD", net::NodeId{2}, net::PartitionId{0},
+                    FaultKind::kProcessFailure));
+  EXPECT_EQ(log.last("WD", FaultKind::kNodeFailure)->node.value, 1u);
+  EXPECT_EQ(log.last("WD", FaultKind::kProcessFailure)->node.value, 2u);
+  EXPECT_FALSE(log.last("WD", FaultKind::kNetworkFailure).has_value());
+}
+
+TEST(FaultLogTest, MarkRecoveredByNode) {
+  FaultLog log;
+  log.append(record("WD", net::NodeId{1}, net::PartitionId{0}));
+  log.append(record("WD", net::NodeId{2}, net::PartitionId{0}));
+
+  EXPECT_TRUE(log.mark_recovered("WD", net::NodeId{1}, 500));
+  EXPECT_FALSE(log.last("WD")->recovered);  // node 2 untouched
+  const auto r1 = log.records()[0];
+  EXPECT_TRUE(r1.recovered);
+  EXPECT_EQ(r1.recovered_at, 500u);
+
+  // Already-recovered records do not match again.
+  EXPECT_FALSE(log.mark_recovered("WD", net::NodeId{1}, 600));
+  // Unknown component/node.
+  EXPECT_FALSE(log.mark_recovered("ES", net::NodeId{1}, 600));
+  EXPECT_FALSE(log.mark_recovered("WD", net::NodeId{9}, 600));
+}
+
+TEST(FaultLogTest, MarkRecoveredNewestFirst) {
+  FaultLog log;
+  log.append(record("WD", net::NodeId{1}, net::PartitionId{0}));
+  log.append(record("WD", net::NodeId{1}, net::PartitionId{0}));
+  EXPECT_TRUE(log.mark_recovered("WD", net::NodeId{1}, 500));
+  // The NEWEST open record was closed.
+  EXPECT_TRUE(log.records()[1].recovered);
+  EXPECT_FALSE(log.records()[0].recovered);
+}
+
+TEST(FaultLogTest, MarkRecoveredByPartition) {
+  FaultLog log;
+  // Migration case: the recovered instance lives on a different node.
+  log.append(record("GSD", net::NodeId{0}, net::PartitionId{2},
+                    FaultKind::kNodeFailure));
+  EXPECT_TRUE(log.mark_recovered_partition("GSD", net::PartitionId{2}, 900));
+  EXPECT_TRUE(log.records()[0].recovered);
+  EXPECT_FALSE(log.mark_recovered_partition("GSD", net::PartitionId{2}, 950));
+  EXPECT_FALSE(log.mark_recovered_partition("GSD", net::PartitionId{3}, 950));
+}
+
+TEST(FaultLogTest, ClearEmptiesEverything) {
+  FaultLog log;
+  log.append(record("WD", net::NodeId{1}, net::PartitionId{0}));
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_FALSE(log.last("WD").has_value());
+}
+
+TEST(FaultKindTest, ToString) {
+  EXPECT_EQ(to_string(FaultKind::kProcessFailure), "process");
+  EXPECT_EQ(to_string(FaultKind::kNodeFailure), "node");
+  EXPECT_EQ(to_string(FaultKind::kNetworkFailure), "network");
+}
+
+}  // namespace
+}  // namespace phoenix::kernel

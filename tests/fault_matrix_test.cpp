@@ -1,0 +1,191 @@
+// Failure-injection matrix beyond the paper's single-fault tables: double
+// faults, cascading failures, failures during recovery, and whole-network
+// outages. The invariant under test is always the same: the kernel ends in
+// a consistent state (ring converged, services supervised, no stuck
+// diagnosis) whenever recovery is physically possible.
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+
+namespace phoenix::kernel {
+namespace {
+
+using phoenix::testing::KernelHarness;
+using phoenix::testing::fast_ft_params;
+
+cluster::ClusterSpec matrix_spec() {
+  cluster::ClusterSpec spec;
+  spec.partitions = 4;
+  spec.computes_per_partition = 4;
+  spec.backups_per_partition = 2;  // enough spare capacity for double faults
+  return spec;
+}
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  FaultMatrixTest() : h(matrix_spec(), fast_ft_params()) {
+    h.run_s(5.0);
+    h.kernel.fault_log().clear();
+  }
+
+  void expect_converged(std::size_t expected_members) {
+    std::size_t leaders = 0;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      auto& gsd = h.kernel.gsd(net::PartitionId{p});
+      if (!gsd.alive()) continue;
+      EXPECT_EQ(gsd.view().members.size(), expected_members) << "partition " << p;
+      if (gsd.is_leader()) ++leaders;
+    }
+    EXPECT_EQ(leaders, 1u);
+  }
+
+  KernelHarness h;
+};
+
+TEST_F(FaultMatrixTest, TwoServerNodesCrashSimultaneously) {
+  h.injector.crash_node(h.cluster.server_node(net::PartitionId{1}));
+  h.injector.crash_node(h.cluster.server_node(net::PartitionId{2}));
+  h.run_s(40.0);
+
+  expect_converged(4);
+  for (std::uint32_t p : {1u, 2u}) {
+    EXPECT_TRUE(h.kernel.gsd(net::PartitionId{p}).alive()) << p;
+    EXPECT_TRUE(h.kernel.event_service(net::PartitionId{p}).alive()) << p;
+    EXPECT_TRUE(h.kernel.bulletin(net::PartitionId{p}).alive()) << p;
+  }
+}
+
+TEST_F(FaultMatrixTest, LeaderAndPrincessCrashTogether) {
+  h.injector.crash_node(h.cluster.server_node(net::PartitionId{0}));
+  h.injector.crash_node(h.cluster.server_node(net::PartitionId{1}));
+  h.run_s(45.0);
+
+  expect_converged(4);
+  // Someone from {2,3} must have taken the lead before the recovered
+  // members rejoined at the tail.
+  const auto& view = h.kernel.gsd(net::PartitionId{2}).view();
+  EXPECT_TRUE(view.leader()->partition == net::PartitionId{2} ||
+              view.leader()->partition == net::PartitionId{3});
+}
+
+TEST_F(FaultMatrixTest, BackupDiesDuringMigration) {
+  const net::NodeId server = h.cluster.server_node(net::PartitionId{1});
+  const auto backups = h.cluster.backup_nodes(net::PartitionId{1});
+  h.injector.crash_node(server);
+  // Kill the first backup while detection/diagnosis is still running, so
+  // the migration must pick the second backup.
+  h.run_s(1.0);
+  h.injector.crash_node(backups[0]);
+  h.run_s(40.0);
+
+  auto& gsd = h.kernel.gsd(net::PartitionId{1});
+  EXPECT_TRUE(gsd.alive());
+  EXPECT_EQ(gsd.node_id(), backups[1]);
+  expect_converged(4);
+}
+
+TEST_F(FaultMatrixTest, MigratedServerDiesAgain) {
+  const net::NodeId server = h.cluster.server_node(net::PartitionId{2});
+  h.injector.crash_node(server);
+  h.run_s(25.0);
+  const net::NodeId first_target = h.kernel.gsd(net::PartitionId{2}).node_id();
+  ASSERT_NE(first_target, server);
+
+  h.injector.crash_node(first_target);
+  h.run_s(40.0);
+  auto& gsd = h.kernel.gsd(net::PartitionId{2});
+  EXPECT_TRUE(gsd.alive());
+  EXPECT_NE(gsd.node_id(), server);
+  EXPECT_NE(gsd.node_id(), first_target);
+  expect_converged(4);
+}
+
+TEST_F(FaultMatrixTest, WholeNetworkOutageSurvivedByRedundancy) {
+  // Losing one of three networks cluster-wide must not trigger any node
+  // or process failure handling — heartbeats keep flowing on the others.
+  h.injector.fail_network(net::NetworkId{0});
+  h.run_s(20.0);
+  for (const auto& record : h.kernel.fault_log().records()) {
+    EXPECT_EQ(record.kind, FaultKind::kNetworkFailure) << record.component;
+  }
+  expect_converged(4);
+
+  h.injector.restore_network(net::NetworkId{0});
+  h.run_s(10.0);
+  expect_converged(4);
+}
+
+TEST_F(FaultMatrixTest, TwoNetworksDownStillNoFalseNodeFailure) {
+  h.injector.fail_network(net::NetworkId{0});
+  h.injector.fail_network(net::NetworkId{2});
+  h.run_s(20.0);
+  for (const auto& record : h.kernel.fault_log().records()) {
+    EXPECT_EQ(record.kind, FaultKind::kNetworkFailure) << record.component;
+  }
+  expect_converged(4);
+}
+
+TEST_F(FaultMatrixTest, EsDiesWhileCheckpointServiceIsAlsoDead) {
+  // Without its checkpoint instance the recovering ES retries and finally
+  // comes up with an empty registry — degraded but alive.
+  h.injector.kill_daemon(h.kernel.checkpoint_service(net::PartitionId{1}));
+  h.injector.kill_daemon(h.kernel.event_service(net::PartitionId{1}));
+  h.run_s(40.0);
+  EXPECT_TRUE(h.kernel.event_service(net::PartitionId{1}).alive());
+  EXPECT_TRUE(h.kernel.checkpoint_service(net::PartitionId{1}).alive());
+}
+
+TEST_F(FaultMatrixTest, RepeatedWdCrashesAlwaysRecovered) {
+  const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{3})[1];
+  for (int round = 0; round < 4; ++round) {
+    h.injector.kill_daemon(h.kernel.watch_daemon(victim));
+    h.run_s(10.0);
+    EXPECT_TRUE(h.kernel.watch_daemon(victim).alive()) << "round " << round;
+  }
+  std::size_t recovered = 0;
+  for (const auto& record : h.kernel.fault_log().records()) {
+    if (record.component == "WD" && record.recovered) ++recovered;
+  }
+  EXPECT_EQ(recovered, 4u);
+}
+
+TEST_F(FaultMatrixTest, HalfTheComputeNodesDie) {
+  std::size_t crashed = 0;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const auto computes = h.cluster.compute_nodes(net::PartitionId{p});
+    for (std::size_t i = 0; i < computes.size() / 2; ++i) {
+      h.injector.crash_node(computes[i]);
+      ++crashed;
+    }
+  }
+  h.run_s(30.0);
+  std::size_t node_failures = 0;
+  for (const auto& record : h.kernel.fault_log().records()) {
+    if (record.component == "WD" && record.kind == FaultKind::kNodeFailure) {
+      ++node_failures;
+    }
+  }
+  EXPECT_EQ(node_failures, crashed);
+  expect_converged(4);
+}
+
+TEST_F(FaultMatrixTest, FlappingInterfaceProducesPairedEvents) {
+  const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{0})[0];
+  for (int round = 0; round < 3; ++round) {
+    h.injector.cut_interface(victim, net::NetworkId{1});
+    h.run_s(6.0);
+    h.injector.restore_interface(victim, net::NetworkId{1});
+    h.run_s(6.0);
+  }
+  std::size_t network_faults = 0;
+  for (const auto& record : h.kernel.fault_log().records()) {
+    if (record.kind == FaultKind::kNetworkFailure && record.node == victim) {
+      ++network_faults;
+      EXPECT_TRUE(record.recovered);
+    }
+  }
+  EXPECT_EQ(network_faults, 3u);
+}
+
+}  // namespace
+}  // namespace phoenix::kernel

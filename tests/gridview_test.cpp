@@ -1,0 +1,105 @@
+// GridView tests: single-access-point cluster queries, event subscription,
+// dashboard rendering, degraded operation.
+#include "gridview/gridview.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+#include "workload/resource_model.h"
+
+namespace phoenix::gridview {
+namespace {
+
+using phoenix::testing::KernelHarness;
+using phoenix::testing::fast_ft_params;
+using phoenix::testing::small_cluster_spec;
+
+class GridViewTest : public ::testing::Test {
+ protected:
+  GridViewTest()
+      : h(small_cluster_spec(), fast_ft_params()),
+        model(h.cluster, workload_params()),
+        view(h.cluster, h.cluster.compute_nodes(net::PartitionId{0})[0], h.kernel,
+             2 * sim::kSecond) {
+    model.start();
+    view.start();
+    h.run_s(6.0);  // detectors sample, refreshes happen
+  }
+
+  static workload::ResourceModelParams workload_params() {
+    workload::ResourceModelParams p;
+    p.update_interval = sim::kSecond;
+    return p;
+  }
+
+  KernelHarness h;
+  workload::ResourceModel model;
+  GridView view;
+};
+
+TEST_F(GridViewTest, RefreshCollectsClusterWideRows) {
+  EXPECT_GT(view.refreshes_completed(), 0u);
+  EXPECT_EQ(view.last_summary().node_count, h.cluster.node_count());
+  EXPECT_EQ(view.last_partitions_included(), 2u);
+  EXPECT_GT(view.last_refresh_latency(), 0u);
+}
+
+TEST_F(GridViewTest, SummaryTracksResourceModel) {
+  const auto& s = view.last_summary();
+  EXPECT_GT(s.avg_mem_pct, 20.0);
+  EXPECT_LT(s.avg_mem_pct, 80.0);
+  EXPECT_GE(s.avg_cpu_pct, 0.0);
+  EXPECT_LT(s.avg_swap_pct, 5.0);
+}
+
+TEST_F(GridViewTest, ReceivesFailureEventsInRealTime) {
+  const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{1})[1];
+  h.injector.crash_node(victim);
+  h.run_s(10.0);
+  bool saw_failure = false;
+  for (const auto& e : view.events()) {
+    if (e.type == kernel::event_types::kNodeFailed && e.subject_node == victim) {
+      saw_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST_F(GridViewTest, DegradedWhenOneBulletinDownThenSelfHeals) {
+  h.kernel.bulletin(net::PartitionId{1}).kill();
+  // Refresh inside the outage window: only partition 0 answers. Keep the
+  // observation window shorter than the next periodic refresh, because the
+  // GSD restarts the bulletin within its supervision period.
+  view.refresh_now();
+  h.run_s(0.8);
+  EXPECT_EQ(view.last_partitions_included(), 1u);
+  EXPECT_EQ(view.last_summary().node_count, 6u);
+
+  // Self-healing: the supervising GSD restarts the instance and detectors
+  // repopulate it, so a later refresh is whole again.
+  h.run_s(10.0);
+  EXPECT_EQ(view.last_partitions_included(), 2u);
+  EXPECT_EQ(view.last_summary().node_count, 12u);
+}
+
+TEST_F(GridViewTest, DashboardRendersKeyFigures) {
+  const std::string dashboard = view.render_dashboard();
+  EXPECT_NE(dashboard.find("GridView"), std::string::npos);
+  EXPECT_NE(dashboard.find("CPU"), std::string::npos);
+  EXPECT_NE(dashboard.find("MEM"), std::string::npos);
+  EXPECT_NE(dashboard.find("SWAP"), std::string::npos);
+  EXPECT_NE(dashboard.find("nodes:"), std::string::npos);
+}
+
+TEST_F(GridViewTest, EventBufferBounded) {
+  for (int i = 0; i < 300; ++i) {
+    kernel::Event e;
+    e.type = std::string(kernel::event_types::kNodeFailed);
+    h.kernel.event_service(net::PartitionId{0}).publish_local(e);
+  }
+  h.run_s(2.0);
+  EXPECT_LE(view.events().size(), 256u);
+}
+
+}  // namespace
+}  // namespace phoenix::gridview

@@ -1,0 +1,313 @@
+// Group service tests: heartbeat monitoring, fault diagnosis (process vs.
+// node vs. network), WD restart, meta-group ring membership, Leader /
+// Princess takeover, GSD restart and migration.
+#include "kernel/group/group_service.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+
+namespace phoenix::kernel {
+namespace {
+
+using phoenix::testing::KernelHarness;
+using phoenix::testing::fast_ft_params;
+using phoenix::testing::small_cluster_spec;
+
+class GroupServiceTest : public ::testing::Test {
+ protected:
+  GroupServiceTest() : h(small_cluster_spec(), fast_ft_params()) {
+    // Let the system settle: a few heartbeat rounds.
+    h.run_s(5.0);
+    h.kernel.fault_log().clear();
+  }
+
+  phoenix::testing::KernelHarness h;
+};
+
+TEST_F(GroupServiceTest, BootFormsFullMetaGroup) {
+  const auto& view = h.kernel.gsd(net::PartitionId{0}).view();
+  EXPECT_EQ(view.members.size(), 2u);
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{0}).is_leader());
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{1}).is_princess());
+  EXPECT_FALSE(h.kernel.gsd(net::PartitionId{1}).is_leader());
+}
+
+TEST_F(GroupServiceTest, HeartbeatsFlow) {
+  const auto before = h.kernel.gsd(net::PartitionId{0}).heartbeats_received();
+  h.run_s(4.0);
+  EXPECT_GT(h.kernel.gsd(net::PartitionId{0}).heartbeats_received(), before);
+}
+
+TEST_F(GroupServiceTest, HealthyClusterLogsNoFaults) {
+  h.run_s(30.0);
+  EXPECT_TRUE(h.kernel.fault_log().records().empty());
+}
+
+TEST_F(GroupServiceTest, WdProcessFailureDiagnosedAndRestarted) {
+  const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{0})[1];
+  const sim::SimTime injected = h.injector.kill_daemon(h.kernel.watch_daemon(victim));
+  h.run_s(10.0);
+
+  const auto record = h.kernel.fault_log().last("WD");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->kind, FaultKind::kProcessFailure);
+  EXPECT_EQ(record->node, victim);
+  EXPECT_TRUE(record->recovered);
+  // Detection happens at the first check after one missed heartbeat; with
+  // an arbitrary fault phase that is at most ~2 intervals.
+  const auto detect = record->detected_at - injected;
+  EXPECT_GE(detect, 1 * sim::kSecond);
+  EXPECT_LE(detect, 2 * 2 * sim::kSecond + sim::kSecond);
+  // Diagnosis: probe RTT + confirmation round, well under a second.
+  EXPECT_LT(record->diagnosed_at - record->detected_at, sim::kSecond);
+  // The WD is actually running again and beating.
+  EXPECT_TRUE(h.kernel.watch_daemon(victim).alive());
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{0}).node_status(victim),
+            GroupServiceDaemon::NodeStatus::kHealthy);
+}
+
+TEST_F(GroupServiceTest, NodeFailureDiagnosedNoMigrationForComputeNode) {
+  const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{0})[0];
+  h.injector.crash_node(victim);
+  h.run_s(12.0);
+
+  const auto record = h.kernel.fault_log().last("WD");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->kind, FaultKind::kNodeFailure);
+  EXPECT_EQ(record->node, victim);
+  EXPECT_TRUE(record->recovered);
+  EXPECT_EQ(record->recovered_at, record->diagnosed_at);  // nothing to migrate
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{0}).node_status(victim),
+            GroupServiceDaemon::NodeStatus::kNodeFailed);
+}
+
+TEST_F(GroupServiceTest, NodeRecoveryDetectedWhenWdResumes) {
+  const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{0})[0];
+  h.injector.crash_node(victim);
+  h.run_s(12.0);
+  ASSERT_EQ(h.kernel.gsd(net::PartitionId{0}).node_status(victim),
+            GroupServiceDaemon::NodeStatus::kNodeFailed);
+
+  h.injector.restore_node(victim);
+  h.kernel.watch_daemon(victim).start();
+  h.run_s(5.0);
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{0}).node_status(victim),
+            GroupServiceDaemon::NodeStatus::kHealthy);
+}
+
+TEST_F(GroupServiceTest, SingleNetworkFailureDiagnosedWithZeroRecovery) {
+  const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{0})[2];
+  h.injector.cut_interface(victim, net::NetworkId{1});
+  h.run_s(8.0);
+
+  const auto record = h.kernel.fault_log().last("WD", FaultKind::kNetworkFailure);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->node, victim);
+  EXPECT_EQ(record->network, net::NetworkId{1});
+  EXPECT_TRUE(record->recovered);
+  EXPECT_EQ(record->recovered_at, record->diagnosed_at);
+  // Diagnosis is table analysis: sub-millisecond.
+  EXPECT_LE(record->diagnosed_at - record->detected_at, sim::kMillisecond);
+  // The node itself stays healthy.
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{0}).node_status(victim),
+            GroupServiceDaemon::NodeStatus::kHealthy);
+}
+
+TEST_F(GroupServiceTest, AllNetworksCutDiagnosedAsNodeFailure) {
+  // With every interface down the node is unreachable; the GSD cannot and
+  // should not distinguish this from a crash.
+  const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{0})[3];
+  for (std::uint8_t n = 0; n < 3; ++n) {
+    h.injector.cut_interface(victim, net::NetworkId{n});
+  }
+  h.run_s(12.0);
+  const auto record = h.kernel.fault_log().last("WD");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->kind, FaultKind::kNodeFailure);
+}
+
+TEST_F(GroupServiceTest, GsdProcessFailureRestartedInPlace) {
+  auto& victim = h.kernel.gsd(net::PartitionId{1});
+  const net::NodeId victim_node = victim.node_id();
+  h.injector.kill_daemon(victim);
+  h.run_s(15.0);
+
+  const auto record = h.kernel.fault_log().last("GSD");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->kind, FaultKind::kProcessFailure);
+  EXPECT_EQ(record->partition, net::PartitionId{1});
+  EXPECT_TRUE(record->recovered);
+
+  // Restarted on the SAME node, rejoined the ring at the tail.
+  auto& recovered = h.kernel.gsd(net::PartitionId{1});
+  EXPECT_TRUE(recovered.alive());
+  EXPECT_EQ(recovered.node_id(), victim_node);
+  const auto& view = h.kernel.gsd(net::PartitionId{0}).view();
+  EXPECT_EQ(view.members.size(), 2u);
+  EXPECT_TRUE(view.contains(net::PartitionId{1}));
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{0}).is_leader());
+}
+
+TEST_F(GroupServiceTest, ServerNodeCrashMigratesGsdToBackup) {
+  const net::NodeId server = h.cluster.server_node(net::PartitionId{1});
+  const net::NodeId backup = h.cluster.backup_nodes(net::PartitionId{1})[0];
+  h.injector.crash_node(server);
+  h.run_s(20.0);
+
+  const auto record = h.kernel.fault_log().last("GSD");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->kind, FaultKind::kNodeFailure);
+  EXPECT_TRUE(record->recovered);
+
+  auto& migrated = h.kernel.gsd(net::PartitionId{1});
+  EXPECT_TRUE(migrated.alive());
+  EXPECT_EQ(migrated.node_id(), backup);
+  EXPECT_EQ(h.kernel.service_node(ServiceKind::kGroupService, net::PartitionId{1}),
+            backup);
+  // Ring reformed with both partitions.
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{0}).view().members.size(), 2u);
+}
+
+TEST_F(GroupServiceTest, ServerNodeCrashAlsoRecoversKernelServices) {
+  const net::NodeId server = h.cluster.server_node(net::PartitionId{1});
+  const net::NodeId backup = h.cluster.backup_nodes(net::PartitionId{1})[0];
+  h.injector.crash_node(server);
+  h.run_s(30.0);
+
+  for (const char* component : {"ES", "DB", "CS"}) {
+    const auto record = h.kernel.fault_log().last(component);
+    ASSERT_TRUE(record.has_value()) << component;
+    EXPECT_EQ(record->kind, FaultKind::kNodeFailure) << component;
+    EXPECT_TRUE(record->recovered) << component;
+  }
+  EXPECT_TRUE(h.kernel.event_service(net::PartitionId{1}).alive());
+  EXPECT_EQ(h.kernel.event_service(net::PartitionId{1}).node_id(), backup);
+  EXPECT_TRUE(h.kernel.checkpoint_service(net::PartitionId{1}).alive());
+  EXPECT_TRUE(h.kernel.bulletin(net::PartitionId{1}).alive());
+
+  // Partition WDs re-pointed their heartbeats to the migrated GSD.
+  const net::NodeId compute = h.cluster.compute_nodes(net::PartitionId{1})[0];
+  EXPECT_EQ(h.kernel.watch_daemon(compute).gsd_address().node, backup);
+}
+
+TEST_F(GroupServiceTest, LeaderFailurePromotesPrincess) {
+  // Partition 0 holds the leader; crash its server node.
+  const net::NodeId server = h.cluster.server_node(net::PartitionId{0});
+  h.injector.crash_node(server);
+  h.run_s(20.0);
+
+  // The princess (partition 1) must now lead.
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{1}).is_leader());
+  // The recovered partition-0 GSD rejoined at the tail, not as leader.
+  EXPECT_FALSE(h.kernel.gsd(net::PartitionId{0}).is_leader());
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{0}).alive());
+}
+
+TEST_F(GroupServiceTest, GsdNetworkFailureDetectedByRingSuccessor) {
+  const net::NodeId server = h.cluster.server_node(net::PartitionId{0});
+  const net::NodeId peer_server = h.cluster.server_node(net::PartitionId{1});
+  h.injector.cut_interface(server, net::NetworkId{2});
+  h.run_s(8.0);
+  // The node's own GSD pins it precisely via WD heartbeat analysis.
+  const auto wd = h.kernel.fault_log().last("WD", FaultKind::kNetworkFailure);
+  ASSERT_TRUE(wd.has_value());
+  EXPECT_EQ(wd->node, server);
+  EXPECT_EQ(wd->network, net::NetworkId{2});
+  EXPECT_EQ(wd->recovered_at, wd->diagnosed_at);
+  // Ring heartbeats over that network also go stale; the observing GSD
+  // attributes the loss to one endpoint of the ring edge (it cannot tell a
+  // peer NIC from its own — a documented ambiguity of link-level faults).
+  const auto gsd = h.kernel.fault_log().last("GSD", FaultKind::kNetworkFailure);
+  ASSERT_TRUE(gsd.has_value());
+  EXPECT_TRUE(gsd->node == server || gsd->node == peer_server);
+  EXPECT_EQ(gsd->network, net::NetworkId{2});
+  EXPECT_EQ(gsd->recovered_at, gsd->diagnosed_at);
+}
+
+TEST_F(GroupServiceTest, MetaViewSurvivesDoubleFault) {
+  // Crash two compute nodes at once; the ring (server-level) is unaffected
+  // and both faults are diagnosed.
+  const net::NodeId a = h.cluster.compute_nodes(net::PartitionId{0})[0];
+  const net::NodeId b = h.cluster.compute_nodes(net::PartitionId{1})[0];
+  h.injector.crash_node(a);
+  h.injector.crash_node(b);
+  h.run_s(12.0);
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{0}).view().members.size(), 2u);
+  std::size_t node_failures = 0;
+  for (const auto& r : h.kernel.fault_log().records()) {
+    if (r.component == "WD" && r.kind == FaultKind::kNodeFailure) ++node_failures;
+  }
+  EXPECT_EQ(node_failures, 2u);
+}
+
+TEST(GroupServiceRingTest, LargerRingFormsAndSurvivesMemberFailure) {
+  cluster::ClusterSpec spec = small_cluster_spec();
+  spec.partitions = 5;
+  KernelHarness h(spec, fast_ft_params());
+  h.run_s(5.0);
+
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(h.kernel.gsd(net::PartitionId{p}).view().members.size(), 5u);
+  }
+  // Kill the GSD in the middle of the ring.
+  h.injector.kill_daemon(h.kernel.gsd(net::PartitionId{2}));
+  h.run_s(15.0);
+  // Everyone converged on a view containing all five members again
+  // (partition 2 rejoined after the in-place restart).
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(h.kernel.gsd(net::PartitionId{p}).view().members.size(), 5u)
+        << "partition " << p;
+  }
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{2}).alive());
+}
+
+TEST(MetaViewTest, RingOrderAndRoles) {
+  MetaView view;
+  view.view_id = 3;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    view.members.push_back(MetaMember{
+        net::PartitionId{p}, {net::NodeId{p * 10}, net::PortId{2}}, 0});
+  }
+  EXPECT_EQ(view.leader()->partition.value, 0u);
+  EXPECT_EQ(view.princess()->partition.value, 1u);
+  EXPECT_EQ(view.successor_of(net::PartitionId{3})->partition.value, 0u);
+  EXPECT_EQ(view.predecessor_of(net::PartitionId{0})->partition.value, 3u);
+  EXPECT_TRUE(view.remove(net::PartitionId{1}));
+  EXPECT_FALSE(view.remove(net::PartitionId{1}));
+  EXPECT_EQ(view.princess()->partition.value, 2u);  // next member takes over
+}
+
+TEST(MetaViewTest, SerializationRoundTrip) {
+  MetaView view;
+  view.view_id = 42;
+  view.members.push_back(
+      MetaMember{net::PartitionId{0}, {net::NodeId{0}, net::PortId{2}}, 0});
+  view.members.push_back(
+      MetaMember{net::PartitionId{3}, {net::NodeId{17}, net::PortId{2}}, 123456});
+  const MetaView parsed = MetaView::deserialize(view.serialize());
+  EXPECT_EQ(parsed.view_id, 42u);
+  ASSERT_EQ(parsed.members.size(), 2u);
+  EXPECT_EQ(parsed.members[1].partition.value, 3u);
+  EXPECT_EQ(parsed.members[1].gsd.node.value, 17u);
+  EXPECT_EQ(parsed.members[1].incarnation, 123456u);
+}
+
+TEST(MetaViewTest, DeserializeEmptyAndMalformed) {
+  EXPECT_TRUE(MetaView::deserialize("").members.empty());
+  const MetaView v = MetaView::deserialize("7|bad,data");
+  EXPECT_EQ(v.view_id, 7u);
+  EXPECT_TRUE(v.members.empty());
+}
+
+TEST(SinglePartitionTest, SingletonClusterRunsWithoutMetaTraffic) {
+  cluster::ClusterSpec spec = small_cluster_spec();
+  spec.partitions = 1;
+  KernelHarness h(spec, fast_ft_params());
+  h.run_s(10.0);
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{0}).is_leader());
+  EXPECT_TRUE(h.kernel.fault_log().records().empty());
+}
+
+}  // namespace
+}  // namespace phoenix::kernel

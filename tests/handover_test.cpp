@@ -1,0 +1,110 @@
+// Planned-handover tests: relocating a partition's services for
+// maintenance, then safely shutting down the old server node.
+#include <gtest/gtest.h>
+
+#include "admin/admin_console.h"
+#include "kernel_fixture.h"
+#include "test_client.h"
+
+namespace phoenix::admin {
+namespace {
+
+using phoenix::testing::KernelHarness;
+using phoenix::testing::fast_ft_params;
+using phoenix::testing::small_cluster_spec;
+
+class HandoverTest : public ::testing::Test {
+ protected:
+  HandoverTest()
+      : h(small_cluster_spec(), fast_ft_params()),
+        console(h.cluster, h.cluster.compute_nodes(net::PartitionId{0})[0],
+                h.kernel) {
+    h.run_s(3.0);
+  }
+
+  KernelHarness h;
+  AdminConsole console;
+};
+
+TEST_F(HandoverTest, MovesAllPartitionServices) {
+  const net::NodeId old_server = h.cluster.server_node(net::PartitionId{1});
+  const net::NodeId backup = h.cluster.backup_nodes(net::PartitionId{1})[0];
+
+  ASSERT_TRUE(console.handover_partition(net::PartitionId{1}, backup));
+  h.run_s(15.0);
+
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{1}).node_id(), backup);
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{1}).alive());
+  EXPECT_EQ(h.kernel.event_service(net::PartitionId{1}).node_id(), backup);
+  EXPECT_TRUE(h.kernel.event_service(net::PartitionId{1}).alive());
+  EXPECT_TRUE(h.kernel.checkpoint_service(net::PartitionId{1}).alive());
+  EXPECT_TRUE(h.kernel.bulletin(net::PartitionId{1}).alive());
+
+  // Ring intact with both members, WDs re-pointed, old server monitorable.
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{0}).view().members.size(), 2u);
+  EXPECT_EQ(h.kernel.watch_daemon(old_server).gsd_address().node, backup);
+}
+
+TEST_F(HandoverTest, NoNodeFailureRecordsFromPlannedHandover) {
+  const net::NodeId backup = h.cluster.backup_nodes(net::PartitionId{1})[0];
+  ASSERT_TRUE(console.handover_partition(net::PartitionId{1}, backup));
+  h.run_s(15.0);
+  for (const auto& record : h.kernel.fault_log().records()) {
+    EXPECT_NE(record.kind, kernel::FaultKind::kNodeFailure) << record.component;
+  }
+}
+
+TEST_F(HandoverTest, OldServerSafeToShutDownAfterHandover) {
+  const net::NodeId old_server = h.cluster.server_node(net::PartitionId{1});
+  const net::NodeId backup = h.cluster.backup_nodes(net::PartitionId{1})[0];
+  ASSERT_TRUE(console.handover_partition(net::PartitionId{1}, backup));
+  h.run_s(15.0);
+
+  // Power the old server off: the partition's services are elsewhere, so
+  // this is an ordinary compute-node-style loss.
+  h.injector.crash_node(old_server);
+  h.run_s(10.0);
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{1}).alive());
+  EXPECT_TRUE(h.kernel.event_service(net::PartitionId{1}).alive());
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{0}).view().members.size(), 2u);
+}
+
+TEST_F(HandoverTest, ValidationRejectsBadTargets) {
+  // Wrong partition.
+  EXPECT_FALSE(console.handover_partition(
+      net::PartitionId{1}, h.cluster.compute_nodes(net::PartitionId{0})[0]));
+  // Dead target.
+  const net::NodeId backup = h.cluster.backup_nodes(net::PartitionId{1})[0];
+  h.injector.crash_node(backup);
+  EXPECT_FALSE(console.handover_partition(net::PartitionId{1}, backup));
+  // Already hosting.
+  EXPECT_FALSE(console.handover_partition(
+      net::PartitionId{1}, h.cluster.server_node(net::PartitionId{1})));
+  // Unknown partition / node.
+  EXPECT_FALSE(console.handover_partition(net::PartitionId{99}, backup));
+}
+
+TEST_F(HandoverTest, EventConsumersSurviveHandover) {
+  // A consumer registered before the handover keeps receiving events after
+  // it (registry recovered through the checkpoint federation).
+  phoenix::testing::TestClient consumer(
+      h.cluster, h.cluster.compute_nodes(net::PartitionId{0})[1]);
+  kernel::Subscription sub;
+  sub.consumer = consumer.address();
+  sub.types = {"handover.test"};
+  h.kernel.event_service(net::PartitionId{1}).subscribe_local(sub);
+  h.run_s(2.0);
+
+  const net::NodeId backup = h.cluster.backup_nodes(net::PartitionId{1})[0];
+  ASSERT_TRUE(console.handover_partition(net::PartitionId{1}, backup));
+  h.run_s(15.0);
+
+  kernel::Event e;
+  e.type = "handover.test";
+  h.kernel.event_service(net::PartitionId{1}).publish_local(e);
+  h.run_s(1.0);
+  EXPECT_EQ(consumer.of_type<kernel::EsNotifyMsg>().size(), 1u);
+}
+
+}  // namespace
+}  // namespace phoenix::admin

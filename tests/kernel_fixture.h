@@ -1,0 +1,59 @@
+// Shared test fixture: a booted Phoenix kernel on a small simulated cluster.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faults/fault_injector.h"
+#include "kernel/kernel.h"
+
+namespace phoenix::testing {
+
+struct KernelHarness {
+  explicit KernelHarness(cluster::ClusterSpec spec, kernel::FtParams params = {})
+      : cluster(spec), kernel(cluster, params), injector(cluster) {
+    kernel.boot();
+  }
+
+  /// Runs the simulation forward by `seconds` of simulated time.
+  void run_s(double seconds) { cluster.engine().run_for(sim::from_seconds(seconds)); }
+  void run(sim::SimTime t) { cluster.engine().run_for(t); }
+
+  /// Runs until just after `node`'s watch daemon sends its next heartbeat —
+  /// the paper's fault-injection point ("right after a heartbeat" puts the
+  /// full interval between injection and detection).
+  void run_until_after_heartbeat(net::NodeId node) {
+    const auto& wd = kernel.watch_daemon(node);
+    const auto sent = wd.heartbeats_sent();
+    while (wd.heartbeats_sent() == sent) {
+      if (!cluster.engine().step()) break;
+    }
+    run(10 * sim::kMillisecond);
+  }
+
+  cluster::Cluster cluster;
+  kernel::PhoenixKernel kernel;
+  faults::FaultInjector injector;
+};
+
+/// Small default: 2 partitions x (1 server + 1 backup + 4 computes).
+inline cluster::ClusterSpec small_cluster_spec() {
+  cluster::ClusterSpec spec;
+  spec.partitions = 2;
+  spec.computes_per_partition = 4;
+  spec.backups_per_partition = 1;
+  spec.networks = 3;
+  spec.cpus_per_node = 4;
+  return spec;
+}
+
+/// Fast fault-tolerance parameters: 2 s heartbeats so tests stay quick.
+inline kernel::FtParams fast_ft_params() {
+  kernel::FtParams p;
+  p.heartbeat_interval = 2 * sim::kSecond;
+  p.detector_sample_interval = 1 * sim::kSecond;
+  return p;
+}
+
+}  // namespace phoenix::testing

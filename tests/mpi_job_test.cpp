@@ -1,0 +1,127 @@
+// Synthetic MPI job tests, plus checkpoint namespace message protocol.
+#include "workload/mpi_job.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/checkpoint/checkpoint_service.h"
+#include "kernel_fixture.h"
+#include "test_client.h"
+
+namespace phoenix::workload {
+namespace {
+
+using phoenix::testing::KernelHarness;
+using phoenix::testing::TestClient;
+using phoenix::testing::fast_ft_params;
+using phoenix::testing::small_cluster_spec;
+
+class MpiJobTest : public ::testing::Test {
+ protected:
+  MpiJobTest() : h(small_cluster_spec(), fast_ft_params()) {
+    config.nodes = h.cluster.compute_nodes(net::PartitionId{0});
+    config.step_interval = 100 * sim::kMillisecond;
+    config.block_bytes = 64 * 1024;
+  }
+
+  KernelHarness h;
+  MpiJobConfig config;
+};
+
+TEST_F(MpiJobTest, RingExchangeFlows) {
+  MpiJob job(h.cluster, config);
+  job.start();
+  h.run_s(5.0);
+  job.stop();
+
+  EXPECT_EQ(job.ranks(), 4u);
+  // ~50 steps per rank in 5 s of 100 ms steps.
+  for (std::size_t r = 0; r < job.ranks(); ++r) {
+    EXPECT_GE(job.rank(r).steps_sent(), 45u);
+    EXPECT_GE(job.rank(r).blocks_received(), 40u);
+  }
+  EXPECT_GE(job.total_steps(), 4u * 45u);
+}
+
+TEST_F(MpiJobTest, TrafficAccountedOnFabric) {
+  h.cluster.fabric().reset_stats();
+  MpiJob job(h.cluster, config);
+  job.start();
+  h.run_s(3.0);
+  job.stop();
+  const auto stats = h.cluster.fabric().total_stats();
+  ASSERT_TRUE(stats.bytes_by_type.contains("app.mpi_block"));
+  // ~30 steps x 4 ranks x 64 KiB.
+  EXPECT_GT(stats.bytes_by_type.at("app.mpi_block"), 4u * 25u * 64u * 1024u);
+}
+
+TEST_F(MpiJobTest, DurationBoundedJobStops) {
+  config.duration = 2 * sim::kSecond;
+  MpiJob job(h.cluster, config);
+  job.start();
+  h.run_s(10.0);
+  const auto steps_at_10s = job.total_steps();
+  h.run_s(5.0);
+  EXPECT_EQ(job.total_steps(), steps_at_10s);  // no steps after duration
+  EXPECT_LE(steps_at_10s, 4u * 21u);
+}
+
+TEST_F(MpiJobTest, RankDeathStopsItsTrafficOnly) {
+  MpiJob job(h.cluster, config);
+  job.start();
+  h.run_s(2.0);
+  h.injector.crash_node(config.nodes[1]);
+  const auto rank1_steps = job.rank(1).steps_sent();
+  h.run_s(3.0);
+  EXPECT_EQ(job.rank(1).steps_sent(), rank1_steps);
+  EXPECT_GT(job.rank(0).steps_sent(), rank1_steps);  // survivors continue
+}
+
+TEST(CheckpointNamespaceTest, ListAndDeleteNamespaceMessages) {
+  KernelHarness h(small_cluster_spec(), fast_ft_params());
+  h.run_s(1.0);
+  auto& cs = h.kernel.checkpoint_service(net::PartitionId{0});
+  cs.save_local("svc-a", "k1", "1", false);
+  cs.save_local("svc-a", "k2", "2", false);
+  cs.save_local("svc-b", "k1", "3", false);
+
+  TestClient client(h.cluster, h.cluster.compute_nodes(net::PartitionId{0})[0]);
+  auto list = std::make_shared<kernel::CheckpointListMsg>();
+  list->service = "svc-a";
+  list->reply_to = client.address();
+  list->request_id = 1;
+  client.send_any(cs.address(), list);
+  h.run_s(1.0);
+  const auto* listed = client.last_of_type<kernel::CheckpointListReplyMsg>();
+  ASSERT_NE(listed, nullptr);
+  EXPECT_EQ(listed->keys, (std::vector<std::string>{"k1", "k2"}));
+
+  auto wipe = std::make_shared<kernel::CheckpointDeleteNamespaceMsg>();
+  wipe->service = "svc-a";
+  wipe->reply_to = client.address();
+  wipe->request_id = 2;
+  client.send_any(cs.address(), wipe);
+  h.run_s(1.0);
+  const auto* wiped = client.last_of_type<kernel::CheckpointDeleteNamespaceReplyMsg>();
+  ASSERT_NE(wiped, nullptr);
+  EXPECT_EQ(wiped->removed, 2u);
+  EXPECT_TRUE(cs.list_keys("svc-a").empty());
+  EXPECT_EQ(cs.list_keys("svc-b").size(), 1u);  // other namespaces untouched
+}
+
+TEST(CheckpointNamespaceTest, NamespaceDeleteReplicates) {
+  KernelHarness h(small_cluster_spec(), fast_ft_params());
+  h.run_s(1.0);
+  auto& cs0 = h.kernel.checkpoint_service(net::PartitionId{0});
+  cs0.save_local("doomed", "a", "1");
+  cs0.save_local("doomed", "b", "2");
+  h.run_s(1.0);
+  auto& cs1 = h.kernel.checkpoint_service(net::PartitionId{1});
+  ASSERT_EQ(cs1.list_keys("doomed").size(), 2u);  // replicas landed
+
+  cs0.delete_namespace("doomed");
+  h.run_s(1.0);
+  EXPECT_TRUE(cs1.list_keys("doomed").empty());
+}
+
+}  // namespace
+}  // namespace phoenix::workload

@@ -1,0 +1,270 @@
+// Unit tests for the network fabric: interface state, delivery, latency,
+// traffic accounting, multi-network semantics.
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace phoenix::net {
+namespace {
+
+struct PingMsg final : Message {
+  std::string_view type() const noexcept override { return "test.ping"; }
+  std::size_t wire_size() const noexcept override { return 100; }
+};
+
+struct BigMsg final : Message {
+  std::string_view type() const noexcept override { return "test.big"; }
+  std::size_t wire_size() const noexcept override { return 1 << 20; }
+};
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : engine_(1), fabric_(engine_, 4, 3) {
+    fabric_.set_delivery_handler([this](const Envelope& env) {
+      delivered_.push_back(env);
+    });
+  }
+
+  Address addr(std::uint32_t node, std::uint16_t port = 1) {
+    return {NodeId{node}, PortId{port}};
+  }
+
+  sim::Engine engine_;
+  Fabric fabric_;
+  std::vector<Envelope> delivered_;
+};
+
+TEST_F(FabricTest, DeliversWhenPathUp) {
+  EXPECT_TRUE(fabric_.send(addr(0), addr(1), NetworkId{0},
+                           std::make_shared<PingMsg>()));
+  engine_.run();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].from.node.value, 0u);
+  EXPECT_EQ(delivered_[0].to.node.value, 1u);
+  EXPECT_EQ(delivered_[0].message->type(), "test.ping");
+}
+
+TEST_F(FabricTest, DeliveryTakesNonzeroLatency) {
+  fabric_.send(addr(0), addr(1), NetworkId{0}, std::make_shared<PingMsg>());
+  EXPECT_TRUE(delivered_.empty());  // nothing delivered synchronously
+  engine_.run();
+  EXPECT_EQ(delivered_.size(), 1u);
+  EXPECT_GT(engine_.now(), 0u);
+}
+
+TEST_F(FabricTest, SenderInterfaceDownBlocksSend) {
+  fabric_.set_interface_up(NodeId{0}, NetworkId{0}, false);
+  EXPECT_FALSE(fabric_.send(addr(0), addr(1), NetworkId{0},
+                            std::make_shared<PingMsg>()));
+  engine_.run();
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(fabric_.stats(NetworkId{0}).messages_dropped, 1u);
+}
+
+TEST_F(FabricTest, ReceiverInterfaceDownBlocksSend) {
+  fabric_.set_interface_up(NodeId{1}, NetworkId{0}, false);
+  EXPECT_FALSE(fabric_.send(addr(0), addr(1), NetworkId{0},
+                            std::make_shared<PingMsg>()));
+  engine_.run();
+  EXPECT_TRUE(delivered_.empty());
+}
+
+TEST_F(FabricTest, OtherNetworksUnaffectedByOneCut) {
+  fabric_.set_interface_up(NodeId{1}, NetworkId{0}, false);
+  EXPECT_TRUE(fabric_.send(addr(0), addr(1), NetworkId{1},
+                           std::make_shared<PingMsg>()));
+  EXPECT_TRUE(fabric_.send(addr(0), addr(1), NetworkId{2},
+                           std::make_shared<PingMsg>()));
+  engine_.run();
+  EXPECT_EQ(delivered_.size(), 2u);
+}
+
+TEST_F(FabricTest, InterfaceCutWhileInFlightDropsAtDelivery) {
+  fabric_.send(addr(0), addr(1), NetworkId{0}, std::make_shared<PingMsg>());
+  fabric_.set_interface_up(NodeId{1}, NetworkId{0}, false);
+  engine_.run();
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(fabric_.stats(NetworkId{0}).messages_dropped, 1u);
+}
+
+TEST_F(FabricTest, DeadNodePredicateBlocksDelivery) {
+  bool node1_alive = true;
+  fabric_.set_node_alive_predicate(
+      [&](NodeId n) { return n.value != 1 || node1_alive; });
+  fabric_.send(addr(0), addr(1), NetworkId{0}, std::make_shared<PingMsg>());
+  node1_alive = false;
+  engine_.run();
+  EXPECT_TRUE(delivered_.empty());
+}
+
+TEST_F(FabricTest, SendAnyPrefersFirstUpNetwork) {
+  const NetworkId used =
+      fabric_.send_any(addr(0), addr(1), std::make_shared<PingMsg>());
+  EXPECT_EQ(used.value, 0);
+  fabric_.set_interface_up(NodeId{0}, NetworkId{0}, false);
+  const NetworkId fallback =
+      fabric_.send_any(addr(0), addr(1), std::make_shared<PingMsg>());
+  EXPECT_EQ(fallback.value, 1);
+}
+
+TEST_F(FabricTest, SendAnyFailsWhenAllNetworksDown) {
+  fabric_.set_node_links_up(NodeId{1}, false);
+  const NetworkId used =
+      fabric_.send_any(addr(0), addr(1), std::make_shared<PingMsg>());
+  EXPECT_FALSE(used.valid());
+}
+
+TEST_F(FabricTest, AnyPathReflectsInterfaceState) {
+  EXPECT_TRUE(fabric_.any_path(NodeId{0}, NodeId{1}));
+  fabric_.set_interface_up(NodeId{0}, NetworkId{0}, false);
+  fabric_.set_interface_up(NodeId{1}, NetworkId{1}, false);
+  EXPECT_TRUE(fabric_.any_path(NodeId{0}, NodeId{1}));  // network 2 remains
+  fabric_.set_interface_up(NodeId{0}, NetworkId{2}, false);
+  EXPECT_FALSE(fabric_.any_path(NodeId{0}, NodeId{1}));
+}
+
+TEST_F(FabricTest, StatsAccumulateBytesAndTypes) {
+  fabric_.send(addr(0), addr(1), NetworkId{0}, std::make_shared<PingMsg>());
+  fabric_.send(addr(0), addr(2), NetworkId{0}, std::make_shared<PingMsg>());
+  engine_.run();
+  const auto& st = fabric_.stats(NetworkId{0});
+  EXPECT_EQ(st.messages_sent, 2u);
+  EXPECT_EQ(st.bytes_sent, 2 * (kWireHeaderBytes + 100));
+  EXPECT_EQ(st.bytes_by_type.at("test.ping"), 2 * (kWireHeaderBytes + 100));
+}
+
+TEST_F(FabricTest, TotalStatsSumAcrossNetworks) {
+  fabric_.send(addr(0), addr(1), NetworkId{0}, std::make_shared<PingMsg>());
+  fabric_.send(addr(0), addr(1), NetworkId{1}, std::make_shared<PingMsg>());
+  engine_.run();
+  const auto total = fabric_.total_stats();
+  EXPECT_EQ(total.messages_sent, 2u);
+  EXPECT_EQ(total.bytes_sent, 2 * (kWireHeaderBytes + 100));
+}
+
+TEST_F(FabricTest, ResetStatsClears) {
+  fabric_.send(addr(0), addr(1), NetworkId{0}, std::make_shared<PingMsg>());
+  engine_.run();
+  fabric_.reset_stats();
+  EXPECT_EQ(fabric_.total_stats().messages_sent, 0u);
+}
+
+TEST_F(FabricTest, BiggerMessagesTakeLonger) {
+  sim::SimTime small_done = 0, big_done = 0;
+  fabric_.set_delivery_handler([&](const Envelope& env) {
+    if (env.message->type() == "test.ping") small_done = engine_.now();
+    if (env.message->type() == "test.big") big_done = engine_.now();
+  });
+  fabric_.send(addr(0), addr(1), NetworkId{0}, std::make_shared<PingMsg>());
+  fabric_.send(addr(0), addr(1), NetworkId{1}, std::make_shared<BigMsg>());
+  engine_.run();
+  EXPECT_GT(big_done, small_done);
+}
+
+TEST_F(FabricTest, LoopbackSameNodeWorks) {
+  EXPECT_TRUE(fabric_.send(addr(0, 1), addr(0, 2), NetworkId{0},
+                           std::make_shared<PingMsg>()));
+  engine_.run();
+  EXPECT_EQ(delivered_.size(), 1u);
+}
+
+TEST(FabricTopologyTest, CrossGroupTrafficPaysExtraLatency) {
+  sim::Engine engine(7);
+  Fabric fabric(engine, 8, 1);
+  fabric.set_group_size(4);  // nodes 0-3 vs 4-7
+  fabric.latency_model().jitter_frac = 0.0;
+  fabric.latency_model().cross_group_extra = 500;
+
+  sim::SimTime local_at = 0, cross_at = 0;
+  fabric.set_delivery_handler([&](const Envelope& env) {
+    if (env.to.node.value == 1) local_at = engine.now();
+    if (env.to.node.value == 5) cross_at = engine.now();
+  });
+  fabric.send({NodeId{0}, PortId{1}}, {NodeId{1}, PortId{1}}, NetworkId{0},
+              std::make_shared<PingMsg>());
+  fabric.send({NodeId{0}, PortId{1}}, {NodeId{5}, PortId{1}}, NetworkId{0},
+              std::make_shared<PingMsg>());
+  engine.run();
+  EXPECT_EQ(cross_at - local_at, 500u);
+}
+
+TEST(FabricTopologyTest, FlatTopologyByDefault) {
+  sim::Engine engine(7);
+  Fabric fabric(engine, 8, 1);
+  fabric.latency_model().jitter_frac = 0.0;
+  sim::SimTime a = 0, b = 0;
+  fabric.set_delivery_handler([&](const Envelope& env) {
+    if (env.to.node.value == 1) a = engine.now();
+    if (env.to.node.value == 7) b = engine.now();
+  });
+  fabric.send({NodeId{0}, PortId{1}}, {NodeId{1}, PortId{1}}, NetworkId{0},
+              std::make_shared<PingMsg>());
+  fabric.send({NodeId{0}, PortId{1}}, {NodeId{7}, PortId{1}}, NetworkId{0},
+              std::make_shared<PingMsg>());
+  engine.run();
+  EXPECT_EQ(a, b);  // no grouping: identical deterministic latency
+}
+
+TEST(FabricLossTest, LostMessagesCountedNotDelivered) {
+  sim::Engine engine(11);
+  Fabric fabric(engine, 2, 1);
+  fabric.latency_model().loss_probability = 1.0;  // everything vanishes
+  std::size_t delivered = 0;
+  fabric.set_delivery_handler([&](const Envelope&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fabric.send({NodeId{0}, PortId{1}}, {NodeId{1}, PortId{1}},
+                            NetworkId{0}, std::make_shared<PingMsg>()));
+  }
+  engine.run();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(fabric.stats(NetworkId{0}).messages_lost, 10u);
+  EXPECT_EQ(fabric.stats(NetworkId{0}).messages_sent, 10u);  // sender can't tell
+}
+
+TEST(LatencyModelTest, MinimumOneMicrosecond) {
+  sim::Rng rng(1);
+  LatencyModel model;
+  model.base = 0;
+  model.per_byte_us = 0.0;
+  model.jitter_frac = 0.0;
+  EXPECT_EQ(model.sample(0, rng), 1u);
+}
+
+TEST(LatencyModelTest, JitterBounded) {
+  sim::Rng rng(2);
+  LatencyModel model;
+  model.base = 100;
+  model.per_byte_us = 0.0;
+  model.jitter_frac = 0.2;
+  for (int i = 0; i < 1000; ++i) {
+    const auto lat = model.sample(0, rng);
+    EXPECT_GE(lat, 80u);
+    EXPECT_LE(lat, 120u);
+  }
+}
+
+TEST(IdsTest, StrongIdsCompareAndHash) {
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+  EXPECT_NE(NodeId{3}, NodeId{4});
+  EXPECT_LT(NodeId{3}, NodeId{4});
+  EXPECT_FALSE(NodeId{}.valid());
+  EXPECT_TRUE(NodeId{0}.valid());
+
+  Address a{NodeId{1}, PortId{2}};
+  Address b{NodeId{1}, PortId{2}};
+  Address c{NodeId{1}, PortId{3}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<Address>{}(a), std::hash<Address>{}(b));
+}
+
+TEST(FabricConstructionTest, ZeroNetworksRejected) {
+  sim::Engine engine;
+  EXPECT_THROW(Fabric(engine, 2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phoenix::net

@@ -1,0 +1,169 @@
+// PWS portal tests: the message-level qstat/qdel protocol and the Figure-9
+// node start/shutdown controls.
+#include "pws/portal.h"
+
+#include "pws/pws.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+#include "test_client.h"
+
+namespace phoenix::pws {
+namespace {
+
+using phoenix::testing::KernelHarness;
+using phoenix::testing::TestClient;
+using phoenix::testing::fast_ft_params;
+using phoenix::testing::small_cluster_spec;
+
+class PortalTest : public ::testing::Test {
+ protected:
+  PortalTest() : h(small_cluster_spec(), fast_ft_params()) {
+    PwsConfig config;
+    PoolConfig pool;
+    pool.name = "batch";
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      for (net::NodeId n : h.cluster.compute_nodes(net::PartitionId{p})) {
+        pool.nodes.push_back(n);
+      }
+    }
+    config.pools = {pool};
+    pws = std::make_unique<PwsSystem>(h.kernel, config);
+    portal = std::make_unique<Portal>(
+        h.cluster, h.cluster.compute_nodes(net::PartitionId{0})[0], h.kernel,
+        pws->scheduler().address(), 2 * sim::kSecond);
+    portal->start();
+    h.run_s(1.0);
+  }
+
+  JobId submit(const char* user, unsigned nodes, double seconds) {
+    SubmitRequest r;
+    r.user = user;
+    r.pool = "batch";
+    r.nodes = nodes;
+    r.duration = sim::from_seconds(seconds);
+    return pws->submit(r);
+  }
+
+  KernelHarness h;
+  std::unique_ptr<PwsSystem> pws;
+  std::unique_ptr<Portal> portal;
+};
+
+TEST_F(PortalTest, QueryProtocolReturnsJobs) {
+  submit("alice", 2, 60.0);
+  submit("bob", 1, 60.0);
+  h.run_s(3.0);
+
+  TestClient client(h.cluster, h.cluster.compute_nodes(net::PartitionId{1})[0]);
+  auto query = std::make_shared<PwsQueryMsg>();
+  query->reply_to = client.address();
+  query->request_id = 1;
+  client.send_any(pws->scheduler().address(), query);
+  h.run_s(1.0);
+  const auto* reply = client.last_of_type<PwsQueryReplyMsg>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->jobs.size(), 2u);
+}
+
+TEST_F(PortalTest, QueryFiltersByUserAndId) {
+  const JobId a = submit("alice", 1, 60.0);
+  submit("bob", 1, 60.0);
+  h.run_s(2.0);
+
+  TestClient client(h.cluster, h.cluster.compute_nodes(net::PartitionId{1})[0]);
+  auto by_user = std::make_shared<PwsQueryMsg>();
+  by_user->user = "alice";
+  by_user->reply_to = client.address();
+  by_user->request_id = 2;
+  client.send_any(pws->scheduler().address(), by_user);
+  h.run_s(1.0);
+  const auto* reply = client.last_of_type<PwsQueryReplyMsg>();
+  ASSERT_NE(reply, nullptr);
+  ASSERT_EQ(reply->jobs.size(), 1u);
+  EXPECT_EQ(reply->jobs[0].user, "alice");
+
+  auto by_id = std::make_shared<PwsQueryMsg>();
+  by_id->job_id = a;
+  by_id->reply_to = client.address();
+  by_id->request_id = 3;
+  client.send_any(pws->scheduler().address(), by_id);
+  h.run_s(1.0);
+  const auto* id_reply = client.last_of_type<PwsQueryReplyMsg>();
+  ASSERT_EQ(id_reply->jobs.size(), 1u);
+  EXPECT_EQ(id_reply->jobs[0].id, a);
+}
+
+TEST_F(PortalTest, CancelProtocol) {
+  const JobId id = submit("alice", 8, 600.0);
+  h.run_s(2.0);
+
+  TestClient client(h.cluster, h.cluster.compute_nodes(net::PartitionId{1})[0]);
+  auto cancel = std::make_shared<PwsCancelMsg>();
+  cancel->job_id = id;
+  cancel->reply_to = client.address();
+  cancel->request_id = 4;
+  client.send_any(pws->scheduler().address(), cancel);
+  h.run_s(1.0);
+  const auto* reply = client.last_of_type<PwsCancelReplyMsg>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(reply->cancelled);
+  EXPECT_TRUE(pws->scheduler().job(id)->terminal());
+
+  // Cancelling again fails.
+  auto again = std::make_shared<PwsCancelMsg>();
+  again->job_id = id;
+  again->reply_to = client.address();
+  again->request_id = 5;
+  client.send_any(pws->scheduler().address(), again);
+  h.run_s(1.0);
+  EXPECT_FALSE(client.last_of_type<PwsCancelReplyMsg>()->cancelled);
+}
+
+TEST_F(PortalTest, PortalRefreshCollectsJobsAndNodes) {
+  submit("alice", 2, 120.0);
+  h.run_s(6.0);
+  EXPECT_GT(portal->refreshes(), 0u);
+  ASSERT_EQ(portal->jobs().size(), 1u);
+  EXPECT_EQ(portal->jobs()[0].user, "alice");
+  const std::string screen = portal->render();
+  EXPECT_NE(screen.find("Phoenix-PWS"), std::string::npos);
+  EXPECT_NE(screen.find("alice"), std::string::npos);
+  EXPECT_NE(screen.find("Nodes"), std::string::npos);
+}
+
+TEST_F(PortalTest, ShutdownNodeRequeuesItsJobs) {
+  const JobId id = submit("alice", 2, 600.0);
+  h.run_s(3.0);
+  const Job* job = pws->scheduler().job(id);
+  ASSERT_EQ(job->state, JobState::kRunning);
+  const net::NodeId victim = job->allocated[0];
+
+  EXPECT_TRUE(portal->shutdown_node(victim));
+  EXPECT_FALSE(portal->shutdown_node(victim));  // already down
+  h.run_s(15.0);
+
+  // PWS requeued and restarted the job away from the shut-down node.
+  job = pws->scheduler().job(id);
+  EXPECT_EQ(job->state, JobState::kRunning);
+  for (net::NodeId n : job->allocated) {
+    EXPECT_NE(n, victim);
+  }
+
+  EXPECT_TRUE(portal->start_node(victim));
+  EXPECT_FALSE(portal->start_node(victim));  // already up
+  h.run_s(6.0);
+  EXPECT_TRUE(h.kernel.watch_daemon(victim).alive());
+  EXPECT_EQ(h.kernel.gsd(net::PartitionId{h.cluster.partition_of(victim).value})
+                .node_status(victim),
+            kernel::GroupServiceDaemon::NodeStatus::kHealthy);
+}
+
+TEST_F(PortalTest, InvalidNodeOperationsRejected) {
+  EXPECT_FALSE(portal->shutdown_node(net::NodeId{9999}));
+  EXPECT_FALSE(portal->start_node(net::NodeId{9999}));
+}
+
+}  // namespace
+}  // namespace phoenix::pws

@@ -1,0 +1,147 @@
+// Security service tests: authentication, token validation/expiry,
+// role-based authorization, cipher round-trip, message interface.
+#include "kernel/security/security_service.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+#include "test_client.h"
+
+namespace phoenix::kernel {
+namespace {
+
+using phoenix::testing::TestClient;
+
+class SecurityTest : public ::testing::Test {
+ protected:
+  SecurityTest()
+      : cluster(phoenix::testing::small_cluster_spec()),
+        service(cluster, net::NodeId{0}) {
+    service.start();
+    service.add_user("alice", "secret-a", {"scientist"});
+    service.add_user("root", "secret-r", {"admin"});
+    service.grant("scientist", "job.submit", "pool/batch");
+    service.grant("admin", "*", "");
+  }
+
+  cluster::Cluster cluster;
+  SecurityService service;
+};
+
+TEST_F(SecurityTest, AuthenticateGoodCredentials) {
+  const auto token = service.authenticate("alice", "secret-a");
+  ASSERT_TRUE(token.has_value());
+  EXPECT_EQ(token->user, "alice");
+  EXPECT_TRUE(service.validate(*token));
+}
+
+TEST_F(SecurityTest, AuthenticateBadSecretFails) {
+  EXPECT_FALSE(service.authenticate("alice", "wrong").has_value());
+  EXPECT_FALSE(service.authenticate("nobody", "x").has_value());
+}
+
+TEST_F(SecurityTest, ForgedTokenRejected) {
+  auto token = *service.authenticate("alice", "secret-a");
+  token.user = "root";  // privilege-escalation attempt
+  EXPECT_FALSE(service.validate(token));
+  token = *service.authenticate("alice", "secret-a");
+  token.mac ^= 1;
+  EXPECT_FALSE(service.validate(token));
+  token = *service.authenticate("alice", "secret-a");
+  token.expires_at += 1;  // extending lifetime breaks the MAC
+  EXPECT_FALSE(service.validate(token));
+}
+
+TEST_F(SecurityTest, TokenExpires) {
+  service.set_token_lifetime(10 * sim::kSecond);
+  const auto token = *service.authenticate("alice", "secret-a");
+  EXPECT_TRUE(service.validate(token));
+  cluster.engine().run_until(cluster.now() + 11 * sim::kSecond);
+  EXPECT_FALSE(service.validate(token));
+}
+
+TEST_F(SecurityTest, AuthorizationRespectsAclPrefix) {
+  const auto token = *service.authenticate("alice", "secret-a");
+  EXPECT_TRUE(service.authorize(token, "job.submit", "pool/batch"));
+  EXPECT_TRUE(service.authorize(token, "job.submit", "pool/batch-priority"));
+  std::string reason;
+  EXPECT_FALSE(service.authorize(token, "job.submit", "pool/gold", &reason));
+  EXPECT_FALSE(reason.empty());
+  EXPECT_FALSE(service.authorize(token, "node.shutdown", "pool/batch"));
+}
+
+TEST_F(SecurityTest, WildcardActionGrantsEverything) {
+  const auto token = *service.authenticate("root", "secret-r");
+  EXPECT_TRUE(service.authorize(token, "job.submit", "pool/gold"));
+  EXPECT_TRUE(service.authorize(token, "node.shutdown", "anything"));
+}
+
+TEST_F(SecurityTest, RemovedUserLosesAccess) {
+  const auto token = *service.authenticate("alice", "secret-a");
+  EXPECT_TRUE(service.remove_user("alice"));
+  EXPECT_FALSE(service.validate(token));
+  EXPECT_FALSE(service.remove_user("alice"));
+}
+
+TEST_F(SecurityTest, MessageAuthFlow) {
+  TestClient client(cluster, net::NodeId{2});
+  auto auth = std::make_shared<AuthRequestMsg>();
+  auth->user = "alice";
+  auth->secret = "secret-a";
+  auth->reply_to = client.address();
+  auth->request_id = 1;
+  client.send_any(service.address(), auth);
+  cluster.engine().run();
+  const auto* reply = client.last_of_type<AuthReplyMsg>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(reply->ok);
+
+  auto authz = std::make_shared<AuthzRequestMsg>();
+  authz->token = reply->token;
+  authz->action = "job.submit";
+  authz->resource = "pool/batch";
+  authz->reply_to = client.address();
+  authz->request_id = 2;
+  client.send_any(service.address(), authz);
+  cluster.engine().run();
+  const auto* verdict = client.last_of_type<AuthzReplyMsg>();
+  ASSERT_NE(verdict, nullptr);
+  EXPECT_TRUE(verdict->allowed);
+}
+
+TEST_F(SecurityTest, MessageAuthRejectsBadCredentials) {
+  TestClient client(cluster, net::NodeId{2});
+  auto auth = std::make_shared<AuthRequestMsg>();
+  auth->user = "alice";
+  auth->secret = "wrong";
+  auth->reply_to = client.address();
+  client.send_any(service.address(), auth);
+  cluster.engine().run();
+  const auto* reply = client.last_of_type<AuthReplyMsg>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_FALSE(reply->ok);
+}
+
+TEST(StreamCipherTest, RoundTripRestoresPlaintext) {
+  const StreamCipher cipher(0xdeadbeef);
+  const std::string plain = "the quick brown fox";
+  const std::string scrambled = cipher.apply(plain);
+  EXPECT_NE(scrambled, plain);
+  EXPECT_EQ(cipher.apply(scrambled), plain);
+}
+
+TEST(StreamCipherTest, DifferentKeysDifferentOutput) {
+  const StreamCipher a(1), b(2);
+  const std::string plain = "payload";
+  EXPECT_NE(a.apply(plain), b.apply(plain));
+  // Wrong key does not decrypt.
+  EXPECT_NE(b.apply(a.apply(plain)), plain);
+}
+
+TEST(StreamCipherTest, EmptyInput) {
+  const StreamCipher cipher(7);
+  EXPECT_EQ(cipher.apply(""), "");
+}
+
+}  // namespace
+}  // namespace phoenix::kernel

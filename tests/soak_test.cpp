@@ -1,0 +1,205 @@
+// Soak tests: long simulated runs under continuous random churn, checking
+// global invariants at the end. Parameterized over RNG seeds (property
+// style): whatever the fault sequence, the kernel converges whenever
+// recovery is physically possible, and PWS neither loses jobs nor
+// double-allocates nodes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernel_fixture.h"
+#include "pws/pws.h"
+#include "workload/job_trace.h"
+#include "workload/resource_model.h"
+
+namespace phoenix {
+namespace {
+
+using phoenix::testing::KernelHarness;
+using phoenix::testing::fast_ft_params;
+
+class KernelSoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelSoakTest, RandomChurnConverges) {
+  cluster::ClusterSpec spec;
+  spec.partitions = 4;
+  spec.computes_per_partition = 4;
+  spec.backups_per_partition = 2;
+  spec.seed = GetParam();
+  KernelHarness h(spec, fast_ft_params());
+  h.run_s(5.0);
+
+  sim::Rng rng(GetParam() * 977);
+  std::set<std::uint32_t> crashed_nodes;
+
+  // Ten minutes of simulated churn: every ~20 s something breaks or heals.
+  for (int step = 0; step < 30; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.25) {
+      // Kill a random WD.
+      const auto node = net::NodeId{static_cast<std::uint32_t>(
+          rng.uniform_int(0, h.cluster.node_count() - 1))};
+      if (h.cluster.node(node).alive()) {
+        h.injector.kill_daemon(h.kernel.watch_daemon(node));
+      }
+    } else if (dice < 0.45) {
+      // Crash a random COMPUTE node (keep servers/backups recoverable).
+      const auto p = net::PartitionId{static_cast<std::uint32_t>(rng.uniform_int(0, 3))};
+      const auto computes = h.cluster.compute_nodes(p);
+      const auto node = computes[rng.uniform_int(0, computes.size() - 1)];
+      if (h.cluster.node(node).alive()) {
+        h.injector.crash_node(node);
+        crashed_nodes.insert(node.value);
+      }
+    } else if (dice < 0.6) {
+      // Cut a random interface.
+      const auto node = net::NodeId{static_cast<std::uint32_t>(
+          rng.uniform_int(0, h.cluster.node_count() - 1))};
+      h.injector.cut_interface(node,
+                               net::NetworkId{static_cast<std::uint8_t>(
+                                   rng.uniform_int(0, 2))});
+    } else if (dice < 0.72) {
+      // Kill a random partition service.
+      const auto p = net::PartitionId{static_cast<std::uint32_t>(rng.uniform_int(0, 3))};
+      switch (rng.uniform_int(0, 2)) {
+        case 0: h.injector.kill_daemon(h.kernel.event_service(p)); break;
+        case 1: h.injector.kill_daemon(h.kernel.bulletin(p)); break;
+        default: h.injector.kill_daemon(h.kernel.checkpoint_service(p)); break;
+      }
+    } else if (dice < 0.82 && !crashed_nodes.empty()) {
+      // Heal a crashed node.
+      const auto it = crashed_nodes.begin();
+      const net::NodeId node{*it};
+      crashed_nodes.erase(it);
+      h.injector.restore_node(node);
+      h.kernel.watch_daemon(node).start();
+      h.kernel.detector(node).start();
+      h.kernel.ppm(node).start();
+      for (std::uint8_t n = 0; n < 3; ++n) {
+        h.injector.restore_interface(node, net::NetworkId{n});
+      }
+    }
+    h.run_s(20.0);
+  }
+  // Quiet period: let every pending recovery complete.
+  h.run_s(60.0);
+
+  // Invariants: the ring has all four members, exactly one leader, every
+  // partition's kernel services are alive, and no fault on a live node is
+  // left unrecovered.
+  std::size_t leaders = 0;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    auto& gsd = h.kernel.gsd(net::PartitionId{p});
+    ASSERT_TRUE(gsd.alive()) << "partition " << p << " seed " << GetParam();
+    EXPECT_EQ(gsd.view().members.size(), 4u) << "partition " << p;
+    if (gsd.is_leader()) ++leaders;
+    EXPECT_TRUE(h.kernel.event_service(net::PartitionId{p}).alive());
+    EXPECT_TRUE(h.kernel.checkpoint_service(net::PartitionId{p}).alive());
+    EXPECT_TRUE(h.kernel.bulletin(net::PartitionId{p}).alive());
+  }
+  EXPECT_EQ(leaders, 1u);
+  for (const auto& record : h.kernel.fault_log().records()) {
+    if (record.kind == kernel::FaultKind::kProcessFailure &&
+        h.cluster.node(record.node).alive()) {
+      EXPECT_TRUE(record.recovered)
+          << record.component << " on node " << record.node.value << " seed "
+          << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelSoakTest,
+                         ::testing::Values(101, 211, 307, 401));
+
+class PwsSoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PwsSoakTest, RandomTraceSchedulesSafely) {
+  cluster::ClusterSpec spec;
+  spec.partitions = 2;
+  spec.computes_per_partition = 8;
+  spec.backups_per_partition = 1;
+  spec.seed = GetParam();
+  KernelHarness h(spec, fast_ft_params());
+
+  pws::PwsConfig config;
+  pws::PoolConfig pool_a, pool_b;
+  pool_a.name = "alpha";
+  pool_a.policy = pws::SchedPolicy::kBackfill;
+  pool_a.nodes = h.cluster.compute_nodes(net::PartitionId{0});
+  pool_b.name = "beta";
+  pool_b.policy = pws::SchedPolicy::kFairShare;
+  pool_b.nodes = h.cluster.compute_nodes(net::PartitionId{1});
+  config.pools = {pool_a, pool_b};
+  pws::PwsSystem pws_system(h.kernel, config);
+  h.run_s(2.0);
+
+  workload::TraceParams trace;
+  trace.job_count = 80;
+  trace.mean_interarrival_s = 8.0;
+  trace.mean_duration_s = 40.0;
+  trace.min_duration_s = 5.0;
+  trace.max_nodes = 8;
+  trace.pools = {"alpha", "beta"};
+  trace.seed = GetParam();
+  for (const auto& job : workload::generate_trace(trace)) {
+    h.injector.schedule(h.cluster.now() + job.arrival,
+                        [&pws_system, job] {
+                          pws::SubmitRequest r;
+                          r.name = job.name;
+                          r.user = job.user;
+                          r.pool = job.pool;
+                          r.nodes = job.nodes;
+                          r.duration = job.duration;
+                          pws_system.scheduler().submit(r);
+                        },
+                        "submit " + job.name);
+  }
+
+  // Mid-trace disturbances: a compute node crash and a scheduler kill.
+  h.injector.schedule(sim::from_seconds(120),
+                      [&h] { h.injector.crash_node(h.cluster.compute_nodes(net::PartitionId{0})[2]); },
+                      "crash compute");
+  h.injector.schedule(sim::from_seconds(250),
+                      [&pws_system] { pws_system.scheduler().kill(); },
+                      "kill scheduler");
+
+  // Run long enough for the whole trace plus retries.
+  h.run_s(80.0 * 8.0 + 1200.0);
+
+  const auto& scheduler = pws_system.scheduler();
+  ASSERT_TRUE(scheduler.alive());
+
+  // Invariant 1: every job reached a terminal state.
+  for (const auto& [id, job] : scheduler.jobs()) {
+    EXPECT_TRUE(job.terminal())
+        << "job " << id << " stuck in " << std::string(pws::to_string(job.state))
+        << " seed " << GetParam();
+  }
+  // Invariant 2: completions + failures + rejections == submissions seen.
+  const auto& stats = scheduler.stats();
+  EXPECT_EQ(scheduler.jobs().size(),
+            stats.completed + stats.failed + stats.rejected);
+  EXPECT_GT(stats.completed, 60u);  // the vast majority completes
+
+  // Invariant 3: node-time conservation — no overlapping allocations.
+  // Reconstruct per-node busy intervals from the job table.
+  std::map<std::uint32_t, std::vector<std::pair<sim::SimTime, sim::SimTime>>> busy;
+  for (const auto& [id, job] : scheduler.jobs()) {
+    if (job.state != pws::JobState::kCompleted || job.started_at == 0) continue;
+    for (net::NodeId n : job.allocated) {
+      busy[n.value].emplace_back(job.started_at, job.finished_at);
+    }
+  }
+  for (auto& [node, intervals] : busy) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second)
+          << "node " << node << " double-booked, seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PwsSoakTest, ::testing::Values(5, 17, 29));
+
+}  // namespace
+}  // namespace phoenix

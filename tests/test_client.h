@@ -1,0 +1,53 @@
+// A generic client daemon for tests: records every envelope it receives and
+// exposes typed accessors over the capture buffer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/daemon.h"
+
+namespace phoenix::testing {
+
+class TestClient final : public cluster::Daemon {
+ public:
+  TestClient(cluster::Cluster& cluster, net::NodeId node,
+             net::PortId port = cluster::ports::kClient)
+      : Daemon(cluster, "test.client", node, port) {
+    start();
+  }
+
+  /// All received messages, in arrival order.
+  const std::vector<net::Envelope>& received() const noexcept { return received_; }
+
+  /// Messages of a given type, downcast.
+  template <typename T>
+  std::vector<const T*> of_type() const {
+    std::vector<const T*> out;
+    for (const auto& env : received_) {
+      if (const T* msg = net::message_cast<T>(*env.message)) out.push_back(msg);
+    }
+    return out;
+  }
+
+  template <typename T>
+  const T* last_of_type() const {
+    for (auto it = received_.rbegin(); it != received_.rend(); ++it) {
+      if (const T* msg = net::message_cast<T>(*it->message)) return msg;
+    }
+    return nullptr;
+  }
+
+  std::size_t count() const noexcept { return received_.size(); }
+  void clear() { received_.clear(); }
+
+  using Daemon::send;
+  using Daemon::send_any;
+
+ private:
+  void handle(const net::Envelope& env) override { received_.push_back(env); }
+
+  std::vector<net::Envelope> received_;
+};
+
+}  // namespace phoenix::testing

@@ -1,0 +1,124 @@
+// Tracer tests: recording semantics, bounds, filtering, and the GSD's
+// protocol instrumentation.
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+
+namespace phoenix::sim {
+namespace {
+
+TEST(TracerTest, DisabledByDefault) {
+  Tracer tracer;
+  tracer.record(1, TraceLevel::kInfo, "x", "message");
+  EXPECT_TRUE(tracer.entries().empty());
+  EXPECT_EQ(tracer.recorded_total(), 0u);
+}
+
+TEST(TracerTest, RecordsWhenEnabled) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record(5, TraceLevel::kWarn, "gsd/0", "something happened");
+  ASSERT_EQ(tracer.entries().size(), 1u);
+  EXPECT_EQ(tracer.entries()[0].at, 5u);
+  EXPECT_EQ(tracer.entries()[0].component, "gsd/0");
+  EXPECT_EQ(tracer.recorded_total(), 1u);
+}
+
+TEST(TracerTest, MinLevelFilters) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_min_level(TraceLevel::kWarn);
+  tracer.record(1, TraceLevel::kDebug, "a", "dropped");
+  tracer.record(2, TraceLevel::kInfo, "a", "dropped");
+  tracer.record(3, TraceLevel::kWarn, "a", "kept");
+  ASSERT_EQ(tracer.entries().size(), 1u);
+  EXPECT_EQ(tracer.entries()[0].message, "kept");
+}
+
+TEST(TracerTest, CapacityBounds) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_capacity(10);
+  for (int i = 0; i < 100; ++i) {
+    tracer.record(static_cast<SimTime>(i), TraceLevel::kInfo, "c",
+                  std::to_string(i));
+  }
+  EXPECT_EQ(tracer.entries().size(), 10u);
+  EXPECT_EQ(tracer.entries().front().message, "90");  // oldest evicted
+  EXPECT_EQ(tracer.recorded_total(), 100u);
+}
+
+TEST(TracerTest, ComponentPrefixFilter) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record(1, TraceLevel::kInfo, "gsd/0", "a");
+  tracer.record(2, TraceLevel::kInfo, "gsd/1", "b");
+  tracer.record(3, TraceLevel::kInfo, "es/0", "c");
+  EXPECT_EQ(tracer.filtered("gsd/").size(), 2u);
+  EXPECT_EQ(tracer.filtered("es/").size(), 1u);
+  EXPECT_EQ(tracer.filtered("").size(), 3u);
+  EXPECT_EQ(tracer.filtered("gsd/", 1).size(), 1u);
+}
+
+TEST(TracerTest, DumpRenders) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record(2'000'000, TraceLevel::kWarn, "gsd/0", "node 5 silent");
+  const std::string dump = tracer.dump();
+  EXPECT_NE(dump.find("2.00s"), std::string::npos);
+  EXPECT_NE(dump.find("warn"), std::string::npos);
+  EXPECT_NE(dump.find("node 5 silent"), std::string::npos);
+}
+
+TEST(TracerIntegrationTest, GsdProtocolTransitionsTraced) {
+  phoenix::testing::KernelHarness h(phoenix::testing::small_cluster_spec(),
+                                    phoenix::testing::fast_ft_params());
+  h.cluster.tracer().set_enabled(true);
+  h.run_s(3.0);
+
+  h.injector.crash_node(h.cluster.compute_nodes(net::PartitionId{0})[1]);
+  h.run_s(12.0);
+
+  bool saw_silent = false, saw_diagnosis = false;
+  for (const auto& entry : h.cluster.tracer().filtered("gsd/0")) {
+    if (entry.message.find("silent on every network") != std::string::npos) {
+      saw_silent = true;
+    }
+    if (entry.message.find("diagnosed node failure") != std::string::npos) {
+      saw_diagnosis = true;
+    }
+  }
+  EXPECT_TRUE(saw_silent);
+  EXPECT_TRUE(saw_diagnosis);
+}
+
+TEST(TracerIntegrationTest, MigrationTraced) {
+  phoenix::testing::KernelHarness h(phoenix::testing::small_cluster_spec(),
+                                    phoenix::testing::fast_ft_params());
+  h.cluster.tracer().set_enabled(true);
+  h.run_s(3.0);
+  h.injector.crash_node(h.cluster.server_node(net::PartitionId{1}));
+  h.run_s(20.0);
+
+  bool saw_migration = false;
+  for (const auto& entry : h.cluster.tracer().filtered("gsd/")) {
+    if (entry.message.find("migrating partition 1") != std::string::npos) {
+      saw_migration = true;
+    }
+  }
+  EXPECT_TRUE(saw_migration);
+}
+
+TEST(TracerIntegrationTest, DisabledTracerStaysEmptyThroughFaults) {
+  phoenix::testing::KernelHarness h(phoenix::testing::small_cluster_spec(),
+                                    phoenix::testing::fast_ft_params());
+  h.run_s(3.0);
+  h.injector.crash_node(h.cluster.compute_nodes(net::PartitionId{0})[0]);
+  h.run_s(12.0);
+  EXPECT_TRUE(h.cluster.tracer().entries().empty());
+}
+
+}  // namespace
+}  // namespace phoenix::sim

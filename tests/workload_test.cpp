@@ -1,0 +1,132 @@
+// Workload-layer tests: HPL model properties, job-trace generation.
+#include "workload/hpl_model.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/job_trace.h"
+
+namespace phoenix::workload {
+namespace {
+
+TEST(HplModelTest, MoreCpusMoreGflops) {
+  HplConfig small, big;
+  small.cpus = 4;
+  big.cpus = 128;
+  EXPECT_GT(run_hpl_model(big).gflops, run_hpl_model(small).gflops);
+}
+
+TEST(HplModelTest, EfficiencyDecaysWithScale) {
+  HplConfig a, b;
+  a.cpus = 4;
+  b.cpus = 128;
+  EXPECT_GT(run_hpl_model(a).efficiency, run_hpl_model(b).efficiency);
+  EXPECT_GT(run_hpl_model(b).efficiency, 0.5);  // still a sane machine
+}
+
+TEST(HplModelTest, BackgroundDaemonsCostExactlyTheirShare) {
+  HplConfig clean, loaded;
+  clean.cpus = loaded.cpus = 64;
+  loaded.background_cpu_fraction = 0.01;
+  const double ratio = run_hpl_model(loaded).gflops / run_hpl_model(clean).gflops;
+  EXPECT_NEAR(ratio, 0.99, 1e-9);
+}
+
+TEST(HplModelTest, ZeroBackgroundIsIdentity) {
+  HplConfig config;
+  config.cpus = 16;
+  const auto base = run_hpl_model(config);
+  config.background_cpu_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(run_hpl_model(config).gflops, base.gflops);
+}
+
+TEST(HplModelTest, TimePositiveAndScalesWithProblemSize) {
+  HplConfig small, big;
+  small.cpus = big.cpus = 16;
+  small.problem_size_n = 10000;
+  big.problem_size_n = 40000;
+  const auto ts = run_hpl_model(small);
+  const auto tb = run_hpl_model(big);
+  EXPECT_GT(ts.time_seconds, 0.0);
+  // 4x n => 64x flops at the same rate.
+  EXPECT_NEAR(tb.time_seconds / ts.time_seconds, 64.0, 2.0);
+}
+
+TEST(HplModelTest, DefaultProblemSizeWeakScales) {
+  EXPECT_DOUBLE_EQ(default_problem_size(4), 20000.0);
+  EXPECT_NEAR(default_problem_size(16), 40000.0, 1.0);
+  EXPECT_GT(default_problem_size(128), default_problem_size(64));
+}
+
+TEST(HplModelTest, FullBackgroundYieldsZero) {
+  HplConfig config;
+  config.background_cpu_fraction = 1.0;
+  EXPECT_DOUBLE_EQ(run_hpl_model(config).gflops, 0.0);
+}
+
+TEST(JobTraceTest, DeterministicPerSeed) {
+  TraceParams params;
+  params.job_count = 50;
+  const auto a = generate_trace(params);
+  const auto b = generate_trace(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+    EXPECT_EQ(a[i].user, b[i].user);
+  }
+  params.seed = 99;
+  const auto c = generate_trace(params);
+  EXPECT_NE(a[0].arrival, c[0].arrival);
+}
+
+TEST(JobTraceTest, ArrivalsMonotonic) {
+  TraceParams params;
+  params.job_count = 200;
+  const auto trace = generate_trace(params);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+  }
+}
+
+TEST(JobTraceTest, RespectsBounds) {
+  TraceParams params;
+  params.job_count = 500;
+  params.max_nodes = 4;
+  params.min_duration_s = 10.0;
+  const auto trace = generate_trace(params);
+  EXPECT_EQ(trace.size(), 500u);
+  for (const auto& job : trace) {
+    EXPECT_GE(job.nodes, 1u);
+    EXPECT_LE(job.nodes, 4u);
+    EXPECT_GE(job.duration, sim::from_seconds(10.0));
+    EXPECT_FALSE(job.user.empty());
+    EXPECT_EQ(job.pool, "batch");
+  }
+}
+
+TEST(JobTraceTest, MeanInterarrivalRoughlyCorrect) {
+  TraceParams params;
+  params.job_count = 2000;
+  params.mean_interarrival_s = 30.0;
+  const auto trace = generate_trace(params);
+  const double total_s = sim::to_seconds(trace.back().arrival);
+  EXPECT_NEAR(total_s / 2000.0, 30.0, 3.0);
+}
+
+TEST(JobTraceTest, MixOfJobSizes) {
+  TraceParams params;
+  params.job_count = 1000;
+  params.max_nodes = 8;
+  const auto trace = generate_trace(params);
+  std::size_t small = 0, large = 0;
+  for (const auto& job : trace) {
+    if (job.nodes == 1) ++small;
+    if (job.nodes >= 4) ++large;
+  }
+  EXPECT_GT(small, 300u);  // many small jobs
+  EXPECT_GT(large, 50u);   // some big ones
+}
+
+}  // namespace
+}  // namespace phoenix::workload
