@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_monitoring.dir/fig6_monitoring.cpp.o"
+  "CMakeFiles/fig6_monitoring.dir/fig6_monitoring.cpp.o.d"
+  "fig6_monitoring"
+  "fig6_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pws_gui.dir/fig9_pws_gui.cpp.o"
+  "CMakeFiles/fig9_pws_gui.dir/fig9_pws_gui.cpp.o.d"
+  "fig9_pws_gui"
+  "fig9_pws_gui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pws_gui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

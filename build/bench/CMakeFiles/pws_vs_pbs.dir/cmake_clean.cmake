@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_vs_pbs.dir/pws_vs_pbs.cpp.o"
+  "CMakeFiles/pws_vs_pbs.dir/pws_vs_pbs.cpp.o.d"
+  "pws_vs_pbs"
+  "pws_vs_pbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_vs_pbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_wd_faults.dir/table1_wd_faults.cpp.o"
+  "CMakeFiles/table1_wd_faults.dir/table1_wd_faults.cpp.o.d"
+  "table1_wd_faults"
+  "table1_wd_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_wd_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

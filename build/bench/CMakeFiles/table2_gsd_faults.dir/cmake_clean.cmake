@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_gsd_faults.dir/table2_gsd_faults.cpp.o"
+  "CMakeFiles/table2_gsd_faults.dir/table2_gsd_faults.cpp.o.d"
+  "table2_gsd_faults"
+  "table2_gsd_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_gsd_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_es_faults.dir/table3_es_faults.cpp.o"
+  "CMakeFiles/table3_es_faults.dir/table3_es_faults.cpp.o.d"
+  "table3_es_faults"
+  "table3_es_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_es_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_linpack.dir/table4_linpack.cpp.o"
+  "CMakeFiles/table4_linpack.dir/table4_linpack.cpp.o.d"
+  "table4_linpack"
+  "table4_linpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_linpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

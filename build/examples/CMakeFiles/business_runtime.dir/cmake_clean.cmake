@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/business_runtime.dir/business_runtime.cpp.o"
+  "CMakeFiles/business_runtime.dir/business_runtime.cpp.o.d"
+  "business_runtime"
+  "business_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/business_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for business_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/construction_tool.dir/construction_tool.cpp.o"
+  "CMakeFiles/construction_tool.dir/construction_tool.cpp.o.d"
+  "construction_tool"
+  "construction_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/construction_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_user_env.dir/custom_user_env.cpp.o"
+  "CMakeFiles/custom_user_env.dir/custom_user_env.cpp.o.d"
+  "custom_user_env"
+  "custom_user_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_user_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

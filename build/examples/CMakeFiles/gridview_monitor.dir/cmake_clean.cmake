@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridview_monitor.dir/gridview_monitor.cpp.o"
+  "CMakeFiles/gridview_monitor.dir/gridview_monitor.cpp.o.d"
+  "gridview_monitor"
+  "gridview_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridview_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_job_management.dir/pws_job_management.cpp.o"
+  "CMakeFiles/pws_job_management.dir/pws_job_management.cpp.o.d"
+  "pws_job_management"
+  "pws_job_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_job_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

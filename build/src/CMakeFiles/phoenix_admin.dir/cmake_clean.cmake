@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_admin.dir/admin/admin_console.cpp.o"
+  "CMakeFiles/phoenix_admin.dir/admin/admin_console.cpp.o.d"
+  "libphoenix_admin.a"
+  "libphoenix_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

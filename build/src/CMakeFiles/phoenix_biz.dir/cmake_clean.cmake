@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_biz.dir/biz/business_runtime.cpp.o"
+  "CMakeFiles/phoenix_biz.dir/biz/business_runtime.cpp.o.d"
+  "libphoenix_biz.a"
+  "libphoenix_biz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_biz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_cluster.dir/cluster/cluster.cpp.o"
+  "CMakeFiles/phoenix_cluster.dir/cluster/cluster.cpp.o.d"
+  "CMakeFiles/phoenix_cluster.dir/cluster/daemon.cpp.o"
+  "CMakeFiles/phoenix_cluster.dir/cluster/daemon.cpp.o.d"
+  "CMakeFiles/phoenix_cluster.dir/cluster/node.cpp.o"
+  "CMakeFiles/phoenix_cluster.dir/cluster/node.cpp.o.d"
+  "libphoenix_cluster.a"
+  "libphoenix_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

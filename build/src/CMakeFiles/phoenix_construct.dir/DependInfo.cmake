@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/construct/constructor.cpp" "src/CMakeFiles/phoenix_construct.dir/construct/constructor.cpp.o" "gcc" "src/CMakeFiles/phoenix_construct.dir/construct/constructor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phoenix_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

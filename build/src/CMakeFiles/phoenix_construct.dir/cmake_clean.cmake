@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_construct.dir/construct/constructor.cpp.o"
+  "CMakeFiles/phoenix_construct.dir/construct/constructor.cpp.o.d"
+  "libphoenix_construct.a"
+  "libphoenix_construct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

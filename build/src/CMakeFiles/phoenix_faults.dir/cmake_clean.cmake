@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_faults.dir/faults/fault_injector.cpp.o"
+  "CMakeFiles/phoenix_faults.dir/faults/fault_injector.cpp.o.d"
+  "libphoenix_faults.a"
+  "libphoenix_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

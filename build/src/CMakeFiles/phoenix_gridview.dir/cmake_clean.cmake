@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_gridview.dir/gridview/gridview.cpp.o"
+  "CMakeFiles/phoenix_gridview.dir/gridview/gridview.cpp.o.d"
+  "libphoenix_gridview.a"
+  "libphoenix_gridview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_gridview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/api.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/api.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/api.cpp.o.d"
+  "/root/repo/src/kernel/bulletin/data_bulletin.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/bulletin/data_bulletin.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/bulletin/data_bulletin.cpp.o.d"
+  "/root/repo/src/kernel/checkpoint/checkpoint_service.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/checkpoint/checkpoint_service.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/checkpoint/checkpoint_service.cpp.o.d"
+  "/root/repo/src/kernel/config/configuration_service.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/config/configuration_service.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/config/configuration_service.cpp.o.d"
+  "/root/repo/src/kernel/detector/detectors.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/detector/detectors.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/detector/detectors.cpp.o.d"
+  "/root/repo/src/kernel/event/event_service.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/event/event_service.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/event/event_service.cpp.o.d"
+  "/root/repo/src/kernel/group/group_service.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/group/group_service.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/group/group_service.cpp.o.d"
+  "/root/repo/src/kernel/group/meta_group.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/group/meta_group.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/group/meta_group.cpp.o.d"
+  "/root/repo/src/kernel/group/watch_daemon.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/group/watch_daemon.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/group/watch_daemon.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/kernel.cpp.o.d"
+  "/root/repo/src/kernel/ppm/process_manager.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/ppm/process_manager.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/ppm/process_manager.cpp.o.d"
+  "/root/repo/src/kernel/security/security_service.cpp" "src/CMakeFiles/phoenix_kernel.dir/kernel/security/security_service.cpp.o" "gcc" "src/CMakeFiles/phoenix_kernel.dir/kernel/security/security_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phoenix_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

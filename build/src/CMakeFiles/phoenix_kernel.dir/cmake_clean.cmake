@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_kernel.dir/kernel/api.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/api.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/bulletin/data_bulletin.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/bulletin/data_bulletin.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/checkpoint/checkpoint_service.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/checkpoint/checkpoint_service.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/config/configuration_service.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/config/configuration_service.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/detector/detectors.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/detector/detectors.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/event/event_service.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/event/event_service.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/group/group_service.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/group/group_service.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/group/meta_group.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/group/meta_group.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/group/watch_daemon.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/group/watch_daemon.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/kernel.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/kernel.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/ppm/process_manager.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/ppm/process_manager.cpp.o.d"
+  "CMakeFiles/phoenix_kernel.dir/kernel/security/security_service.cpp.o"
+  "CMakeFiles/phoenix_kernel.dir/kernel/security/security_service.cpp.o.d"
+  "libphoenix_kernel.a"
+  "libphoenix_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_net.dir/net/fabric.cpp.o"
+  "CMakeFiles/phoenix_net.dir/net/fabric.cpp.o.d"
+  "CMakeFiles/phoenix_net.dir/net/message.cpp.o"
+  "CMakeFiles/phoenix_net.dir/net/message.cpp.o.d"
+  "libphoenix_net.a"
+  "libphoenix_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

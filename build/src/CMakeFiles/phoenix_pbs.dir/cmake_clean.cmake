@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_pbs.dir/pbs/mom.cpp.o"
+  "CMakeFiles/phoenix_pbs.dir/pbs/mom.cpp.o.d"
+  "CMakeFiles/phoenix_pbs.dir/pbs/pbs_server.cpp.o"
+  "CMakeFiles/phoenix_pbs.dir/pbs/pbs_server.cpp.o.d"
+  "libphoenix_pbs.a"
+  "libphoenix_pbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_pbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_pws.dir/pws/job.cpp.o"
+  "CMakeFiles/phoenix_pws.dir/pws/job.cpp.o.d"
+  "CMakeFiles/phoenix_pws.dir/pws/pool.cpp.o"
+  "CMakeFiles/phoenix_pws.dir/pws/pool.cpp.o.d"
+  "CMakeFiles/phoenix_pws.dir/pws/portal.cpp.o"
+  "CMakeFiles/phoenix_pws.dir/pws/portal.cpp.o.d"
+  "CMakeFiles/phoenix_pws.dir/pws/pws.cpp.o"
+  "CMakeFiles/phoenix_pws.dir/pws/pws.cpp.o.d"
+  "CMakeFiles/phoenix_pws.dir/pws/scheduler.cpp.o"
+  "CMakeFiles/phoenix_pws.dir/pws/scheduler.cpp.o.d"
+  "libphoenix_pws.a"
+  "libphoenix_pws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_pws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/phoenix_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/phoenix_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/phoenix_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/phoenix_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/phoenix_sim.dir/sim/trace.cpp.o.d"
+  "libphoenix_sim.a"
+  "libphoenix_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_workload.dir/workload/hpl_model.cpp.o"
+  "CMakeFiles/phoenix_workload.dir/workload/hpl_model.cpp.o.d"
+  "CMakeFiles/phoenix_workload.dir/workload/job_trace.cpp.o"
+  "CMakeFiles/phoenix_workload.dir/workload/job_trace.cpp.o.d"
+  "CMakeFiles/phoenix_workload.dir/workload/mpi_job.cpp.o"
+  "CMakeFiles/phoenix_workload.dir/workload/mpi_job.cpp.o.d"
+  "CMakeFiles/phoenix_workload.dir/workload/resource_model.cpp.o"
+  "CMakeFiles/phoenix_workload.dir/workload/resource_model.cpp.o.d"
+  "libphoenix_workload.a"
+  "libphoenix_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biz_test.dir/biz_test.cpp.o"
+  "CMakeFiles/biz_test.dir/biz_test.cpp.o.d"
+  "biz_test"
+  "biz_test.pdb"
+  "biz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

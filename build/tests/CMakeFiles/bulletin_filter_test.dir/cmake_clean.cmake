@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulletin_filter_test.dir/bulletin_filter_test.cpp.o"
+  "CMakeFiles/bulletin_filter_test.dir/bulletin_filter_test.cpp.o.d"
+  "bulletin_filter_test"
+  "bulletin_filter_test.pdb"
+  "bulletin_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulletin_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulletin_test.dir/bulletin_test.cpp.o"
+  "CMakeFiles/bulletin_test.dir/bulletin_test.cpp.o.d"
+  "bulletin_test"
+  "bulletin_test.pdb"
+  "bulletin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulletin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

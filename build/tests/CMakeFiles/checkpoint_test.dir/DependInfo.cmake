@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/checkpoint_test.cpp" "tests/CMakeFiles/checkpoint_test.dir/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/checkpoint_test.dir/checkpoint_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phoenix_construct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_pws.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_pbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_gridview.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_admin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_biz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_extra_test.dir/event_extra_test.cpp.o"
+  "CMakeFiles/event_extra_test.dir/event_extra_test.cpp.o.d"
+  "event_extra_test"
+  "event_extra_test.pdb"
+  "event_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

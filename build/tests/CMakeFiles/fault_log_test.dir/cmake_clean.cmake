@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_log_test.dir/fault_log_test.cpp.o"
+  "CMakeFiles/fault_log_test.dir/fault_log_test.cpp.o.d"
+  "fault_log_test"
+  "fault_log_test.pdb"
+  "fault_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

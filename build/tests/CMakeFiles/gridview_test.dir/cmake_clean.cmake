@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridview_test.dir/gridview_test.cpp.o"
+  "CMakeFiles/gridview_test.dir/gridview_test.cpp.o.d"
+  "gridview_test"
+  "gridview_test.pdb"
+  "gridview_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

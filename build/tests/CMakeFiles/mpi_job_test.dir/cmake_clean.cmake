@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_job_test.dir/mpi_job_test.cpp.o"
+  "CMakeFiles/mpi_job_test.dir/mpi_job_test.cpp.o.d"
+  "mpi_job_test"
+  "mpi_job_test.pdb"
+  "mpi_job_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_trials_test.dir/parallel_trials_test.cpp.o"
+  "CMakeFiles/parallel_trials_test.dir/parallel_trials_test.cpp.o.d"
+  "parallel_trials_test"
+  "parallel_trials_test.pdb"
+  "parallel_trials_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_trials_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

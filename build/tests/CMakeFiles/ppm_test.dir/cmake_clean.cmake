@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_test.dir/ppm_test.cpp.o"
+  "CMakeFiles/ppm_test.dir/ppm_test.cpp.o.d"
+  "ppm_test"
+  "ppm_test.pdb"
+  "ppm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_priority_test.dir/pws_priority_test.cpp.o"
+  "CMakeFiles/pws_priority_test.dir/pws_priority_test.cpp.o.d"
+  "pws_priority_test"
+  "pws_priority_test.pdb"
+  "pws_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
