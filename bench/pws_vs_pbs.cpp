@@ -46,10 +46,7 @@ workload::TraceParams trace_params() {
 std::uint64_t bytes_of(const net::NetworkStats& stats,
                        std::initializer_list<const char*> types) {
   std::uint64_t sum = 0;
-  for (const char* type : types) {
-    auto it = stats.bytes_by_type.find(type);
-    if (it != stats.bytes_by_type.end()) sum += it->second;
-  }
+  for (const char* type : types) sum += stats.bytes_by_type.get(type);
   return sum;
 }
 

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Runs every bench binary and collects the outputs at the repo root:
+#   BENCH_<name>.json  for benches with machine-readable output
+#                      (engine_hotpath natively; micro_kernel via the
+#                      google-benchmark JSON reporter)
+#   BENCH_<name>.log   captured stdout of the text-table benches
+#
+# Usage: bench/run_all.sh [build-dir]     (default: build)
+#
+# All BENCH_* files are gitignored scratch — paste the numbers you care
+# about into the PR description instead of committing them.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench_dir="$build_dir/bench"
+
+if [ ! -d "$bench_dir" ]; then
+  echo "error: '$bench_dir' not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+run_one() {
+  name=$1
+  shift
+  bin="$bench_dir/$name"
+  if [ ! -x "$bin" ]; then
+    echo "--- skipping $name (not built)"
+    return 0
+  fi
+  echo "--- $name"
+  "$bin" "$@"
+}
+
+cd "$repo_root"
+
+# JSON-emitting benches.
+run_one engine_hotpath "$repo_root/BENCH_hotpath.json"
+run_one micro_kernel \
+  "--benchmark_out=$repo_root/BENCH_micro_kernel.json" \
+  --benchmark_out_format=json
+
+# Text-table benches: capture stdout alongside the JSON files.
+for name in table1_wd_faults table2_gsd_faults table3_es_faults \
+            table4_linpack fig6_monitoring scalability pws_vs_pbs \
+            ablation_networks availability fig9_pws_gui; do
+  run_one "$name" | tee "$repo_root/BENCH_$name.log"
+done
+
+echo
+echo "collected:"
+ls -1 "$repo_root"/BENCH_* 2>/dev/null || echo "  (nothing produced)"

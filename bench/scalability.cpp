@@ -68,18 +68,16 @@ ScalePoint measure(std::size_t partitions, std::size_t computes) {
     view.refresh_now();
     h.run_s(2.0);
     {
-      const auto& by_type = h.cluster.fabric().total_stats().bytes_by_type;
-      const auto it = by_type.find("db.query_reply");
-      point.row_reply_bytes = it == by_type.end() ? 0 : it->second;
+      point.row_reply_bytes =
+          h.cluster.fabric().total_stats().bytes_by_type.get("db.query_reply");
     }
     h.cluster.fabric().reset_stats();
     view.set_aggregate_mode(true);
     view.refresh_now();
     h.run_s(2.0);
     {
-      const auto& by_type = h.cluster.fabric().total_stats().bytes_by_type;
-      const auto it = by_type.find("db.query_reply");
-      point.agg_reply_bytes = it == by_type.end() ? 0 : it->second;
+      point.agg_reply_bytes =
+          h.cluster.fabric().total_stats().bytes_by_type.get("db.query_reply");
     }
     view.set_aggregate_mode(false);
 

@@ -78,7 +78,7 @@ struct DbReportMsg final : net::Message {
   NodeRecord node_record;
   std::vector<AppRecord> apps;
 
-  std::string_view type() const noexcept override { return "db.report"; }
+  PHOENIX_MESSAGE_TYPE("db.report")
   std::size_t wire_size() const noexcept override {
     std::size_t n = NodeRecord::kWireBytes;
     for (const auto& a : apps) n += a.wire_bytes();
@@ -113,7 +113,7 @@ struct DbQueryMsg final : net::Message {
   BulletinFilter filter;
   net::Address reply_to;
 
-  std::string_view type() const noexcept override { return "db.query"; }
+  PHOENIX_MESSAGE_TYPE("db.query")
   std::size_t wire_size() const noexcept override {
     return 24 + filter.wire_bytes();
   }
@@ -127,7 +127,7 @@ struct DbPartitionQueryMsg final : net::Message {
   BulletinFilter filter;
   net::Address reply_to;
 
-  std::string_view type() const noexcept override { return "db.partition_query"; }
+  PHOENIX_MESSAGE_TYPE("db.partition_query")
   std::size_t wire_size() const noexcept override {
     return 24 + filter.wire_bytes();
   }
@@ -141,7 +141,7 @@ struct DbQueryReplyMsg final : net::Message {
   UsageSummary summary;  // valid when aggregated
   std::uint32_t partitions_included = 1;
 
-  std::string_view type() const noexcept override { return "db.query_reply"; }
+  PHOENIX_MESSAGE_TYPE("db.query_reply")
   std::size_t wire_size() const noexcept override {
     std::size_t n = 24 + node_rows.size() * NodeRecord::kWireBytes;
     for (const auto& a : app_rows) n += a.wire_bytes();

@@ -36,7 +36,7 @@ struct CheckpointSaveMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ckpt.save"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.save")
   std::size_t wire_size() const noexcept override {
     return service.size() + key.size() + data.size() + 16;
   }
@@ -46,7 +46,7 @@ struct CheckpointSaveReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   std::uint64_t version = 0;
 
-  std::string_view type() const noexcept override { return "ckpt.save_reply"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.save_reply")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 
@@ -57,7 +57,7 @@ struct CheckpointReplicateMsg final : net::Message {
   std::uint64_t version = 0;
   bool deleted = false;
 
-  std::string_view type() const noexcept override { return "ckpt.replicate"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.replicate")
   std::size_t wire_size() const noexcept override {
     return service.size() + key.size() + data.size() + 17;
   }
@@ -69,7 +69,7 @@ struct CheckpointLoadMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ckpt.load"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.load")
   std::size_t wire_size() const noexcept override {
     return service.size() + key.size() + 16;
   }
@@ -81,7 +81,7 @@ struct CheckpointLoadReplyMsg final : net::Message {
   std::string data;
   std::uint64_t version = 0;
 
-  std::string_view type() const noexcept override { return "ckpt.load_reply"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.load_reply")
   std::size_t wire_size() const noexcept override { return data.size() + 25; }
 };
 
@@ -92,7 +92,7 @@ struct CheckpointFetchMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ckpt.fetch"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.fetch")
   std::size_t wire_size() const noexcept override {
     return service.size() + key.size() + 16;
   }
@@ -104,7 +104,7 @@ struct CheckpointDeleteMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ckpt.delete"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.delete")
   std::size_t wire_size() const noexcept override {
     return service.size() + key.size() + 16;
   }
@@ -114,7 +114,7 @@ struct CheckpointDeleteReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   bool existed = false;
 
-  std::string_view type() const noexcept override { return "ckpt.delete_reply"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.delete_reply")
   std::size_t wire_size() const noexcept override { return 9; }
 };
 
@@ -124,7 +124,7 @@ struct CheckpointListMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ckpt.list"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.list")
   std::size_t wire_size() const noexcept override { return service.size() + 16; }
 };
 
@@ -132,7 +132,7 @@ struct CheckpointListReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   std::vector<std::string> keys;
 
-  std::string_view type() const noexcept override { return "ckpt.list_reply"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.list_reply")
   std::size_t wire_size() const noexcept override {
     std::size_t n = 16;
     for (const auto& k : keys) n += k.size() + 1;
@@ -146,7 +146,7 @@ struct CheckpointDeleteNamespaceMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ckpt.delete_ns"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.delete_ns")
   std::size_t wire_size() const noexcept override { return service.size() + 16; }
 };
 
@@ -154,7 +154,7 @@ struct CheckpointDeleteNamespaceReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   std::uint64_t removed = 0;
 
-  std::string_view type() const noexcept override { return "ckpt.delete_ns_reply"; }
+  PHOENIX_MESSAGE_TYPE("ckpt.delete_ns_reply")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 

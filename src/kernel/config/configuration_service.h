@@ -24,7 +24,7 @@ struct ConfigGetMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "config.get"; }
+  PHOENIX_MESSAGE_TYPE("config.get")
   std::size_t wire_size() const noexcept override { return key.size() + 16; }
 };
 
@@ -35,7 +35,7 @@ struct ConfigGetReplyMsg final : net::Message {
   std::string value;
   std::uint64_t version = 0;
 
-  std::string_view type() const noexcept override { return "config.get_reply"; }
+  PHOENIX_MESSAGE_TYPE("config.get_reply")
   std::size_t wire_size() const noexcept override {
     return key.size() + value.size() + 24;
   }
@@ -47,7 +47,7 @@ struct ConfigSetMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "config.set"; }
+  PHOENIX_MESSAGE_TYPE("config.set")
   std::size_t wire_size() const noexcept override {
     return key.size() + value.size() + 16;
   }
@@ -57,7 +57,7 @@ struct ConfigSetReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   std::uint64_t version = 0;
 
-  std::string_view type() const noexcept override { return "config.set_reply"; }
+  PHOENIX_MESSAGE_TYPE("config.set_reply")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 

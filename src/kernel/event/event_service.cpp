@@ -1,11 +1,23 @@
 #include "kernel/event/event_service.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
 namespace phoenix::kernel {
 
 namespace {
+
+/// True when the subscription cannot be served from the exact-type index:
+/// empty type list (match-all) or any wildcard/prefix pattern.
+bool needs_pattern_scan(const Subscription& sub) {
+  if (sub.types.empty()) return true;
+  for (const auto& t : sub.types) {
+    if (t == "*") return true;
+    if (t.size() >= 2 && t.compare(t.size() - 2, 2, ".*") == 0) return true;
+  }
+  return false;
+}
 
 std::string encode_address(const net::Address& a) {
   return std::to_string(a.node.value) + "," + std::to_string(a.port.value);
@@ -78,9 +90,59 @@ void EventService::announce_up() {
            std::move(up));
 }
 
+void EventService::index_insert(const Subscription& sub) {
+  if (needs_pattern_scan(sub)) {
+    pattern_subs_.push_back(sub.consumer);
+    return;
+  }
+  for (const auto& t : sub.types) {
+    auto& bucket = exact_index_[t];
+    // A subscription may list the same type twice; one bucket entry keeps
+    // the old notify-once-per-consumer semantics.
+    if (std::find(bucket.begin(), bucket.end(), sub.consumer) == bucket.end()) {
+      bucket.push_back(sub.consumer);
+    }
+  }
+}
+
+void EventService::index_erase(const net::Address& consumer) {
+  const auto it = subscriptions_.find(consumer);
+  if (it == subscriptions_.end()) return;
+  const Subscription& sub = it->second;
+  if (needs_pattern_scan(sub)) {
+    std::erase(pattern_subs_, consumer);
+    return;
+  }
+  for (const auto& t : sub.types) {
+    const auto bucket = exact_index_.find(t);
+    if (bucket == exact_index_.end()) continue;
+    std::erase(bucket->second, consumer);
+    if (bucket->second.empty()) exact_index_.erase(bucket);
+  }
+}
+
+void EventService::rebuild_index() {
+  exact_index_.clear();
+  pattern_subs_.clear();
+  for (const auto& [addr, sub] : subscriptions_) index_insert(sub);
+}
+
+void EventService::store_subscription(Subscription sub) {
+  index_erase(sub.consumer);  // replacing: drop the old subscription's entries
+  const net::Address consumer = sub.consumer;
+  Subscription& stored = subscriptions_[consumer];
+  stored = std::move(sub);
+  index_insert(stored);
+}
+
+bool EventService::drop_subscription(const net::Address& consumer) {
+  index_erase(consumer);
+  return subscriptions_.erase(consumer) > 0;
+}
+
 void EventService::subscribe_local(Subscription sub, bool replicate) {
   const net::Address consumer = sub.consumer;
-  subscriptions_[consumer] = std::move(sub);
+  store_subscription(std::move(sub));
   checkpoint_registry();
   if (replicate && directory_ != nullptr) {
     for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
@@ -95,7 +157,7 @@ void EventService::subscribe_local(Subscription sub, bool replicate) {
 }
 
 void EventService::unsubscribe_local(const net::Address& consumer, bool replicate) {
-  if (subscriptions_.erase(consumer) == 0) return;
+  if (!drop_subscription(consumer)) return;
   checkpoint_registry();
   if (replicate && directory_ != nullptr) {
     for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
@@ -119,12 +181,20 @@ void EventService::publish_local(Event event) {
   event.origin_es = partition_.value;
   event.seq = next_seq_++;
   if (event.timestamp == 0) event.timestamp = now();
-  for (const auto& [consumer, sub] : subscriptions_) {
-    if (!sub.matches(event)) continue;
+  const auto notify_if_match = [&](const net::Address& consumer) {
+    const auto it = subscriptions_.find(consumer);
+    if (it == subscriptions_.end() || !it->second.matches(event)) return;
     auto notify = std::make_shared<EsNotifyMsg>();
     notify->event = event;
     send_any(consumer, std::move(notify));
+  };
+  // Indexed fan-out: one hash lookup for exact-type subscribers, then the
+  // (small) list of pattern/match-all subscribers. Consumers appear in
+  // exactly one of the two, so nobody is notified twice.
+  if (const auto bucket = exact_index_.find(event.type); bucket != exact_index_.end()) {
+    for (const net::Address& consumer : bucket->second) notify_if_match(consumer);
   }
+  for (const net::Address& consumer : pattern_subs_) notify_if_match(consumer);
   if (history_limit_ > 0) {
     history_.push_back(std::move(event));
     while (history_.size() > history_limit_) history_.pop_front();
@@ -150,7 +220,7 @@ std::string EventService::serialize_registry() const {
 }
 
 void EventService::restore_registry(const std::string& data) {
-  subscriptions_.clear();
+  subscriptions_.clear();  // index rebuilt below once all lines are parsed
   std::istringstream in(data);
   std::string line;
   while (std::getline(in, line)) {
@@ -181,6 +251,7 @@ void EventService::restore_registry(const std::string& data) {
     }
     subscriptions_[sub.consumer] = std::move(sub);
   }
+  rebuild_index();
 }
 
 void EventService::checkpoint_registry() {
@@ -228,9 +299,9 @@ void EventService::handle(const net::Envelope& env) {
   }
   if (const auto* sync = net::message_cast<EsSyncMsg>(m)) {
     if (sync->remove) {
-      subscriptions_.erase(sync->subscription.consumer);
+      drop_subscription(sync->subscription.consumer);
     } else {
-      subscriptions_[sync->subscription.consumer] = sync->subscription;
+      store_subscription(sync->subscription);
     }
     checkpoint_registry();
     return;

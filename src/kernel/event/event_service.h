@@ -31,7 +31,7 @@ struct EsSubscribeMsg final : net::Message {
   Subscription subscription;
   bool remove = false;
 
-  std::string_view type() const noexcept override { return "es.subscribe"; }
+  PHOENIX_MESSAGE_TYPE("es.subscribe")
   std::size_t wire_size() const noexcept override {
     std::size_t n = 16;
     for (const auto& t : subscription.types) n += t.size() + 1;
@@ -45,7 +45,7 @@ struct EsRegisterSupplierMsg final : net::Message {
   std::vector<std::string> types;
   bool remove = false;
 
-  std::string_view type() const noexcept override { return "es.register_supplier"; }
+  PHOENIX_MESSAGE_TYPE("es.register_supplier")
   std::size_t wire_size() const noexcept override {
     std::size_t n = 16;
     for (const auto& t : types) n += t.size() + 1;
@@ -56,14 +56,14 @@ struct EsRegisterSupplierMsg final : net::Message {
 struct EsPublishMsg final : net::Message {
   Event event;
 
-  std::string_view type() const noexcept override { return "es.publish"; }
+  PHOENIX_MESSAGE_TYPE("es.publish")
   std::size_t wire_size() const noexcept override { return event.wire_bytes(); }
 };
 
 struct EsNotifyMsg final : net::Message {
   Event event;
 
-  std::string_view type() const noexcept override { return "es.notify"; }
+  PHOENIX_MESSAGE_TYPE("es.notify")
   std::size_t wire_size() const noexcept override { return event.wire_bytes(); }
 };
 
@@ -75,7 +75,7 @@ struct EsReplayMsg final : net::Message {
   Subscription subscription;
   std::uint64_t after_seq = 0;
 
-  std::string_view type() const noexcept override { return "es.replay"; }
+  PHOENIX_MESSAGE_TYPE("es.replay")
   std::size_t wire_size() const noexcept override {
     std::size_t n = 24;
     for (const auto& t : subscription.types) n += t.size() + 1;
@@ -88,7 +88,7 @@ struct EsSyncMsg final : net::Message {
   Subscription subscription;
   bool remove = false;
 
-  std::string_view type() const noexcept override { return "es.sync"; }
+  PHOENIX_MESSAGE_TYPE("es.sync")
   std::size_t wire_size() const noexcept override {
     std::size_t n = 17;
     for (const auto& t : subscription.types) n += t.size() + 1;
@@ -131,10 +131,27 @@ class EventService final : public cluster::Daemon {
   void announce_up();
   void attempt_recovery_load();
 
+  // --- publish fan-out index ----------------------------------------------
+  // publish_local used to scan every subscription per event. The index
+  // splits consumers into (a) exact-type buckets — consulted with one hash
+  // lookup on the published type — and (b) a small scan list for
+  // subscriptions that need pattern evaluation ("*", "prefix.*", or an
+  // empty type list meaning match-all). A consumer lives in exactly one of
+  // the two structures, so no per-publish dedup is needed. Candidates still
+  // go through Subscription::matches, preserving attribute-filter semantics
+  // exactly; the index only prunes type mismatches.
+  void index_insert(const Subscription& sub);
+  void index_erase(const net::Address& consumer);
+  void rebuild_index();
+  void store_subscription(Subscription sub);
+  bool drop_subscription(const net::Address& consumer);
+
   net::PartitionId partition_;
   const FtParams& params_;
   ServiceDirectory* directory_;
   std::unordered_map<net::Address, Subscription> subscriptions_;
+  std::unordered_map<std::string, std::vector<net::Address>> exact_index_;
+  std::vector<net::Address> pattern_subs_;
   std::unordered_map<net::Address, std::vector<std::string>> suppliers_;
   std::deque<Event> history_;
   std::size_t history_limit_ = 512;

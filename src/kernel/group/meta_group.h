@@ -81,7 +81,7 @@ struct RingHeartbeatMsg final : net::Message {
   std::uint64_t view_id = 0;
   std::uint64_t seq = 0;
 
-  std::string_view type() const noexcept override { return "meta.ring_heartbeat"; }
+  PHOENIX_MESSAGE_TYPE("meta.ring_heartbeat")
   std::size_t wire_size() const noexcept override { return 24; }
 };
 
@@ -89,7 +89,7 @@ struct RingHeartbeatMsg final : net::Message {
 struct ViewChangeMsg final : net::Message {
   MetaView view;
 
-  std::string_view type() const noexcept override { return "meta.view_change"; }
+  PHOENIX_MESSAGE_TYPE("meta.view_change")
   std::size_t wire_size() const noexcept override {
     return 16 + view.members.size() * 12;
   }
@@ -99,7 +99,7 @@ struct ViewChangeMsg final : net::Message {
 struct MetaJoinMsg final : net::Message {
   MetaMember member;
 
-  std::string_view type() const noexcept override { return "meta.join"; }
+  PHOENIX_MESSAGE_TYPE("meta.join")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 

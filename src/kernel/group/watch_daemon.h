@@ -25,7 +25,7 @@ struct HeartbeatMsg final : net::Message {
   cluster::ResourceUsage usage;
   sim::SimTime sent_at = 0;
 
-  std::string_view type() const noexcept override { return "group.heartbeat"; }
+  PHOENIX_MESSAGE_TYPE("group.heartbeat")
   std::size_t wire_size() const noexcept override {
     return cluster::ResourceUsage::kWireBytes + 24;
   }
@@ -37,7 +37,7 @@ struct GsdAnnounceMsg final : net::Message {
   net::Address gsd;
   net::PartitionId partition;
 
-  std::string_view type() const noexcept override { return "group.gsd_announce"; }
+  PHOENIX_MESSAGE_TYPE("group.gsd_announce")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 

@@ -26,7 +26,7 @@ struct ProbeMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t probe_id = 0;
 
-  std::string_view type() const noexcept override { return "ppm.probe"; }
+  PHOENIX_MESSAGE_TYPE("ppm.probe")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 
@@ -38,7 +38,7 @@ struct ProbeReplyMsg final : net::Message {
   bool wd_running = false;
   bool gsd_running = false;
 
-  std::string_view type() const noexcept override { return "ppm.probe_reply"; }
+  PHOENIX_MESSAGE_TYPE("ppm.probe_reply")
   std::size_t wire_size() const noexcept override { return 18; }
 };
 
@@ -57,7 +57,7 @@ struct SpawnMsg final : net::Message {
   net::Address exit_notify;    // ExitNotifyMsg destination (invalid = none)
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ppm.spawn"; }
+  PHOENIX_MESSAGE_TYPE("ppm.spawn")
   std::size_t wire_size() const noexcept override {
     return spec.name.size() + spec.owner.size() + spec.image_bytes / 1024 + 32;
   }
@@ -69,7 +69,7 @@ struct SpawnReplyMsg final : net::Message {
   cluster::Pid pid = 0;
   net::NodeId node;
 
-  std::string_view type() const noexcept override { return "ppm.spawn_reply"; }
+  PHOENIX_MESSAGE_TYPE("ppm.spawn_reply")
   std::size_t wire_size() const noexcept override { return 24; }
 };
 
@@ -79,7 +79,7 @@ struct ExitNotifyMsg final : net::Message {
   std::string name;
   int exit_code = 0;
 
-  std::string_view type() const noexcept override { return "ppm.exit_notify"; }
+  PHOENIX_MESSAGE_TYPE("ppm.exit_notify")
   std::size_t wire_size() const noexcept override { return name.size() + 24; }
 };
 
@@ -88,7 +88,7 @@ struct KillMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ppm.kill"; }
+  PHOENIX_MESSAGE_TYPE("ppm.kill")
   std::size_t wire_size() const noexcept override { return 24; }
 };
 
@@ -96,7 +96,7 @@ struct KillReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   bool ok = false;
 
-  std::string_view type() const noexcept override { return "ppm.kill_reply"; }
+  PHOENIX_MESSAGE_TYPE("ppm.kill_reply")
   std::size_t wire_size() const noexcept override { return 9; }
 };
 
@@ -105,7 +105,7 @@ struct CleanupMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ppm.cleanup"; }
+  PHOENIX_MESSAGE_TYPE("ppm.cleanup")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 
@@ -113,7 +113,7 @@ struct CleanupReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   std::uint64_t reaped = 0;
 
-  std::string_view type() const noexcept override { return "ppm.cleanup_reply"; }
+  PHOENIX_MESSAGE_TYPE("ppm.cleanup_reply")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 
@@ -129,7 +129,7 @@ struct StartServiceMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ppm.start_service"; }
+  PHOENIX_MESSAGE_TYPE("ppm.start_service")
   std::size_t wire_size() const noexcept override { return extension.size() + 24; }
 };
 
@@ -138,7 +138,7 @@ struct StartServiceReplyMsg final : net::Message {
   bool ok = false;
   net::Address service;
 
-  std::string_view type() const noexcept override { return "ppm.start_service_reply"; }
+  PHOENIX_MESSAGE_TYPE("ppm.start_service_reply")
   std::size_t wire_size() const noexcept override { return 24; }
 };
 
@@ -150,7 +150,7 @@ struct ParallelCmdMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "ppm.parallel_cmd"; }
+  PHOENIX_MESSAGE_TYPE("ppm.parallel_cmd")
   std::size_t wire_size() const noexcept override {
     return command.size() + nodes.size() * 4 + 24;
   }
@@ -161,7 +161,7 @@ struct ParallelCmdReplyMsg final : net::Message {
   std::uint64_t succeeded = 0;
   std::uint64_t failed = 0;
 
-  std::string_view type() const noexcept override { return "ppm.parallel_cmd_reply"; }
+  PHOENIX_MESSAGE_TYPE("ppm.parallel_cmd_reply")
   std::size_t wire_size() const noexcept override { return 24; }
 };
 

@@ -36,7 +36,7 @@ struct AuthRequestMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "security.auth"; }
+  PHOENIX_MESSAGE_TYPE("security.auth")
   std::size_t wire_size() const noexcept override {
     return user.size() + secret.size() + 16;
   }
@@ -47,7 +47,7 @@ struct AuthReplyMsg final : net::Message {
   bool ok = false;
   Token token;
 
-  std::string_view type() const noexcept override { return "security.auth_reply"; }
+  PHOENIX_MESSAGE_TYPE("security.auth_reply")
   std::size_t wire_size() const noexcept override { return token.user.size() + 40; }
 };
 
@@ -58,7 +58,7 @@ struct AuthzRequestMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "security.authz"; }
+  PHOENIX_MESSAGE_TYPE("security.authz")
   std::size_t wire_size() const noexcept override {
     return token.user.size() + action.size() + resource.size() + 40;
   }
@@ -69,7 +69,7 @@ struct AuthzReplyMsg final : net::Message {
   bool allowed = false;
   std::string reason;
 
-  std::string_view type() const noexcept override { return "security.authz_reply"; }
+  PHOENIX_MESSAGE_TYPE("security.authz_reply")
   std::size_t wire_size() const noexcept override { return reason.size() + 17; }
 };
 

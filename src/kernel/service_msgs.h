@@ -18,7 +18,7 @@ struct ServiceUpMsg final : net::Message {
   net::PartitionId partition;
   net::Address service;
 
-  std::string_view type() const noexcept override { return "service.up"; }
+  PHOENIX_MESSAGE_TYPE("service.up")
   std::size_t wire_size() const noexcept override { return extension.size() + 24; }
 };
 

@@ -62,7 +62,7 @@ bool Fabric::send(const Address& from, const Address& to, NetworkId network,
 
   ++st.messages_sent;
   st.bytes_sent += bytes;
-  st.bytes_by_type[std::string(message->type())] += bytes;
+  st.bytes_by_type.slot(message->type_id()) += bytes;
 
   if (latency_.loss_probability > 0.0 &&
       engine_.rng().chance(latency_.loss_probability)) {
@@ -109,7 +109,8 @@ NetworkStats Fabric::total_stats() const {
     total.bytes_sent += st.bytes_sent;
     total.messages_dropped += st.messages_dropped;
     total.messages_lost += st.messages_lost;
-    for (const auto& [type, bytes] : st.bytes_by_type) total.bytes_by_type[type] += bytes;
+    // Flat vector accumulate — no per-type string hashing or node churn.
+    total.bytes_by_type.add(st.bytes_by_type);
   }
   return total;
 }

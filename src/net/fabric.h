@@ -13,8 +13,6 @@
 
 #include <cstddef>
 #include <functional>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/message.h"
@@ -39,13 +37,15 @@ struct LatencyModel {
                       bool cross_group = false) const;
 };
 
-/// Per-network traffic counters.
+/// Per-network traffic counters. The per-type breakdown is indexed by
+/// interned MessageTypeId (one array index per send, no string hashing);
+/// its string-keyed lookup API is unchanged for tests and reports.
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_dropped = 0;   // interface down or node dead
   std::uint64_t messages_lost = 0;      // random loss (LatencyModel)
-  std::unordered_map<std::string, std::uint64_t> bytes_by_type;
+  TypeCounts bytes_by_type;
 };
 
 class Fabric {

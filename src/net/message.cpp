@@ -1,7 +1,91 @@
 #include "net/message.h"
 
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
 namespace phoenix::net {
 
-// Message is header-only apart from anchoring the vtable here.
+namespace {
+
+// Process-wide intern table. Guarded by a mutex: interning happens once per
+// message type per process (the PHOENIX_MESSAGE_TYPE function-local static
+// caches the id), and name lookups only run on cold stats/reporting paths,
+// so contention is a non-issue even with parallel trials on many threads.
+struct InternTable {
+  std::mutex mu;
+  std::deque<std::string> names{""};  // index 0 reserved = invalid
+  std::unordered_map<std::string_view, std::uint16_t> ids;
+};
+
+InternTable& table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+MessageTypeId intern_message_type(std::string_view name) {
+  InternTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  if (const auto it = t.ids.find(name); it != t.ids.end()) {
+    return MessageTypeId{it->second};
+  }
+  if (t.names.size() > UINT16_MAX) {
+    throw std::length_error("message type intern table overflow");
+  }
+  const auto id = static_cast<std::uint16_t>(t.names.size());
+  t.names.push_back(std::string(name));  // deque: stable string_view storage
+  t.ids.emplace(t.names.back(), id);
+  return MessageTypeId{id};
+}
+
+MessageTypeId find_message_type(std::string_view name) {
+  InternTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  const auto it = t.ids.find(name);
+  return it == t.ids.end() ? MessageTypeId{} : MessageTypeId{it->second};
+}
+
+std::string_view message_type_name(MessageTypeId id) {
+  InternTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  if (id.value >= t.names.size()) return {};
+  return t.names[id.value];
+}
+
+std::size_t message_type_count() {
+  InternTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  return t.names.size();
+}
+
+std::uint64_t TypeCounts::get(std::string_view name) const {
+  const MessageTypeId id = find_message_type(name);
+  if (!id.valid() || id.value >= counts_.size()) return 0;
+  return counts_[id.value];
+}
+
+std::uint64_t TypeCounts::at(std::string_view name) const {
+  const std::uint64_t v = get(name);
+  if (v == 0) {
+    throw std::out_of_range("TypeCounts::at: no bytes recorded for type '" +
+                            std::string(name) + "'");
+  }
+  return v;
+}
+
+std::size_t TypeCounts::size() const noexcept {
+  std::size_t n = 0;
+  for (const std::uint64_t c : counts_) n += c != 0 ? 1 : 0;
+  return n;
+}
+
+void TypeCounts::add(const TypeCounts& other) {
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
 
 }  // namespace phoenix::net

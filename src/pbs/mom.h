@@ -20,7 +20,7 @@ struct PollMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t poll_id = 0;
 
-  std::string_view type() const noexcept override { return "pbs.poll"; }
+  PHOENIX_MESSAGE_TYPE("pbs.poll")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 
@@ -34,7 +34,7 @@ struct PollReplyMsg final : net::Message {
   };
   std::vector<JobProcess> job_processes;
 
-  std::string_view type() const noexcept override { return "pbs.poll_reply"; }
+  PHOENIX_MESSAGE_TYPE("pbs.poll_reply")
   std::size_t wire_size() const noexcept override {
     return cluster::ResourceUsage::kWireBytes + job_processes.size() * 9 + 16;
   }
@@ -48,7 +48,7 @@ struct MomSpawnMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "pbs.spawn"; }
+  PHOENIX_MESSAGE_TYPE("pbs.spawn")
   std::size_t wire_size() const noexcept override {
     // Same image-shipping cost as the PPM path, for a fair comparison.
     return job_name.size() + owner.size() + (4 << 20) / 1024 + 32;
@@ -61,14 +61,14 @@ struct MomSpawnReplyMsg final : net::Message {
   cluster::Pid pid = 0;
   net::NodeId node;
 
-  std::string_view type() const noexcept override { return "pbs.spawn_reply"; }
+  PHOENIX_MESSAGE_TYPE("pbs.spawn_reply")
   std::size_t wire_size() const noexcept override { return 24; }
 };
 
 struct MomKillMsg final : net::Message {
   cluster::Pid pid = 0;
 
-  std::string_view type() const noexcept override { return "pbs.kill"; }
+  PHOENIX_MESSAGE_TYPE("pbs.kill")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 

@@ -34,7 +34,7 @@ struct PwsSubmitMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "pws.submit"; }
+  PHOENIX_MESSAGE_TYPE("pws.submit")
   std::size_t wire_size() const noexcept override {
     return request.name.size() + request.user.size() + request.pool.size() + 48;
   }
@@ -46,7 +46,7 @@ struct PwsSubmitReplyMsg final : net::Message {
   JobId job_id = 0;
   std::string reason;
 
-  std::string_view type() const noexcept override { return "pws.submit_reply"; }
+  PHOENIX_MESSAGE_TYPE("pws.submit_reply")
   std::size_t wire_size() const noexcept override { return reason.size() + 24; }
 };
 
@@ -57,7 +57,7 @@ struct PwsQueryMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "pws.query"; }
+  PHOENIX_MESSAGE_TYPE("pws.query")
   std::size_t wire_size() const noexcept override { return user.size() + 24; }
 };
 
@@ -65,7 +65,7 @@ struct PwsQueryReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   std::vector<Job> jobs;
 
-  std::string_view type() const noexcept override { return "pws.query_reply"; }
+  PHOENIX_MESSAGE_TYPE("pws.query_reply")
   std::size_t wire_size() const noexcept override {
     std::size_t n = 16;
     for (const auto& j : jobs) n += j.name.size() + j.user.size() + 64;
@@ -79,7 +79,7 @@ struct PwsCancelMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
 
-  std::string_view type() const noexcept override { return "pws.cancel"; }
+  PHOENIX_MESSAGE_TYPE("pws.cancel")
   std::size_t wire_size() const noexcept override { return 24; }
 };
 
@@ -87,7 +87,7 @@ struct PwsCancelReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   bool cancelled = false;
 
-  std::string_view type() const noexcept override { return "pws.cancel_reply"; }
+  PHOENIX_MESSAGE_TYPE("pws.cancel_reply")
   std::size_t wire_size() const noexcept override { return 9; }
 };
 

@@ -20,31 +20,48 @@ std::string format_duration(SimTime t) {
 
 Engine::Engine(std::uint64_t seed) : rng_(seed) {}
 
-EventId Engine::schedule_at(SimTime t, Callback cb) {
-  if (t < now_) t = now_;
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{t, seq, std::move(cb)});
-  live_.insert(seq);
-  return EventId{seq};
+EventId Engine::schedule_raw_at(SimTime t, void (*fn)(void*), void* ctx) {
+  return schedule_impl(t, Callback(fn, ctx));
 }
 
-EventId Engine::schedule_after(SimTime delay, Callback cb) {
-  return schedule_at(now_ + delay, std::move(cb));
+EventId Engine::schedule_raw_after(SimTime delay, void (*fn)(void*), void* ctx) {
+  return schedule_impl(now_ + delay, Callback(fn, ctx));
 }
 
 bool Engine::cancel(EventId id) {
-  // Lazy cancellation: the entry stays queued and is skipped when popped.
-  return live_.erase(id.value) > 0;
+  // Lazy cancellation: the queue key stays queued and is skipped when
+  // popped; only the generation bump and callback teardown happen here.
+  const std::uint64_t slot = id.value >> kGenerationBits;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value & kGenMask);
+  if (gen == 0 || slot >= slots_.size() || !slots_[slot].live ||
+      slots_[slot].gen != gen) {
+    return false;
+  }
+  slots_[slot].cb = Callback{};  // release captures promptly
+  retire(slot);
+  --live_;
+  return true;
 }
 
-bool Engine::step() {
+bool Engine::step_limited(SimTime limit) {
   while (!queue_.empty()) {
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    const Entry top = queue_.top();
+    const std::uint64_t slot = top.id >> kGenerationBits;
+    if (!slots_[slot].live || slots_[slot].gen != (top.id & kGenMask)) {
+      queue_.pop();  // cancelled ghost
+      continue;
+    }
+    if (top.time > limit) return false;
     queue_.pop();
-    if (live_.erase(e.seq) == 0) continue;  // was cancelled
-    now_ = e.time;
+    // Move the callback out and retire the slot *before* running it: the
+    // callback may legally schedule into (and thus reuse) this very slot.
+    Callback cb = std::move(slots_[slot].cb);
+    slots_[slot].cb = Callback{};
+    retire(slot);
+    --live_;
+    now_ = top.time;
     ++executed_;
-    e.cb();
+    cb();
     return true;
   }
   return false;
@@ -58,9 +75,7 @@ std::size_t Engine::run(std::size_t max_events) {
 
 std::size_t Engine::run_until(SimTime t) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= t) {
-    if (step()) ++n;
-  }
+  while (step_limited(t)) ++n;
   if (now_ < t) now_ = t;
   return n;
 }
@@ -86,15 +101,21 @@ void PeriodicTask::stop() {
   running_ = false;
 }
 
+void PeriodicTask::tick_thunk(void* self) {
+  static_cast<PeriodicTask*>(self)->on_tick();
+}
+
+void PeriodicTask::on_tick() {
+  pending_ = EventId{};
+  if (!running_) return;
+  tick_();
+  // tick_ may have called stop() (or even start()); only re-arm if still
+  // running and nothing else re-armed us.
+  if (running_ && pending_.value == 0) arm(period_);
+}
+
 void PeriodicTask::arm(SimTime delay) {
-  pending_ = engine_.schedule_after(delay, [this] {
-    pending_ = EventId{};
-    if (!running_) return;
-    tick_();
-    // tick_ may have called stop() (or even start()); only re-arm if still
-    // running and nothing else re-armed us.
-    if (running_ && pending_.value == 0) arm(period_);
-  });
+  pending_ = engine_.schedule_raw_after(delay, &PeriodicTask::tick_thunk, this);
 }
 
 }  // namespace phoenix::sim

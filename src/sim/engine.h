@@ -4,21 +4,35 @@
 // callbacks. All Phoenix daemons are actors driven entirely by engine
 // events: message deliveries, timers, and fault injections. Determinism:
 // ties on time are broken by insertion sequence number.
+//
+// Hot-path design (see DESIGN.md, "Simulation-core performance"):
+//   - The priority queue holds 24-byte POD keys {time, seq, id}; the
+//     callback itself lives in a stable slot array and is never moved by
+//     heap sifts.
+//   - Cancellation is lazy via generation counters: an EventId packs
+//     (slot, generation); cancel/fire bump the slot's generation, so a
+//     queued ghost key is recognized and skipped when popped. No per-event
+//     hash-set insert/erase.
+//   - Callbacks are InplaceCallback (48-byte small-buffer), so the lambdas
+//     daemons schedule (this + a few ids, or this + an Envelope) never
+//     touch the heap.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inplace_function.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 
 namespace phoenix::sim {
 
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Packs (slot << kGenerationBits) | generation; value 0 is never issued
+/// (generations skip 0), so a default EventId is always invalid.
 struct EventId {
   std::uint64_t value = 0;
   friend bool operator==(EventId, EventId) = default;
@@ -26,7 +40,16 @@ struct EventId {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  /// 48 bytes covers the largest hot-path capture (Fabric's delivery
+  /// lambda: this + Envelope). Bigger closures fall back to the heap.
+  using Callback = InplaceCallback<48>;
+
+  /// Width of the per-slot generation counter inside EventId. After
+  /// 2^kGenerationBits - 1 reuses of one slot the counter wraps and an
+  /// ancient stale id aliases the current occupant (classic ABA); ~1M
+  /// schedule/cancel cycles on the *same slot* is far beyond any id a
+  /// daemon keeps around.
+  static constexpr unsigned kGenerationBits = 20;
 
   explicit Engine(std::uint64_t seed = 42);
 
@@ -37,16 +60,32 @@ class Engine {
   SimTime now() const noexcept { return now_; }
 
   /// Schedules `cb` to run at absolute time `t` (clamped to now()).
-  EventId schedule_at(SimTime t, Callback cb);
+  /// Templated so the closure is constructed directly in its slot — no
+  /// temporary Callback, no relocation.
+  template <typename F, typename = std::enable_if_t<std::is_invocable_r_v<
+                            void, std::decay_t<F>&>>>
+  EventId schedule_at(SimTime t, F&& cb) {
+    return schedule_impl(t, std::forward<F>(cb));
+  }
 
   /// Schedules `cb` to run `delay` microseconds from now.
-  EventId schedule_after(SimTime delay, Callback cb);
+  template <typename F, typename = std::enable_if_t<std::is_invocable_r_v<
+                            void, std::decay_t<F>&>>>
+  EventId schedule_after(SimTime delay, F&& cb) {
+    return schedule_impl(now_ + delay, std::forward<F>(cb));
+  }
+
+  /// Allocation-free raw form: `fn(ctx)` runs at `t`. Used by self-
+  /// rescheduling timers (PeriodicTask) so the heartbeat storm constructs
+  /// no closure per tick.
+  EventId schedule_raw_at(SimTime t, void (*fn)(void*), void* ctx);
+  EventId schedule_raw_after(SimTime delay, void (*fn)(void*), void* ctx);
 
   /// Cancels a pending event. Returns true if it had not yet fired.
   bool cancel(EventId id);
 
   /// Runs the single earliest event. Returns false if the queue is empty.
-  bool step();
+  bool step() { return step_limited(kNever); }
 
   /// Runs events until the queue is empty or `max_events` have fired.
   /// Returns the number of events executed.
@@ -59,7 +98,7 @@ class Engine {
   std::size_t run_for(SimTime delta) { return run_until(now_ + delta); }
 
   /// Number of events still pending.
-  std::size_t pending() const noexcept { return live_.size(); }
+  std::size_t pending() const noexcept { return live_; }
 
   /// Total events executed since construction.
   std::uint64_t executed() const noexcept { return executed_; }
@@ -67,27 +106,83 @@ class Engine {
   Rng& rng() noexcept { return rng_; }
 
  private:
+  static constexpr std::uint64_t kGenMask = (1u << kGenerationBits) - 1;
+
+  // Priority-queue key: plain-old-data, 24 bytes, cheap to sift. The
+  // callback for `id` lives in slots_[id >> kGenerationBits].
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    Callback cb;
+    std::uint64_t id;   // packed (slot, generation)
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
       return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
+  struct Slot {
+    std::uint32_t gen = 1;
+    // Distinguishes an occupied slot from one parked on the free list. A
+    // free slot already carries the generation its NEXT occupant will get,
+    // so without this flag a stale id could alias it after a generation
+    // wrap and cancel() would corrupt the free list / live count.
+    bool live = false;
+    Callback cb;
+  };
+
+  std::uint64_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint64_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    const std::uint64_t slot = slots_.size();
+    slots_.emplace_back();
+    return slot;
+  }
+
+  template <typename F>
+  EventId schedule_impl(SimTime t, F&& cb) {
+    if (t < now_) t = now_;
+    const std::uint64_t slot = acquire_slot();
+    if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
+      slots_[slot].cb = std::forward<F>(cb);
+    } else {
+      slots_[slot].cb.emplace(std::forward<F>(cb));
+    }
+    slots_[slot].live = true;
+    const std::uint64_t id = (slot << kGenerationBits) | slots_[slot].gen;
+    queue_.push(Entry{t, next_seq_++, id});
+    ++live_;
+    return EventId{id};
+  }
+
+  bool step_limited(SimTime limit);
+
+  /// Bumps the slot's generation (skipping 0) and returns it to the free
+  /// list; any EventId minted for the old generation is now stale.
+  void retire(std::uint64_t slot) {
+    std::uint32_t g = (slots_[slot].gen + 1) & kGenMask;
+    if (g == 0) g = 1;
+    slots_[slot].gen = g;
+    slots_[slot].live = false;
+    free_slots_.push_back(slot);
+  }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;  // scheduled, not yet fired/cancelled
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<std::uint64_t> live_;  // scheduled, not yet fired/cancelled
+  std::vector<Slot> slots_;
+  std::vector<std::uint64_t> free_slots_;  // LIFO: reuse stays cache-hot
   Rng rng_;
 };
 
 /// A self-rescheduling periodic timer. Construction does not start it;
-/// call start(). Stopping is safe from inside the tick callback.
+/// call start(). Stopping is safe from inside the tick callback. Re-arming
+/// goes through the engine's raw-thunk path: a tick schedules its successor
+/// without constructing or destroying any closure.
 class PeriodicTask {
  public:
   using Tick = std::function<void()>;
@@ -110,6 +205,8 @@ class PeriodicTask {
   void set_period(SimTime period) noexcept { period_ = period; }
 
  private:
+  static void tick_thunk(void* self);
+  void on_tick();
   void arm(SimTime delay);
 
   Engine& engine_;

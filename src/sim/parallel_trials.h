@@ -9,9 +9,10 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <exception>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace phoenix::sim {
@@ -21,9 +22,13 @@ namespace phoenix::sim {
 /// be self-contained: each invocation builds its own Engine/Cluster, so
 /// trials share no mutable state. Exceptions from `fn` propagate from the
 /// first failing index.
-template <typename Result>
-std::vector<Result> run_parallel_trials(std::size_t trials,
-                                        const std::function<Result(std::size_t)>& fn,
+///
+/// Templated on the callable so each trial is a direct (usually inlined)
+/// call — no std::function type erasure and no per-call virtual dispatch
+/// in the sweep loop.
+template <typename Fn,
+          typename Result = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>>
+std::vector<Result> run_parallel_trials(std::size_t trials, Fn&& fn,
                                         std::size_t workers = 0) {
   std::vector<Result> results(trials);
   if (trials == 0) return results;
@@ -53,8 +58,10 @@ std::vector<Result> run_parallel_trials(std::size_t trials,
       try {
         results[i] = fn(i);
       } catch (...) {
+        // Single lock: first_error_index starts at `trials`, so the index
+        // comparison alone decides whether this failure is the new first.
         const std::lock_guard<std::mutex> lock(next_mutex);
-        if (!first_error || i < first_error_index) {
+        if (i < first_error_index) {
           first_error = std::current_exception();
           first_error_index = i;
         }

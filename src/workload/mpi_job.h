@@ -34,7 +34,7 @@ struct MpiBlockMsg final : net::Message {
   std::uint32_t from_rank = 0;
   std::size_t bytes = 0;
 
-  std::string_view type() const noexcept override { return "app.mpi_block"; }
+  PHOENIX_MESSAGE_TYPE("app.mpi_block")
   std::size_t wire_size() const noexcept override { return bytes + 16; }
 };
 

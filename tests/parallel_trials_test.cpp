@@ -14,7 +14,7 @@ namespace phoenix::sim {
 namespace {
 
 TEST(ParallelTrialsTest, ResultsInIndexOrder) {
-  const auto results = run_parallel_trials<std::size_t>(
+  const auto results = run_parallel_trials(
       64, [](std::size_t i) { return i * i; }, 8);
   ASSERT_EQ(results.size(), 64u);
   for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(results[i], i * i);
@@ -22,13 +22,13 @@ TEST(ParallelTrialsTest, ResultsInIndexOrder) {
 
 TEST(ParallelTrialsTest, ZeroTrials) {
   const auto results =
-      run_parallel_trials<int>(0, [](std::size_t) { return 1; }, 4);
+      run_parallel_trials(0, [](std::size_t) { return 1; }, 4);
   EXPECT_TRUE(results.empty());
 }
 
 TEST(ParallelTrialsTest, SingleWorkerIsSequential) {
   std::vector<std::size_t> order;
-  run_parallel_trials<int>(
+  run_parallel_trials(
       10,
       [&](std::size_t i) {
         order.push_back(i);  // safe: one worker
@@ -40,7 +40,7 @@ TEST(ParallelTrialsTest, SingleWorkerIsSequential) {
 
 TEST(ParallelTrialsTest, AllTrialsRunExactlyOnce) {
   std::atomic<int> count{0};
-  run_parallel_trials<int>(
+  run_parallel_trials(
       100,
       [&](std::size_t) {
         count.fetch_add(1, std::memory_order_relaxed);
@@ -51,7 +51,7 @@ TEST(ParallelTrialsTest, AllTrialsRunExactlyOnce) {
 }
 
 TEST(ParallelTrialsTest, ExceptionPropagates) {
-  EXPECT_THROW(run_parallel_trials<int>(
+  EXPECT_THROW(run_parallel_trials(
                    16,
                    [](std::size_t i) -> int {
                      if (i == 5) throw std::runtime_error("trial 5 boom");
@@ -69,7 +69,7 @@ TEST(ParallelTrialsTest, IndependentSimulationsOnThreads) {
     double diagnose_s = 0;
     bool recovered = false;
   };
-  const auto results = run_parallel_trials<Trial>(
+  const auto results = run_parallel_trials(
       6,
       [](std::size_t i) {
         cluster::ClusterSpec spec;
