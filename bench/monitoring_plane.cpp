@@ -1,0 +1,334 @@
+// Monitoring data-plane benchmark (DESIGN.md §8).
+//
+// Three measurements of the detector -> bulletin -> query pipeline:
+//
+//   ingest  - reports/s a bulletin instance absorbs through the local API:
+//             full DbReportMsg snapshots (rebuild every app row per sample)
+//             vs the steady-state DbDeltaMsg path (gauges + app churn only).
+//             The delta path must ingest at >= 2x the snapshot rate.
+//   wire    - steady-state bytes shipped per node-sample: every-sample full
+//             snapshots vs the delta stream with its periodic resync.
+//   query   - cluster-scope single-access-point query (GridView's refresh)
+//             at Dawning-4000A scale (640 nodes) and 4x that (2560 nodes):
+//             wall-clock per query, operator-new allocations per query, and
+//             the simulated federation round-trip latency.
+//
+// Emits BENCH_monitoring_plane.json (or argv[1]) for trend tracking.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gridview/gridview.h"
+#include "workload/resource_model.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every ordinary operator-new in the process bumps
+// it, so alloc deltas around a query measure the whole reply path (collect,
+// fan-out, merge, reply) and nothing is hidden in a library.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace phoenix::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Ingest: full snapshots vs deltas through the bulletin's local API.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kIngestNodes = 64;
+constexpr std::size_t kAppsPerNode = 8;
+constexpr std::size_t kIngestRounds = 4000;  // reports = rounds * nodes
+
+struct IngestFixture {
+  explicit IngestFixture(kernel::DataBulletin& db) : db(db) {
+    const char* names[] = {"hpl.xhpl", "wrf.exe", "blastp", "povray"};
+    const char* owners[] = {"alice", "bob", "carol"};
+    for (std::size_t n = 0; n < kIngestNodes; ++n) {
+      NodeTemplate t;
+      t.rec.node = net::NodeId{static_cast<std::uint32_t>(1000 + n)};
+      t.rec.partition = net::PartitionId{0};
+      t.rec.usage.cpu_pct = 12.0;
+      t.rec.usage.mem_pct = 51.0;
+      t.rec.alive = true;
+      for (std::size_t a = 0; a < kAppsPerNode; ++a) {
+        const cluster::Pid pid = n * 100 + a + 1;
+        t.apps.push_back(kernel::AppRecord{
+            .node = t.rec.node,
+            .pid = pid,
+            .name_id = net::intern_symbol(names[pid % 4]),
+            .owner_id = net::intern_symbol(owners[pid % 3]),
+            .state = cluster::ProcessState::kRunning,
+            .cpu_share = 1.0,
+        });
+      }
+      templates.push_back(std::move(t));
+    }
+  }
+
+  struct NodeTemplate {
+    kernel::NodeRecord rec;
+    std::vector<kernel::AppRecord> apps;
+    std::uint64_t seq = 0;
+    cluster::Pid next_pid = 0;
+  };
+
+  kernel::DataBulletin& db;
+  std::vector<NodeTemplate> templates;
+};
+
+/// Every sample materializes and ships the whole process table (the pre-§8
+/// wire protocol): per node per round, build the DbReportMsg a detector
+/// would send (fresh app-row vector), charge its wire_size() the way the
+/// fabric does on every send, and absorb it into the table.
+double bench_ingest_full(kernel::DataBulletin& db) {
+  IngestFixture fx(db);
+  std::size_t wire_bytes = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t round = 0; round < kIngestRounds; ++round) {
+    for (auto& t : fx.templates) {
+      t.rec.usage.cpu_pct += 0.01;  // gauges always drift a little
+      auto report = std::make_shared<kernel::DbReportMsg>();
+      report->node_record = t.rec;
+      report->apps.assign(t.apps.begin(), t.apps.end());
+      report->seq = ++t.seq;
+      wire_bytes += report->wire_size();  // fabric accounting, every send
+      fx.db.report_local(report->node_record, std::move(report->apps),
+                         report->seq);
+    }
+  }
+  const double secs = seconds_since(t0);
+  if (wire_bytes == 0) std::fprintf(stderr, "full ingest shipped nothing\n");
+  return static_cast<double>(kIngestRounds * kIngestNodes) / secs;
+}
+
+/// Steady state of the delta protocol: gauges moved, app churn rare (one
+/// exit + one start per node every 16th sample), table untouched otherwise.
+double bench_ingest_delta(kernel::DataBulletin& db) {
+  IngestFixture fx(db);
+  for (auto& t : fx.templates) {  // anchor every chain with one snapshot
+    std::vector<kernel::AppRecord> apps(t.apps.begin(), t.apps.end());
+    db.report_local(t.rec, std::move(apps), ++t.seq);
+    t.next_pid = t.rec.node.value * 1000 + 500;
+  }
+  std::size_t wire_bytes = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t round = 0; round < kIngestRounds; ++round) {
+    for (auto& t : fx.templates) {
+      auto delta = std::make_shared<kernel::DbDeltaMsg>();
+      delta->node = t.rec.node;
+      delta->partition = t.rec.partition;
+      delta->prev_seq = t.seq;
+      delta->seq = ++t.seq;
+      delta->has_usage = true;
+      t.rec.usage.cpu_pct += 0.01;
+      delta->usage = t.rec.usage;
+      delta->sampled_at = static_cast<sim::SimTime>(round);
+      if (round % 16 == 15) {
+        delta->exited.push_back(t.apps[round / 16 % kAppsPerNode].pid);
+        delta->started.push_back(kernel::AppRecord{
+            .node = t.rec.node,
+            .pid = ++t.next_pid,
+            .name_id = t.apps[0].name_id,
+            .owner_id = t.apps[0].owner_id,
+            .state = cluster::ProcessState::kRunning,
+            .cpu_share = 1.0,
+        });
+        t.apps[round / 16 % kAppsPerNode].pid = t.next_pid;
+      }
+      wire_bytes += delta->wire_size();  // fabric accounting, every send
+      db.apply_delta(*delta);
+    }
+  }
+  const double secs = seconds_since(t0);
+  if (wire_bytes == 0) std::fprintf(stderr, "delta ingest shipped nothing\n");
+  if (db.deltas_dropped() != 0) {
+    std::fprintf(stderr, "delta ingest dropped %llu deltas (broken chains)\n",
+                 static_cast<unsigned long long>(db.deltas_dropped()));
+  }
+  return static_cast<double>(kIngestRounds * kIngestNodes) / secs;
+}
+
+// ---------------------------------------------------------------------------
+// Wire accounting: bytes per node-sample, snapshots vs delta stream.
+// ---------------------------------------------------------------------------
+
+struct WireCosts {
+  double full = 0;   // every sample ships the whole table
+  double delta = 0;  // deltas with a resync snapshot every resync_every
+};
+
+WireCosts steady_state_wire_bytes(unsigned resync_every) {
+  kernel::DbReportMsg full;
+  full.node_record.node = net::NodeId{1};
+  kernel::DbDeltaMsg delta;
+  delta.has_usage = true;  // gauges drift every sample; app churn amortizes ~0
+  for (std::size_t a = 0; a < kAppsPerNode; ++a) {
+    full.apps.push_back(kernel::AppRecord{
+        .node = full.node_record.node,
+        .pid = a + 1,
+        .name_id = net::intern_symbol("hpl.xhpl"),
+        .owner_id = net::intern_symbol("alice"),
+    });
+  }
+  WireCosts w;
+  w.full = static_cast<double>(full.wire_size());
+  w.delta = (static_cast<double>(full.wire_size()) +
+             static_cast<double>(resync_every - 1) *
+                 static_cast<double>(delta.wire_size())) /
+            static_cast<double>(resync_every);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-scope query at scale.
+// ---------------------------------------------------------------------------
+
+struct QueryResult {
+  std::size_t nodes = 0;
+  std::size_t app_rows = 0;
+  double wall_ms = 0;       // wall-clock per query round-trip
+  double allocs = 0;        // operator-new calls per query round-trip
+  double sim_latency_us = 0;  // simulated federation latency
+};
+
+QueryResult bench_query(std::uint32_t partitions) {
+  cluster::ClusterSpec spec;
+  spec.partitions = partitions;
+  spec.computes_per_partition = 14;
+  spec.backups_per_partition = 1;
+  spec.cpus_per_node = 4;
+  Harness h(spec);
+
+  workload::ResourceModelParams load;
+  load.churn_apps_per_node = 2;  // populate the app tables realistically
+  load.churn_exit_probability = 0.05;
+  workload::ResourceModel model(h.cluster, load);
+  model.start();
+
+  gridview::GridView view(h.cluster,
+                          h.cluster.compute_nodes(net::PartitionId{0})[0],
+                          h.kernel, 3600 * sim::kSecond);  // refreshes driven manually
+  view.start();
+  h.run_s(40.0);  // detectors settle: several delta rounds + a resync cycle
+  model.stop();   // keep the measured windows quiet
+
+  constexpr int kQueries = 20;
+  const auto before = view.refreshes_completed();
+  double sim_latency_s = 0;
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  for (int q = 0; q < kQueries; ++q) {
+    view.refresh_now();
+    h.run_s(0.05);  // covers the fan-out round trip; detectors stay idle
+    sim_latency_s += sim::to_seconds(view.last_refresh_latency());
+  }
+  const double wall = seconds_since(t0);
+  const std::uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+  if (view.refreshes_completed() - before != kQueries) {
+    std::fprintf(stderr, "query bench: only %llu/%d refreshes completed\n",
+                 static_cast<unsigned long long>(view.refreshes_completed() - before),
+                 kQueries);
+  }
+
+  QueryResult r;
+  r.nodes = h.cluster.node_count();
+  r.app_rows = view.last_summary().app_count;
+  r.wall_ms = wall / kQueries * 1e3;
+  r.allocs = static_cast<double>(allocs1 - allocs0) / kQueries;
+  r.sim_latency_us = sim_latency_s / kQueries * 1e6;
+  return r;
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main(int argc, char** argv) {
+  using namespace phoenix;
+  using namespace phoenix::bench;
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_monitoring_plane.json";
+
+  // Two bulletins from one tiny harness; sim time never advances during the
+  // timed loops, so the surrounding daemons are dormant.
+  cluster::ClusterSpec tiny;
+  tiny.partitions = 2;
+  tiny.computes_per_partition = 2;
+  tiny.backups_per_partition = 0;
+  Harness h(tiny);
+
+  const double full_rate = bench_ingest_full(h.kernel.bulletin(net::PartitionId{0}));
+  const double delta_rate = bench_ingest_delta(h.kernel.bulletin(net::PartitionId{1}));
+  const double speedup = delta_rate / full_rate;
+  std::printf("ingest full-snapshot : %12.0f reports/s\n", full_rate);
+  std::printf("ingest delta         : %12.0f reports/s   (%.2fx)\n", delta_rate,
+              speedup);
+
+  kernel::FtParams defaults;
+  const WireCosts wire = steady_state_wire_bytes(defaults.detector_resync_every);
+  std::printf("wire per node-sample : %.0f B full, %.1f B delta stream (%.2fx smaller)\n",
+              wire.full, wire.delta, wire.full / wire.delta);
+
+  const QueryResult q640 = bench_query(40);
+  std::printf("query %4zu nodes     : %.3f ms wall, %.0f allocs, %.0f us sim latency"
+              " (%zu app rows)\n",
+              q640.nodes, q640.wall_ms, q640.allocs, q640.sim_latency_us,
+              q640.app_rows);
+  const QueryResult q2560 = bench_query(160);
+  std::printf("query %4zu nodes     : %.3f ms wall, %.0f allocs, %.0f us sim latency"
+              " (%zu app rows)\n",
+              q2560.nodes, q2560.wall_ms, q2560.allocs, q2560.sim_latency_us,
+              q2560.app_rows);
+
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"monitoring_plane\",\n"
+        "  \"ingest_full_reports_per_sec\": %.0f,\n"
+        "  \"ingest_delta_reports_per_sec\": %.0f,\n"
+        "  \"ingest_speedup\": %.2f,\n"
+        "  \"wire_bytes_per_sample_full\": %.0f,\n"
+        "  \"wire_bytes_per_sample_delta\": %.1f,\n"
+        "  \"wire_reduction_factor\": %.2f,\n"
+        "  \"query_640\": {\"nodes\": %zu, \"app_rows\": %zu, \"wall_ms\": %.3f,"
+        " \"allocs\": %.0f, \"sim_latency_us\": %.0f},\n"
+        "  \"query_2560\": {\"nodes\": %zu, \"app_rows\": %zu, \"wall_ms\": %.3f,"
+        " \"allocs\": %.0f, \"sim_latency_us\": %.0f}\n"
+        "}\n",
+        full_rate, delta_rate, speedup, wire.full, wire.delta,
+        wire.full / wire.delta, q640.nodes, q640.app_rows, q640.wall_ms,
+        q640.allocs, q640.sim_latency_us, q2560.nodes, q2560.app_rows,
+        q2560.wall_ms, q2560.allocs, q2560.sim_latency_us);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

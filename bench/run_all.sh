@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Runs every bench binary and collects the outputs at the repo root:
 #   BENCH_<name>.json  for benches with machine-readable output
-#                      (engine_hotpath natively; micro_kernel via the
-#                      google-benchmark JSON reporter)
+#                      (engine_hotpath and monitoring_plane natively;
+#                      micro_kernel via the google-benchmark JSON reporter)
 #   BENCH_<name>.log   captured stdout of the text-table benches
+#   BENCH_results.json every per-bench JSON merged into one object keyed
+#                      by bench name (one file to diff across PRs)
 #
 # Usage: bench/run_all.sh [build-dir]     (default: build)
 #
@@ -37,6 +39,7 @@ cd "$repo_root"
 
 # JSON-emitting benches.
 run_one engine_hotpath "$repo_root/BENCH_hotpath.json"
+run_one monitoring_plane "$repo_root/BENCH_monitoring_plane.json"
 run_one micro_kernel \
   "--benchmark_out=$repo_root/BENCH_micro_kernel.json" \
   --benchmark_out_format=json
@@ -47,6 +50,28 @@ for name in table1_wd_faults table2_gsd_faults table3_es_faults \
             ablation_networks availability fig9_pws_gui; do
   run_one "$name" | tee "$repo_root/BENCH_$name.log"
 done
+
+# Merge every per-bench JSON into one object, keyed by bench name.
+results="$repo_root/BENCH_results.json"
+rm -f "$results"
+{
+  printf '{\n'
+  first=1
+  for f in "$repo_root"/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    # Never merge the merged file into itself: the output redirection
+    # creates it before this glob is expanded.
+    [ "$f" = "$results" ] && continue
+    name=$(basename "$f" .json)
+    name=${name#BENCH_}
+    [ "$first" -eq 1 ] || printf ',\n'
+    first=0
+    printf '  "%s": ' "$name"
+    # Re-indent the file's JSON under its key, without a trailing newline.
+    awk 'NR > 1 { printf "\n  " } { printf "%s", $0 }' "$f"
+  done
+  printf '\n}\n'
+} > "$results"
 
 echo
 echo "collected:"

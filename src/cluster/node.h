@@ -39,6 +39,10 @@ struct ResourceUsage {
 
   /// Serialized size of one gauge record on the wire.
   static constexpr std::size_t kWireBytes = 5 * sizeof(double);
+
+  /// Exact comparison — the detector's delta reports use it to skip
+  /// re-shipping gauges that have not moved since the last sample.
+  friend bool operator==(const ResourceUsage&, const ResourceUsage&) = default;
 };
 
 using Pid = std::uint64_t;
@@ -98,6 +102,12 @@ class Node {
 
   const ProcessInfo* find_process(Pid pid) const;
   std::vector<ProcessInfo> processes() const;
+
+  /// Zero-copy view of the process table (the detector walks this every
+  /// sample; processes() copies every name/owner string per call).
+  const std::unordered_map<Pid, ProcessInfo>& process_table() const noexcept {
+    return processes_;
+  }
   std::size_t running_process_count() const;
 
   /// Sum of cpu_share over running processes — background load daemons

@@ -66,11 +66,17 @@ void GridView::handle(const net::Envelope& env) {
     if (reply->query_id != pending_query_) return;
     pending_query_ = 0;
     last_latency_ = now() - query_sent_at_;
-    nodes_ = reply->node_rows;
     partitions_included_ = reply->partitions_included;
     summary_ = reply->aggregated
                    ? reply->summary
                    : kernel::summarize(reply->node_rows, reply->app_rows);
+    if (env.message.use_count() == 1) {
+      // Sole owner of the delivered reply: keep its row vector instead of
+      // copying 640 rows per refresh.
+      nodes_ = std::move(const_cast<kernel::DbQueryReplyMsg*>(reply)->node_rows);
+    } else {
+      nodes_ = reply->node_rows;
+    }
     ++refreshes_;
     history_.push_back(Sample{now(), summary_, last_latency_});
     while (history_.size() > kHistoryLimit) history_.pop_front();

@@ -1,5 +1,6 @@
 #include "kernel/bulletin/data_bulletin.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "kernel/service_msgs.h"
@@ -78,54 +79,139 @@ void DataBulletin::on_stop() { sweeper_.stop(); }
 void DataBulletin::sweep_stale() {
   if (staleness_horizon_ == 0 || !alive()) return;
   const sim::SimTime now_t = now();
-  for (auto it = node_table_.begin(); it != node_table_.end();) {
-    const sim::SimTime age = now_t - it->second.updated_at;
+  for (std::size_t i = 0; i < slots_.size();) {
+    NodeSlot& slot = slots_[i];
+    const sim::SimTime age = now_t - slot.rec.updated_at;
     if (age > 2 * staleness_horizon_) {
-      app_table_.erase(it->first);
-      it = node_table_.erase(it);
-      continue;
+      app_row_count_ -= slot.apps.size();
+      index_.erase(slot.rec.node.value);
+      if (i != slots_.size() - 1) {
+        slot = std::move(slots_.back());
+        index_[slot.rec.node.value] = static_cast<std::uint32_t>(i);
+      }
+      slots_.pop_back();
+      continue;  // the swapped-in slot still needs its age check
     }
-    if (age > staleness_horizon_) it->second.alive = false;
-    ++it;
+    if (age > staleness_horizon_) slot.rec.alive = false;
+    ++i;
   }
 }
 
-void DataBulletin::report_local(const NodeRecord& record, std::vector<AppRecord> apps) {
-  node_table_[record.node.value] = record;
-  app_table_[record.node.value] = std::move(apps);
+DataBulletin::NodeSlot* DataBulletin::find_slot(net::NodeId node) {
+  const auto it = index_.find(node.value);
+  return it == index_.end() ? nullptr : &slots_[it->second];
+}
+
+void DataBulletin::report_local(const NodeRecord& record,
+                                std::vector<AppRecord> apps,
+                                std::uint64_t seq) {
+  if (NodeSlot* slot = find_slot(record.node)) {
+    app_row_count_ += apps.size();
+    app_row_count_ -= slot->apps.size();
+    slot->rec = record;
+    slot->apps = std::move(apps);
+    slot->seq = seq;
+    return;
+  }
+  index_.emplace(record.node.value, static_cast<std::uint32_t>(slots_.size()));
+  app_row_count_ += apps.size();
+  slots_.push_back(NodeSlot{record, std::move(apps), seq});
+}
+
+bool DataBulletin::apply_delta(const DbDeltaMsg& delta) {
+  NodeSlot* slot = find_slot(delta.node);
+  if (slot == nullptr || slot->seq != delta.prev_seq) {
+    ++deltas_dropped_;  // broken chain; the next full snapshot repairs it
+    return false;
+  }
+  slot->seq = delta.seq;
+  if (delta.has_usage) slot->rec.usage = delta.usage;
+  slot->rec.alive = true;
+  slot->rec.updated_at = delta.sampled_at;
+  if (!delta.exited.empty()) {
+    const auto dead = [&](const AppRecord& a) {
+      return std::find(delta.exited.begin(), delta.exited.end(), a.pid) !=
+             delta.exited.end();
+    };
+    app_row_count_ -= std::erase_if(slot->apps, dead);
+  }
+  slot->apps.insert(slot->apps.end(), delta.started.begin(), delta.started.end());
+  app_row_count_ += delta.started.size();
+  return true;
 }
 
 std::vector<NodeRecord> DataBulletin::node_rows() const {
   std::vector<NodeRecord> out;
-  out.reserve(node_table_.size());
-  for (const auto& [id, rec] : node_table_) out.push_back(rec);
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) out.push_back(slot.rec);
   return out;
 }
 
 std::vector<AppRecord> DataBulletin::app_rows() const {
   std::vector<AppRecord> out;
-  for (const auto& [id, apps] : app_table_) {
-    out.insert(out.end(), apps.begin(), apps.end());
+  out.reserve(app_row_count_);
+  for (const auto& slot : slots_) {
+    out.insert(out.end(), slot.apps.begin(), slot.apps.end());
   }
   return out;
 }
 
 std::vector<NodeRecord> DataBulletin::node_rows(const BulletinFilter& filter) const {
   std::vector<NodeRecord> out;
-  for (const auto& [id, rec] : node_table_) {
-    if (filter.matches(rec)) out.push_back(rec);
+  for (const auto& slot : slots_) {
+    if (filter.matches(slot.rec)) out.push_back(slot.rec);
   }
   return out;
 }
 
 std::vector<AppRecord> DataBulletin::app_rows(const BulletinFilter& filter) const {
   std::vector<AppRecord> out;
-  for (const auto& [id, apps] : app_table_) {
-    for (const auto& app : apps) {
+  for (const auto& slot : slots_) {
+    for (const auto& app : slot.apps) {
       if (filter.matches(app, partition_)) out.push_back(app);
     }
   }
   return out;
+}
+
+void DataBulletin::collect(const BulletinFilter& filter, BulletinTable table,
+                           bool aggregate_only,
+                           std::vector<NodeRecord>& nodes_out,
+                           std::vector<AppRecord>& apps_out,
+                           UsageSummary& summary) const {
+  if (aggregate_only) {
+    // Aggregation pushdown summarizes both tables regardless of `table`
+    // (a summary is constant-size either way).
+    for (const auto& slot : slots_) {
+      if (filter.matches(slot.rec)) {
+        ++summary.node_count;
+        if (slot.rec.alive) ++summary.alive_count;
+        summary.avg_cpu_pct += slot.rec.usage.cpu_pct;
+        summary.avg_mem_pct += slot.rec.usage.mem_pct;
+        summary.avg_swap_pct += slot.rec.usage.swap_pct;
+      }
+      for (const auto& app : slot.apps) {
+        if (filter.matches(app, partition_)) ++summary.app_count;
+      }
+    }
+    if (summary.node_count > 0) {
+      const double count = static_cast<double>(summary.node_count);
+      summary.avg_cpu_pct /= count;
+      summary.avg_mem_pct /= count;
+      summary.avg_swap_pct /= count;
+    }
+    return;
+  }
+  const bool want_nodes = table != BulletinTable::kApps;
+  const bool want_apps = table != BulletinTable::kNodes;
+  for (const auto& slot : slots_) {
+    if (want_nodes && filter.matches(slot.rec)) nodes_out.push_back(slot.rec);
+    if (want_apps) {
+      for (const auto& app : slot.apps) {
+        if (filter.matches(app, partition_)) apps_out.push_back(app);
+      }
+    }
+  }
 }
 
 void DataBulletin::handle_query(const DbQueryMsg& q) {
@@ -135,12 +221,8 @@ void DataBulletin::handle_query(const DbQueryMsg& q) {
   pending.query_id = q.query_id;
   pending.table = q.table;
   pending.aggregate_only = q.aggregate_only;
-  if (q.aggregate_only) {
-    pending.summary = summarize(node_rows(q.filter), app_rows(q.filter));
-  } else {
-    if (q.table != BulletinTable::kApps) pending.node_rows = node_rows(q.filter);
-    if (q.table != BulletinTable::kNodes) pending.app_rows = app_rows(q.filter);
-  }
+  collect(q.filter, q.table, q.aggregate_only, pending.node_rows,
+          pending.app_rows, pending.summary);
 
   if (q.cluster_scope && directory_ != nullptr) {
     for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
@@ -190,8 +272,18 @@ void DataBulletin::finish_query(std::uint64_t local_id) {
 void DataBulletin::handle(const net::Envelope& env) {
   const net::Message& m = *env.message;
 
+  if (const auto* delta = net::message_cast<DbDeltaMsg>(m)) {
+    apply_delta(*delta);
+    return;
+  }
   if (const auto* report = net::message_cast<DbReportMsg>(m)) {
-    report_local(report->node_record, report->apps);
+    if (env.message.use_count() == 1) {
+      // Sole owner of the delivered snapshot: adopt its app rows directly.
+      auto* mut = const_cast<DbReportMsg*>(report);
+      report_local(report->node_record, std::move(mut->apps), report->seq);
+    } else {
+      report_local(report->node_record, report->apps, report->seq);
+    }
     return;
   }
   if (const auto* query = net::message_cast<DbQueryMsg>(m)) {
@@ -201,13 +293,9 @@ void DataBulletin::handle(const net::Envelope& env) {
   if (const auto* pq = net::message_cast<DbPartitionQueryMsg>(m)) {
     auto reply = std::make_shared<DbQueryReplyMsg>();
     reply->query_id = pq->query_id;
-    if (pq->aggregate_only) {
-      reply->aggregated = true;
-      reply->summary = summarize(node_rows(pq->filter), app_rows(pq->filter));
-    } else {
-      if (pq->table != BulletinTable::kApps) reply->node_rows = node_rows(pq->filter);
-      if (pq->table != BulletinTable::kNodes) reply->app_rows = app_rows(pq->filter);
-    }
+    reply->aggregated = pq->aggregate_only;
+    collect(pq->filter, pq->table, pq->aggregate_only, reply->node_rows,
+            reply->app_rows, reply->summary);
     send_any(pq->reply_to, std::move(reply));
     return;
   }
@@ -217,6 +305,25 @@ void DataBulletin::handle(const net::Envelope& env) {
     PendingQuery& pending = it->second;
     if (pending.aggregate_only && pr->aggregated) {
       merge_summary(pending.summary, pr->summary);
+    } else if (env.message.use_count() == 1) {
+      // Sole owner of the delivered reply (the fabric's in-flight reference
+      // dies when this handler returns): steal the row vectors instead of
+      // copying every row a second time on the access-point merge.
+      auto* mut = const_cast<DbQueryReplyMsg*>(pr);
+      if (pending.node_rows.empty()) {
+        pending.node_rows = std::move(mut->node_rows);
+      } else {
+        pending.node_rows.insert(pending.node_rows.end(),
+                                 std::move_iterator(mut->node_rows.begin()),
+                                 std::move_iterator(mut->node_rows.end()));
+      }
+      if (pending.app_rows.empty()) {
+        pending.app_rows = std::move(mut->app_rows);
+      } else {
+        pending.app_rows.insert(pending.app_rows.end(),
+                                std::move_iterator(mut->app_rows.begin()),
+                                std::move_iterator(mut->app_rows.end()));
+      }
     } else {
       pending.node_rows.insert(pending.node_rows.end(), pr->node_rows.begin(),
                                pr->node_rows.end());

@@ -8,6 +8,12 @@
 // access point of §4.4. If one instance is down, only its partition's rows
 // are missing from the merged answer (paper: "only the state of one
 // partition can't be obtained").
+//
+// Data-plane layout (DESIGN.md §8): process identity strings are interned
+// into dense SymbolIds (net/symbol.h), detectors ship compact deltas with a
+// periodic full-snapshot resync, and the tables live in contiguous row
+// storage so a query is answered in a single pass — filter, summarize, and
+// reply-building all walk the slots once, copying each row at most once.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,7 @@
 #include "kernel/ft_params.h"
 #include "kernel/service_kind.h"
 #include "net/message.h"
+#include "net/symbol.h"
 
 namespace phoenix::kernel {
 
@@ -33,19 +40,32 @@ struct NodeRecord {
   sim::SimTime updated_at = 0;
 
   static constexpr std::size_t kWireBytes = cluster::ResourceUsage::kWireBytes + 24;
+
+  friend bool operator==(const NodeRecord&, const NodeRecord&) = default;
 };
 
-/// One application process row in the bulletin.
+/// One application process row in the bulletin. Identity strings are
+/// interned: the row carries dense SymbolIds on the hot path; name()/owner()
+/// resolve the strings at the edges (rendering, assertions).
 struct AppRecord {
   net::NodeId node;
   cluster::Pid pid = 0;
-  std::string name;
-  std::string owner;
+  net::SymbolId name_id;
+  net::SymbolId owner_id;
   cluster::ProcessState state = cluster::ProcessState::kRunning;
   double cpu_share = 0.0;
   sim::SimTime started_at = 0;
 
-  std::size_t wire_bytes() const noexcept { return name.size() + owner.size() + 40; }
+  std::string_view name() const { return net::symbol_name(name_id); }
+  std::string_view owner() const { return net::symbol_name(owner_id); }
+
+  /// Identity strings still travel on the wire when a row is shipped (no
+  /// cross-process dictionary), so accounting keeps their lengths.
+  std::size_t wire_bytes() const noexcept {
+    return name().size() + owner().size() + 40;
+  }
+
+  friend bool operator==(const AppRecord&, const AppRecord&) = default;
 };
 
 enum class BulletinTable : std::uint8_t { kNodes, kApps, kBoth };
@@ -55,9 +75,14 @@ enum class BulletinTable : std::uint8_t { kNodes, kApps, kBoth };
 struct BulletinFilter {
   bool has_partition = false;
   net::PartitionId partition;   // node+app rows: restrict to this partition
-  std::string owner;            // app rows: exact owner match ("" = any)
+  net::SymbolId owner;          // app rows: exact owner match (invalid = any)
   double min_cpu_pct = -1.0;    // node rows: cpu_pct >= threshold (<0 = any)
   bool alive_only = false;      // node rows: reporting nodes only
+
+  /// String edge for the owner predicate. An owner no process ever carried
+  /// still interns (ids are cheap) and simply matches nothing.
+  void set_owner(std::string_view name) { owner = net::intern_symbol(name); }
+  std::string_view owner_name() const { return net::symbol_name(owner); }
 
   bool matches(const NodeRecord& row) const {
     if (has_partition && row.partition != partition) return false;
@@ -67,21 +92,49 @@ struct BulletinFilter {
   }
   bool matches(const AppRecord& row, net::PartitionId row_partition) const {
     if (has_partition && row_partition != partition) return false;
-    if (!owner.empty() && row.owner != owner) return false;
+    if (owner.valid() && row.owner_id != owner) return false;
     return true;
   }
-  std::size_t wire_bytes() const noexcept { return owner.size() + 16; }
+  std::size_t wire_bytes() const noexcept { return owner_name().size() + 16; }
 };
 
-/// Detector export: one node's physical + application state.
+/// Detector full-snapshot export: one node's physical + application state.
+/// Sent on the first sample, after a detector restart, and every
+/// FtParams::detector_resync_every samples as the delta stream's resync
+/// point; DbDeltaMsg carries the steady state in between.
 struct DbReportMsg final : net::Message {
   NodeRecord node_record;
   std::vector<AppRecord> apps;
+  std::uint64_t seq = 0;  // per-detector report sequence this snapshot sets
 
   PHOENIX_MESSAGE_TYPE("db.report")
   std::size_t wire_size() const noexcept override {
-    std::size_t n = NodeRecord::kWireBytes;
+    std::size_t n = NodeRecord::kWireBytes + 8;
     for (const auto& a : apps) n += a.wire_bytes();
+    return n;
+  }
+};
+
+/// Detector delta export: what changed since report `prev_seq` — gauges (if
+/// they moved), apps that started, pids that exited. The bulletin applies
+/// it only when its stored sequence for the node matches prev_seq;
+/// otherwise the delta is dropped and the next full snapshot resyncs.
+struct DbDeltaMsg final : net::Message {
+  net::NodeId node;
+  net::PartitionId partition;
+  std::uint64_t prev_seq = 0;
+  std::uint64_t seq = 0;
+  bool has_usage = false;        // gauges unchanged since prev_seq if false
+  cluster::ResourceUsage usage;  // valid when has_usage
+  sim::SimTime sampled_at = 0;
+  std::vector<AppRecord> started;
+  std::vector<cluster::Pid> exited;
+
+  PHOENIX_MESSAGE_TYPE("db.delta")
+  std::size_t wire_size() const noexcept override {
+    std::size_t n = 33 + (has_usage ? cluster::ResourceUsage::kWireBytes : 0) +
+                    exited.size() * sizeof(cluster::Pid);
+    for (const auto& a : started) n += a.wire_bytes();
     return n;
   }
 };
@@ -168,12 +221,24 @@ class DataBulletin final : public cluster::Daemon {
 
   // --- local API ----------------------------------------------------------
 
-  void report_local(const NodeRecord& record, std::vector<AppRecord> apps);
+  void report_local(const NodeRecord& record, std::vector<AppRecord> apps,
+                    std::uint64_t seq = 0);
+
+  /// Applies a detector delta; returns false (and counts a drop) when the
+  /// node is unknown or the sequence chain is broken — the next full
+  /// snapshot repairs the row.
+  bool apply_delta(const DbDeltaMsg& delta);
+
   std::vector<NodeRecord> node_rows() const;
   std::vector<AppRecord> app_rows() const;
   std::vector<NodeRecord> node_rows(const BulletinFilter& filter) const;
   std::vector<AppRecord> app_rows(const BulletinFilter& filter) const;
-  std::size_t node_row_count() const noexcept { return node_table_.size(); }
+  std::size_t node_row_count() const noexcept { return slots_.size(); }
+  std::size_t app_row_count() const noexcept { return app_row_count_; }
+
+  /// Deltas rejected because their base sequence no longer matched (lost
+  /// report, detector restart, bulletin failover). Steady state: 0.
+  std::uint64_t deltas_dropped() const noexcept { return deltas_dropped_; }
 
   /// One staleness sweep now (also runs periodically while started).
   void sweep_stale();
@@ -184,6 +249,14 @@ class DataBulletin final : public cluster::Daemon {
   void on_stop() override;
   void handle_query(const DbQueryMsg& q);
   void finish_query(std::uint64_t local_id);
+
+  /// One contiguous storage slot: a node's gauge row, its app rows, and the
+  /// detector sequence the pair reflects.
+  struct NodeSlot {
+    NodeRecord rec;
+    std::vector<AppRecord> apps;
+    std::uint64_t seq = 0;
+  };
 
   struct PendingQuery {
     net::Address reply_to;
@@ -198,14 +271,25 @@ class DataBulletin final : public cluster::Daemon {
     bool done = false;
   };
 
+  NodeSlot* find_slot(net::NodeId node);
+
+  /// The one-pass query core: walks the slots once, filtering node and app
+  /// rows, either accumulating `summary` (aggregate pushdown) or appending
+  /// matching rows to the output vectors (each row copied exactly once).
+  void collect(const BulletinFilter& filter, BulletinTable table,
+               bool aggregate_only, std::vector<NodeRecord>& nodes_out,
+               std::vector<AppRecord>& apps_out, UsageSummary& summary) const;
+
   net::PartitionId partition_;
   const FtParams& params_;
   ServiceDirectory* directory_;
   sim::SimTime query_timeout_ = 500 * sim::kMillisecond;
   sim::SimTime staleness_horizon_ = 0;  // set from params in constructor
   sim::PeriodicTask sweeper_;
-  std::unordered_map<std::uint32_t, NodeRecord> node_table_;       // by node id
-  std::unordered_map<std::uint32_t, std::vector<AppRecord>> app_table_;  // by node id
+  std::vector<NodeSlot> slots_;                           // contiguous rows
+  std::unordered_map<std::uint32_t, std::uint32_t> index_;  // node id -> slot
+  std::size_t app_row_count_ = 0;
+  std::uint64_t deltas_dropped_ = 0;
   std::unordered_map<std::uint64_t, PendingQuery> pending_;
   std::uint64_t next_local_id_ = 1;
 };

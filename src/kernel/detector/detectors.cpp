@@ -6,6 +6,24 @@
 
 namespace phoenix::kernel {
 
+namespace {
+
+constexpr std::string_view kKernelOwner = "kernel";
+
+AppRecord app_record_of(net::NodeId node, const cluster::ProcessInfo& p) {
+  return AppRecord{
+      .node = node,
+      .pid = p.pid,
+      .name_id = net::intern_symbol(p.name),
+      .owner_id = net::intern_symbol(p.owner),
+      .state = p.state,
+      .cpu_share = p.cpu_share,
+      .started_at = p.started_at,
+  };
+}
+
+}  // namespace
+
 DetectorDaemon::DetectorDaemon(cluster::Cluster& cluster, net::NodeId node,
                                const FtParams& params, ServiceDirectory* directory,
                                double cpu_share)
@@ -16,6 +34,11 @@ DetectorDaemon::DetectorDaemon(cluster::Cluster& cluster, net::NodeId node,
 
 void DetectorDaemon::on_start() {
   sampler_.set_period(params_.detector_sample_interval);
+  // A (re)started detector cannot know what the bulletin still holds for
+  // this node; the next sample ships a full snapshot to re-anchor the
+  // delta chain. Event dedup state (last_states_) survives restarts so
+  // already-running apps are not re-announced.
+  need_full_report_ = true;
   // Stagger the first sample so a thousand detectors do not fire in the
   // same microsecond (self-synchronization would be unrealistic).
   sampler_.start_after(engine().rng().uniform_int(1, params_.detector_sample_interval));
@@ -37,38 +60,39 @@ void DetectorDaemon::sample() {
   ++samples_;
   const auto& node = cluster().node(node_id());
   const auto partition = cluster().partition_of(node_id());
+  const sim::SimTime now_t = now();
 
-  NodeRecord record;
-  record.node = node_id();
-  record.partition = partition;
-  record.usage = node.resources();
-  record.alive = true;
-  record.updated_at = now();
+  const bool full =
+      !params_.detector_delta_reports || need_full_report_ ||
+      (params_.detector_resync_every > 0 &&
+       samples_since_resync_ + 1 >= params_.detector_resync_every);
 
-  std::vector<AppRecord> apps;
+  std::vector<AppRecord> snapshot_apps;  // full reports only
+  std::vector<AppRecord> started;        // deltas only
+  std::unordered_set<cluster::Pid> running_apps;
   std::unordered_map<cluster::Pid, cluster::ProcessState> current;
-  for (const auto& p : node.processes()) {
-    current[p.pid] = p.state;
-    if (p.owner != "kernel" && p.state == cluster::ProcessState::kRunning) {
-      apps.push_back(AppRecord{
-          .node = node_id(),
-          .pid = p.pid,
-          .name = p.name,
-          .owner = p.owner,
-          .state = p.state,
-          .cpu_share = p.cpu_share,
-          .started_at = p.started_at,
-      });
+  for (const auto& [pid, p] : node.process_table()) {
+    current[pid] = p.state;
+    const bool is_app = p.owner != kKernelOwner;
+    if (is_app && p.state == cluster::ProcessState::kRunning) {
+      running_apps.insert(pid);
+      if (full) {
+        snapshot_apps.push_back(app_record_of(node_id(), p));
+      } else if (!reported_apps_.contains(pid)) {
+        started.push_back(app_record_of(node_id(), p));
+      }
     }
     // Application state transitions -> events.
-    const auto it = last_states_.find(p.pid);
-    if (p.owner != "kernel") {
+    const auto it = last_states_.find(pid);
+    if (is_app) {
       if (it == last_states_.end() && p.state == cluster::ProcessState::kRunning) {
         Event e;
         e.type = std::string(event_types::kAppStarted);
         e.subject_node = node_id();
         e.partition = partition;
-        e.attrs = {{"pid", std::to_string(p.pid)}, {"name", p.name}, {"owner", p.owner}};
+        e.attrs = {{attr_keys::pid(), std::to_string(pid)},
+                   {attr_keys::name(), p.name},
+                   {attr_keys::owner(), p.owner}};
         publish(std::move(e));
       } else if (it != last_states_.end() &&
                  it->second == cluster::ProcessState::kRunning &&
@@ -77,24 +101,62 @@ void DetectorDaemon::sample() {
         e.type = std::string(event_types::kAppExited);
         e.subject_node = node_id();
         e.partition = partition;
-        e.attrs = {{"pid", std::to_string(p.pid)},
-                   {"name", p.name},
-                   {"owner", p.owner},
-                   {"state", std::string(cluster::to_string(p.state))},
-                   {"exit_code", std::to_string(p.exit_code)}};
+        e.attrs = {{attr_keys::pid(), std::to_string(pid)},
+                   {attr_keys::name(), p.name},
+                   {attr_keys::owner(), p.owner},
+                   {attr_keys::state(), std::string(cluster::to_string(p.state))},
+                   {attr_keys::exit_code(), std::to_string(p.exit_code)}};
         publish(std::move(e));
       }
     }
   }
   last_states_ = std::move(current);
 
-  if (directory_ != nullptr) {
+  if (directory_ == nullptr) {
+    reported_apps_ = std::move(running_apps);
+    last_usage_ = node.resources();
+    return;
+  }
+  const auto bulletin =
+      directory_->service_address(ServiceKind::kDataBulletin, partition);
+
+  if (full) {
+    NodeRecord record;
+    record.node = node_id();
+    record.partition = partition;
+    record.usage = node.resources();
+    record.alive = true;
+    record.updated_at = now_t;
+
     auto report = std::make_shared<DbReportMsg>();
     report->node_record = record;
-    report->apps = std::move(apps);
-    send_any(directory_->service_address(ServiceKind::kDataBulletin, partition),
-             std::move(report));
+    report->apps = std::move(snapshot_apps);
+    report->seq = ++report_seq_;
+    send_any(bulletin, std::move(report));
+    ++full_reports_;
+    need_full_report_ = false;
+    samples_since_resync_ = 0;
+  } else {
+    auto delta = std::make_shared<DbDeltaMsg>();
+    delta->node = node_id();
+    delta->partition = partition;
+    delta->prev_seq = report_seq_;
+    delta->seq = ++report_seq_;
+    delta->sampled_at = now_t;
+    if (node.resources() != last_usage_) {
+      delta->has_usage = true;
+      delta->usage = node.resources();
+    }
+    for (const cluster::Pid pid : reported_apps_) {
+      if (!running_apps.contains(pid)) delta->exited.push_back(pid);
+    }
+    delta->started = std::move(started);
+    send_any(bulletin, std::move(delta));
+    ++delta_reports_;
+    ++samples_since_resync_;
   }
+  reported_apps_ = std::move(running_apps);
+  last_usage_ = node.resources();
 }
 
 void DetectorDaemon::handle(const net::Envelope& env) {

@@ -9,10 +9,18 @@
 //  - node state and network state detection are realized on the GSD side by
 //    analysing the watch daemon's per-network heartbeats (§4.3), so this
 //    daemon carries no explicit logic for them.
+//
+// Exports are delta-based by default (FtParams::detector_delta_reports):
+// the first sample after (re)start and every detector_resync_every-th
+// sample ship a full DbReportMsg snapshot; samples in between ship a
+// DbDeltaMsg carrying only moved gauges and app starts/exits, chained by a
+// per-detector sequence number so the bulletin can detect a broken chain
+// and wait for the next resync.
 #pragma once
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cluster/daemon.h"
 #include "kernel/bulletin/data_bulletin.h"
@@ -33,6 +41,10 @@ class DetectorDaemon final : public cluster::Daemon {
 
   std::uint64_t samples_taken() const noexcept { return samples_; }
 
+  /// Full snapshots vs deltas shipped so far (wire-accounting tests).
+  std::uint64_t full_reports_sent() const noexcept { return full_reports_; }
+  std::uint64_t delta_reports_sent() const noexcept { return delta_reports_; }
+
  private:
   void handle(const net::Envelope& env) override;
   void on_start() override;
@@ -44,7 +56,15 @@ class DetectorDaemon final : public cluster::Daemon {
   ServiceDirectory* directory_;
   sim::PeriodicTask sampler_;
   std::unordered_map<cluster::Pid, cluster::ProcessState> last_states_;
+  /// Pids currently reported to the bulletin as running apps (delta base).
+  std::unordered_set<cluster::Pid> reported_apps_;
+  cluster::ResourceUsage last_usage_;
+  std::uint64_t report_seq_ = 0;
+  unsigned samples_since_resync_ = 0;
+  bool need_full_report_ = true;  // first sample / after restart
   std::uint64_t samples_ = 0;
+  std::uint64_t full_reports_ = 0;
+  std::uint64_t delta_reports_ = 0;
 };
 
 }  // namespace phoenix::kernel

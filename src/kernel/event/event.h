@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/ids.h"
+#include "net/symbol.h"
 #include "sim/time.h"
 
 namespace phoenix::kernel {
@@ -25,28 +26,81 @@ inline constexpr std::string_view kAppExited = "app.exited";
 inline constexpr std::string_view kConfigChanged = "config.changed";
 }  // namespace event_types
 
+/// Pre-interned ids for the attribute keys hot producers attach every
+/// event (the detector's app lifecycle events); one static lookup per
+/// process instead of one hash per event.
+namespace attr_keys {
+inline net::SymbolId pid() {
+  static const net::SymbolId id = net::intern_symbol("pid");
+  return id;
+}
+inline net::SymbolId name() {
+  static const net::SymbolId id = net::intern_symbol("name");
+  return id;
+}
+inline net::SymbolId owner() {
+  static const net::SymbolId id = net::intern_symbol("owner");
+  return id;
+}
+inline net::SymbolId state() {
+  static const net::SymbolId id = net::intern_symbol("state");
+  return id;
+}
+inline net::SymbolId exit_code() {
+  static const net::SymbolId id = net::intern_symbol("exit_code");
+  return id;
+}
+}  // namespace attr_keys
+
+/// One event attribute: an interned key plus a free-form value. The key is
+/// compared as an integer on every subscription match; the string form is
+/// resolved only for rendering and wire accounting. Constructible from a
+/// (key, value) string pair so `e.attrs = {{"pid", "7"}}` keeps working, or
+/// from a pre-interned key (attr_keys::*) on hot paths.
+struct EventAttr {
+  net::SymbolId key;
+  std::string value;
+
+  EventAttr() = default;
+  EventAttr(std::string_view k, std::string v)
+      : key(net::intern_symbol(k)), value(std::move(v)) {}
+  EventAttr(net::SymbolId k, std::string v) : key(k), value(std::move(v)) {}
+
+  std::string_view key_name() const { return net::symbol_name(key); }
+};
+
 struct Event {
   std::string type;
   net::NodeId subject_node{};        // node the event is about (optional)
   net::PartitionId partition{};      // partition the event originated in
   sim::SimTime timestamp = 0;
-  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<EventAttr> attrs;
 
   // Identity assigned by the publishing event-service instance.
   std::uint32_t origin_es = 0;
   std::uint64_t seq = 0;
 
-  /// Attribute lookup; empty string when absent.
-  std::string attr(std::string_view key) const {
-    for (const auto& [k, v] : attrs) {
-      if (k == key) return v;
+  /// Value for an interned key; nullptr when absent (no allocation).
+  const std::string* find_attr(net::SymbolId key) const {
+    for (const auto& a : attrs) {
+      if (a.key == key) return &a.value;
     }
-    return {};
+    return nullptr;
   }
 
+  /// Attribute lookup by name; empty string when absent.
+  std::string attr(std::string_view key) const {
+    const net::SymbolId k = net::find_symbol(key);
+    if (!k.valid()) return {};
+    const std::string* v = find_attr(k);
+    return v == nullptr ? std::string() : *v;
+  }
+
+  /// Keys still travel as strings on the wire (no cross-process dictionary
+  /// is negotiated), so accounting keeps the key's name length.
   std::size_t wire_bytes() const noexcept {
     std::size_t n = type.size() + 32;
-    for (const auto& [k, v] : attrs) n += k.size() + v.size() + 2;
+    for (const auto& a : attrs) n += a.key_name().size() + a.value.size() + 2;
     return n;
   }
 };
@@ -81,7 +135,10 @@ struct Subscription {
       if (!hit) return false;
     }
     for (const auto& [k, v] : attr_filters) {
-      if (e.attr(k) != v) return false;
+      const net::SymbolId key = net::find_symbol(k);
+      const std::string* got = key.valid() ? e.find_attr(key) : nullptr;
+      // An absent attribute compares equal to "" (historical semantics).
+      if (got == nullptr ? !v.empty() : *got != v) return false;
     }
     return true;
   }

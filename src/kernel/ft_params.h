@@ -66,6 +66,18 @@ struct FtParams {
   /// Detector sampling period (physical + application state exports).
   SimTime detector_sample_interval = 5 * sim::kSecond;
 
+  /// Detector export mode: when true, steady-state samples ship a compact
+  /// DbDeltaMsg (changed gauges, started/exited apps) instead of the full
+  /// process table, with a full DbReportMsg snapshot as a periodic resync
+  /// point. False restores snapshot-every-sample (the delta-equivalence
+  /// tests diff the two modes).
+  bool detector_delta_reports = true;
+
+  /// Samples between full-snapshot resyncs while delta reporting is on.
+  /// Bounds how long a bulletin that missed a delta (lost report, failover
+  /// repopulation) can stay stale.
+  unsigned detector_resync_every = 12;
+
   /// Background CPU share each kernel daemon imposes on its node (fraction
   /// of one CPU). Drives the Linpack-overhead experiment.
   double wd_cpu_share = 0.002;

@@ -1,66 +1,42 @@
 #include "net/message.h"
 
-#include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
+
+#include "net/symbol.h"
 
 namespace phoenix::net {
 
 namespace {
 
-// Process-wide intern table. Guarded by a mutex: interning happens once per
-// message type per process (the PHOENIX_MESSAGE_TYPE function-local static
-// caches the id), and name lookups only run on cold stats/reporting paths,
-// so contention is a non-issue even with parallel trials on many threads.
-struct InternTable {
-  std::mutex mu;
-  std::deque<std::string> names{""};  // index 0 reserved = invalid
-  std::unordered_map<std::string_view, std::uint16_t> ids;
-};
-
-InternTable& table() {
-  static InternTable t;
+// Message types intern into their own pool (dense uint16 ids keep
+// TypeCounts vectors small) built on the same InternPool machinery as the
+// general symbol table (net/symbol.h).
+detail::InternPool& type_pool() {
+  static detail::InternPool t;
   return t;
 }
 
 }  // namespace
 
 MessageTypeId intern_message_type(std::string_view name) {
-  InternTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
-  if (const auto it = t.ids.find(name); it != t.ids.end()) {
-    return MessageTypeId{it->second};
-  }
-  if (t.names.size() > UINT16_MAX) {
+  try {
+    return MessageTypeId{
+        static_cast<std::uint16_t>(type_pool().intern(name, UINT16_MAX))};
+  } catch (const std::length_error&) {
     throw std::length_error("message type intern table overflow");
   }
-  const auto id = static_cast<std::uint16_t>(t.names.size());
-  t.names.push_back(std::string(name));  // deque: stable string_view storage
-  t.ids.emplace(t.names.back(), id);
-  return MessageTypeId{id};
 }
 
 MessageTypeId find_message_type(std::string_view name) {
-  InternTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
-  const auto it = t.ids.find(name);
-  return it == t.ids.end() ? MessageTypeId{} : MessageTypeId{it->second};
+  return MessageTypeId{static_cast<std::uint16_t>(type_pool().find(name))};
 }
 
 std::string_view message_type_name(MessageTypeId id) {
-  InternTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
-  if (id.value >= t.names.size()) return {};
-  return t.names[id.value];
+  return type_pool().name(id.value);
 }
 
-std::size_t message_type_count() {
-  InternTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
-  return t.names.size();
-}
+std::size_t message_type_count() { return type_pool().size(); }
 
 std::uint64_t TypeCounts::get(std::string_view name) const {
   const MessageTypeId id = find_message_type(name);

@@ -1,0 +1,63 @@
+#include "net/symbol.h"
+
+#include <stdexcept>
+
+namespace phoenix::net {
+
+namespace detail {
+
+std::uint32_t InternPool::intern(std::string_view name, std::uint32_t max_ids) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = ids_.find(name); it != ids_.end()) return it->second;
+  if (names_.size() > max_ids) {
+    throw std::length_error("intern pool overflow");
+  }
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(std::string(name));  // deque: stable string_view storage
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t InternPool::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? 0 : it->second;
+}
+
+std::string_view InternPool::name(std::uint32_t id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (id >= names_.size()) return {};
+  return names_[id];
+}
+
+std::size_t InternPool::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+}  // namespace detail
+
+namespace {
+
+detail::InternPool& symbol_pool() {
+  static detail::InternPool pool;
+  return pool;
+}
+
+}  // namespace
+
+SymbolId intern_symbol(std::string_view name) {
+  return SymbolId{symbol_pool().intern(name, UINT32_MAX - 1)};
+}
+
+SymbolId find_symbol(std::string_view name) {
+  return SymbolId{symbol_pool().find(name)};
+}
+
+std::string_view symbol_name(SymbolId id) {
+  return symbol_pool().name(id.value);
+}
+
+std::size_t symbol_count() { return symbol_pool().size(); }
+
+}  // namespace phoenix::net

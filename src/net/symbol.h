@@ -1,0 +1,74 @@
+// Process-wide string interning.
+//
+// Generalizes the MessageTypeId scheme (net/message.h): any hot-path
+// identity string — application names, process owners, event attribute
+// keys — is interned once into a dense SymbolId and compared/stored as an
+// integer from then on. The string API stays at the edges: producers intern
+// when a record is created, consumers resolve ids back to names only when
+// rendering or asserting.
+//
+// Ids are stable for the life of the process and never released; id 0 is
+// reserved/invalid. Interning is thread-safe (parallel trials intern from
+// worker threads).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace phoenix::net {
+
+namespace detail {
+
+/// Mutex-guarded intern pool: name -> dense id, id -> name. Index 0 is
+/// reserved as the invalid id. Both the message-type table and the symbol
+/// table are instances of this.
+class InternPool {
+ public:
+  /// Interns `name` (idempotent), throwing std::length_error past `max_ids`.
+  std::uint32_t intern(std::string_view name, std::uint32_t max_ids);
+
+  /// Id for an already-interned name; 0 when never seen.
+  std::uint32_t find(std::string_view name) const;
+
+  /// Name for `id`; empty for 0/unknown.
+  std::string_view name(std::uint32_t id) const;
+
+  /// Number of ids handed out, including the reserved 0.
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> names_{std::string()};  // deque: stable storage
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+};
+
+}  // namespace detail
+
+/// Dense process-wide id for an interned identity string. 0 is invalid.
+struct SymbolId {
+  std::uint32_t value = 0;
+  constexpr bool valid() const noexcept { return value != 0; }
+  friend constexpr bool operator==(SymbolId, SymbolId) = default;
+};
+
+/// Interns `name`, returning its stable id (same name -> same id for the
+/// life of the process).
+SymbolId intern_symbol(std::string_view name);
+
+/// Looks up an already-interned name's id without interning; invalid id
+/// when the name has never been seen (useful for filters: an owner nobody
+/// ever reported can match nothing).
+SymbolId find_symbol(std::string_view name);
+
+/// The name for `id`; empty for invalid/unknown ids.
+std::string_view symbol_name(SymbolId id);
+
+/// Number of distinct interned symbols (including the reserved slot 0).
+std::size_t symbol_count();
+
+}  // namespace phoenix::net

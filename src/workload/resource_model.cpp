@@ -1,8 +1,22 @@
 #include "workload/resource_model.h"
 
 #include <algorithm>
+#include <array>
+#include <string>
 
 namespace phoenix::workload {
+
+namespace {
+
+// Cycling identities for churned synthetic apps. Small pools on purpose:
+// real clusters run a handful of application binaries under a handful of
+// accounts, which is exactly what makes symbol interning pay off.
+constexpr std::array<std::string_view, 4> kChurnNames = {
+    "hpl.xhpl", "wrf.exe", "blastp", "povray"};
+constexpr std::array<std::string_view, 3> kChurnOwners = {"alice", "bob",
+                                                          "carol"};
+
+}  // namespace
 
 ResourceModel::ResourceModel(cluster::Cluster& cluster, ResourceModelParams params)
     : cluster_(cluster),
@@ -15,7 +29,12 @@ void ResourceModel::stop() { updater_.stop(); }
 
 void ResourceModel::update_once() {
   for (auto& node : cluster_.nodes()) {
-    if (node.alive()) update_node(node);
+    if (!node.alive()) continue;
+    update_node(node);
+    if (params_.churn_apps_per_node > 0 &&
+        node.role() == cluster::NodeRole::kCompute) {
+      churn_node(node);
+    }
   }
 }
 
@@ -45,6 +64,42 @@ void ResourceModel::update_node(cluster::Node& node) {
       0.0, walk(u.disk_io_mbps, params_.base_disk_mbps, params_.base_disk_mbps / 3));
   u.net_io_mbps = std::max(
       0.0, walk(u.net_io_mbps, params_.base_net_mbps, params_.base_net_mbps / 3));
+}
+
+void ResourceModel::churn_node(cluster::Node& node) {
+  auto& rng = cluster_.engine().rng();
+  const sim::SimTime now = cluster_.engine().now();
+
+  // Exit a random subset of the running synthetic apps.
+  std::size_t running = 0;
+  std::vector<cluster::Pid> to_exit;
+  for (const auto& [pid, p] : node.process_table()) {
+    if (p.owner == "kernel" || p.state != cluster::ProcessState::kRunning) continue;
+    ++running;
+    if (rng.uniform(0.0, 1.0) < params_.churn_exit_probability) {
+      to_exit.push_back(pid);
+    }
+  }
+  for (const cluster::Pid pid : to_exit) {
+    node.terminate_process(pid, cluster::ProcessState::kExited, now, 0);
+    ++apps_exited_;
+  }
+  node.reap();
+  running -= to_exit.size();
+
+  // Start replacements up to the target population.
+  while (running < params_.churn_apps_per_node) {
+    cluster::ProcessInfo p;
+    p.pid = cluster_.next_pid();
+    p.name = std::string(kChurnNames[p.pid % kChurnNames.size()]);
+    p.owner = std::string(kChurnOwners[p.pid % kChurnOwners.size()]);
+    p.state = cluster::ProcessState::kRunning;
+    p.cpu_share = 0.0;  // churned apps exercise reporting, not the CPU model
+    p.started_at = now;
+    node.add_process(std::move(p));
+    ++apps_started_;
+    ++running;
+  }
 }
 
 }  // namespace phoenix::workload

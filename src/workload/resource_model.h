@@ -5,6 +5,11 @@
 // actually consumed by processes in the node's process table. Defaults are
 // tuned to the paper's Figure-6 "common load" snapshot (≈13 % CPU, ≈51 %
 // memory, ≈0.7 % swap across 640 nodes).
+//
+// Optionally also churns synthetic user applications through the compute
+// nodes' process tables (churn_apps_per_node > 0): each update, a fraction
+// of the running synthetic apps exits and replacements start, exercising
+// the detectors' delta-reporting path the way a busy cluster would.
 #pragma once
 
 #include <vector>
@@ -25,6 +30,12 @@ struct ResourceModelParams {
   double base_net_mbps = 12.0;
   double reversion = 0.3;        // pull-back strength toward the baseline
   sim::SimTime update_interval = 5 * sim::kSecond;
+
+  // Application churn (0 = off): target running synthetic apps per compute
+  // node, and the per-update probability that each of them exits (an equal
+  // number of fresh apps starts to hold the target).
+  std::size_t churn_apps_per_node = 0;
+  double churn_exit_probability = 0.1;
 };
 
 class ResourceModel {
@@ -34,15 +45,21 @@ class ResourceModel {
   void start();
   void stop();
 
-  /// One synchronous update of every live node's gauges.
+  /// One synchronous update of every live node's gauges (and app churn).
   void update_once();
+
+  std::uint64_t apps_started() const noexcept { return apps_started_; }
+  std::uint64_t apps_exited() const noexcept { return apps_exited_; }
 
  private:
   void update_node(cluster::Node& node);
+  void churn_node(cluster::Node& node);
 
   cluster::Cluster& cluster_;
   ResourceModelParams params_;
   sim::PeriodicTask updater_;
+  std::uint64_t apps_started_ = 0;
+  std::uint64_t apps_exited_ = 0;
 };
 
 }  // namespace phoenix::workload

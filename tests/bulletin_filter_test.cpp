@@ -79,12 +79,12 @@ TEST_F(BulletinFilterTest, OwnerFilterOnApps) {
 
   TestClient client(h.cluster, net::NodeId{2});
   BulletinFilter filter;
-  filter.owner = "alice";
+  filter.set_owner("alice");
   const auto* reply = query(client, filter, BulletinTable::kApps);
   ASSERT_NE(reply, nullptr);
   ASSERT_EQ(reply->app_rows.size(), 1u);
-  EXPECT_EQ(reply->app_rows[0].owner, "alice");
-  EXPECT_EQ(reply->app_rows[0].name, "a-job");
+  EXPECT_EQ(reply->app_rows[0].owner(), "alice");
+  EXPECT_EQ(reply->app_rows[0].name(), "a-job");
 }
 
 TEST_F(BulletinFilterTest, FilterPushdownReducesReplyBytes) {

@@ -99,7 +99,7 @@ TEST_F(BulletinTest, AppTableCarriesUserProcesses) {
   EXPECT_TRUE(reply->node_rows.empty());
   bool found = false;
   for (const auto& app : reply->app_rows) {
-    if (app.name == "userjob" && app.owner == "alice") found = true;
+    if (app.name() == "userjob" && app.owner() == "alice") found = true;
   }
   EXPECT_TRUE(found);
 }
@@ -109,7 +109,7 @@ TEST_F(BulletinTest, KernelDaemonsExcludedFromAppTable) {
   const auto* reply = query(client, true, BulletinTable::kApps);
   ASSERT_NE(reply, nullptr);
   for (const auto& app : reply->app_rows) {
-    EXPECT_NE(app.owner, "kernel") << app.name;
+    EXPECT_NE(app.owner(), "kernel") << app.name();
   }
 }
 
