@@ -11,7 +11,10 @@
 #
 # All BENCH_* files are gitignored scratch — paste the numbers you care
 # about into the PR description instead of committing them.
-set -eu
+#
+# Exits non-zero if any bench exits non-zero, after running them all (so one
+# failure never hides another's numbers).
+set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
@@ -23,6 +26,8 @@ if [ ! -d "$bench_dir" ]; then
   exit 1
 fi
 
+failed=""
+
 run_one() {
   name=$1
   shift
@@ -32,7 +37,9 @@ run_one() {
     return 0
   fi
   echo "--- $name"
-  "$bin" "$@"
+  if ! "$bin" "$@"; then
+    failed="$failed $name"
+  fi
 }
 
 cd "$repo_root"
@@ -40,15 +47,19 @@ cd "$repo_root"
 # JSON-emitting benches.
 run_one engine_hotpath "$repo_root/BENCH_hotpath.json"
 run_one monitoring_plane "$repo_root/BENCH_monitoring_plane.json"
+run_one rpc_resilience "$repo_root/BENCH_rpc_resilience.json"
 run_one micro_kernel \
   "--benchmark_out=$repo_root/BENCH_micro_kernel.json" \
   --benchmark_out_format=json
 
-# Text-table benches: capture stdout alongside the JSON files.
+# Text-table benches: capture stdout alongside the JSON files. POSIX sh has
+# no PIPESTATUS, so write to the log file first and cat it back rather than
+# piping through tee (which would swallow the bench's exit code).
 for name in table1_wd_faults table2_gsd_faults table3_es_faults \
             table4_linpack fig6_monitoring scalability pws_vs_pbs \
             ablation_networks availability fig9_pws_gui; do
-  run_one "$name" | tee "$repo_root/BENCH_$name.log"
+  run_one "$name" > "$repo_root/BENCH_$name.log" 2>&1
+  [ -f "$repo_root/BENCH_$name.log" ] && cat "$repo_root/BENCH_$name.log"
 done
 
 # Merge every per-bench JSON into one object, keyed by bench name.
@@ -76,3 +87,9 @@ rm -f "$results"
 echo
 echo "collected:"
 ls -1 "$repo_root"/BENCH_* 2>/dev/null || echo "  (nothing produced)"
+
+if [ -n "$failed" ]; then
+  echo
+  echo "FAILED benches:$failed" >&2
+  exit 1
+fi

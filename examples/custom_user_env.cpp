@@ -47,7 +47,7 @@ int main() {
     audit_log += "[" + sim::format_duration(e.timestamp) + "] PAGE: " + e.type +
                  " node " + std::to_string(e.subject_node.value) + "\n";
     api.checkpoint_save("alarm-center", "audit", audit_log,
-                        [](bool, std::uint64_t) {});
+                        [](kernel::KernelApi::Result<std::uint64_t>) {});
     std::printf("  PAGE: %-18s node=%u\n", e.type.c_str(), e.subject_node.value);
   });
 
@@ -57,8 +57,8 @@ int main() {
     kernel::BulletinFilter hot;
     hot.min_cpu_pct = 90.0;
     api.query(kernel::BulletinTable::kNodes, true, hot,
-              [&](std::vector<kernel::NodeRecord> rows, auto) {
-                for (const auto& row : rows) {
+              [&](kernel::KernelApi::Result<kernel::BulletinSnapshot> r) {
+                for (const auto& row : r.value.nodes) {
                   std::printf("  ALERT: node %u at %.1f%% CPU\n", row.node.value,
                               row.usage.cpu_pct);
                 }
@@ -67,10 +67,11 @@ int main() {
   hot_scan.start();
 
   // 3. Hourly configuration self-check via the configuration service.
-  api.config_get("hardware/nodes", [&](std::optional<std::string> v) {
-    std::printf("alarm center armed over %s nodes\n\n",
-                v ? v->c_str() : "?");
-  });
+  api.config_get("hardware/nodes",
+                 [&](kernel::KernelApi::Result<std::optional<std::string>> r) {
+                   std::printf("alarm center armed over %s nodes\n\n",
+                               r.value ? r.value->c_str() : "?");
+                 });
   cluster.engine().run_for(2 * sim::kSecond);
 
   // --- exercise it ------------------------------------------------------------
@@ -80,7 +81,7 @@ int main() {
   // into the gauges the detectors export).
   api.spawn(cluster.compute_nodes(net::PartitionId{0})[1],
             kernel::ProcessSpec{"cpu-hog", "loadtest", 4.0, 0, 0},
-            [](bool, cluster::Pid) {});
+            [](kernel::KernelApi::Result<cluster::Pid>) {});
   injector.cut_interface(cluster.compute_nodes(net::PartitionId{1})[0],
                          net::NetworkId{2});
   injector.crash_node(cluster.compute_nodes(net::PartitionId{0})[3]);
@@ -89,8 +90,11 @@ int main() {
 
   // The audit trail survived in the checkpoint federation.
   std::optional<std::string> recovered;
-  api.checkpoint_load("alarm-center", "audit",
-                      [&](std::optional<std::string> data) { recovered = data; });
+  api.checkpoint_load(
+      "alarm-center", "audit",
+      [&](kernel::KernelApi::Result<std::optional<std::string>> r) {
+        recovered = std::move(r.value);
+      });
   cluster.engine().run_for(2 * sim::kSecond);
 
   std::printf("\n%d pages sent; audit trail (%zu bytes) persisted in the "

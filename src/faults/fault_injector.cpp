@@ -1,5 +1,6 @@
 #include "faults/fault_injector.h"
 
+#include <memory>
 #include <utility>
 
 namespace phoenix::faults {
@@ -51,6 +52,30 @@ sim::SimTime FaultInjector::restore_network(net::NetworkId network) {
     cluster_.fabric().set_interface_up(node.id(), network, true);
   }
   return record("restore network " + std::to_string(network.value));
+}
+
+sim::SimTime FaultInjector::set_packet_loss(double probability) {
+  cluster_.fabric().latency_model().loss_probability = probability;
+  return record("packet loss " + std::to_string(probability));
+}
+
+sim::SimTime FaultInjector::drop_next_to(net::Address to, unsigned count) {
+  auto remaining = std::make_shared<unsigned>(count);
+  cluster_.fabric().set_drop_filter(
+      [remaining, to](const net::Address&, const net::Address& dest,
+                      const net::Message&) {
+        if (*remaining == 0 || dest != to) return false;
+        --*remaining;
+        return true;
+      });
+  return record("drop next " + std::to_string(count) + " messages to node " +
+                std::to_string(to.node.value) + " port " +
+                std::to_string(to.port.value));
+}
+
+sim::SimTime FaultInjector::clear_message_drops() {
+  cluster_.fabric().set_drop_filter(nullptr);
+  return record("clear message drops");
 }
 
 void FaultInjector::schedule(sim::SimTime at, std::function<void()> action,

@@ -44,6 +44,18 @@ class FaultInjector {
   sim::SimTime fail_network(net::NetworkId network);
   sim::SimTime restore_network(net::NetworkId network);
 
+  /// Independent per-message loss probability on every network (lossy
+  /// datagram weather; 0 restores perfect delivery).
+  sim::SimTime set_packet_loss(double probability);
+
+  /// Drops the next `count` fabric messages addressed to `to`, then lets
+  /// traffic through again — targeted reply loss, the classic trigger for
+  /// client retransmission and server-side replay.
+  sim::SimTime drop_next_to(net::Address to, unsigned count);
+
+  /// Removes any targeted drop filter installed by drop_next_to.
+  sim::SimTime clear_message_drops();
+
   /// Schedules an arbitrary injection at an absolute simulated time.
   void schedule(sim::SimTime at, std::function<void()> action, std::string label);
 

@@ -1,5 +1,7 @@
 #include "kernel/api.h"
 
+#include <utility>
+
 namespace phoenix::kernel {
 
 KernelApi::KernelApi(cluster::Cluster& cluster, net::NodeId node,
@@ -10,231 +12,527 @@ KernelApi::KernelApi(cluster::Cluster& cluster, net::NodeId node,
   start();
 }
 
-std::uint64_t KernelApi::issue(std::function<void(const net::Message&)> complete,
-                               std::function<void()> expire) {
-  const std::uint64_t id = next_id_++;
-  pending_[id] = Pending{std::move(complete), std::move(expire)};
-  engine().schedule_after(call_timeout_, [this, id] {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) return;
-    Pending p = std::move(it->second);
-    pending_.erase(it);
-    ++timeouts_;
-    if (p.expire) p.expire();
-  });
-  return id;
+void KernelApi::set_call_timeout(sim::SimTime t) noexcept {
+  default_deadline_ = t;
+}
+
+// --- retry state machine -------------------------------------------------------
+
+net::CallOptions KernelApi::resolve(net::CallOptions opts) const noexcept {
+  if (opts.deadline == 0) opts.deadline = default_deadline_;
+  if (opts.max_retries < 0) opts.max_retries = policy_.default_max_retries;
+  if (!opts.idempotent) opts.max_retries = 0;
+  return opts;
+}
+
+net::Address KernelApi::resolve_target(const Call& call, net::Address* home_out) {
+  if (!call.use_directory) {
+    if (home_out) *home_out = call.fixed_target;
+    return call.fixed_target;
+  }
+  const net::PartitionId home_p =
+      call.federated ? home_partition_ : net::PartitionId{0};
+  const net::Address home = kernel_.service_address(call.service, home_p);
+  if (home_out) *home_out = home;
+  if (!call.federated) return home;
+  // Federation failover: the home instance is preferred, but while its host
+  // node is down (recovery not yet complete) any live peer instance is a
+  // full access point — walk the partition ring and take the first one.
+  const std::size_t parts = kernel_.partition_count();
+  for (std::size_t i = 0; i < parts; ++i) {
+    const net::PartitionId p{
+        static_cast<std::uint32_t>((home_p.value + i) % parts)};
+    const net::Address a = kernel_.service_address(call.service, p);
+    if (cluster().node(a.node).alive()) return a;
+  }
+  return home;
+}
+
+void KernelApi::launch(std::uint64_t id, Call call) {
+  call.deadline_at = now() + call.opts.deadline;
+  calls_.emplace(id, std::move(call));
+  start_attempt(id);
+}
+
+void KernelApi::start_attempt(std::uint64_t id) {
+  auto it = calls_.find(id);
+  if (it == calls_.end()) return;
+  Call& c = it->second;
+  ++c.attempt;
+  if (c.attempt_field != nullptr) {
+    *c.attempt_field = static_cast<std::uint16_t>(c.attempt);
+  }
+
+  net::Address home;
+  const net::Address target = resolve_target(c, &home);
+  const net::Address prev = c.attempt == 1 ? home : c.last_target;
+  if (target != prev) {
+    ++reroutes_;
+    trace(sim::TraceLevel::kInfo,
+          "reroute call=" + std::to_string(id) + " node=" +
+              std::to_string(target.node.value));
+  }
+  c.last_target = target;
+  if (c.attempt > 1) {
+    ++retries_;
+    trace(sim::TraceLevel::kInfo,
+          "retry call=" + std::to_string(id) +
+              " attempt=" + std::to_string(c.attempt));
+  }
+
+  const bool sent = target.valid() && send_any(target, c.request).valid();
+  if (sent) c.transmitted = true;
+
+  if (c.one_way && sent) {
+    // No reply will come; on the wire is as good as done. Not re-armed, so
+    // a one-way is never duplicated by the retry machinery.
+    Call done = std::move(c);
+    calls_.erase(it);
+    if (done.fail) done.fail(Status::kOk);
+    return;
+  }
+
+  // Jitter is drawn only when a retry actually happens, so fault-free runs
+  // consume no randomness and stay bit-identical to the pre-retry client.
+  sim::SimTime wait = policy_.rto_for(c.attempt);
+  if (c.attempt > 1 && policy_.jitter_frac > 0.0) {
+    wait = policy_.jittered(wait, engine().rng());
+  }
+  sim::SimTime fire_at = now() + wait;
+  if (fire_at > c.deadline_at) fire_at = c.deadline_at;
+  c.timer = engine().schedule_at(fire_at, [this, id] { on_attempt_timer(id); });
+}
+
+void KernelApi::on_attempt_timer(std::uint64_t id) {
+  auto it = calls_.find(id);
+  if (it == calls_.end()) return;
+  Call& c = it->second;
+  if (now() >= c.deadline_at) {
+    fail_call(id, c.transmitted ? Status::kTimeout : Status::kUnreachable);
+    return;
+  }
+  if (c.attempt > c.opts.max_retries) {
+    fail_call(id, c.transmitted ? Status::kRetriesExhausted
+                                : Status::kUnreachable);
+    return;
+  }
+  start_attempt(id);
+}
+
+void KernelApi::fail_call(std::uint64_t id, Status status) {
+  auto it = calls_.find(id);
+  if (it == calls_.end()) return;
+  Call c = std::move(it->second);
+  calls_.erase(it);
+  engine().cancel(c.timer);
+  switch (status) {
+    case Status::kTimeout: ++timeouts_; break;
+    case Status::kRetriesExhausted: ++exhausted_; break;
+    case Status::kUnreachable: ++unreachable_; break;
+    default: break;
+  }
+  trace(sim::TraceLevel::kWarn,
+        "call " + std::to_string(id) + " failed: " +
+            std::string(net::to_string(status)));
+  if (c.fail) c.fail(status);
 }
 
 void KernelApi::finish(std::uint64_t id, const net::Message& msg) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return;
-  Pending p = std::move(it->second);
-  pending_.erase(it);
-  if (p.complete) p.complete(msg);
+  auto it = calls_.find(id);
+  if (it == calls_.end()) {
+    ++duplicate_replies_;  // original answer won, or the call already failed
+    return;
+  }
+  Call c = std::move(it->second);
+  calls_.erase(it);
+  engine().cancel(c.timer);
+  if (c.complete) c.complete(msg);
 }
 
 // --- configuration -------------------------------------------------------------
 
-void KernelApi::config_get(const std::string& key, GetCallback done) {
+void KernelApi::config_get(const std::string& key,
+                           Callback<std::optional<std::string>> done,
+                           CallOptions opts) {
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<ConfigGetMsg>();
   msg->key = key;
   msg->reply_to = address();
-  msg->request_id = issue(
-      [done](const net::Message& m) {
-        const auto* reply = net::message_cast<ConfigGetReplyMsg>(m);
-        if (reply != nullptr && reply->found) {
-          done(reply->value);
-        } else {
-          done(std::nullopt);
-        }
-      },
-      [done] { done(std::nullopt); });
-  send_any(kernel_.service_address(ServiceKind::kConfiguration, net::PartitionId{0}),
-           std::move(msg));
+  msg->request_id = id;
+  Call c;
+  c.complete = [done](const net::Message& m) {
+    const auto* reply = net::message_cast<ConfigGetReplyMsg>(m);
+    if (reply == nullptr || !done) return;
+    using R = Result<std::optional<std::string>>;
+    done(reply->found ? R::success(reply->value) : R::success(std::nullopt));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<std::optional<std::string>>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.service = ServiceKind::kConfiguration;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
 void KernelApi::config_set(const std::string& key, const std::string& value,
-                           SetCallback done) {
+                           Callback<std::uint64_t> done, CallOptions opts) {
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<ConfigSetMsg>();
   msg->key = key;
   msg->value = value;
   msg->reply_to = address();
-  msg->request_id = issue(
-      [done](const net::Message& m) {
-        const auto* reply = net::message_cast<ConfigSetReplyMsg>(m);
-        done(reply != nullptr, reply != nullptr ? reply->version : 0);
-      },
-      [done] { done(false, 0); });
-  send_any(kernel_.service_address(ServiceKind::kConfiguration, net::PartitionId{0}),
-           std::move(msg));
+  msg->request_id = id;
+  Call c;
+  c.complete = [done](const net::Message& m) {
+    const auto* reply = net::message_cast<ConfigSetReplyMsg>(m);
+    if (reply == nullptr || !done) return;
+    done(Result<std::uint64_t>::success(reply->version));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<std::uint64_t>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.service = ServiceKind::kConfiguration;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
 // --- security -------------------------------------------------------------------
 
 void KernelApi::authenticate(const std::string& user, const std::string& secret,
-                             AuthCallback done) {
+                             Callback<Token> done, CallOptions opts) {
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<AuthRequestMsg>();
   msg->user = user;
   msg->secret = secret;
   msg->reply_to = address();
-  msg->request_id = issue(
-      [done](const net::Message& m) {
-        const auto* reply = net::message_cast<AuthReplyMsg>(m);
-        if (reply != nullptr && reply->ok) {
-          done(reply->token);
-        } else {
-          done(std::nullopt);
-        }
-      },
-      [done] { done(std::nullopt); });
-  send_any(kernel_.service_address(ServiceKind::kSecurity, net::PartitionId{0}),
-           std::move(msg));
+  msg->request_id = id;
+  Call c;
+  c.complete = [this, done](const net::Message& m) {
+    const auto* reply = net::message_cast<AuthReplyMsg>(m);
+    if (reply == nullptr) return;
+    if (!reply->ok) {
+      ++denied_;
+      if (done) done(Result<Token>::failure(Status::kDenied));
+      return;
+    }
+    if (done) done(Result<Token>::success(reply->token));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<Token>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.service = ServiceKind::kSecurity;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
 void KernelApi::authorize(const Token& token, const std::string& action,
-                          const std::string& resource, AuthzCallback done) {
+                          const std::string& resource, Callback<bool> done,
+                          CallOptions opts) {
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<AuthzRequestMsg>();
   msg->token = token;
   msg->action = action;
   msg->resource = resource;
   msg->reply_to = address();
-  msg->request_id = issue(
-      [done](const net::Message& m) {
-        const auto* reply = net::message_cast<AuthzReplyMsg>(m);
-        done(reply != nullptr && reply->allowed);
-      },
-      [done] { done(false); });
-  send_any(kernel_.service_address(ServiceKind::kSecurity, net::PartitionId{0}),
-           std::move(msg));
+  msg->request_id = id;
+  Call c;
+  c.complete = [this, done](const net::Message& m) {
+    const auto* reply = net::message_cast<AuthzReplyMsg>(m);
+    if (reply == nullptr) return;
+    if (!reply->allowed) {
+      ++denied_;
+      if (done) done(Result<bool>::failure(Status::kDenied));
+      return;
+    }
+    if (done) done(Result<bool>::success(true));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<bool>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.service = ServiceKind::kSecurity;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
 // --- checkpoint -----------------------------------------------------------------
 
-void KernelApi::checkpoint_save(const std::string& service, const std::string& key,
-                                std::string data, SaveCallback done) {
+void KernelApi::checkpoint_save(const std::string& service,
+                                const std::string& key, std::string data,
+                                Callback<std::uint64_t> done, CallOptions opts) {
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<CheckpointSaveMsg>();
   msg->service = service;
   msg->key = key;
   msg->data = std::move(data);
   msg->reply_to = address();
-  msg->request_id = issue(
-      [done](const net::Message& m) {
-        const auto* reply = net::message_cast<CheckpointSaveReplyMsg>(m);
-        done(reply != nullptr, reply != nullptr ? reply->version : 0);
-      },
-      [done] { done(false, 0); });
-  send_any(kernel_.service_address(ServiceKind::kCheckpointService, home_partition_),
-           std::move(msg));
+  msg->request_id = id;
+  Call c;
+  c.complete = [done](const net::Message& m) {
+    const auto* reply = net::message_cast<CheckpointSaveReplyMsg>(m);
+    if (reply == nullptr || !done) return;
+    done(Result<std::uint64_t>::success(reply->version));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<std::uint64_t>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.service = ServiceKind::kCheckpointService;
+  c.federated = true;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
-void KernelApi::checkpoint_load(const std::string& service, const std::string& key,
-                                LoadCallback done) {
+void KernelApi::checkpoint_load(const std::string& service,
+                                const std::string& key,
+                                Callback<std::optional<std::string>> done,
+                                CallOptions opts) {
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<CheckpointLoadMsg>();
   msg->service = service;
   msg->key = key;
   msg->reply_to = address();
-  msg->request_id = issue(
-      [done](const net::Message& m) {
-        const auto* reply = net::message_cast<CheckpointLoadReplyMsg>(m);
-        if (reply != nullptr && reply->found) {
-          done(reply->data);
-        } else {
-          done(std::nullopt);
-        }
-      },
-      [done] { done(std::nullopt); });
-  send_any(kernel_.service_address(ServiceKind::kCheckpointService, home_partition_),
-           std::move(msg));
+  msg->request_id = id;
+  Call c;
+  c.complete = [done](const net::Message& m) {
+    const auto* reply = net::message_cast<CheckpointLoadReplyMsg>(m);
+    if (reply == nullptr || !done) return;
+    using R = Result<std::optional<std::string>>;
+    done(reply->found ? R::success(reply->data) : R::success(std::nullopt));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<std::optional<std::string>>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.service = ServiceKind::kCheckpointService;
+  c.federated = true;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
 // --- data bulletin --------------------------------------------------------------
 
 void KernelApi::query(BulletinTable table, bool cluster_scope,
-                      BulletinFilter filter, QueryCallback done) {
+                      BulletinFilter filter, Callback<BulletinSnapshot> done,
+                      CallOptions opts) {
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<DbQueryMsg>();
   msg->table = table;
   msg->cluster_scope = cluster_scope;
   msg->filter = std::move(filter);
   msg->reply_to = address();
-  msg->query_id = issue(
-      [done](const net::Message& m) {
-        const auto* reply = net::message_cast<DbQueryReplyMsg>(m);
-        if (reply != nullptr) {
-          done(reply->node_rows, reply->app_rows);
-        } else {
-          done({}, {});
-        }
-      },
-      [done] { done({}, {}); });
-  send_any(kernel_.service_address(ServiceKind::kDataBulletin, home_partition_),
-           std::move(msg));
+  msg->query_id = id;
+  Call c;
+  c.complete = [done](const net::Message& m) {
+    const auto* reply = net::message_cast<DbQueryReplyMsg>(m);
+    if (reply == nullptr || !done) return;
+    BulletinSnapshot snap;
+    snap.nodes = reply->node_rows;
+    snap.apps = reply->app_rows;
+    snap.partitions_included = reply->partitions_included;
+    done(Result<BulletinSnapshot>::success(std::move(snap)));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<BulletinSnapshot>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.service = ServiceKind::kDataBulletin;
+  c.federated = true;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
 // --- events ---------------------------------------------------------------------
 
-void KernelApi::subscribe(std::vector<std::string> types, EventCallback on_event) {
+void KernelApi::subscribe(std::vector<std::string> types, EventCallback on_event,
+                          Callback<bool> done, CallOptions opts) {
   on_event_ = std::move(on_event);
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<EsSubscribeMsg>();
   msg->subscription.consumer = address();
   msg->subscription.types = std::move(types);
-  send_any(kernel_.service_address(ServiceKind::kEventService, home_partition_),
-           std::move(msg));
+  Call c;
+  c.fail = [done](Status s) {
+    if (!done) return;
+    done(s == Status::kOk ? Result<bool>::success(true)
+                          : Result<bool>::failure(s));
+  };
+  c.request = std::move(msg);
+  c.service = ServiceKind::kEventService;
+  c.federated = true;
+  c.one_way = true;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
-void KernelApi::publish(Event event) {
+void KernelApi::publish(Event event, Callback<bool> done, CallOptions opts) {
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<EsPublishMsg>();
   msg->event = std::move(event);
-  send_any(kernel_.service_address(ServiceKind::kEventService, home_partition_),
-           std::move(msg));
+  Call c;
+  c.fail = [done](Status s) {
+    if (!done) return;
+    done(s == Status::kOk ? Result<bool>::success(true)
+                          : Result<bool>::failure(s));
+  };
+  c.request = std::move(msg);
+  c.service = ServiceKind::kEventService;
+  c.federated = true;
+  c.one_way = true;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
 // --- ppm ------------------------------------------------------------------------
 
-void KernelApi::spawn(net::NodeId node, ProcessSpec spec, SpawnCallback done,
-                      std::function<void(cluster::Pid)> on_exit) {
+void KernelApi::spawn(net::NodeId node, ProcessSpec spec,
+                      Callback<cluster::Pid> done,
+                      std::function<void(cluster::Pid)> on_exit,
+                      CallOptions opts) {
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<SpawnMsg>();
   msg->spec = std::move(spec);
   msg->reply_to = address();
   if (on_exit) msg->exit_notify = address();
-  msg->request_id = issue(
-      [this, done, on_exit](const net::Message& m) {
-        const auto* reply = net::message_cast<SpawnReplyMsg>(m);
-        if (reply != nullptr && reply->ok) {
-          if (on_exit) exit_watch_[reply->pid] = on_exit;
-          done(true, reply->pid);
-        } else {
-          done(false, 0);
-        }
-      },
-      [done] { done(false, 0); });
-  send_any({node, port_of(ServiceKind::kProcessManager)}, std::move(msg));
+  msg->request_id = id;
+  Call c;
+  c.complete = [this, done, on_exit](const net::Message& m) {
+    const auto* reply = net::message_cast<SpawnReplyMsg>(m);
+    if (reply == nullptr) return;
+    if (!reply->ok) {
+      ++denied_;
+      if (done) done(Result<cluster::Pid>::failure(Status::kDenied));
+      return;
+    }
+    if (on_exit) exit_watch_[reply->pid] = on_exit;
+    if (done) done(Result<cluster::Pid>::success(reply->pid));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<cluster::Pid>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.use_directory = false;
+  c.fixed_target = {node, port_of(ServiceKind::kProcessManager)};
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
 }
 
 void KernelApi::parallel_command(const std::string& command,
                                  std::vector<net::NodeId> nodes,
-                                 std::size_t fanout, CommandCallback done) {
+                                 std::size_t fanout,
+                                 Callback<CommandOutcome> done,
+                                 CallOptions opts) {
   if (nodes.empty()) {
-    done(0, 0);
+    if (done) done(Result<CommandOutcome>::success({}));
     return;
   }
+  const std::uint64_t id = next_id_++;
   auto msg = std::make_shared<ParallelCmdMsg>();
   msg->command = command;
   msg->nodes = std::move(nodes);
   msg->fanout = fanout;
   msg->reply_to = address();
-  const net::Address root{msg->nodes.front(),
-                          port_of(ServiceKind::kProcessManager)};
-  msg->request_id = issue(
-      [done](const net::Message& m) {
-        const auto* reply = net::message_cast<ParallelCmdReplyMsg>(m);
-        if (reply != nullptr) {
-          done(reply->succeeded, reply->failed);
-        } else {
-          done(0, 0);
-        }
-      },
-      [done] { done(0, 0); });
-  send_any(root, std::move(msg));
+  msg->request_id = id;
+  const net::NodeId root = msg->nodes.front();
+  Call c;
+  c.complete = [done](const net::Message& m) {
+    const auto* reply = net::message_cast<ParallelCmdReplyMsg>(m);
+    if (reply == nullptr || !done) return;
+    done(Result<CommandOutcome>::success(
+        CommandOutcome{reply->succeeded, reply->failed}));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<CommandOutcome>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.use_directory = false;
+  c.fixed_target = {root, port_of(ServiceKind::kProcessManager)};
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
+}
+
+// --- legacy completion adapters -------------------------------------------------
+
+void KernelApi::config_get(const std::string& key, GetCallback done) {
+  config_get(key,
+             [done = std::move(done)](Result<std::optional<std::string>> r) {
+               done(r.ok() ? std::move(r.value) : std::nullopt);
+             });
+}
+
+void KernelApi::config_set(const std::string& key, const std::string& value,
+                           SetCallback done) {
+  config_set(key, value, [done = std::move(done)](Result<std::uint64_t> r) {
+    done(r.ok(), r.value);
+  });
+}
+
+void KernelApi::authenticate(const std::string& user, const std::string& secret,
+                             AuthCallback done) {
+  authenticate(user, secret, [done = std::move(done)](Result<Token> r) {
+    done(r.ok() ? std::optional<Token>(std::move(r.value)) : std::nullopt);
+  });
+}
+
+void KernelApi::authorize(const Token& token, const std::string& action,
+                          const std::string& resource, AuthzCallback done) {
+  authorize(token, action, resource,
+            [done = std::move(done)](Result<bool> r) { done(r.ok() && r.value); });
+}
+
+void KernelApi::checkpoint_save(const std::string& service,
+                                const std::string& key, std::string data,
+                                SaveCallback done) {
+  checkpoint_save(service, key, std::move(data),
+                  [done = std::move(done)](Result<std::uint64_t> r) {
+                    done(r.ok(), r.value);
+                  });
+}
+
+void KernelApi::checkpoint_load(const std::string& service,
+                                const std::string& key, LoadCallback done) {
+  checkpoint_load(service, key,
+                  [done = std::move(done)](Result<std::optional<std::string>> r) {
+                    done(r.ok() ? std::move(r.value) : std::nullopt);
+                  });
+}
+
+void KernelApi::query(BulletinTable table, bool cluster_scope,
+                      BulletinFilter filter, QueryCallback done) {
+  query(table, cluster_scope, std::move(filter),
+        [done = std::move(done)](Result<BulletinSnapshot> r) {
+          done(std::move(r.value.nodes), std::move(r.value.apps));
+        });
+}
+
+void KernelApi::spawn(net::NodeId node, ProcessSpec spec, SpawnCallback done,
+                      std::function<void(cluster::Pid)> on_exit) {
+  spawn(node, std::move(spec),
+        [done = std::move(done)](Result<cluster::Pid> r) {
+          done(r.ok(), r.value);
+        },
+        std::move(on_exit));
+}
+
+void KernelApi::parallel_command(const std::string& command,
+                                 std::vector<net::NodeId> nodes,
+                                 std::size_t fanout, CommandCallback done) {
+  parallel_command(command, std::move(nodes), fanout,
+                   [done = std::move(done)](Result<CommandOutcome> r) {
+                     done(r.value.succeeded, r.value.failed);
+                   });
 }
 
 // --- dispatch -------------------------------------------------------------------

@@ -3,10 +3,18 @@
 // The paper (§4.2): "Phoenix kernel provides documented interfaces and
 // parallel command calls for user environments in different forms with
 // uniformed semantics (Such as Socket, RPC and ORB etc.)". This class is
-// that uniform form: an asynchronous, callback-based RPC facade over the
-// kernel's message protocols, with request correlation, per-call timeouts,
-// and location transparency (calls go to the caller's partition instance of
-// each federated service; the federation makes that a full access point).
+// that uniform form: an asynchronous RPC facade over the kernel's message
+// protocols, built on the resilient substrate of net/rpc.h (DESIGN.md §9).
+//
+// Every call completes exactly once with a net::Result<T>: a typed payload
+// plus a Status the caller can branch on. Per-call CallOptions select the
+// deadline and retry budget; between attempts the client backs off
+// exponentially (RetryPolicy) and re-resolves the target through the
+// service directory, so a call issued against an instance that dies
+// mid-flight re-routes to the recovered or federated instance instead of
+// timing out. Mutating services keep a ReplayCache, which makes the
+// retries safe: a retransmitted config_set / spawn / checkpoint_save is
+// answered from the cache, never applied twice.
 //
 // Every user environment in this repository could be written against this
 // class alone; GridView-style monitors, submission portals, and management
@@ -28,99 +36,247 @@
 #include "kernel/kernel.h"
 #include "kernel/ppm/process_manager.h"
 #include "kernel/security/security_service.h"
+#include "net/rpc.h"
 
 namespace phoenix::kernel {
 
+/// A cluster-wide bulletin answer: the merged rows plus how many partition
+/// instances contributed (dead instances only shrink the merge).
+struct BulletinSnapshot {
+  std::vector<NodeRecord> nodes;
+  std::vector<AppRecord> apps;
+  std::uint32_t partitions_included = 0;
+};
+
+/// Aggregated result of a parallel command tree.
+struct CommandOutcome {
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+};
+
 class KernelApi final : public cluster::Daemon {
  public:
+  using Status = net::Status;
+  using CallOptions = net::CallOptions;
+  template <typename T>
+  using Result = net::Result<T>;
+  /// The one completion shape every call uses.
+  template <typename T>
+  using Callback = std::function<void(Result<T>)>;
+
   /// Binds the API endpoint on `node` with a caller-chosen port (several
   /// clients may coexist on one node with different ports).
   KernelApi(cluster::Cluster& cluster, net::NodeId node, PhoenixKernel& kernel,
             net::PortId port = net::PortId{30});
 
-  /// Default per-call deadline; expired calls complete with nullopt/false.
-  void set_call_timeout(sim::SimTime t) noexcept { call_timeout_ = t; }
+  // --- client-wide defaults ---------------------------------------------------
+
+  /// Deadline used when CallOptions::deadline is 0.
+  void set_default_deadline(sim::SimTime t) noexcept { default_deadline_ = t; }
+  sim::SimTime default_deadline() const noexcept { return default_deadline_; }
+
+  /// Backoff schedule and default retry budget, tunable per client.
+  net::RetryPolicy& retry_policy() noexcept { return policy_; }
+  const net::RetryPolicy& retry_policy() const noexcept { return policy_; }
+
+  /// Superseded by per-call CallOptions::deadline; feeds the same default.
+  [[deprecated("use set_default_deadline / CallOptions::deadline")]]
+  void set_call_timeout(sim::SimTime t) noexcept;
 
   // --- configuration ----------------------------------------------------------
 
-  using GetCallback = std::function<void(std::optional<std::string>)>;
-  void config_get(const std::string& key, GetCallback done);
+  /// kOk with nullopt means "the service answered: no such key".
+  void config_get(const std::string& key,
+                  Callback<std::optional<std::string>> done,
+                  CallOptions opts = {});
 
-  using SetCallback = std::function<void(bool ok, std::uint64_t version)>;
+  /// Value: the new tree version.
   void config_set(const std::string& key, const std::string& value,
-                  SetCallback done);
+                  Callback<std::uint64_t> done, CallOptions opts = {});
 
   // --- security ----------------------------------------------------------------
 
-  using AuthCallback = std::function<void(std::optional<Token>)>;
+  /// kDenied when the credentials are refused.
   void authenticate(const std::string& user, const std::string& secret,
-                    AuthCallback done);
+                    Callback<Token> done, CallOptions opts = {});
 
-  using AuthzCallback = std::function<void(bool allowed)>;
+  /// kOk/true when allowed; kDenied when the service refuses.
   void authorize(const Token& token, const std::string& action,
-                 const std::string& resource, AuthzCallback done);
+                 const std::string& resource, Callback<bool> done,
+                 CallOptions opts = {});
 
   // --- checkpoint ----------------------------------------------------------------
 
-  using SaveCallback = std::function<void(bool ok, std::uint64_t version)>;
+  /// Value: the stored version.
   void checkpoint_save(const std::string& service, const std::string& key,
-                       std::string data, SaveCallback done);
+                       std::string data, Callback<std::uint64_t> done,
+                       CallOptions opts = {});
 
-  using LoadCallback = std::function<void(std::optional<std::string>)>;
+  /// kOk with nullopt means "the federation answered: not found".
   void checkpoint_load(const std::string& service, const std::string& key,
-                       LoadCallback done);
+                       Callback<std::optional<std::string>> done,
+                       CallOptions opts = {});
 
   // --- data bulletin ----------------------------------------------------------------
 
-  using QueryCallback = std::function<void(std::vector<NodeRecord>,
-                                           std::vector<AppRecord>)>;
   void query(BulletinTable table, bool cluster_scope, BulletinFilter filter,
-             QueryCallback done);
+             Callback<BulletinSnapshot> done, CallOptions opts = {});
 
   // --- events ----------------------------------------------------------------
 
   using EventCallback = std::function<void(const Event&)>;
+
   /// Subscribes this endpoint; matching events invoke `on_event` forever.
-  void subscribe(std::vector<std::string> types, EventCallback on_event);
-  void publish(Event event);
+  /// One-way: `done` (optional) completes kOk once the registration is on
+  /// the wire, kUnreachable if no attempt could be transmitted in time.
+  void subscribe(std::vector<std::string> types, EventCallback on_event,
+                 Callback<bool> done = {}, CallOptions opts = {});
+
+  /// One-way, same transmit semantics as subscribe. Never retried after a
+  /// successful transmission (a duplicate publish would be a new event).
+  void publish(Event event, Callback<bool> done = {}, CallOptions opts = {});
 
   // --- parallel process management -------------------------------------------------
 
+  /// Value: the new pid. `on_exit` (optional) fires when the process ends.
+  void spawn(net::NodeId node, ProcessSpec spec, Callback<cluster::Pid> done,
+             std::function<void(cluster::Pid)> on_exit = {},
+             CallOptions opts = {});
+
+  void parallel_command(const std::string& command,
+                        std::vector<net::NodeId> nodes, std::size_t fanout,
+                        Callback<CommandOutcome> done, CallOptions opts = {});
+
+  // --- legacy completion adapters ---------------------------------------------
+  //
+  // The pre-Result callback shapes, kept as thin wrappers so existing user
+  // environments keep compiling during migration. Each folds the Status into
+  // the old "empty/false on any failure" convention — which is exactly the
+  // information loss the Result API exists to remove.
+
+  using GetCallback = std::function<void(std::optional<std::string>)>;
+  [[deprecated("use the Result<std::optional<std::string>> overload")]]
+  void config_get(const std::string& key, GetCallback done);
+
+  using SetCallback = std::function<void(bool ok, std::uint64_t version)>;
+  [[deprecated("use the Result<std::uint64_t> overload")]]
+  void config_set(const std::string& key, const std::string& value,
+                  SetCallback done);
+
+  using AuthCallback = std::function<void(std::optional<Token>)>;
+  [[deprecated("use the Result<Token> overload")]]
+  void authenticate(const std::string& user, const std::string& secret,
+                    AuthCallback done);
+
+  using AuthzCallback = std::function<void(bool allowed)>;
+  [[deprecated("use the Result<bool> overload")]]
+  void authorize(const Token& token, const std::string& action,
+                 const std::string& resource, AuthzCallback done);
+
+  using SaveCallback = std::function<void(bool ok, std::uint64_t version)>;
+  [[deprecated("use the Result<std::uint64_t> overload")]]
+  void checkpoint_save(const std::string& service, const std::string& key,
+                       std::string data, SaveCallback done);
+
+  using LoadCallback = std::function<void(std::optional<std::string>)>;
+  [[deprecated("use the Result<std::optional<std::string>> overload")]]
+  void checkpoint_load(const std::string& service, const std::string& key,
+                       LoadCallback done);
+
+  using QueryCallback = std::function<void(std::vector<NodeRecord>,
+                                           std::vector<AppRecord>)>;
+  [[deprecated("use the Result<BulletinSnapshot> overload")]]
+  void query(BulletinTable table, bool cluster_scope, BulletinFilter filter,
+             QueryCallback done);
+
   using SpawnCallback = std::function<void(bool ok, cluster::Pid pid)>;
-  /// `on_exit` (optional) fires when the process ends.
+  [[deprecated("use the Result<cluster::Pid> overload")]]
   void spawn(net::NodeId node, ProcessSpec spec, SpawnCallback done,
              std::function<void(cluster::Pid)> on_exit = {});
 
   using CommandCallback =
       std::function<void(std::uint64_t succeeded, std::uint64_t failed)>;
-  void parallel_command(const std::string& command, std::vector<net::NodeId> nodes,
-                        std::size_t fanout, CommandCallback done);
+  [[deprecated("use the Result<CommandOutcome> overload")]]
+  void parallel_command(const std::string& command,
+                        std::vector<net::NodeId> nodes, std::size_t fanout,
+                        CommandCallback done);
 
-  /// Calls still awaiting replies (tests).
-  std::size_t pending_calls() const noexcept { return pending_.size(); }
+  // --- observability ----------------------------------------------------------
+
+  /// Calls still awaiting replies.
+  std::size_t pending_calls() const noexcept { return calls_.size(); }
+  /// Retransmissions sent (attempts after the first, across all calls).
+  std::uint64_t retries_sent() const noexcept { return retries_; }
+  /// Attempts that went to a different address than the previous one
+  /// (directory re-resolution or federation failover picked a new target).
+  std::uint64_t reroutes() const noexcept { return reroutes_; }
+  /// Calls failed with kTimeout.
   std::uint64_t timed_out_calls() const noexcept { return timeouts_; }
+  /// Calls failed with kRetriesExhausted.
+  std::uint64_t exhausted_calls() const noexcept { return exhausted_; }
+  /// Calls failed with kUnreachable (no attempt ever transmitted).
+  std::uint64_t unreachable_calls() const noexcept { return unreachable_; }
+  /// Calls the service answered with a refusal (kDenied).
+  std::uint64_t denied_calls() const noexcept { return denied_; }
+  /// Replies that matched no pending call (the original answer already
+  /// arrived and this is a retry's duplicate, or the call already failed).
+  std::uint64_t duplicate_replies() const noexcept { return duplicate_replies_; }
 
  private:
   void handle(const net::Envelope& env) override;
 
-  /// One in-flight call: a type-erased completion plus a timeout handler.
-  struct Pending {
-    std::function<void(const net::Message&)> complete;
-    std::function<void()> expire;
+  /// One in-flight call: typed completion closures plus the retry state
+  /// machine (request to retransmit, resolved options, attempt count,
+  /// backoff timer, last target for reroute accounting).
+  struct Call {
+    std::function<void(const net::Message&)> complete;  // on matched reply
+    std::function<void(Status)> fail;                   // on any failure
+    std::shared_ptr<net::Message> request;
+    std::uint16_t* attempt_field = nullptr;  // request's attempt ordinal slot
+    ServiceKind service = ServiceKind::kConfiguration;  // directory-resolved
+    bool use_directory = true;   // false: fixed_target (PPM calls)
+    bool federated = false;      // dead home -> rotate to a live instance
+    bool one_way = false;        // completes kOk at transmit time
+    net::Address fixed_target;
+    net::CallOptions opts;       // resolved (no inherit markers left)
+    sim::SimTime deadline_at = 0;
+    int attempt = 0;             // attempts started (1 = first send)
+    bool transmitted = false;    // at least one attempt reached the fabric
+    net::Address last_target;
+    sim::EventId timer{};
   };
 
-  std::uint64_t issue(std::function<void(const net::Message&)> complete,
-                      std::function<void()> expire);
+  /// Fills in inherited defaults; !idempotent forces a single attempt.
+  net::CallOptions resolve(net::CallOptions opts) const noexcept;
+
+  /// Registers the call under a fresh id and launches the first attempt.
+  /// The caller has already stamped the id into the request message.
+  void launch(std::uint64_t id, Call call);
+  void start_attempt(std::uint64_t id);
+  void on_attempt_timer(std::uint64_t id);
+  void fail_call(std::uint64_t id, Status status);
   void finish(std::uint64_t id, const net::Message& msg);
+
+  /// Where the next attempt goes. For federated services, the first
+  /// partition (ring-wise from home) whose instance sits on a live node;
+  /// `home_out` receives the un-rotated home address (reroute accounting).
+  net::Address resolve_target(const Call& call, net::Address* home_out);
 
   PhoenixKernel& kernel_;
   net::PartitionId home_partition_;
-  sim::SimTime call_timeout_ = 10 * sim::kSecond;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  sim::SimTime default_deadline_ = 10 * sim::kSecond;
+  net::RetryPolicy policy_;
+  std::unordered_map<std::uint64_t, Call> calls_;
   std::unordered_map<cluster::Pid, std::function<void(cluster::Pid)>> exit_watch_;
   EventCallback on_event_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t retries_ = 0;
+  std::uint64_t reroutes_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t exhausted_ = 0;
+  std::uint64_t unreachable_ = 0;
+  std::uint64_t denied_ = 0;
+  std::uint64_t duplicate_replies_ = 0;
 };
 
 }  // namespace phoenix::kernel

@@ -215,6 +215,15 @@ void DataBulletin::collect(const BulletinFilter& filter, BulletinTable table,
 }
 
 void DataBulletin::handle_query(const DbQueryMsg& q) {
+  // A retransmission of a query whose fan-out is still pending is dropped:
+  // the original's merged reply serves the retry as well. (No replay cache
+  // here — queries are reads, and a fresh execution is always valid.)
+  for (const auto& [id, p] : pending_) {
+    if (!p.done && p.reply_to == q.reply_to && p.query_id == q.query_id) {
+      ++duplicate_queries_;
+      return;
+    }
+  }
   const std::uint64_t local_id = next_local_id_++;
   PendingQuery pending;
   pending.reply_to = q.reply_to;

@@ -165,6 +165,7 @@ struct DbQueryMsg final : net::Message {
   bool aggregate_only = false;
   BulletinFilter filter;
   net::Address reply_to;
+  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
 
   PHOENIX_MESSAGE_TYPE("db.query")
   std::size_t wire_size() const noexcept override {
@@ -240,6 +241,11 @@ class DataBulletin final : public cluster::Daemon {
   /// report, detector restart, bulletin failover). Steady state: 0.
   std::uint64_t deltas_dropped() const noexcept { return deltas_dropped_; }
 
+  /// Retransmitted queries dropped because the original fan-out is still in
+  /// flight (its reply answers the retry too). Queries are reads, so they
+  /// are not replay-cached — a later retry re-executes against fresh rows.
+  std::uint64_t duplicate_queries() const noexcept { return duplicate_queries_; }
+
   /// One staleness sweep now (also runs periodically while started).
   void sweep_stale();
 
@@ -290,6 +296,7 @@ class DataBulletin final : public cluster::Daemon {
   std::unordered_map<std::uint32_t, std::uint32_t> index_;  // node id -> slot
   std::size_t app_row_count_ = 0;
   std::uint64_t deltas_dropped_ = 0;
+  std::uint64_t duplicate_queries_ = 0;
   std::unordered_map<std::uint64_t, PendingQuery> pending_;
   std::uint64_t next_local_id_ = 1;
 };

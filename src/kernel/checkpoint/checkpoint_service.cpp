@@ -121,11 +121,23 @@ void CheckpointService::handle(const net::Envelope& env) {
   const net::Message& m = *env.message;
 
   if (const auto* save = net::message_cast<CheckpointSaveMsg>(m)) {
+    std::shared_ptr<const net::Message> replay;
+    switch (replay_.begin(save->reply_to, save->type_id(), save->request_id,
+                          &replay)) {
+      case net::ReplayCache::Admit::kReplay:
+        send_any(save->reply_to, std::move(replay));
+        return;
+      case net::ReplayCache::Admit::kInFlight:
+        return;  // unreachable: saves execute synchronously
+      case net::ReplayCache::Admit::kNew:
+        break;
+    }
     const std::uint64_t version = save_local(save->service, save->key, save->data);
     if (save->reply_to.valid()) {
       auto reply = std::make_shared<CheckpointSaveReplyMsg>();
       reply->request_id = save->request_id;
       reply->version = version;
+      replay_.complete(save->reply_to, save->type_id(), save->request_id, reply);
       send_any(save->reply_to, std::move(reply));
     }
     return;
@@ -234,19 +246,43 @@ void CheckpointService::handle(const net::Envelope& env) {
   }
 
   if (const auto* delns = net::message_cast<CheckpointDeleteNamespaceMsg>(m)) {
+    std::shared_ptr<const net::Message> replay;
+    switch (replay_.begin(delns->reply_to, delns->type_id(), delns->request_id,
+                          &replay)) {
+      case net::ReplayCache::Admit::kReplay:
+        send_any(delns->reply_to, std::move(replay));
+        return;
+      case net::ReplayCache::Admit::kInFlight:
+        return;
+      case net::ReplayCache::Admit::kNew:
+        break;
+    }
     auto reply = std::make_shared<CheckpointDeleteNamespaceReplyMsg>();
     reply->request_id = delns->request_id;
     reply->removed = delete_namespace(delns->service);
+    replay_.complete(delns->reply_to, delns->type_id(), delns->request_id, reply);
     if (delns->reply_to.valid()) send_any(delns->reply_to, std::move(reply));
     return;
   }
 
   if (const auto* del = net::message_cast<CheckpointDeleteMsg>(m)) {
+    std::shared_ptr<const net::Message> replay;
+    switch (replay_.begin(del->reply_to, del->type_id(), del->request_id,
+                          &replay)) {
+      case net::ReplayCache::Admit::kReplay:
+        send_any(del->reply_to, std::move(replay));
+        return;
+      case net::ReplayCache::Admit::kInFlight:
+        return;
+      case net::ReplayCache::Admit::kNew:
+        break;
+    }
     const bool existed = delete_local(del->service, del->key);
     if (del->reply_to.valid()) {
       auto reply = std::make_shared<CheckpointDeleteReplyMsg>();
       reply->request_id = del->request_id;
       reply->existed = existed;
+      replay_.complete(del->reply_to, del->type_id(), del->request_id, reply);
       send_any(del->reply_to, std::move(reply));
     }
     return;

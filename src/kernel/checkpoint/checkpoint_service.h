@@ -26,6 +26,7 @@
 #include "kernel/service_kind.h"
 #include "kernel/service_msgs.h"
 #include "net/message.h"
+#include "net/rpc.h"
 
 namespace phoenix::kernel {
 
@@ -35,6 +36,7 @@ struct CheckpointSaveMsg final : net::Message {
   std::string data;
   net::Address reply_to;
   std::uint64_t request_id = 0;
+  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
 
   PHOENIX_MESSAGE_TYPE("ckpt.save")
   std::size_t wire_size() const noexcept override {
@@ -68,6 +70,7 @@ struct CheckpointLoadMsg final : net::Message {
   std::string key;
   net::Address reply_to;
   std::uint64_t request_id = 0;
+  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
 
   PHOENIX_MESSAGE_TYPE("ckpt.load")
   std::size_t wire_size() const noexcept override {
@@ -186,6 +189,10 @@ class CheckpointService final : public cluster::Daemon {
   /// replicated across the federation. Returns the local count removed.
   std::size_t delete_namespace(const std::string& service, bool replicate = true);
 
+  /// At-most-once filter for the mutating remote ops (save/delete): a
+  /// retried save replays its original version instead of writing twice.
+  const net::ReplayCache& replay_cache() const noexcept { return replay_; }
+
  private:
   void handle(const net::Envelope& env) override;
   void on_start() override;
@@ -214,6 +221,7 @@ class CheckpointService final : public cluster::Daemon {
   std::uint64_t next_version_ = 1;
   std::unordered_map<std::uint64_t, PendingLoad> pending_loads_;
   std::uint64_t next_fetch_id_ = 1;
+  net::ReplayCache replay_;
 };
 
 }  // namespace phoenix::kernel

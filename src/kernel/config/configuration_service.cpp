@@ -67,9 +67,22 @@ void ConfigurationService::handle(const net::Envelope& env) {
     return;
   }
   if (const auto* set_msg = net::message_cast<ConfigSetMsg>(*env.message)) {
+    std::shared_ptr<const net::Message> replay;
+    switch (replay_.begin(set_msg->reply_to, set_msg->type_id(),
+                          set_msg->request_id, &replay)) {
+      case net::ReplayCache::Admit::kReplay:
+        send_any(set_msg->reply_to, std::move(replay));
+        return;
+      case net::ReplayCache::Admit::kInFlight:
+        return;  // unreachable: sets execute synchronously
+      case net::ReplayCache::Admit::kNew:
+        break;
+    }
     auto reply = std::make_shared<ConfigSetReplyMsg>();
     reply->request_id = set_msg->request_id;
     reply->version = set(set_msg->key, set_msg->value);
+    replay_.complete(set_msg->reply_to, set_msg->type_id(), set_msg->request_id,
+                     reply);
     send_any(set_msg->reply_to, std::move(reply));
     return;
   }

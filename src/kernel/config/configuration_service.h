@@ -15,6 +15,7 @@
 
 #include "cluster/daemon.h"
 #include "net/message.h"
+#include "net/rpc.h"
 
 namespace phoenix::kernel {
 
@@ -23,6 +24,9 @@ struct ConfigGetMsg final : net::Message {
   std::string key;
   net::Address reply_to;
   std::uint64_t request_id = 0;
+  /// Client retransmission ordinal (1 = first send). Rides in the fixed
+  /// wire header (net::kWireHeaderBytes): excluded from wire_size().
+  std::uint16_t attempt = 1;
 
   PHOENIX_MESSAGE_TYPE("config.get")
   std::size_t wire_size() const noexcept override { return key.size() + 16; }
@@ -46,6 +50,7 @@ struct ConfigSetMsg final : net::Message {
   std::string value;
   net::Address reply_to;
   std::uint64_t request_id = 0;
+  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
 
   PHOENIX_MESSAGE_TYPE("config.set")
   std::size_t wire_size() const noexcept override {
@@ -90,6 +95,10 @@ class ConfigurationService final : public cluster::Daemon {
 
   void set_change_hook(ChangeHook hook) { change_hook_ = std::move(hook); }
 
+  /// At-most-once filter for remote sets (retried ConfigSetMsg replays its
+  /// cached reply instead of bumping the version twice).
+  const net::ReplayCache& replay_cache() const noexcept { return replay_; }
+
  private:
   void handle(const net::Envelope& env) override;
 
@@ -100,6 +109,7 @@ class ConfigurationService final : public cluster::Daemon {
   std::map<std::string, Entry> tree_;
   std::uint64_t version_ = 0;
   ChangeHook change_hook_;
+  net::ReplayCache replay_;
 };
 
 }  // namespace phoenix::kernel

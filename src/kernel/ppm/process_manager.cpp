@@ -15,7 +15,8 @@ ProcessManager::ProcessManager(cluster::Cluster& cluster, net::NodeId node,
                                double cpu_share)
     : Daemon(cluster, "ppm", node, port_of(ServiceKind::kProcessManager), cpu_share),
       params_(params),
-      directory_(directory) {}
+      directory_(directory),
+      parallel_cmd_type_(net::intern_message_type("ppm.parallel_cmd")) {}
 
 cluster::Pid ProcessManager::spawn_local(const ProcessSpec& spec,
                                          net::Address exit_notify) {
@@ -68,6 +69,7 @@ void ProcessManager::handle_spawn(const SpawnMsg& msg) {
     reply->ok = true;
     reply->pid = pid;
     reply->node = node_id();
+    replay_.complete(msg.reply_to, msg.type_id(), msg.request_id, reply);
     send_any(msg.reply_to, std::move(reply));
   }
 }
@@ -112,6 +114,20 @@ void ProcessManager::handle_start_service(const StartServiceMsg& msg) {
 }
 
 void ProcessManager::handle_parallel_cmd(const ParallelCmdMsg& msg) {
+  // At-most-once: a retransmission while the fan-out is still running is
+  // dropped (the original's reply answers it); one arriving after completion
+  // replays the aggregated reply without re-executing the command tree.
+  std::shared_ptr<const net::Message> replay;
+  switch (replay_.begin(msg.reply_to, msg.type_id(), msg.request_id, &replay)) {
+    case net::ReplayCache::Admit::kReplay:
+      send_any(msg.reply_to, std::move(replay));
+      return;
+    case net::ReplayCache::Admit::kInFlight:
+      return;
+    case net::ReplayCache::Admit::kNew:
+      break;
+  }
+
   // Execute locally, then fan the remaining nodes out to up to `fanout`
   // children; each child covers a contiguous chunk of the node list.
   std::vector<net::NodeId> rest;
@@ -166,6 +182,7 @@ void ProcessManager::handle_parallel_cmd(const ParallelCmdMsg& msg) {
         reply->request_id = done.request_id;
         reply->succeeded = done.succeeded;
         reply->failed = done.failed;
+        replay_.complete(done.reply_to, parallel_cmd_type_, done.request_id, reply);
         send_any(done.reply_to, std::move(reply));
       }
     }
@@ -182,6 +199,7 @@ void ProcessManager::handle_parallel_cmd(const ParallelCmdMsg& msg) {
       reply->request_id = done.request_id;
       reply->succeeded = done.succeeded;
       reply->failed = done.failed + done.awaiting;  // lost subtrees
+      replay_.complete(done.reply_to, parallel_cmd_type_, done.request_id, reply);
       send_any(done.reply_to, std::move(reply));
     }
   });
@@ -206,6 +224,17 @@ void ProcessManager::handle(const net::Envelope& env) {
     return;
   }
   if (const auto* spawn = net::message_cast<SpawnMsg>(m)) {
+    std::shared_ptr<const net::Message> replay;
+    switch (replay_.begin(spawn->reply_to, spawn->type_id(), spawn->request_id,
+                          &replay)) {
+      case net::ReplayCache::Admit::kReplay:
+        send_any(spawn->reply_to, std::move(replay));
+        return;
+      case net::ReplayCache::Admit::kInFlight:
+        return;  // unreachable: spawns execute synchronously
+      case net::ReplayCache::Admit::kNew:
+        break;
+    }
     handle_spawn(*spawn);
     return;
   }
@@ -252,6 +281,7 @@ void ProcessManager::handle(const net::Envelope& env) {
         reply->request_id = done.request_id;
         reply->succeeded = done.succeeded;
         reply->failed = done.failed;
+        replay_.complete(done.reply_to, parallel_cmd_type_, done.request_id, reply);
         send_any(done.reply_to, std::move(reply));
       }
     }

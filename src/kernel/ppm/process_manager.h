@@ -17,6 +17,7 @@
 #include "kernel/ft_params.h"
 #include "kernel/service_kind.h"
 #include "net/message.h"
+#include "net/rpc.h"
 
 namespace phoenix::kernel {
 
@@ -56,6 +57,7 @@ struct SpawnMsg final : net::Message {
   net::Address reply_to;       // SpawnReplyMsg destination (invalid = none)
   net::Address exit_notify;    // ExitNotifyMsg destination (invalid = none)
   std::uint64_t request_id = 0;
+  std::uint16_t attempt = 1;   // header-resident; excluded from wire_size()
 
   PHOENIX_MESSAGE_TYPE("ppm.spawn")
   std::size_t wire_size() const noexcept override {
@@ -149,6 +151,7 @@ struct ParallelCmdMsg final : net::Message {
   std::size_t fanout = 4;
   net::Address reply_to;
   std::uint64_t request_id = 0;
+  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
 
   PHOENIX_MESSAGE_TYPE("ppm.parallel_cmd")
   std::size_t wire_size() const noexcept override {
@@ -179,6 +182,11 @@ class ProcessManager final : public cluster::Daemon {
   /// Local command execution cost (per node, per command).
   static constexpr sim::SimTime kCommandExecTime = 5 * sim::kMillisecond;
 
+  /// At-most-once filter for spawn and parallel-command requests. A retried
+  /// spawn replays its original pid; a parallel command retried while the
+  /// fan-out still runs is suppressed (the original reply serves it).
+  const net::ReplayCache& replay_cache() const noexcept { return replay_; }
+
  private:
   void handle(const net::Envelope& env) override;
   void handle_spawn(const SpawnMsg& msg);
@@ -189,6 +197,7 @@ class ProcessManager final : public cluster::Daemon {
 
   const FtParams& params_;
   ServiceDirectory* directory_;  // may be null in unit tests
+  net::MessageTypeId parallel_cmd_type_;  // dedup key type for cmd replies
 
   /// In-flight parallel command aggregation state.
   struct PendingCmd {
@@ -200,6 +209,7 @@ class ProcessManager final : public cluster::Daemon {
   };
   std::unordered_map<std::uint64_t, PendingCmd> pending_cmds_;
   std::uint64_t next_cmd_id_ = 1;
+  net::ReplayCache replay_;
 };
 
 }  // namespace phoenix::kernel

@@ -103,20 +103,44 @@ bool SecurityService::authorize(const Token& token, const std::string& action,
 
 void SecurityService::handle(const net::Envelope& env) {
   if (const auto* auth = net::message_cast<AuthRequestMsg>(*env.message)) {
+    std::shared_ptr<const net::Message> replay;
+    switch (replay_.begin(auth->reply_to, auth->type_id(), auth->request_id,
+                          &replay)) {
+      case net::ReplayCache::Admit::kReplay:
+        send_any(auth->reply_to, std::move(replay));
+        return;
+      case net::ReplayCache::Admit::kInFlight:
+        return;  // unreachable: auth executes synchronously
+      case net::ReplayCache::Admit::kNew:
+        break;
+    }
     auto reply = std::make_shared<AuthReplyMsg>();
     reply->request_id = auth->request_id;
     if (auto token = authenticate(auth->user, auth->secret)) {
       reply->ok = true;
       reply->token = *token;
     }
+    replay_.complete(auth->reply_to, auth->type_id(), auth->request_id, reply);
     send_any(auth->reply_to, std::move(reply));
     return;
   }
   if (const auto* authz = net::message_cast<AuthzRequestMsg>(*env.message)) {
+    std::shared_ptr<const net::Message> replay;
+    switch (replay_.begin(authz->reply_to, authz->type_id(), authz->request_id,
+                          &replay)) {
+      case net::ReplayCache::Admit::kReplay:
+        send_any(authz->reply_to, std::move(replay));
+        return;
+      case net::ReplayCache::Admit::kInFlight:
+        return;  // unreachable: authz executes synchronously
+      case net::ReplayCache::Admit::kNew:
+        break;
+    }
     auto reply = std::make_shared<AuthzReplyMsg>();
     reply->request_id = authz->request_id;
     reply->allowed =
         authorize(authz->token, authz->action, authz->resource, &reply->reason);
+    replay_.complete(authz->reply_to, authz->type_id(), authz->request_id, reply);
     send_any(authz->reply_to, std::move(reply));
     return;
   }

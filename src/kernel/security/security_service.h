@@ -17,6 +17,7 @@
 
 #include "cluster/daemon.h"
 #include "net/message.h"
+#include "net/rpc.h"
 
 namespace phoenix::kernel {
 
@@ -35,6 +36,7 @@ struct AuthRequestMsg final : net::Message {
   std::string secret;
   net::Address reply_to;
   std::uint64_t request_id = 0;
+  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
 
   PHOENIX_MESSAGE_TYPE("security.auth")
   std::size_t wire_size() const noexcept override {
@@ -57,6 +59,7 @@ struct AuthzRequestMsg final : net::Message {
   std::string resource;  // e.g. "pool/batch"
   net::Address reply_to;
   std::uint64_t request_id = 0;
+  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
 
   PHOENIX_MESSAGE_TYPE("security.authz")
   std::size_t wire_size() const noexcept override {
@@ -115,6 +118,10 @@ class SecurityService final : public cluster::Daemon {
   /// True when the token is genuine and unexpired.
   bool validate(const Token& token) const;
 
+  /// At-most-once filter for remote auth/authz (a retried authenticate
+  /// replays the original token instead of burning a fresh nonce).
+  const net::ReplayCache& replay_cache() const noexcept { return replay_; }
+
  private:
   void handle(const net::Envelope& env) override;
   std::uint64_t sign(const std::string& user, std::uint64_t nonce,
@@ -134,6 +141,7 @@ class SecurityService final : public cluster::Daemon {
   std::uint64_t signing_key_;
   std::uint64_t next_nonce_ = 1;
   sim::SimTime token_lifetime_ = 8 * sim::kHour;
+  net::ReplayCache replay_;
 };
 
 }  // namespace phoenix::kernel

@@ -64,6 +64,11 @@ bool Fabric::send(const Address& from, const Address& to, NetworkId network,
   st.bytes_sent += bytes;
   st.bytes_by_type.slot(message->type_id()) += bytes;
 
+  if (drop_ && drop_(from, to, *message)) {
+    ++st.messages_lost;  // targeted fault injection; sender cannot tell
+    return true;
+  }
+
   if (latency_.loss_probability > 0.0 &&
       engine_.rng().chance(latency_.loss_probability)) {
     ++st.messages_lost;  // vanished on the wire; sender cannot tell

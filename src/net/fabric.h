@@ -57,6 +57,13 @@ class Fabric {
   /// Predicate the cluster layer installs: is this node powered and alive?
   using NodeAlivePredicate = std::function<bool(NodeId)>;
 
+  /// Fault-injection hook: returns true to silently discard a message that
+  /// was accepted on the wire (counted as messages_lost, like random loss).
+  /// Checked before the random-loss draw, so targeted drops consume no
+  /// randomness and stay deterministic.
+  using DropFilter =
+      std::function<bool(const Address& from, const Address& to, const Message&)>;
+
   Fabric(sim::Engine& engine, std::size_t node_count, std::size_t network_count);
 
   std::size_t node_count() const noexcept { return node_count_; }
@@ -64,6 +71,7 @@ class Fabric {
 
   void set_delivery_handler(DeliveryHandler handler) { deliver_ = std::move(handler); }
   void set_node_alive_predicate(NodeAlivePredicate pred) { node_alive_ = std::move(pred); }
+  void set_drop_filter(DropFilter filter) { drop_ = std::move(filter); }
 
   LatencyModel& latency_model() noexcept { return latency_; }
 
@@ -119,6 +127,7 @@ class Fabric {
   LatencyModel latency_;
   DeliveryHandler deliver_;
   NodeAlivePredicate node_alive_;
+  DropFilter drop_;
   std::vector<NetworkStats> stats_;
 };
 

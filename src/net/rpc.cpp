@@ -1,0 +1,67 @@
+#include "net/rpc.h"
+
+#include <utility>
+
+namespace phoenix::net {
+
+std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kTimeout: return "timeout";
+    case Status::kDenied: return "denied";
+    case Status::kUnreachable: return "unreachable";
+    case Status::kRetriesExhausted: return "retries_exhausted";
+  }
+  return "?";
+}
+
+sim::SimTime RetryPolicy::rto_for(int attempt) const noexcept {
+  double rto = static_cast<double>(initial_rto);
+  for (int i = 1; i < attempt; ++i) {
+    rto *= multiplier;
+    if (rto >= static_cast<double>(max_rto)) return max_rto;
+  }
+  const auto t = static_cast<sim::SimTime>(rto);
+  return t < max_rto ? t : max_rto;
+}
+
+sim::SimTime RetryPolicy::jittered(sim::SimTime rto, sim::Rng& rng) const {
+  if (jitter_frac <= 0.0) return rto;
+  const double spread = static_cast<double>(rto) * jitter_frac;
+  const double t = static_cast<double>(rto) + rng.uniform(-spread, spread);
+  return t < 1.0 ? sim::SimTime{1} : static_cast<sim::SimTime>(t);
+}
+
+ReplayCache::Admit ReplayCache::begin(const Address& client, MessageTypeId type,
+                                      std::uint64_t request_id,
+                                      std::shared_ptr<const Message>* replay) {
+  if (request_id == 0 || !client.valid()) return Admit::kNew;  // untracked
+  const Key key{client, type, request_id};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.reply == nullptr) {
+      ++in_flight_hits_;
+      return Admit::kInFlight;
+    }
+    ++replays_;
+    if (replay != nullptr) *replay = it->second.reply;
+    return Admit::kReplay;
+  }
+  entries_.emplace(key, Entry{});
+  order_.push_back(key);
+  while (entries_.size() > capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+  return Admit::kNew;
+}
+
+void ReplayCache::complete(const Address& client, MessageTypeId type,
+                           std::uint64_t request_id,
+                           std::shared_ptr<const Message> reply) {
+  if (request_id == 0 || !client.valid()) return;
+  auto it = entries_.find(Key{client, type, request_id});
+  if (it != entries_.end()) it->second.reply = std::move(reply);
+}
+
+}  // namespace phoenix::net

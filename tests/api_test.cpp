@@ -1,5 +1,6 @@
-// KernelApi tests: the uniform RPC facade — correlation, timeouts, and the
-// full surface (config, security, checkpoint, bulletin, events, PPM).
+// KernelApi tests: the uniform RPC facade — correlation, Result/Status
+// completion, per-call options, and the full surface (config, security,
+// checkpoint, bulletin, events, PPM).
 #include "kernel/api.h"
 
 #include <gtest/gtest.h>
@@ -9,6 +10,9 @@
 namespace phoenix::kernel {
 namespace {
 
+using net::CallOptions;
+using net::Result;
+using net::Status;
 using phoenix::testing::KernelHarness;
 using phoenix::testing::fast_ft_params;
 using phoenix::testing::small_cluster_spec;
@@ -27,81 +31,94 @@ class ApiTest : public ::testing::Test {
 
 TEST_F(ApiTest, ConfigRoundTrip) {
   bool set_done = false;
-  api.config_set("api/key", "hello", [&](bool ok, std::uint64_t version) {
+  api.config_set("api/key", "hello", [&](Result<std::uint64_t> r) {
     set_done = true;
-    EXPECT_TRUE(ok);
-    EXPECT_GT(version, 0u);
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_GT(r.value, 0u);
   });
   h.run_s(1.0);
   EXPECT_TRUE(set_done);
 
-  std::optional<std::string> got;
-  api.config_get("api/key", [&](std::optional<std::string> value) { got = value; });
+  Result<std::optional<std::string>> got;
+  api.config_get("api/key",
+                 [&](Result<std::optional<std::string>> r) { got = std::move(r); });
   h.run_s(1.0);
-  ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(*got, "hello");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got.value.has_value());
+  EXPECT_EQ(*got.value, "hello");
 
-  bool missing_done = false;
-  api.config_get("api/nope", [&](std::optional<std::string> value) {
-    missing_done = true;
-    EXPECT_FALSE(value.has_value());
+  // A missing key is still a successful call: the service answered.
+  Result<std::optional<std::string>> missing;
+  api.config_get("api/nope", [&](Result<std::optional<std::string>> r) {
+    missing = std::move(r);
   });
   h.run_s(1.0);
-  EXPECT_TRUE(missing_done);
+  EXPECT_EQ(missing.status, Status::kOk);
+  EXPECT_FALSE(missing.value.has_value());
 }
 
 TEST_F(ApiTest, SecurityFlow) {
   h.kernel.security().add_user("alice", "pw", {"dev"});
   h.kernel.security().grant("dev", "deploy", "env/");
 
-  std::optional<Token> token;
-  api.authenticate("alice", "pw", [&](std::optional<Token> t) { token = t; });
+  Result<Token> token;
+  api.authenticate("alice", "pw", [&](Result<Token> r) { token = std::move(r); });
   h.run_s(1.0);
-  ASSERT_TRUE(token.has_value());
+  ASSERT_TRUE(token.ok());
 
-  bool allowed = false, denied = true;
-  api.authorize(*token, "deploy", "env/prod", [&](bool ok) { allowed = ok; });
-  api.authorize(*token, "shutdown", "env/prod", [&](bool ok) { denied = ok; });
+  Status allowed = Status::kUnreachable;
+  Status refused = Status::kUnreachable;
+  api.authorize(token.value, "deploy", "env/prod",
+                [&](Result<bool> r) { allowed = r.status; });
+  api.authorize(token.value, "shutdown", "env/prod",
+                [&](Result<bool> r) { refused = r.status; });
   h.run_s(1.0);
-  EXPECT_TRUE(allowed);
-  EXPECT_FALSE(denied);
+  EXPECT_EQ(allowed, Status::kOk);
+  EXPECT_EQ(refused, Status::kDenied);
 
-  std::optional<Token> bad = Token{};
-  api.authenticate("alice", "wrong", [&](std::optional<Token> t) { bad = t; });
+  // Bad credentials are a refusal, not a transport failure.
+  Result<Token> bad;
+  api.authenticate("alice", "wrong", [&](Result<Token> r) { bad = std::move(r); });
   h.run_s(1.0);
-  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status, Status::kDenied);
+  EXPECT_EQ(api.denied_calls(), 2u);
 }
 
 TEST_F(ApiTest, CheckpointRoundTrip) {
-  bool saved = false;
+  Status saved = Status::kUnreachable;
   api.checkpoint_save("apisvc", "state", "blob-data",
-                      [&](bool ok, std::uint64_t) { saved = ok; });
+                      [&](Result<std::uint64_t> r) { saved = r.status; });
   h.run_s(1.0);
-  EXPECT_TRUE(saved);
+  EXPECT_EQ(saved, Status::kOk);
 
-  std::optional<std::string> loaded;
-  api.checkpoint_load("apisvc", "state",
-                      [&](std::optional<std::string> data) { loaded = data; });
+  Result<std::optional<std::string>> loaded;
+  api.checkpoint_load("apisvc", "state", [&](Result<std::optional<std::string>> r) {
+    loaded = std::move(r);
+  });
   h.run_s(2.0);
-  ASSERT_TRUE(loaded.has_value());
-  EXPECT_EQ(*loaded, "blob-data");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value.has_value());
+  EXPECT_EQ(*loaded.value, "blob-data");
 }
 
 TEST_F(ApiTest, ClusterQueryThroughHomePartition) {
   h.run_s(3.0);  // detectors fill the bulletin
-  std::vector<NodeRecord> nodes;
+  Result<BulletinSnapshot> snap;
   api.query(BulletinTable::kNodes, /*cluster_scope=*/true, {},
-            [&](std::vector<NodeRecord> n, std::vector<AppRecord>) {
-              nodes = std::move(n);
-            });
+            [&](Result<BulletinSnapshot> r) { snap = std::move(r); });
   h.run_s(2.0);
-  EXPECT_EQ(nodes.size(), h.cluster.node_count());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.value.nodes.size(), h.cluster.node_count());
+  EXPECT_EQ(snap.value.partitions_included, h.cluster.spec().partitions);
 }
 
 TEST_F(ApiTest, EventsSubscribeAndPublish) {
   std::vector<std::string> seen;
-  api.subscribe({"api.*"}, [&](const Event& e) { seen.push_back(e.type); });
+  Status subscribed = Status::kUnreachable;
+  api.subscribe({"api.*"}, [&](const Event& e) { seen.push_back(e.type); },
+                [&](Result<bool> r) { subscribed = r.status; });
   h.run_s(1.0);
+  EXPECT_EQ(subscribed, Status::kOk);  // one-way: kOk at transmit time
 
   Event e;
   e.type = "api.ping";
@@ -115,60 +132,70 @@ TEST_F(ApiTest, EventsSubscribeAndPublish) {
 }
 
 TEST_F(ApiTest, SpawnWithExitNotification) {
-  bool spawned = false;
-  cluster::Pid pid = 0;
+  Result<cluster::Pid> spawned;
   cluster::Pid exited_pid = 0;
   api.spawn(h.cluster.compute_nodes(net::PartitionId{0})[1],
             ProcessSpec{"apijob", "alice", 1.0, 2 * sim::kSecond, 0},
-            [&](bool ok, cluster::Pid p) {
-              spawned = ok;
-              pid = p;
-            },
+            [&](Result<cluster::Pid> r) { spawned = std::move(r); },
             [&](cluster::Pid p) { exited_pid = p; });
   h.run_s(1.0);
-  EXPECT_TRUE(spawned);
-  EXPECT_GT(pid, 0u);
+  EXPECT_TRUE(spawned.ok());
+  EXPECT_GT(spawned.value, 0u);
   EXPECT_EQ(exited_pid, 0u);
   h.run_s(3.0);
-  EXPECT_EQ(exited_pid, pid);
+  EXPECT_EQ(exited_pid, spawned.value);
 }
 
 TEST_F(ApiTest, ParallelCommandAggregates) {
   std::vector<net::NodeId> nodes;
   for (const auto& node : h.cluster.nodes()) nodes.push_back(node.id());
-  std::uint64_t ok = 0, bad = 1;
-  api.parallel_command("sync", nodes, 4, [&](std::uint64_t s, std::uint64_t f) {
-    ok = s;
-    bad = f;
-  });
+  Result<CommandOutcome> outcome;
+  api.parallel_command("sync", nodes, 4,
+                       [&](Result<CommandOutcome> r) { outcome = std::move(r); });
   h.run_s(10.0);
-  EXPECT_EQ(ok, h.cluster.node_count());
-  EXPECT_EQ(bad, 0u);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value.succeeded, h.cluster.node_count());
+  EXPECT_EQ(outcome.value.failed, 0u);
 }
 
-TEST_F(ApiTest, CallTimeoutFiresWhenServiceUnreachable) {
-  api.set_call_timeout(2 * sim::kSecond);
-  // Kill the configuration service AND its host node so nothing answers.
+TEST_F(ApiTest, UnreachableServiceFailsWithStatus) {
+  // Kill the configuration service AND its host node so no attempt can even
+  // be transmitted: the call must fail kUnreachable (not kTimeout — nothing
+  // was ever on the wire).
   h.injector.crash_node(h.cluster.server_node(net::PartitionId{0}));
-  bool completed = false;
-  bool got_value = true;
-  api.config_get("any", [&](std::optional<std::string> value) {
-    completed = true;
-    got_value = value.has_value();
-  });
+  Status status = Status::kOk;
+  api.config_get("any",
+                 [&](Result<std::optional<std::string>> r) { status = r.status; },
+                 CallOptions{.deadline = 2 * sim::kSecond});
   h.run_s(5.0);
-  EXPECT_TRUE(completed);
-  EXPECT_FALSE(got_value);
-  EXPECT_EQ(api.timed_out_calls(), 1u);
+  EXPECT_EQ(status, Status::kUnreachable);
+  EXPECT_EQ(api.unreachable_calls(), 1u);
+  EXPECT_EQ(api.timed_out_calls(), 0u);
   EXPECT_EQ(api.pending_calls(), 0u);
+}
+
+TEST_F(ApiTest, NonIdempotentCallIsNeverRetried) {
+  // With idempotent=false the call gets exactly one attempt even though the
+  // retry budget would allow more.
+  h.injector.drop_next_to(
+      h.kernel.service_address(ServiceKind::kConfiguration, net::PartitionId{0}),
+      1);
+  Status status = Status::kOk;
+  api.config_set("api/oneshot", "v",
+                 [&](Result<std::uint64_t> r) { status = r.status; },
+                 CallOptions{.deadline = 8 * sim::kSecond, .idempotent = false});
+  h.run_s(10.0);
+  EXPECT_EQ(status, Status::kRetriesExhausted);
+  EXPECT_EQ(api.retries_sent(), 0u);
 }
 
 TEST_F(ApiTest, EmptyParallelCommandCompletesImmediately) {
   bool done = false;
-  api.parallel_command("noop", {}, 4, [&](std::uint64_t s, std::uint64_t f) {
+  api.parallel_command("noop", {}, 4, [&](Result<CommandOutcome> r) {
     done = true;
-    EXPECT_EQ(s, 0u);
-    EXPECT_EQ(f, 0u);
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_EQ(r.value.succeeded, 0u);
+    EXPECT_EQ(r.value.failed, 0u);
   });
   EXPECT_TRUE(done);
 }

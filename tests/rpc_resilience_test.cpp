@@ -1,0 +1,230 @@
+// Resilient-RPC substrate tests (DESIGN.md §9): at-most-once dedup under
+// reply loss, the exponential backoff schedule, deadline-vs-budget status
+// semantics, and federation failover re-routing.
+#include "net/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/api.h"
+#include "kernel_fixture.h"
+
+namespace phoenix::kernel {
+namespace {
+
+using net::CallOptions;
+using net::ReplayCache;
+using net::Result;
+using net::RetryPolicy;
+using net::Status;
+using phoenix::testing::KernelHarness;
+using phoenix::testing::fast_ft_params;
+using phoenix::testing::small_cluster_spec;
+
+// --- substrate units --------------------------------------------------------
+
+struct FakeReply final : net::Message {
+  PHOENIX_MESSAGE_TYPE("test.reply")
+  std::size_t wire_size() const noexcept override { return net::kWireHeaderBytes; }
+};
+
+TEST(RetryPolicyTest, BackoffDoublesAndCaps) {
+  RetryPolicy p;  // 2s initial, x2, 8s cap
+  EXPECT_EQ(p.rto_for(1), 2 * sim::kSecond);
+  EXPECT_EQ(p.rto_for(2), 4 * sim::kSecond);
+  EXPECT_EQ(p.rto_for(3), 8 * sim::kSecond);
+  EXPECT_EQ(p.rto_for(4), 8 * sim::kSecond);  // capped
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinFraction) {
+  RetryPolicy p;
+  p.jitter_frac = 0.25;
+  sim::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const sim::SimTime t = p.jittered(4 * sim::kSecond, rng);
+    EXPECT_GE(t, 3 * sim::kSecond);
+    EXPECT_LE(t, 5 * sim::kSecond);
+  }
+}
+
+TEST(ReplayCacheTest, TriStateAdmission) {
+  ReplayCache cache;
+  const net::Address client{net::NodeId{1}, net::PortId{30}};
+  const net::MessageTypeId type = net::intern_message_type("test.op");
+
+  EXPECT_EQ(cache.begin(client, type, 7), ReplayCache::Admit::kNew);
+  // Duplicate while executing: suppressed.
+  EXPECT_EQ(cache.begin(client, type, 7), ReplayCache::Admit::kInFlight);
+  EXPECT_EQ(cache.duplicates_suppressed(), 1u);
+
+  auto reply = std::make_shared<FakeReply>();
+  cache.complete(client, type, 7, reply);
+  std::shared_ptr<const net::Message> replayed;
+  EXPECT_EQ(cache.begin(client, type, 7, &replayed), ReplayCache::Admit::kReplay);
+  EXPECT_EQ(replayed.get(), reply.get());
+  EXPECT_EQ(cache.replays_served(), 1u);
+
+  // Different request id, same client: fresh.
+  EXPECT_EQ(cache.begin(client, type, 8), ReplayCache::Admit::kNew);
+  // Id 0 is untracked.
+  EXPECT_EQ(cache.begin(client, type, 0), ReplayCache::Admit::kNew);
+  EXPECT_EQ(cache.begin(client, type, 0), ReplayCache::Admit::kNew);
+}
+
+TEST(ReplayCacheTest, FifoEvictionBoundsTheCache) {
+  ReplayCache cache(4);
+  const net::Address client{net::NodeId{1}, net::PortId{30}};
+  const net::MessageTypeId type = net::intern_message_type("test.op");
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    cache.begin(client, type, id);
+    cache.complete(client, type, id, std::make_shared<FakeReply>());
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  // Oldest entries were evicted: a retry of id 1 re-executes.
+  EXPECT_EQ(cache.begin(client, type, 1), ReplayCache::Admit::kNew);
+  // Newest still replays.
+  std::shared_ptr<const net::Message> replayed;
+  EXPECT_EQ(cache.begin(client, type, 6, &replayed), ReplayCache::Admit::kReplay);
+  EXPECT_NE(replayed, nullptr);
+}
+
+// --- kernel integration -----------------------------------------------------
+
+class RpcResilienceTest : public ::testing::Test {
+ protected:
+  RpcResilienceTest()
+      : h(small_cluster_spec(), fast_ft_params()),
+        api(h.cluster, h.cluster.compute_nodes(net::PartitionId{1})[0], h.kernel) {
+    h.run_s(2.0);
+  }
+
+  KernelHarness h;
+  KernelApi api;
+};
+
+TEST_F(RpcResilienceTest, ConfigSetDedupUnderReplyLoss) {
+  const std::uint64_t version_before = h.kernel.config().version();
+
+  // Drop exactly the reply; the request reaches the service and applies.
+  h.injector.drop_next_to(api.address(), 1);
+  Result<std::uint64_t> r;
+  api.config_set("rpc/key", "value", [&](Result<std::uint64_t> got) { r = got; });
+  h.run_s(10.0);
+
+  // The retry was answered from the replay cache: exactly ONE state change.
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.value, version_before + 1);
+  EXPECT_EQ(h.kernel.config().version(), version_before + 1);
+  EXPECT_EQ(h.kernel.config().replay_cache().replays_served(), 1u);
+  EXPECT_EQ(api.retries_sent(), 1u);
+  EXPECT_EQ(api.pending_calls(), 0u);
+}
+
+TEST_F(RpcResilienceTest, CheckpointSaveDedupUnderReplyLoss) {
+  h.injector.drop_next_to(api.address(), 1);
+  Result<std::uint64_t> first;
+  api.checkpoint_save("rpcsvc", "state", "payload",
+                      [&](Result<std::uint64_t> r) { first = r; });
+  h.run_s(10.0);
+  ASSERT_EQ(first.status, Status::kOk);
+
+  // The retried save replayed its original version instead of writing twice:
+  // the next save gets version + 1, not version + 2.
+  Result<std::uint64_t> second;
+  api.checkpoint_save("rpcsvc", "other", "payload2",
+                      [&](Result<std::uint64_t> r) { second = r; });
+  h.run_s(5.0);
+  ASSERT_EQ(second.status, Status::kOk);
+  EXPECT_EQ(second.value, first.value + 1);
+
+  const auto& cs = h.kernel.checkpoint_service(net::PartitionId{1});
+  EXPECT_EQ(cs.replay_cache().replays_served(), 1u);
+  EXPECT_EQ(api.retries_sent(), 1u);
+}
+
+TEST_F(RpcResilienceTest, BackoffScheduleMatchesPolicy) {
+  h.cluster.tracer().set_capacity(65536);
+  h.cluster.tracer().set_enabled(true);
+  api.retry_policy().jitter_frac = 0.0;  // deterministic schedule
+
+  // Dead daemon on a live node: every attempt transmits, nothing answers.
+  h.injector.kill_daemon(h.kernel.config());
+  const sim::SimTime t0 = h.cluster.now();
+  Status status = Status::kOk;
+  sim::SimTime done_at = 0;
+  api.config_get("any",
+                 [&](Result<std::optional<std::string>> r) {
+                   status = r.status;
+                   done_at = h.cluster.now();
+                 },
+                 CallOptions{.deadline = 60 * sim::kSecond, .max_retries = 3});
+  h.run_s(30.0);
+
+  // Attempts at t0, +2s, +6s, +14s; the budget dies at +22s.
+  EXPECT_EQ(status, Status::kRetriesExhausted);
+  EXPECT_EQ(api.retries_sent(), 3u);
+  EXPECT_EQ(api.exhausted_calls(), 1u);
+  EXPECT_EQ(done_at, t0 + 22 * sim::kSecond);
+
+  std::vector<sim::SimTime> retry_times;
+  for (const auto& e : h.cluster.tracer().filtered("api")) {
+    if (e.message.rfind("retry ", 0) == 0) retry_times.push_back(e.at);
+  }
+  ASSERT_EQ(retry_times.size(), 3u);
+  EXPECT_EQ(retry_times[0], t0 + 2 * sim::kSecond);
+  EXPECT_EQ(retry_times[1], t0 + 6 * sim::kSecond);
+  EXPECT_EQ(retry_times[2], t0 + 14 * sim::kSecond);
+}
+
+TEST_F(RpcResilienceTest, DeadlineExpiresWithTimeoutNotExhausted) {
+  h.injector.kill_daemon(h.kernel.config());
+  Status status = Status::kOk;
+  api.config_get("any",
+                 [&](Result<std::optional<std::string>> r) { status = r.status; },
+                 CallOptions{.deadline = 3 * sim::kSecond, .max_retries = 10});
+  h.run_s(10.0);
+
+  // The budget allowed 10 retries, but the deadline came first — and at
+  // least one attempt was on the wire, so this is kTimeout, not
+  // kUnreachable.
+  EXPECT_EQ(status, Status::kTimeout);
+  EXPECT_EQ(api.timed_out_calls(), 1u);
+  EXPECT_EQ(api.exhausted_calls(), 0u);
+}
+
+TEST_F(RpcResilienceTest, QueryDuringFailoverReroutesToFederationPeer) {
+  h.run_s(3.0);  // detectors fill both bulletin instances
+
+  // The api's home partition loses its server node (bulletin instance dead,
+  // recovery not yet run). The call must re-route to the peer instance and
+  // still complete.
+  h.injector.crash_node(h.cluster.server_node(net::PartitionId{1}));
+  Result<BulletinSnapshot> snap;
+  api.query(BulletinTable::kNodes, /*cluster_scope=*/true, {},
+            [&](Result<BulletinSnapshot> r) { snap = std::move(r); });
+  h.run_s(2.0);
+
+  EXPECT_EQ(snap.status, Status::kOk);
+  EXPECT_GE(api.reroutes(), 1u);
+  EXPECT_FALSE(snap.value.nodes.empty());
+}
+
+TEST_F(RpcResilienceTest, RetrySucceedsAfterServiceRecovery) {
+  // Kill the home checkpoint instance's node right before the call. The
+  // attempt re-resolves through the directory, sees the dead home, and
+  // rotates to a live federation peer — a mutating call, not just a query,
+  // completes across the failover.
+  h.run_s(2.0);
+  h.injector.crash_node(h.cluster.server_node(net::PartitionId{1}));
+  Result<std::uint64_t> r;
+  api.checkpoint_save("failover", "key", "data",
+                      [&](Result<std::uint64_t> got) { r = got; },
+                      CallOptions{.deadline = 30 * sim::kSecond});
+  h.run_s(30.0);
+
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_GE(api.reroutes(), 1u);
+  EXPECT_EQ(api.pending_calls(), 0u);
+}
+
+}  // namespace
+}  // namespace phoenix::kernel
