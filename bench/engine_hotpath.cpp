@@ -14,12 +14,16 @@
 //                engine drains; measures the full on-wire accounting path.
 //   publish    - EventService::publish_local against a realistic registry
 //                (exact, prefix, wildcard, and non-matching subscriptions).
+//   dispatch   - per-envelope handler routing: the ServiceRuntime dense
+//                type-id table vs the message_cast if-chain every service
+//                hand-rolled before it.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bench_util.h"
+#include "kernel/runtime/service_runtime.h"
 #include "net/fabric.h"
 #include "sim/engine.h"
 
@@ -157,6 +161,131 @@ double bench_publish(std::size_t publishes) {
   return static_cast<double>(publishes) / seconds_since(t0);
 }
 
+// ---------------------------------------------------------------------------
+// Handler dispatch: ServiceRuntime table vs the old message_cast if-chain.
+// ---------------------------------------------------------------------------
+
+// Ten message types, the size of a busy service's protocol (the GSD handles
+// eight). Traffic round-robins across all of them, so the if-chain pays an
+// average of ~5.5 failed dynamic_casts per envelope while the table pays one
+// array index regardless of protocol size.
+#define BENCH_DISPATCH_MSG(N)                                          \
+  struct DispatchMsg##N final : net::Message {                         \
+    std::uint64_t payload = N;                                         \
+    PHOENIX_MESSAGE_TYPE("bench.dispatch" #N)                          \
+    std::size_t wire_size() const noexcept override { return 64; }     \
+  };
+BENCH_DISPATCH_MSG(0)
+BENCH_DISPATCH_MSG(1)
+BENCH_DISPATCH_MSG(2)
+BENCH_DISPATCH_MSG(3)
+BENCH_DISPATCH_MSG(4)
+BENCH_DISPATCH_MSG(5)
+BENCH_DISPATCH_MSG(6)
+BENCH_DISPATCH_MSG(7)
+BENCH_DISPATCH_MSG(8)
+BENCH_DISPATCH_MSG(9)
+#undef BENCH_DISPATCH_MSG
+
+/// The pre-runtime idiom: every service's handle() was a chain of
+/// message_cast (dynamic_cast) attempts, one per protocol message.
+class IfChainService final : public cluster::Daemon {
+ public:
+  IfChainService(cluster::Cluster& cluster, net::NodeId node)
+      : Daemon(cluster, "bench.ifchain", node, net::PortId{100}) {}
+
+  std::uint64_t sink = 0;
+
+ private:
+  void handle(const net::Envelope& env) override {
+    const net::Message& m = *env.message;
+    if (const auto* p = net::message_cast<DispatchMsg0>(m)) { sink += p->payload; return; }
+    if (const auto* p = net::message_cast<DispatchMsg1>(m)) { sink += p->payload; return; }
+    if (const auto* p = net::message_cast<DispatchMsg2>(m)) { sink += p->payload; return; }
+    if (const auto* p = net::message_cast<DispatchMsg3>(m)) { sink += p->payload; return; }
+    if (const auto* p = net::message_cast<DispatchMsg4>(m)) { sink += p->payload; return; }
+    if (const auto* p = net::message_cast<DispatchMsg5>(m)) { sink += p->payload; return; }
+    if (const auto* p = net::message_cast<DispatchMsg6>(m)) { sink += p->payload; return; }
+    if (const auto* p = net::message_cast<DispatchMsg7>(m)) { sink += p->payload; return; }
+    if (const auto* p = net::message_cast<DispatchMsg8>(m)) { sink += p->payload; return; }
+    if (const auto* p = net::message_cast<DispatchMsg9>(m)) { sink += p->payload; return; }
+  }
+};
+
+/// The same protocol on the runtime's dense type-id table (standalone: no
+/// directory/params, so only dispatch and counters are in play).
+class TableService final : public kernel::ServiceRuntime {
+ public:
+  TableService(cluster::Cluster& cluster, net::NodeId node)
+      : ServiceRuntime(cluster, "bench.table", node, net::PortId{101},
+                       /*directory=*/nullptr, /*params=*/nullptr, Options{}) {
+    on<DispatchMsg0>([this](const DispatchMsg0& m) { sink += m.payload; });
+    on<DispatchMsg1>([this](const DispatchMsg1& m) { sink += m.payload; });
+    on<DispatchMsg2>([this](const DispatchMsg2& m) { sink += m.payload; });
+    on<DispatchMsg3>([this](const DispatchMsg3& m) { sink += m.payload; });
+    on<DispatchMsg4>([this](const DispatchMsg4& m) { sink += m.payload; });
+    on<DispatchMsg5>([this](const DispatchMsg5& m) { sink += m.payload; });
+    on<DispatchMsg6>([this](const DispatchMsg6& m) { sink += m.payload; });
+    on<DispatchMsg7>([this](const DispatchMsg7& m) { sink += m.payload; });
+    on<DispatchMsg8>([this](const DispatchMsg8& m) { sink += m.payload; });
+    on<DispatchMsg9>([this](const DispatchMsg9& m) { sink += m.payload; });
+  }
+
+  std::uint64_t sink = 0;
+};
+
+struct DispatchRates {
+  double table_per_sec = 0;
+  double ifchain_per_sec = 0;
+};
+
+DispatchRates bench_dispatch(std::size_t deliveries) {
+  cluster::ClusterSpec spec;
+  spec.partitions = 1;
+  spec.computes_per_partition = 1;
+  spec.backups_per_partition = 0;
+  spec.networks = 1;
+  cluster::Cluster cluster(spec);
+  IfChainService chain(cluster, cluster.server_node(net::PartitionId{0}));
+  TableService table(cluster, cluster.server_node(net::PartitionId{0}));
+  chain.start();
+  table.start();
+
+  std::vector<net::Envelope> envs;
+  const net::Address from{net::NodeId{0}, net::PortId{99}};
+  auto add = [&](std::shared_ptr<const net::Message> msg) {
+    envs.push_back(net::Envelope{from, {}, net::NetworkId{0}, std::move(msg)});
+  };
+  add(std::make_shared<DispatchMsg0>());
+  add(std::make_shared<DispatchMsg1>());
+  add(std::make_shared<DispatchMsg2>());
+  add(std::make_shared<DispatchMsg3>());
+  add(std::make_shared<DispatchMsg4>());
+  add(std::make_shared<DispatchMsg5>());
+  add(std::make_shared<DispatchMsg6>());
+  add(std::make_shared<DispatchMsg7>());
+  add(std::make_shared<DispatchMsg8>());
+  add(std::make_shared<DispatchMsg9>());
+
+  DispatchRates rates;
+  {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < deliveries; ++i) table.deliver(envs[i % 10]);
+    rates.table_per_sec = static_cast<double>(deliveries) / seconds_since(t0);
+  }
+  {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < deliveries; ++i) chain.deliver(envs[i % 10]);
+    rates.ifchain_per_sec = static_cast<double>(deliveries) / seconds_since(t0);
+  }
+  if (table.sink != chain.sink) {
+    std::fprintf(stderr, "dispatch checksum mismatch (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(table.sink),
+                 static_cast<unsigned long long>(chain.sink));
+  }
+  return rates;
+}
+
 }  // namespace
 }  // namespace phoenix::bench
 
@@ -170,6 +299,9 @@ int main(int argc, char** argv) {
   std::printf("fabric send   : %12.0f sends/s\n", sends_per_sec);
   const double publishes_per_sec = phoenix::bench::bench_publish(200'000);
   std::printf("es publish    : %12.0f publishes/s\n", publishes_per_sec);
+  const auto dispatch = phoenix::bench::bench_dispatch(4'000'000);
+  std::printf("dispatch table: %12.0f msgs/s\n", dispatch.table_per_sec);
+  std::printf("dispatch chain: %12.0f msgs/s\n", dispatch.ifchain_per_sec);
 
   if (std::FILE* f = std::fopen(out_path, "w")) {
     std::fprintf(f,
@@ -177,9 +309,12 @@ int main(int argc, char** argv) {
                  "  \"bench\": \"engine_hotpath\",\n"
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"sends_per_sec\": %.0f,\n"
-                 "  \"publishes_per_sec\": %.0f\n"
+                 "  \"publishes_per_sec\": %.0f,\n"
+                 "  \"dispatch_table_per_sec\": %.0f,\n"
+                 "  \"dispatch_ifchain_per_sec\": %.0f\n"
                  "}\n",
-                 events_per_sec, sends_per_sec, publishes_per_sec);
+                 events_per_sec, sends_per_sec, publishes_per_sec,
+                 dispatch.table_per_sec, dispatch.ifchain_per_sec);
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
   } else {

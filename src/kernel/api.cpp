@@ -352,6 +352,29 @@ void KernelApi::query(BulletinTable table, bool cluster_scope,
   launch(id, std::move(c));
 }
 
+void KernelApi::service_stats(Callback<std::vector<ServiceStatsRecord>> done,
+                              CallOptions opts) {
+  const std::uint64_t id = next_id_++;
+  auto msg = std::make_shared<DbServiceStatsQueryMsg>();
+  msg->reply_to = address();
+  msg->query_id = id;
+  Call c;
+  c.complete = [done](const net::Message& m) {
+    const auto* reply = net::message_cast<DbServiceStatsReplyMsg>(m);
+    if (reply == nullptr || !done) return;
+    done(Result<std::vector<ServiceStatsRecord>>::success(reply->rows));
+  };
+  c.fail = [done](Status s) {
+    if (done) done(Result<std::vector<ServiceStatsRecord>>::failure(s));
+  };
+  c.attempt_field = &msg->attempt;
+  c.request = std::move(msg);
+  c.service = ServiceKind::kDataBulletin;
+  c.federated = true;
+  c.opts = resolve(opts);
+  launch(id, std::move(c));
+}
+
 // --- events ---------------------------------------------------------------------
 
 void KernelApi::subscribe(std::vector<std::string> types, EventCallback on_event,
@@ -562,6 +585,7 @@ void KernelApi::handle(const net::Envelope& env) {
   if (const auto* r = net::message_cast<CheckpointSaveReplyMsg>(m)) return finish(r->request_id, m);
   if (const auto* r = net::message_cast<CheckpointLoadReplyMsg>(m)) return finish(r->request_id, m);
   if (const auto* r = net::message_cast<DbQueryReplyMsg>(m)) return finish(r->query_id, m);
+  if (const auto* r = net::message_cast<DbServiceStatsReplyMsg>(m)) return finish(r->query_id, m);
   if (const auto* r = net::message_cast<SpawnReplyMsg>(m)) return finish(r->request_id, m);
   if (const auto* r = net::message_cast<ParallelCmdReplyMsg>(m)) return finish(r->request_id, m);
 }

@@ -122,6 +122,12 @@ class KernelApi final : public cluster::Daemon {
   void query(BulletinTable table, bool cluster_scope, BulletinFilter filter,
              Callback<BulletinSnapshot> done, CallOptions opts = {});
 
+  /// Per-service runtime health rows (ServiceRuntime counters) held by the
+  /// home partition's bulletin. Populated only when
+  /// FtParams::service_stats_interval is enabled; empty otherwise.
+  void service_stats(Callback<std::vector<ServiceStatsRecord>> done,
+                     CallOptions opts = {});
+
   // --- events ----------------------------------------------------------------
 
   using EventCallback = std::function<void(const Event&)>;

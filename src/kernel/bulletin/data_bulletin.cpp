@@ -45,36 +45,76 @@ void merge_summary(UsageSummary& into, const UsageSummary& from) {
 DataBulletin::DataBulletin(cluster::Cluster& cluster, net::NodeId node,
                            net::PartitionId partition, const FtParams& params,
                            ServiceDirectory* directory, double cpu_share)
-    : Daemon(cluster, "db/" + std::to_string(partition.value), node,
-             port_of(ServiceKind::kDataBulletin), cpu_share),
+    : ServiceRuntime(cluster, "db/" + std::to_string(partition.value), node,
+                     port_of(ServiceKind::kDataBulletin), directory, &params,
+                     // Bulletin state is soft (detectors repopulate it within
+                     // one sampling period): announce readiness immediately,
+                     // no recover_on_start.
+                     Options{.kind = ServiceKind::kDataBulletin,
+                             .partition = partition,
+                             .announce_up = true},
+                     cpu_share),
       partition_(partition),
       params_(params),
-      directory_(directory),
       staleness_horizon_(6 * params.detector_sample_interval),
       sweeper_(cluster.engine(), params.detector_sample_interval,
-               [this] { sweep_stale(); }) {}
+               [this] { sweep_stale(); }) {
+  on<DbDeltaMsg>([this](const DbDeltaMsg& delta) { apply_delta(delta); });
+  on<DbReportMsg>([this](const DbReportMsg& report, const net::Envelope& env) {
+    if (env.message.use_count() == 1) {
+      // Sole owner of the delivered snapshot: adopt its app rows directly.
+      auto* mut = const_cast<DbReportMsg*>(&report);
+      report_local(report.node_record, std::move(mut->apps), report.seq);
+    } else {
+      report_local(report.node_record, report.apps, report.seq);
+    }
+  });
+  on<DbQueryMsg>([this](const DbQueryMsg& query) { handle_query(query); });
+  on<DbPartitionQueryMsg>([this](const DbPartitionQueryMsg& pq) {
+    auto reply = std::make_shared<DbQueryReplyMsg>();
+    reply->query_id = pq.query_id;
+    reply->aggregated = pq.aggregate_only;
+    collect(pq.filter, pq.table, pq.aggregate_only, reply->node_rows,
+            reply->app_rows, reply->summary);
+    send_any(pq.reply_to, std::move(reply));
+  });
+  on<DbQueryReplyMsg>([this](const DbQueryReplyMsg& pr, const net::Envelope& env) {
+    merge_query_reply(pr, env);
+  });
+  on<ServiceStatsMsg>([this](const ServiceStatsMsg& stats) {
+    ServiceStatsRecord& rec = stats_rows_[stats.service];
+    rec.row = stats;
+    rec.updated_at = now();
+  });
+  on<DbServiceStatsQueryMsg>([this](const DbServiceStatsQueryMsg& q) {
+    serve_idempotent(q, [&] {
+      auto reply = std::make_shared<DbServiceStatsReplyMsg>();
+      reply->query_id = q.query_id;
+      reply->rows = service_stats();
+      return reply;
+    });
+  });
+}
 
 void DataBulletin::set_staleness_horizon(sim::SimTime t) {
   staleness_horizon_ = t;
 }
 
-void DataBulletin::on_start() {
+void DataBulletin::on_service_start() {
   if (staleness_horizon_ > 0) {
     sweeper_.set_period(params_.detector_sample_interval);
     sweeper_.start_after(staleness_horizon_);
   }
-  // Bulletin state is soft (detectors repopulate it within one sampling
-  // period), so a restarted instance reports ready immediately.
-  if (directory_ == nullptr) return;
-  auto up = std::make_shared<ServiceUpMsg>();
-  up->kind = ServiceKind::kDataBulletin;
-  up->partition = partition_;
-  up->service = address();
-  send_any(directory_->service_address(ServiceKind::kGroupService, partition_),
-           std::move(up));
 }
 
-void DataBulletin::on_stop() { sweeper_.stop(); }
+void DataBulletin::on_service_stop() { sweeper_.stop(); }
+
+std::vector<ServiceStatsRecord> DataBulletin::service_stats() const {
+  std::vector<ServiceStatsRecord> out;
+  out.reserve(stats_rows_.size());
+  for (const auto& [name, rec] : stats_rows_) out.push_back(rec);
+  return out;
+}
 
 void DataBulletin::sweep_stale() {
   if (staleness_horizon_ == 0 || !alive()) return;
@@ -233,8 +273,8 @@ void DataBulletin::handle_query(const DbQueryMsg& q) {
   collect(q.filter, q.table, q.aggregate_only, pending.node_rows,
           pending.app_rows, pending.summary);
 
-  if (q.cluster_scope && directory_ != nullptr) {
-    for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
+  if (q.cluster_scope && directory() != nullptr) {
+    for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
       const net::PartitionId pid{static_cast<std::uint32_t>(p)};
       if (pid == partition_) continue;
       auto sub = std::make_shared<DbPartitionQueryMsg>();
@@ -243,7 +283,7 @@ void DataBulletin::handle_query(const DbQueryMsg& q) {
       sub->aggregate_only = q.aggregate_only;
       sub->filter = q.filter;
       sub->reply_to = address();
-      if (send_any(directory_->service_address(ServiceKind::kDataBulletin, pid),
+      if (send_any(directory()->service_address(ServiceKind::kDataBulletin, pid),
                    std::move(sub))
               .valid()) {
         ++pending.awaiting;
@@ -278,71 +318,40 @@ void DataBulletin::finish_query(std::uint64_t local_id) {
   send_any(result.reply_to, std::move(reply));
 }
 
-void DataBulletin::handle(const net::Envelope& env) {
-  const net::Message& m = *env.message;
-
-  if (const auto* delta = net::message_cast<DbDeltaMsg>(m)) {
-    apply_delta(*delta);
-    return;
-  }
-  if (const auto* report = net::message_cast<DbReportMsg>(m)) {
-    if (env.message.use_count() == 1) {
-      // Sole owner of the delivered snapshot: adopt its app rows directly.
-      auto* mut = const_cast<DbReportMsg*>(report);
-      report_local(report->node_record, std::move(mut->apps), report->seq);
+void DataBulletin::merge_query_reply(const DbQueryReplyMsg& pr,
+                                     const net::Envelope& env) {
+  auto it = pending_.find(pr.query_id);
+  if (it == pending_.end() || it->second.done) return;
+  PendingQuery& pending = it->second;
+  if (pending.aggregate_only && pr.aggregated) {
+    merge_summary(pending.summary, pr.summary);
+  } else if (env.message.use_count() == 1) {
+    // Sole owner of the delivered reply (the fabric's in-flight reference
+    // dies when this handler returns): steal the row vectors instead of
+    // copying every row a second time on the access-point merge.
+    auto* mut = const_cast<DbQueryReplyMsg*>(&pr);
+    if (pending.node_rows.empty()) {
+      pending.node_rows = std::move(mut->node_rows);
     } else {
-      report_local(report->node_record, report->apps, report->seq);
+      pending.node_rows.insert(pending.node_rows.end(),
+                               std::move_iterator(mut->node_rows.begin()),
+                               std::move_iterator(mut->node_rows.end()));
     }
-    return;
-  }
-  if (const auto* query = net::message_cast<DbQueryMsg>(m)) {
-    handle_query(*query);
-    return;
-  }
-  if (const auto* pq = net::message_cast<DbPartitionQueryMsg>(m)) {
-    auto reply = std::make_shared<DbQueryReplyMsg>();
-    reply->query_id = pq->query_id;
-    reply->aggregated = pq->aggregate_only;
-    collect(pq->filter, pq->table, pq->aggregate_only, reply->node_rows,
-            reply->app_rows, reply->summary);
-    send_any(pq->reply_to, std::move(reply));
-    return;
-  }
-  if (const auto* pr = net::message_cast<DbQueryReplyMsg>(m)) {
-    auto it = pending_.find(pr->query_id);
-    if (it == pending_.end() || it->second.done) return;
-    PendingQuery& pending = it->second;
-    if (pending.aggregate_only && pr->aggregated) {
-      merge_summary(pending.summary, pr->summary);
-    } else if (env.message.use_count() == 1) {
-      // Sole owner of the delivered reply (the fabric's in-flight reference
-      // dies when this handler returns): steal the row vectors instead of
-      // copying every row a second time on the access-point merge.
-      auto* mut = const_cast<DbQueryReplyMsg*>(pr);
-      if (pending.node_rows.empty()) {
-        pending.node_rows = std::move(mut->node_rows);
-      } else {
-        pending.node_rows.insert(pending.node_rows.end(),
-                                 std::move_iterator(mut->node_rows.begin()),
-                                 std::move_iterator(mut->node_rows.end()));
-      }
-      if (pending.app_rows.empty()) {
-        pending.app_rows = std::move(mut->app_rows);
-      } else {
-        pending.app_rows.insert(pending.app_rows.end(),
-                                std::move_iterator(mut->app_rows.begin()),
-                                std::move_iterator(mut->app_rows.end()));
-      }
+    if (pending.app_rows.empty()) {
+      pending.app_rows = std::move(mut->app_rows);
     } else {
-      pending.node_rows.insert(pending.node_rows.end(), pr->node_rows.begin(),
-                               pr->node_rows.end());
-      pending.app_rows.insert(pending.app_rows.end(), pr->app_rows.begin(),
-                              pr->app_rows.end());
+      pending.app_rows.insert(pending.app_rows.end(),
+                              std::move_iterator(mut->app_rows.begin()),
+                              std::move_iterator(mut->app_rows.end()));
     }
-    pending.partitions_included += pr->partitions_included;
-    if (--pending.awaiting == 0) finish_query(pr->query_id);
-    return;
+  } else {
+    pending.node_rows.insert(pending.node_rows.end(), pr.node_rows.begin(),
+                             pr.node_rows.end());
+    pending.app_rows.insert(pending.app_rows.end(), pr.app_rows.begin(),
+                            pr.app_rows.end());
   }
+  pending.partitions_included += pr.partitions_included;
+  if (--pending.awaiting == 0) finish_query(pr.query_id);
 }
 
 }  // namespace phoenix::kernel

@@ -25,6 +25,7 @@
 #include "cluster/daemon.h"
 #include "cluster/node.h"
 #include "kernel/ft_params.h"
+#include "kernel/runtime/service_runtime.h"
 #include "kernel/service_kind.h"
 #include "net/message.h"
 #include "net/symbol.h"
@@ -204,7 +205,38 @@ struct DbQueryReplyMsg final : net::Message {
   }
 };
 
-class DataBulletin final : public cluster::Daemon {
+/// Last counter row received from one ServiceRuntime daemon
+/// (runtime.service_stats; published when FtParams::service_stats_interval
+/// is enabled).
+struct ServiceStatsRecord {
+  ServiceStatsMsg row;
+  sim::SimTime updated_at = 0;
+};
+
+/// Client request for the per-service runtime health rows this instance
+/// holds (GridView-style service dashboards; KernelApi::service_stats).
+struct DbServiceStatsQueryMsg final : net::Message {
+  std::uint64_t query_id = 0;
+  net::Address reply_to;
+  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
+
+  PHOENIX_MESSAGE_TYPE("db.service_stats_query")
+  std::size_t wire_size() const noexcept override { return 16; }
+};
+
+struct DbServiceStatsReplyMsg final : net::Message {
+  std::uint64_t query_id = 0;
+  std::vector<ServiceStatsRecord> rows;
+
+  PHOENIX_MESSAGE_TYPE("db.service_stats_reply")
+  std::size_t wire_size() const noexcept override {
+    std::size_t n = 8;
+    for (const auto& r : rows) n += r.row.wire_size() + 8;
+    return n;
+  }
+};
+
+class DataBulletin final : public ServiceRuntime {
  public:
   DataBulletin(cluster::Cluster& cluster, net::NodeId node,
                net::PartitionId partition, const FtParams& params,
@@ -246,14 +278,18 @@ class DataBulletin final : public cluster::Daemon {
   /// are not replay-cached — a later retry re-executes against fresh rows.
   std::uint64_t duplicate_queries() const noexcept { return duplicate_queries_; }
 
+  /// Per-service health rows this instance has received (one per runtime
+  /// daemon publishing into this partition), service-name order unspecified.
+  std::vector<ServiceStatsRecord> service_stats() const;
+
   /// One staleness sweep now (also runs periodically while started).
   void sweep_stale();
 
  private:
-  void handle(const net::Envelope& env) override;
-  void on_start() override;
-  void on_stop() override;
+  void on_service_start() override;
+  void on_service_stop() override;
   void handle_query(const DbQueryMsg& q);
+  void merge_query_reply(const DbQueryReplyMsg& pr, const net::Envelope& env);
   void finish_query(std::uint64_t local_id);
 
   /// One contiguous storage slot: a node's gauge row, its app rows, and the
@@ -288,7 +324,6 @@ class DataBulletin final : public cluster::Daemon {
 
   net::PartitionId partition_;
   const FtParams& params_;
-  ServiceDirectory* directory_;
   sim::SimTime query_timeout_ = 500 * sim::kMillisecond;
   sim::SimTime staleness_horizon_ = 0;  // set from params in constructor
   sim::PeriodicTask sweeper_;
@@ -299,6 +334,7 @@ class DataBulletin final : public cluster::Daemon {
   std::uint64_t duplicate_queries_ = 0;
   std::unordered_map<std::uint64_t, PendingQuery> pending_;
   std::uint64_t next_local_id_ = 1;
+  std::unordered_map<std::string, ServiceStatsRecord> stats_rows_;
 };
 
 }  // namespace phoenix::kernel

@@ -8,31 +8,159 @@ CheckpointService::CheckpointService(cluster::Cluster& cluster, net::NodeId node
                                      net::PartitionId partition,
                                      const FtParams& params,
                                      ServiceDirectory* directory, double cpu_share)
-    : Daemon(cluster, "ckpt/" + std::to_string(partition.value), node,
-             port_of(ServiceKind::kCheckpointService), cpu_share),
+    : ServiceRuntime(cluster, "ckpt/" + std::to_string(partition.value), node,
+                     port_of(ServiceKind::kCheckpointService), directory, &params,
+                     // The store is disk-backed in a real deployment, so a
+                     // restart needs no state recovery: announce readiness to
+                     // the partition's GSD immediately, no recover_on_start.
+                     Options{.kind = ServiceKind::kCheckpointService,
+                             .partition = partition,
+                             .announce_up = true},
+                     cpu_share),
       partition_(partition),
-      params_(params),
-      directory_(directory) {}
+      params_(params) {
+  on<CheckpointSaveMsg>([this](const CheckpointSaveMsg& save) {
+    serve_mutating(save, [&] {
+      const std::uint64_t version = save_local(save.service, save.key, save.data);
+      auto reply = std::make_shared<CheckpointSaveReplyMsg>();
+      reply->request_id = save.request_id;
+      reply->version = version;
+      return reply;
+    });
+  });
 
-void CheckpointService::on_start() {
-  // The store is disk-backed in a real deployment, so a restart needs no
-  // state recovery; report readiness to the partition's GSD immediately.
-  if (directory_ == nullptr) return;
-  auto up = std::make_shared<ServiceUpMsg>();
-  up->kind = ServiceKind::kCheckpointService;
-  up->partition = partition_;
-  up->service = address();
-  send_any(directory_->service_address(ServiceKind::kGroupService, partition_),
-           std::move(up));
+  on<CheckpointReplicateMsg>([this](const CheckpointReplicateMsg& rep) {
+    auto it = store_.find({rep.service, rep.key});
+    if (rep.deleted) {
+      if (it != store_.end() && it->second.version < rep.version) store_.erase(it);
+    } else if (it == store_.end() || it->second.version < rep.version) {
+      store_[{rep.service, rep.key}] = Entry{rep.data, rep.version};
+    }
+  });
+
+  on<CheckpointLoadMsg>(
+      [this](const CheckpointLoadMsg& load, const net::Envelope& env) {
+        handle_load(load, env);
+      });
+
+  on<CheckpointFetchMsg>([this](const CheckpointFetchMsg& fetch) {
+    // Peer fetch: scanning replicated segments costs the federation delay.
+    auto data = load_local(fetch.service, fetch.key);
+    engine().schedule_after(
+        params_.checkpoint_federation_fetch,
+        [this, reply_to = fetch.reply_to, request_id = fetch.request_id,
+         data = std::move(data)] {
+          if (!alive()) return;
+          auto reply = std::make_shared<CheckpointLoadReplyMsg>();
+          reply->request_id = request_id;
+          if (data) {
+            reply->found = true;
+            reply->data = *data;
+          }
+          send_any(reply_to, std::move(reply));
+        });
+  });
+
+  on<CheckpointLoadReplyMsg>([this](const CheckpointLoadReplyMsg& lr) {
+    auto it = pending_loads_.find(lr.request_id);
+    if (it == pending_loads_.end()) return;
+    PendingLoad& pending = it->second;
+    --pending.awaiting;
+    if (lr.found && !pending.answered) {
+      pending.answered = true;
+      auto reply = std::make_shared<CheckpointLoadReplyMsg>();
+      reply->request_id = pending.request_id;
+      reply->found = true;
+      reply->data = lr.data;
+      reply->version = lr.version;
+      send_any(pending.reply_to, std::move(reply));
+    }
+    if (pending.awaiting == 0) finish_load(lr.request_id);
+  });
+
+  on<CheckpointListMsg>([this](const CheckpointListMsg& list) {
+    serve_idempotent(list, [&] {
+      auto reply = std::make_shared<CheckpointListReplyMsg>();
+      reply->request_id = list.request_id;
+      reply->keys = list_keys(list.service);
+      return reply;
+    });
+  });
+
+  on<CheckpointDeleteNamespaceMsg>([this](const CheckpointDeleteNamespaceMsg& delns) {
+    serve_mutating(delns, [&] {
+      auto reply = std::make_shared<CheckpointDeleteNamespaceReplyMsg>();
+      reply->request_id = delns.request_id;
+      reply->removed = delete_namespace(delns.service);
+      return reply;
+    });
+  });
+
+  on<CheckpointDeleteMsg>([this](const CheckpointDeleteMsg& del) {
+    serve_mutating(del, [&] {
+      const bool existed = delete_local(del.service, del.key);
+      auto reply = std::make_shared<CheckpointDeleteReplyMsg>();
+      reply->request_id = del.request_id;
+      reply->existed = existed;
+      return reply;
+    });
+  });
+}
+
+void CheckpointService::handle_load(const CheckpointLoadMsg& load,
+                                    const net::Envelope& env) {
+  if (auto data = load_local(load.service, load.key)) {
+    // Hit in this instance's store. A requester from our own partition is
+    // served from the warm local segment; a cross-partition requester
+    // (recovery after migration) pays the cold replicated-segment scan.
+    const bool same_partition =
+        cluster().partition_of(env.from.node) == partition_;
+    engine().schedule_after(
+        same_partition ? params_.checkpoint_local_fetch
+                       : params_.checkpoint_federation_fetch,
+        [this, reply_to = load.reply_to, request_id = load.request_id,
+         data = std::move(*data)] {
+          if (!alive()) return;
+          auto reply = std::make_shared<CheckpointLoadReplyMsg>();
+          reply->request_id = request_id;
+          reply->found = true;
+          reply->data = data;
+          send_any(reply_to, std::move(reply));
+        });
+    return;
+  }
+  // Miss: ask every federation peer; first positive answer wins.
+  const std::uint64_t fetch_id = next_fetch_id_++;
+  PendingLoad pending{load.reply_to, load.request_id, 0, false};
+  for (const net::Address& peer : federation_peers()) {
+    auto fetch = std::make_shared<CheckpointFetchMsg>();
+    fetch->service = load.service;
+    fetch->key = load.key;
+    fetch->reply_to = address();
+    fetch->request_id = fetch_id;
+    if (send_any(peer, std::move(fetch)).valid()) ++pending.awaiting;
+  }
+  if (pending.awaiting == 0) {
+    auto reply = std::make_shared<CheckpointLoadReplyMsg>();
+    reply->request_id = load.request_id;
+    send_any(load.reply_to, std::move(reply));
+    return;
+  }
+  pending_loads_.emplace(fetch_id, std::move(pending));
+  // Dead peers never answer; close the load as not-found after a bounded
+  // wait so recovering services are not stuck behind a half-down
+  // federation (e.g. during staged cluster construction).
+  engine().schedule_after(params_.checkpoint_federation_fetch + 2 * sim::kSecond,
+                          [this, fetch_id] { finish_load(fetch_id); });
 }
 
 std::vector<net::Address> CheckpointService::federation_peers() const {
   std::vector<net::Address> peers;
-  if (directory_ == nullptr) return peers;
-  for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
+  if (directory() == nullptr) return peers;
+  for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
     const net::PartitionId pid{static_cast<std::uint32_t>(p)};
     if (pid == partition_) continue;
-    peers.push_back(directory_->service_address(ServiceKind::kCheckpointService, pid));
+    peers.push_back(directory()->service_address(ServiceKind::kCheckpointService, pid));
   }
   return peers;
 }
@@ -99,8 +227,8 @@ void CheckpointService::finish_load(std::uint64_t fetch_id) {
 void CheckpointService::replicate(const std::string& service, const std::string& key,
                                   const std::string& data, std::uint64_t version,
                                   bool deleted) {
-  if (directory_ == nullptr || replication_factor_ <= 1) return;
-  const std::size_t parts = directory_->partition_count();
+  if (directory() == nullptr || replication_factor_ <= 1) return;
+  const std::size_t parts = directory()->partition_count();
   if (parts <= 1) return;
   // Replicas live on the next (replication_factor - 1) partitions ring-wise.
   for (std::size_t i = 1; i < replication_factor_ && i < parts; ++i) {
@@ -112,180 +240,8 @@ void CheckpointService::replicate(const std::string& service, const std::string&
     msg->data = data;
     msg->version = version;
     msg->deleted = deleted;
-    send_any(directory_->service_address(ServiceKind::kCheckpointService, target),
+    send_any(directory()->service_address(ServiceKind::kCheckpointService, target),
              std::move(msg));
-  }
-}
-
-void CheckpointService::handle(const net::Envelope& env) {
-  const net::Message& m = *env.message;
-
-  if (const auto* save = net::message_cast<CheckpointSaveMsg>(m)) {
-    std::shared_ptr<const net::Message> replay;
-    switch (replay_.begin(save->reply_to, save->type_id(), save->request_id,
-                          &replay)) {
-      case net::ReplayCache::Admit::kReplay:
-        send_any(save->reply_to, std::move(replay));
-        return;
-      case net::ReplayCache::Admit::kInFlight:
-        return;  // unreachable: saves execute synchronously
-      case net::ReplayCache::Admit::kNew:
-        break;
-    }
-    const std::uint64_t version = save_local(save->service, save->key, save->data);
-    if (save->reply_to.valid()) {
-      auto reply = std::make_shared<CheckpointSaveReplyMsg>();
-      reply->request_id = save->request_id;
-      reply->version = version;
-      replay_.complete(save->reply_to, save->type_id(), save->request_id, reply);
-      send_any(save->reply_to, std::move(reply));
-    }
-    return;
-  }
-
-  if (const auto* rep = net::message_cast<CheckpointReplicateMsg>(m)) {
-    auto it = store_.find({rep->service, rep->key});
-    if (rep->deleted) {
-      if (it != store_.end() && it->second.version < rep->version) store_.erase(it);
-    } else if (it == store_.end() || it->second.version < rep->version) {
-      store_[{rep->service, rep->key}] = Entry{rep->data, rep->version};
-    }
-    return;
-  }
-
-  if (const auto* load = net::message_cast<CheckpointLoadMsg>(m)) {
-    if (auto data = load_local(load->service, load->key)) {
-      // Hit in this instance's store. A requester from our own partition is
-      // served from the warm local segment; a cross-partition requester
-      // (recovery after migration) pays the cold replicated-segment scan.
-      const bool same_partition =
-          cluster().partition_of(env.from.node) == partition_;
-      engine().schedule_after(
-          same_partition ? params_.checkpoint_local_fetch
-                         : params_.checkpoint_federation_fetch,
-          [this, reply_to = load->reply_to, request_id = load->request_id,
-           data = std::move(*data)] {
-            if (!alive()) return;
-            auto reply = std::make_shared<CheckpointLoadReplyMsg>();
-            reply->request_id = request_id;
-            reply->found = true;
-            reply->data = data;
-            send_any(reply_to, std::move(reply));
-          });
-      return;
-    }
-    // Miss: ask every federation peer; first positive answer wins.
-    const std::uint64_t fetch_id = next_fetch_id_++;
-    PendingLoad pending{load->reply_to, load->request_id, 0, false};
-    for (const net::Address& peer : federation_peers()) {
-      auto fetch = std::make_shared<CheckpointFetchMsg>();
-      fetch->service = load->service;
-      fetch->key = load->key;
-      fetch->reply_to = address();
-      fetch->request_id = fetch_id;
-      if (send_any(peer, std::move(fetch)).valid()) ++pending.awaiting;
-    }
-    if (pending.awaiting == 0) {
-      auto reply = std::make_shared<CheckpointLoadReplyMsg>();
-      reply->request_id = load->request_id;
-      send_any(load->reply_to, std::move(reply));
-      return;
-    }
-    pending_loads_.emplace(fetch_id, std::move(pending));
-    // Dead peers never answer; close the load as not-found after a bounded
-    // wait so recovering services are not stuck behind a half-down
-    // federation (e.g. during staged cluster construction).
-    engine().schedule_after(params_.checkpoint_federation_fetch + 2 * sim::kSecond,
-                            [this, fetch_id] { finish_load(fetch_id); });
-    return;
-  }
-
-  if (const auto* fetch = net::message_cast<CheckpointFetchMsg>(m)) {
-    // Peer fetch: scanning replicated segments costs the federation delay.
-    auto data = load_local(fetch->service, fetch->key);
-    engine().schedule_after(
-        params_.checkpoint_federation_fetch,
-        [this, reply_to = fetch->reply_to, request_id = fetch->request_id,
-         data = std::move(data)] {
-          if (!alive()) return;
-          auto reply = std::make_shared<CheckpointLoadReplyMsg>();
-          reply->request_id = request_id;
-          if (data) {
-            reply->found = true;
-            reply->data = *data;
-          }
-          send_any(reply_to, std::move(reply));
-        });
-    return;
-  }
-
-  if (const auto* lr = net::message_cast<CheckpointLoadReplyMsg>(m)) {
-    auto it = pending_loads_.find(lr->request_id);
-    if (it == pending_loads_.end()) return;
-    PendingLoad& pending = it->second;
-    --pending.awaiting;
-    if (lr->found && !pending.answered) {
-      pending.answered = true;
-      auto reply = std::make_shared<CheckpointLoadReplyMsg>();
-      reply->request_id = pending.request_id;
-      reply->found = true;
-      reply->data = lr->data;
-      reply->version = lr->version;
-      send_any(pending.reply_to, std::move(reply));
-    }
-    if (pending.awaiting == 0) finish_load(lr->request_id);
-    return;
-  }
-
-  if (const auto* list = net::message_cast<CheckpointListMsg>(m)) {
-    auto reply = std::make_shared<CheckpointListReplyMsg>();
-    reply->request_id = list->request_id;
-    reply->keys = list_keys(list->service);
-    send_any(list->reply_to, std::move(reply));
-    return;
-  }
-
-  if (const auto* delns = net::message_cast<CheckpointDeleteNamespaceMsg>(m)) {
-    std::shared_ptr<const net::Message> replay;
-    switch (replay_.begin(delns->reply_to, delns->type_id(), delns->request_id,
-                          &replay)) {
-      case net::ReplayCache::Admit::kReplay:
-        send_any(delns->reply_to, std::move(replay));
-        return;
-      case net::ReplayCache::Admit::kInFlight:
-        return;
-      case net::ReplayCache::Admit::kNew:
-        break;
-    }
-    auto reply = std::make_shared<CheckpointDeleteNamespaceReplyMsg>();
-    reply->request_id = delns->request_id;
-    reply->removed = delete_namespace(delns->service);
-    replay_.complete(delns->reply_to, delns->type_id(), delns->request_id, reply);
-    if (delns->reply_to.valid()) send_any(delns->reply_to, std::move(reply));
-    return;
-  }
-
-  if (const auto* del = net::message_cast<CheckpointDeleteMsg>(m)) {
-    std::shared_ptr<const net::Message> replay;
-    switch (replay_.begin(del->reply_to, del->type_id(), del->request_id,
-                          &replay)) {
-      case net::ReplayCache::Admit::kReplay:
-        send_any(del->reply_to, std::move(replay));
-        return;
-      case net::ReplayCache::Admit::kInFlight:
-        return;
-      case net::ReplayCache::Admit::kNew:
-        break;
-    }
-    const bool existed = delete_local(del->service, del->key);
-    if (del->reply_to.valid()) {
-      auto reply = std::make_shared<CheckpointDeleteReplyMsg>();
-      reply->request_id = del->request_id;
-      reply->existed = existed;
-      replay_.complete(del->reply_to, del->type_id(), del->request_id, reply);
-      send_any(del->reply_to, std::move(reply));
-    }
-    return;
   }
 }
 

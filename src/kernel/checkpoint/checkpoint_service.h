@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "cluster/daemon.h"
+#include "kernel/checkpoint/checkpoint_msgs.h"
 #include "kernel/ft_params.h"
+#include "kernel/runtime/service_runtime.h"
 #include "kernel/service_kind.h"
 #include "kernel/service_msgs.h"
 #include "net/message.h"
@@ -30,138 +32,7 @@
 
 namespace phoenix::kernel {
 
-struct CheckpointSaveMsg final : net::Message {
-  std::string service;  // owning service, e.g. "es/3"
-  std::string key;
-  std::string data;
-  net::Address reply_to;
-  std::uint64_t request_id = 0;
-  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
-
-  PHOENIX_MESSAGE_TYPE("ckpt.save")
-  std::size_t wire_size() const noexcept override {
-    return service.size() + key.size() + data.size() + 16;
-  }
-};
-
-struct CheckpointSaveReplyMsg final : net::Message {
-  std::uint64_t request_id = 0;
-  std::uint64_t version = 0;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.save_reply")
-  std::size_t wire_size() const noexcept override { return 16; }
-};
-
-struct CheckpointReplicateMsg final : net::Message {
-  std::string service;
-  std::string key;
-  std::string data;
-  std::uint64_t version = 0;
-  bool deleted = false;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.replicate")
-  std::size_t wire_size() const noexcept override {
-    return service.size() + key.size() + data.size() + 17;
-  }
-};
-
-struct CheckpointLoadMsg final : net::Message {
-  std::string service;
-  std::string key;
-  net::Address reply_to;
-  std::uint64_t request_id = 0;
-  std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
-
-  PHOENIX_MESSAGE_TYPE("ckpt.load")
-  std::size_t wire_size() const noexcept override {
-    return service.size() + key.size() + 16;
-  }
-};
-
-struct CheckpointLoadReplyMsg final : net::Message {
-  std::uint64_t request_id = 0;
-  bool found = false;
-  std::string data;
-  std::uint64_t version = 0;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.load_reply")
-  std::size_t wire_size() const noexcept override { return data.size() + 25; }
-};
-
-/// Peer-to-peer fetch inside the federation (a load that missed locally).
-struct CheckpointFetchMsg final : net::Message {
-  std::string service;
-  std::string key;
-  net::Address reply_to;
-  std::uint64_t request_id = 0;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.fetch")
-  std::size_t wire_size() const noexcept override {
-    return service.size() + key.size() + 16;
-  }
-};
-
-struct CheckpointDeleteMsg final : net::Message {
-  std::string service;
-  std::string key;
-  net::Address reply_to;
-  std::uint64_t request_id = 0;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.delete")
-  std::size_t wire_size() const noexcept override {
-    return service.size() + key.size() + 16;
-  }
-};
-
-struct CheckpointDeleteReplyMsg final : net::Message {
-  std::uint64_t request_id = 0;
-  bool existed = false;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.delete_reply")
-  std::size_t wire_size() const noexcept override { return 9; }
-};
-
-/// Lists the keys a service has saved at this instance.
-struct CheckpointListMsg final : net::Message {
-  std::string service;
-  net::Address reply_to;
-  std::uint64_t request_id = 0;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.list")
-  std::size_t wire_size() const noexcept override { return service.size() + 16; }
-};
-
-struct CheckpointListReplyMsg final : net::Message {
-  std::uint64_t request_id = 0;
-  std::vector<std::string> keys;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.list_reply")
-  std::size_t wire_size() const noexcept override {
-    std::size_t n = 16;
-    for (const auto& k : keys) n += k.size() + 1;
-    return n;
-  }
-};
-
-/// Deletes a service's entire namespace ("deleting system state", §4.2).
-struct CheckpointDeleteNamespaceMsg final : net::Message {
-  std::string service;
-  net::Address reply_to;
-  std::uint64_t request_id = 0;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.delete_ns")
-  std::size_t wire_size() const noexcept override { return service.size() + 16; }
-};
-
-struct CheckpointDeleteNamespaceReplyMsg final : net::Message {
-  std::uint64_t request_id = 0;
-  std::uint64_t removed = 0;
-
-  PHOENIX_MESSAGE_TYPE("ckpt.delete_ns_reply")
-  std::size_t wire_size() const noexcept override { return 16; }
-};
-
-class CheckpointService final : public cluster::Daemon {
+class CheckpointService final : public ServiceRuntime {
  public:
   CheckpointService(cluster::Cluster& cluster, net::NodeId node,
                     net::PartitionId partition, const FtParams& params,
@@ -189,13 +60,8 @@ class CheckpointService final : public cluster::Daemon {
   /// replicated across the federation. Returns the local count removed.
   std::size_t delete_namespace(const std::string& service, bool replicate = true);
 
-  /// At-most-once filter for the mutating remote ops (save/delete): a
-  /// retried save replays its original version instead of writing twice.
-  const net::ReplayCache& replay_cache() const noexcept { return replay_; }
-
  private:
-  void handle(const net::Envelope& env) override;
-  void on_start() override;
+  void handle_load(const CheckpointLoadMsg& load, const net::Envelope& env);
   void replicate(const std::string& service, const std::string& key,
                  const std::string& data, std::uint64_t version, bool deleted);
   std::vector<net::Address> federation_peers() const;
@@ -215,13 +81,11 @@ class CheckpointService final : public cluster::Daemon {
 
   net::PartitionId partition_;
   const FtParams& params_;
-  ServiceDirectory* directory_;
   std::size_t replication_factor_ = 2;
   std::map<std::pair<std::string, std::string>, Entry> store_;
   std::uint64_t next_version_ = 1;
   std::unordered_map<std::uint64_t, PendingLoad> pending_loads_;
   std::uint64_t next_fetch_id_ = 1;
-  net::ReplayCache replay_;
 };
 
 }  // namespace phoenix::kernel

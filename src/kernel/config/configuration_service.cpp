@@ -7,9 +7,34 @@
 namespace phoenix::kernel {
 
 ConfigurationService::ConfigurationService(cluster::Cluster& cluster,
-                                           net::NodeId node, double cpu_share)
-    : Daemon(cluster, "config", node, port_of(ServiceKind::kConfiguration),
-             cpu_share) {}
+                                           net::NodeId node, double cpu_share,
+                                           ServiceDirectory* directory,
+                                           const FtParams* params)
+    : ServiceRuntime(cluster, "config", node, port_of(ServiceKind::kConfiguration),
+                     directory, params,
+                     Options{.kind = ServiceKind::kConfiguration}, cpu_share) {
+  on<ConfigGetMsg>([this](const ConfigGetMsg& msg) {
+    serve_idempotent(msg, [&] {
+      auto reply = std::make_shared<ConfigGetReplyMsg>();
+      reply->request_id = msg.request_id;
+      reply->key = msg.key;
+      if (auto v = get(msg.key)) {
+        reply->found = true;
+        reply->value = *v;
+        reply->version = tree_.at(msg.key).version;
+      }
+      return reply;
+    });
+  });
+  on<ConfigSetMsg>([this](const ConfigSetMsg& msg) {
+    serve_mutating(msg, [&] {
+      auto reply = std::make_shared<ConfigSetReplyMsg>();
+      reply->request_id = msg.request_id;
+      reply->version = set(msg.key, msg.value);
+      return reply;
+    });
+  });
+}
 
 void ConfigurationService::introspect() {
   const auto& spec = cluster().spec();
@@ -51,41 +76,6 @@ std::vector<std::string> ConfigurationService::keys_with_prefix(
     out.push_back(it->first);
   }
   return out;
-}
-
-void ConfigurationService::handle(const net::Envelope& env) {
-  if (const auto* get_msg = net::message_cast<ConfigGetMsg>(*env.message)) {
-    auto reply = std::make_shared<ConfigGetReplyMsg>();
-    reply->request_id = get_msg->request_id;
-    reply->key = get_msg->key;
-    if (auto v = get(get_msg->key)) {
-      reply->found = true;
-      reply->value = *v;
-      reply->version = tree_.at(get_msg->key).version;
-    }
-    send_any(get_msg->reply_to, std::move(reply));
-    return;
-  }
-  if (const auto* set_msg = net::message_cast<ConfigSetMsg>(*env.message)) {
-    std::shared_ptr<const net::Message> replay;
-    switch (replay_.begin(set_msg->reply_to, set_msg->type_id(),
-                          set_msg->request_id, &replay)) {
-      case net::ReplayCache::Admit::kReplay:
-        send_any(set_msg->reply_to, std::move(replay));
-        return;
-      case net::ReplayCache::Admit::kInFlight:
-        return;  // unreachable: sets execute synchronously
-      case net::ReplayCache::Admit::kNew:
-        break;
-    }
-    auto reply = std::make_shared<ConfigSetReplyMsg>();
-    reply->request_id = set_msg->request_id;
-    reply->version = set(set_msg->key, set_msg->value);
-    replay_.complete(set_msg->reply_to, set_msg->type_id(), set_msg->request_id,
-                     reply);
-    send_any(set_msg->reply_to, std::move(reply));
-    return;
-  }
 }
 
 }  // namespace phoenix::kernel

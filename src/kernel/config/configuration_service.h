@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/daemon.h"
+#include "kernel/runtime/service_runtime.h"
 #include "net/message.h"
 #include "net/rpc.h"
 
@@ -66,7 +67,7 @@ struct ConfigSetReplyMsg final : net::Message {
   std::size_t wire_size() const noexcept override { return 16; }
 };
 
-class ConfigurationService final : public cluster::Daemon {
+class ConfigurationService final : public ServiceRuntime {
  public:
   /// Callback invoked on every successful set (the kernel bridges this to a
   /// "config.changed" event through the event service).
@@ -75,7 +76,9 @@ class ConfigurationService final : public cluster::Daemon {
                                         std::uint64_t version)>;
 
   ConfigurationService(cluster::Cluster& cluster, net::NodeId node,
-                       double cpu_share = 0.0);
+                       double cpu_share = 0.0,
+                       ServiceDirectory* directory = nullptr,
+                       const FtParams* params = nullptr);
 
   // --- local API (used in-process by kernel components and tests) --------
 
@@ -95,13 +98,7 @@ class ConfigurationService final : public cluster::Daemon {
 
   void set_change_hook(ChangeHook hook) { change_hook_ = std::move(hook); }
 
-  /// At-most-once filter for remote sets (retried ConfigSetMsg replays its
-  /// cached reply instead of bumping the version twice).
-  const net::ReplayCache& replay_cache() const noexcept { return replay_; }
-
  private:
-  void handle(const net::Envelope& env) override;
-
   struct Entry {
     std::string value;
     std::uint64_t version;
@@ -109,7 +106,6 @@ class ConfigurationService final : public cluster::Daemon {
   std::map<std::string, Entry> tree_;
   std::uint64_t version_ = 0;
   ChangeHook change_hook_;
-  net::ReplayCache replay_;
 };
 
 }  // namespace phoenix::kernel

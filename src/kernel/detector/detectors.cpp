@@ -27,12 +27,15 @@ AppRecord app_record_of(net::NodeId node, const cluster::ProcessInfo& p) {
 DetectorDaemon::DetectorDaemon(cluster::Cluster& cluster, net::NodeId node,
                                const FtParams& params, ServiceDirectory* directory,
                                double cpu_share)
-    : Daemon(cluster, "detector", node, port_of(ServiceKind::kDetector), cpu_share),
+    : ServiceRuntime(cluster, "detector", node, port_of(ServiceKind::kDetector),
+                     directory, &params,
+                     Options{.kind = ServiceKind::kDetector,
+                             .partition = cluster.partition_of(node)},
+                     cpu_share),
       params_(params),
-      directory_(directory),
       sampler_(cluster.engine(), params.detector_sample_interval, [this] { sample(); }) {}
 
-void DetectorDaemon::on_start() {
+void DetectorDaemon::on_service_start() {
   sampler_.set_period(params_.detector_sample_interval);
   // A (re)started detector cannot know what the bulletin still holds for
   // this node; the next sample ships a full snapshot to re-anchor the
@@ -44,14 +47,14 @@ void DetectorDaemon::on_start() {
   sampler_.start_after(engine().rng().uniform_int(1, params_.detector_sample_interval));
 }
 
-void DetectorDaemon::on_stop() { sampler_.stop(); }
+void DetectorDaemon::on_service_stop() { sampler_.stop(); }
 
 void DetectorDaemon::publish(Event event) {
-  if (directory_ == nullptr) return;
+  if (directory() == nullptr) return;
   auto pub = std::make_shared<EsPublishMsg>();
   pub->event = std::move(event);
   const auto partition = cluster().partition_of(node_id());
-  send_any(directory_->service_address(ServiceKind::kEventService, partition),
+  send_any(directory()->service_address(ServiceKind::kEventService, partition),
            std::move(pub));
 }
 
@@ -112,13 +115,13 @@ void DetectorDaemon::sample() {
   }
   last_states_ = std::move(current);
 
-  if (directory_ == nullptr) {
+  if (directory() == nullptr) {
     reported_apps_ = std::move(running_apps);
     last_usage_ = node.resources();
     return;
   }
   const auto bulletin =
-      directory_->service_address(ServiceKind::kDataBulletin, partition);
+      directory()->service_address(ServiceKind::kDataBulletin, partition);
 
   if (full) {
     NodeRecord record;
@@ -157,10 +160,6 @@ void DetectorDaemon::sample() {
   }
   reported_apps_ = std::move(running_apps);
   last_usage_ = node.resources();
-}
-
-void DetectorDaemon::handle(const net::Envelope& env) {
-  (void)env;  // detectors are push-only
 }
 
 }  // namespace phoenix::kernel

@@ -24,13 +24,14 @@
 
 #include "cluster/daemon.h"
 #include "kernel/bulletin/data_bulletin.h"
+#include "kernel/runtime/service_runtime.h"
 #include "kernel/event/event.h"
 #include "kernel/ft_params.h"
 #include "kernel/service_kind.h"
 
 namespace phoenix::kernel {
 
-class DetectorDaemon final : public cluster::Daemon {
+class DetectorDaemon final : public ServiceRuntime {
  public:
   DetectorDaemon(cluster::Cluster& cluster, net::NodeId node,
                  const FtParams& params, ServiceDirectory* directory,
@@ -46,14 +47,12 @@ class DetectorDaemon final : public cluster::Daemon {
   std::uint64_t delta_reports_sent() const noexcept { return delta_reports_; }
 
  private:
-  void handle(const net::Envelope& env) override;
-  void on_start() override;
-  void on_stop() override;
+  void on_service_start() override;
+  void on_service_stop() override;
   void sample();
   void publish(Event event);
 
   const FtParams& params_;
-  ServiceDirectory* directory_;
   sim::PeriodicTask sampler_;
   std::unordered_map<cluster::Pid, cluster::ProcessState> last_states_;
   /// Pids currently reported to the bulletin as running apps (delta base).

@@ -39,55 +39,53 @@ net::Address decode_address(const std::string& s) {
 EventService::EventService(cluster::Cluster& cluster, net::NodeId node,
                            net::PartitionId partition, const FtParams& params,
                            ServiceDirectory* directory, double cpu_share)
-    : Daemon(cluster, "es/" + std::to_string(partition.value), node,
-             port_of(ServiceKind::kEventService), cpu_share),
-      partition_(partition),
-      params_(params),
-      directory_(directory) {}
-
-void EventService::on_start() {
-  if (directory_ == nullptr) return;
-  // Recover the consumer registry from the checkpoint service, then report
-  // readiness to the partition's GSD. On a cold first start the load misses
-  // and we come up with an empty registry.
-  recovery_attempts_left_ = 5;
-  attempt_recovery_load();
-}
-
-void EventService::attempt_recovery_load() {
-  if (!alive()) return;
-  if (recovery_attempts_left_ <= 0) {
-    recovery_load_id_ = 0;
-    announce_up();  // give up on recovery: come up empty
-    return;
-  }
-  --recovery_attempts_left_;
-  recovery_load_id_ = engine().rng().next() | 1;
-  auto load = std::make_shared<CheckpointLoadMsg>();
-  load->service = "es/" + std::to_string(partition_.value);
-  load->key = "registry";
-  load->reply_to = address();
-  load->request_id = recovery_load_id_;
-  const auto cs =
-      directory_->service_address(ServiceKind::kCheckpointService, partition_);
-  send_any(cs, std::move(load));
-  // The checkpoint instance may itself still be starting (joint migration);
-  // retry until it answers or attempts run out.
-  const std::uint64_t this_try = recovery_load_id_;
-  engine().schedule_after(2 * sim::kSecond + params_.checkpoint_federation_fetch,
-                          [this, this_try] {
-                            if (recovery_load_id_ == this_try) attempt_recovery_load();
-                          });
-}
-
-void EventService::announce_up() {
-  if (directory_ == nullptr) return;
-  auto up = std::make_shared<ServiceUpMsg>();
-  up->kind = ServiceKind::kEventService;
-  up->partition = partition_;
-  up->service = address();
-  send_any(directory_->service_address(ServiceKind::kGroupService, partition_),
-           std::move(up));
+    : ServiceRuntime(cluster, "es/" + std::to_string(partition.value), node,
+                     port_of(ServiceKind::kEventService), directory, &params,
+                     // On start the runtime recovers the consumer registry
+                     // from the checkpoint service, then reports readiness to
+                     // the partition's GSD. On a cold first start the load
+                     // misses and the service comes up with an empty registry.
+                     Options{.kind = ServiceKind::kEventService,
+                             .partition = partition,
+                             .checkpoint_namespace =
+                                 "es/" + std::to_string(partition.value),
+                             .checkpoint_key = "registry",
+                             .announce_up = true,
+                             .recover_on_start = true},
+                     cpu_share),
+      partition_(partition) {
+  on<EsSubscribeMsg>([this](const EsSubscribeMsg& sub) {
+    if (sub.remove) {
+      unsubscribe_local(sub.subscription.consumer);
+    } else {
+      subscribe_local(sub.subscription);
+    }
+  });
+  on<EsRegisterSupplierMsg>([this](const EsRegisterSupplierMsg& reg) {
+    if (reg.remove) {
+      suppliers_.erase(reg.supplier);
+    } else {
+      suppliers_[reg.supplier] = reg.types;
+    }
+  });
+  on<EsPublishMsg>([this](const EsPublishMsg& pub) { publish_local(pub.event); });
+  on<EsReplayMsg>([this](const EsReplayMsg& replay) {
+    for (const Event& e : history_) {
+      if (e.seq <= replay.after_seq) continue;
+      if (!replay.subscription.matches(e)) continue;
+      auto notify = std::make_shared<EsNotifyMsg>();
+      notify->event = e;
+      send_any(replay.subscription.consumer, std::move(notify));
+    }
+  });
+  on<EsSyncMsg>([this](const EsSyncMsg& sync) {
+    if (sync.remove) {
+      drop_subscription(sync.subscription.consumer);
+    } else {
+      store_subscription(sync.subscription);
+    }
+    mark_dirty();
+  });
 }
 
 void EventService::index_insert(const Subscription& sub) {
@@ -143,14 +141,14 @@ bool EventService::drop_subscription(const net::Address& consumer) {
 void EventService::subscribe_local(Subscription sub, bool replicate) {
   const net::Address consumer = sub.consumer;
   store_subscription(std::move(sub));
-  checkpoint_registry();
-  if (replicate && directory_ != nullptr) {
-    for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
+  mark_dirty();
+  if (replicate && directory() != nullptr) {
+    for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
       const net::PartitionId pid{static_cast<std::uint32_t>(p)};
       if (pid == partition_) continue;
       auto sync = std::make_shared<EsSyncMsg>();
       sync->subscription = subscriptions_[consumer];
-      send_any(directory_->service_address(ServiceKind::kEventService, pid),
+      send_any(directory()->service_address(ServiceKind::kEventService, pid),
                std::move(sync));
     }
   }
@@ -158,15 +156,15 @@ void EventService::subscribe_local(Subscription sub, bool replicate) {
 
 void EventService::unsubscribe_local(const net::Address& consumer, bool replicate) {
   if (!drop_subscription(consumer)) return;
-  checkpoint_registry();
-  if (replicate && directory_ != nullptr) {
-    for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
+  mark_dirty();
+  if (replicate && directory() != nullptr) {
+    for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
       const net::PartitionId pid{static_cast<std::uint32_t>(p)};
       if (pid == partition_) continue;
       auto sync = std::make_shared<EsSyncMsg>();
       sync->subscription.consumer = consumer;
       sync->remove = true;
-      send_any(directory_->service_address(ServiceKind::kEventService, pid),
+      send_any(directory()->service_address(ServiceKind::kEventService, pid),
                std::move(sync));
     }
   }
@@ -252,71 +250,6 @@ void EventService::restore_registry(const std::string& data) {
     subscriptions_[sub.consumer] = std::move(sub);
   }
   rebuild_index();
-}
-
-void EventService::checkpoint_registry() {
-  if (directory_ == nullptr) return;
-  auto save = std::make_shared<CheckpointSaveMsg>();
-  save->service = "es/" + std::to_string(partition_.value);
-  save->key = "registry";
-  save->data = serialize_registry();
-  send_any(directory_->service_address(ServiceKind::kCheckpointService, partition_),
-           std::move(save));
-}
-
-void EventService::handle(const net::Envelope& env) {
-  const net::Message& m = *env.message;
-
-  if (const auto* sub = net::message_cast<EsSubscribeMsg>(m)) {
-    if (sub->remove) {
-      unsubscribe_local(sub->subscription.consumer);
-    } else {
-      subscribe_local(sub->subscription);
-    }
-    return;
-  }
-  if (const auto* reg = net::message_cast<EsRegisterSupplierMsg>(m)) {
-    if (reg->remove) {
-      suppliers_.erase(reg->supplier);
-    } else {
-      suppliers_[reg->supplier] = reg->types;
-    }
-    return;
-  }
-  if (const auto* pub = net::message_cast<EsPublishMsg>(m)) {
-    publish_local(pub->event);
-    return;
-  }
-  if (const auto* replay = net::message_cast<EsReplayMsg>(m)) {
-    for (const Event& e : history_) {
-      if (e.seq <= replay->after_seq) continue;
-      if (!replay->subscription.matches(e)) continue;
-      auto notify = std::make_shared<EsNotifyMsg>();
-      notify->event = e;
-      send_any(replay->subscription.consumer, std::move(notify));
-    }
-    return;
-  }
-  if (const auto* sync = net::message_cast<EsSyncMsg>(m)) {
-    if (sync->remove) {
-      drop_subscription(sync->subscription.consumer);
-    } else {
-      store_subscription(sync->subscription);
-    }
-    checkpoint_registry();
-    return;
-  }
-  if (const auto* lr = net::message_cast<CheckpointLoadReplyMsg>(m)) {
-    if (lr->request_id != recovery_load_id_) return;
-    recovery_load_id_ = 0;
-    if (lr->found) restore_registry(lr->data);
-    announce_up();
-    // Establish a registry checkpoint immediately (even when empty), so the
-    // next recovery's load hits the warm local segment instead of scanning
-    // the federation.
-    checkpoint_registry();
-    return;
-  }
 }
 
 }  // namespace phoenix::kernel

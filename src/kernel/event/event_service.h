@@ -18,8 +18,9 @@
 #include <vector>
 
 #include "cluster/daemon.h"
-#include "kernel/checkpoint/checkpoint_service.h"
+#include "kernel/checkpoint/checkpoint_msgs.h"
 #include "kernel/event/event.h"
+#include "kernel/runtime/service_runtime.h"
 #include "kernel/ft_params.h"
 #include "kernel/service_kind.h"
 #include "kernel/service_msgs.h"
@@ -97,7 +98,7 @@ struct EsSyncMsg final : net::Message {
   }
 };
 
-class EventService final : public cluster::Daemon {
+class EventService final : public ServiceRuntime {
  public:
   EventService(cluster::Cluster& cluster, net::NodeId node,
                net::PartitionId partition, const FtParams& params,
@@ -125,11 +126,9 @@ class EventService final : public cluster::Daemon {
   void restore_registry(const std::string& data);
 
  private:
-  void handle(const net::Envelope& env) override;
-  void on_start() override;
-  void checkpoint_registry();
-  void announce_up();
-  void attempt_recovery_load();
+  /// Runtime lifecycle: the consumer registry is the checkpointed state.
+  std::string snapshot() const override { return serialize_registry(); }
+  void restore(const std::string& data) override { restore_registry(data); }
 
   // --- publish fan-out index ----------------------------------------------
   // publish_local used to scan every subscription per event. The index
@@ -147,8 +146,6 @@ class EventService final : public cluster::Daemon {
   bool drop_subscription(const net::Address& consumer);
 
   net::PartitionId partition_;
-  const FtParams& params_;
-  ServiceDirectory* directory_;
   std::unordered_map<net::Address, Subscription> subscriptions_;
   std::unordered_map<std::string, std::vector<net::Address>> exact_index_;
   std::vector<net::Address> pattern_subs_;
@@ -156,8 +153,6 @@ class EventService final : public cluster::Daemon {
   std::deque<Event> history_;
   std::size_t history_limit_ = 512;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t recovery_load_id_ = 0;
-  int recovery_attempts_left_ = 0;
 };
 
 }  // namespace phoenix::kernel

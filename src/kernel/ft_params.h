@@ -78,6 +78,12 @@ struct FtParams {
   /// repopulation) can stay stale.
   unsigned detector_resync_every = 12;
 
+  /// Period for each ServiceRuntime daemon to publish its counter row
+  /// (ServiceStatsMsg) into the partition bulletin. 0 disables publishing
+  /// entirely (the default keeps the wire traffic of the paper experiments
+  /// unchanged).
+  SimTime service_stats_interval = 0;
+
   /// Background CPU share each kernel daemon imposes on its node (fraction
   /// of one CPU). Drives the Linpack-overhead experiment.
   double wd_cpu_share = 0.002;

@@ -19,11 +19,16 @@ GroupServiceDaemon::GroupServiceDaemon(cluster::Cluster& cluster, net::NodeId no
                                        ServiceDirectory* directory, FaultLog* log,
                                        std::vector<SupervisedSpec> default_supervised,
                                        double cpu_share)
-    : Daemon(cluster, "gsd/" + std::to_string(partition.value), node,
-             port_of(ServiceKind::kGroupService), cpu_share),
+    : ServiceRuntime(cluster, "gsd/" + std::to_string(partition.value), node,
+                     port_of(ServiceKind::kGroupService), directory, &params,
+                     Options{.kind = ServiceKind::kGroupService,
+                             .partition = partition,
+                             .checkpoint_namespace =
+                                 "gsd/" + std::to_string(partition.value),
+                             .checkpoint_key = "view"},
+                     cpu_share),
       partition_(partition),
       params_(params),
-      directory_(directory),
       log_(log),
       supervised_(std::move(default_supervised)),
       partition_checker_(cluster.engine(), params.heartbeat_interval,
@@ -34,7 +39,26 @@ GroupServiceDaemon::GroupServiceDaemon(cluster::Cluster& cluster, net::NodeId no
                        [this] { check_services(); }),
       ring_beater_(cluster.engine(), params.heartbeat_interval,
                    [this] { send_ring_heartbeat(); }),
-      join_retrier_(cluster.engine(), kJoinRetryPeriod, [this] { try_rejoin(); }) {}
+      join_retrier_(cluster.engine(), kJoinRetryPeriod, [this] { try_rejoin(); }) {
+  on<HeartbeatMsg>([this](const HeartbeatMsg& hb, const net::Envelope& env) {
+    handle_heartbeat(hb, env.network);
+  });
+  on<RingHeartbeatMsg>([this](const RingHeartbeatMsg& ring, const net::Envelope& env) {
+    handle_ring_heartbeat(ring, env);
+  });
+  on<ProbeReplyMsg>([this](const ProbeReplyMsg& reply) { handle_probe_reply(reply); });
+  on<ViewChangeMsg>([this](const ViewChangeMsg& msg) { apply_view(msg.view); });
+  on<MetaJoinMsg>([this](const MetaJoinMsg& join) { handle_join(join); });
+  on<ServiceUpMsg>([this](const ServiceUpMsg& up) { handle_service_up(up); });
+  on<StartServiceReplyMsg>([this](const StartServiceReplyMsg& reply) {
+    handle_start_service_reply(reply);
+  });
+  // Recovery here is fetch_state_and_join (view merge + ring rejoin), not the
+  // runtime's generic restore loop, so this daemon owns the reply type.
+  on<CheckpointLoadReplyMsg>([this](const CheckpointLoadReplyMsg& reply) {
+    handle_state_load_reply(reply);
+  });
+}
 
 void GroupServiceDaemon::set_initial_view(MetaView view) {
   view_ = std::move(view);
@@ -68,7 +92,7 @@ GroupServiceDaemon::NodeStatus GroupServiceDaemon::node_status(net::NodeId node)
   return it == watches_.end() ? NodeStatus::kHealthy : it->second.status;
 }
 
-void GroupServiceDaemon::on_start() {
+void GroupServiceDaemon::on_service_start() {
   // Members seeded at cluster boot carry incarnation 0; every restart or
   // migration gets a strictly larger one so tombstones can tell them apart.
   incarnation_ = booted_with_view_ ? 0 : std::max<std::uint64_t>(now(), 1);
@@ -116,7 +140,7 @@ void GroupServiceDaemon::on_start() {
     // Persist it so a later in-place restart recovers from the warm local
     // checkpoint segment instead of scanning the federation.
     booted_with_view_ = false;
-    checkpoint_state();
+    save_state();
   } else if (bootstrap_requested_ && !started_before_) {
     // Ring founder (staged construction): start a singleton meta-group.
     bootstrap_requested_ = false;
@@ -125,7 +149,7 @@ void GroupServiceDaemon::on_start() {
     v.members = {MetaMember{partition_, address(), incarnation_}};
     view_ = std::move(v);
     joined_ = true;
-    checkpoint_state();
+    save_state();
   } else {
     // Restart or migration: recover the last view, then rejoin the ring.
     booted_with_view_ = false;
@@ -135,7 +159,7 @@ void GroupServiceDaemon::on_start() {
   started_before_ = true;
 }
 
-void GroupServiceDaemon::on_stop() {
+void GroupServiceDaemon::on_service_stop() {
   partition_checker_.stop();
   meta_checker_.stop();
   service_checker_.stop();
@@ -144,11 +168,11 @@ void GroupServiceDaemon::on_stop() {
 }
 
 void GroupServiceDaemon::publish(Event e) {
-  if (directory_ == nullptr) return;
+  if (directory() == nullptr) return;
   e.partition = partition_;
   auto msg = std::make_shared<EsPublishMsg>();
   msg->event = std::move(e);
-  send_any(directory_->service_address(ServiceKind::kEventService, partition_),
+  send_any(directory()->service_address(ServiceKind::kEventService, partition_),
            std::move(msg));
 }
 
@@ -161,16 +185,6 @@ void GroupServiceDaemon::announce_to_partition() {
     announce->partition = partition_;
     send_any({n, port_of(ServiceKind::kWatchDaemon)}, std::move(announce));
   }
-}
-
-void GroupServiceDaemon::checkpoint_state() {
-  if (directory_ == nullptr) return;
-  auto save = std::make_shared<CheckpointSaveMsg>();
-  save->service = "gsd/" + std::to_string(partition_.value);
-  save->key = "view";
-  save->data = view_.serialize();
-  send_any(directory_->service_address(ServiceKind::kCheckpointService, partition_),
-           std::move(save));
 }
 
 // --- partition (WD) monitoring ----------------------------------------------
@@ -548,8 +562,8 @@ void GroupServiceDaemon::conclude_meta_failure(const MetaMember& pred, bool node
 
 void GroupServiceDaemon::migrate_partition(const MetaMember& failed) {
   engine().schedule_after(params_.migration_select_time, [this, failed] {
-    if (!alive() || directory_ == nullptr) return;
-    const auto targets = directory_->migration_targets(failed.partition);
+    if (!alive() || directory() == nullptr) return;
+    const auto targets = directory()->migration_targets(failed.partition);
     if (targets.empty()) {
       Event e;
       e.type = "partition.lost";
@@ -641,7 +655,7 @@ void GroupServiceDaemon::apply_view(MetaView incoming) {
     }
   }
 
-  checkpoint_state();
+  save_state();
 }
 
 void GroupServiceDaemon::broadcast_view() {
@@ -697,7 +711,7 @@ void GroupServiceDaemon::handle_join(const MetaJoinMsg& join) {
 }
 
 void GroupServiceDaemon::try_rejoin() {
-  if (!alive() || joined_ || directory_ == nullptr) return;
+  if (!alive() || joined_ || directory() == nullptr) return;
   if (++futile_join_attempts_ > 10) {
     // Nobody answered ten rounds of joins: the ring is gone (or we are the
     // first GSD up). Found a fresh singleton group; others will join it.
@@ -708,24 +722,24 @@ void GroupServiceDaemon::try_rejoin() {
     v.members = {MetaMember{partition_, address(), incarnation_}};
     view_ = std::move(v);
     joined_ = true;
-    checkpoint_state();
+    save_state();
     return;
   }
   auto join = std::make_shared<MetaJoinMsg>();
   join->member = MetaMember{partition_, address(), incarnation_};
-  for (std::size_t p = 0; p < directory_->partition_count(); ++p) {
+  for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
     const net::PartitionId pid{static_cast<std::uint32_t>(p)};
     if (pid == partition_) continue;
-    send_any(directory_->service_address(ServiceKind::kGroupService, pid), join);
+    send_any(directory()->service_address(ServiceKind::kGroupService, pid), join);
   }
 }
 
 void GroupServiceDaemon::fetch_state_and_join() {
-  if (directory_ == nullptr) {
+  if (directory() == nullptr) {
     joined_ = true;
     return;
   }
-  if (directory_->partition_count() == 1) {
+  if (directory()->partition_count() == 1) {
     // Nothing to rejoin; adopt a singleton view.
     MetaView v;
     v.view_id = view_.view_id + 1;
@@ -745,12 +759,12 @@ void GroupServiceDaemon::fetch_state_and_join() {
     load->key = "view";
     load->reply_to = address();
     load->request_id = load_id;
-    send_any(directory_->service_address(ServiceKind::kCheckpointService, target),
+    send_any(directory()->service_address(ServiceKind::kCheckpointService, target),
              std::move(load));
   };
   send_load(partition_);
   send_load(net::PartitionId{static_cast<std::uint32_t>(
-      (partition_.value + 1) % directory_->partition_count())});
+      (partition_.value + 1) % directory()->partition_count())});
   state_load_id_ = load_id;
 
   // Whether or not the state fetch answers, keep trying to join; and bring
@@ -760,7 +774,7 @@ void GroupServiceDaemon::fetch_state_and_join() {
 }
 
 void GroupServiceDaemon::check_services() {
-  if (!alive() || directory_ == nullptr) return;
+  if (!alive() || directory() == nullptr) return;
   bool created_cs_this_pass = false;
 
   // Checkpoint entries first: every other service recovers its state
@@ -856,134 +870,117 @@ void GroupServiceDaemon::handle_service_up(const ServiceUpMsg& up) {
   }
 }
 
-// --- dispatch -----------------------------------------------------------------
+// --- message handlers ---------------------------------------------------------
 
-void GroupServiceDaemon::handle(const net::Envelope& env) {
-  const net::Message& m = *env.message;
+void GroupServiceDaemon::handle_ring_heartbeat(const RingHeartbeatMsg& ring,
+                                               const net::Envelope& env) {
+  if (ring.from_partition != pred_partition_ ||
+      env.network.value >= pred_last_per_net_.size()) {
+    return;
+  }
+  pred_last_per_net_[env.network.value] = now();
+  if (pred_diagnosing_) {
+    // A live predecessor cancels any suspicion, including probes in flight.
+    pred_diagnosing_ = false;
+    std::erase_if(probes_, [&](const auto& kv) {
+      return kv.second.meta &&
+             kv.second.meta_member.partition == ring.from_partition;
+    });
+  }
+  if (pred_net_failed_[env.network.value]) {
+    pred_net_failed_[env.network.value] = false;
+    Event e;
+    e.type = std::string(event_types::kNetworkRecovered);
+    e.subject_node = env.from.node;
+    e.attrs = {{"network", std::to_string(env.network.value)},
+               {"component", "GSD"}};
+    publish(std::move(e));
+  }
+}
 
-  if (const auto* hb = net::message_cast<HeartbeatMsg>(m)) {
-    handle_heartbeat(*hb, env.network);
-    return;
-  }
-  if (const auto* ring = net::message_cast<RingHeartbeatMsg>(m)) {
-    if (ring->from_partition == pred_partition_ &&
-        env.network.value < pred_last_per_net_.size()) {
-      pred_last_per_net_[env.network.value] = now();
-      if (pred_diagnosing_) {
-        // A live predecessor cancels any suspicion, including probes in flight.
-        pred_diagnosing_ = false;
-        std::erase_if(probes_, [&](const auto& kv) {
-          return kv.second.meta &&
-                 kv.second.meta_member.partition == ring->from_partition;
-        });
+void GroupServiceDaemon::handle_probe_reply(const ProbeReplyMsg& reply) {
+  auto it = probes_.find(reply.probe_id);
+  if (it == probes_.end() || it->second.answered) return;
+  it->second.answered = true;
+  const Probe probe = it->second;
+  probes_.erase(it);
+  if (probe.meta) {
+    if (reply.gsd_running) {
+      // The GSD process is alive on its node: the ring heartbeats were
+      // lost in transit, not a failure. Reset the grace window.
+      pred_diagnosing_ = false;
+      if (probe.meta_member.partition == pred_partition_) {
+        std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
       }
-      if (pred_net_failed_[env.network.value]) {
-        pred_net_failed_[env.network.value] = false;
-        Event e;
-        e.type = std::string(event_types::kNetworkRecovered);
-        e.subject_node = env.from.node;
-        e.attrs = {{"network", std::to_string(env.network.value)},
-                   {"component", "GSD"}};
-        publish(std::move(e));
-      }
+      return;
     }
-    return;
-  }
-  if (const auto* reply = net::message_cast<ProbeReplyMsg>(m)) {
-    auto it = probes_.find(reply->probe_id);
-    if (it == probes_.end() || it->second.answered) return;
-    it->second.answered = true;
-    const Probe probe = it->second;
-    probes_.erase(it);
-    if (probe.meta) {
-      if (reply->gsd_running) {
-        // The GSD process is alive on its node: the ring heartbeats were
-        // lost in transit, not a failure. Reset the grace window.
-        pred_diagnosing_ = false;
-        if (probe.meta_member.partition == pred_partition_) {
-          std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
-        }
-        return;
-      }
-      // The node answered but its GSD is dead: one confirmation round
-      // before declaring the GSD process dead and reforming the ring.
-      engine().schedule_after(params_.process_confirm_delay, [this, probe] {
-        conclude_meta_failure(probe.meta_member, /*node_dead=*/false,
-                              probe.detected_at, probe.last_seen_at);
-      });
-    } else {
-      if (reply->wd_running) {
-        // False alarm (lost heartbeats): the WD process is alive.
-        auto wit = watches_.find(probe.node.value);
-        if (wit != watches_.end()) {
-          wit->second.diagnosing = false;
-          wit->second.status = NodeStatus::kHealthy;
-          std::fill(wit->second.last_per_net.begin(),
-                    wit->second.last_per_net.end(), now());
-        }
-        return;
-      }
-      // The node answered and its WD is dead. One more confirmation round
-      // before declaring it.
-      engine().schedule_after(params_.process_confirm_delay,
-                              [this, probe] {
-                                conclude_wd_process_failure(
-                                    probe.node, probe.detected_at,
-                                    probe.last_seen_at);
-                              });
-    }
-    return;
-  }
-  if (const auto* view = net::message_cast<ViewChangeMsg>(m)) {
-    apply_view(view->view);
-    return;
-  }
-  if (const auto* join = net::message_cast<MetaJoinMsg>(m)) {
-    handle_join(*join);
-    return;
-  }
-  if (const auto* up = net::message_cast<ServiceUpMsg>(m)) {
-    handle_service_up(*up);
-    return;
-  }
-  if (const auto* sreply = net::message_cast<StartServiceReplyMsg>(m)) {
-    auto it = pending_recoveries_.find(sreply->request_id);
-    if (it == pending_recoveries_.end()) return;
-    const PendingRecovery rec = it->second;
-    pending_recoveries_.erase(it);
-    if (!sreply->ok) return;
-    if (log_ != nullptr && log_->mark_recovered(rec.component, rec.node, now())) {
-      Event e;
-      e.type = std::string(event_types::kServiceRecovered);
-      e.subject_node = rec.node;
-      e.attrs = {{"service", rec.component}};
-      publish(std::move(e));
-    }
-    if (rec.component == "WD") {
-      auto wit = watches_.find(rec.node.value);
-      if (wit != watches_.end() && wit->second.status == NodeStatus::kProcessFailed) {
+    // The node answered but its GSD is dead: one confirmation round
+    // before declaring the GSD process dead and reforming the ring.
+    engine().schedule_after(params_.process_confirm_delay, [this, probe] {
+      conclude_meta_failure(probe.meta_member, /*node_dead=*/false,
+                            probe.detected_at, probe.last_seen_at);
+    });
+  } else {
+    if (reply.wd_running) {
+      // False alarm (lost heartbeats): the WD process is alive.
+      auto wit = watches_.find(probe.node.value);
+      if (wit != watches_.end()) {
+        wit->second.diagnosing = false;
         wit->second.status = NodeStatus::kHealthy;
+        std::fill(wit->second.last_per_net.begin(),
+                  wit->second.last_per_net.end(), now());
       }
+      return;
     }
-    return;
+    // The node answered and its WD is dead. One more confirmation round
+    // before declaring it.
+    engine().schedule_after(params_.process_confirm_delay,
+                            [this, probe] {
+                              conclude_wd_process_failure(
+                                  probe.node, probe.detected_at,
+                                  probe.last_seen_at);
+                            });
   }
-  if (const auto* lr = net::message_cast<CheckpointLoadReplyMsg>(m)) {
-    if (lr->request_id != state_load_id_ || state_load_id_ == 0) return;
-    state_load_id_ = 0;
-    if (lr->found) {
-      MetaView recovered = MetaView::deserialize(lr->data);
-      // The recovered view predates our death; adopt it as a hint for the
-      // membership we are rejoining (addresses of live members).
-      if (recovered.view_id >= view_.view_id) {
-        recovered.remove(partition_);  // our old entry is stale
-        view_ = std::move(recovered);
-      }
+}
+
+void GroupServiceDaemon::handle_start_service_reply(
+    const StartServiceReplyMsg& reply) {
+  auto it = pending_recoveries_.find(reply.request_id);
+  if (it == pending_recoveries_.end()) return;
+  const PendingRecovery rec = it->second;
+  pending_recoveries_.erase(it);
+  if (!reply.ok) return;
+  if (log_ != nullptr && log_->mark_recovered(rec.component, rec.node, now())) {
+    Event e;
+    e.type = std::string(event_types::kServiceRecovered);
+    e.subject_node = rec.node;
+    e.attrs = {{"service", rec.component}};
+    publish(std::move(e));
+  }
+  if (rec.component == "WD") {
+    auto wit = watches_.find(rec.node.value);
+    if (wit != watches_.end() && wit->second.status == NodeStatus::kProcessFailed) {
+      wit->second.status = NodeStatus::kHealthy;
     }
-    try_rejoin();
-    join_retrier_.start_after(kJoinRetryPeriod);
-    check_services();
-    return;
   }
+}
+
+void GroupServiceDaemon::handle_state_load_reply(
+    const CheckpointLoadReplyMsg& reply) {
+  if (reply.request_id != state_load_id_ || state_load_id_ == 0) return;
+  state_load_id_ = 0;
+  if (reply.found) {
+    MetaView recovered = MetaView::deserialize(reply.data);
+    // The recovered view predates our death; adopt it as a hint for the
+    // membership we are rejoining (addresses of live members).
+    if (recovered.view_id >= view_.view_id) {
+      recovered.remove(partition_);  // our old entry is stale
+      view_ = std::move(recovered);
+    }
+  }
+  try_rejoin();
+  join_retrier_.start_after(kJoinRetryPeriod);
+  check_services();
 }
 
 }  // namespace phoenix::kernel

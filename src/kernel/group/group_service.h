@@ -40,10 +40,15 @@
 #include "kernel/ft_params.h"
 #include "kernel/group/meta_group.h"
 #include "kernel/group/watch_daemon.h"
+#include "kernel/runtime/service_runtime.h"
 #include "kernel/service_kind.h"
 #include "kernel/service_msgs.h"
 
 namespace phoenix::kernel {
+
+// Declared in kernel/ppm/process_manager.h (included by the .cpp).
+struct ProbeReplyMsg;
+struct StartServiceReplyMsg;
 
 /// A service the GSD supervises on its own node.
 struct SupervisedSpec {
@@ -53,7 +58,7 @@ struct SupervisedSpec {
   net::PortId port;        // mailbox port of the supervised instance
 };
 
-class GroupServiceDaemon final : public cluster::Daemon {
+class GroupServiceDaemon final : public ServiceRuntime {
  public:
   enum class NodeStatus : std::uint8_t {
     kHealthy,
@@ -95,12 +100,19 @@ class GroupServiceDaemon final : public cluster::Daemon {
   std::uint64_t heartbeats_received() const noexcept { return heartbeats_received_; }
 
  private:
-  void handle(const net::Envelope& env) override;
-  void on_start() override;
-  void on_stop() override;
+  void on_service_start() override;
+  void on_service_stop() override;
+  /// The checkpointed state is the meta-group view (paired with the custom
+  /// CheckpointLoadReplyMsg handler — recovery here is fetch_state_and_join,
+  /// not the runtime's generic restore-then-announce loop).
+  std::string snapshot() const override { return view_.serialize(); }
 
   // -- partition monitoring --
   void handle_heartbeat(const HeartbeatMsg& hb, net::NetworkId network);
+  void handle_ring_heartbeat(const RingHeartbeatMsg& ring, const net::Envelope& env);
+  void handle_probe_reply(const ProbeReplyMsg& reply);
+  void handle_start_service_reply(const StartServiceReplyMsg& reply);
+  void handle_state_load_reply(const CheckpointLoadReplyMsg& reply);
   void check_partition();
   void begin_node_diagnosis(net::NodeId node);
   void probe_attempt(std::uint64_t probe_id);
@@ -134,11 +146,9 @@ class GroupServiceDaemon final : public cluster::Daemon {
     return {node, port_of(ServiceKind::kProcessManager)};
   }
   void announce_to_partition();
-  void checkpoint_state();
 
   net::PartitionId partition_;
   const FtParams& params_;
-  ServiceDirectory* directory_;
   FaultLog* log_;
   std::uint64_t incarnation_ = 0;
 

@@ -5,15 +5,24 @@ namespace phoenix::kernel {
 WatchDaemon::WatchDaemon(cluster::Cluster& cluster, net::NodeId node,
                          const FtParams& params, ServiceDirectory* directory,
                          double cpu_share)
-    : Daemon(cluster, "wd", node, port_of(ServiceKind::kWatchDaemon), cpu_share),
+    : ServiceRuntime(cluster, "wd", node, port_of(ServiceKind::kWatchDaemon),
+                     directory, &params,
+                     Options{.kind = ServiceKind::kWatchDaemon,
+                             .partition = cluster.partition_of(node)},
+                     cpu_share),
       params_(params),
-      directory_(directory),
-      beater_(cluster.engine(), params.heartbeat_interval, [this] { beat(); }) {}
+      beater_(cluster.engine(), params.heartbeat_interval, [this] { beat(); }) {
+  on<GsdAnnounceMsg>([this](const GsdAnnounceMsg& announce) {
+    gsd_ = announce.gsd;
+    // Heartbeat the new GSD promptly so it sees this node as healthy.
+    beat();
+  });
+}
 
-void WatchDaemon::on_start() {
-  if (directory_ != nullptr) {
-    gsd_ = directory_->service_address(ServiceKind::kGroupService,
-                                       cluster().partition_of(node_id()));
+void WatchDaemon::on_service_start() {
+  if (directory() != nullptr) {
+    gsd_ = directory()->service_address(ServiceKind::kGroupService,
+                                        cluster().partition_of(node_id()));
   }
   beater_.set_period(params_.heartbeat_interval);
   // First heartbeat goes out almost immediately so a restarted WD announces
@@ -21,7 +30,7 @@ void WatchDaemon::on_start() {
   beater_.start_after(engine().rng().uniform_int(1, 10 * sim::kMillisecond));
 }
 
-void WatchDaemon::on_stop() { beater_.stop(); }
+void WatchDaemon::on_service_stop() { beater_.stop(); }
 
 void WatchDaemon::beat() {
   if (!alive() || !gsd_.valid()) return;
@@ -32,15 +41,6 @@ void WatchDaemon::beat() {
   hb->sent_at = now();
   last_sent_at_ = now();
   send_all_networks(gsd_, std::move(hb));
-}
-
-void WatchDaemon::handle(const net::Envelope& env) {
-  if (const auto* announce = net::message_cast<GsdAnnounceMsg>(*env.message)) {
-    gsd_ = announce->gsd;
-    // Heartbeat the new GSD promptly so it sees this node as healthy.
-    beat();
-    return;
-  }
 }
 
 }  // namespace phoenix::kernel

@@ -14,6 +14,7 @@
 #include "cluster/daemon.h"
 #include "cluster/node.h"
 #include "kernel/ft_params.h"
+#include "kernel/runtime/service_runtime.h"
 #include "kernel/service_kind.h"
 #include "net/message.h"
 
@@ -41,7 +42,7 @@ struct GsdAnnounceMsg final : net::Message {
   std::size_t wire_size() const noexcept override { return 16; }
 };
 
-class WatchDaemon final : public cluster::Daemon {
+class WatchDaemon final : public ServiceRuntime {
  public:
   WatchDaemon(cluster::Cluster& cluster, net::NodeId node, const FtParams& params,
               ServiceDirectory* directory, double cpu_share = 0.0);
@@ -54,13 +55,11 @@ class WatchDaemon final : public cluster::Daemon {
   net::Address gsd_address() const noexcept { return gsd_; }
 
  private:
-  void handle(const net::Envelope& env) override;
-  void on_start() override;
-  void on_stop() override;
+  void on_service_start() override;
+  void on_service_stop() override;
   void beat();
 
   const FtParams& params_;
-  ServiceDirectory* directory_;
   sim::PeriodicTask beater_;
   net::Address gsd_;
   std::uint64_t seq_ = 0;

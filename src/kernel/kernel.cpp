@@ -87,10 +87,10 @@ void PhoenixKernel::create_daemons() {
 
   // Cluster-wide singletons.
   const net::NodeId head = cluster_.server_node(net::PartitionId{0});
-  config_ = std::make_unique<ConfigurationService>(cluster_, head,
-                                                   params_.server_daemon_cpu_share);
-  security_ = std::make_unique<SecurityService>(cluster_, head,
-                                                params_.server_daemon_cpu_share);
+  config_ = std::make_unique<ConfigurationService>(
+      cluster_, head, params_.server_daemon_cpu_share, this, &params_);
+  security_ = std::make_unique<SecurityService>(
+      cluster_, head, params_.server_daemon_cpu_share, this, &params_);
 
   // Dynamic reconfiguration notifications: every successful set() becomes a
   // "config.changed" event through partition 0's event service.
@@ -269,6 +269,9 @@ cluster::Daemon* PhoenixKernel::create_service(ServiceKind kind, net::PartitionI
     default:
       return nullptr;  // per-node and singleton services do not migrate
   }
+  // A service created through this path replaces a failed instance; let the
+  // runtime account the takeover and fire the on_takeover() hook at start().
+  static_cast<ServiceRuntime*>(created)->mark_takeover();
   set_service_node(kind, p, node);
   return created;
 }
@@ -285,6 +288,11 @@ cluster::Daemon* PhoenixKernel::create_extension(const std::string& name,
   }
   auto fresh = factory->second(node);
   cluster::Daemon* created = fresh.get();
+  // Extensions built on the service runtime get the same failover accounting
+  // as kernel services; plain daemons opt out by not inheriting it.
+  if (old != extension_instances_.end()) {
+    if (auto* rt = dynamic_cast<ServiceRuntime*>(created)) rt->mark_takeover();
+  }
   extension_instances_[name] = std::move(fresh);
   return created;
 }

@@ -13,10 +13,83 @@ constexpr sim::SimTime kCmdTimeout = 5 * sim::kSecond;
 ProcessManager::ProcessManager(cluster::Cluster& cluster, net::NodeId node,
                                const FtParams& params, ServiceDirectory* directory,
                                double cpu_share)
-    : Daemon(cluster, "ppm", node, port_of(ServiceKind::kProcessManager), cpu_share),
-      params_(params),
-      directory_(directory),
-      parallel_cmd_type_(net::intern_message_type("ppm.parallel_cmd")) {}
+    : ServiceRuntime(cluster, "ppm", node, port_of(ServiceKind::kProcessManager),
+                     directory, &params,
+                     Options{.kind = ServiceKind::kProcessManager,
+                             .partition = cluster.partition_of(node)},
+                     cpu_share),
+      params_(params) {
+  on<ProbeMsg>([this](const ProbeMsg& probe, const net::Envelope& env) {
+    auto reply = std::make_shared<ProbeReplyMsg>();
+    reply->probe_id = probe.probe_id;
+    reply->node = node_id();
+    const auto* wd = this->cluster().daemon_at(
+        {node_id(), port_of(ServiceKind::kWatchDaemon)});
+    reply->wd_running = wd != nullptr && wd->alive();
+    const auto* gsd = this->cluster().daemon_at(
+        {node_id(), port_of(ServiceKind::kGroupService)});
+    reply->gsd_running = gsd != nullptr && gsd->alive();
+    // Answer on the same network the probe arrived on: the prober is
+    // checking reachability of this node, not of a particular path.
+    send(probe.reply_to, env.network, std::move(reply));
+  });
+  on<SpawnMsg>([this](const SpawnMsg& msg) {
+    serve_mutating(msg, [&]() -> std::shared_ptr<const net::Message> {
+      const cluster::Pid pid = spawn_local(msg.spec, msg.exit_notify);
+      auto reply = std::make_shared<SpawnReplyMsg>();
+      reply->request_id = msg.request_id;
+      reply->ok = true;
+      reply->pid = pid;
+      reply->node = node_id();
+      return reply;
+    });
+  });
+  on<KillMsg>([this](const KillMsg& msg) {
+    serve_idempotent(msg, [&] {
+      auto& node = this->cluster().node(node_id());
+      const bool ok =
+          node.terminate_process(msg.pid, cluster::ProcessState::kKilled, now());
+      auto reply = std::make_shared<KillReplyMsg>();
+      reply->request_id = msg.request_id;
+      reply->ok = ok;
+      return reply;
+    });
+  });
+  on<CleanupMsg>([this](const CleanupMsg& msg) {
+    serve_idempotent(msg, [&] {
+      const std::size_t reaped = this->cluster().node(node_id()).reap();
+      auto reply = std::make_shared<CleanupReplyMsg>();
+      reply->request_id = msg.request_id;
+      reply->reaped = reaped;
+      return reply;
+    });
+  });
+  on<StartServiceMsg>([this](const StartServiceMsg& msg) {
+    handle_start_service(msg);
+  });
+  on<ParallelCmdMsg>([this](const ParallelCmdMsg& msg) {
+    handle_parallel_cmd(msg);
+  });
+  on<ParallelCmdReplyMsg>([this](const ParallelCmdReplyMsg& creply) {
+    auto it = pending_cmds_.find(creply.request_id);
+    if (it == pending_cmds_.end()) return;
+    it->second.succeeded += creply.succeeded;
+    it->second.failed += creply.failed;
+    if (--it->second.awaiting == 0) {
+      PendingCmd done = it->second;
+      pending_cmds_.erase(it);
+      if (done.reply_to.valid()) {
+        auto reply = std::make_shared<ParallelCmdReplyMsg>();
+        reply->request_id = done.request_id;
+        reply->succeeded = done.succeeded;
+        reply->failed = done.failed;
+        replay_cache().complete(done.reply_to, ParallelCmdMsg::static_type_id(),
+                                done.request_id, reply);
+        send_any(done.reply_to, std::move(reply));
+      }
+    }
+  });
+}
 
 cluster::Pid ProcessManager::spawn_local(const ProcessSpec& spec,
                                          net::Address exit_notify) {
@@ -61,29 +134,16 @@ sim::SimTime ProcessManager::exec_time_for(ServiceKind kind, bool extension) con
   }
 }
 
-void ProcessManager::handle_spawn(const SpawnMsg& msg) {
-  const cluster::Pid pid = spawn_local(msg.spec, msg.exit_notify);
-  if (msg.reply_to.valid()) {
-    auto reply = std::make_shared<SpawnReplyMsg>();
-    reply->request_id = msg.request_id;
-    reply->ok = true;
-    reply->pid = pid;
-    reply->node = node_id();
-    replay_.complete(msg.reply_to, msg.type_id(), msg.request_id, reply);
-    send_any(msg.reply_to, std::move(reply));
-  }
-}
-
 void ProcessManager::handle_start_service(const StartServiceMsg& msg) {
   auto reply = std::make_shared<StartServiceReplyMsg>();
   reply->request_id = msg.request_id;
 
   cluster::Daemon* target = nullptr;
   if (msg.create) {
-    if (directory_ != nullptr) {
+    if (directory() != nullptr) {
       target = msg.extension.empty()
-                   ? directory_->create_service(msg.kind, msg.partition, node_id())
-                   : directory_->create_extension(msg.extension, node_id());
+                   ? directory()->create_service(msg.kind, msg.partition, node_id())
+                   : directory()->create_extension(msg.extension, node_id());
     }
   } else {
     // Restart the existing (dead) instance object bound on this node.
@@ -118,7 +178,8 @@ void ProcessManager::handle_parallel_cmd(const ParallelCmdMsg& msg) {
   // dropped (the original's reply answers it); one arriving after completion
   // replays the aggregated reply without re-executing the command tree.
   std::shared_ptr<const net::Message> replay;
-  switch (replay_.begin(msg.reply_to, msg.type_id(), msg.request_id, &replay)) {
+  switch (replay_cache().begin(msg.reply_to, msg.type_id(), msg.request_id,
+                               &replay)) {
     case net::ReplayCache::Admit::kReplay:
       send_any(msg.reply_to, std::move(replay));
       return;
@@ -182,7 +243,8 @@ void ProcessManager::handle_parallel_cmd(const ParallelCmdMsg& msg) {
         reply->request_id = done.request_id;
         reply->succeeded = done.succeeded;
         reply->failed = done.failed;
-        replay_.complete(done.reply_to, parallel_cmd_type_, done.request_id, reply);
+        replay_cache().complete(done.reply_to, ParallelCmdMsg::static_type_id(),
+                                done.request_id, reply);
         send_any(done.reply_to, std::move(reply));
       }
     }
@@ -199,94 +261,11 @@ void ProcessManager::handle_parallel_cmd(const ParallelCmdMsg& msg) {
       reply->request_id = done.request_id;
       reply->succeeded = done.succeeded;
       reply->failed = done.failed + done.awaiting;  // lost subtrees
-      replay_.complete(done.reply_to, parallel_cmd_type_, done.request_id, reply);
+      replay_cache().complete(done.reply_to, ParallelCmdMsg::static_type_id(),
+                              done.request_id, reply);
       send_any(done.reply_to, std::move(reply));
     }
   });
-}
-
-void ProcessManager::handle(const net::Envelope& env) {
-  const net::Message& m = *env.message;
-
-  if (const auto* probe = net::message_cast<ProbeMsg>(m)) {
-    auto reply = std::make_shared<ProbeReplyMsg>();
-    reply->probe_id = probe->probe_id;
-    reply->node = node_id();
-    const auto* wd = cluster().daemon_at(
-        {node_id(), port_of(ServiceKind::kWatchDaemon)});
-    reply->wd_running = wd != nullptr && wd->alive();
-    const auto* gsd = cluster().daemon_at(
-        {node_id(), port_of(ServiceKind::kGroupService)});
-    reply->gsd_running = gsd != nullptr && gsd->alive();
-    // Answer on the same network the probe arrived on: the prober is
-    // checking reachability of this node, not of a particular path.
-    send(probe->reply_to, env.network, std::move(reply));
-    return;
-  }
-  if (const auto* spawn = net::message_cast<SpawnMsg>(m)) {
-    std::shared_ptr<const net::Message> replay;
-    switch (replay_.begin(spawn->reply_to, spawn->type_id(), spawn->request_id,
-                          &replay)) {
-      case net::ReplayCache::Admit::kReplay:
-        send_any(spawn->reply_to, std::move(replay));
-        return;
-      case net::ReplayCache::Admit::kInFlight:
-        return;  // unreachable: spawns execute synchronously
-      case net::ReplayCache::Admit::kNew:
-        break;
-    }
-    handle_spawn(*spawn);
-    return;
-  }
-  if (const auto* killm = net::message_cast<KillMsg>(m)) {
-    auto& node = cluster().node(node_id());
-    const bool ok =
-        node.terminate_process(killm->pid, cluster::ProcessState::kKilled, now());
-    if (killm->reply_to.valid()) {
-      auto reply = std::make_shared<KillReplyMsg>();
-      reply->request_id = killm->request_id;
-      reply->ok = ok;
-      send_any(killm->reply_to, std::move(reply));
-    }
-    return;
-  }
-  if (const auto* cleanup = net::message_cast<CleanupMsg>(m)) {
-    const std::size_t reaped = cluster().node(node_id()).reap();
-    if (cleanup->reply_to.valid()) {
-      auto reply = std::make_shared<CleanupReplyMsg>();
-      reply->request_id = cleanup->request_id;
-      reply->reaped = reaped;
-      send_any(cleanup->reply_to, std::move(reply));
-    }
-    return;
-  }
-  if (const auto* start = net::message_cast<StartServiceMsg>(m)) {
-    handle_start_service(*start);
-    return;
-  }
-  if (const auto* cmd = net::message_cast<ParallelCmdMsg>(m)) {
-    handle_parallel_cmd(*cmd);
-    return;
-  }
-  if (const auto* creply = net::message_cast<ParallelCmdReplyMsg>(m)) {
-    auto it = pending_cmds_.find(creply->request_id);
-    if (it == pending_cmds_.end()) return;
-    it->second.succeeded += creply->succeeded;
-    it->second.failed += creply->failed;
-    if (--it->second.awaiting == 0) {
-      PendingCmd done = it->second;
-      pending_cmds_.erase(it);
-      if (done.reply_to.valid()) {
-        auto reply = std::make_shared<ParallelCmdReplyMsg>();
-        reply->request_id = done.request_id;
-        reply->succeeded = done.succeeded;
-        reply->failed = done.failed;
-        replay_.complete(done.reply_to, parallel_cmd_type_, done.request_id, reply);
-        send_any(done.reply_to, std::move(reply));
-      }
-    }
-    return;
-  }
 }
 
 }  // namespace phoenix::kernel

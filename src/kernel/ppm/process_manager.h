@@ -15,6 +15,7 @@
 
 #include "cluster/daemon.h"
 #include "kernel/ft_params.h"
+#include "kernel/runtime/service_runtime.h"
 #include "kernel/service_kind.h"
 #include "net/message.h"
 #include "net/rpc.h"
@@ -170,7 +171,7 @@ struct ParallelCmdReplyMsg final : net::Message {
 
 // --- daemon -----------------------------------------------------------------
 
-class ProcessManager final : public cluster::Daemon {
+class ProcessManager final : public ServiceRuntime {
  public:
   ProcessManager(cluster::Cluster& cluster, net::NodeId node,
                  const FtParams& params, ServiceDirectory* directory,
@@ -182,24 +183,17 @@ class ProcessManager final : public cluster::Daemon {
   /// Local command execution cost (per node, per command).
   static constexpr sim::SimTime kCommandExecTime = 5 * sim::kMillisecond;
 
-  /// At-most-once filter for spawn and parallel-command requests. A retried
-  /// spawn replays its original pid; a parallel command retried while the
-  /// fan-out still runs is suppressed (the original reply serves it).
-  const net::ReplayCache& replay_cache() const noexcept { return replay_; }
-
  private:
-  void handle(const net::Envelope& env) override;
-  void handle_spawn(const SpawnMsg& msg);
   void handle_start_service(const StartServiceMsg& msg);
   void handle_parallel_cmd(const ParallelCmdMsg& msg);
   void process_exited(cluster::Pid pid, net::Address notify);
   sim::SimTime exec_time_for(ServiceKind kind, bool extension) const;
 
   const FtParams& params_;
-  ServiceDirectory* directory_;  // may be null in unit tests
-  net::MessageTypeId parallel_cmd_type_;  // dedup key type for cmd replies
 
-  /// In-flight parallel command aggregation state.
+  /// In-flight parallel command aggregation state. The fan-out completes
+  /// asynchronously, so the at-most-once protocol uses the runtime's
+  /// replay_cache() begin/complete directly instead of serve_mutating().
   struct PendingCmd {
     net::Address reply_to;
     std::uint64_t request_id = 0;
@@ -209,7 +203,6 @@ class ProcessManager final : public cluster::Daemon {
   };
   std::unordered_map<std::uint64_t, PendingCmd> pending_cmds_;
   std::uint64_t next_cmd_id_ = 1;
-  net::ReplayCache replay_;
 };
 
 }  // namespace phoenix::kernel

@@ -1,0 +1,174 @@
+#include "kernel/runtime/service_runtime.h"
+
+#include "kernel/checkpoint/checkpoint_msgs.h"
+
+namespace phoenix::kernel {
+
+ServiceRuntime::ServiceRuntime(cluster::Cluster& cluster, std::string name,
+                               net::NodeId node, net::PortId port,
+                               ServiceDirectory* directory,
+                               const FtParams* params, Options opts,
+                               double cpu_share)
+    : cluster::Daemon(cluster, std::move(name), node, port, cpu_share),
+      directory_(directory),
+      params_(params),
+      opts_(std::move(opts)) {
+  if (opts_.recover_on_start) {
+    // The recovery loop is the only handler the runtime registers itself; a
+    // service that needs CheckpointLoadReplyMsg for its own protocol (the
+    // checkpoint federation, the GSD view fetch) keeps recover_on_start off
+    // and owns the type.
+    on<CheckpointLoadReplyMsg>([this](const CheckpointLoadReplyMsg& reply) {
+      on_recovery_reply(reply);
+    });
+  }
+}
+
+ServiceRuntime::~ServiceRuntime() = default;
+
+void ServiceRuntime::handle(const net::Envelope& env) {
+  const net::MessageTypeId id = env.message->type_id();
+  ++counters_.messages_received;
+  counters_.messages_by_type.slot(id) += 1;
+  if (id.value < table_.size() && table_[id.value]) {
+    table_[id.value](env);
+    return;
+  }
+  ++counters_.messages_unhandled;
+  on_unhandled(env);
+}
+
+void ServiceRuntime::on_start() {
+  if (pending_takeover_) {
+    pending_takeover_ = false;
+    ++counters_.takeovers;
+    on_takeover();
+  }
+  on_service_start();
+  if (params_ != nullptr && params_->service_stats_interval > 0 &&
+      directory_ != nullptr) {
+    if (stats_task_ == nullptr) {
+      stats_task_ = std::make_unique<sim::PeriodicTask>(
+          engine(), params_->service_stats_interval, [this] { publish_stats(); });
+    }
+    stats_task_->set_period(params_->service_stats_interval);
+    stats_task_->start();
+  }
+  if (directory_ == nullptr) return;
+  if (opts_.recover_on_start && !opts_.checkpoint_namespace.empty() &&
+      params_ != nullptr) {
+    recovery_attempts_left_ = opts_.recovery_attempts;
+    attempt_recovery_load();
+  } else if (opts_.announce_up) {
+    announce_up();
+  }
+}
+
+void ServiceRuntime::on_stop() {
+  if (stats_task_ != nullptr) stats_task_->stop();
+  on_service_stop();
+}
+
+void ServiceRuntime::announce_up() {
+  if (directory_ == nullptr) return;
+  auto up = std::make_shared<ServiceUpMsg>();
+  up->kind = opts_.kind;
+  up->extension = opts_.extension;
+  up->partition = opts_.partition;
+  up->service = address();
+  send_any(directory_->service_address(ServiceKind::kGroupService, opts_.partition),
+           std::move(up));
+}
+
+void ServiceRuntime::save_state() {
+  if (directory_ == nullptr || opts_.checkpoint_namespace.empty()) return;
+  auto save = std::make_shared<CheckpointSaveMsg>();
+  save->service = opts_.checkpoint_namespace;
+  save->key = opts_.checkpoint_key;
+  save->data = snapshot();
+  ++counters_.snapshots_saved;
+  last_save_time_ = now();
+  ever_saved_ = true;
+  dirty_ = false;
+  send_any(
+      directory_->service_address(ServiceKind::kCheckpointService, opts_.partition),
+      std::move(save));
+}
+
+void ServiceRuntime::mark_dirty() {
+  if (directory_ == nullptr || opts_.checkpoint_namespace.empty()) return;
+  if (!ever_saved_ || last_save_time_ != now()) {
+    // Leading edge: the first change in this tick checkpoints immediately
+    // (identical wire behaviour to save-on-every-change when changes land
+    // on distinct ticks, which is the steady-state case).
+    save_state();
+    return;
+  }
+  // Already saved at this instant; fold further same-tick changes into one
+  // trailing flush at the end of the tick.
+  dirty_ = true;
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  engine().schedule_after(0, [this] {
+    flush_scheduled_ = false;
+    if (dirty_ && alive()) save_state();
+  });
+}
+
+void ServiceRuntime::attempt_recovery_load() {
+  if (!alive()) return;
+  if (recovery_attempts_left_ <= 0) {
+    // Give up: come up empty-handed rather than never.
+    recovery_load_id_ = 0;
+    if (opts_.announce_up) announce_up();
+    return;
+  }
+  --recovery_attempts_left_;
+  recovery_load_id_ = engine().rng().next() | 1;  // never 0
+  auto load = std::make_shared<CheckpointLoadMsg>();
+  load->service = opts_.checkpoint_namespace;
+  load->key = opts_.checkpoint_key;
+  load->reply_to = address();
+  load->request_id = recovery_load_id_;
+  send_any(
+      directory_->service_address(ServiceKind::kCheckpointService, opts_.partition),
+      std::move(load));
+  const std::uint64_t this_try = recovery_load_id_;
+  engine().schedule_after(
+      2 * sim::kSecond + params_->checkpoint_federation_fetch, [this, this_try] {
+        if (recovery_load_id_ == this_try) attempt_recovery_load();
+      });
+}
+
+void ServiceRuntime::on_recovery_reply(const CheckpointLoadReplyMsg& reply) {
+  if (recovery_load_id_ == 0 || reply.request_id != recovery_load_id_) return;
+  recovery_load_id_ = 0;
+  if (reply.found) {
+    restore(reply.data);
+    ++counters_.restores;
+  }
+  if (opts_.announce_up) announce_up();
+  // Re-seed the checkpoint immediately: a fresh instance on a new node must
+  // not depend on the old node's federation entry staying reachable.
+  save_state();
+}
+
+void ServiceRuntime::publish_stats() {
+  if (!alive() || directory_ == nullptr) return;
+  auto stats = std::make_shared<ServiceStatsMsg>();
+  stats->service = name();
+  stats->kind = opts_.kind;
+  stats->partition = opts_.partition;
+  stats->node = node_id();
+  stats->messages_received = counters_.messages_received;
+  stats->messages_unhandled = counters_.messages_unhandled;
+  stats->replays_served = replay_.replays_served();
+  stats->duplicates_suppressed = replay_.duplicates_suppressed();
+  stats->snapshots_saved = counters_.snapshots_saved;
+  stats->restores = counters_.restores;
+  stats->takeovers = counters_.takeovers;
+  send_any(directory_->service_address(ServiceKind::kDataBulletin, opts_.partition),
+           std::move(stats));
+}
+
+}  // namespace phoenix::kernel

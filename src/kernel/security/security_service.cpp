@@ -33,9 +33,33 @@ std::string StreamCipher::apply(std::string_view data) const {
 }
 
 SecurityService::SecurityService(cluster::Cluster& cluster, net::NodeId node,
-                                 double cpu_share)
-    : Daemon(cluster, "security", node, port_of(ServiceKind::kSecurity), cpu_share),
-      signing_key_(cluster.engine().rng().next()) {}
+                                 double cpu_share, ServiceDirectory* directory,
+                                 const FtParams* params)
+    : ServiceRuntime(cluster, "security", node, port_of(ServiceKind::kSecurity),
+                     directory, params, Options{.kind = ServiceKind::kSecurity},
+                     cpu_share),
+      signing_key_(cluster.engine().rng().next()) {
+  on<AuthRequestMsg>([this](const AuthRequestMsg& msg) {
+    serve_mutating(msg, [&] {
+      auto reply = std::make_shared<AuthReplyMsg>();
+      reply->request_id = msg.request_id;
+      if (auto token = authenticate(msg.user, msg.secret)) {
+        reply->ok = true;
+        reply->token = *token;
+      }
+      return reply;
+    });
+  });
+  on<AuthzRequestMsg>([this](const AuthzRequestMsg& msg) {
+    serve_mutating(msg, [&] {
+      auto reply = std::make_shared<AuthzReplyMsg>();
+      reply->request_id = msg.request_id;
+      reply->allowed =
+          authorize(msg.token, msg.action, msg.resource, &reply->reason);
+      return reply;
+    });
+  });
+}
 
 void SecurityService::add_user(const std::string& user, const std::string& secret,
                                std::vector<std::string> roles) {
@@ -99,51 +123,6 @@ bool SecurityService::authorize(const Token& token, const std::string& action,
   }
   if (reason) *reason = "no role grants '" + action + "' on '" + resource + "'";
   return false;
-}
-
-void SecurityService::handle(const net::Envelope& env) {
-  if (const auto* auth = net::message_cast<AuthRequestMsg>(*env.message)) {
-    std::shared_ptr<const net::Message> replay;
-    switch (replay_.begin(auth->reply_to, auth->type_id(), auth->request_id,
-                          &replay)) {
-      case net::ReplayCache::Admit::kReplay:
-        send_any(auth->reply_to, std::move(replay));
-        return;
-      case net::ReplayCache::Admit::kInFlight:
-        return;  // unreachable: auth executes synchronously
-      case net::ReplayCache::Admit::kNew:
-        break;
-    }
-    auto reply = std::make_shared<AuthReplyMsg>();
-    reply->request_id = auth->request_id;
-    if (auto token = authenticate(auth->user, auth->secret)) {
-      reply->ok = true;
-      reply->token = *token;
-    }
-    replay_.complete(auth->reply_to, auth->type_id(), auth->request_id, reply);
-    send_any(auth->reply_to, std::move(reply));
-    return;
-  }
-  if (const auto* authz = net::message_cast<AuthzRequestMsg>(*env.message)) {
-    std::shared_ptr<const net::Message> replay;
-    switch (replay_.begin(authz->reply_to, authz->type_id(), authz->request_id,
-                          &replay)) {
-      case net::ReplayCache::Admit::kReplay:
-        send_any(authz->reply_to, std::move(replay));
-        return;
-      case net::ReplayCache::Admit::kInFlight:
-        return;  // unreachable: authz executes synchronously
-      case net::ReplayCache::Admit::kNew:
-        break;
-    }
-    auto reply = std::make_shared<AuthzReplyMsg>();
-    reply->request_id = authz->request_id;
-    reply->allowed =
-        authorize(authz->token, authz->action, authz->resource, &reply->reason);
-    replay_.complete(authz->reply_to, authz->type_id(), authz->request_id, reply);
-    send_any(authz->reply_to, std::move(reply));
-    return;
-  }
 }
 
 }  // namespace phoenix::kernel

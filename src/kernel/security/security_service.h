@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/daemon.h"
+#include "kernel/runtime/service_runtime.h"
 #include "net/message.h"
 #include "net/rpc.h"
 
@@ -88,10 +89,11 @@ class StreamCipher {
   std::uint64_t key_;
 };
 
-class SecurityService final : public cluster::Daemon {
+class SecurityService final : public ServiceRuntime {
  public:
   SecurityService(cluster::Cluster& cluster, net::NodeId node,
-                  double cpu_share = 0.0);
+                  double cpu_share = 0.0, ServiceDirectory* directory = nullptr,
+                  const FtParams* params = nullptr);
 
   // --- administration (local API) ----------------------------------------
 
@@ -118,12 +120,7 @@ class SecurityService final : public cluster::Daemon {
   /// True when the token is genuine and unexpired.
   bool validate(const Token& token) const;
 
-  /// At-most-once filter for remote auth/authz (a retried authenticate
-  /// replays the original token instead of burning a fresh nonce).
-  const net::ReplayCache& replay_cache() const noexcept { return replay_; }
-
  private:
-  void handle(const net::Envelope& env) override;
   std::uint64_t sign(const std::string& user, std::uint64_t nonce,
                      sim::SimTime expires_at) const;
 
@@ -141,7 +138,6 @@ class SecurityService final : public cluster::Daemon {
   std::uint64_t signing_key_;
   std::uint64_t next_nonce_ = 1;
   sim::SimTime token_lifetime_ = 8 * sim::kHour;
-  net::ReplayCache replay_;
 };
 
 }  // namespace phoenix::kernel

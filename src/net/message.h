@@ -61,13 +61,19 @@ class Message {
   virtual std::size_t wire_size() const noexcept = 0;
 };
 
-/// Declares both type() and a cached type_id() for a Message subclass.
+/// Declares type(), a cached type_id(), and a class-level static_type_id()
+/// for a Message subclass. static_type_id() lets dispatch tables resolve a
+/// handler slot from the class alone (ServiceRuntime::on<MsgT>) without an
+/// instance in hand.
 #define PHOENIX_MESSAGE_TYPE(name)                                      \
+  static ::phoenix::net::MessageTypeId static_type_id() noexcept {      \
+    static const ::phoenix::net::MessageTypeId cached_id =              \
+        ::phoenix::net::intern_message_type(name);                      \
+    return cached_id;                                                   \
+  }                                                                     \
   std::string_view type() const noexcept override { return (name); }   \
   ::phoenix::net::MessageTypeId type_id() const noexcept override {    \
-    static const ::phoenix::net::MessageTypeId cached_id =             \
-        ::phoenix::net::intern_message_type(name);                     \
-    return cached_id;                                                  \
+    return static_type_id();                                           \
   }
 
 using MessagePtr = std::unique_ptr<Message>;

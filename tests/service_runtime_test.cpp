@@ -1,0 +1,343 @@
+// ServiceRuntime tests: declarative dispatch and counters, at-most-once
+// serving via the runtime-owned ReplayCache, ReplayCache eviction edge
+// cases, the unified kill -> restart -> restore lifecycle across services,
+// takeover accounting, the per-service stats surface, and the acceptance
+// check that a brand-new service built on the runtime rides the existing
+// group-service failover machinery with no group-service edits.
+#include "kernel/runtime/service_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "kernel/api.h"
+#include "kernel/bulletin/data_bulletin.h"
+#include "kernel/config/configuration_service.h"
+#include "kernel/event/event_service.h"
+#include "kernel/kernel.h"
+#include "kernel_fixture.h"
+#include "net/rpc.h"
+#include "test_client.h"
+
+namespace phoenix::kernel {
+namespace {
+
+using net::ReplayCache;
+using phoenix::testing::KernelHarness;
+using phoenix::testing::TestClient;
+using phoenix::testing::fast_ft_params;
+using phoenix::testing::small_cluster_spec;
+
+// --- ReplayCache eviction edge cases -----------------------------------------
+
+const net::Address kClientA{net::NodeId{1}, net::PortId{40}};
+const net::Address kClientB{net::NodeId{2}, net::PortId{40}};
+const net::MessageTypeId kType = net::intern_message_type("test.replay_edge");
+
+std::shared_ptr<const net::Message> dummy_reply() {
+  struct Reply final : net::Message {
+    PHOENIX_MESSAGE_TYPE("test.replay_edge_reply")
+    std::size_t wire_size() const noexcept override { return 1; }
+  };
+  return std::make_shared<Reply>();
+}
+
+TEST(ReplayCacheEdgeTest, CapacityOneEvictsFifo) {
+  ReplayCache cache(1);
+  ASSERT_EQ(cache.begin(kClientA, kType, 1), ReplayCache::Admit::kNew);
+  cache.complete(kClientA, kType, 1, dummy_reply());
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A second completed entry evicts the first (FIFO at capacity 1).
+  ASSERT_EQ(cache.begin(kClientB, kType, 2), ReplayCache::Admit::kNew);
+  cache.complete(kClientB, kType, 2, dummy_reply());
+  EXPECT_EQ(cache.size(), 1u);
+
+  // The survivor still replays; the evicted one does not.
+  std::shared_ptr<const net::Message> replay;
+  EXPECT_EQ(cache.begin(kClientB, kType, 2, &replay), ReplayCache::Admit::kReplay);
+  EXPECT_NE(replay, nullptr);
+}
+
+TEST(ReplayCacheEdgeTest, ReBeginAfterEvictionReExecutes) {
+  ReplayCache cache(1);
+  ASSERT_EQ(cache.begin(kClientA, kType, 1), ReplayCache::Admit::kNew);
+  cache.complete(kClientA, kType, 1, dummy_reply());
+  ASSERT_EQ(cache.begin(kClientB, kType, 2), ReplayCache::Admit::kNew);
+  cache.complete(kClientB, kType, 2, dummy_reply());
+
+  // The evicted request is admitted as brand-new: the at-most-once window
+  // is bounded by capacity, and a retry past it re-executes.
+  std::shared_ptr<const net::Message> replay;
+  EXPECT_EQ(cache.begin(kClientA, kType, 1, &replay), ReplayCache::Admit::kNew);
+  EXPECT_EQ(replay, nullptr);
+  EXPECT_EQ(cache.replays_served(), 0u);
+}
+
+TEST(ReplayCacheEdgeTest, InFlightEntryEvictedBeforeComplete) {
+  ReplayCache cache(1);
+  // Entry A begins but does not complete (asynchronous execution).
+  ASSERT_EQ(cache.begin(kClientA, kType, 1), ReplayCache::Admit::kNew);
+  // Entry B pushes A out while A is still in flight.
+  ASSERT_EQ(cache.begin(kClientB, kType, 2), ReplayCache::Admit::kNew);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // B's own retry is suppressed as in-flight (it survived the eviction).
+  EXPECT_EQ(cache.begin(kClientB, kType, 2), ReplayCache::Admit::kInFlight);
+  EXPECT_EQ(cache.duplicates_suppressed(), 1u);
+
+  // A's late completion must not resurrect the evicted key...
+  cache.complete(kClientA, kType, 1, dummy_reply());
+  EXPECT_EQ(cache.size(), 1u);
+
+  // ...so a retry of A is admitted fresh, not answered from a ghost entry.
+  std::shared_ptr<const net::Message> replay;
+  EXPECT_EQ(cache.begin(kClientA, kType, 1, &replay), ReplayCache::Admit::kNew);
+  EXPECT_EQ(replay, nullptr);
+  EXPECT_EQ(cache.replays_served(), 0u);
+}
+
+// --- dispatch table and uniform counters -------------------------------------
+
+class RuntimeKernelTest : public ::testing::Test {
+ protected:
+  RuntimeKernelTest() : h(small_cluster_spec(), fast_ft_params()) { h.run_s(1.0); }
+
+  KernelHarness h;
+};
+
+TEST_F(RuntimeKernelTest, DispatchCountsHandledAndUnhandled) {
+  auto& config = h.kernel.config();
+  const auto received_before = config.counters().messages_received;
+  const auto unhandled_before = config.counters().messages_unhandled;
+  const auto gets_before = config.counters().messages_by_type.get("config.get");
+
+  TestClient client(h.cluster, net::NodeId{2});
+  auto get = std::make_shared<ConfigGetMsg>();
+  get->key = "hardware/partitions";
+  get->reply_to = client.address();
+  get->request_id = 77;
+  client.send_any(config.address(), get);
+
+  // A message type the configuration service never registered.
+  auto stray = std::make_shared<EsPublishMsg>();
+  client.send_any(config.address(), stray);
+  h.run_s(0.5);
+
+  EXPECT_EQ(config.counters().messages_received, received_before + 2);
+  EXPECT_EQ(config.counters().messages_unhandled, unhandled_before + 1);
+  EXPECT_EQ(config.counters().messages_by_type.get("config.get"), gets_before + 1);
+  ASSERT_EQ(client.of_type<ConfigGetReplyMsg>().size(), 1u);
+  EXPECT_TRUE(client.of_type<ConfigGetReplyMsg>().front()->found);
+}
+
+TEST_F(RuntimeKernelTest, MutatingServeRepliesFromRuntimeCache) {
+  auto& config = h.kernel.config();
+  TestClient client(h.cluster, net::NodeId{2});
+  auto set = std::make_shared<ConfigSetMsg>();
+  set->key = "runtime/test";
+  set->value = "v1";
+  set->reply_to = client.address();
+  set->request_id = 101;
+  client.send_any(config.address(), set);
+  h.run_s(0.5);
+  ASSERT_EQ(client.of_type<ConfigSetReplyMsg>().size(), 1u);
+  const std::uint64_t version = client.of_type<ConfigSetReplyMsg>().front()->version;
+
+  // Retransmission: replayed reply, identical version, no second apply.
+  client.send_any(config.address(), set);
+  h.run_s(0.5);
+  ASSERT_EQ(client.of_type<ConfigSetReplyMsg>().size(), 2u);
+  EXPECT_EQ(client.of_type<ConfigSetReplyMsg>().back()->version, version);
+  EXPECT_EQ(config.replay_cache().replays_served(), 1u);
+  EXPECT_EQ(config.get("runtime/test"), "v1");
+}
+
+// --- one lifecycle: kill -> restart -> restore, across services ---------------
+
+// Property: for any partition and any pre-failure registry size, killing the
+// event service loses no subscriptions — GSD supervision detects the death,
+// PPM restarts the instance, and the runtime's recover-on-start loop loads
+// the registry back from the checkpoint federation.
+TEST(RuntimeLifecycleTest, KillRestartRestoreRoundTripAcrossServices) {
+  for (std::uint32_t part = 0; part < 2; ++part) {
+    const net::PartitionId pid{part};
+    const std::size_t subs = 2 + 3 * part;  // vary state size per partition
+    KernelHarness h(small_cluster_spec(), fast_ft_params());
+    h.run_s(1.0);
+
+    auto& es = h.kernel.event_service(pid);
+    std::vector<std::unique_ptr<TestClient>> clients;
+    for (std::size_t i = 0; i < subs; ++i) {
+      auto client = std::make_unique<TestClient>(
+          h.cluster, h.cluster.compute_nodes(pid)[i % 4],
+          net::PortId{static_cast<std::uint16_t>(50 + i)});
+      Subscription sub;
+      sub.consumer = client->address();
+      sub.types = {"lifecycle.test"};
+      es.subscribe_local(sub);
+      clients.push_back(std::move(client));
+    }
+    h.run_s(2.0);  // checkpoint + federation replication settle
+    ASSERT_EQ(es.subscription_count(), subs);
+    const auto restores_before = es.counters().restores;
+
+    h.injector.kill_daemon(es);
+    ASSERT_FALSE(es.alive());
+    h.run_s(8.0);  // detect (<= heartbeat interval) + restart + recover
+
+    EXPECT_TRUE(es.alive()) << "partition " << part;
+    EXPECT_EQ(es.counters().restores, restores_before + 1);
+    EXPECT_EQ(es.subscription_count(), subs);
+
+    // The restored registry still routes: a publish reaches every consumer.
+    Event e;
+    e.type = "lifecycle.test";
+    es.publish_local(e);
+    h.run_s(1.0);
+    for (const auto& client : clients) {
+      EXPECT_EQ(client->of_type<EsNotifyMsg>().size(), 1u) << "partition " << part;
+    }
+  }
+}
+
+TEST(RuntimeLifecycleTest, MigrationMarksTakeoverAndRestoresState) {
+  KernelHarness h(small_cluster_spec(), fast_ft_params());
+  h.run_s(1.0);
+  const net::PartitionId pid{1};
+  const net::NodeId server = h.cluster.server_node(pid);
+
+  Subscription sub;
+  TestClient client(h.cluster, h.cluster.compute_nodes(pid)[0]);
+  sub.consumer = client.address();
+  sub.types = {"migrate.test"};
+  h.kernel.event_service(pid).subscribe_local(sub);
+  h.run_s(2.0);
+
+  // Kill the whole server node: the surviving GSDs migrate the partition's
+  // services through the directory, which marks the replacement instances
+  // as takeovers; the fresh ES pulls its registry from the surviving
+  // checkpoint-federation replica.
+  h.injector.crash_node(server);
+  h.run_s(40.0);
+
+  auto& fresh = h.kernel.event_service(pid);
+  EXPECT_TRUE(fresh.alive());
+  EXPECT_NE(fresh.node_id(), server);
+  EXPECT_EQ(h.cluster.partition_of(fresh.node_id()), pid);
+  EXPECT_GE(fresh.counters().takeovers, 1u);
+  EXPECT_GE(fresh.counters().restores, 1u);
+  EXPECT_EQ(fresh.subscription_count(), 1u);
+}
+
+// --- per-service stats published into the bulletin ----------------------------
+
+TEST(RuntimeStatsTest, StatsRowsReachBulletinAndApi) {
+  auto params = fast_ft_params();
+  params.service_stats_interval = 1 * sim::kSecond;
+  KernelHarness h(small_cluster_spec(), params);
+  h.run_s(3.5);
+
+  const auto rows = h.kernel.bulletin(net::PartitionId{0}).service_stats();
+  ASSERT_FALSE(rows.empty());
+  bool saw_es = false;
+  for (const auto& rec : rows) {
+    if (rec.row.kind == ServiceKind::kEventService) {
+      saw_es = true;
+      EXPECT_GT(rec.row.messages_received, 0u);
+      EXPECT_EQ(rec.row.partition, net::PartitionId{0});
+    }
+  }
+  EXPECT_TRUE(saw_es);
+
+  // The same rows through the uniform client interface.
+  KernelApi api(h.cluster, h.cluster.compute_nodes(net::PartitionId{0})[0],
+                h.kernel);
+  bool done = false;
+  api.service_stats([&](net::Result<std::vector<ServiceStatsRecord>> r) {
+    done = true;
+    EXPECT_EQ(r.status, net::Status::kOk);
+    EXPECT_FALSE(r.value.empty());
+  });
+  h.run_s(1.0);
+  EXPECT_TRUE(done);
+}
+
+// --- acceptance: a new service needs only the runtime -------------------------
+
+// A toy service written against ServiceRuntime alone: one message type, one
+// counter of checkpointed state. Registering it as an extension and putting
+// it under GSD supervision is ALL that is needed for failover — no edits to
+// the group service, the PPM, or the kernel wiring.
+struct ToyPokeMsg final : net::Message {
+  PHOENIX_MESSAGE_TYPE("toy.poke")
+  std::size_t wire_size() const noexcept override { return 1; }
+};
+
+constexpr net::PortId kToyPort{60};
+
+class ToyService final : public ServiceRuntime {
+ public:
+  ToyService(cluster::Cluster& cluster, net::NodeId node,
+             ServiceDirectory* directory, const FtParams* params)
+      : ServiceRuntime(cluster, "toy", node, kToyPort, directory, params,
+                       Options{.kind = ServiceKind::kEventService,
+                               .partition = cluster.partition_of(node),
+                               .checkpoint_namespace = "toy",
+                               .announce_up = true,
+                               .recover_on_start = true,
+                               .extension = "toy"}) {
+    on<ToyPokeMsg>([this](const ToyPokeMsg&) {
+      ++pokes_;
+      mark_dirty();
+    });
+  }
+
+  std::uint64_t pokes() const noexcept { return pokes_; }
+
+ private:
+  std::string snapshot() const override { return std::to_string(pokes_); }
+  void restore(const std::string& data) override { pokes_ = std::stoull(data); }
+
+  std::uint64_t pokes_ = 0;
+};
+
+TEST(RuntimeExtensionTest, ToyServiceFailsOverWithoutGroupServiceEdits) {
+  KernelHarness h(small_cluster_spec(), fast_ft_params());
+  h.run_s(1.0);
+  const net::PartitionId pid{0};
+  const net::NodeId server = h.cluster.server_node(pid);
+
+  h.kernel.register_extension("toy", [&](net::NodeId node) {
+    return std::make_unique<ToyService>(h.cluster, node, &h.kernel,
+                                        &h.kernel.params());
+  });
+  auto* toy = static_cast<ToyService*>(h.kernel.create_extension("toy", server));
+  ASSERT_NE(toy, nullptr);
+  toy->start();
+  h.kernel.gsd(pid).supervise(
+      SupervisedSpec{"toy", ServiceKind::kEventService, "toy", kToyPort});
+
+  TestClient client(h.cluster, h.cluster.compute_nodes(pid)[0]);
+  for (int i = 0; i < 3; ++i) {
+    client.send_any({server, kToyPort}, std::make_shared<ToyPokeMsg>());
+  }
+  h.run_s(2.0);
+  EXPECT_EQ(toy->pokes(), 3u);
+
+  // Kill it. Existing supervision machinery must bring it back with state.
+  h.injector.kill_daemon(*toy);
+  h.run_s(8.0);
+  EXPECT_TRUE(toy->alive());
+  EXPECT_EQ(toy->pokes(), 3u);  // restored from its checkpoint
+  EXPECT_GE(toy->counters().restores, 1u);
+
+  // Still serving after the round trip.
+  client.send_any({server, kToyPort}, std::make_shared<ToyPokeMsg>());
+  h.run_s(1.0);
+  EXPECT_EQ(toy->pokes(), 4u);
+}
+
+}  // namespace
+}  // namespace phoenix::kernel
