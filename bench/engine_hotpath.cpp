@@ -17,15 +17,27 @@
 //   dispatch   - per-envelope handler routing: the ServiceRuntime dense
 //                type-id table vs the message_cast if-chain every service
 //                hand-rolled before it.
+//   parallel   - a 16k-node sharded world (ParallelEngine + ShardedFabric)
+//                driven by per-node heartbeat timers with a cross-shard
+//                reporting fraction, swept across worker-thread counts
+//                (pass --threads N to pin a single count). Speedups are
+//                relative to the sequential reference mode and only show
+//                above 1x on multi-core hosts, so the JSON also records
+//                hardware_concurrency.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
+#include "cluster/shard_map.h"
 #include "kernel/runtime/service_runtime.h"
 #include "net/fabric.h"
 #include "sim/engine.h"
+#include "sim/parallel_engine.h"
 
 namespace phoenix::bench {
 namespace {
@@ -286,12 +298,137 @@ DispatchRates bench_dispatch(std::size_t deliveries) {
   return rates;
 }
 
+// ---------------------------------------------------------------------------
+// Parallel sharded world.
+// ---------------------------------------------------------------------------
+
+// A 16k-node cluster on 16 shards: every node runs a self-rearming heartbeat
+// timer sending to its partition server (intra-shard by construction), and
+// every 8th beat reports to a rotating remote partition server (~94%
+// cross-shard given 16 shards), so the window/mailbox machinery carries a
+// realistic minority of the traffic rather than dominating it.
+struct ShardedWorld {
+  static constexpr std::size_t kPartitions = 256;
+  static constexpr std::size_t kNodesPerPartition = 64;  // 16384 nodes total
+  static constexpr std::size_t kShards = 16;
+  static constexpr sim::SimTime kHorizon = 20 * sim::kMillisecond;
+
+  explicit ShardedWorld(std::size_t threads)
+      : map(cluster::ShardMap::partition_blocks(kPartitions, kNodesPerPartition,
+                                                kShards)),
+        pe({.shards = kShards,
+            .threads = threads,
+            .lookahead = net::LatencyModel{}.min_latency(),
+            .seed = 4242}),
+        fabric(pe, map.node_shards(), /*network_count=*/1),
+        delivered(kShards) {
+    fabric.set_group_size(kNodesPerPartition);
+    fabric.set_delivery_handler([this](const net::Envelope& env) {
+      ++delivered[map.shard_of(env.to.node)].count;  // destination-shard thread
+    });
+    msg = std::make_shared<BenchPingMsg>();
+    msg->bytes = 48;  // heartbeat-sized
+  }
+
+  static net::NodeId server_of(std::size_t partition) {
+    return net::NodeId{static_cast<std::uint32_t>(partition * kNodesPerPartition)};
+  }
+
+  void tick(net::NodeId n, std::uint64_t seq) {
+    sim::Engine& eng = pe.shard(map.shard_of(n));
+    const std::size_t part = n.value / kNodesPerPartition;
+    const net::PortId port{1};
+    fabric.send({n, port}, {server_of(part), port}, net::NetworkId{0}, msg);
+    if (seq % 8 == 0) {
+      const std::size_t remote =
+          (part + 1 + (n.value + seq) % (kPartitions - 1)) % kPartitions;
+      fabric.send({n, port}, {server_of(remote), port}, net::NetworkId{0}, msg);
+    }
+    eng.schedule_after(200 + eng.rng().next() % 400,
+                       [this, n, seq] { tick(n, seq + 1); });
+  }
+
+  /// Returns (events executed, wall seconds).
+  std::pair<std::uint64_t, double> run() {
+    for (std::uint32_t n = 0; n < kPartitions * kNodesPerPartition; ++n) {
+      pe.shard(map.shard_of(net::NodeId{n}))
+          .schedule_at(1 + n % 997, [this, id = net::NodeId{n}] { tick(id, 1); });
+    }
+    const auto t0 = Clock::now();
+    const std::uint64_t ran = pe.run_until(kHorizon);
+    return {ran, seconds_since(t0)};
+  }
+
+  struct alignas(64) Counter {
+    std::uint64_t count = 0;
+  };
+
+  cluster::ShardMap map;
+  sim::ParallelEngine pe;
+  net::ShardedFabric fabric;
+  std::vector<Counter> delivered;
+  std::shared_ptr<BenchPingMsg> msg;
+};
+
+struct ParallelPoint {
+  std::size_t threads = 0;
+  double events_per_sec = 0;
+  double speedup = 0;
+};
+
+struct ParallelResults {
+  double baseline_events_per_sec = 0;  // sequential reference mode
+  std::uint64_t events = 0;
+  std::uint64_t cross_posted = 0;
+  std::vector<ParallelPoint> sweep;
+};
+
+ParallelResults bench_parallel(const std::vector<std::size_t>& thread_counts) {
+  ParallelResults out;
+  {
+    ShardedWorld world(/*threads=*/0);
+    const auto [ran, secs] = world.run();
+    out.baseline_events_per_sec = static_cast<double>(ran) / secs;
+    out.events = ran;
+    out.cross_posted = world.pe.cross_posted();
+    std::printf("parallel   t=seq: %12.0f events/s  (%llu events, %llu cross-shard)\n",
+                out.baseline_events_per_sec,
+                static_cast<unsigned long long>(ran),
+                static_cast<unsigned long long>(out.cross_posted));
+  }
+  for (const std::size_t t : thread_counts) {
+    ShardedWorld world(t);
+    const auto [ran, secs] = world.run();
+    ParallelPoint p;
+    p.threads = t;
+    p.events_per_sec = static_cast<double>(ran) / secs;
+    p.speedup = p.events_per_sec / out.baseline_events_per_sec;
+    if (ran != out.events) {
+      std::fprintf(stderr, "parallel bench diverged at t=%zu (%llu vs %llu)\n",
+                   t, static_cast<unsigned long long>(ran),
+                   static_cast<unsigned long long>(out.events));
+    }
+    std::printf("parallel   t=%-3zu: %12.0f events/s  (%.2fx)\n", t,
+                p.events_per_sec, p.speedup);
+    out.sweep.push_back(p);
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace phoenix::bench
 
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+  const char* out_path = "BENCH_hotpath.json";
+  std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = {static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10))};
+    } else {
+      out_path = argv[i];
+    }
+  }
 
   const double events_per_sec = phoenix::bench::bench_scheduler(2'000'000);
   std::printf("scheduler mix : %12.0f events/s\n", events_per_sec);
@@ -302,6 +439,18 @@ int main(int argc, char** argv) {
   const auto dispatch = phoenix::bench::bench_dispatch(4'000'000);
   std::printf("dispatch table: %12.0f msgs/s\n", dispatch.table_per_sec);
   std::printf("dispatch chain: %12.0f msgs/s\n", dispatch.ifchain_per_sec);
+  const auto parallel = phoenix::bench::bench_parallel(thread_counts);
+
+  std::string sweep_json;
+  for (std::size_t i = 0; i < parallel.sweep.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s      { \"threads\": %zu, \"events_per_sec\": %.0f, "
+                  "\"speedup\": %.3f }",
+                  i ? ",\n" : "", parallel.sweep[i].threads,
+                  parallel.sweep[i].events_per_sec, parallel.sweep[i].speedup);
+    sweep_json += buf;
+  }
 
   if (std::FILE* f = std::fopen(out_path, "w")) {
     std::fprintf(f,
@@ -311,10 +460,29 @@ int main(int argc, char** argv) {
                  "  \"sends_per_sec\": %.0f,\n"
                  "  \"publishes_per_sec\": %.0f,\n"
                  "  \"dispatch_table_per_sec\": %.0f,\n"
-                 "  \"dispatch_ifchain_per_sec\": %.0f\n"
+                 "  \"dispatch_ifchain_per_sec\": %.0f,\n"
+                 "  \"parallel\": {\n"
+                 "    \"nodes\": %zu,\n"
+                 "    \"shards\": %zu,\n"
+                 "    \"lookahead_us\": %llu,\n"
+                 "    \"hardware_concurrency\": %u,\n"
+                 "    \"events\": %llu,\n"
+                 "    \"cross_shard_posted\": %llu,\n"
+                 "    \"baseline_events_per_sec\": %.0f,\n"
+                 "    \"sweep\": [\n%s\n    ]\n"
+                 "  }\n"
                  "}\n",
                  events_per_sec, sends_per_sec, publishes_per_sec,
-                 dispatch.table_per_sec, dispatch.ifchain_per_sec);
+                 dispatch.table_per_sec, dispatch.ifchain_per_sec,
+                 phoenix::bench::ShardedWorld::kPartitions *
+                     phoenix::bench::ShardedWorld::kNodesPerPartition,
+                 phoenix::bench::ShardedWorld::kShards,
+                 static_cast<unsigned long long>(
+                     phoenix::net::LatencyModel{}.min_latency()),
+                 std::thread::hardware_concurrency(),
+                 static_cast<unsigned long long>(parallel.events),
+                 static_cast<unsigned long long>(parallel.cross_posted),
+                 parallel.baseline_events_per_sec, sweep_json.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
   } else {

@@ -62,11 +62,15 @@ for name in table1_wd_faults table2_gsd_faults table3_es_faults \
   [ -f "$repo_root/BENCH_$name.log" ] && cat "$repo_root/BENCH_$name.log"
 done
 
-# Merge every per-bench JSON into one object, keyed by bench name.
+# Merge every per-bench JSON into one object, keyed by bench name. A "host"
+# key records the core count so parallel-engine speedups (relative numbers in
+# BENCH_hotpath.json's "parallel" section) can be read in context.
 results="$repo_root/BENCH_results.json"
 rm -f "$results"
+ncpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
 {
   printf '{\n'
+  printf '  "host": { "hardware_concurrency": %s },\n' "$ncpus"
   first=1
   for f in "$repo_root"/BENCH_*.json; do
     [ -e "$f" ] || continue

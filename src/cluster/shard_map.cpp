@@ -1,0 +1,66 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "cluster/cluster.h"
+
+namespace phoenix::cluster {
+
+ShardMap::ShardMap(std::vector<std::uint32_t> node_shard)
+    : node_shard_(std::move(node_shard)) {
+  if (node_shard_.empty()) {
+    throw std::invalid_argument("ShardMap: empty node->shard assignment");
+  }
+  std::uint32_t max_shard = 0;
+  for (const std::uint32_t s : node_shard_) max_shard = std::max(max_shard, s);
+  shard_count_ = static_cast<std::size_t>(max_shard) + 1;
+  std::vector<char> seen(shard_count_, 0);
+  for (const std::uint32_t s : node_shard_) seen[s] = 1;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    if (!seen[s]) {
+      throw std::invalid_argument("ShardMap: shard " + std::to_string(s) +
+                                  " owns no nodes (ids must be dense)");
+    }
+  }
+}
+
+ShardMap ShardMap::partition_blocks(std::size_t partitions,
+                                    std::size_t nodes_per_partition,
+                                    std::size_t shards) {
+  if (partitions == 0 || nodes_per_partition == 0) {
+    throw std::invalid_argument("ShardMap: need >= 1 partition and node");
+  }
+  if (shards == 0) throw std::invalid_argument("ShardMap: need >= 1 shard");
+  shards = std::min(shards, partitions);  // no empty shards
+  std::vector<std::uint32_t> map(partitions * nodes_per_partition);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    const std::uint32_t shard = static_cast<std::uint32_t>(p * shards / partitions);
+    const std::size_t base = p * nodes_per_partition;
+    for (std::size_t i = 0; i < nodes_per_partition; ++i) map[base + i] = shard;
+  }
+  return ShardMap(std::move(map));
+}
+
+ShardMap ShardMap::partition_blocks(const ClusterSpec& spec, std::size_t shards) {
+  return partition_blocks(spec.partitions, spec.nodes_per_partition(), shards);
+}
+
+std::vector<net::NodeId> ShardMap::nodes_in(std::uint32_t shard) const {
+  std::vector<net::NodeId> out;
+  for (std::size_t n = 0; n < node_shard_.size(); ++n) {
+    if (node_shard_[n] == shard) {
+      out.push_back(net::NodeId{static_cast<std::uint32_t>(n)});
+    }
+  }
+  return out;
+}
+
+std::size_t ShardMap::max_shard_load() const {
+  std::vector<std::size_t> loads(shard_count_, 0);
+  for (const std::uint32_t s : node_shard_) ++loads[s];
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+}  // namespace phoenix::cluster

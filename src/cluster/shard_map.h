@@ -1,0 +1,64 @@
+// Node -> shard placement for the parallel simulation engine.
+//
+// The cluster's unit of locality is the partition: a server, its backups,
+// and its computes exchange the latency-critical traffic (heartbeats,
+// diagnosis probes, intra-partition RPC), while inter-partition traffic
+// crosses the core switches and pays LatencyModel::cross_group_extra. A
+// ShardMap therefore never splits a partition across shards — every
+// partition's nodes land on one shard, so the chatty traffic stays on the
+// sending shard's private event queue and only the slower inter-partition
+// traffic crosses a mailbox.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/ids.h"
+
+namespace phoenix::cluster {
+
+struct ClusterSpec;
+
+class ShardMap {
+ public:
+  /// From an explicit node->shard assignment; shard ids must be dense
+  /// (every shard in [0, max+1) owns at least one node).
+  explicit ShardMap(std::vector<std::uint32_t> node_shard);
+
+  /// Partition-aligned placement: `partitions` partitions of
+  /// `nodes_per_partition` consecutive node ids each, laid out as
+  /// contiguous balanced blocks of whole partitions per shard (partition p
+  /// goes to shard p * shards / partitions). Shards are capped at the
+  /// partition count so no shard is empty.
+  static ShardMap partition_blocks(std::size_t partitions,
+                                   std::size_t nodes_per_partition,
+                                   std::size_t shards);
+
+  /// Convenience overload reading the partition layout from a ClusterSpec.
+  static ShardMap partition_blocks(const ClusterSpec& spec, std::size_t shards);
+
+  std::size_t shard_count() const noexcept { return shard_count_; }
+  std::size_t node_count() const noexcept { return node_shard_.size(); }
+
+  std::uint32_t shard_of(net::NodeId node) const {
+    return node_shard_.at(node.value);
+  }
+
+  /// The raw mapping, in the shape net::ShardedFabric consumes.
+  const std::vector<std::uint32_t>& node_shards() const noexcept {
+    return node_shard_;
+  }
+
+  std::vector<net::NodeId> nodes_in(std::uint32_t shard) const;
+
+  /// Node count on the most loaded shard (balance diagnostic: near-linear
+  /// scaling needs max_shard_load ~= node_count / shard_count).
+  std::size_t max_shard_load() const;
+
+ private:
+  std::vector<std::uint32_t> node_shard_;
+  std::size_t shard_count_ = 0;
+};
+
+}  // namespace phoenix::cluster

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace phoenix::net {
@@ -13,6 +14,15 @@ sim::SimTime LatencyModel::sample(std::size_t bytes, sim::Rng& rng,
   const double jitter = raw * jitter_frac;
   const double total = raw + rng.uniform(-jitter, jitter);
   return total < 1.0 ? sim::SimTime{1} : static_cast<sim::SimTime>(total);
+}
+
+sim::SimTime LatencyModel::min_latency() const noexcept {
+  // Every term sample() adds on top of `base` is non-negative (payload
+  // bytes, cross-group extra), and the jitter draw is half-open at
+  // -raw * jitter_frac, so base * (1 - jitter_frac) truncated the same way
+  // sample() truncates is a true lower bound.
+  const double lo = static_cast<double>(base) * (1.0 - jitter_frac);
+  return lo < 1.0 ? sim::SimTime{1} : static_cast<sim::SimTime>(lo);
 }
 
 Fabric::Fabric(sim::Engine& engine, std::size_t node_count, std::size_t network_count)
@@ -122,6 +132,140 @@ NetworkStats Fabric::total_stats() const {
 
 void Fabric::reset_stats() {
   for (auto& st : stats_) st = NetworkStats{};
+}
+
+// ---------------------------------------------------------------------------
+// ShardedFabric
+// ---------------------------------------------------------------------------
+
+ShardedFabric::ShardedFabric(sim::ParallelEngine& engine,
+                             std::vector<std::uint32_t> node_shard,
+                             std::size_t network_count)
+    : engine_(engine),
+      node_shard_(std::move(node_shard)),
+      network_count_(network_count),
+      interface_up_(node_shard_.size() * network_count, 1),
+      shard_state_(engine.shard_count()) {
+  if (network_count == 0) {
+    throw std::invalid_argument("ShardedFabric requires >= 1 network");
+  }
+  for (const std::uint32_t s : node_shard_) {
+    if (s >= engine.shard_count()) {
+      throw std::invalid_argument("ShardedFabric: node mapped to shard " +
+                                  std::to_string(s) + " but engine has only " +
+                                  std::to_string(engine.shard_count()));
+    }
+  }
+  for (auto& ps : shard_state_) ps.nets.resize(network_count);
+}
+
+bool ShardedFabric::interface_up(NodeId node, NetworkId network) const {
+  assert(node.value < node_shard_.size() && network.value < network_count_);
+  return interface_up_[index(node, network)] != 0;
+}
+
+void ShardedFabric::set_interface_up(NodeId node, NetworkId network, bool up) {
+  assert(node.value < node_shard_.size() && network.value < network_count_);
+  interface_up_[index(node, network)] = up ? 1 : 0;
+}
+
+void ShardedFabric::set_node_links_up(NodeId node, bool up) {
+  for (std::size_t n = 0; n < network_count_; ++n) {
+    set_interface_up(node, NetworkId{static_cast<std::uint8_t>(n)}, up);
+  }
+}
+
+void ShardedFabric::deliver_at_destination(const Envelope& env) {
+  // Runs on the destination node's shard. The interface may have been cut
+  // (quiescently) while the message was in flight.
+  if (!interface_up(env.to.node, env.network)) {
+    ++shard_state_[shard_of(env.to.node)].nets[env.network.value].messages_dropped;
+    return;
+  }
+  if (deliver_) deliver_(env);
+}
+
+bool ShardedFabric::send(const Address& from, const Address& to, NetworkId network,
+                         std::shared_ptr<const Message> message) {
+  assert(message != nullptr);
+  const std::uint32_t fs = shard_of(from.node);
+  const std::uint32_t ts = shard_of(to.node);
+  sim::Engine& src = engine_.shard(fs);
+  NetworkStats& st = shard_state_[fs].nets.at(network.value);
+  const std::size_t bytes = kWireHeaderBytes + message->wire_size();
+
+  if (!interface_up(from.node, network) || !interface_up(to.node, network)) {
+    ++st.messages_dropped;
+    return false;
+  }
+
+  ++st.messages_sent;
+  st.bytes_sent += bytes;
+  st.bytes_by_type.slot(message->type_id()) += bytes;
+
+  if (latency_.loss_probability > 0.0 &&
+      src.rng().chance(latency_.loss_probability)) {
+    ++st.messages_lost;  // vanished on the wire; sender cannot tell
+    return true;
+  }
+
+  const bool cross_group =
+      group_size_ > 0 &&
+      from.node.value / group_size_ != to.node.value / group_size_;
+  sim::SimTime latency = latency_.sample(bytes, src.rng(), cross_group);
+  Envelope env{from, to, network, std::move(message)};
+  if (fs == ts) {
+    src.schedule_after(latency,
+                       [this, env = std::move(env)] { deliver_at_destination(env); });
+  } else {
+    ++shard_state_[fs].cross_sent;
+    // With lookahead <= latency_model().min_latency() this clamp is a no-op;
+    // it keeps conservatism unconditional if the model is tightened later.
+    if (latency < engine_.lookahead()) latency = engine_.lookahead();
+    engine_.post_cross(
+        fs, ts, src.now() + latency,
+        [this, env = std::move(env)] { deliver_at_destination(env); });
+  }
+  return true;
+}
+
+NetworkStats ShardedFabric::stats(NetworkId network) const {
+  NetworkStats total;
+  for (const auto& ps : shard_state_) {
+    const NetworkStats& st = ps.nets.at(network.value);
+    total.messages_sent += st.messages_sent;
+    total.bytes_sent += st.bytes_sent;
+    total.messages_dropped += st.messages_dropped;
+    total.messages_lost += st.messages_lost;
+    total.bytes_by_type.add(st.bytes_by_type);
+  }
+  return total;
+}
+
+NetworkStats ShardedFabric::total_stats() const {
+  NetworkStats total;
+  for (std::size_t n = 0; n < network_count_; ++n) {
+    const NetworkStats per_net = stats(NetworkId{static_cast<std::uint8_t>(n)});
+    total.messages_sent += per_net.messages_sent;
+    total.bytes_sent += per_net.bytes_sent;
+    total.messages_dropped += per_net.messages_dropped;
+    total.messages_lost += per_net.messages_lost;
+    total.bytes_by_type.add(per_net.bytes_by_type);
+  }
+  return total;
+}
+
+std::uint64_t ShardedFabric::cross_shard_sent() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& ps : shard_state_) n += ps.cross_sent;
+  return n;
+}
+
+void ShardedFabric::reset_stats() {
+  for (auto& ps : shard_state_) {
+    for (auto& st : ps.nets) st = NetworkStats{};
+    ps.cross_sent = 0;
+  }
 }
 
 }  // namespace phoenix::net

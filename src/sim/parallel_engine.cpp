@@ -1,0 +1,224 @@
+#include "sim/parallel_engine.h"
+
+#include <barrier>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace phoenix::sim {
+
+namespace detail {
+
+SpscMailbox::~SpscMailbox() {
+  // Quiescent teardown: free the dummy plus any undrained entries.
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next.load(std::memory_order_relaxed);
+    delete n;
+    n = next;
+  }
+}
+
+void SpscMailbox::push(Entry e) {
+  Node* n = new Node;
+  n->e = std::move(e);
+  // Publish via the predecessor's next pointer; tail_ is producer-private.
+  tail_->next.store(n, std::memory_order_release);
+  tail_ = n;
+}
+
+SimTime SpscMailbox::min_time() const noexcept {
+  // Entries are FIFO by *post* order, not delivery time, so the idle-gap
+  // computation must scan them all. Backlog is bounded by one window's
+  // cross-shard production (older entries drain every window).
+  SimTime m = kNever;
+  for (Node* n = head_->next.load(std::memory_order_acquire); n != nullptr;
+       n = n->next.load(std::memory_order_acquire)) {
+    if (n->e.at < m) m = n->e.at;
+  }
+  return m;
+}
+
+}  // namespace detail
+
+ParallelEngine::ParallelEngine(const Options& opts)
+    : threads_(opts.threads), lookahead_(opts.lookahead) {
+  if (opts.shards == 0) {
+    throw std::invalid_argument("ParallelEngine: shards must be >= 1");
+  }
+  if (opts.lookahead == 0) {
+    throw std::invalid_argument(
+        "ParallelEngine: zero lookahead — conservative parallel simulation "
+        "requires a positive minimum cross-shard delivery latency");
+  }
+  shards_.reserve(opts.shards);
+  for (std::size_t s = 0; s < opts.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(derive_stream_seed(opts.seed, s)));
+  }
+  mailboxes_.resize(opts.shards * opts.shards);
+  for (std::size_t f = 0; f < opts.shards; ++f) {
+    for (std::size_t t = 0; t < opts.shards; ++t) {
+      if (f != t) {
+        mailboxes_[f * opts.shards + t] = std::make_unique<detail::SpscMailbox>();
+      }
+    }
+  }
+}
+
+void ParallelEngine::post_cross(std::size_t from, std::size_t to, SimTime at,
+                                Callback cb, EventId* id_slot) {
+  if (from >= shards_.size() || to >= shards_.size()) {
+    throw std::out_of_range("ParallelEngine::post_cross: shard index out of range");
+  }
+  if (from == to) {  // degenerate: no mailbox needed, schedule locally
+    const EventId id = shards_[to]->engine.schedule_at(at, std::move(cb));
+    if (id_slot != nullptr) *id_slot = id;
+    return;
+  }
+  if (!in_run_) {
+    throw std::logic_error(
+        "ParallelEngine::post_cross called while quiescent — schedule "
+        "directly on the target shard's engine instead");
+  }
+  if (at <= win_end_) {
+    throw std::logic_error(
+        "ParallelEngine::post_cross: delivery at t=" + std::to_string(at) +
+        " falls inside the current window (ends t=" + std::to_string(win_end_) +
+        "): cross-shard latency below the configured lookahead of " +
+        std::to_string(lookahead_) + "us");
+  }
+  ++shards_[from]->cross_posted;
+  mailbox(from, to).push({at, epoch_, std::move(cb), id_slot});
+}
+
+void ParallelEngine::drain_into(std::size_t s) {
+  // Fixed sender order + FIFO within a mailbox: the insertion sequence into
+  // the shard engine (and therefore same-time tie-breaking) is identical for
+  // every thread count.
+  const std::uint64_t before = epoch_;
+  Shard& sh = *shards_[s];
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    if (src == s) continue;
+    mailbox(src, s).drain_before(before, [&](detail::SpscMailbox::Entry& e) {
+      const EventId id = sh.engine.schedule_at(e.at, std::move(e.cb));
+      if (e.id_slot != nullptr) *e.id_slot = id;
+      ++sh.cross_delivered;
+    });
+  }
+}
+
+void ParallelEngine::record_error() noexcept {
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!error_) error_ = std::current_exception();
+  has_error_.store(true, std::memory_order_relaxed);
+}
+
+void ParallelEngine::advance_window() noexcept {
+  ++epoch_;
+  if (has_error_.load(std::memory_order_relaxed) || win_end_ >= target_) {
+    done_ = true;
+    return;
+  }
+  compute_window(win_end_ + 1);
+}
+
+void ParallelEngine::compute_window(SimTime start) noexcept {
+  // Idle fast-forward: if nothing anywhere can happen before `start`'s
+  // window, jump to the earliest pending thing (shard queues first — the
+  // common busy case skips the mailbox scan entirely).
+  SimTime earliest = kNever;
+  for (const auto& sh : shards_) {
+    earliest = std::min(earliest, sh->engine.next_time_lower_bound());
+  }
+  if (earliest > start) {
+    for (const auto& mb : mailboxes_) {
+      if (mb) earliest = std::min(earliest, mb->min_time());
+    }
+  }
+  if (earliest > start) start = std::min(earliest, target_);
+  const SimTime span = lookahead_ - 1;
+  win_end_ = (target_ - start < span) ? target_ : start + span;
+}
+
+std::uint64_t ParallelEngine::run_until(SimTime t) {
+  const std::uint64_t before = executed();
+  if (t < resume_at_) t = resume_at_;
+  target_ = t;
+  // The first window re-covers the previous run's final instant: events
+  // scheduled at exactly `resume_at_` while quiescent still execute, and
+  // every event's execution time stays >= its window's start.
+  compute_window(resume_at_);
+  done_ = false;
+  error_ = nullptr;
+  has_error_.store(false, std::memory_order_relaxed);
+  in_run_ = true;
+
+  if (threads_ == 0) {
+    // Sequential reference mode: the identical protocol, one window at a
+    // time, shards in index order.
+    for (;;) {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        try {
+          drain_into(s);
+          shards_[s]->engine.run_until(win_end_);
+        } catch (...) {
+          record_error();
+        }
+      }
+      advance_window();
+      if (done_) break;
+    }
+  } else {
+    struct Completion {
+      ParallelEngine* pe;
+      void operator()() const noexcept { pe->advance_window(); }
+    };
+    std::barrier<Completion> bar(static_cast<std::ptrdiff_t>(threads_),
+                                 Completion{this});
+    auto worker = [&](std::size_t w) {
+      for (;;) {
+        for (std::size_t s = w; s < shards_.size(); s += threads_) {
+          try {
+            drain_into(s);
+            shards_[s]->engine.run_until(win_end_);
+          } catch (...) {
+            record_error();
+          }
+        }
+        bar.arrive_and_wait();
+        if (done_) return;
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads_ - 1);
+    for (std::size_t w = 1; w < threads_; ++w) pool.emplace_back(worker, w);
+    worker(0);  // the calling thread is worker 0
+    for (auto& th : pool) th.join();
+  }
+
+  in_run_ = false;
+  resume_at_ = target_;
+  if (error_) std::rethrow_exception(error_);
+  return executed() - before;
+}
+
+std::uint64_t ParallelEngine::executed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->engine.executed();
+  return n;
+}
+
+std::uint64_t ParallelEngine::cross_posted() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->cross_posted;
+  return n;
+}
+
+std::uint64_t ParallelEngine::cross_delivered() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->cross_delivered;
+  return n;
+}
+
+}  // namespace phoenix::sim

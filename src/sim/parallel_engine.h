@@ -1,0 +1,218 @@
+// Conservative parallel discrete-event engine.
+//
+// The single-threaded sim::Engine tops out around a few million events per
+// second, which caps experiments at roughly 4k simulated nodes. This engine
+// shards the simulated world across worker threads: each shard owns a
+// private Engine (its own event queue, clock, and RNG stream derived from
+// the root seed + shard id) and the shards advance in lockstep through time
+// windows whose width is the *lookahead* — the minimum latency any
+// cross-shard interaction can have (in Phoenix, the fabric's minimum
+// inter-node delivery latency; see net::LatencyModel::min_latency()).
+//
+// Protocol (classic conservative time-window synchronization):
+//   - Window k covers simulated times [k0, k0 + lookahead). Within a window
+//     every shard runs its local events independently; no shard can affect
+//     another inside the same window because any cross-shard effect is at
+//     least one lookahead away.
+//   - Cross-shard events go through per-(sender, receiver) SPSC mailboxes.
+//     An entry is tagged with the window (epoch) that produced it; receivers
+//     drain entries tagged with *earlier* epochs at the start of each
+//     window, so an entry produced concurrently with the receiver's current
+//     window is never consumed early.
+//   - A barrier separates windows. Its completion step advances the window,
+//     fast-forwarding over idle gaps (min over all shard queues and mailbox
+//     entries) so sparse workloads do not pay per-window costs for empty
+//     simulated time.
+//
+// Determinism contract: for a fixed shard count and seed, results are
+// bit-identical for ANY thread count, including threads = 0 (the sequential
+// reference mode, which executes the exact same protocol on the calling
+// thread). Mailboxes are drained in fixed sender order, entries in FIFO
+// order, and every RNG draw happens on the shard that owns it — thread
+// scheduling can reorder nothing observable. Changing the *shard count*
+// changes RNG stream assignment and event interleaving, so it is a
+// different (equally valid) experiment, like changing the seed.
+//
+// The single-threaded Engine remains the default for all paper experiments;
+// this engine is the substrate for 16k+-node scale runs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace phoenix::sim {
+
+namespace detail {
+
+/// Unbounded single-producer single-consumer mailbox (linked list with a
+/// dummy head). The producer is whichever thread owns the sending shard, the
+/// consumer whichever owns the receiving shard; both roles are fixed for a
+/// run, and production during window k overlaps consumption of window k-1
+/// entries — exactly the SPSC contract.
+class SpscMailbox {
+ public:
+  struct Entry {
+    SimTime at = 0;            // absolute delivery time
+    std::uint64_t epoch = 0;   // window that produced the entry
+    Engine::Callback cb;
+    EventId* id_slot = nullptr;  // optional: receives the minted id at drain
+  };
+
+  SpscMailbox() : head_(new Node), tail_(head_) {}
+  ~SpscMailbox();
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  /// Producer only.
+  void push(Entry e);
+
+  /// Consumer only: pops every entry tagged with an epoch < `before` into
+  /// `fn`, stopping at the first newer entry (FIFO order, so all drainable
+  /// entries precede it).
+  template <typename Fn>
+  void drain_before(std::uint64_t before, Fn&& fn) {
+    while (Node* next = head_->next.load(std::memory_order_acquire)) {
+      if (next->e.epoch >= before) break;
+      fn(next->e);
+      delete head_;
+      head_ = next;
+    }
+  }
+
+  /// Earliest delivery time among queued entries, or kNever. Only safe while
+  /// both endpoints are quiescent (the barrier completion step).
+  SimTime min_time() const noexcept;
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    Entry e;
+  };
+
+  Node* head_;  // consumer-owned dummy; head_->next is the front entry
+  Node* tail_;  // producer-owned
+};
+
+}  // namespace detail
+
+class ParallelEngine {
+ public:
+  using Callback = Engine::Callback;
+
+  struct Options {
+    /// Number of shards the simulated world is partitioned into. Fixed for
+    /// the life of the engine; part of the determinism contract.
+    std::size_t shards = 1;
+    /// Worker threads executing the shards (round-robin ownership). 0 runs
+    /// the identical protocol sequentially on the calling thread — the
+    /// deterministic reference mode for replay-equivalence tests.
+    std::size_t threads = 0;
+    /// Conservative lookahead: no cross-shard event may be delivered less
+    /// than this far into the future. Must be > 0 — with zero lookahead a
+    /// shard could affect another within the current window and conservative
+    /// parallel execution is impossible (the constructor throws).
+    SimTime lookahead = 0;
+    /// Root seed; shard s draws from Rng(derive_stream_seed(seed, s)).
+    std::uint64_t seed = 42;
+  };
+
+  explicit ParallelEngine(const Options& opts);
+  ~ParallelEngine() = default;
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t thread_count() const noexcept { return threads_; }
+  SimTime lookahead() const noexcept { return lookahead_; }
+
+  /// The shard-local engine. During a run it must only be touched by the
+  /// thread currently executing shard `s`; between runs (quiescent) any
+  /// thread may schedule setup events or inspect state.
+  Engine& shard(std::size_t s) { return shards_[s]->engine; }
+  const Engine& shard(std::size_t s) const { return shards_[s]->engine; }
+
+  /// Simulated time every shard has reached (quiescent only).
+  SimTime now() const noexcept { return resume_at_; }
+
+  /// Schedules `cb` on shard `to` at absolute time `at`, called from shard
+  /// `from`'s execution context during a run. `at` must lie beyond the
+  /// current window (guaranteed when the delay is >= lookahead); a
+  /// same-window delivery throws std::logic_error — the caller's latency
+  /// model is incompatible with the configured lookahead.
+  ///
+  /// If `id_slot` is non-null it receives the EventId minted when the entry
+  /// is drained into shard `to`; the slot must only be read (e.g. to
+  /// cancel the event) from code running on shard `to` — the owning thread.
+  /// `from == to` degenerates to a direct local schedule.
+  void post_cross(std::size_t from, std::size_t to, SimTime at, Callback cb,
+                  EventId* id_slot = nullptr);
+
+  /// Runs every shard through time windows until all clocks reach `t`
+  /// (inclusive, like Engine::run_until). Returns events executed across
+  /// all shards during this call.
+  std::uint64_t run_until(SimTime t);
+
+  // --- counters (quiescent only) -------------------------------------------
+
+  /// Total events executed across all shards since construction.
+  std::uint64_t executed() const noexcept;
+  /// Cross-shard events posted / drained into their target shard.
+  std::uint64_t cross_posted() const noexcept;
+  std::uint64_t cross_delivered() const noexcept;
+  /// Synchronization windows executed (barrier rounds).
+  std::uint64_t windows_run() const noexcept { return epoch_; }
+
+ private:
+  // Cache-line sized so two shards' hot state never false-shares.
+  struct alignas(64) Shard {
+    explicit Shard(std::uint64_t seed) : engine(seed) {}
+    Engine engine;
+    std::uint64_t cross_posted = 0;
+    std::uint64_t cross_delivered = 0;
+  };
+
+  detail::SpscMailbox& mailbox(std::size_t from, std::size_t to) {
+    return *mailboxes_[from * shards_.size() + to];
+  }
+
+  void drain_into(std::size_t s);
+  void run_window_for(std::size_t worker);
+  /// Barrier completion: advances to the next window (or fast-forwards over
+  /// an idle gap) and decides termination. Runs exclusively.
+  void advance_window() noexcept;
+  /// Sets win_end_ for the window beginning at `start`, jumping over idle
+  /// simulated time when every shard queue and mailbox is beyond it.
+  void compute_window(SimTime start) noexcept;
+  void record_error() noexcept;
+
+  std::size_t threads_;
+  SimTime lookahead_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<detail::SpscMailbox>> mailboxes_;
+
+  // Window state: written only before a run starts or inside the barrier
+  // completion step (which synchronizes with every worker), read freely by
+  // workers during a window.
+  SimTime win_end_ = 0;
+  SimTime target_ = 0;
+  SimTime resume_at_ = 0;  // where the next run's first window begins
+  std::uint64_t epoch_ = 0;
+  bool done_ = false;
+  bool in_run_ = false;
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  std::atomic<bool> has_error_{false};
+};
+
+}  // namespace phoenix::sim

@@ -1,0 +1,243 @@
+// Unit tests for the conservative parallel-DES engine: per-shard RNG stream
+// derivation, lookahead/window protocol edges (zero lookahead, same-window
+// cross-shard delivery, mailbox draining at barriers), cross-shard
+// cancellation from the owning thread, idle fast-forward, and determinism
+// across thread counts for a fixed shard count.
+#include "sim/parallel_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace phoenix::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-shard RNG stream derivation.
+// ---------------------------------------------------------------------------
+
+TEST(StreamSeedTest, DerivationIsPure) {
+  EXPECT_EQ(derive_stream_seed(42, 3), derive_stream_seed(42, 3));
+  EXPECT_EQ(derive_stream_seed(0, 0), derive_stream_seed(0, 0));
+}
+
+TEST(StreamSeedTest, AdjacentStreamsDiverge) {
+  // Child seeds differ, and the streams they seed do not overlap in their
+  // first draws (the practical "independence" the shards need).
+  const std::uint64_t root = 0x1234;
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = a + 1; b < 8; ++b) {
+      ASSERT_NE(derive_stream_seed(root, a), derive_stream_seed(root, b));
+      Rng ra(derive_stream_seed(root, a));
+      Rng rb(derive_stream_seed(root, b));
+      bool all_equal = true;
+      for (int i = 0; i < 16; ++i) {
+        if (ra.next() != rb.next()) all_equal = false;
+      }
+      ASSERT_FALSE(all_equal) << "streams " << a << " and " << b << " collide";
+    }
+  }
+}
+
+TEST(StreamSeedTest, DifferentRootsGiveDifferentStreams) {
+  EXPECT_NE(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+}
+
+TEST(ParallelEngineTest, ShardRngsMatchDerivedStreams) {
+  ParallelEngine pe({.shards = 3, .threads = 0, .lookahead = 100, .seed = 777});
+  for (std::size_t s = 0; s < 3; ++s) {
+    Rng reference(derive_stream_seed(777, s));
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_EQ(pe.shard(s).rng().next(), reference.next()) << "shard " << s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction and lookahead validation.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngineTest, ZeroLookaheadIsRejected) {
+  EXPECT_THROW(
+      ParallelEngine({.shards = 2, .threads = 0, .lookahead = 0, .seed = 1}),
+      std::invalid_argument);
+}
+
+TEST(ParallelEngineTest, ZeroShardsAreRejected) {
+  EXPECT_THROW(
+      ParallelEngine({.shards = 0, .threads = 0, .lookahead = 10, .seed = 1}),
+      std::invalid_argument);
+}
+
+TEST(ParallelEngineTest, QuiescentCrossPostIsRejected) {
+  ParallelEngine pe({.shards = 2, .threads = 0, .lookahead = 100, .seed = 1});
+  EXPECT_THROW(pe.post_cross(0, 1, 500, [] {}), std::logic_error);
+}
+
+class SameWindowDelivery : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SameWindowDelivery, IsRejectedWithClearError) {
+  // An event at t=10 posting a cross-shard delivery at t=50 — inside its own
+  // window [0, 99] — violates the conservative contract and must fail the
+  // run loudly, in sequential and threaded mode alike.
+  ParallelEngine pe(
+      {.shards = 2, .threads = GetParam(), .lookahead = 100, .seed = 1});
+  pe.shard(0).schedule_at(10, [&pe] { pe.post_cross(0, 1, 50, [] {}); });
+  EXPECT_THROW(pe.run_until(1'000), std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SameWindowDelivery, ::testing::Values(0, 2));
+
+// ---------------------------------------------------------------------------
+// Mailbox draining at window barriers.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngineTest, MailboxDrainsAtWindowBarrier) {
+  ParallelEngine pe({.shards = 2, .threads = 0, .lookahead = 100, .seed = 1});
+  std::vector<std::pair<SimTime, char>> shard1_log;
+
+  // Quiescent setup: a local shard-1 event at t=110, and a shard-0 event at
+  // t=10 posting cross deliveries at t=110 (next window) and t=350 (three
+  // windows out).
+  pe.shard(1).schedule_at(110, [&] { shard1_log.push_back({pe.shard(1).now(), 'L'}); });
+  pe.shard(0).schedule_at(10, [&] {
+    pe.post_cross(0, 1, 110, [&] { shard1_log.push_back({pe.shard(1).now(), 'C'}); });
+    pe.post_cross(0, 1, 350, [&] { shard1_log.push_back({pe.shard(1).now(), 'F'}); });
+  });
+
+  pe.run_until(1'000);
+  // The setup-scheduled local event holds the earlier insertion sequence, so
+  // it wins the t=110 tie; the far entry waits in the engine until t=350.
+  ASSERT_EQ(shard1_log.size(), 3u);
+  EXPECT_EQ(shard1_log[0], (std::pair<SimTime, char>{110, 'L'}));
+  EXPECT_EQ(shard1_log[1], (std::pair<SimTime, char>{110, 'C'}));
+  EXPECT_EQ(shard1_log[2], (std::pair<SimTime, char>{350, 'F'}));
+  EXPECT_EQ(pe.cross_posted(), 2u);
+  EXPECT_EQ(pe.cross_delivered(), 2u);
+  EXPECT_EQ(pe.now(), 1'000u);
+}
+
+TEST(ParallelEngineTest, SameShardPostDegeneratesToLocalSchedule) {
+  ParallelEngine pe({.shards = 2, .threads = 0, .lookahead = 100, .seed = 1});
+  SimTime fired_at = 0;
+  // Even a same-window target is fine: no mailbox is involved.
+  pe.shard(0).schedule_at(10, [&] {
+    pe.post_cross(0, 0, 20, [&] { fired_at = pe.shard(0).now(); });
+  });
+  pe.run_until(500);
+  EXPECT_EQ(fired_at, 20u);
+  EXPECT_EQ(pe.cross_posted(), 0u);  // never crossed a shard boundary
+}
+
+TEST(ParallelEngineTest, CrossShardEventCancelledFromOwningThread) {
+  ParallelEngine pe({.shards = 2, .threads = 0, .lookahead = 100, .seed = 1});
+  EventId victim{};  // written at drain time, owned by shard 1
+  bool victim_fired = false;
+  bool cancel_ok = false;
+  pe.shard(0).schedule_at(5, [&] {
+    pe.post_cross(0, 1, 250, [&] { victim_fired = true; }, &victim);
+    // A second, earlier cross event cancels the first — running on shard 1,
+    // the thread that owns the drained event.
+    pe.post_cross(0, 1, 150, [&] {
+      ASSERT_NE(victim.value, 0u);  // drained before any window-1 event ran
+      cancel_ok = pe.shard(1).cancel(victim);
+    });
+  });
+  pe.run_until(1'000);
+  EXPECT_TRUE(cancel_ok);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(pe.cross_delivered(), 2u);  // both drained; one was then cancelled
+}
+
+// ---------------------------------------------------------------------------
+// Idle fast-forward and resumption.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngineTest, FastForwardsOverIdleGaps) {
+  ParallelEngine pe({.shards = 2, .threads = 0, .lookahead = 100, .seed = 1});
+  int fired = 0;
+  pe.shard(0).schedule_at(5, [&] { ++fired; });
+  pe.shard(1).schedule_at(10 * kSecond, [&] { ++fired; });
+  EXPECT_EQ(pe.run_until(10 * kSecond), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(pe.now(), 10 * kSecond);
+  // 10s at a 100us lookahead would be 100k windows without the jump.
+  EXPECT_LE(pe.windows_run(), 4u);
+}
+
+TEST(ParallelEngineTest, ResumesAcrossRunUntilCalls) {
+  ParallelEngine pe({.shards = 2, .threads = 0, .lookahead = 50, .seed = 1});
+  std::vector<SimTime> fires;
+  pe.shard(0).schedule_at(40, [&] { fires.push_back(pe.shard(0).now()); });
+  pe.run_until(100);
+  // Quiescent re-arm, including at exactly the resumption instant.
+  pe.shard(0).schedule_at(100, [&] { fires.push_back(pe.shard(0).now()); });
+  pe.shard(1).schedule_at(130, [&] { fires.push_back(pe.shard(1).now()); });
+  pe.run_until(200);
+  EXPECT_EQ(fires, (std::vector<SimTime>{40, 100, 130}));
+  EXPECT_EQ(pe.executed(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: fixed shard count, any thread count.
+// ---------------------------------------------------------------------------
+
+// A cross-shard ping-pong storm: every bounce records (time, tag) on the
+// shard it lands on, draws its next hop and delay from the *owning* shard's
+// RNG stream, and re-posts. Any cross-thread nondeterminism (drain order,
+// tie-breaks, RNG sharing) would change the traces.
+struct BounceWorld {
+  explicit BounceWorld(std::size_t threads)
+      : pe({.shards = 4, .threads = threads, .lookahead = 50, .seed = 2026}),
+        trace(4) {}
+
+  void bounce(std::size_t s, std::uint64_t tag, int hops) {
+    trace[s].push_back({pe.shard(s).now(), tag});
+    if (hops <= 0) return;
+    Engine& eng = pe.shard(s);
+    const std::size_t next = (s + 1 + eng.rng().next() % 3) % 4;
+    const SimTime at = eng.now() + 50 + eng.rng().next() % 75;
+    pe.post_cross(s, next, at, [this, next, tag, hops] {
+      bounce(next, tag * 1'000'003 + 7, hops - 1);
+    });
+    // Mix in a local (same-shard) event too, so mailbox arrivals interleave
+    // with shard-local scheduling.
+    if (eng.rng().chance(0.5)) {
+      eng.schedule_after(1 + eng.rng().next() % 30,
+                         [this, s, tag] { trace[s].push_back({pe.shard(s).now(), ~tag}); });
+    }
+  }
+
+  std::vector<std::vector<std::pair<SimTime, std::uint64_t>>> run() {
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (int r = 0; r < 3; ++r) {
+        pe.shard(s).schedule_at(1 + 17 * r + s,
+                                [this, s, r] { bounce(s, s * 10 + r, 40); });
+      }
+    }
+    pe.run_until(100 * kMillisecond);
+    return std::move(trace);
+  }
+
+  ParallelEngine pe;
+  std::vector<std::vector<std::pair<SimTime, std::uint64_t>>> trace;
+};
+
+TEST(ParallelEngineTest, TraceIdenticalForAnyThreadCount) {
+  const auto reference = BounceWorld(0).run();  // sequential reference mode
+  std::size_t total = 0;
+  for (const auto& t : reference) total += t.size();
+  ASSERT_GT(total, 300u) << "workload too small to be meaningful";
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    const auto got = BounceWorld(threads).run();
+    ASSERT_EQ(got, reference) << "divergence at threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace phoenix::sim

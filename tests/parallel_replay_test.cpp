@@ -1,0 +1,243 @@
+// Replay equivalence between the sequential reference mode and threaded
+// parallel execution (same shape as scheduler_edge_test's old-vs-new replay):
+// a mixed workload — per-node heartbeat timers (scheduler traffic), fabric
+// sends with acks (transport traffic), and partition-server event fan-out to
+// cross-shard subscribers (event-service traffic) — is run on a 4-shard
+// world single-threaded and with 4 worker threads, asserting identical
+// per-node event order and identical final state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "net/fabric.h"
+#include "sim/parallel_engine.h"
+
+namespace phoenix {
+namespace {
+
+using net::Address;
+using net::NetworkId;
+using net::NodeId;
+using net::PortId;
+using sim::SimTime;
+
+struct HeartbeatMsg final : net::Message {
+  std::uint32_t from_node = 0;
+  std::uint64_t seq = 0;
+  PHOENIX_MESSAGE_TYPE("replay.heartbeat")
+  std::size_t wire_size() const noexcept override { return 48; }
+};
+
+struct AckMsg final : net::Message {
+  std::uint64_t seq = 0;
+  PHOENIX_MESSAGE_TYPE("replay.ack")
+  std::size_t wire_size() const noexcept override { return 16; }
+};
+
+struct FanoutEventMsg final : net::Message {
+  std::uint32_t publisher = 0;
+  std::uint64_t seq = 0;
+  PHOENIX_MESSAGE_TYPE("replay.event")
+  std::size_t wire_size() const noexcept override { return 96; }
+};
+
+// Everything a node accumulates during the run. Only ever touched from the
+// thread executing the node's shard.
+struct NodeState {
+  std::uint64_t ticks = 0;
+  std::uint64_t heartbeats_seen = 0;
+  std::uint64_t acks_seen = 0;
+  std::uint64_t events_seen = 0;
+  std::uint64_t checksum = 0;
+  // (time, label) per event touching this node, in execution order.
+  std::vector<std::pair<SimTime, std::uint64_t>> log;
+
+  friend bool operator==(const NodeState&, const NodeState&) = default;
+};
+
+// 8 partitions x (server + backup + 6 computes) = 64 nodes on 4 shards.
+constexpr std::size_t kPartitions = 8;
+constexpr std::size_t kNodesPerPartition = 8;
+constexpr std::size_t kNodes = kPartitions * kNodesPerPartition;
+constexpr std::size_t kShards = 4;
+constexpr SimTime kHorizon = 60 * sim::kMillisecond;
+constexpr PortId kPort{7};
+
+struct ReplayWorld {
+  explicit ReplayWorld(std::size_t threads)
+      : map(cluster::ShardMap::partition_blocks(kPartitions, kNodesPerPartition,
+                                                kShards)),
+        pe({.shards = kShards,
+            .threads = threads,
+            .lookahead = net::LatencyModel{}.min_latency(),
+            .seed = 97}),
+        fabric(pe, map.node_shards(), /*network_count=*/2),
+        state(kNodes) {
+    fabric.set_group_size(kNodesPerPartition);  // partition = edge switch
+    fabric.set_delivery_handler([this](const net::Envelope& env) { on_delivery(env); });
+  }
+
+  static NodeId server_of(std::size_t partition) {
+    return NodeId{static_cast<std::uint32_t>(partition * kNodesPerPartition)};
+  }
+  static std::size_t partition_of(NodeId n) {
+    return n.value / kNodesPerPartition;
+  }
+  sim::Engine& engine_of(NodeId n) { return pe.shard(map.shard_of(n)); }
+
+  void note(NodeId n, std::uint64_t label) {
+    NodeState& st = state[n.value];
+    const SimTime now = engine_of(n).now();
+    st.log.push_back({now, label});
+    st.checksum = st.checksum * 1'000'000'007ULL + label * 31 + now;
+  }
+
+  // -- scheduler traffic: self-rearming per-node heartbeat timers -----------
+
+  void tick(NodeId n) {
+    sim::Engine& eng = engine_of(n);
+    NodeState& st = state[n.value];
+    ++st.ticks;
+    note(n, 1'000 + st.ticks);
+
+    // Heartbeat to the home partition server (intra-shard by construction).
+    auto hb = std::make_shared<HeartbeatMsg>();
+    hb->from_node = n.value;
+    hb->seq = st.ticks;
+    const NetworkId net{static_cast<std::uint8_t>(st.ticks % 2)};
+    fabric.send({n, kPort}, {server_of(partition_of(n)), kPort}, net, hb);
+
+    // Every 4th tick also reports to a deterministic remote partition server
+    // (usually cross-shard).
+    if (st.ticks % 4 == 0) {
+      const std::size_t remote =
+          (partition_of(n) + 1 + (n.value + st.ticks) % (kPartitions - 1)) %
+          kPartitions;
+      auto report = std::make_shared<HeartbeatMsg>();
+      report->from_node = n.value;
+      report->seq = st.ticks;
+      fabric.send({n, kPort}, {server_of(remote), kPort}, net, report);
+    }
+
+    // Re-arm with a period drawn from the owning shard's RNG stream.
+    const SimTime period = 200 + eng.rng().next() % 400;
+    eng.schedule_after(period, [this, n] { tick(n); });
+  }
+
+  // -- event-service-style traffic: servers fan out to subscribers ----------
+
+  void publish(std::size_t partition, std::uint64_t seq) {
+    const NodeId pub = server_of(partition);
+    note(pub, 3'000 + seq);
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      // Subscriber registry: a fixed, cluster-wide subset of compute nodes.
+      if (n % 5 == 2 && partition_of(NodeId{n}) != partition) {
+        auto ev = std::make_shared<FanoutEventMsg>();
+        ev->publisher = pub.value;
+        ev->seq = seq;
+        fabric.send({pub, kPort}, {NodeId{n}, kPort}, NetworkId{0}, ev);
+      }
+    }
+    engine_of(pub).schedule_after(sim::kMillisecond,
+                                  [this, partition, seq] { publish(partition, seq + 1); });
+  }
+
+  // -- fabric delivery: count, log, and ack ---------------------------------
+
+  void on_delivery(const net::Envelope& env) {
+    const NodeId n = env.to.node;
+    NodeState& st = state[n.value];
+    if (const auto* hb = net::message_cast<HeartbeatMsg>(*env.message)) {
+      ++st.heartbeats_seen;
+      note(n, (static_cast<std::uint64_t>(hb->from_node) << 20) | hb->seq);
+      // Every 3rd heartbeat the server acks back (reply traffic from the
+      // receiving shard's context).
+      if (st.heartbeats_seen % 3 == 0) {
+        auto ack = std::make_shared<AckMsg>();
+        ack->seq = hb->seq;
+        fabric.send({n, kPort}, {NodeId{hb->from_node}, kPort}, env.network, ack);
+      }
+    } else if (const auto* ack = net::message_cast<AckMsg>(*env.message)) {
+      ++st.acks_seen;
+      note(n, 2'000'000 + ack->seq);
+    } else if (const auto* ev = net::message_cast<FanoutEventMsg>(*env.message)) {
+      ++st.events_seen;
+      note(n, 3'000'000 + (static_cast<std::uint64_t>(ev->publisher) << 10) +
+                  (ev->seq & 1023));
+    }
+  }
+
+  std::uint64_t run() {
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      engine_of(NodeId{n}).schedule_at(1 + n % 97,
+                                       [this, id = NodeId{n}] { tick(id); });
+    }
+    for (std::size_t p = 0; p < kPartitions; ++p) {
+      engine_of(server_of(p)).schedule_at(500 + 37 * p,
+                                          [this, p] { publish(p, 1); });
+    }
+    return pe.run_until(kHorizon);
+  }
+
+  cluster::ShardMap map;
+  sim::ParallelEngine pe;
+  net::ShardedFabric fabric;
+  std::vector<NodeState> state;
+};
+
+TEST(ParallelReplayTest, FourShardParallelMatchesSingleThreadedReference) {
+  ReplayWorld reference(/*threads=*/0);  // the single-threaded reference
+  const std::uint64_t ref_events = reference.run();
+  ASSERT_GT(ref_events, 10'000u) << "workload must exceed 10k events";
+  ASSERT_GT(reference.pe.cross_posted(), 500u)
+      << "workload must exercise cross-shard mailboxes heavily";
+  ASSERT_GT(reference.fabric.cross_shard_sent(), 500u);
+
+  ReplayWorld parallel(/*threads=*/4);
+  const std::uint64_t par_events = parallel.run();
+
+  EXPECT_EQ(par_events, ref_events);
+  EXPECT_EQ(parallel.pe.cross_posted(), reference.pe.cross_posted());
+  EXPECT_EQ(parallel.pe.cross_delivered(), reference.pe.cross_delivered());
+
+  // Identical per-node event order and final state, node by node.
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    const NodeState& a = reference.state[n];
+    const NodeState& b = parallel.state[n];
+    ASSERT_EQ(a.log.size(), b.log.size()) << "node " << n;
+    for (std::size_t i = 0; i < a.log.size(); ++i) {
+      ASSERT_EQ(a.log[i], b.log[i]) << "node " << n << " diverges at event " << i;
+    }
+    ASSERT_EQ(a, b) << "final state mismatch on node " << n;
+  }
+
+  // The aggregate wire accounting must agree too.
+  const net::NetworkStats ref_stats = reference.fabric.total_stats();
+  const net::NetworkStats par_stats = parallel.fabric.total_stats();
+  EXPECT_EQ(par_stats.messages_sent, ref_stats.messages_sent);
+  EXPECT_EQ(par_stats.bytes_sent, ref_stats.bytes_sent);
+  EXPECT_EQ(par_stats.messages_dropped, ref_stats.messages_dropped);
+  EXPECT_EQ(par_stats.bytes_by_type.get("replay.heartbeat"),
+            ref_stats.bytes_by_type.get("replay.heartbeat"));
+  EXPECT_EQ(par_stats.bytes_by_type.get("replay.event"),
+            ref_stats.bytes_by_type.get("replay.event"));
+}
+
+TEST(ParallelReplayTest, TwoThreadRunMatchesToo) {
+  // Shards > threads: two workers own two shards each — the drain protocol
+  // must still serialize identically.
+  ReplayWorld reference(0);
+  reference.run();
+  ReplayWorld two(2);
+  two.run();
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    ASSERT_EQ(reference.state[n], two.state[n]) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace phoenix

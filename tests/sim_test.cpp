@@ -86,6 +86,22 @@ TEST(EngineTest, CancelInvalidIdReturnsFalse) {
   EXPECT_FALSE(engine.cancel(EventId{999}));
 }
 
+TEST(EngineTest, NextTimeLowerBoundTracksQueueHead) {
+  Engine engine;
+  EXPECT_EQ(engine.next_time_lower_bound(), kNever);  // empty queue
+  const EventId early = engine.schedule_at(100, [] {});
+  engine.schedule_at(300, [] {});
+  EXPECT_EQ(engine.next_time_lower_bound(), 100u);
+  // A lazily-cancelled head is a ghost: still a valid (conservative) lower
+  // bound, popped for free on the next run.
+  EXPECT_TRUE(engine.cancel(early));
+  EXPECT_LE(engine.next_time_lower_bound(), 300u);
+  engine.run_until(50);  // executes nothing, bound unchanged by clock alone
+  EXPECT_LE(engine.next_time_lower_bound(), 300u);
+  engine.run();
+  EXPECT_EQ(engine.next_time_lower_bound(), kNever);
+}
+
 TEST(EngineTest, RunUntilAdvancesClockExactly) {
   Engine engine;
   int fired = 0;
