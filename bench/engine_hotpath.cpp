@@ -24,6 +24,14 @@
 //                relative to the sequential reference mode and only show
 //                above 1x on multi-core hosts, so the JSON also records
 //                hardware_concurrency.
+//
+// Flags:
+//   --quick            ~20x smaller iteration counts (CI smoke runs)
+//   --threads N        pin the parallel sweep to one worker-thread count
+//   --trace-json PATH  after the benches, re-run a small sharded world with
+//                      the span store enabled and write the wire-hop spans
+//                      as Chrome trace-event JSON (open in Perfetto); the
+//                      run always contains cross-shard hops.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +44,7 @@
 #include "cluster/shard_map.h"
 #include "kernel/runtime/service_runtime.h"
 #include "net/fabric.h"
+#include "obs/span_store.h"
 #include "sim/engine.h"
 #include "sim/parallel_engine.h"
 
@@ -308,40 +317,46 @@ DispatchRates bench_dispatch(std::size_t deliveries) {
 // cross-shard given 16 shards), so the window/mailbox machinery carries a
 // realistic minority of the traffic rather than dominating it.
 struct ShardedWorld {
-  static constexpr std::size_t kPartitions = 256;
-  static constexpr std::size_t kNodesPerPartition = 64;  // 16384 nodes total
-  static constexpr std::size_t kShards = 16;
-  static constexpr sim::SimTime kHorizon = 20 * sim::kMillisecond;
+  struct Scale {
+    std::size_t partitions = 256;
+    std::size_t nodes_per_partition = 64;  // 16384 nodes total
+    std::size_t shards = 16;
+    sim::SimTime horizon = 20 * sim::kMillisecond;
+  };
 
-  explicit ShardedWorld(std::size_t threads)
-      : map(cluster::ShardMap::partition_blocks(kPartitions, kNodesPerPartition,
-                                                kShards)),
-        pe({.shards = kShards,
+  ShardedWorld(std::size_t threads, Scale scale,
+               obs::SpanStore* spans = nullptr)
+      : sc(scale),
+        map(cluster::ShardMap::partition_blocks(sc.partitions,
+                                                sc.nodes_per_partition,
+                                                sc.shards)),
+        pe({.shards = sc.shards,
             .threads = threads,
             .lookahead = net::LatencyModel{}.min_latency(),
             .seed = 4242}),
-        fabric(pe, map.node_shards(), /*network_count=*/1),
-        delivered(kShards) {
-    fabric.set_group_size(kNodesPerPartition);
-    fabric.set_delivery_handler([this](const net::Envelope& env) {
-      ++delivered[map.shard_of(env.to.node)].count;  // destination-shard thread
-    });
+        fabric(pe, map.node_shards(), /*network_count=*/1) {
+    fabric.set_group_size(sc.nodes_per_partition);
+    // Delivery accounting lives in the fabric's own per-shard NetworkStats
+    // (total_stats().messages_delivered) — no hand-rolled counters here.
+    fabric.set_delivery_handler([](const net::Envelope&) {});
+    if (spans != nullptr) fabric.set_span_store(spans);
     msg = std::make_shared<BenchPingMsg>();
     msg->bytes = 48;  // heartbeat-sized
   }
 
-  static net::NodeId server_of(std::size_t partition) {
-    return net::NodeId{static_cast<std::uint32_t>(partition * kNodesPerPartition)};
+  net::NodeId server_of(std::size_t partition) const {
+    return net::NodeId{
+        static_cast<std::uint32_t>(partition * sc.nodes_per_partition)};
   }
 
   void tick(net::NodeId n, std::uint64_t seq) {
     sim::Engine& eng = pe.shard(map.shard_of(n));
-    const std::size_t part = n.value / kNodesPerPartition;
+    const std::size_t part = n.value / sc.nodes_per_partition;
     const net::PortId port{1};
     fabric.send({n, port}, {server_of(part), port}, net::NetworkId{0}, msg);
     if (seq % 8 == 0) {
       const std::size_t remote =
-          (part + 1 + (n.value + seq) % (kPartitions - 1)) % kPartitions;
+          (part + 1 + (n.value + seq) % (sc.partitions - 1)) % sc.partitions;
       fabric.send({n, port}, {server_of(remote), port}, net::NetworkId{0}, msg);
     }
     eng.schedule_after(200 + eng.rng().next() % 400,
@@ -350,23 +365,19 @@ struct ShardedWorld {
 
   /// Returns (events executed, wall seconds).
   std::pair<std::uint64_t, double> run() {
-    for (std::uint32_t n = 0; n < kPartitions * kNodesPerPartition; ++n) {
+    for (std::uint32_t n = 0; n < sc.partitions * sc.nodes_per_partition; ++n) {
       pe.shard(map.shard_of(net::NodeId{n}))
           .schedule_at(1 + n % 997, [this, id = net::NodeId{n}] { tick(id, 1); });
     }
     const auto t0 = Clock::now();
-    const std::uint64_t ran = pe.run_until(kHorizon);
+    const std::uint64_t ran = pe.run_until(sc.horizon);
     return {ran, seconds_since(t0)};
   }
 
-  struct alignas(64) Counter {
-    std::uint64_t count = 0;
-  };
-
+  Scale sc;
   cluster::ShardMap map;
   sim::ParallelEngine pe;
   net::ShardedFabric fabric;
-  std::vector<Counter> delivered;
   std::shared_ptr<BenchPingMsg> msg;
 };
 
@@ -380,24 +391,31 @@ struct ParallelResults {
   double baseline_events_per_sec = 0;  // sequential reference mode
   std::uint64_t events = 0;
   std::uint64_t cross_posted = 0;
+  /// Merged per-shard fabric stats of the sequential reference run.
+  net::NetworkStats fabric_stats;
+  std::uint64_t fabric_cross_shard_sent = 0;
   std::vector<ParallelPoint> sweep;
 };
 
-ParallelResults bench_parallel(const std::vector<std::size_t>& thread_counts) {
+ParallelResults bench_parallel(const std::vector<std::size_t>& thread_counts,
+                               const ShardedWorld::Scale& scale) {
   ParallelResults out;
   {
-    ShardedWorld world(/*threads=*/0);
+    ShardedWorld world(/*threads=*/0, scale);
     const auto [ran, secs] = world.run();
     out.baseline_events_per_sec = static_cast<double>(ran) / secs;
     out.events = ran;
     out.cross_posted = world.pe.cross_posted();
-    std::printf("parallel   t=seq: %12.0f events/s  (%llu events, %llu cross-shard)\n",
+    out.fabric_stats = world.fabric.total_stats();
+    out.fabric_cross_shard_sent = world.fabric.cross_shard_sent();
+    std::printf("parallel   t=seq: %12.0f events/s  (%llu events, %llu cross-shard, %llu delivered)\n",
                 out.baseline_events_per_sec,
                 static_cast<unsigned long long>(ran),
-                static_cast<unsigned long long>(out.cross_posted));
+                static_cast<unsigned long long>(out.cross_posted),
+                static_cast<unsigned long long>(out.fabric_stats.messages_delivered));
   }
   for (const std::size_t t : thread_counts) {
-    ShardedWorld world(t);
+    ShardedWorld world(t, scale);
     const auto [ran, secs] = world.run();
     ParallelPoint p;
     p.threads = t;
@@ -415,31 +433,97 @@ ParallelResults bench_parallel(const std::vector<std::size_t>& thread_counts) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Traced re-run: Chrome trace-event export.
+// ---------------------------------------------------------------------------
+
+// A small sharded world re-run with the span store on and ≥2 worker threads,
+// so the exported trace always contains cross-shard wire hops (recorded on
+// the destination shard's thread). Deliberately separate from the timed runs:
+// tracing heap-allocates per send and must never touch the headline numbers.
+bool export_trace_json(const char* path) {
+  obs::SpanStore spans;
+  spans.set_enabled(true);
+  spans.set_capacity(1 << 18);
+  // Horizon must cover >= 8 tick periods (200-600us each): cross-shard
+  // reports only fire on every 8th beat, and the whole point of this export
+  // is to contain them.
+  ShardedWorld world(/*threads=*/2,
+                     {.partitions = 16,
+                      .nodes_per_partition = 16,
+                      .shards = 4,
+                      .horizon = 8 * sim::kMillisecond},
+                     &spans);
+  world.run();
+
+  std::size_t cross = 0;
+  for (const auto& s : spans.spans()) {
+    if (s.outcome == "delivered_cross_shard") ++cross;
+  }
+  std::printf("trace      : %zu spans (%zu cross-shard) -> %s\n", spans.size(),
+              cross, path);
+  if (cross == 0) {
+    std::fprintf(stderr, "trace run produced no cross-shard spans\n");
+    return false;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  const std::string json = spans.to_chrome_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 }  // namespace phoenix::bench
 
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);
   const char* out_path = "BENCH_hotpath.json";
+  const char* trace_path = nullptr;
+  bool quick = false;
   std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       thread_counts = {static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10))};
+    } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
     } else {
       out_path = argv[i];
     }
   }
+  const std::size_t scale_div = quick ? 20 : 1;
+  phoenix::bench::ShardedWorld::Scale world_scale;
+  if (quick) {
+    world_scale = {.partitions = 32,
+                   .nodes_per_partition = 32,
+                   .shards = 8,
+                   .horizon = 5 * phoenix::sim::kMillisecond};
+    thread_counts = {2};
+  }
 
-  const double events_per_sec = phoenix::bench::bench_scheduler(2'000'000);
+  const double events_per_sec =
+      phoenix::bench::bench_scheduler(2'000'000 / scale_div);
   std::printf("scheduler mix : %12.0f events/s\n", events_per_sec);
-  const double sends_per_sec = phoenix::bench::bench_fabric(2'000'000);
+  const double sends_per_sec = phoenix::bench::bench_fabric(2'000'000 / scale_div);
   std::printf("fabric send   : %12.0f sends/s\n", sends_per_sec);
-  const double publishes_per_sec = phoenix::bench::bench_publish(200'000);
+  const double publishes_per_sec =
+      phoenix::bench::bench_publish(200'000 / scale_div);
   std::printf("es publish    : %12.0f publishes/s\n", publishes_per_sec);
-  const auto dispatch = phoenix::bench::bench_dispatch(4'000'000);
+  const auto dispatch = phoenix::bench::bench_dispatch(4'000'000 / scale_div);
   std::printf("dispatch table: %12.0f msgs/s\n", dispatch.table_per_sec);
   std::printf("dispatch chain: %12.0f msgs/s\n", dispatch.ifchain_per_sec);
-  const auto parallel = phoenix::bench::bench_parallel(thread_counts);
+  const auto parallel =
+      phoenix::bench::bench_parallel(thread_counts, world_scale);
+
+  if (trace_path != nullptr && !phoenix::bench::export_trace_json(trace_path)) {
+    return 1;
+  }
 
   std::string sweep_json;
   for (std::size_t i = 0; i < parallel.sweep.size(); ++i) {
@@ -456,6 +540,7 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"engine_hotpath\",\n"
+                 "  \"quick\": %s,\n"
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"sends_per_sec\": %.0f,\n"
                  "  \"publishes_per_sec\": %.0f,\n"
@@ -469,20 +554,35 @@ int main(int argc, char** argv) {
                  "    \"events\": %llu,\n"
                  "    \"cross_shard_posted\": %llu,\n"
                  "    \"baseline_events_per_sec\": %.0f,\n"
+                 "    \"fabric\": {\n"
+                 "      \"messages_sent\": %llu,\n"
+                 "      \"messages_delivered\": %llu,\n"
+                 "      \"messages_dropped\": %llu,\n"
+                 "      \"messages_lost\": %llu,\n"
+                 "      \"bytes_sent\": %llu,\n"
+                 "      \"cross_shard_sent\": %llu\n"
+                 "    },\n"
                  "    \"sweep\": [\n%s\n    ]\n"
                  "  }\n"
                  "}\n",
-                 events_per_sec, sends_per_sec, publishes_per_sec,
-                 dispatch.table_per_sec, dispatch.ifchain_per_sec,
-                 phoenix::bench::ShardedWorld::kPartitions *
-                     phoenix::bench::ShardedWorld::kNodesPerPartition,
-                 phoenix::bench::ShardedWorld::kShards,
+                 quick ? "true" : "false", events_per_sec, sends_per_sec,
+                 publishes_per_sec, dispatch.table_per_sec,
+                 dispatch.ifchain_per_sec,
+                 world_scale.partitions * world_scale.nodes_per_partition,
+                 world_scale.shards,
                  static_cast<unsigned long long>(
                      phoenix::net::LatencyModel{}.min_latency()),
                  std::thread::hardware_concurrency(),
                  static_cast<unsigned long long>(parallel.events),
                  static_cast<unsigned long long>(parallel.cross_posted),
-                 parallel.baseline_events_per_sec, sweep_json.c_str());
+                 parallel.baseline_events_per_sec,
+                 static_cast<unsigned long long>(parallel.fabric_stats.messages_sent),
+                 static_cast<unsigned long long>(parallel.fabric_stats.messages_delivered),
+                 static_cast<unsigned long long>(parallel.fabric_stats.messages_dropped),
+                 static_cast<unsigned long long>(parallel.fabric_stats.messages_lost),
+                 static_cast<unsigned long long>(parallel.fabric_stats.bytes_sent),
+                 static_cast<unsigned long long>(parallel.fabric_cross_shard_sent),
+                 sweep_json.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
   } else {

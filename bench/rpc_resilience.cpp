@@ -27,6 +27,7 @@
 
 #include "bench_util.h"
 #include "kernel/api.h"
+#include "obs/metrics.h"
 
 namespace phoenix::bench {
 namespace {
@@ -138,6 +139,15 @@ struct FailoverResult {
   double success_pct = 0;
   std::uint64_t reroutes = 0;
   std::uint64_t retries = 0;
+  /// api.call_latency_us percentiles from the cluster metrics registry
+  /// (enabled for this run; recording draws no randomness, so the failover
+  /// outcome is identical with metrics off).
+  double lat_p50_us = 0;
+  double lat_p95_us = 0;
+  double lat_p99_us = 0;
+  std::uint64_t lat_count = 0;
+  /// Full registry snapshot (counters/gauges/histograms), raw JSON.
+  std::string metrics_json = "{}";
 };
 
 constexpr std::size_t kFailoverCalls = 60;
@@ -147,6 +157,7 @@ FailoverResult run_failover() {
   params.heartbeat_interval = 2 * sim::kSecond;
   params.detector_sample_interval = 1 * sim::kSecond;
   Harness h(bench_spec(), params);
+  h.cluster.metrics().set_enabled(true);
   h.run_s(3.0);
   KernelApi api(h.cluster, h.cluster.compute_nodes(net::PartitionId{1})[0],
                 h.kernel);
@@ -187,6 +198,14 @@ FailoverResult run_failover() {
       100.0 * static_cast<double>(res.ok) / static_cast<double>(res.calls);
   res.reroutes = api.reroutes();
   res.retries = api.retries_sent();
+  if (const obs::Histogram* lat =
+          h.cluster.metrics().find_histogram("api.call_latency_us")) {
+    res.lat_p50_us = lat->percentile(0.50);
+    res.lat_p95_us = lat->percentile(0.95);
+    res.lat_p99_us = lat->percentile(0.99);
+    res.lat_count = lat->count();
+  }
+  res.metrics_json = h.cluster.metrics().snapshot_json();
   return res;
 }
 
@@ -221,6 +240,10 @@ int main(int argc, char** argv) {
               fo.ok, fo.calls, fo.success_pct,
               static_cast<unsigned long long>(fo.reroutes),
               static_cast<unsigned long long>(fo.retries));
+  std::printf("          call latency p50 %.0fus p95 %.0fus p99 %.0fus"
+              " (%llu samples, api.call_latency_us)\n",
+              fo.lat_p50_us, fo.lat_p95_us, fo.lat_p99_us,
+              static_cast<unsigned long long>(fo.lat_count));
 
   // The §9 acceptance line: the retrying client holds >= 99% at 5% loss.
   bool ok = fo.success_pct >= 99.0;
@@ -251,10 +274,16 @@ int main(int argc, char** argv) {
                  "  ],\n"
                  "  \"failover\": {\"calls\": %zu, \"ok\": %zu,"
                  " \"success_pct\": %.1f, \"reroutes\": %llu,"
-                 " \"retries\": %llu}\n}\n",
+                 " \"retries\": %llu,\n"
+                 "    \"call_latency_us\": {\"count\": %llu, \"p50\": %.0f,"
+                 " \"p95\": %.0f, \"p99\": %.0f}},\n",
                  fo.calls, fo.ok, fo.success_pct,
                  static_cast<unsigned long long>(fo.reroutes),
-                 static_cast<unsigned long long>(fo.retries));
+                 static_cast<unsigned long long>(fo.retries),
+                 static_cast<unsigned long long>(fo.lat_count), fo.lat_p50_us,
+                 fo.lat_p95_us, fo.lat_p99_us);
+    // Raw registry snapshot from the failover run (already valid JSON).
+    std::fprintf(f, "  \"metrics\": %s\n}\n", fo.metrics_json.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
   } else {

@@ -63,14 +63,22 @@ for name in table1_wd_faults table2_gsd_faults table3_es_faults \
 done
 
 # Merge every per-bench JSON into one object, keyed by bench name. A "host"
-# key records the core count so parallel-engine speedups (relative numbers in
-# BENCH_hotpath.json's "parallel" section) can be read in context.
+# key records the core count (so parallel-engine speedups in
+# BENCH_hotpath.json's "parallel" section can be read in context) plus the
+# git revision and UTC wall time of the run, so any archived
+# BENCH_results.json can be traced back to the exact tree that produced it.
 results="$repo_root/BENCH_results.json"
 rm -f "$results"
 ncpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
+git_sha=$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)
+if [ -n "$(git -C "$repo_root" status --porcelain 2>/dev/null)" ]; then
+  git_sha="$git_sha-dirty"
+fi
+run_at=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 {
   printf '{\n'
-  printf '  "host": { "hardware_concurrency": %s },\n' "$ncpus"
+  printf '  "host": { "hardware_concurrency": %s, "git_sha": "%s", "run_at_utc": "%s" },\n' \
+    "$ncpus" "$git_sha" "$run_at"
   first=1
   for f in "$repo_root"/BENCH_*.json; do
     [ -e "$f" ] || continue

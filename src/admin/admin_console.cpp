@@ -150,6 +150,10 @@ std::string AdminConsole::render_status() const {
   return out.str();
 }
 
+std::string AdminConsole::metrics_report() const {
+  return kernel_.cluster().metrics().snapshot_json();
+}
+
 CommandResult AdminConsole::run_command(const std::string& command,
                                         std::vector<net::NodeId> nodes,
                                         std::size_t fanout, sim::SimTime timeout) {

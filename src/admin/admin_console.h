@@ -85,6 +85,12 @@ class AdminConsole final : public cluster::Daemon {
   /// ASCII status screen (nodes, placements, fault summary).
   std::string render_status() const;
 
+  /// JSON snapshot of the cluster metrics registry (counters, gauges,
+  /// histogram percentiles). Runs the registered probes, so fabric/engine
+  /// gauges reflect the state at the moment of the query. "{}"-shaped but
+  /// empty when the registry is disabled.
+  std::string metrics_report() const;
+
   // --- administration ----------------------------------------------------------
 
   /// Runs a command on every listed node via PPM tree fan-out, driving the

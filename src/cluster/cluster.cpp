@@ -37,6 +37,18 @@ Cluster::Cluster(const ClusterSpec& spec)
       [this](NodeId id) { return node(id).alive(); });
   fabric_.set_delivery_handler(
       [this](const net::Envelope& env) { deliver(env); });
+
+  // Observability plane (off by default — enabling is one setter each).
+  // The engine and fabric are pull sources: snapshot-time probes, no
+  // per-event cost. Probes and Cluster share a lifetime, so no unregister.
+  fabric_.set_span_store(&spans_);
+  fabric_.register_metrics(metrics_, "fabric");
+  metrics_.register_probe([this](obs::Registry& r) {
+    r.gauge("engine.events_executed")
+        ->set(static_cast<double>(engine_.executed()));
+    r.gauge("engine.sim_now_us")->set(static_cast<double>(engine_.now()));
+    r.gauge("cluster.dead_letters")->set(static_cast<double>(dead_letters_));
+  });
 }
 
 Node& Cluster::node(NodeId id) {

@@ -15,6 +15,8 @@
 
 #include "cluster/node.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
+#include "obs/span_store.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
 
@@ -57,6 +59,17 @@ class Cluster {
   net::Fabric& fabric() noexcept { return fabric_; }
   sim::Tracer& tracer() noexcept { return tracer_; }
   const sim::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Metrics registry and span store for the observability plane. Both are
+  /// off by default (paper runs stay byte-identical); the span store is
+  /// pre-wired into the fabric and the engine/fabric probes are
+  /// pre-registered, so `metrics().set_enabled(true)` /
+  /// `span_store().set_enabled(true)` is all a diagnostic run needs.
+  obs::Registry& metrics() noexcept { return metrics_; }
+  const obs::Registry& metrics() const noexcept { return metrics_; }
+  obs::SpanStore& span_store() noexcept { return spans_; }
+  const obs::SpanStore& span_store() const noexcept { return spans_; }
+
   sim::SimTime now() const noexcept { return engine_.now(); }
 
   // --- nodes ---------------------------------------------------------------
@@ -106,6 +119,8 @@ class Cluster {
   sim::Engine engine_;
   net::Fabric fabric_;
   sim::Tracer tracer_;
+  obs::Registry metrics_;
+  obs::SpanStore spans_;
   std::vector<Node> nodes_;
   std::unordered_map<net::Address, Daemon*> daemons_;
   std::uint64_t dead_letters_ = 0;

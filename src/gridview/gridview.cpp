@@ -66,6 +66,13 @@ void GridView::handle(const net::Envelope& env) {
     if (reply->query_id != pending_query_) return;
     pending_query_ = 0;
     last_latency_ = now() - query_sent_at_;
+    if (cluster().metrics().enabled()) {
+      if (refresh_latency_hist_ == nullptr) {
+        refresh_latency_hist_ =
+            cluster().metrics().histogram("gridview.refresh_latency_us");
+      }
+      refresh_latency_hist_->record(last_latency_);
+    }
     partitions_included_ = reply->partitions_included;
     summary_ = reply->aggregated
                    ? reply->summary

@@ -19,6 +19,7 @@
 #include "kernel/bulletin/data_bulletin.h"
 #include "kernel/event/event_service.h"
 #include "kernel/kernel.h"
+#include "obs/metrics.h"
 
 namespace phoenix::gridview {
 
@@ -89,6 +90,7 @@ class GridView final : public cluster::Daemon {
   sim::SimTime query_sent_at_ = 0;
   sim::SimTime last_latency_ = 0;
   std::uint32_t partitions_included_ = 0;
+  obs::Histogram* refresh_latency_hist_ = nullptr;  // resolved on first use
 };
 
 }  // namespace phoenix::gridview

@@ -8,9 +8,29 @@ KernelApi::KernelApi(cluster::Cluster& cluster, net::NodeId node,
                      PhoenixKernel& kernel, net::PortId port)
     : Daemon(cluster, "api", node, port),
       kernel_(kernel),
-      home_partition_(cluster.partition_of(node)) {
+      home_partition_(cluster.partition_of(node)),
+      metrics_(&cluster.metrics()),
+      spans_(&cluster.span_store()),
+      call_latency_(cluster.metrics().histogram("api.call_latency_us")) {
+  // Per-status call outcomes, published at snapshot time. With several
+  // KernelApi instances on one cluster the last-registered probe wins the
+  // shared gauge names — fine for the diagnostic use these serve.
+  metrics_probe_ = metrics_->register_probe([this](obs::Registry& r) {
+    r.gauge("api.pending_calls")->set(static_cast<double>(calls_.size()));
+    r.gauge("api.completed_ok")->set(static_cast<double>(completed_ok_));
+    r.gauge("api.retries_sent")->set(static_cast<double>(retries_));
+    r.gauge("api.reroutes")->set(static_cast<double>(reroutes_));
+    r.gauge("api.timeouts")->set(static_cast<double>(timeouts_));
+    r.gauge("api.exhausted")->set(static_cast<double>(exhausted_));
+    r.gauge("api.unreachable")->set(static_cast<double>(unreachable_));
+    r.gauge("api.denied")->set(static_cast<double>(denied_));
+    r.gauge("api.duplicate_replies")
+        ->set(static_cast<double>(duplicate_replies_));
+  });
   start();
 }
+
+KernelApi::~KernelApi() { metrics_->unregister_probe(metrics_probe_); }
 
 void KernelApi::set_call_timeout(sim::SimTime t) noexcept {
   default_deadline_ = t;
@@ -48,10 +68,26 @@ net::Address KernelApi::resolve_target(const Call& call, net::Address* home_out)
   return home;
 }
 
-void KernelApi::launch(std::uint64_t id, Call call) {
+void KernelApi::launch(std::uint64_t id, Call call, const char* op) {
+  call.op = op;
+  call.issued_at = now();
+  if (spans_->enabled()) {
+    // Root the call's trace here: the ctx's "parent" slot holds the root
+    // span's own id, so attempts (and everything under them) link to it.
+    call.ctx.trace_id = spans_->mint_id();
+    call.ctx.parent_span_id = spans_->mint_id();
+  }
   call.deadline_at = now() + call.opts.deadline;
   calls_.emplace(id, std::move(call));
   start_attempt(id);
+}
+
+void KernelApi::record_call_span(const Call& call, std::string_view outcome) {
+  if (!call.ctx.active()) return;
+  spans_->record(obs::Span{call.ctx.trace_id, call.ctx.parent_span_id, 0,
+                           call.issued_at, now(), "api",
+                           std::string("call:") + call.op,
+                           std::string(outcome)});
 }
 
 void KernelApi::start_attempt(std::uint64_t id) {
@@ -66,7 +102,8 @@ void KernelApi::start_attempt(std::uint64_t id) {
   net::Address home;
   const net::Address target = resolve_target(c, &home);
   const net::Address prev = c.attempt == 1 ? home : c.last_target;
-  if (target != prev) {
+  const bool rerouted = target != prev;
+  if (rerouted) {
     ++reroutes_;
     trace(sim::TraceLevel::kInfo,
           "reroute call=" + std::to_string(id) + " node=" +
@@ -80,7 +117,28 @@ void KernelApi::start_attempt(std::uint64_t id) {
               " attempt=" + std::to_string(c.attempt));
   }
 
+  // Under tracing each attempt gets its own span (child of the call root),
+  // and the send runs inside its ContextScope so the fabric parents the
+  // wire hop — and, through it, the server-side serve span — to this
+  // attempt. The outcome distinguishes plain sends from retries/reroutes.
+  const bool traced = c.ctx.active();
+  std::uint64_t attempt_span = 0;
+  std::optional<obs::ContextScope> scope;
+  if (traced) {
+    attempt_span = spans_->mint_id();
+    scope.emplace(obs::TraceContext{c.ctx.trace_id, attempt_span});
+  }
   const bool sent = target.valid() && send_any(target, c.request).valid();
+  scope.reset();
+  if (traced) {
+    const char* outcome = !sent          ? "send_failed"
+                          : rerouted     ? "reroute"
+                          : c.attempt > 1 ? "retry"
+                                          : "send";
+    spans_->record(obs::Span{c.ctx.trace_id, attempt_span,
+                             c.ctx.parent_span_id, now(), now(), "api",
+                             "attempt:" + std::to_string(c.attempt), outcome});
+  }
   if (sent) c.transmitted = true;
 
   if (c.one_way && sent) {
@@ -88,6 +146,9 @@ void KernelApi::start_attempt(std::uint64_t id) {
     // a one-way is never duplicated by the retry machinery.
     Call done = std::move(c);
     calls_.erase(it);
+    record_call_span(done, "ok");
+    ++completed_ok_;
+    if (metrics_->enabled()) call_latency_->record(now() - done.issued_at);
     if (done.fail) done.fail(Status::kOk);
     return;
   }
@@ -131,9 +192,14 @@ void KernelApi::fail_call(std::uint64_t id, Status status) {
     case Status::kUnreachable: ++unreachable_; break;
     default: break;
   }
-  trace(sim::TraceLevel::kWarn,
+  // A call that burned its whole retry budget is an operator-grade event:
+  // every path to the service failed repeatedly.
+  trace(status == Status::kRetriesExhausted ? sim::TraceLevel::kError
+                                            : sim::TraceLevel::kWarn,
         "call " + std::to_string(id) + " failed: " +
             std::string(net::to_string(status)));
+  record_call_span(c, net::to_string(status));
+  if (metrics_->enabled()) call_latency_->record(now() - c.issued_at);
   if (c.fail) c.fail(status);
 }
 
@@ -141,11 +207,22 @@ void KernelApi::finish(std::uint64_t id, const net::Message& msg) {
   auto it = calls_.find(id);
   if (it == calls_.end()) {
     ++duplicate_replies_;  // original answer won, or the call already failed
+    if (spans_->enabled()) {
+      const obs::TraceContext ctx = obs::current_context();
+      if (ctx.active()) {
+        spans_->record(obs::Span{ctx.trace_id, spans_->mint_id(),
+                                 ctx.parent_span_id, now(), now(), "api",
+                                 "duplicate_reply", "suppressed"});
+      }
+    }
     return;
   }
   Call c = std::move(it->second);
   calls_.erase(it);
   engine().cancel(c.timer);
+  record_call_span(c, "ok");
+  ++completed_ok_;
+  if (metrics_->enabled()) call_latency_->record(now() - c.issued_at);
   if (c.complete) c.complete(msg);
 }
 
@@ -173,7 +250,7 @@ void KernelApi::config_get(const std::string& key,
   c.request = std::move(msg);
   c.service = ServiceKind::kConfiguration;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "config_get");
 }
 
 void KernelApi::config_set(const std::string& key, const std::string& value,
@@ -197,7 +274,7 @@ void KernelApi::config_set(const std::string& key, const std::string& value,
   c.request = std::move(msg);
   c.service = ServiceKind::kConfiguration;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "config_set");
 }
 
 // --- security -------------------------------------------------------------------
@@ -228,7 +305,7 @@ void KernelApi::authenticate(const std::string& user, const std::string& secret,
   c.request = std::move(msg);
   c.service = ServiceKind::kSecurity;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "authenticate");
 }
 
 void KernelApi::authorize(const Token& token, const std::string& action,
@@ -259,7 +336,7 @@ void KernelApi::authorize(const Token& token, const std::string& action,
   c.request = std::move(msg);
   c.service = ServiceKind::kSecurity;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "authorize");
 }
 
 // --- checkpoint -----------------------------------------------------------------
@@ -288,7 +365,7 @@ void KernelApi::checkpoint_save(const std::string& service,
   c.service = ServiceKind::kCheckpointService;
   c.federated = true;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "checkpoint_save");
 }
 
 void KernelApi::checkpoint_load(const std::string& service,
@@ -316,7 +393,7 @@ void KernelApi::checkpoint_load(const std::string& service,
   c.service = ServiceKind::kCheckpointService;
   c.federated = true;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "checkpoint_load");
 }
 
 // --- data bulletin --------------------------------------------------------------
@@ -349,7 +426,7 @@ void KernelApi::query(BulletinTable table, bool cluster_scope,
   c.service = ServiceKind::kDataBulletin;
   c.federated = true;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "query");
 }
 
 void KernelApi::service_stats(Callback<std::vector<ServiceStatsRecord>> done,
@@ -372,7 +449,7 @@ void KernelApi::service_stats(Callback<std::vector<ServiceStatsRecord>> done,
   c.service = ServiceKind::kDataBulletin;
   c.federated = true;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "service_stats");
 }
 
 // --- events ---------------------------------------------------------------------
@@ -395,7 +472,7 @@ void KernelApi::subscribe(std::vector<std::string> types, EventCallback on_event
   c.federated = true;
   c.one_way = true;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "subscribe");
 }
 
 void KernelApi::publish(Event event, Callback<bool> done, CallOptions opts) {
@@ -413,7 +490,7 @@ void KernelApi::publish(Event event, Callback<bool> done, CallOptions opts) {
   c.federated = true;
   c.one_way = true;
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "publish");
 }
 
 // --- ppm ------------------------------------------------------------------------
@@ -448,7 +525,7 @@ void KernelApi::spawn(net::NodeId node, ProcessSpec spec,
   c.use_directory = false;
   c.fixed_target = {node, port_of(ServiceKind::kProcessManager)};
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "spawn");
 }
 
 void KernelApi::parallel_command(const std::string& command,
@@ -483,7 +560,7 @@ void KernelApi::parallel_command(const std::string& command,
   c.use_directory = false;
   c.fixed_target = {root, port_of(ServiceKind::kProcessManager)};
   c.opts = resolve(opts);
-  launch(id, std::move(c));
+  launch(id, std::move(c), "parallel_command");
 }
 
 // --- legacy completion adapters -------------------------------------------------

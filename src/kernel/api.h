@@ -30,6 +30,9 @@
 
 #include "cluster/daemon.h"
 #include "kernel/bulletin/data_bulletin.h"
+#include "obs/metrics.h"
+#include "obs/span_store.h"
+#include "obs/trace_context.h"
 #include "kernel/checkpoint/checkpoint_service.h"
 #include "kernel/config/configuration_service.h"
 #include "kernel/event/event_service.h"
@@ -68,6 +71,7 @@ class KernelApi final : public cluster::Daemon {
   /// clients may coexist on one node with different ports).
   KernelApi(cluster::Cluster& cluster, net::NodeId node, PhoenixKernel& kernel,
             net::PortId port = net::PortId{30});
+  ~KernelApi() override;
 
   // --- client-wide defaults ---------------------------------------------------
 
@@ -250,6 +254,12 @@ class KernelApi final : public cluster::Daemon {
     bool transmitted = false;    // at least one attempt reached the fabric
     net::Address last_target;
     sim::EventId timer{};
+    const char* op = "";         // span name suffix, e.g. "config_set"
+    sim::SimTime issued_at = 0;
+    /// When tracing: trace_id plus the root ("call:") span's own id, which
+    /// parents every attempt span and (via the ambient context at send
+    /// time) every downstream wire hop and serve span.
+    obs::TraceContext ctx;
   };
 
   /// Fills in inherited defaults; !idempotent forces a single attempt.
@@ -257,7 +267,8 @@ class KernelApi final : public cluster::Daemon {
 
   /// Registers the call under a fresh id and launches the first attempt.
   /// The caller has already stamped the id into the request message.
-  void launch(std::uint64_t id, Call call);
+  void launch(std::uint64_t id, Call call, const char* op);
+  void record_call_span(const Call& call, std::string_view outcome);
   void start_attempt(std::uint64_t id);
   void on_attempt_timer(std::uint64_t id);
   void fail_call(std::uint64_t id, Status status);
@@ -275,7 +286,12 @@ class KernelApi final : public cluster::Daemon {
   std::unordered_map<std::uint64_t, Call> calls_;
   std::unordered_map<cluster::Pid, std::function<void(cluster::Pid)>> exit_watch_;
   EventCallback on_event_;
+  obs::Registry* metrics_;       // cluster-owned; cached for one-branch guards
+  obs::SpanStore* spans_;        // cluster-owned
+  obs::Histogram* call_latency_; // "api.call_latency_us", registry-owned
+  std::uint64_t metrics_probe_ = 0;
   std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ok_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t reroutes_ = 0;
   std::uint64_t timeouts_ = 0;

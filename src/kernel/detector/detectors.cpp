@@ -33,7 +33,10 @@ DetectorDaemon::DetectorDaemon(cluster::Cluster& cluster, net::NodeId node,
                              .partition = cluster.partition_of(node)},
                      cpu_share),
       params_(params),
-      sampler_(cluster.engine(), params.detector_sample_interval, [this] { sample(); }) {}
+      sampler_(cluster.engine(), params.detector_sample_interval, [this] { sample(); }),
+      m_samples_(cluster.metrics().counter("detector.samples")),
+      m_full_reports_(cluster.metrics().counter("detector.full_reports")),
+      m_delta_reports_(cluster.metrics().counter("detector.delta_reports")) {}
 
 void DetectorDaemon::on_service_start() {
   sampler_.set_period(params_.detector_sample_interval);
@@ -61,6 +64,7 @@ void DetectorDaemon::publish(Event event) {
 void DetectorDaemon::sample() {
   if (!alive()) return;
   ++samples_;
+  if (cluster().metrics().enabled()) m_samples_->inc();
   const auto& node = cluster().node(node_id());
   const auto partition = cluster().partition_of(node_id());
   const sim::SimTime now_t = now();
@@ -137,6 +141,7 @@ void DetectorDaemon::sample() {
     report->seq = ++report_seq_;
     send_any(bulletin, std::move(report));
     ++full_reports_;
+    if (cluster().metrics().enabled()) m_full_reports_->inc();
     need_full_report_ = false;
     samples_since_resync_ = 0;
   } else {
@@ -156,6 +161,7 @@ void DetectorDaemon::sample() {
     delta->started = std::move(started);
     send_any(bulletin, std::move(delta));
     ++delta_reports_;
+    if (cluster().metrics().enabled()) m_delta_reports_->inc();
     ++samples_since_resync_;
   }
   reported_apps_ = std::move(running_apps);

@@ -64,6 +64,12 @@ class DetectorDaemon final : public ServiceRuntime {
   std::uint64_t samples_ = 0;
   std::uint64_t full_reports_ = 0;
   std::uint64_t delta_reports_ = 0;
+
+  // Cluster-wide monitoring-plane counters, registry-owned (shared by every
+  // detector instance) and bumped only while the registry is enabled.
+  obs::Counter* m_samples_;
+  obs::Counter* m_full_reports_;
+  obs::Counter* m_delta_reports_;
 };
 
 }  // namespace phoenix::kernel

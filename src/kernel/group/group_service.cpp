@@ -453,6 +453,11 @@ void GroupServiceDaemon::check_meta() {
   if (fresh == pred_last_per_net_.size()) return;
 
   if (fresh == 0) {
+    // Every network silent at once is exactly the asymmetric-partition shape
+    // that can split-brain a Princess takeover — flag it before probing.
+    trace(sim::TraceLevel::kError,
+          "meta predecessor partition " + std::to_string(pred->partition.value) +
+              " silent on all networks; split-brain suspect, probing");
     pred_diagnosing_ = true;
     const std::uint64_t id = next_probe_id_++;
     Probe probe;
@@ -571,7 +576,9 @@ void GroupServiceDaemon::migrate_partition(const MetaMember& failed) {
       publish(std::move(e));
       return;
     }
-    trace(sim::TraceLevel::kWarn,
+    // A partition takeover relocates every kernel service of the dead
+    // server — the heaviest recovery action the GSD can take.
+    trace(sim::TraceLevel::kError,
           "migrating partition " + std::to_string(failed.partition.value) +
               " services from node " + std::to_string(failed.gsd.node.value) +
               " to node " + std::to_string(targets.front().value));

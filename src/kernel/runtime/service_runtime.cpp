@@ -12,7 +12,9 @@ ServiceRuntime::ServiceRuntime(cluster::Cluster& cluster, std::string name,
     : cluster::Daemon(cluster, std::move(name), node, port, cpu_share),
       directory_(directory),
       params_(params),
-      opts_(std::move(opts)) {
+      opts_(std::move(opts)),
+      metrics_(&cluster.metrics()),
+      spans_(&cluster.span_store()) {
   if (opts_.recover_on_start) {
     // The recovery loop is the only handler the runtime registers itself; a
     // service that needs CheckpointLoadReplyMsg for its own protocol (the
@@ -30,6 +32,14 @@ void ServiceRuntime::handle(const net::Envelope& env) {
   const net::MessageTypeId id = env.message->type_id();
   ++counters_.messages_received;
   counters_.messages_by_type.slot(id) += 1;
+  if (spans_->enabled() || metrics_->enabled()) {
+    handle_observed(env, id);
+    return;
+  }
+  dispatch(env, id);
+}
+
+void ServiceRuntime::dispatch(const net::Envelope& env, net::MessageTypeId id) {
   if (id.value < table_.size() && table_[id.value]) {
     table_[id.value](env);
     return;
@@ -38,10 +48,59 @@ void ServiceRuntime::handle(const net::Envelope& env) {
   on_unhandled(env);
 }
 
+void ServiceRuntime::handle_observed(const net::Envelope& env,
+                                     net::MessageTypeId id) {
+  if (metrics_->enabled()) {
+    // Transport + queue latency, measurable only for envelopes that came
+    // through a traced fabric delivery (the ambient frame carries the wire
+    // send time); direct test deliveries have no frame and are skipped.
+    const sim::SimTime sent_at = obs::current_delivery_sent_at();
+    if (sent_at != 0) {
+      if (serve_latency_ == nullptr) {
+        serve_latency_ = metrics_->histogram("svc." + name() +
+                                             ".serve_latency_us");
+      }
+      serve_latency_->record(now() - sent_at);
+    }
+  }
+  const obs::TraceContext ctx = obs::current_context();
+  if (spans_->enabled() && ctx.active()) {
+    const bool handled = id.value < table_.size() && table_[id.value] != nullptr;
+    const std::uint64_t span_id = spans_->mint_id();
+    const sim::SimTime started = now();
+    serve_outcome_ = nullptr;
+    {
+      // Handlers (and their replies) parent to this serve span; a dedup hit
+      // in serve_mutating reports itself through serve_outcome_.
+      obs::ContextScope scope(obs::TraceContext{ctx.trace_id, span_id});
+      dispatch(env, id);
+    }
+    const char* outcome = serve_outcome_ != nullptr ? serve_outcome_
+                          : handled                 ? "handled"
+                                                    : "unhandled";
+    serve_outcome_ = nullptr;
+    spans_->record(obs::Span{ctx.trace_id, span_id, ctx.parent_span_id, started,
+                             now(), name(),
+                             "serve:" + std::string(env.message->type()),
+                             outcome});
+    return;
+  }
+  dispatch(env, id);
+}
+
 void ServiceRuntime::on_start() {
   if (pending_takeover_) {
     pending_takeover_ = false;
     ++counters_.takeovers;
+    // A takeover means a server died and this instance is its failover
+    // replacement — operator-grade, hence kError. It also roots a fresh
+    // trace: the recovery work it triggers has no client call above it.
+    trace(sim::TraceLevel::kError, "takeover: starting as failover replacement");
+    if (spans_->enabled()) {
+      const std::uint64_t trace_id = spans_->mint_id();
+      spans_->record(obs::Span{trace_id, spans_->mint_id(), 0, now(), now(),
+                               name(), "takeover", "takeover"});
+    }
     on_takeover();
   }
   on_service_start();

@@ -38,6 +38,9 @@
 #include "kernel/service_msgs.h"
 #include "net/message.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
+#include "obs/span_store.h"
+#include "obs/trace_context.h"
 #include "sim/engine.h"
 
 namespace phoenix::kernel {
@@ -166,9 +169,13 @@ class ServiceRuntime : public cluster::Daemon {
     std::shared_ptr<const net::Message> replay;
     switch (replay_.begin(req.reply_to, req.type_id(), req.request_id, &replay)) {
       case net::ReplayCache::Admit::kReplay:
+        // The replayed reply goes out under the current (serve-span) scope,
+        // so the retry's trace shows the dedup hit, not a re-execution.
+        serve_outcome_ = "replay";
         send_any(req.reply_to, std::move(replay));
         return;
       case net::ReplayCache::Admit::kInFlight:
+        serve_outcome_ = "in_flight";
         return;
       case net::ReplayCache::Admit::kNew:
         break;
@@ -225,6 +232,11 @@ class ServiceRuntime : public cluster::Daemon {
   void on_start() final;
   void on_stop() final;
 
+  /// Slow path of handle(): serve span + serve-latency histogram. Split out
+  /// so the default path stays the dense-table dispatch plus one branch.
+  void handle_observed(const net::Envelope& env, net::MessageTypeId id);
+  void dispatch(const net::Envelope& env, net::MessageTypeId id);
+
   void attempt_recovery_load();
   void on_recovery_reply(const CheckpointLoadReplyMsg& reply);
   void publish_stats();
@@ -235,6 +247,13 @@ class ServiceRuntime : public cluster::Daemon {
   std::vector<std::function<void(const net::Envelope&)>> table_;
   net::ReplayCache replay_;
   RuntimeCounters counters_;
+
+  obs::Registry* metrics_;        // cluster-owned
+  obs::SpanStore* spans_;         // cluster-owned
+  obs::Histogram* serve_latency_ = nullptr;  // resolved on first observed serve
+  /// Set by serve_mutating when the replay cache answered for it; read back
+  /// by handle_observed as the serve span's outcome.
+  const char* serve_outcome_ = nullptr;
 
   bool pending_takeover_ = false;
 

@@ -58,15 +58,32 @@ bool Fabric::any_path(NodeId a, NodeId b) const {
   return false;
 }
 
+void Fabric::record_wire_span(const Message& message, sim::SimTime start,
+                              sim::SimTime end, const char* outcome) {
+  // Root a fresh trace when no ambient context exists, so standalone sends
+  // are still visible when tracing is on.
+  const obs::TraceContext parent = obs::current_context();
+  const std::uint64_t trace_id =
+      parent.active() ? parent.trace_id : spans_->mint_id();
+  spans_->record(obs::Span{trace_id, spans_->mint_id(), parent.parent_span_id,
+                           start, end, "fabric",
+                           std::string("hop:") + std::string(message.type()),
+                           outcome});
+}
+
 bool Fabric::send(const Address& from, const Address& to, NetworkId network,
                   std::shared_ptr<const Message> message) {
   assert(message != nullptr);
   NetworkStats& st = stats_.at(network.value);
   const std::size_t bytes = kWireHeaderBytes + message->wire_size();
+  const bool traced = spans_ != nullptr && spans_->enabled();
 
   if (!node_alive(from.node) || !node_alive(to.node) ||
       !interface_up(from.node, network) || !interface_up(to.node, network)) {
     ++st.messages_dropped;
+    if (traced) {
+      record_wire_span(*message, engine_.now(), engine_.now(), "unreachable");
+    }
     return false;
   }
 
@@ -76,12 +93,14 @@ bool Fabric::send(const Address& from, const Address& to, NetworkId network,
 
   if (drop_ && drop_(from, to, *message)) {
     ++st.messages_lost;  // targeted fault injection; sender cannot tell
+    if (traced) record_wire_span(*message, engine_.now(), engine_.now(), "lost");
     return true;
   }
 
   if (latency_.loss_probability > 0.0 &&
       engine_.rng().chance(latency_.loss_probability)) {
     ++st.messages_lost;  // vanished on the wire; sender cannot tell
+    if (traced) record_wire_span(*message, engine_.now(), engine_.now(), "lost");
     return true;
   }
 
@@ -90,6 +109,37 @@ bool Fabric::send(const Address& from, const Address& to, NetworkId network,
       from.node.value / group_size_ != to.node.value / group_size_;
   const sim::SimTime latency = latency_.sample(bytes, engine_.rng(), cross_group);
   Envelope env{from, to, network, std::move(message)};
+
+  if (traced) {
+    // Traced delivery carries the hop span's identity; the fatter closure
+    // may spill out of the scheduler's small-buffer optimization, which is
+    // why this is a separate path from the default one below.
+    const obs::TraceContext parent = obs::current_context();
+    const std::uint64_t trace_id =
+        parent.active() ? parent.trace_id : spans_->mint_id();
+    const std::uint64_t hop_id = spans_->mint_id();
+    const sim::SimTime sent_at = engine_.now();
+    engine_.schedule_after(
+        latency, [this, env = std::move(env), trace_id, hop_id,
+                  parent_span = parent.parent_span_id, sent_at] {
+          const sim::SimTime at = engine_.now();
+          const std::string name =
+              std::string("hop:") + std::string(env.message->type());
+          if (!node_alive(env.to.node) || !interface_up(env.to.node, env.network)) {
+            ++stats_.at(env.network.value).messages_dropped;
+            spans_->record(obs::Span{trace_id, hop_id, parent_span, sent_at, at,
+                                     "fabric", name, "dropped"});
+            return;
+          }
+          ++stats_.at(env.network.value).messages_delivered;
+          spans_->record(obs::Span{trace_id, hop_id, parent_span, sent_at, at,
+                                   "fabric", name, "delivered"});
+          obs::ContextScope scope(obs::TraceContext{trace_id, hop_id}, sent_at);
+          if (deliver_) deliver_(env);
+        });
+    return true;
+  }
+
   engine_.schedule_after(latency, [this, env = std::move(env)] {
     // Delivery-time checks: the destination may have died or its interface
     // may have been cut while the message was in flight.
@@ -97,6 +147,7 @@ bool Fabric::send(const Address& from, const Address& to, NetworkId network,
       ++stats_.at(env.network.value).messages_dropped;
       return;
     }
+    ++stats_.at(env.network.value).messages_delivered;
     if (deliver_) deliver_(env);
   });
   return true;
@@ -119,15 +170,34 @@ const NetworkStats& Fabric::stats(NetworkId network) const {
 
 NetworkStats Fabric::total_stats() const {
   NetworkStats total;
-  for (const auto& st : stats_) {
-    total.messages_sent += st.messages_sent;
-    total.bytes_sent += st.bytes_sent;
-    total.messages_dropped += st.messages_dropped;
-    total.messages_lost += st.messages_lost;
-    // Flat vector accumulate — no per-type string hashing or node churn.
-    total.bytes_by_type.add(st.bytes_by_type);
-  }
+  for (const auto& st : stats_) total.add(st);
   return total;
+}
+
+namespace {
+
+// Shared gauge naming for both fabric flavors.
+void publish_stats_gauges(obs::Registry& registry, const std::string& prefix,
+                          const NetworkStats& st) {
+  registry.gauge(prefix + ".messages_sent")
+      ->set(static_cast<double>(st.messages_sent));
+  registry.gauge(prefix + ".bytes_sent")->set(static_cast<double>(st.bytes_sent));
+  registry.gauge(prefix + ".messages_dropped")
+      ->set(static_cast<double>(st.messages_dropped));
+  registry.gauge(prefix + ".messages_lost")
+      ->set(static_cast<double>(st.messages_lost));
+  registry.gauge(prefix + ".messages_delivered")
+      ->set(static_cast<double>(st.messages_delivered));
+}
+
+}  // namespace
+
+std::uint64_t Fabric::register_metrics(obs::Registry& registry,
+                                       std::string prefix) {
+  return registry.register_probe(
+      [this, prefix = std::move(prefix)](obs::Registry& r) {
+        publish_stats_gauges(r, prefix, total_stats());
+      });
 }
 
 void Fabric::reset_stats() {
@@ -182,6 +252,31 @@ void ShardedFabric::deliver_at_destination(const Envelope& env) {
     ++shard_state_[shard_of(env.to.node)].nets[env.network.value].messages_dropped;
     return;
   }
+  ++shard_state_[shard_of(env.to.node)].nets[env.network.value].messages_delivered;
+  if (deliver_) deliver_(env);
+}
+
+void ShardedFabric::traced_deliver(const Envelope& env, std::uint64_t trace_id,
+                                   std::uint64_t hop_id,
+                                   std::uint64_t parent_span,
+                                   sim::SimTime sent_at, bool cross_shard) {
+  // Runs on the destination node's shard with the hop span's identity in
+  // hand; record() is thread-safe, the stats slot is this shard's own.
+  const std::uint32_t ds = shard_of(env.to.node);
+  const sim::SimTime at = engine_.shard(ds).now();
+  const std::string name =
+      std::string("hop:") + std::string(env.message->type());
+  if (!interface_up(env.to.node, env.network)) {
+    ++shard_state_[ds].nets[env.network.value].messages_dropped;
+    spans_->record(obs::Span{trace_id, hop_id, parent_span, sent_at, at,
+                             "fabric", name, "dropped"});
+    return;
+  }
+  ++shard_state_[ds].nets[env.network.value].messages_delivered;
+  spans_->record(obs::Span{trace_id, hop_id, parent_span, sent_at, at, "fabric",
+                           name,
+                           cross_shard ? "delivered_cross_shard" : "delivered"});
+  obs::ContextScope scope(obs::TraceContext{trace_id, hop_id}, sent_at);
   if (deliver_) deliver_(env);
 }
 
@@ -203,9 +298,20 @@ bool ShardedFabric::send(const Address& from, const Address& to, NetworkId netwo
   st.bytes_sent += bytes;
   st.bytes_by_type.slot(message->type_id()) += bytes;
 
+  const bool traced = spans_ != nullptr && spans_->enabled();
+
   if (latency_.loss_probability > 0.0 &&
       src.rng().chance(latency_.loss_probability)) {
     ++st.messages_lost;  // vanished on the wire; sender cannot tell
+    if (traced) {
+      const obs::TraceContext parent = obs::current_context();
+      const std::uint64_t trace_id =
+          parent.active() ? parent.trace_id : spans_->mint_id();
+      spans_->record(obs::Span{
+          trace_id, spans_->mint_id(), parent.parent_span_id, src.now(),
+          src.now(), "fabric",
+          std::string("hop:") + std::string(message->type()), "lost"});
+    }
     return true;
   }
 
@@ -214,6 +320,34 @@ bool ShardedFabric::send(const Address& from, const Address& to, NetworkId netwo
       from.node.value / group_size_ != to.node.value / group_size_;
   sim::SimTime latency = latency_.sample(bytes, src.rng(), cross_group);
   Envelope env{from, to, network, std::move(message)};
+
+  if (traced) {
+    const obs::TraceContext parent = obs::current_context();
+    const std::uint64_t trace_id =
+        parent.active() ? parent.trace_id : spans_->mint_id();
+    const std::uint64_t hop_id = spans_->mint_id();
+    const std::uint64_t pspan = parent.parent_span_id;
+    const sim::SimTime sent_at = src.now();
+    if (fs == ts) {
+      src.schedule_after(latency,
+                         [this, env = std::move(env), trace_id, hop_id, pspan,
+                          sent_at] {
+                           traced_deliver(env, trace_id, hop_id, pspan, sent_at,
+                                          /*cross_shard=*/false);
+                         });
+    } else {
+      ++shard_state_[fs].cross_sent;
+      if (latency < engine_.lookahead()) latency = engine_.lookahead();
+      engine_.post_cross(fs, ts, src.now() + latency,
+                         [this, env = std::move(env), trace_id, hop_id, pspan,
+                          sent_at] {
+                           traced_deliver(env, trace_id, hop_id, pspan, sent_at,
+                                          /*cross_shard=*/true);
+                         });
+    }
+    return true;
+  }
+
   if (fs == ts) {
     src.schedule_after(latency,
                        [this, env = std::move(env)] { deliver_at_destination(env); });
@@ -231,28 +365,26 @@ bool ShardedFabric::send(const Address& from, const Address& to, NetworkId netwo
 
 NetworkStats ShardedFabric::stats(NetworkId network) const {
   NetworkStats total;
-  for (const auto& ps : shard_state_) {
-    const NetworkStats& st = ps.nets.at(network.value);
-    total.messages_sent += st.messages_sent;
-    total.bytes_sent += st.bytes_sent;
-    total.messages_dropped += st.messages_dropped;
-    total.messages_lost += st.messages_lost;
-    total.bytes_by_type.add(st.bytes_by_type);
-  }
+  for (const auto& ps : shard_state_) total.add(ps.nets.at(network.value));
   return total;
 }
 
 NetworkStats ShardedFabric::total_stats() const {
   NetworkStats total;
-  for (std::size_t n = 0; n < network_count_; ++n) {
-    const NetworkStats per_net = stats(NetworkId{static_cast<std::uint8_t>(n)});
-    total.messages_sent += per_net.messages_sent;
-    total.bytes_sent += per_net.bytes_sent;
-    total.messages_dropped += per_net.messages_dropped;
-    total.messages_lost += per_net.messages_lost;
-    total.bytes_by_type.add(per_net.bytes_by_type);
+  for (const auto& ps : shard_state_) {
+    for (const auto& st : ps.nets) total.add(st);
   }
   return total;
+}
+
+std::uint64_t ShardedFabric::register_metrics(obs::Registry& registry,
+                                              std::string prefix) {
+  return registry.register_probe(
+      [this, prefix = std::move(prefix)](obs::Registry& r) {
+        publish_stats_gauges(r, prefix, total_stats());
+        r.gauge(prefix + ".cross_shard_sent")
+            ->set(static_cast<double>(cross_shard_sent()));
+      });
 }
 
 std::uint64_t ShardedFabric::cross_shard_sent() const noexcept {

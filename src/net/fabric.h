@@ -12,10 +12,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/span_store.h"
 #include "sim/engine.h"
 #include "sim/parallel_engine.h"
 
@@ -50,9 +54,21 @@ struct LatencyModel {
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
-  std::uint64_t messages_dropped = 0;   // interface down or node dead
-  std::uint64_t messages_lost = 0;      // random loss (LatencyModel)
+  std::uint64_t messages_dropped = 0;    // interface down or node dead
+  std::uint64_t messages_lost = 0;       // random loss (LatencyModel)
+  std::uint64_t messages_delivered = 0;  // reached the delivery handler
   TypeCounts bytes_by_type;
+
+  /// Accumulates `other` into this — the one merge used by every
+  /// per-network / per-shard aggregation (no more open-coded field sums).
+  void add(const NetworkStats& other) {
+    messages_sent += other.messages_sent;
+    bytes_sent += other.bytes_sent;
+    messages_dropped += other.messages_dropped;
+    messages_lost += other.messages_lost;
+    messages_delivered += other.messages_delivered;
+    bytes_by_type.add(other.bytes_by_type);
+  }
 };
 
 class Fabric {
@@ -79,6 +95,19 @@ class Fabric {
   void set_delivery_handler(DeliveryHandler handler) { deliver_ = std::move(handler); }
   void set_node_alive_predicate(NodeAlivePredicate pred) { node_alive_ = std::move(pred); }
   void set_drop_filter(DropFilter filter) { drop_ = std::move(filter); }
+
+  /// Attaches a span store for causal tracing. While `store->enabled()`,
+  /// every send records a wire-hop span (outcome delivered / lost /
+  /// dropped / unreachable) parented to the sender's ambient TraceContext,
+  /// and the delivery handler runs under a ContextScope rooted at that hop
+  /// so server-side spans link to it. The untraced path is unchanged
+  /// (same closure size, one extra null-check per send).
+  void set_span_store(obs::SpanStore* store) noexcept { spans_ = store; }
+
+  /// Registers a snapshot-time probe on `registry` that publishes this
+  /// fabric's merged stats as gauges named "<prefix>.messages_sent" etc.
+  /// Returns the probe id; unregister it if the fabric dies first.
+  std::uint64_t register_metrics(obs::Registry& registry, std::string prefix);
 
   LatencyModel& latency_model() noexcept { return latency_; }
 
@@ -125,6 +154,8 @@ class Fabric {
     return static_cast<std::size_t>(node.value) * network_count_ + network.value;
   }
   bool node_alive(NodeId n) const { return !node_alive_ || node_alive_(n); }
+  void record_wire_span(const Message& message, sim::SimTime start,
+                        sim::SimTime end, const char* outcome);
 
   sim::Engine& engine_;
   std::size_t node_count_;
@@ -136,6 +167,7 @@ class Fabric {
   NodeAlivePredicate node_alive_;
   DropFilter drop_;
   std::vector<NetworkStats> stats_;
+  obs::SpanStore* spans_ = nullptr;
 };
 
 /// Shard-aware fabric for the conservative parallel engine.
@@ -172,6 +204,17 @@ class ShardedFabric {
   std::uint32_t shard_of(NodeId node) const { return node_shard_.at(node.value); }
 
   void set_delivery_handler(DeliveryHandler handler) { deliver_ = std::move(handler); }
+
+  /// As Fabric::set_span_store. Wire-hop spans for cross-shard messages get
+  /// outcome "delivered_cross_shard"; the span is recorded on the
+  /// destination shard's thread (SpanStore::record is thread-safe) and the
+  /// ContextScope re-establishes the trace across the mailbox boundary.
+  void set_span_store(obs::SpanStore* store) noexcept { spans_ = store; }
+
+  /// As Fabric::register_metrics, with per-shard slots merged into one
+  /// snapshot plus "<prefix>.cross_shard_sent". Quiescent-only (probes run
+  /// at Registry::snapshot_json time).
+  std::uint64_t register_metrics(obs::Registry& registry, std::string prefix);
 
   /// Quiescent-only mutation; keep min_latency() >= the engine's lookahead
   /// or cross-shard latencies get clamped up to it.
@@ -210,6 +253,9 @@ class ShardedFabric {
     return static_cast<std::size_t>(node.value) * network_count_ + network.value;
   }
   void deliver_at_destination(const Envelope& env);
+  void traced_deliver(const Envelope& env, std::uint64_t trace_id,
+                      std::uint64_t hop_id, std::uint64_t parent_span,
+                      sim::SimTime sent_at, bool cross_shard);
 
   sim::ParallelEngine& engine_;
   std::vector<std::uint32_t> node_shard_;
@@ -219,6 +265,7 @@ class ShardedFabric {
   LatencyModel latency_;
   DeliveryHandler deliver_;
   std::vector<PerShard> shard_state_;  // [shard]
+  obs::SpanStore* spans_ = nullptr;
 };
 
 }  // namespace phoenix::net

@@ -9,6 +9,7 @@ std::string_view to_string(TraceLevel level) noexcept {
     case TraceLevel::kDebug: return "debug";
     case TraceLevel::kInfo: return "info";
     case TraceLevel::kWarn: return "warn";
+    case TraceLevel::kError: return "error";
   }
   return "?";
 }

@@ -15,7 +15,7 @@
 
 namespace phoenix::sim {
 
-enum class TraceLevel : std::uint8_t { kDebug, kInfo, kWarn };
+enum class TraceLevel : std::uint8_t { kDebug, kInfo, kWarn, kError };
 
 std::string_view to_string(TraceLevel level) noexcept;
 

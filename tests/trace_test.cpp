@@ -62,6 +62,68 @@ TEST(TracerTest, ComponentPrefixFilter) {
   EXPECT_EQ(tracer.filtered("gsd/", 1).size(), 1u);
 }
 
+TEST(TracerTest, EvictionPreservesArrivalOrder) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_capacity(3);
+  for (int i = 0; i < 7; ++i) {
+    tracer.record(static_cast<SimTime>(i), TraceLevel::kInfo, "c",
+                  std::to_string(i));
+  }
+  // Exactly the newest 3, still oldest-to-newest within the window.
+  ASSERT_EQ(tracer.entries().size(), 3u);
+  EXPECT_EQ(tracer.entries()[0].message, "4");
+  EXPECT_EQ(tracer.entries()[1].message, "5");
+  EXPECT_EQ(tracer.entries()[2].message, "6");
+}
+
+TEST(TracerTest, ShrinkingCapacityEvictsOldestImmediately) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(static_cast<SimTime>(i), TraceLevel::kInfo, "c",
+                  std::to_string(i));
+  }
+  tracer.set_capacity(4);  // shrink below current size
+  ASSERT_EQ(tracer.entries().size(), 4u);
+  EXPECT_EQ(tracer.entries().front().message, "6");
+  EXPECT_EQ(tracer.entries().back().message, "9");
+  // Growing back does not resurrect anything.
+  tracer.set_capacity(100);
+  EXPECT_EQ(tracer.entries().size(), 4u);
+}
+
+TEST(TracerTest, MinLevelErrorKeepsOnlyOperatorGradeEntries) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_min_level(TraceLevel::kError);
+  tracer.record(1, TraceLevel::kWarn, "api", "call 7 failed: timeout");
+  tracer.record(2, TraceLevel::kError, "api",
+                "call 9 failed: retries_exhausted");
+  tracer.record(3, TraceLevel::kError, "ckpt/1", "takeover");
+  ASSERT_EQ(tracer.entries().size(), 2u);
+  EXPECT_EQ(tracer.entries()[0].level, TraceLevel::kError);
+  // Filtered entries never include the suppressed warn, and suppressed
+  // entries do not count toward recorded_total (they were never recorded).
+  EXPECT_EQ(tracer.filtered("api").size(), 1u);
+  EXPECT_EQ(tracer.recorded_total(), 2u);
+}
+
+TEST(TracerTest, PrefixFilterDistinguishesOverlappingComponents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record(1, TraceLevel::kInfo, "gsd/1", "a");
+  tracer.record(2, TraceLevel::kInfo, "gsd/10", "b");
+  tracer.record(3, TraceLevel::kInfo, "gsd/12", "c");
+  // Prefix semantics: "gsd/1" matches gsd/1 AND gsd/10, gsd/12 — callers
+  // wanting exactly one daemon must rely on ids that are not prefixes of
+  // each other or post-filter; this pins the documented behavior.
+  EXPECT_EQ(tracer.filtered("gsd/1").size(), 3u);
+  EXPECT_EQ(tracer.filtered("gsd/10").size(), 1u);
+  EXPECT_EQ(tracer.filtered("gsd/12").size(), 1u);
+  EXPECT_EQ(tracer.filtered("gsd/2").size(), 0u);
+}
+
 TEST(TracerTest, DumpRenders) {
   Tracer tracer;
   tracer.set_enabled(true);
