@@ -32,6 +32,7 @@ inline constexpr net::PortId kPbsMom{11};
 inline constexpr net::PortId kPwsScheduler{12};
 inline constexpr net::PortId kGridView{13};
 inline constexpr net::PortId kClient{14};
+inline constexpr net::PortId kPwsGateway{15};
 }  // namespace ports
 
 class Daemon {

@@ -18,6 +18,18 @@ std::string_view to_string(JobState state) noexcept {
   return "?";
 }
 
+std::string_view to_string(SubmitStatus status) noexcept {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kAdmissionDenied: return "admission-denied";
+    case SubmitStatus::kUnknownPool: return "unknown-pool";
+    case SubmitStatus::kAuthDenied: return "auth-denied";
+    case SubmitStatus::kCancelled: return "cancelled";
+    case SubmitStatus::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
+
 std::string serialize_jobs(const std::map<JobId, Job>& jobs) {
   std::ostringstream out;
   for (const auto& [id, job] : jobs) {

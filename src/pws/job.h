@@ -8,6 +8,7 @@
 
 #include "cluster/node.h"
 #include "net/ids.h"
+#include "net/symbol.h"
 #include "sim/time.h"
 
 namespace phoenix::pws {
@@ -26,6 +27,20 @@ enum class JobState : std::uint8_t {
 std::string_view to_string(JobState state) noexcept;
 
 using JobId = std::uint64_t;
+
+/// Per-request verdict of the submission path. Batch replies carry one per
+/// request so a client can tell "the pool said no" (kUnknownPool) from "the
+/// admission-control token bucket said slow down" (kAdmissionDenied).
+enum class SubmitStatus : std::uint8_t {
+  kAccepted,
+  kAdmissionDenied,  // per-tenant token bucket empty (job spam)
+  kUnknownPool,
+  kAuthDenied,       // security service refused
+  kCancelled,        // absorbed by the gateway before ever being sent
+  kUnavailable,      // gateway retry budget exhausted, outcome unknown
+};
+
+std::string_view to_string(SubmitStatus status) noexcept;
 
 /// What a user hands to a job-management system (PWS or the PBS baseline).
 struct SubmitRequest {
@@ -63,6 +78,12 @@ struct Job {
   std::map<std::uint32_t, cluster::Pid> pids;  // node id -> process id
   unsigned exited = 0;
   unsigned requeues = 0;
+
+  /// Interned identities (net/symbol.h), filled by the scheduler at
+  /// submission/recovery so hot paths compare dense ids, not strings.
+  /// Volatile: never serialized; rebuilt from `user`/`pool` on restore.
+  net::SymbolId user_sym{};
+  net::SymbolId pool_sym{};
 
   bool terminal() const noexcept {
     return state == JobState::kCompleted || state == JobState::kFailed ||

@@ -14,43 +14,53 @@ std::string_view to_string(SchedPolicy policy) noexcept {
   return "?";
 }
 
-void Pool::order_queue(const std::map<JobId, Job>& jobs,
-                       const std::map<std::string, double>& usage) {
-  auto duration_of = [&](JobId id) -> sim::SimTime {
-    auto it = jobs.find(id);
-    return it == jobs.end() ? 0 : it->second.duration;
-  };
-  auto usage_of = [&](JobId id) -> double {
-    auto it = jobs.find(id);
-    if (it == jobs.end()) return 0.0;
-    auto u = usage.find(it->second.user);
-    return u == usage.end() ? 0.0 : u->second;
-  };
-
+double Pool::key_of(const Job& job, double usage_key) const noexcept {
   switch (config_.policy) {
     case SchedPolicy::kFifo:
     case SchedPolicy::kBackfill:
-      // Submission (== insertion) order; nothing to do.
-      break;
+      return 0.0;  // pure arrival order (priority still ranks first)
     case SchedPolicy::kSjf:
-      std::stable_sort(queue_.begin(), queue_.end(),
-                       [&](JobId a, JobId b) { return duration_of(a) < duration_of(b); });
-      break;
+      return static_cast<double>(job.duration);
     case SchedPolicy::kFairShare:
-      std::stable_sort(queue_.begin(), queue_.end(),
-                       [&](JobId a, JobId b) { return usage_of(a) < usage_of(b); });
-      break;
+      return usage_key;
   }
+  return 0.0;
+}
 
-  // Priority overrides any policy: higher-priority jobs first, policy order
-  // (stable) as the tiebreak within a priority level.
-  auto priority_of = [&](JobId id) -> int {
-    auto it = jobs.find(id);
-    return it == jobs.end() ? 0 : it->second.priority;
-  };
-  std::stable_sort(queue_.begin(), queue_.end(), [&](JobId a, JobId b) {
-    return priority_of(a) > priority_of(b);
-  });
+void Pool::insert_ordered(Pending entry) {
+  auto pos = std::lower_bound(pending_.begin(), pending_.end(), entry, before);
+  pending_.insert(pos, entry);
+}
+
+void Pool::enqueue(const Job& job, double usage_key) {
+  insert_ordered(Pending{job.id, next_seq_++, job.priority, key_of(job, usage_key)});
+}
+
+void Pool::enqueue_front(const Job& job, double usage_key) {
+  insert_ordered(Pending{job.id, --front_seq_, job.priority, key_of(job, usage_key)});
+}
+
+bool Pool::remove(JobId id) {
+  // Linear: fair-share keys drift between refreshes, so a binary search on
+  // the stored key is not reliable. Cancels of already-submitted jobs are
+  // rare next to enqueue/scan traffic (the gateway absorbs same-window
+  // cancels before they ever reach the scheduler).
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [id](const Pending& p) { return p.id == id; });
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  return true;
+}
+
+std::vector<JobId> Pool::pending_jobs() const {
+  std::vector<JobId> out;
+  out.reserve(pending_.size());
+  for (const Pending& p : pending_) out.push_back(p.id);
+  return out;
+}
+
+void Pool::sort_pending() {
+  std::sort(pending_.begin(), pending_.end(), before);
 }
 
 }  // namespace phoenix::pws

@@ -2,13 +2,27 @@
 //
 // PWS "supports multi-pools with customized scheduling policies for
 // different pools and dynamic leasing among different pools". A pool owns a
-// set of nodes and a queue ordered by its policy; idle nodes of a lending
-// pool can be leased to a borrowing pool and are returned when freed.
+// set of nodes and a pending-job index ordered by its policy; idle nodes of
+// a lending pool can be leased to a borrowing pool and are returned when
+// freed.
+//
+// The pending index is kept ordered *incrementally* (DESIGN.md §13): jobs
+// are inserted at their policy position (priority first, then the policy
+// key, then submission order), so a scheduling pass never re-sorts
+// FIFO/SJF/backfill pools. Only fair-share pools re-sort, and only when the
+// scheduler marks them dirty — their ordering key (per-user consumed
+// node-seconds) drifts as other jobs complete. The resulting order is
+// identical to the historical "stable-sort by policy key, then stable-sort
+// by priority" double pass: both reduce to the lexicographic order
+// (priority desc, policy key asc, arrival seq asc).
+//
+// The pool also owns the set of free nodes currently *serving* it (owned
+// nodes plus leased-in capacity), ordered by node id so allocation order
+// matches the historical whole-cluster slot scan.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,19 +59,77 @@ class Pool {
     return config_.nodes;
   }
 
-  std::deque<JobId>& queue() noexcept { return queue_; }
-  const std::deque<JobId>& queue() const noexcept { return queue_; }
+  // --- ordered pending index --------------------------------------------------
 
-  /// Orders the queue according to the pool's policy. `usage` maps user ->
-  /// consumed node-seconds (fair share); `jobs` resolves queue entries.
-  /// FIFO order is the tiebreak everywhere; kBackfill keeps FIFO order
-  /// (backfilling is an allocation-time decision, not a queue order).
-  void order_queue(const std::map<JobId, Job>& jobs,
-                   const std::map<std::string, double>& usage);
+  /// One queued (or dependency-waiting) job. Entries sort by
+  /// (priority desc, key asc, seq asc); `key` is the policy ordering key —
+  /// 0 for FIFO/backfill, the estimated duration for SJF, the submitting
+  /// user's consumed node-seconds for fair share.
+  struct Pending {
+    JobId id = 0;
+    std::int64_t seq = 0;
+    int priority = 0;
+    double key = 0.0;
+  };
+
+  /// Inserts `job` at its policy position (arrival order within ties).
+  /// `usage_key` is the job's current fair-share key (ignored for other
+  /// policies — their keys are derived from the job itself).
+  void enqueue(const Job& job, double usage_key = 0.0);
+
+  /// Re-inserts a requeued job *ahead* of every queued job with an equal
+  /// (priority, key) — the historical push_front-then-stable-sort position.
+  void enqueue_front(const Job& job, double usage_key = 0.0);
+
+  /// Removes the entry for `id`; false when not pending here.
+  bool remove(JobId id);
+
+  /// Fair-share pools: recomputes every entry's usage key via
+  /// `usage_of(job)` and re-sorts. Other policies keep their incremental
+  /// order; no work. Call before scanning a dirty pool.
+  template <typename UsageOf>
+  void refresh(const std::map<JobId, Job>& jobs, UsageOf&& usage_of) {
+    if (config_.policy != SchedPolicy::kFairShare) return;
+    for (Pending& p : pending_) {
+      auto it = jobs.find(p.id);
+      p.key = it == jobs.end() ? 0.0 : usage_of(it->second);
+    }
+    sort_pending();
+  }
+
+  std::vector<Pending>& pending() noexcept { return pending_; }
+  const std::vector<Pending>& pending() const noexcept { return pending_; }
+  bool has_pending() const noexcept { return !pending_.empty(); }
+  std::size_t pending_count() const noexcept { return pending_.size(); }
+
+  /// Pending job ids in scheduling order (introspection/tests).
+  std::vector<JobId> pending_jobs() const;
+
+  // --- free capacity ----------------------------------------------------------
+
+  /// Idle, live nodes whose capacity currently serves this pool (owned
+  /// nodes plus leased-in ones), ordered by node id. Maintained by the
+  /// scheduler on every allocation / completion / lease / liveness change.
+  std::set<std::uint32_t>& free_nodes() noexcept { return free_nodes_; }
+  const std::set<std::uint32_t>& free_nodes() const noexcept {
+    return free_nodes_;
+  }
 
  private:
+  static bool before(const Pending& a, const Pending& b) noexcept {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  }
+  double key_of(const Job& job, double usage_key) const noexcept;
+  void insert_ordered(Pending entry);
+  void sort_pending();
+
   PoolConfig config_;
-  std::deque<JobId> queue_;
+  std::vector<Pending> pending_;
+  std::set<std::uint32_t> free_nodes_;
+  std::int64_t next_seq_ = 1;   // arrival tiebreak
+  std::int64_t front_seq_ = 0;  // decreasing: requeues beat equal-key peers
 };
 
 }  // namespace phoenix::pws

@@ -9,19 +9,47 @@ namespace phoenix::pws {
 
 using kernel::ServiceKind;
 
+namespace {
+constexpr std::size_t kNoPool = static_cast<std::size_t>(-1);
+}  // namespace
+
 PwsScheduler::PwsScheduler(cluster::Cluster& cluster, net::NodeId node,
                            kernel::PhoenixKernel& kernel, PwsConfig config)
     : Daemon(cluster, "pws.scheduler", node, cluster::ports::kPwsScheduler),
       kernel_(kernel),
       config_(std::move(config)),
       ticker_(cluster.engine(), config_.schedule_tick, [this] { schedule_pass(); }) {
-  for (const auto& pool_config : config_.pools) {
-    pools_.emplace(pool_config.name, Pool(pool_config));
-    for (net::NodeId n : pool_config.nodes) {
-      slots_[n.value] = NodeSlot{pool_config.name, "", 0,
-                                 cluster.node(n).alive()};
+  for (const auto& pool_config : config_.pools) pools_.emplace_back(pool_config);
+  // Name order, matching the historical std::map<string, Pool> iteration.
+  std::sort(pools_.begin(), pools_.end(),
+            [](const Pool& a, const Pool& b) { return a.name() < b.name(); });
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    pool_index_[net::intern_symbol(pools_[i].name()).value] = i;
+    for (net::NodeId n : pools_[i].owned_nodes()) {
+      const bool node_alive = cluster.node(n).alive();
+      slots_[n.value] = NodeSlot{static_cast<std::int32_t>(i), -1, 0, node_alive};
+      if (node_alive) pools_[i].free_nodes().insert(n.value);
     }
   }
+  pool_dirty_.assign(pools_.size(), 1);  // first pass looks at everything
+
+  metrics_ = &cluster.metrics();
+  schedule_latency_us_ = metrics_->histogram("pws.schedule_latency_us");
+  batch_size_hist_ = metrics_->histogram("pws.batch_size");
+  submitted_ctr_ = metrics_->counter("pws.submitted");
+  admission_denied_ctr_ = metrics_->counter("pws.admission_denied");
+  batches_ctr_ = metrics_->counter("pws.batches");
+  cancelled_ctr_ = metrics_->counter("pws.cancelled");
+  probe_id_ = metrics_->register_probe([this](obs::Registry& r) {
+    if (!alive()) return;  // a migrated-away instance must not clobber gauges
+    r.gauge("pws.queue_depth")->set(static_cast<double>(queued_jobs_));
+    r.gauge("pws.running")->set(static_cast<double>(running_jobs_));
+    r.gauge("pws.jobs_tracked")->set(static_cast<double>(jobs_.size()));
+  });
+}
+
+PwsScheduler::~PwsScheduler() {
+  if (metrics_ != nullptr && probe_id_ != 0) metrics_->unregister_probe(probe_id_);
 }
 
 void PwsScheduler::on_start() {
@@ -63,6 +91,40 @@ void PwsScheduler::announce_up() {
 // --- submission ---------------------------------------------------------------
 
 JobId PwsScheduler::submit(const SubmitRequest& request) {
+  return submit_internal(request, true).job_id;
+}
+
+BatchSubmitResult PwsScheduler::submit_with_status(const SubmitRequest& request) {
+  return submit_internal(request, true);
+}
+
+bool PwsScheduler::admit_tenant(net::SymbolId user) {
+  if (config_.admission_rate <= 0.0) return true;
+  auto [it, inserted] = buckets_.try_emplace(user.value);
+  TokenBucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = config_.admission_burst;  // a new tenant starts full
+  } else {
+    bucket.tokens = std::min(
+        config_.admission_burst,
+        bucket.tokens + config_.admission_rate *
+                            sim::to_seconds(now() - bucket.last_refill));
+  }
+  bucket.last_refill = now();
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+BatchSubmitResult PwsScheduler::submit_internal(const SubmitRequest& request,
+                                                bool checkpoint_each) {
+  const auto user_sym = net::intern_symbol(request.user);
+  if (!admit_tenant(user_sym)) {
+    ++stats_.admission_denied;
+    if (metrics_->enabled()) admission_denied_ctr_->inc();
+    return {0, SubmitStatus::kAdmissionDenied};
+  }
+
   Job job;
   job.id = next_job_id_++;
   job.name = request.name.empty() ? "job" + std::to_string(job.id) : request.name;
@@ -76,21 +138,32 @@ JobId PwsScheduler::submit(const SubmitRequest& request) {
   job.after_ok = request.after_ok;
   job.state = JobState::kQueued;
   job.submitted_at = now();
+  job.user_sym = user_sym;
+  job.pool_sym = net::intern_symbol(request.pool);
 
-  auto pool_it = pools_.find(job.pool);
-  if (pool_it == pools_.end()) {
+  const std::size_t pool_index = pool_index_of(job.pool_sym);
+  const JobId id = job.id;
+  if (pool_index == kNoPool) {
     job.state = JobState::kRejected;
     ++stats_.rejected;
-    const JobId id = job.id;
     jobs_.emplace(id, std::move(job));
-    return id;
+    retire_if_unretained(id);
+    return {id, SubmitStatus::kUnknownPool};
   }
-  const JobId id = job.id;
+  if (request.after_ok != 0) {
+    auto dep = jobs_.find(request.after_ok);
+    if (dep != jobs_.end() && !dep->second.terminal()) {
+      dependents_[request.after_ok].push_back(id);
+    }
+  }
+  pools_[pool_index].enqueue(job, usage_of_sym(user_sym));
   jobs_.emplace(id, std::move(job));
-  pool_it->second.queue().push_back(id);
+  ++queued_jobs_;
   ++stats_.submitted;
-  checkpoint_state();
-  return id;
+  if (metrics_->enabled()) submitted_ctr_->inc();
+  mark_pool_dirty(pool_index);
+  if (checkpoint_each) checkpoint_state();
+  return {id, SubmitStatus::kAccepted};
 }
 
 bool PwsScheduler::cancel(JobId id) {
@@ -98,13 +171,22 @@ bool PwsScheduler::cancel(JobId id) {
   if (it == jobs_.end() || it->second.terminal()) return false;
   Job& job = it->second;
   if (job.state == JobState::kQueued || job.state == JobState::kAuthorizing) {
-    auto pool_it = pools_.find(job.pool);
-    if (pool_it != pools_.end()) {
-      auto& q = pool_it->second.queue();
-      std::erase(q, id);
+    if (job.state == JobState::kQueued) {
+      const std::size_t pool_index = pool_index_of(job.pool_sym);
+      if (pool_index != kNoPool) {
+        Pool& pool = pools_[pool_index];
+        const bool had_pending = pool.has_pending();
+        pool.remove(id);
+        if (had_pending && !pool.has_pending()) pool_drained(pool_index);
+      }
+      --queued_jobs_;
     }
     job.state = JobState::kCancelled;
     job.finished_at = now();
+    ++stats_.cancelled;
+    if (metrics_->enabled()) cancelled_ctr_->inc();
+    wake_dependents(id);
+    retire_if_unretained(id);
     checkpoint_state();
     return true;
   }
@@ -119,12 +201,81 @@ bool PwsScheduler::cancel(JobId id) {
   for (net::NodeId n : job.allocated) {
     auto slot = slots_.find(n.value);
     if (slot != slots_.end() && slot->second.running_job == id) {
-      slot->second.running_job = 0;
-      slot->second.leased_to.clear();
+      free_slot(n.value, slot->second);
     }
   }
+  ++stats_.cancelled;
+  if (metrics_->enabled()) cancelled_ctr_->inc();
   finish_job(job, JobState::kCancelled);
   return true;
+}
+
+// --- batch RPC ingest ---------------------------------------------------------
+
+void PwsScheduler::handle_submit_batch(const PwsSubmitBatchMsg& batch) {
+  std::shared_ptr<const net::Message> cached;
+  switch (batch_replay_.begin(batch.reply_to, PwsSubmitBatchMsg::static_type_id(),
+                              batch.request_id, &cached)) {
+    case net::ReplayCache::Admit::kReplay:
+      if (batch.reply_to.valid() && cached != nullptr) {
+        send_any(batch.reply_to, std::move(cached));
+      }
+      return;
+    case net::ReplayCache::Admit::kInFlight:
+      return;
+    case net::ReplayCache::Admit::kNew:
+      break;
+  }
+  auto reply = std::make_shared<PwsSubmitBatchReplyMsg>();
+  reply->request_id = batch.request_id;
+  reply->results.reserve(batch.requests.size());
+  for (const auto& request : batch.requests) {
+    reply->results.push_back(submit_internal(request, false));
+  }
+  ++stats_.batches;
+  if (metrics_->enabled()) {
+    batches_ctr_->inc();
+    batch_size_hist_->record(batch.requests.size());
+  }
+  checkpoint_state();  // one (coalescible) checkpoint for the whole batch
+  request_pass_soon();
+  batch_replay_.complete(batch.reply_to, PwsSubmitBatchMsg::static_type_id(),
+                         batch.request_id, reply);
+  if (batch.reply_to.valid()) send_any(batch.reply_to, std::move(reply));
+}
+
+void PwsScheduler::handle_cancel_batch(const PwsCancelBatchMsg& batch) {
+  std::shared_ptr<const net::Message> cached;
+  switch (batch_replay_.begin(batch.reply_to, PwsCancelBatchMsg::static_type_id(),
+                              batch.request_id, &cached)) {
+    case net::ReplayCache::Admit::kReplay:
+      if (batch.reply_to.valid() && cached != nullptr) {
+        send_any(batch.reply_to, std::move(cached));
+      }
+      return;
+    case net::ReplayCache::Admit::kInFlight:
+      return;
+    case net::ReplayCache::Admit::kNew:
+      break;
+  }
+  auto reply = std::make_shared<PwsCancelBatchReplyMsg>();
+  reply->request_id = batch.request_id;
+  reply->cancelled.reserve(batch.job_ids.size());
+  for (const JobId id : batch.job_ids) {
+    reply->cancelled.push_back(cancel(id) ? 1 : 0);
+  }
+  batch_replay_.complete(batch.reply_to, PwsCancelBatchMsg::static_type_id(),
+                         batch.request_id, reply);
+  if (batch.reply_to.valid()) send_any(batch.reply_to, std::move(reply));
+}
+
+void PwsScheduler::request_pass_soon() {
+  if (pass_pending_) return;
+  pass_pending_ = true;
+  engine().schedule_after(config_.batch_pass_delay, [this] {
+    pass_pending_ = false;
+    schedule_pass();
+  });
 }
 
 // --- scheduling -----------------------------------------------------------------
@@ -132,23 +283,23 @@ bool PwsScheduler::cancel(JobId id) {
 std::string PwsScheduler::effective_pool(net::NodeId node) const {
   auto it = slots_.find(node.value);
   if (it == slots_.end()) return {};
-  return it->second.leased_to.empty() ? it->second.owner_pool
-                                      : it->second.leased_to;
+  const std::int32_t index = effective_pool_index(it->second);
+  return index < 0 ? std::string{} : pools_[static_cast<std::size_t>(index)].name();
 }
 
 bool PwsScheduler::is_leased(net::NodeId node) const {
   auto it = slots_.find(node.value);
-  return it != slots_.end() && !it->second.leased_to.empty();
+  return it != slots_.end() && it->second.leased_to >= 0;
 }
 
 std::vector<net::NodeId> PwsScheduler::free_nodes_of(
-    const std::string& pool_name, const std::string& arch) const {
+    std::size_t pool_index, const std::string& arch) const {
+  // The free set holds only idle, live nodes serving this pool, in node-id
+  // order — the same order the historical whole-cluster slot scan produced.
   std::vector<net::NodeId> out;
-  for (const auto& [node_value, slot] : slots_) {
-    if (slot.running_job != 0 || !slot.node_alive) continue;
-    const std::string& serving =
-        slot.leased_to.empty() ? slot.owner_pool : slot.leased_to;
-    if (serving != pool_name) continue;
+  const auto& free = pools_[pool_index].free_nodes();
+  out.reserve(free.size());
+  for (const std::uint32_t node_value : free) {
     if (!arch.empty() &&
         cluster().node(net::NodeId{node_value}).arch() != arch) {
       continue;  // architecture constraint (heterogeneous clusters)
@@ -158,45 +309,59 @@ std::vector<net::NodeId> PwsScheduler::free_nodes_of(
   return out;
 }
 
-std::size_t PwsScheduler::borrow_nodes(Pool& pool, std::size_t deficit) {
+std::size_t PwsScheduler::borrow_nodes(std::size_t borrower, std::size_t deficit) {
+  Pool& pool = pools_[borrower];
   if (!pool.config().allow_borrowing) return 0;
   std::size_t borrowed = 0;
-  for (auto& [other_name, other] : pools_) {
-    if (borrowed >= deficit) break;
-    if (other_name == pool.name() || !other.config().allow_lending) continue;
+  for (std::size_t li = 0; li < pools_.size() && borrowed < deficit; ++li) {
+    if (li == borrower) continue;
+    Pool& lender = pools_[li];
+    if (!lender.config().allow_lending) continue;
     // Only lend nodes the owner is not about to use itself.
-    if (!other.queue().empty()) continue;
-    for (const auto& [node_value, _] : slots_) {
-      if (borrowed >= deficit) break;
-      auto& slot = slots_[node_value];
-      if (slot.owner_pool == other_name && slot.leased_to.empty() &&
-          slot.running_job == 0 && slot.node_alive) {
-        slot.leased_to = pool.name();
-        ++borrowed;
-        ++stats_.leases_granted;
+    if (lender.has_pending()) continue;
+    auto& lender_free = lender.free_nodes();
+    for (auto it = lender_free.begin();
+         it != lender_free.end() && borrowed < deficit;) {
+      NodeSlot& slot = slots_[*it];
+      // Leased-in capacity is not re-lendable; only the lender's own nodes.
+      if (slot.owner_pool != static_cast<std::int32_t>(li) ||
+          slot.leased_to >= 0) {
+        ++it;
+        continue;
       }
+      slot.leased_to = static_cast<std::int32_t>(borrower);
+      pool.free_nodes().insert(*it);
+      it = lender_free.erase(it);
+      ++borrowed;
+      ++stats_.leases_granted;
     }
   }
   return borrowed;
 }
 
 sim::SimTime PwsScheduler::shadow_time(const Job& head,
-                                       const std::string& pool_name) const {
+                                       std::size_t pool_index) const {
   // Earliest time the head job could start: walk running jobs serving this
   // pool in completion order, accumulating freed nodes.
+  const auto target = static_cast<std::int32_t>(pool_index);
   std::vector<std::pair<sim::SimTime, unsigned>> completions;
-  for (const auto& [id, job] : jobs_) {
-    if (job.state != JobState::kRunning) continue;
+  for (const JobId id : running_ids_) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.state != JobState::kRunning) continue;
+    const Job& job = it->second;
     unsigned nodes_in_pool = 0;
     for (net::NodeId n : job.allocated) {
-      if (effective_pool(n) == pool_name) ++nodes_in_pool;
+      auto slot = slots_.find(n.value);
+      if (slot != slots_.end() && effective_pool_index(slot->second) == target) {
+        ++nodes_in_pool;
+      }
     }
     if (nodes_in_pool > 0) {
       completions.emplace_back(job.started_at + job.duration, nodes_in_pool);
     }
   }
   std::sort(completions.begin(), completions.end());
-  std::size_t available = free_nodes_of(pool_name, head.arch).size();
+  std::size_t available = free_nodes_of(pool_index, head.arch).size();
   for (const auto& [finish, freed] : completions) {
     available += freed;
     if (available >= head.nodes_needed) return finish;
@@ -204,92 +369,147 @@ sim::SimTime PwsScheduler::shadow_time(const Job& head,
   return sim::kNever;
 }
 
+void PwsScheduler::mark_pool_dirty(std::size_t pool_index) {
+  if (pool_index < pool_dirty_.size()) pool_dirty_[pool_index] = 1;
+}
+
 void PwsScheduler::schedule_pass() {
   if (!alive()) return;
   enforce_walltime();
-  for (auto& [name, pool] : pools_) {
-    pool.order_queue(jobs_, user_usage_);
-    auto& queue = pool.queue();
-
-    bool head_blocked = false;
-    sim::SimTime head_shadow = sim::kNever;
-    for (std::size_t i = 0; i < queue.size();) {
-      auto job_it = jobs_.find(queue[i]);
-      if (job_it == jobs_.end() || job_it->second.terminal()) {
-        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
-        continue;
-      }
-      Job& job = job_it->second;
-
-      // Dependency gate ("afterok"): wait for the dependency to complete;
-      // cancel this job if the dependency ended any other way.
-      if (job.after_ok != 0) {
-        const auto dep = jobs_.find(job.after_ok);
-        const bool dep_ok =
-            dep != jobs_.end() && dep->second.state == JobState::kCompleted;
-        const bool dep_dead =
-            dep == jobs_.end() ||
-            (dep->second.terminal() && dep->second.state != JobState::kCompleted);
-        if (dep_dead) {
-          job.state = JobState::kCancelled;
-          job.finished_at = now();
-          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
-          continue;
-        }
-        if (!dep_ok) {
-          ++i;  // dependency still pending: skip without blocking the head
-          continue;
-        }
-      }
-
-      if (head_blocked) {
-        // EASY backfill: later jobs may run if they fit now and finish
-        // before the head's reserved start.
-        if (pool.policy() != SchedPolicy::kBackfill) break;
-        if (now() + job.duration > head_shadow) {
-          ++i;
-          continue;
-        }
-      }
-
-      std::vector<net::NodeId> free = free_nodes_of(name, job.arch);
-      if (free.size() < job.nodes_needed) {
-        const std::size_t got =
-            borrow_nodes(pool, job.nodes_needed - free.size());
-        if (got > 0) free = free_nodes_of(name, job.arch);
-      }
-      if (free.size() < job.nodes_needed) {
-        if (!head_blocked) {
-          head_blocked = true;
-          head_shadow = shadow_time(job, name);
-        }
-        ++i;
-        continue;
-      }
-
-      free.resize(job.nodes_needed);
-      job.allocated = free;
-      job.state = JobState::kRunning;
-      job.started_at = now();
-      stats_.total_wait_seconds += sim::to_seconds(now() - job.submitted_at);
-      for (net::NodeId n : free) slots_[n.value].running_job = job.id;
-      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
-      launch(job);
-    }
+  // One in-(name-)order sweep over the pools something actually happened to.
+  // Marks set mid-sweep for a later pool are honored this pass (the full
+  // scan would have reached them anyway); marks for an earlier pool wait
+  // for the next tick, exactly like the historical single ordered pass.
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    if (!pool_dirty_[i]) continue;
+    pool_dirty_[i] = 0;
+    scan_pool(i);
   }
   checkpoint_state();
 }
 
-void PwsScheduler::enforce_walltime() {
-  std::vector<JobId> victims;
-  for (const auto& [id, job] : jobs_) {
-    if (job.state == JobState::kRunning && job.walltime_limit > 0 &&
-        now() > job.started_at + job.walltime_limit) {
-      victims.push_back(id);
+void PwsScheduler::scan_pool(std::size_t pool_index) {
+  Pool& pool = pools_[pool_index];
+  pool.refresh(jobs_, [this](const Job& j) { return usage_of_sym(j.user_sym); });
+  auto& pending = pool.pending();
+  const bool had_pending = !pending.empty();
+
+  bool head_blocked = false;
+  sim::SimTime head_shadow = sim::kNever;
+  for (std::size_t i = 0; i < pending.size();) {
+    auto job_it = jobs_.find(pending[i].id);
+    if (job_it == jobs_.end() || job_it->second.terminal()) {
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
     }
+    Job& job = job_it->second;
+
+    // Dependency gate ("afterok"): wait for the dependency to complete;
+    // cancel this job if the dependency ended any other way.
+    if (job.after_ok != 0) {
+      const auto dep = jobs_.find(job.after_ok);
+      const bool dep_ok =
+          dep != jobs_.end() && dep->second.state == JobState::kCompleted;
+      const bool dep_dead =
+          dep == jobs_.end() ||
+          (dep->second.terminal() && dep->second.state != JobState::kCompleted);
+      if (dep_dead) {
+        job.state = JobState::kCancelled;
+        job.finished_at = now();
+        --queued_jobs_;
+        ++stats_.cancelled;
+        if (metrics_->enabled()) cancelled_ctr_->inc();
+        const JobId dead = job.id;
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+        wake_dependents(dead);
+        retire_if_unretained(dead);
+        continue;
+      }
+      if (!dep_ok) {
+        ++i;  // dependency still pending: skip without blocking the head
+        continue;
+      }
+    }
+
+    if (head_blocked) {
+      // EASY backfill: later jobs may run if they fit now and finish
+      // before the head's reserved start.
+      if (pool.policy() != SchedPolicy::kBackfill) break;
+      if (now() + job.duration > head_shadow) {
+        ++i;
+        continue;
+      }
+    }
+
+    std::vector<net::NodeId> free = free_nodes_of(pool_index, job.arch);
+    if (free.size() < job.nodes_needed) {
+      const std::size_t got =
+          borrow_nodes(pool_index, job.nodes_needed - free.size());
+      if (got > 0) free = free_nodes_of(pool_index, job.arch);
+    }
+    if (free.size() < job.nodes_needed) {
+      if (!head_blocked) {
+        head_blocked = true;
+        head_shadow = shadow_time(job, pool_index);
+      }
+      ++i;
+      continue;
+    }
+
+    free.resize(job.nodes_needed);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+    start_job(job, std::move(free), pool);
   }
+  if (had_pending && pending.empty()) pool_drained(pool_index);
+}
+
+void PwsScheduler::start_job(Job& job, std::vector<net::NodeId> nodes,
+                             Pool& pool) {
+  job.allocated = std::move(nodes);
+  // A duplicate pending entry (post-recovery) can re-start a job that is
+  // already running — keep the counters exact even then.
+  if (job.state == JobState::kQueued && queued_jobs_ > 0) --queued_jobs_;
+  if (job.state != JobState::kRunning) {
+    ++running_jobs_;
+    running_ids_.insert(job.id);
+  }
+  job.state = JobState::kRunning;
+  job.started_at = now();
+  stats_.total_wait_seconds += sim::to_seconds(now() - job.submitted_at);
+  if (metrics_->enabled()) {
+    schedule_latency_us_->record(
+        static_cast<std::uint64_t>(now() - job.submitted_at));
+  }
+  for (net::NodeId n : job.allocated) {
+    slots_[n.value].running_job = job.id;
+    pool.free_nodes().erase(n.value);
+  }
+  if (job.walltime_limit > 0) {
+    expiry_.push({job.started_at + job.walltime_limit, job.id});
+  }
+  launch(job);
+}
+
+void PwsScheduler::enforce_walltime() {
+  // Pop the expiry min-heap instead of scanning the job table: O(expired).
+  // Entries are lazily invalidated — a requeued job pushed a fresh entry at
+  // its relaunch, so a stale one fails revalidation and is dropped.
+  std::vector<JobId> victims;
+  while (!expiry_.empty() && expiry_.top().first < now()) {
+    const JobId id = expiry_.top().second;
+    expiry_.pop();
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    const Job& job = it->second;
+    if (job.state != JobState::kRunning || job.walltime_limit == 0) continue;
+    if (now() > job.started_at + job.walltime_limit) victims.push_back(id);
+  }
+  // Kill in job-id order (the historical job-table scan order).
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
   for (const JobId id : victims) {
     Job& job = jobs_.at(id);
+    if (job.state != JobState::kRunning) continue;
     for (const auto& [node_value, pid] : job.pids) {
       pid_to_job_.erase(pid);
       auto kill = std::make_shared<kernel::KillMsg>();
@@ -301,8 +521,7 @@ void PwsScheduler::enforce_walltime() {
     for (net::NodeId n : job.allocated) {
       auto slot = slots_.find(n.value);
       if (slot != slots_.end() && slot->second.running_job == id) {
-        slot->second.running_job = 0;
-        slot->second.leased_to.clear();
+        free_slot(n.value, slot->second);
       }
     }
     ++stats_.timed_out;
@@ -336,35 +555,126 @@ void PwsScheduler::complete_process(cluster::Pid pid, net::NodeId node) {
   Job& job = job_it->second;
   if (job.state != JobState::kRunning) return;
   ++job.exited;
-  user_usage_[job.user] += sim::to_seconds(job.duration);
+  usage_[job.user_sym.value] += sim::to_seconds(job.duration);
+  // Fair-share ordering keys drift with usage; re-rank those pools' queues.
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    if (pools_[i].policy() == SchedPolicy::kFairShare && pools_[i].has_pending()) {
+      mark_pool_dirty(i);
+    }
+  }
 
   auto slot = slots_.find(node.value);
   if (slot != slots_.end() && slot->second.running_job == job_id) {
-    slot->second.running_job = 0;
-    slot->second.leased_to.clear();  // leased capacity returns to its owner
+    free_slot(node.value, slot->second);
   }
   if (job.exited >= job.allocated.size()) {
     finish_job(job, JobState::kCompleted);
-    // Freed nodes may unblock queued work without waiting a full tick.
-    engine().schedule_after(1 * sim::kMillisecond, [this] { schedule_pass(); });
+    // Freed nodes may unblock queued work without waiting a full tick. In
+    // the batched configuration one coalesced prompt pass covers a whole
+    // crop of completions; the historical path schedules one per job.
+    if (config_.checkpoint_interval > 0) {
+      request_pass_soon();
+    } else {
+      engine().schedule_after(1 * sim::kMillisecond, [this] { schedule_pass(); });
+    }
   }
 }
 
 void PwsScheduler::finish_job(Job& job, JobState final_state) {
+  if (job.state == JobState::kRunning) {
+    --running_jobs_;
+    running_ids_.erase(job.id);
+  } else if (job.state == JobState::kQueued) {
+    --queued_jobs_;
+  }
   job.state = final_state;
   job.finished_at = now();
   if (final_state == JobState::kCompleted) ++stats_.completed;
   if (final_state == JobState::kFailed) ++stats_.failed;
+  const JobId id = job.id;
+  wake_dependents(id);
+  retire_if_unretained(id);  // `job` may dangle past this point
   checkpoint_state();
 }
 
+void PwsScheduler::free_slot(std::uint32_t node_value, NodeSlot& slot) {
+  slot.running_job = 0;
+  slot.leased_to = -1;  // leased capacity returns to its owner
+  if (slot.node_alive && slot.owner_pool >= 0) {
+    const auto owner = static_cast<std::size_t>(slot.owner_pool);
+    pools_[owner].free_nodes().insert(node_value);
+    capacity_freed(owner);
+  }
+}
+
+void PwsScheduler::capacity_freed(std::size_t owner_index) {
+  mark_pool_dirty(owner_index);
+  // Idle capacity of a lender with nothing queued is borrowable: wake every
+  // pool that could claim it.
+  const Pool& owner = pools_[owner_index];
+  if (!owner.config().allow_lending || owner.has_pending()) return;
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    if (i == owner_index) continue;
+    if (pools_[i].config().allow_borrowing && pools_[i].has_pending()) {
+      mark_pool_dirty(i);
+    }
+  }
+}
+
+void PwsScheduler::pool_drained(std::size_t pool_index) {
+  if (!pools_[pool_index].config().allow_lending) return;
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    if (i == pool_index) continue;
+    if (pools_[i].config().allow_borrowing && pools_[i].has_pending()) {
+      mark_pool_dirty(i);
+    }
+  }
+}
+
+void PwsScheduler::wake_dependents(JobId id) {
+  auto it = dependents_.find(id);
+  if (it == dependents_.end()) return;
+  const std::vector<JobId> waiters = std::move(it->second);
+  dependents_.erase(it);
+  const auto self = jobs_.find(id);
+  const bool completed =
+      self != jobs_.end() && self->second.state == JobState::kCompleted;
+  for (const JobId waiter : waiters) {
+    auto waiter_it = jobs_.find(waiter);
+    if (waiter_it == jobs_.end() || waiter_it->second.terminal()) continue;
+    Job& dependent = waiter_it->second;
+    // With terminal jobs retired from the table, the scan could no longer
+    // tell "dependency completed then vanished" from "never existed" — so
+    // release the gate here, before the dependency is retired.
+    if (completed && !config_.retain_terminal_jobs) dependent.after_ok = 0;
+    const std::size_t pool_index = pool_index_of(dependent.pool_sym);
+    if (pool_index != kNoPool) mark_pool_dirty(pool_index);
+  }
+}
+
+void PwsScheduler::retire_if_unretained(JobId id) {
+  if (config_.retain_terminal_jobs) return;
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || !it->second.terminal()) return;
+  dependents_.erase(id);
+  jobs_.erase(it);
+}
+
 void PwsScheduler::handle_node_failed(net::NodeId node) {
-  auto slot = slots_.find(node.value);
-  if (slot == slots_.end()) return;
-  slot->second.node_alive = false;
-  const JobId victim = slot->second.running_job;
-  slot->second.running_job = 0;
-  slot->second.leased_to.clear();
+  auto slot_it = slots_.find(node.value);
+  if (slot_it == slots_.end()) return;
+  NodeSlot& slot = slot_it->second;
+  if (slot.running_job == 0 && slot.node_alive) {
+    // Dead capacity serves nobody: drop it from its pool's free set.
+    const std::int32_t serving = effective_pool_index(slot);
+    if (serving >= 0) {
+      pools_[static_cast<std::size_t>(serving)].free_nodes().erase(node.value);
+    }
+  }
+  slot.node_alive = false;
+  const JobId victim = slot.running_job;
+  slot.running_job = 0;
+  slot.leased_to = -1;
   if (victim == 0) return;
 
   auto job_it = jobs_.find(victim);
@@ -383,8 +693,7 @@ void PwsScheduler::handle_node_failed(net::NodeId node) {
   for (net::NodeId n : job.allocated) {
     auto s = slots_.find(n.value);
     if (s != slots_.end() && s->second.running_job == victim) {
-      s->second.running_job = 0;
-      s->second.leased_to.clear();
+      free_slot(n.value, s->second);
     }
   }
   requeue_or_fail(job);
@@ -397,9 +706,17 @@ void PwsScheduler::requeue_or_fail(Job& job) {
   if (job.requeues < config_.max_requeues) {
     ++job.requeues;
     ++stats_.requeued;
+    if (job.state == JobState::kRunning) {
+      --running_jobs_;
+      running_ids_.erase(job.id);
+    }
     job.state = JobState::kQueued;
-    auto pool_it = pools_.find(job.pool);
-    if (pool_it != pools_.end()) pool_it->second.queue().push_front(job.id);
+    ++queued_jobs_;
+    const std::size_t pool_index = pool_index_of(job.pool_sym);
+    if (pool_index != kNoPool) {
+      pools_[pool_index].enqueue_front(job, usage_of_sym(job.user_sym));
+      mark_pool_dirty(pool_index);
+    }
     checkpoint_state();
   } else {
     finish_job(job, JobState::kFailed);
@@ -409,10 +726,37 @@ void PwsScheduler::requeue_or_fail(Job& job) {
 // --- state persistence ------------------------------------------------------------
 
 void PwsScheduler::checkpoint_state() {
+  if (config_.checkpoint_interval == 0) {
+    save_checkpoint_now();
+    return;
+  }
+  if (!ever_ckpt_ || now() - last_ckpt_time_ >= config_.checkpoint_interval) {
+    // Leading edge: a change after a quiet stretch checkpoints immediately,
+    // so an isolated submission is persisted with no added staleness.
+    save_checkpoint_now();
+    return;
+  }
+  // Saved recently; fold further changes into one trailing flush at the end
+  // of the window.
+  ckpt_dirty_ = true;
+  if (ckpt_flush_scheduled_) return;
+  ckpt_flush_scheduled_ = true;
+  const sim::SimTime delay =
+      last_ckpt_time_ + config_.checkpoint_interval - now();
+  engine().schedule_after(delay, [this] {
+    ckpt_flush_scheduled_ = false;
+    if (ckpt_dirty_ && alive()) save_checkpoint_now();
+  });
+}
+
+void PwsScheduler::save_checkpoint_now() {
   auto save = std::make_shared<kernel::CheckpointSaveMsg>();
   save->service = "pws";
   save->key = "jobs";
   save->data = serialize_jobs(jobs_);
+  last_ckpt_time_ = now();
+  ever_ckpt_ = true;
+  ckpt_dirty_ = false;
   const auto partition = cluster().partition_of(node_id());
   send_any(kernel_.service_address(ServiceKind::kCheckpointService, partition),
            std::move(save));
@@ -428,6 +772,64 @@ void PwsScheduler::recover_state() {
   const auto partition = cluster().partition_of(node_id());
   send_any(kernel_.service_address(ServiceKind::kCheckpointService, partition),
            std::move(load));
+}
+
+void PwsScheduler::rebuild_after_restore() {
+  // Volatile indexes are rebuilt from the recovered job table; the slot
+  // table keeps its in-memory lease/liveness state (only running_job marks
+  // are re-derived). The pending indexes are deliberately NOT cleared:
+  // an in-place restart historically re-pushed every recovered queued job
+  // behind whatever the in-memory queue already held, and the faulted
+  // pws_vs_pbs experiment depends on that exact (duplicate-tolerant)
+  // sequence of scheduling decisions.
+  for (auto& pool : pools_) pool.free_nodes().clear();
+  running_ids_.clear();
+  expiry_ = {};
+  dependents_.clear();
+  pid_to_job_.clear();
+  queued_jobs_ = 0;
+  running_jobs_ = 0;
+
+  for (auto& [id, job] : jobs_) {
+    job.user_sym = net::intern_symbol(job.user);
+    job.pool_sym = net::intern_symbol(job.pool);
+    if (id >= next_job_id_) next_job_id_ = id + 1;
+    if (job.state == JobState::kRunning) {
+      for (net::NodeId n : job.allocated) {
+        auto slot = slots_.find(n.value);
+        if (slot != slots_.end()) slot->second.running_job = id;
+      }
+      for (const auto& [node_value, pid] : job.pids) pid_to_job_[pid] = id;
+      ++running_jobs_;
+      running_ids_.insert(id);
+      if (job.walltime_limit > 0) {
+        expiry_.push({job.started_at + job.walltime_limit, id});
+      }
+    } else if (job.state == JobState::kQueued ||
+               job.state == JobState::kAuthorizing) {
+      job.state = JobState::kQueued;
+      const std::size_t pool_index = pool_index_of(job.pool_sym);
+      if (pool_index != kNoPool) {
+        pools_[pool_index].enqueue(job, usage_of_sym(job.user_sym));
+      }
+      ++queued_jobs_;
+      if (job.after_ok != 0) {
+        auto dep = jobs_.find(job.after_ok);
+        if (dep != jobs_.end() && !dep->second.terminal()) {
+          dependents_[job.after_ok].push_back(id);
+        }
+      }
+    }
+  }
+  for (const auto& [node_value, slot] : slots_) {
+    if (slot.node_alive && slot.running_job == 0) {
+      const std::int32_t serving = effective_pool_index(slot);
+      if (serving >= 0) {
+        pools_[static_cast<std::size_t>(serving)].free_nodes().insert(node_value);
+      }
+    }
+  }
+  pool_dirty_.assign(pools_.size(), 1);  // everything is suspect after recovery
 }
 
 void PwsScheduler::reconcile_with_bulletin() {
@@ -461,6 +863,8 @@ void PwsScheduler::handle(const net::Envelope& env) {
       job.duration = submit->request.duration;
       job.state = JobState::kAuthorizing;
       job.submitted_at = now();
+      job.user_sym = net::intern_symbol(job.user);
+      job.pool_sym = net::intern_symbol(job.pool);
       const JobId id = job.id;
       jobs_.emplace(id, std::move(job));
 
@@ -476,14 +880,27 @@ void PwsScheduler::handle(const net::Envelope& env) {
                std::move(authz));
       return;
     }
-    const JobId accepted = this->submit(submit->request);
+    const BatchSubmitResult result = submit_internal(submit->request, true);
     if (submit->reply_to.valid()) {
       auto reply = std::make_shared<PwsSubmitReplyMsg>();
       reply->request_id = submit->request_id;
-      reply->accepted = jobs_.at(accepted).state != JobState::kRejected;
-      reply->job_id = accepted;
+      reply->accepted = result.status == SubmitStatus::kAccepted;
+      reply->job_id = result.job_id;
+      if (result.status != SubmitStatus::kAccepted) {
+        reply->reason = std::string(to_string(result.status));
+      }
       send_any(submit->reply_to, std::move(reply));
     }
+    return;
+  }
+
+  if (const auto* batch = net::message_cast<PwsSubmitBatchMsg>(m)) {
+    handle_submit_batch(*batch);
+    return;
+  }
+
+  if (const auto* batch = net::message_cast<PwsCancelBatchMsg>(m)) {
+    handle_cancel_batch(*batch);
     return;
   }
 
@@ -515,21 +932,28 @@ void PwsScheduler::handle(const net::Envelope& env) {
     auto job_it = jobs_.find(pending.job);
     if (job_it == jobs_.end()) return;
     Job& job = job_it->second;
+    const JobId job_id = job.id;
     bool accepted = false;
     std::string reason = authz->reason;
+    const std::size_t pool_index = pool_index_of(job.pool_sym);
     if (!authz->allowed) {
       job.state = JobState::kRejected;
       job.finished_at = now();
       ++stats_.rejected;
-    } else if (auto pool_it = pools_.find(job.pool); pool_it == pools_.end()) {
+      retire_if_unretained(job_id);
+    } else if (pool_index == kNoPool) {
       job.state = JobState::kRejected;
       job.finished_at = now();
       ++stats_.rejected;
       reason = "unknown pool '" + job.pool + "'";
+      retire_if_unretained(job_id);
     } else {
       job.state = JobState::kQueued;
-      pool_it->second.queue().push_back(job.id);
+      pools_[pool_index].enqueue(job, usage_of_sym(job.user_sym));
+      ++queued_jobs_;
+      mark_pool_dirty(pool_index);
       ++stats_.submitted;
+      if (metrics_->enabled()) submitted_ctr_->inc();
       accepted = true;
     }
     checkpoint_state();
@@ -537,7 +961,7 @@ void PwsScheduler::handle(const net::Envelope& env) {
       auto reply = std::make_shared<PwsSubmitReplyMsg>();
       reply->request_id = pending.caller_request_id;
       reply->accepted = accepted;
-      reply->job_id = job.id;
+      reply->job_id = job_id;
       reply->reason = std::move(reason);
       send_any(pending.reply_to, std::move(reply));
     }
@@ -567,8 +991,18 @@ void PwsScheduler::handle(const net::Envelope& env) {
     if (e.type == kernel::event_types::kNodeFailed) {
       handle_node_failed(e.subject_node);
     } else if (e.type == kernel::event_types::kNodeRecovered) {
-      auto slot = slots_.find(e.subject_node.value);
-      if (slot != slots_.end()) slot->second.node_alive = true;
+      auto slot_it = slots_.find(e.subject_node.value);
+      if (slot_it != slots_.end() && !slot_it->second.node_alive) {
+        slot_it->second.node_alive = true;
+        if (slot_it->second.running_job == 0) {
+          const std::int32_t serving = effective_pool_index(slot_it->second);
+          if (serving >= 0) {
+            const auto index = static_cast<std::size_t>(serving);
+            pools_[index].free_nodes().insert(e.subject_node.value);
+            capacity_freed(index);
+          }
+        }
+      }
     }
     return;
   }
@@ -578,22 +1012,7 @@ void PwsScheduler::handle(const net::Envelope& env) {
     recovery_load_id_ = 0;
     if (load->found) {
       jobs_ = deserialize_jobs(load->data);
-      // Rebuild volatile indices from the recovered job table.
-      for (auto& [id, job] : jobs_) {
-        if (id >= next_job_id_) next_job_id_ = id + 1;
-        if (job.state == JobState::kRunning) {
-          for (net::NodeId n : job.allocated) {
-            auto slot = slots_.find(n.value);
-            if (slot != slots_.end()) slot->second.running_job = id;
-          }
-          for (const auto& [node_value, pid] : job.pids) pid_to_job_[pid] = id;
-        } else if (job.state == JobState::kQueued ||
-                   job.state == JobState::kAuthorizing) {
-          job.state = JobState::kQueued;
-          auto pool_it = pools_.find(job.pool);
-          if (pool_it != pools_.end()) pool_it->second.queue().push_back(id);
-        }
-      }
+      rebuild_after_restore();
       reconcile_with_bulletin();
     } else {
       announce_up();
@@ -630,30 +1049,36 @@ void PwsScheduler::handle(const net::Envelope& env) {
   }
 }
 
+// --- introspection ----------------------------------------------------------------
+
 const Job* PwsScheduler::job(JobId id) const {
   auto it = jobs_.find(id);
   return it == jobs_.end() ? nullptr : &it->second;
 }
 
 const Pool* PwsScheduler::pool(const std::string& name) const {
-  auto it = pools_.find(name);
-  return it == pools_.end() ? nullptr : &it->second;
+  const auto sym = net::find_symbol(name);
+  if (!sym.valid()) return nullptr;
+  auto it = pool_index_.find(sym.value);
+  return it == pool_index_.end() ? nullptr : &pools_[it->second];
 }
 
-std::size_t PwsScheduler::queued_count() const {
-  std::size_t n = 0;
-  for (const auto& [id, job] : jobs_) {
-    if (job.state == JobState::kQueued) ++n;
-  }
-  return n;
+std::size_t PwsScheduler::pool_index_of(net::SymbolId sym) const {
+  auto it = pool_index_.find(sym.value);
+  return it == pool_index_.end() ? kNoPool : it->second;
 }
 
-std::size_t PwsScheduler::running_count() const {
-  std::size_t n = 0;
-  for (const auto& [id, job] : jobs_) {
-    if (job.state == JobState::kRunning) ++n;
+double PwsScheduler::usage_of_sym(net::SymbolId user) const {
+  auto it = usage_.find(user.value);
+  return it == usage_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> PwsScheduler::user_usage() const {
+  std::map<std::string, double> out;
+  for (const auto& [sym, seconds] : usage_) {
+    out[std::string(net::symbol_name(net::SymbolId{sym}))] = seconds;
   }
-  return n;
+  return out;
 }
 
 }  // namespace phoenix::pws

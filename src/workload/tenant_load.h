@@ -1,0 +1,61 @@
+// Multi-tenant submission-load generator for the gateway experiments.
+//
+// Models a portal-scale user population (10k-1M tenants) submitting small
+// jobs as a piecewise-constant-rate Poisson process: a base arrival rate,
+// one or more "flash crowd" windows where the rate multiplies (the whole
+// campus hits the portal after a deadline announcement), a minority of
+// spammer tenants who submit far above their fair share, and a fraction of
+// submissions that are cancelled almost immediately (fat-fingered runs).
+// Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace phoenix::workload {
+
+struct TenantEvent {
+  sim::SimTime arrival = 0;
+  std::uint32_t tenant = 0;  // dense tenant index; name is "u<tenant>"
+  unsigned nodes = 1;
+  sim::SimTime duration = 0;
+  /// Cancel this submission cancel_after after submitting it (0 = keep).
+  sim::SimTime cancel_after = 0;
+};
+
+struct FlashWindow {
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  double rate_multiplier = 10.0;
+};
+
+struct TenantLoadParams {
+  std::uint32_t tenant_count = 10'000;
+  /// Aggregate submission rate outside flash windows (jobs/s).
+  double base_rate = 1000.0;
+  sim::SimTime horizon = 60 * sim::kSecond;
+  std::vector<FlashWindow> flashes;
+  /// Fraction of tenants that are spammers, and how much more often a
+  /// spammer submits than a normal tenant.
+  double spammer_fraction = 0.0;
+  double spammer_boost = 100.0;
+  /// Fraction of submissions cancelled cancel_delay after they are issued.
+  double cancel_fraction = 0.0;
+  sim::SimTime cancel_delay = 1 * sim::kMillisecond;
+  /// Job shape: single-node jobs of fixed-ish exponential duration.
+  double mean_duration_s = 0.05;
+  double min_duration_s = 0.01;
+  unsigned max_nodes = 1;
+  std::uint64_t seed = 11;
+};
+
+/// Tenant name for an event ("u<index>").
+std::string tenant_name(std::uint32_t tenant);
+
+/// Events in arrival order.
+std::vector<TenantEvent> generate_tenant_load(const TenantLoadParams& params);
+
+}  // namespace phoenix::workload
