@@ -9,6 +9,7 @@
 #include <string>
 
 #include "faults/fault_injector.h"
+#include "faults/scenario.h"
 #include "kernel/kernel.h"
 
 namespace phoenix::bench {
@@ -112,6 +113,31 @@ inline std::optional<Timing> run_fault_scenario(
   h.run_until_after_heartbeat(align_node);
   const sim::SimTime injected = inject(h);
   h.run_s(observe_s);
+  const auto record = h.kernel.fault_log().last(component, kind);
+  if (!record) return std::nullopt;
+  return timing_from(*record, injected);
+}
+
+/// Scenario flavour of run_fault_scenario: `script` authors a declarative
+/// faults::Scenario against the settled harness, which is then compiled at
+/// the aligned injection instant. Timings are measured from the scenario
+/// base (its offset-0 steps fire at that same simulated instant the
+/// imperative overload injects at, so the two flavours report identical
+/// numbers for single-shot faults).
+inline std::optional<Timing> run_fault_scenario(
+    const kernel::FtParams& params, net::NodeId align_node,
+    const std::function<void(Harness&, faults::Scenario&)>& script,
+    const std::string& component, kernel::FaultKind kind,
+    double settle_s = 65.0, double observe_s = 120.0) {
+  Harness h(paper_testbed(), params);
+  h.run_s(settle_s);
+  h.kernel.fault_log().clear();
+  h.run_until_after_heartbeat(align_node);
+  faults::Scenario scenario;
+  script(h, scenario);
+  const sim::SimTime injected = h.cluster.now();
+  scenario.apply(h.injector, injected);
+  h.run_s(observe_s + sim::to_seconds(scenario.duration()));
   const auto record = h.kernel.fault_log().last(component, kind);
   if (!record) return std::nullopt;
   return timing_from(*record, injected);

@@ -23,20 +23,22 @@ int main() {
 
   const auto process = run_fault_scenario(
       params, server,
-      [target](Harness& h) { return h.injector.kill_daemon(h.kernel.gsd(target)); },
+      [target](Harness& h, faults::Scenario& s) {
+        s.kill_daemon(h.kernel.gsd(target));
+      },
       "GSD", kernel::FaultKind::kProcessFailure);
   if (process) print_fault_row("process", *process, "30s", "0.29s", "2.03s");
 
   const auto node = run_fault_scenario(
       params, server,
-      [server](Harness& h) { return h.injector.crash_node(server); }, "GSD",
-      kernel::FaultKind::kNodeFailure);
+      [server](Harness&, faults::Scenario& s) { s.crash_node(server); },
+      "GSD", kernel::FaultKind::kNodeFailure);
   if (node) print_fault_row("node", *node, "30s", "0.3s", "2.95s");
 
   const auto network = run_fault_scenario(
       params, server,
-      [server](Harness& h) {
-        return h.injector.cut_interface(server, net::NetworkId{1});
+      [server](Harness&, faults::Scenario& s) {
+        s.cut_interface(server, net::NetworkId{1});
       },
       "GSD", kernel::FaultKind::kNetworkFailure);
   if (network) print_fault_row("network", *network, "30s", "348us", "0s");

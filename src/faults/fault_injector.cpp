@@ -54,6 +54,34 @@ sim::SimTime FaultInjector::restore_network(net::NetworkId network) {
   return record("restore network " + std::to_string(network.value));
 }
 
+sim::SimTime FaultInjector::block_link(net::NodeId from, net::NodeId to) {
+  cluster_.fabric().set_link_blocked(from, to, true);
+  return record("block link " + std::to_string(from.value) + " -> " +
+                std::to_string(to.value));
+}
+
+sim::SimTime FaultInjector::unblock_link(net::NodeId from, net::NodeId to) {
+  cluster_.fabric().set_link_blocked(from, to, false);
+  return record("unblock link " + std::to_string(from.value) + " -> " +
+                std::to_string(to.value));
+}
+
+sim::SimTime FaultInjector::clear_blocked_links() {
+  cluster_.fabric().clear_blocked_links();
+  return record("clear blocked links");
+}
+
+sim::SimTime FaultInjector::slow_node(net::NodeId node, sim::SimTime delay) {
+  cluster_.fabric().set_node_send_delay(node, delay);
+  return record("slow node " + std::to_string(node.value) + " by " +
+                std::to_string(delay) + "us");
+}
+
+sim::SimTime FaultInjector::restore_node_speed(net::NodeId node) {
+  cluster_.fabric().set_node_send_delay(node, 0);
+  return record("restore node " + std::to_string(node.value) + " speed");
+}
+
 sim::SimTime FaultInjector::set_packet_loss(double probability) {
   cluster_.fabric().latency_model().loss_probability = probability;
   return record("packet loss " + std::to_string(probability));
@@ -85,6 +113,10 @@ void FaultInjector::schedule(sim::SimTime at, std::function<void()> action,
         record(label);
         action();
       });
+}
+
+void FaultInjector::schedule_silent(sim::SimTime at, std::function<void()> action) {
+  cluster_.engine().schedule_at(at, std::move(action));
 }
 
 }  // namespace phoenix::faults

@@ -44,6 +44,19 @@ class FaultInjector {
   sim::SimTime fail_network(net::NetworkId network);
   sim::SimTime restore_network(net::NetworkId network);
 
+  /// One-directional blackhole: every message from `from` to `to` (all
+  /// networks) silently vanishes; the reverse direction keeps flowing. This
+  /// is the asymmetric-partition primitive that fools silence-based failure
+  /// detection — `from` looks dead from `to`'s side only.
+  sim::SimTime block_link(net::NodeId from, net::NodeId to);
+  sim::SimTime unblock_link(net::NodeId from, net::NodeId to);
+  sim::SimTime clear_blocked_links();
+
+  /// Slow node: every message `node` sends arrives `delay` late (heartbeats
+  /// late but the node is not dead). 0 restores full speed.
+  sim::SimTime slow_node(net::NodeId node, sim::SimTime delay);
+  sim::SimTime restore_node_speed(net::NodeId node);
+
   /// Independent per-message loss probability on every network (lossy
   /// datagram weather; 0 restores perfect delivery).
   sim::SimTime set_packet_loss(double probability);
@@ -58,6 +71,11 @@ class FaultInjector {
 
   /// Schedules an arbitrary injection at an absolute simulated time.
   void schedule(sim::SimTime at, std::function<void()> action, std::string label);
+
+  /// Schedules without adding a journal entry of its own — used by the
+  /// Scenario compiler, whose steps journal through the verbs they invoke
+  /// (a labelled schedule() would double-record every step).
+  void schedule_silent(sim::SimTime at, std::function<void()> action);
 
   const std::vector<InjectionRecord>& history() const noexcept { return history_; }
   void clear_history() { history_.clear(); }

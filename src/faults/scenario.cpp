@@ -1,0 +1,124 @@
+#include "faults/scenario.h"
+
+#include <algorithm>
+
+namespace phoenix::faults {
+
+Scenario& Scenario::at(sim::SimTime offset) {
+  cursor_ = offset;
+  return *this;
+}
+
+Scenario& Scenario::after(sim::SimTime delta) {
+  cursor_ += delta;
+  return *this;
+}
+
+Scenario& Scenario::add(std::function<void(FaultInjector&)> fire) {
+  return add_at(cursor_, std::move(fire));
+}
+
+Scenario& Scenario::add_at(sim::SimTime offset,
+                           std::function<void(FaultInjector&)> fire) {
+  steps_.push_back(Step{offset, std::move(fire)});
+  last_ = std::max(last_, offset);
+  return *this;
+}
+
+Scenario& Scenario::kill_daemon(cluster::Daemon& daemon) {
+  return add([&daemon](FaultInjector& inj) { inj.kill_daemon(daemon); });
+}
+
+Scenario& Scenario::crash_node(net::NodeId node) {
+  return add([node](FaultInjector& inj) { inj.crash_node(node); });
+}
+
+Scenario& Scenario::restore_node(net::NodeId node) {
+  return add([node](FaultInjector& inj) { inj.restore_node(node); });
+}
+
+Scenario& Scenario::cut_interface(net::NodeId node, net::NetworkId network) {
+  return add([node, network](FaultInjector& inj) {
+    inj.cut_interface(node, network);
+  });
+}
+
+Scenario& Scenario::restore_interface(net::NodeId node, net::NetworkId network) {
+  return add([node, network](FaultInjector& inj) {
+    inj.restore_interface(node, network);
+  });
+}
+
+Scenario& Scenario::fail_network(net::NetworkId network) {
+  return add([network](FaultInjector& inj) { inj.fail_network(network); });
+}
+
+Scenario& Scenario::restore_network(net::NetworkId network) {
+  return add([network](FaultInjector& inj) { inj.restore_network(network); });
+}
+
+Scenario& Scenario::slow_node(net::NodeId node, sim::SimTime delay) {
+  return add([node, delay](FaultInjector& inj) { inj.slow_node(node, delay); });
+}
+
+Scenario& Scenario::restore_node_speed(net::NodeId node) {
+  return add([node](FaultInjector& inj) { inj.restore_node_speed(node); });
+}
+
+Scenario& Scenario::partition_asymmetric(net::NodeId a, net::NodeId b) {
+  return add([a, b](FaultInjector& inj) { inj.block_link(a, b); });
+}
+
+Scenario& Scenario::heal_asymmetric(net::NodeId a, net::NodeId b) {
+  return add([a, b](FaultInjector& inj) { inj.unblock_link(a, b); });
+}
+
+Scenario& Scenario::flap_link(net::NodeId node, net::NetworkId network,
+                              sim::SimTime period, int cycles) {
+  for (int c = 0; c < cycles; ++c) {
+    const sim::SimTime down = cursor_ + c * period;
+    add_at(down, [node, network](FaultInjector& inj) {
+      inj.cut_interface(node, network);
+    });
+    add_at(down + period / 2, [node, network](FaultInjector& inj) {
+      inj.restore_interface(node, network);
+    });
+  }
+  cursor_ += static_cast<sim::SimTime>(cycles) * period;
+  return *this;
+}
+
+Scenario& Scenario::crash_rack(const std::vector<net::NodeId>& nodes) {
+  return add([nodes](FaultInjector& inj) {
+    for (net::NodeId n : nodes) inj.crash_node(n);
+  });
+}
+
+Scenario& Scenario::restore_rack(const std::vector<net::NodeId>& nodes) {
+  return add([nodes](FaultInjector& inj) {
+    for (net::NodeId n : nodes) inj.restore_node(n);
+  });
+}
+
+Scenario& Scenario::restart_storm(cluster::Daemon& daemon, int n,
+                                  sim::SimTime gap) {
+  for (int k = 0; k < n; ++k) {
+    add_at(cursor_ + k * gap,
+           [&daemon](FaultInjector& inj) { inj.kill_daemon(daemon); });
+  }
+  if (n > 1) cursor_ += static_cast<sim::SimTime>(n - 1) * gap;
+  return *this;
+}
+
+Scenario& Scenario::run(std::function<void(FaultInjector&)> fn) {
+  return add(std::move(fn));
+}
+
+void Scenario::apply(FaultInjector& injector, sim::SimTime base) const {
+  for (const Step& step : steps_) {
+    injector.schedule_silent(base + step.offset,
+                             [fire = step.fire, &injector] { fire(injector); });
+  }
+}
+
+}  // namespace phoenix::faults

@@ -1,0 +1,104 @@
+// Declarative fault scenarios.
+//
+// A Scenario is a time-ordered script of injections built with a fluent
+// cursor API and compiled onto a FaultInjector at run time. It widens the
+// paper's three benign fault classes (process death, node crash, NIC
+// failure) into the adversarial shapes that stress a failure detector:
+//
+//   partition_asymmetric(a, b)   one-directional blackhole a -> b
+//   flap_link(node, net, ...)    an interface that bounces down and up
+//   crash_rack({n1, n2, ...})    correlated simultaneous node deaths
+//   slow_node(node, delay)       heartbeats late, node not dead
+//   restart_storm(daemon, n, g)  a daemon that keeps dying after recovery
+//
+// Every step fires through the injector's journaled verbs, so the benches
+// read a complete injection history with simulated timestamps; the script
+// itself is inert data until apply() schedules it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_injector.h"
+
+namespace phoenix::faults {
+
+class Scenario {
+ public:
+  Scenario() = default;
+
+  // --- time cursor ----------------------------------------------------------
+  //
+  // Steps fire at the cursor's offset, measured from the base time passed to
+  // apply(). Primitive verbs do not move the cursor; composites with an
+  // intrinsic duration (flap_link, restart_storm) advance it past their last
+  // action so scripts read top-to-bottom.
+
+  /// Moves the cursor to an absolute offset from the apply() base.
+  Scenario& at(sim::SimTime offset);
+  /// Advances the cursor.
+  Scenario& after(sim::SimTime delta);
+
+  // --- primitive verbs ------------------------------------------------------
+
+  Scenario& kill_daemon(cluster::Daemon& daemon);
+  Scenario& crash_node(net::NodeId node);
+  Scenario& restore_node(net::NodeId node);
+  Scenario& cut_interface(net::NodeId node, net::NetworkId network);
+  Scenario& restore_interface(net::NodeId node, net::NetworkId network);
+  Scenario& fail_network(net::NetworkId network);
+  Scenario& restore_network(net::NetworkId network);
+  Scenario& slow_node(net::NodeId node, sim::SimTime delay);
+  Scenario& restore_node_speed(net::NodeId node);
+
+  // --- adversarial composites -----------------------------------------------
+
+  /// One-directional partition: every message a -> b silently vanishes while
+  /// b -> a keeps flowing — a looks dead from b's side only.
+  Scenario& partition_asymmetric(net::NodeId a, net::NodeId b);
+  Scenario& heal_asymmetric(net::NodeId a, net::NodeId b);
+
+  /// The interface flaps: down at the cursor, up half a period later,
+  /// repeated `cycles` times. Advances the cursor by cycles * period.
+  Scenario& flap_link(net::NodeId node, net::NetworkId network,
+                      sim::SimTime period, int cycles);
+
+  /// Correlated failure: every node of the rack dies at the same instant.
+  Scenario& crash_rack(const std::vector<net::NodeId>& nodes);
+  Scenario& restore_rack(const std::vector<net::NodeId>& nodes);
+
+  /// Restart storm: the daemon is killed `n` times, `gap` apart (recovery
+  /// restarts it in between). Advances the cursor by (n - 1) * gap.
+  Scenario& restart_storm(cluster::Daemon& daemon, int n, sim::SimTime gap);
+
+  /// Escape hatch for injections the vocabulary lacks; `fn` runs at the
+  /// cursor and should journal through the injector it receives.
+  Scenario& run(std::function<void(FaultInjector&)> fn);
+
+  /// Current cursor offset.
+  sim::SimTime cursor() const noexcept { return cursor_; }
+  /// Offset of the latest scheduled step (sizes the observation window).
+  sim::SimTime duration() const noexcept { return last_; }
+  std::size_t step_count() const noexcept { return steps_.size(); }
+
+  /// Compiles the script: every step becomes a scheduled injection at
+  /// `base + offset`. The injector must outlive the simulation run.
+  void apply(FaultInjector& injector, sim::SimTime base) const;
+
+ private:
+  struct Step {
+    sim::SimTime offset = 0;
+    std::function<void(FaultInjector&)> fire;
+  };
+
+  Scenario& add(std::function<void(FaultInjector&)> fire);
+  Scenario& add_at(sim::SimTime offset, std::function<void(FaultInjector&)> fire);
+
+  std::vector<Step> steps_;
+  sim::SimTime cursor_ = 0;
+  sim::SimTime last_ = 0;
+};
+
+}  // namespace phoenix::faults

@@ -32,10 +32,6 @@ KernelApi::KernelApi(cluster::Cluster& cluster, net::NodeId node,
 
 KernelApi::~KernelApi() { metrics_->unregister_probe(metrics_probe_); }
 
-void KernelApi::set_call_timeout(sim::SimTime t) noexcept {
-  default_deadline_ = t;
-}
-
 // --- retry state machine -------------------------------------------------------
 
 net::CallOptions KernelApi::resolve(net::CallOptions opts) const noexcept {
@@ -561,78 +557,6 @@ void KernelApi::parallel_command(const std::string& command,
   c.fixed_target = {root, port_of(ServiceKind::kProcessManager)};
   c.opts = resolve(opts);
   launch(id, std::move(c), "parallel_command");
-}
-
-// --- legacy completion adapters -------------------------------------------------
-
-void KernelApi::config_get(const std::string& key, GetCallback done) {
-  config_get(key,
-             [done = std::move(done)](Result<std::optional<std::string>> r) {
-               done(r.ok() ? std::move(r.value) : std::nullopt);
-             });
-}
-
-void KernelApi::config_set(const std::string& key, const std::string& value,
-                           SetCallback done) {
-  config_set(key, value, [done = std::move(done)](Result<std::uint64_t> r) {
-    done(r.ok(), r.value);
-  });
-}
-
-void KernelApi::authenticate(const std::string& user, const std::string& secret,
-                             AuthCallback done) {
-  authenticate(user, secret, [done = std::move(done)](Result<Token> r) {
-    done(r.ok() ? std::optional<Token>(std::move(r.value)) : std::nullopt);
-  });
-}
-
-void KernelApi::authorize(const Token& token, const std::string& action,
-                          const std::string& resource, AuthzCallback done) {
-  authorize(token, action, resource,
-            [done = std::move(done)](Result<bool> r) { done(r.ok() && r.value); });
-}
-
-void KernelApi::checkpoint_save(const std::string& service,
-                                const std::string& key, std::string data,
-                                SaveCallback done) {
-  checkpoint_save(service, key, std::move(data),
-                  [done = std::move(done)](Result<std::uint64_t> r) {
-                    done(r.ok(), r.value);
-                  });
-}
-
-void KernelApi::checkpoint_load(const std::string& service,
-                                const std::string& key, LoadCallback done) {
-  checkpoint_load(service, key,
-                  [done = std::move(done)](Result<std::optional<std::string>> r) {
-                    done(r.ok() ? std::move(r.value) : std::nullopt);
-                  });
-}
-
-void KernelApi::query(BulletinTable table, bool cluster_scope,
-                      BulletinFilter filter, QueryCallback done) {
-  query(table, cluster_scope, std::move(filter),
-        [done = std::move(done)](Result<BulletinSnapshot> r) {
-          done(std::move(r.value.nodes), std::move(r.value.apps));
-        });
-}
-
-void KernelApi::spawn(net::NodeId node, ProcessSpec spec, SpawnCallback done,
-                      std::function<void(cluster::Pid)> on_exit) {
-  spawn(node, std::move(spec),
-        [done = std::move(done)](Result<cluster::Pid> r) {
-          done(r.ok(), r.value);
-        },
-        std::move(on_exit));
-}
-
-void KernelApi::parallel_command(const std::string& command,
-                                 std::vector<net::NodeId> nodes,
-                                 std::size_t fanout, CommandCallback done) {
-  parallel_command(command, std::move(nodes), fanout,
-                   [done = std::move(done)](Result<CommandOutcome> r) {
-                     done(r.value.succeeded, r.value.failed);
-                   });
 }
 
 // --- dispatch -------------------------------------------------------------------

@@ -83,10 +83,6 @@ class KernelApi final : public cluster::Daemon {
   net::RetryPolicy& retry_policy() noexcept { return policy_; }
   const net::RetryPolicy& retry_policy() const noexcept { return policy_; }
 
-  /// Superseded by per-call CallOptions::deadline; feeds the same default.
-  [[deprecated("use set_default_deadline / CallOptions::deadline")]]
-  void set_call_timeout(sim::SimTime t) noexcept;
-
   // --- configuration ----------------------------------------------------------
 
   /// kOk with nullopt means "the service answered: no such key".
@@ -156,60 +152,6 @@ class KernelApi final : public cluster::Daemon {
   void parallel_command(const std::string& command,
                         std::vector<net::NodeId> nodes, std::size_t fanout,
                         Callback<CommandOutcome> done, CallOptions opts = {});
-
-  // --- legacy completion adapters ---------------------------------------------
-  //
-  // The pre-Result callback shapes, kept as thin wrappers so existing user
-  // environments keep compiling during migration. Each folds the Status into
-  // the old "empty/false on any failure" convention — which is exactly the
-  // information loss the Result API exists to remove.
-
-  using GetCallback = std::function<void(std::optional<std::string>)>;
-  [[deprecated("use the Result<std::optional<std::string>> overload")]]
-  void config_get(const std::string& key, GetCallback done);
-
-  using SetCallback = std::function<void(bool ok, std::uint64_t version)>;
-  [[deprecated("use the Result<std::uint64_t> overload")]]
-  void config_set(const std::string& key, const std::string& value,
-                  SetCallback done);
-
-  using AuthCallback = std::function<void(std::optional<Token>)>;
-  [[deprecated("use the Result<Token> overload")]]
-  void authenticate(const std::string& user, const std::string& secret,
-                    AuthCallback done);
-
-  using AuthzCallback = std::function<void(bool allowed)>;
-  [[deprecated("use the Result<bool> overload")]]
-  void authorize(const Token& token, const std::string& action,
-                 const std::string& resource, AuthzCallback done);
-
-  using SaveCallback = std::function<void(bool ok, std::uint64_t version)>;
-  [[deprecated("use the Result<std::uint64_t> overload")]]
-  void checkpoint_save(const std::string& service, const std::string& key,
-                       std::string data, SaveCallback done);
-
-  using LoadCallback = std::function<void(std::optional<std::string>)>;
-  [[deprecated("use the Result<std::optional<std::string>> overload")]]
-  void checkpoint_load(const std::string& service, const std::string& key,
-                       LoadCallback done);
-
-  using QueryCallback = std::function<void(std::vector<NodeRecord>,
-                                           std::vector<AppRecord>)>;
-  [[deprecated("use the Result<BulletinSnapshot> overload")]]
-  void query(BulletinTable table, bool cluster_scope, BulletinFilter filter,
-             QueryCallback done);
-
-  using SpawnCallback = std::function<void(bool ok, cluster::Pid pid)>;
-  [[deprecated("use the Result<cluster::Pid> overload")]]
-  void spawn(net::NodeId node, ProcessSpec spec, SpawnCallback done,
-             std::function<void(cluster::Pid)> on_exit = {});
-
-  using CommandCallback =
-      std::function<void(std::uint64_t succeeded, std::uint64_t failed)>;
-  [[deprecated("use the Result<CommandOutcome> overload")]]
-  void parallel_command(const std::string& command,
-                        std::vector<net::NodeId> nodes, std::size_t fanout,
-                        CommandCallback done);
 
   // --- observability ----------------------------------------------------------
 

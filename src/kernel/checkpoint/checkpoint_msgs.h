@@ -23,10 +23,15 @@ struct CheckpointSaveMsg final : net::Message {
   net::Address reply_to;
   std::uint64_t request_id = 0;
   std::uint16_t attempt = 1;  // header-resident; excluded from wire_size()
+  /// Writer's meta-group epoch (fencing): a save stamped below the target's
+  /// watermark is dropped, so a deposed GSD cannot clobber the view its
+  /// successor checkpointed. 0 = unfenced (every service but the GSD, and
+  /// the GSD itself under the paper's unilateral policy — wire unchanged).
+  std::uint64_t epoch = 0;
 
   PHOENIX_MESSAGE_TYPE("ckpt.save")
   std::size_t wire_size() const noexcept override {
-    return service.size() + key.size() + data.size() + 16;
+    return service.size() + key.size() + data.size() + 16 + (epoch != 0 ? 8 : 0);
   }
 };
 

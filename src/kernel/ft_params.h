@@ -7,12 +7,62 @@
 // configured as a system parameter" — and the benches sweep them.
 #pragma once
 
+#include <cstdint>
+
 #include "sim/time.h"
 
 namespace phoenix::kernel {
 
 struct FtParams {
   using SimTime = sim::SimTime;
+
+  /// How a meta-group member takes over a silent peer. The paper's protocol
+  /// (§4.3) is unilateral: the Princess deposes a Leader on silence alone,
+  /// which split-brains the moment an asymmetric network partition makes the
+  /// Leader *look* dead from one side only. The quorum policy adds an
+  /// MSCS-style regroup round — a majority of the current view must concur
+  /// before any member is removed — plus epoch fencing so a deposed Leader's
+  /// mutating kernel RPCs are rejected by every ServiceRuntime.
+  struct FailoverPolicy {
+    enum class Mode : std::uint8_t {
+      kUnilateral,  // paper §4.3: ring successor takes over on silence alone
+      kQuorum,      // regroup round: majority concurrence + epoch fencing
+    };
+    Mode mode = Mode::kUnilateral;
+
+    /// One regroup round: solicitations go out, concurrence votes must be
+    /// back within this window or the round aborts (and is retried).
+    SimTime regroup_round_timeout = 900 * sim::kMillisecond;
+
+    /// A solicited voter independently pings the suspect's GSD and votes
+    /// "alive" if it answers within this window (its view of connectivity,
+    /// not the initiator's — that is what defeats asymmetric partitions).
+    SimTime regroup_probe_timeout = 280 * sim::kMillisecond;
+
+    /// Delay before re-running a regroup that failed to assemble a quorum
+    /// (e.g. this member sits on the minority side of a partition).
+    SimTime regroup_retry_delay = 2 * sim::kSecond;
+
+    /// Consecutive quorum-less rounds before the initiator journals
+    /// meta.quorum_lost and gives up until the suspicion re-triggers.
+    /// 0 = retry forever (availability returns when the partition heals).
+    int max_regroup_rounds = 0;
+
+    /// Stamp meta-group epochs into mutating kernel RPCs and reject stale
+    /// ones (fencing). Only meaningful under kQuorum; epochs stay 0 — and
+    /// every wire format stays byte-identical — under kUnilateral.
+    bool fence_stale_epochs = true;
+
+    /// The paper's §5.1 behaviour: unilateral Princess takeover.
+    static constexpr FailoverPolicy paper() { return {}; }
+
+    /// Quorum-safe takeover: regroup concurrence + epoch fencing.
+    static constexpr FailoverPolicy quorum() {
+      FailoverPolicy p;
+      p.mode = Mode::kQuorum;
+      return p;
+    }
+  };
 
   /// WD -> GSD heartbeat period; also the GSD ring heartbeat period and the
   /// GSD local-service supervision period (paper uses 30 s for all).
@@ -83,6 +133,10 @@ struct FtParams {
   /// entirely (the default keeps the wire traffic of the paper experiments
   /// unchanged).
   SimTime service_stats_interval = 0;
+
+  /// Meta-group takeover policy (defaults to the paper's unilateral
+  /// protocol; FailoverPolicy::quorum() opts into regroup + fencing).
+  FailoverPolicy failover{};
 
   /// Background CPU share each kernel daemon imposes on its node (fraction
   /// of one CPU). Drives the Linpack-overhead experiment.

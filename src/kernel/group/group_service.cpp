@@ -49,6 +49,12 @@ GroupServiceDaemon::GroupServiceDaemon(cluster::Cluster& cluster, net::NodeId no
   on<ProbeReplyMsg>([this](const ProbeReplyMsg& reply) { handle_probe_reply(reply); });
   on<ViewChangeMsg>([this](const ViewChangeMsg& msg) { apply_view(msg.view); });
   on<MetaJoinMsg>([this](const MetaJoinMsg& join) { handle_join(join); });
+  on<RegroupProposeMsg>([this](const RegroupProposeMsg& proposal) {
+    handle_regroup_propose(proposal);
+  });
+  on<RegroupVoteMsg>([this](const RegroupVoteMsg& vote) {
+    handle_regroup_vote(vote);
+  });
   on<ServiceUpMsg>([this](const ServiceUpMsg& up) { handle_service_up(up); });
   on<StartServiceReplyMsg>([this](const StartServiceReplyMsg& reply) {
     handle_start_service_reply(reply);
@@ -112,6 +118,9 @@ void GroupServiceDaemon::on_service_start() {
   probes_.clear();
   pending_recoveries_.clear();
   service_recovering_.clear();
+  regroup_.reset();
+  vote_probes_.clear();
+  answered_rounds_.clear();
 
   const sim::SimTime interval = params_.heartbeat_interval;
   // Heartbeat staleness is judged against interval + grace, but the SCAN
@@ -385,6 +394,7 @@ void GroupServiceDaemon::conclude_wd_process_failure(net::NodeId node,
   restart->create = false;
   restart->reply_to = address();
   restart->request_id = rid;
+  restart->epoch = view_.epoch;
   send_any(ppm_at(node), std::move(restart));
 }
 
@@ -435,7 +445,10 @@ void GroupServiceDaemon::send_ring_heartbeat() {
 }
 
 void GroupServiceDaemon::check_meta() {
-  if (!alive() || !joined_ || view_.members.size() < 2 || pred_diagnosing_) return;
+  if (!alive() || !joined_ || view_.members.size() < 2 || pred_diagnosing_ ||
+      regroup_.has_value()) {
+    return;
+  }
   auto pred = view_.predecessor_of(partition_);
   if (!pred) return;
   if (pred->partition != pred_partition_) {
@@ -503,6 +516,25 @@ void GroupServiceDaemon::conclude_meta_failure(const MetaMember& pred, bool node
     }
   }
 
+  if (params_.failover.mode == FtParams::FailoverPolicy::Mode::kQuorum) {
+    // Silence alone is not grounds for removal under the quorum policy: a
+    // majority of the view must concur first (regroup round). The removal —
+    // if it happens — continues in commit_member_removal.
+    begin_regroup(pred, node_dead, detected_at, last_seen_at);
+    return;
+  }
+  commit_member_removal(pred, node_dead, detected_at, last_seen_at);
+}
+
+void GroupServiceDaemon::commit_member_removal(const MetaMember& pred,
+                                               bool node_dead,
+                                               sim::SimTime detected_at,
+                                               sim::SimTime last_seen_at) {
+  if (!alive()) return;
+  // Re-checked here because a regroup round may have elapsed since the
+  // diagnosis (no-op on the unilateral path, which enters synchronously).
+  const auto idx = view_.index_of(pred.partition);
+  if (!idx || !(view_.members[*idx] == pred)) return;
   const sim::SimTime diagnosed_at = now();
   const FaultKind kind =
       node_dead ? FaultKind::kNodeFailure : FaultKind::kProcessFailure;
@@ -546,11 +578,24 @@ void GroupServiceDaemon::conclude_meta_failure(const MetaMember& pred, bool node
   // View change: drop the failed member and tell the survivors.
   tombstones_[pred.partition.value] =
       std::max(tombstones_[pred.partition.value], pred.incarnation);
+  const bool fence =
+      params_.failover.mode == FtParams::FailoverPolicy::Mode::kQuorum &&
+      params_.failover.fence_stale_epochs;
   MetaView next = view_;
   next.remove(pred.partition);
   ++next.view_id;
+  if (fence) ++next.epoch;  // quorum takeover: new fencing epoch
   apply_view(next);
   broadcast_view();
+  if (fence) {
+    send_fence();
+    // Tell the deposed member directly (it is no longer in the broadcast
+    // set): a merely-slow suspect that was legitimately removed steps down
+    // the moment this arrives and rejoins at the tail.
+    auto stale = std::make_shared<ViewChangeMsg>();
+    stale->view = view_;
+    send_any(pred.gsd, std::move(stale));
+  }
 
   // Recovery of the failed partition.
   if (!node_dead) {
@@ -559,6 +604,7 @@ void GroupServiceDaemon::conclude_meta_failure(const MetaMember& pred, bool node
     restart->partition = pred.partition;
     restart->create = false;
     restart->request_id = next_request_id_++;
+    restart->epoch = view_.epoch;
     send_any(ppm_at(pred.gsd.node), std::move(restart));
   } else {
     migrate_partition(pred);
@@ -587,6 +633,7 @@ void GroupServiceDaemon::migrate_partition(const MetaMember& failed) {
     start->partition = failed.partition;
     start->create = true;
     start->request_id = next_request_id_++;
+    start->epoch = view_.epoch;
     send_any(ppm_at(targets.front()), std::move(start));
     Event e;
     e.type = std::string(event_types::kGsdMigrated);
@@ -598,17 +645,267 @@ void GroupServiceDaemon::migrate_partition(const MetaMember& failed) {
   });
 }
 
+// --- quorum regroup (FailoverPolicy::quorum()) --------------------------------
+//
+// MSCS-style concurrence before removal: the initiator solicits every other
+// live view member; each voter probes the suspect over its OWN links and
+// votes "concur" only if the suspect is silent from its side too. Majority
+// is floor(n/2)+1 of the view including the suspect, counting the
+// initiator's own observation — so a 2-member view can never depose (no
+// quorum exists), and a member on the minority side of a partition retries
+// until the partition heals instead of split-braining.
+
+void GroupServiceDaemon::begin_regroup(const MetaMember& suspect, bool node_dead,
+                                       sim::SimTime detected_at,
+                                       sim::SimTime last_seen_at) {
+  if (regroup_) return;  // one suspicion resolved at a time
+  Regroup r;
+  r.suspect = suspect;
+  r.node_dead = node_dead;
+  r.detected_at = detected_at;
+  r.last_seen_at = last_seen_at;
+  regroup_ = std::move(r);
+  trace(sim::TraceLevel::kWarn,
+        "regroup: soliciting concurrence to remove partition " +
+            std::to_string(suspect.partition.value));
+  solicit_regroup_round();
+}
+
+void GroupServiceDaemon::solicit_regroup_round() {
+  if (!alive() || !regroup_) return;
+  Regroup& r = *regroup_;
+  // The suspect may have been removed or replaced while we waited (another
+  // member's view change, a completed rejoin): drop the stale regroup.
+  const auto idx = view_.index_of(r.suspect.partition);
+  if (!idx || !(view_.members[*idx] == r.suspect)) {
+    regroup_.reset();
+    return;
+  }
+
+  r.round_id = next_round_id_++;
+  r.view_size = view_.members.size();
+  r.concur = 1;  // our own observation of silence
+  r.dissent = 0;
+  r.done = false;
+  ++r.rounds_run;
+  ++regroup_rounds_;
+
+  for (const MetaMember& m : view_.members) {
+    if (m.partition == partition_ || m.partition == r.suspect.partition) continue;
+    auto msg = std::make_shared<RegroupProposeMsg>();
+    msg->initiator = partition_;
+    msg->suspect = r.suspect.partition;
+    msg->suspect_incarnation = r.suspect.incarnation;
+    msg->view_id = view_.view_id;
+    msg->round_id = r.round_id;
+    msg->reply_to = address();
+    send_all_networks(m.gsd, std::move(msg));
+  }
+
+  const std::uint64_t round = r.round_id;
+  engine().schedule_after(params_.failover.regroup_round_timeout, [this, round] {
+    if (alive() && regroup_ && regroup_->round_id == round && !regroup_->done) {
+      evaluate_regroup(/*round_over=*/true);
+    }
+  });
+  // A 2-member view settles immediately: quorum needs 2, we alone have 1.
+  evaluate_regroup(/*round_over=*/false);
+}
+
+void GroupServiceDaemon::evaluate_regroup(bool round_over) {
+  if (!regroup_ || regroup_->done) return;
+  Regroup& r = *regroup_;
+  const int needed = static_cast<int>(r.view_size / 2 + 1);
+  const int solicited = static_cast<int>(r.view_size) - 2;  // minus us + suspect
+  const int received = (r.concur - 1) + r.dissent;
+  const int outstanding = round_over ? 0 : solicited - received;
+
+  if (r.concur >= needed) {
+    // Majority concurrence: the removal is safe against any single
+    // asymmetric partition. Commit and fence.
+    r.done = true;
+    const Regroup done = r;
+    regroup_.reset();
+    trace(sim::TraceLevel::kWarn,
+          "regroup: quorum reached (" + std::to_string(done.concur) + "/" +
+              std::to_string(needed) + "), removing partition " +
+              std::to_string(done.suspect.partition.value));
+    commit_member_removal(done.suspect, done.node_dead, done.detected_at,
+                          done.last_seen_at);
+    return;
+  }
+  if (r.concur + outstanding < needed) {
+    if (r.dissent > 0) {
+      // Someone can still reach the suspect: our silence is a partition on
+      // OUR side, exactly the split-brain the paper's protocol would act on.
+      cancel_regroup(/*exonerated=*/true);
+    } else {
+      // Not enough reachable voters (minority side / 2-member view).
+      regroup_quorum_lost();
+    }
+  }
+}
+
+void GroupServiceDaemon::regroup_quorum_lost() {
+  if (!regroup_) return;
+  Regroup& r = *regroup_;
+  r.done = true;
+  ++quorum_losses_;
+  trace(sim::TraceLevel::kError,
+        "regroup: quorum lost (round " + std::to_string(r.rounds_run) +
+            "); suspect partition " + std::to_string(r.suspect.partition.value) +
+            " not removed");
+  Event e;
+  e.type = "meta.quorum_lost";
+  e.subject_node = r.suspect.gsd.node;
+  e.attrs = {{"suspect_partition", std::to_string(r.suspect.partition.value)},
+             {"round", std::to_string(r.rounds_run)}};
+  publish(std::move(e));
+
+  if (params_.failover.max_regroup_rounds > 0 &&
+      r.rounds_run >= params_.failover.max_regroup_rounds) {
+    // Give up until the suspicion re-triggers from a fresh silence period.
+    regroup_.reset();
+    std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+    return;
+  }
+  engine().schedule_after(params_.failover.regroup_retry_delay,
+                          [this, round = r.round_id] {
+                            if (alive() && regroup_ &&
+                                regroup_->round_id == round) {
+                              solicit_regroup_round();
+                            }
+                          });
+}
+
+void GroupServiceDaemon::cancel_regroup(bool exonerated) {
+  if (!regroup_) return;
+  const MetaMember suspect = regroup_->suspect;
+  regroup_.reset();
+  if (exonerated) {
+    trace(sim::TraceLevel::kInfo,
+          "regroup: suspect partition " + std::to_string(suspect.partition.value) +
+              " exonerated");
+    if (suspect.partition == pred_partition_) {
+      // Fresh grace window: the suspect must go silent for a full period
+      // again before another regroup starts.
+      std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+      std::fill(pred_net_failed_.begin(), pred_net_failed_.end(), false);
+    }
+  }
+}
+
+void GroupServiceDaemon::handle_regroup_propose(const RegroupProposeMsg& proposal) {
+  // The solicitation travels over every network; answer each round once.
+  auto& last_round = answered_rounds_[proposal.initiator.value];
+  if (proposal.round_id == last_round) return;
+  last_round = proposal.round_id;
+
+  if (proposal.suspect == partition_) {
+    // We are the suspect and evidently alive: dissent.
+    cast_vote(proposal.reply_to, proposal.round_id, false);
+    return;
+  }
+  const auto idx = view_.index_of(proposal.suspect);
+  if (!idx || view_.members[*idx].incarnation != proposal.suspect_incarnation) {
+    // Our view already dropped (or replaced) that member: concur.
+    cast_vote(proposal.reply_to, proposal.round_id, true);
+    return;
+  }
+  const MetaMember suspect = view_.members[*idx];
+
+  // Fresh first-hand evidence: if the suspect is our own ring predecessor
+  // and its heartbeats are current, it is alive — no probe needed.
+  if (suspect.partition == pred_partition_) {
+    const sim::SimTime threshold =
+        params_.heartbeat_interval + params_.heartbeat_grace;
+    for (sim::SimTime seen : pred_last_per_net_) {
+      if (now() - seen <= threshold) {
+        cast_vote(proposal.reply_to, proposal.round_id, false);
+        return;
+      }
+    }
+  }
+
+  // Independent probe over OUR links — the initiator may sit behind a
+  // one-way blackhole that we do not.
+  const std::uint64_t id = next_probe_id_++;
+  vote_probes_.emplace(id, PendingVote{proposal.reply_to, proposal.suspect,
+                                       proposal.round_id});
+  auto probe = std::make_shared<ProbeMsg>();
+  probe->reply_to = address();
+  probe->probe_id = id;
+  send_all_networks(ppm_at(suspect.gsd.node), std::move(probe));
+  engine().schedule_after(params_.failover.regroup_probe_timeout, [this, id] {
+    auto it = vote_probes_.find(id);
+    if (it == vote_probes_.end()) return;  // reply beat the timeout
+    const PendingVote pending = it->second;
+    vote_probes_.erase(it);
+    if (!alive()) return;
+    // Silent from our side too: concur with the removal.
+    cast_vote(pending.reply_to, pending.round_id, true);
+  });
+}
+
+void GroupServiceDaemon::cast_vote(net::Address reply_to, std::uint64_t round_id,
+                                   bool concur) {
+  if (!alive()) return;
+  ++regroup_votes_cast_;
+  auto vote = std::make_shared<RegroupVoteMsg>();
+  vote->voter = partition_;
+  vote->round_id = round_id;
+  vote->concur = concur;
+  send_any(reply_to, std::move(vote));
+}
+
+void GroupServiceDaemon::handle_regroup_vote(const RegroupVoteMsg& vote) {
+  if (!regroup_ || regroup_->done || regroup_->round_id != vote.round_id) return;
+  if (vote.concur) {
+    ++regroup_->concur;
+  } else {
+    ++regroup_->dissent;
+  }
+  evaluate_regroup(/*round_over=*/false);
+}
+
+void GroupServiceDaemon::send_fence() {
+  if (view_.epoch == 0) return;
+  // Raise the fencing watermark everywhere a deposed member could mutate
+  // state: every node's PPM (service starts) and every partition's
+  // checkpoint instance (view/state saves).
+  auto fence = std::make_shared<EpochFenceMsg>();
+  fence->epoch = view_.epoch;
+  for (const auto& node : cluster().nodes()) {
+    send_any(ppm_at(node.id()), fence);
+  }
+  if (directory() != nullptr) {
+    for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
+      send_any(directory()->service_address(
+                   ServiceKind::kCheckpointService,
+                   net::PartitionId{static_cast<std::uint32_t>(p)}),
+               fence);
+    }
+  }
+}
+
 void GroupServiceDaemon::apply_view(MetaView incoming) {
-  if (incoming.view_id < view_.view_id) return;
-  if (incoming.view_id == view_.view_id) {
-    const std::string mine = view_.serialize();
-    const std::string theirs = incoming.serialize();
-    if (theirs == mine) return;
-    // Equal-id conflict (e.g. two concurrent ring founders): pick a
-    // deterministic winner — more members first, then serialization order —
-    // so every member converges on the same view.
-    if (incoming.members.size() < view_.members.size()) return;
-    if (incoming.members.size() == view_.members.size() && theirs > mine) return;
+  // Epoch ordering comes first: a quorum takeover's view beats any view_id
+  // a deposed member can offer, and a stale-epoch view is discarded unseen
+  // (fencing on the membership plane). Both epochs are 0 under the paper's
+  // unilateral policy, so this reduces to the original view_id ordering.
+  if (incoming.epoch < view_.epoch) return;
+  if (incoming.epoch == view_.epoch) {
+    if (incoming.view_id < view_.view_id) return;
+    if (incoming.view_id == view_.view_id) {
+      const std::string mine = view_.serialize();
+      const std::string theirs = incoming.serialize();
+      if (theirs == mine) return;
+      // Equal-id conflict (e.g. two concurrent ring founders): pick a
+      // deterministic winner — more members first, then serialization order —
+      // so every member converges on the same view.
+      if (incoming.members.size() < view_.members.size()) return;
+      if (incoming.members.size() == view_.members.size() && theirs > mine) return;
+    }
   }
 
   // Drop members our tombstones say are dead (stale entries from slow views).
@@ -726,6 +1023,7 @@ void GroupServiceDaemon::try_rejoin() {
     join_retrier_.stop();
     MetaView v;
     v.view_id = view_.view_id + 1;
+    v.epoch = view_.epoch;  // keep the fencing epoch across re-founding
     v.members = {MetaMember{partition_, address(), incarnation_}};
     view_ = std::move(v);
     joined_ = true;
@@ -750,6 +1048,7 @@ void GroupServiceDaemon::fetch_state_and_join() {
     // Nothing to rejoin; adopt a singleton view.
     MetaView v;
     v.view_id = view_.view_id + 1;
+    v.epoch = view_.epoch;
     v.members = {MetaMember{partition_, address(), incarnation_}};
     view_ = v;
     joined_ = true;
@@ -844,6 +1143,7 @@ void GroupServiceDaemon::check_services() {
           start->partition = partition_;
           start->create = create;
           start->request_id = next_request_id_++;
+          start->epoch = view_.epoch;
           send_any(ppm_at(node_id()), std::move(start));
         });
     if (create && spec->kind == ServiceKind::kCheckpointService) {
@@ -894,6 +1194,10 @@ void GroupServiceDaemon::handle_ring_heartbeat(const RingHeartbeatMsg& ring,
              kv.second.meta_member.partition == ring.from_partition;
     });
   }
+  if (regroup_ && regroup_->suspect.partition == ring.from_partition) {
+    // Direct proof of life mid-regroup: exonerate without waiting for votes.
+    cancel_regroup(/*exonerated=*/true);
+  }
   if (pred_net_failed_[env.network.value]) {
     pred_net_failed_[env.network.value] = false;
     Event e;
@@ -906,6 +1210,16 @@ void GroupServiceDaemon::handle_ring_heartbeat(const RingHeartbeatMsg& ring,
 }
 
 void GroupServiceDaemon::handle_probe_reply(const ProbeReplyMsg& reply) {
+  // Voter-side regroup probe: our own reachability check of a solicited
+  // suspect. Alive GSD => dissent; node up but GSD dead => concur.
+  auto vit = vote_probes_.find(reply.probe_id);
+  if (vit != vote_probes_.end()) {
+    const PendingVote pending = vit->second;
+    vote_probes_.erase(vit);
+    cast_vote(pending.reply_to, pending.round_id, !reply.gsd_running);
+    return;
+  }
+
   auto it = probes_.find(reply.probe_id);
   if (it == probes_.end() || it->second.answered) return;
   it->second.answered = true;

@@ -91,6 +91,18 @@ class GroupServiceDaemon final : public ServiceRuntime {
   bool is_princess() const;
   std::uint64_t incarnation() const noexcept { return incarnation_; }
 
+  /// Current meta-group fencing epoch (0 until the first quorum takeover;
+  /// always 0 under the paper's unilateral policy).
+  std::uint64_t meta_epoch() const noexcept { return view_.epoch; }
+  /// True while a regroup round (quorum solicitation) is in flight.
+  bool regroup_active() const noexcept { return regroup_.has_value(); }
+  /// Regroup rounds this member has initiated / rounds that ended without a
+  /// quorum (minority side of a partition, or a 2-member view).
+  std::uint64_t regroup_rounds() const noexcept { return regroup_rounds_; }
+  std::uint64_t quorum_losses() const noexcept { return quorum_losses_; }
+  /// Concurrence votes this member cast as a solicited voter.
+  std::uint64_t regroup_votes_cast() const noexcept { return regroup_votes_cast_; }
+
   /// Registers an extension service on this node for supervision.
   void supervise(SupervisedSpec spec);
 
@@ -106,6 +118,9 @@ class GroupServiceDaemon final : public ServiceRuntime {
   /// CheckpointLoadReplyMsg handler — recovery here is fetch_state_and_join,
   /// not the runtime's generic restore-then-announce loop).
   std::string snapshot() const override { return view_.serialize(); }
+  /// GSD checkpoint saves are stamped with the meta-group epoch so a deposed
+  /// instance cannot overwrite its successor's view (0 under unilateral).
+  std::uint64_t fence_epoch() const override { return view_.epoch; }
 
   // -- partition monitoring --
   void handle_heartbeat(const HeartbeatMsg& hb, net::NetworkId network);
@@ -129,12 +144,26 @@ class GroupServiceDaemon final : public ServiceRuntime {
   void check_meta();
   void conclude_meta_failure(const MetaMember& pred, bool node_dead,
                              sim::SimTime detected_at, sim::SimTime last_seen_at);
+  void commit_member_removal(const MetaMember& pred, bool node_dead,
+                             sim::SimTime detected_at, sim::SimTime last_seen_at);
   void apply_view(MetaView incoming);
   void broadcast_view();
   void handle_join(const MetaJoinMsg& join);
   void try_rejoin();
   void fetch_state_and_join();
   void migrate_partition(const MetaMember& failed);
+
+  // -- quorum regroup (FailoverPolicy::quorum()) --
+  void begin_regroup(const MetaMember& suspect, bool node_dead,
+                     sim::SimTime detected_at, sim::SimTime last_seen_at);
+  void solicit_regroup_round();
+  void evaluate_regroup(bool round_over);
+  void regroup_quorum_lost();
+  void cancel_regroup(bool exonerated);
+  void handle_regroup_propose(const RegroupProposeMsg& proposal);
+  void handle_regroup_vote(const RegroupVoteMsg& vote);
+  void cast_vote(net::Address reply_to, std::uint64_t round_id, bool concur);
+  void send_fence();
 
   // -- supervision --
   void check_services();
@@ -192,6 +221,38 @@ class GroupServiceDaemon final : public ServiceRuntime {
   net::PartitionId pred_partition_{};
   bool pred_diagnosing_ = false;
   std::unordered_map<std::uint32_t, std::uint64_t> tombstones_;  // partition -> incarnation
+
+  // Quorum regroup state (initiator side). One regroup at a time: the view
+  // change it commits re-evaluates every other suspicion anyway.
+  struct Regroup {
+    MetaMember suspect;
+    bool node_dead = false;
+    sim::SimTime detected_at = 0;
+    sim::SimTime last_seen_at = 0;
+    std::uint64_t round_id = 0;
+    std::size_t view_size = 0;  // members at solicitation, incl. us + suspect
+    int concur = 0;             // incl. our own observation
+    int dissent = 0;
+    int rounds_run = 0;
+    bool done = false;          // round settled; ignore stragglers
+  };
+  std::optional<Regroup> regroup_;
+  std::uint64_t next_round_id_ = 1;
+  std::uint64_t regroup_rounds_ = 0;
+  std::uint64_t quorum_losses_ = 0;
+  std::uint64_t regroup_votes_cast_ = 0;
+
+  // Voter side: independent suspect probes in flight, keyed by probe id.
+  struct PendingVote {
+    net::Address reply_to;
+    net::PartitionId suspect;
+    std::uint64_t round_id = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingVote> vote_probes_;
+  // Initiator partition -> last round answered (dedups the multi-network
+  // delivery of RegroupProposeMsg so each round gets exactly one vote).
+  std::unordered_map<std::uint32_t, std::uint64_t> answered_rounds_;
+
   bool joined_ = false;
   bool booted_with_view_ = false;
   bool bootstrap_requested_ = false;

@@ -1,0 +1,85 @@
+// Split-brain invariant monitor.
+//
+// Samples every partition's current GSD on a fixed period and checks the
+// property the quorum failover policy exists to guarantee: at no instant may
+// two distinct partitions both claim meta-group leadership at the SAME
+// fencing epoch. A deposed Leader briefly claiming leadership at a STALE
+// epoch is permitted — that is exactly the state epoch fencing neutralises
+// (its mutating RPCs bounce off every ServiceRuntime's watermark).
+//
+// Used by the fault-matrix bench and the regroup tests; header-only so the
+// harnesses can instantiate it next to any PhoenixKernel.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "kernel/kernel.h"
+#include "sim/engine.h"
+
+namespace phoenix::kernel {
+
+class LeaderInvariantMonitor {
+ public:
+  /// Starts sampling immediately; keep the monitor alive for the whole run.
+  explicit LeaderInvariantMonitor(PhoenixKernel& kernel,
+                                  sim::SimTime period = 10 * sim::kMillisecond)
+      : kernel_(kernel),
+        engine_(kernel.cluster().engine()),
+        sampler_(engine_, period, [this] { sample(); }) {
+    sampler_.start_after(0);
+  }
+
+  std::uint64_t samples() const noexcept { return samples_; }
+  /// Samples at which >= 2 partitions led with the same epoch.
+  std::uint64_t violations() const noexcept { return violations_; }
+  /// Worst simultaneous same-epoch leader count ever observed.
+  int max_same_epoch_leaders() const noexcept { return max_leaders_; }
+  sim::SimTime first_violation_at() const noexcept { return first_violation_at_; }
+  /// Longest observed stretch with NO live leader at all — the meta-group's
+  /// unavailability window during a takeover (quantised to the period).
+  sim::SimTime max_leaderless() const noexcept { return max_leaderless_; }
+
+ private:
+  void sample() {
+    ++samples_;
+    claims_.clear();
+    int worst = 0;
+    bool any_leader = false;
+    for (std::size_t p = 0; p < kernel_.partition_count(); ++p) {
+      auto& gsd = kernel_.gsd(net::PartitionId{static_cast<std::uint32_t>(p)});
+      if (!gsd.alive() || !gsd.is_leader()) continue;
+      any_leader = true;
+      worst = std::max(worst, ++claims_[gsd.meta_epoch()]);
+    }
+    max_leaders_ = std::max(max_leaders_, worst);
+    if (any_leader) {
+      leaderless_ = false;
+    } else {
+      if (!leaderless_) {
+        leaderless_ = true;
+        leaderless_since_ = engine_.now();
+      }
+      max_leaderless_ =
+          std::max(max_leaderless_, engine_.now() - leaderless_since_);
+    }
+    if (worst >= 2) {
+      if (violations_ == 0) first_violation_at_ = engine_.now();
+      ++violations_;
+    }
+  }
+
+  PhoenixKernel& kernel_;
+  sim::Engine& engine_;
+  std::unordered_map<std::uint64_t, int> claims_;  // epoch -> leader count
+  std::uint64_t samples_ = 0;
+  std::uint64_t violations_ = 0;
+  int max_leaders_ = 0;
+  sim::SimTime first_violation_at_ = 0;
+  bool leaderless_ = false;
+  sim::SimTime leaderless_since_ = 0;
+  sim::SimTime max_leaderless_ = 0;
+  sim::PeriodicTask sampler_;
+};
+
+}  // namespace phoenix::kernel

@@ -7,6 +7,9 @@ namespace phoenix::kernel {
 std::string MetaView::serialize() const {
   std::ostringstream out;
   out << view_id;
+  // The epoch token is emitted only when nonzero so pre-quorum views (and
+  // everything the paper experiments checkpoint) keep their legacy bytes.
+  if (epoch != 0) out << "|@" << epoch;
   for (const auto& m : members) {
     out << '|' << m.partition.value << ',' << m.gsd.node.value << ','
         << m.gsd.port.value << ',' << m.incarnation;
@@ -25,6 +28,14 @@ MetaView MetaView::deserialize(const std::string& data) {
     return view;
   }
   while (std::getline(in, field, '|')) {
+    if (!field.empty() && field.front() == '@') {
+      try {
+        view.epoch = std::stoull(field.substr(1));
+      } catch (const std::exception&) {
+        // Malformed epoch token: leave it at 0 (unfenced).
+      }
+      continue;
+    }
     std::istringstream member(field);
     std::string part, node, port, inc;
     if (std::getline(member, part, ',') && std::getline(member, node, ',') &&

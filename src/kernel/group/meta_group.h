@@ -32,6 +32,12 @@ struct MetaMember {
 
 struct MetaView {
   std::uint64_t view_id = 0;
+  /// Fencing epoch, bumped once per quorum takeover (FailoverPolicy::quorum()
+  /// with fence_stale_epochs). Stays 0 forever under the paper's unilateral
+  /// policy, and a zero epoch is omitted from the serialized form, so legacy
+  /// views are byte-identical. A view with a higher epoch beats any view_id;
+  /// a stale-epoch view is discarded unseen.
+  std::uint64_t epoch = 0;
   std::vector<MetaMember> members;  // join order; [0]=Leader, [1]=Princess
 
   std::optional<std::size_t> index_of(net::PartitionId p) const {
@@ -91,7 +97,7 @@ struct ViewChangeMsg final : net::Message {
 
   PHOENIX_MESSAGE_TYPE("meta.view_change")
   std::size_t wire_size() const noexcept override {
-    return 16 + view.members.size() * 12;
+    return 16 + view.members.size() * 12 + (view.epoch != 0 ? 8 : 0);
   }
 };
 
@@ -100,6 +106,34 @@ struct MetaJoinMsg final : net::Message {
   MetaMember member;
 
   PHOENIX_MESSAGE_TYPE("meta.join")
+  std::size_t wire_size() const noexcept override { return 16; }
+};
+
+/// Quorum regroup solicitation (FailoverPolicy::quorum() only; never on the
+/// wire under the paper's unilateral policy). The initiator — the member
+/// next to a silent predecessor — asks every other live view member to
+/// concur with the removal before acting on its own suspicion.
+struct RegroupProposeMsg final : net::Message {
+  net::PartitionId initiator;
+  net::PartitionId suspect;
+  std::uint64_t suspect_incarnation = 0;
+  std::uint64_t view_id = 0;
+  std::uint64_t round_id = 0;
+  net::Address reply_to;
+
+  PHOENIX_MESSAGE_TYPE("meta.regroup_propose")
+  std::size_t wire_size() const noexcept override { return 40; }
+};
+
+/// A voter's answer: `concur` when the suspect looks dead from the voter's
+/// side too (its own connectivity, probed independently — that is what
+/// defeats one-directional partitions fooling the initiator).
+struct RegroupVoteMsg final : net::Message {
+  net::PartitionId voter;
+  std::uint64_t round_id = 0;
+  bool concur = false;
+
+  PHOENIX_MESSAGE_TYPE("meta.regroup_vote")
   std::size_t wire_size() const noexcept override { return 16; }
 };
 

@@ -138,6 +138,15 @@ void ProcessManager::handle_start_service(const StartServiceMsg& msg) {
   auto reply = std::make_shared<StartServiceReplyMsg>();
   reply->request_id = msg.request_id;
 
+  if (!admit_epoch(msg.epoch)) {
+    // A deposed meta-group member ordering restarts/migrations with its
+    // pre-takeover epoch: refuse, or it could resurrect services the new
+    // Leader is already recovering elsewhere.
+    reply->fenced = true;
+    if (msg.reply_to.valid()) send_any(msg.reply_to, std::move(reply));
+    return;
+  }
+
   cluster::Daemon* target = nullptr;
   if (msg.create) {
     if (directory() != nullptr) {

@@ -131,18 +131,26 @@ struct StartServiceMsg final : net::Message {
   bool create = false;  // false: restart existing instance object on this node
   net::Address reply_to;
   std::uint64_t request_id = 0;
+  /// Sender's meta-group epoch (fencing). 0 = unfenced legacy traffic: the
+  /// paper's unilateral policy never stamps it, keeping the wire identical.
+  std::uint64_t epoch = 0;
 
   PHOENIX_MESSAGE_TYPE("ppm.start_service")
-  std::size_t wire_size() const noexcept override { return extension.size() + 24; }
+  std::size_t wire_size() const noexcept override {
+    return extension.size() + 24 + (epoch != 0 ? 8 : 0);
+  }
 };
 
 struct StartServiceReplyMsg final : net::Message {
   std::uint64_t request_id = 0;
   bool ok = false;
+  /// Rejected by the epoch fence: the requester's epoch predates a quorum
+  /// takeover this node has already witnessed.
+  bool fenced = false;
   net::Address service;
 
   PHOENIX_MESSAGE_TYPE("ppm.start_service_reply")
-  std::size_t wire_size() const noexcept override { return 24; }
+  std::size_t wire_size() const noexcept override { return 24 + (fenced ? 1 : 0); }
 };
 
 /// Parallel command over a node set, executed with tree fan-out.

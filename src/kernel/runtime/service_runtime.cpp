@@ -15,6 +15,9 @@ ServiceRuntime::ServiceRuntime(cluster::Cluster& cluster, std::string name,
       opts_(std::move(opts)),
       metrics_(&cluster.metrics()),
       spans_(&cluster.span_store()) {
+  // Every runtime understands the fencing broadcast; under the unilateral
+  // policy the message simply never arrives.
+  on<EpochFenceMsg>([this](const EpochFenceMsg& fence) { admit_epoch(fence.epoch); });
   if (opts_.recover_on_start) {
     // The recovery loop is the only handler the runtime registers itself; a
     // service that needs CheckpointLoadReplyMsg for its own protocol (the
@@ -27,6 +30,16 @@ ServiceRuntime::ServiceRuntime(cluster::Cluster& cluster, std::string name,
 }
 
 ServiceRuntime::~ServiceRuntime() = default;
+
+bool ServiceRuntime::admit_epoch(std::uint64_t epoch) {
+  if (epoch == 0) return true;  // legacy / unfenced traffic
+  if (epoch >= witnessed_epoch_) {
+    witnessed_epoch_ = epoch;
+    return true;
+  }
+  ++counters_.fenced_rejections;
+  return false;
+}
 
 void ServiceRuntime::handle(const net::Envelope& env) {
   const net::MessageTypeId id = env.message->type_id();
@@ -145,6 +158,7 @@ void ServiceRuntime::save_state() {
   save->service = opts_.checkpoint_namespace;
   save->key = opts_.checkpoint_key;
   save->data = snapshot();
+  save->epoch = fence_epoch();
   ++counters_.snapshots_saved;
   last_save_time_ = now();
   ever_saved_ = true;

@@ -58,6 +58,9 @@ struct RuntimeCounters {
   std::uint64_t restores = 0;
   /// Times this instance came up as a failover replacement.
   std::uint64_t takeovers = 0;
+  /// Mutating requests rejected because they carried a stale (nonzero,
+  /// below-watermark) meta-group epoch — a fenced ex-Leader knocking.
+  std::uint64_t fenced_rejections = 0;
 };
 
 /// Periodic per-service health row published into the partition's bulletin
@@ -117,6 +120,10 @@ class ServiceRuntime : public cluster::Daemon {
   /// Marks the next start() as a failover takeover (called by the directory
   /// when it creates this instance as a replacement for a failed one).
   void mark_takeover() noexcept { pending_takeover_ = true; }
+
+  /// Highest meta-group epoch this runtime has witnessed (EpochFenceMsg or
+  /// an admitted epoch-stamped request). 0 until the first quorum takeover.
+  std::uint64_t witnessed_epoch() const noexcept { return witnessed_epoch_; }
 
  protected:
   /// `directory` and `params` may be null for standalone use in unit tests;
@@ -213,6 +220,18 @@ class ServiceRuntime : public cluster::Daemon {
   /// Delivered envelope with no registered handler (default: drop).
   virtual void on_unhandled(const net::Envelope& env) { (void)env; }
 
+  /// Epoch fencing gate for mutating requests. Epoch 0 is legacy/unfenced
+  /// traffic and always passes (the paper's unilateral policy never stamps
+  /// epochs, so its behaviour is untouched). A nonzero epoch at or above the
+  /// watermark is admitted and raises it; a stale one is rejected and
+  /// counted — the caller must drop or fail the request.
+  bool admit_epoch(std::uint64_t epoch);
+
+  /// Epoch this service stamps into its own mutating RPCs (checkpoint
+  /// saves). 0 for every service except the GSD, which returns its
+  /// meta-group epoch so a deposed instance's writes can be fenced.
+  virtual std::uint64_t fence_epoch() const { return 0; }
+
   /// Reports this instance up to the partition's GSD (closes open fault
   /// records). No-op without a directory.
   void announce_up();
@@ -256,6 +275,7 @@ class ServiceRuntime : public cluster::Daemon {
   const char* serve_outcome_ = nullptr;
 
   bool pending_takeover_ = false;
+  std::uint64_t witnessed_epoch_ = 0;
 
   // recover-on-start state (mirrors the original EventService protocol)
   int recovery_attempts_left_ = 0;

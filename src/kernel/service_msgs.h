@@ -22,4 +22,16 @@ struct ServiceUpMsg final : net::Message {
   std::size_t wire_size() const noexcept override { return extension.size() + 24; }
 };
 
+/// Broadcast by a quorum takeover initiator after it bumps the meta-group
+/// epoch: every ServiceRuntime that hears it raises its fencing high-water
+/// mark, so mutating kernel RPCs still stamped with the deposed member's
+/// older epoch are rejected. Never sent under the paper's unilateral
+/// failover policy (epochs stay 0 there and fencing is inert).
+struct EpochFenceMsg final : net::Message {
+  std::uint64_t epoch = 0;
+
+  PHOENIX_MESSAGE_TYPE("runtime.epoch_fence")
+  std::size_t wire_size() const noexcept override { return 8; }
+};
+
 }  // namespace phoenix::kernel

@@ -58,6 +58,32 @@ bool Fabric::any_path(NodeId a, NodeId b) const {
   return false;
 }
 
+void Fabric::set_link_blocked(NodeId from, NodeId to, bool blocked) {
+  if (blocked) {
+    blocked_links_.insert(link_key(from, to));
+  } else {
+    blocked_links_.erase(link_key(from, to));
+  }
+}
+
+bool Fabric::link_blocked(NodeId from, NodeId to) const {
+  return !blocked_links_.empty() && blocked_links_.count(link_key(from, to)) > 0;
+}
+
+void Fabric::clear_blocked_links() { blocked_links_.clear(); }
+
+void Fabric::set_node_send_delay(NodeId node, sim::SimTime extra) {
+  if (send_delay_.empty()) {
+    if (extra == 0) return;
+    send_delay_.assign(node_count_, 0);
+  }
+  send_delay_.at(node.value) = extra;
+}
+
+sim::SimTime Fabric::node_send_delay(NodeId node) const {
+  return send_delay_.empty() ? 0 : send_delay_.at(node.value);
+}
+
 void Fabric::record_wire_span(const Message& message, sim::SimTime start,
                               sim::SimTime end, const char* outcome) {
   // Root a fresh trace when no ambient context exists, so standalone sends
@@ -91,6 +117,13 @@ bool Fabric::send(const Address& from, const Address& to, NetworkId network,
   st.bytes_sent += bytes;
   st.bytes_by_type.slot(message->type_id()) += bytes;
 
+  if (!blocked_links_.empty() &&
+      blocked_links_.count(link_key(from.node, to.node)) > 0) {
+    ++st.messages_lost;  // directional blackhole; sender cannot tell
+    if (traced) record_wire_span(*message, engine_.now(), engine_.now(), "lost");
+    return true;
+  }
+
   if (drop_ && drop_(from, to, *message)) {
     ++st.messages_lost;  // targeted fault injection; sender cannot tell
     if (traced) record_wire_span(*message, engine_.now(), engine_.now(), "lost");
@@ -107,7 +140,8 @@ bool Fabric::send(const Address& from, const Address& to, NetworkId network,
   const bool cross_group =
       group_size_ > 0 &&
       from.node.value / group_size_ != to.node.value / group_size_;
-  const sim::SimTime latency = latency_.sample(bytes, engine_.rng(), cross_group);
+  sim::SimTime latency = latency_.sample(bytes, engine_.rng(), cross_group);
+  if (!send_delay_.empty()) latency += send_delay_[from.node.value];
   Envelope env{from, to, network, std::move(message)};
 
   if (traced) {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "net/message.h"
@@ -129,6 +130,26 @@ class Fabric {
   /// True when at least one network connects the two nodes end to end.
   bool any_path(NodeId a, NodeId b) const;
 
+  // --- adversarial link weather --------------------------------------------
+  //
+  // Unlike interface cuts (visible to both ends as a down NIC), these model
+  // the faults that fool naive failure detection: traffic silently vanishes
+  // in ONE direction, or a node's sends all run late. Both interfaces stay
+  // administratively up throughout.
+
+  /// Blocks (or unblocks) every message from `from`'s node to `to`'s node,
+  /// on every network, in that direction only — the asymmetric-partition
+  /// primitive. Blocked messages count as messages_lost; the sender cannot
+  /// tell. The reverse direction is unaffected.
+  void set_link_blocked(NodeId from, NodeId to, bool blocked);
+  bool link_blocked(NodeId from, NodeId to) const;
+  void clear_blocked_links();
+
+  /// Adds `extra` to the latency of every message `node` originates (a slow
+  /// node: heartbeats arrive late but the node is not dead). 0 clears.
+  void set_node_send_delay(NodeId node, sim::SimTime extra);
+  sim::SimTime node_send_delay(NodeId node) const;
+
   // --- sending -----------------------------------------------------------
 
   /// Sends `message` from->to over `network`. Returns true if it was put on
@@ -157,6 +178,10 @@ class Fabric {
   void record_wire_span(const Message& message, sim::SimTime start,
                         sim::SimTime end, const char* outcome);
 
+  static std::uint64_t link_key(NodeId from, NodeId to) noexcept {
+    return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  }
+
   sim::Engine& engine_;
   std::size_t node_count_;
   std::size_t network_count_;
@@ -166,6 +191,8 @@ class Fabric {
   DeliveryHandler deliver_;
   NodeAlivePredicate node_alive_;
   DropFilter drop_;
+  std::unordered_set<std::uint64_t> blocked_links_;  // directional, link_key()
+  std::vector<sim::SimTime> send_delay_;             // [node]; empty until used
   std::vector<NetworkStats> stats_;
   obs::SpanStore* spans_ = nullptr;
 };

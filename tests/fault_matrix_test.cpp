@@ -3,6 +3,10 @@
 // outages. The invariant under test is always the same: the kernel ends in
 // a consistent state (ring converged, services supervised, no stuck
 // diagnosis) whenever recovery is physically possible.
+//
+// Every injection here is authored as a declarative faults::Scenario and
+// compiled onto the harness with play(); multi-phase tests that assert
+// between injections use one scenario per phase.
 #include <gtest/gtest.h>
 
 #include "kernel_fixture.h"
@@ -43,9 +47,10 @@ class FaultMatrixTest : public ::testing::Test {
 };
 
 TEST_F(FaultMatrixTest, TwoServerNodesCrashSimultaneously) {
-  h.injector.crash_node(h.cluster.server_node(net::PartitionId{1}));
-  h.injector.crash_node(h.cluster.server_node(net::PartitionId{2}));
-  h.run_s(40.0);
+  faults::Scenario s;
+  s.crash_rack({h.cluster.server_node(net::PartitionId{1}),
+                h.cluster.server_node(net::PartitionId{2})});
+  h.play(s, 40.0);
 
   expect_converged(4);
   for (std::uint32_t p : {1u, 2u}) {
@@ -56,9 +61,10 @@ TEST_F(FaultMatrixTest, TwoServerNodesCrashSimultaneously) {
 }
 
 TEST_F(FaultMatrixTest, LeaderAndPrincessCrashTogether) {
-  h.injector.crash_node(h.cluster.server_node(net::PartitionId{0}));
-  h.injector.crash_node(h.cluster.server_node(net::PartitionId{1}));
-  h.run_s(45.0);
+  faults::Scenario s;
+  s.crash_rack({h.cluster.server_node(net::PartitionId{0}),
+                h.cluster.server_node(net::PartitionId{1})});
+  h.play(s, 45.0);
 
   expect_converged(4);
   // Someone from {2,3} must have taken the lead before the recovered
@@ -71,12 +77,11 @@ TEST_F(FaultMatrixTest, LeaderAndPrincessCrashTogether) {
 TEST_F(FaultMatrixTest, BackupDiesDuringMigration) {
   const net::NodeId server = h.cluster.server_node(net::PartitionId{1});
   const auto backups = h.cluster.backup_nodes(net::PartitionId{1});
-  h.injector.crash_node(server);
   // Kill the first backup while detection/diagnosis is still running, so
   // the migration must pick the second backup.
-  h.run_s(1.0);
-  h.injector.crash_node(backups[0]);
-  h.run_s(40.0);
+  faults::Scenario s;
+  s.crash_node(server).after(1 * sim::kSecond).crash_node(backups[0]);
+  h.play(s, 40.0);
 
   auto& gsd = h.kernel.gsd(net::PartitionId{1});
   EXPECT_TRUE(gsd.alive());
@@ -86,13 +91,15 @@ TEST_F(FaultMatrixTest, BackupDiesDuringMigration) {
 
 TEST_F(FaultMatrixTest, MigratedServerDiesAgain) {
   const net::NodeId server = h.cluster.server_node(net::PartitionId{2});
-  h.injector.crash_node(server);
-  h.run_s(25.0);
+  faults::Scenario crash;
+  crash.crash_node(server);
+  h.play(crash, 25.0);
   const net::NodeId first_target = h.kernel.gsd(net::PartitionId{2}).node_id();
   ASSERT_NE(first_target, server);
 
-  h.injector.crash_node(first_target);
-  h.run_s(40.0);
+  faults::Scenario again;
+  again.crash_node(first_target);
+  h.play(again, 40.0);
   auto& gsd = h.kernel.gsd(net::PartitionId{2});
   EXPECT_TRUE(gsd.alive());
   EXPECT_NE(gsd.node_id(), server);
@@ -103,22 +110,24 @@ TEST_F(FaultMatrixTest, MigratedServerDiesAgain) {
 TEST_F(FaultMatrixTest, WholeNetworkOutageSurvivedByRedundancy) {
   // Losing one of three networks cluster-wide must not trigger any node
   // or process failure handling — heartbeats keep flowing on the others.
-  h.injector.fail_network(net::NetworkId{0});
-  h.run_s(20.0);
+  faults::Scenario outage;
+  outage.fail_network(net::NetworkId{0});
+  h.play(outage, 20.0);
   for (const auto& record : h.kernel.fault_log().records()) {
     EXPECT_EQ(record.kind, FaultKind::kNetworkFailure) << record.component;
   }
   expect_converged(4);
 
-  h.injector.restore_network(net::NetworkId{0});
-  h.run_s(10.0);
+  faults::Scenario heal;
+  heal.restore_network(net::NetworkId{0});
+  h.play(heal, 10.0);
   expect_converged(4);
 }
 
 TEST_F(FaultMatrixTest, TwoNetworksDownStillNoFalseNodeFailure) {
-  h.injector.fail_network(net::NetworkId{0});
-  h.injector.fail_network(net::NetworkId{2});
-  h.run_s(20.0);
+  faults::Scenario s;
+  s.fail_network(net::NetworkId{0}).fail_network(net::NetworkId{2});
+  h.play(s, 20.0);
   for (const auto& record : h.kernel.fault_log().records()) {
     EXPECT_EQ(record.kind, FaultKind::kNetworkFailure) << record.component;
   }
@@ -128,20 +137,20 @@ TEST_F(FaultMatrixTest, TwoNetworksDownStillNoFalseNodeFailure) {
 TEST_F(FaultMatrixTest, EsDiesWhileCheckpointServiceIsAlsoDead) {
   // Without its checkpoint instance the recovering ES retries and finally
   // comes up with an empty registry — degraded but alive.
-  h.injector.kill_daemon(h.kernel.checkpoint_service(net::PartitionId{1}));
-  h.injector.kill_daemon(h.kernel.event_service(net::PartitionId{1}));
-  h.run_s(40.0);
+  faults::Scenario s;
+  s.kill_daemon(h.kernel.checkpoint_service(net::PartitionId{1}))
+      .kill_daemon(h.kernel.event_service(net::PartitionId{1}));
+  h.play(s, 40.0);
   EXPECT_TRUE(h.kernel.event_service(net::PartitionId{1}).alive());
   EXPECT_TRUE(h.kernel.checkpoint_service(net::PartitionId{1}).alive());
 }
 
 TEST_F(FaultMatrixTest, RepeatedWdCrashesAlwaysRecovered) {
   const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{3})[1];
-  for (int round = 0; round < 4; ++round) {
-    h.injector.kill_daemon(h.kernel.watch_daemon(victim));
-    h.run_s(10.0);
-    EXPECT_TRUE(h.kernel.watch_daemon(victim).alive()) << "round " << round;
-  }
+  faults::Scenario s;
+  s.restart_storm(h.kernel.watch_daemon(victim), 4, 10 * sim::kSecond);
+  h.play(s, 10.0);
+  EXPECT_TRUE(h.kernel.watch_daemon(victim).alive());
   std::size_t recovered = 0;
   for (const auto& record : h.kernel.fault_log().records()) {
     if (record.component == "WD" && record.recovered) ++recovered;
@@ -150,33 +159,31 @@ TEST_F(FaultMatrixTest, RepeatedWdCrashesAlwaysRecovered) {
 }
 
 TEST_F(FaultMatrixTest, HalfTheComputeNodesDie) {
-  std::size_t crashed = 0;
+  std::vector<net::NodeId> victims;
   for (std::uint32_t p = 0; p < 4; ++p) {
     const auto computes = h.cluster.compute_nodes(net::PartitionId{p});
     for (std::size_t i = 0; i < computes.size() / 2; ++i) {
-      h.injector.crash_node(computes[i]);
-      ++crashed;
+      victims.push_back(computes[i]);
     }
   }
-  h.run_s(30.0);
+  faults::Scenario s;
+  s.crash_rack(victims);
+  h.play(s, 30.0);
   std::size_t node_failures = 0;
   for (const auto& record : h.kernel.fault_log().records()) {
     if (record.component == "WD" && record.kind == FaultKind::kNodeFailure) {
       ++node_failures;
     }
   }
-  EXPECT_EQ(node_failures, crashed);
+  EXPECT_EQ(node_failures, victims.size());
   expect_converged(4);
 }
 
 TEST_F(FaultMatrixTest, FlappingInterfaceProducesPairedEvents) {
   const net::NodeId victim = h.cluster.compute_nodes(net::PartitionId{0})[0];
-  for (int round = 0; round < 3; ++round) {
-    h.injector.cut_interface(victim, net::NetworkId{1});
-    h.run_s(6.0);
-    h.injector.restore_interface(victim, net::NetworkId{1});
-    h.run_s(6.0);
-  }
+  faults::Scenario s;
+  s.flap_link(victim, net::NetworkId{1}, 12 * sim::kSecond, 3);
+  h.play(s, 6.0);
   std::size_t network_faults = 0;
   for (const auto& record : h.kernel.fault_log().records()) {
     if (record.kind == FaultKind::kNetworkFailure && record.node == victim) {

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "faults/fault_injector.h"
+#include "faults/scenario.h"
 #include "kernel/kernel.h"
 
 namespace phoenix::testing {
@@ -30,6 +31,13 @@ struct KernelHarness {
       if (!cluster.engine().step()) break;
     }
     run(10 * sim::kMillisecond);
+  }
+
+  /// Compiles a declarative fault scenario at the current instant and runs
+  /// the simulation until `tail_s` seconds past its last scheduled step.
+  void play(const faults::Scenario& scenario, double tail_s) {
+    scenario.apply(injector, cluster.now());
+    run_s(sim::to_seconds(scenario.duration()) + tail_s);
   }
 
   cluster::Cluster cluster;
