@@ -66,8 +66,16 @@ GroupServiceDaemon::GroupServiceDaemon(cluster::Cluster& cluster, net::NodeId no
   });
 }
 
+std::uint64_t GroupServiceDaemon::epoch_floor() const noexcept {
+  return params_.failover.mode == FtParams::FailoverPolicy::Mode::kQuorum &&
+                 params_.failover.fence_stale_epochs
+             ? 1
+             : 0;
+}
+
 void GroupServiceDaemon::set_initial_view(MetaView view) {
   view_ = std::move(view);
+  view_.epoch = std::max(view_.epoch, epoch_floor());
   joined_ = view_.contains(partition_);
   booted_with_view_ = true;
   pred_partition_ = net::PartitionId{};
@@ -155,6 +163,7 @@ void GroupServiceDaemon::on_service_start() {
     bootstrap_requested_ = false;
     MetaView v;
     v.view_id = 1;
+    v.epoch = std::max(view_.epoch, epoch_floor());
     v.members = {MetaMember{partition_, address(), incarnation_}};
     view_ = std::move(v);
     joined_ = true;
@@ -687,6 +696,7 @@ void GroupServiceDaemon::solicit_regroup_round() {
   r.concur = 1;  // our own observation of silence
   r.dissent = 0;
   r.done = false;
+  r.voters.clear();
   ++r.rounds_run;
   ++regroup_rounds_;
 
@@ -715,14 +725,23 @@ void GroupServiceDaemon::solicit_regroup_round() {
 void GroupServiceDaemon::evaluate_regroup(bool round_over) {
   if (!regroup_ || regroup_->done) return;
   Regroup& r = *regroup_;
+  if (r.dissent > 0) {
+    // Someone can still reach the suspect: our silence is a partition on
+    // OUR side, exactly the split-brain the paper's protocol would act on.
+    // One dissent vetoes the removal outright — even a majority of
+    // concurrences only proves the suspect is cut off from SOME members,
+    // not dead (docs/PROTOCOLS.md: "one dissent cancels the regroup").
+    cancel_regroup(/*exonerated=*/true);
+    return;
+  }
   const int needed = static_cast<int>(r.view_size / 2 + 1);
   const int solicited = static_cast<int>(r.view_size) - 2;  // minus us + suspect
   const int received = (r.concur - 1) + r.dissent;
   const int outstanding = round_over ? 0 : solicited - received;
 
   if (r.concur >= needed) {
-    // Majority concurrence: the removal is safe against any single
-    // asymmetric partition. Commit and fence.
+    // Unanimous-so-far majority concurrence: the removal is safe against
+    // any single asymmetric partition. Commit and fence.
     r.done = true;
     const Regroup done = r;
     regroup_.reset();
@@ -735,14 +754,8 @@ void GroupServiceDaemon::evaluate_regroup(bool round_over) {
     return;
   }
   if (r.concur + outstanding < needed) {
-    if (r.dissent > 0) {
-      // Someone can still reach the suspect: our silence is a partition on
-      // OUR side, exactly the split-brain the paper's protocol would act on.
-      cancel_regroup(/*exonerated=*/true);
-    } else {
-      // Not enough reachable voters (minority side / 2-member view).
-      regroup_quorum_lost();
-    }
+    // Not enough reachable voters (minority side / 2-member view).
+    regroup_quorum_lost();
   }
 }
 
@@ -860,10 +873,21 @@ void GroupServiceDaemon::cast_vote(net::Address reply_to, std::uint64_t round_id
 
 void GroupServiceDaemon::handle_regroup_vote(const RegroupVoteMsg& vote) {
   if (!regroup_ || regroup_->done || regroup_->round_id != vote.round_id) return;
+  Regroup& r = *regroup_;
+  // One counted vote per current view member per round: neither we nor the
+  // suspect were solicited, a non-member has no say, and a retried or
+  // multi-path duplicate must not be double-counted toward quorum.
+  if (vote.voter == partition_ || vote.voter == r.suspect.partition) return;
+  if (!view_.index_of(vote.voter)) return;
+  if (std::find(r.voters.begin(), r.voters.end(), vote.voter.value) !=
+      r.voters.end()) {
+    return;
+  }
+  r.voters.push_back(vote.voter.value);
   if (vote.concur) {
-    ++regroup_->concur;
+    ++r.concur;
   } else {
-    ++regroup_->dissent;
+    ++r.dissent;
   }
   evaluate_regroup(/*round_over=*/false);
 }
@@ -1023,7 +1047,10 @@ void GroupServiceDaemon::try_rejoin() {
     join_retrier_.stop();
     MetaView v;
     v.view_id = view_.view_id + 1;
-    v.epoch = view_.epoch;  // keep the fencing epoch across re-founding
+    // Keep the fencing epoch across re-founding (floored: a migrated fresh
+    // instance that never recovered a view must still stamp nonzero epochs
+    // under quorum fencing).
+    v.epoch = std::max(view_.epoch, epoch_floor());
     v.members = {MetaMember{partition_, address(), incarnation_}};
     view_ = std::move(v);
     joined_ = true;
@@ -1048,7 +1075,7 @@ void GroupServiceDaemon::fetch_state_and_join() {
     // Nothing to rejoin; adopt a singleton view.
     MetaView v;
     v.view_id = view_.view_id + 1;
-    v.epoch = view_.epoch;
+    v.epoch = std::max(view_.epoch, epoch_floor());
     v.members = {MetaMember{partition_, address(), incarnation_}};
     view_ = v;
     joined_ = true;
@@ -1297,6 +1324,9 @@ void GroupServiceDaemon::handle_state_load_reply(
     if (recovered.view_id >= view_.view_id) {
       recovered.remove(partition_);  // our old entry is stale
       view_ = std::move(recovered);
+      // A checkpoint written before quorum fencing was enabled may carry
+      // epoch 0; re-apply the floor so our stamps stay nonzero.
+      view_.epoch = std::max(view_.epoch, epoch_floor());
     }
   }
   try_rejoin();

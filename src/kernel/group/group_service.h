@@ -91,8 +91,10 @@ class GroupServiceDaemon final : public ServiceRuntime {
   bool is_princess() const;
   std::uint64_t incarnation() const noexcept { return incarnation_; }
 
-  /// Current meta-group fencing epoch (0 until the first quorum takeover;
-  /// always 0 under the paper's unilateral policy).
+  /// Current meta-group fencing epoch. Always 0 under the paper's unilateral
+  /// policy; under quorum fencing, views bootstrap at epoch 1 (epoch_floor)
+  /// so even the FIRST takeover — which bumps to 2 — outranks the deposed
+  /// member's stamped traffic.
   std::uint64_t meta_epoch() const noexcept { return view_.epoch; }
   /// True while a regroup round (quorum solicitation) is in flight.
   bool regroup_active() const noexcept { return regroup_.has_value(); }
@@ -164,6 +166,11 @@ class GroupServiceDaemon final : public ServiceRuntime {
   void handle_regroup_vote(const RegroupVoteMsg& vote);
   void cast_vote(net::Address reply_to, std::uint64_t round_id, bool concur);
   void send_fence();
+  /// Floor for the meta-view fencing epoch: 1 under quorum fencing (so a
+  /// GSD's mutating RPCs are never stamped with the unconditionally-admitted
+  /// epoch 0, and the first takeover can already fence its predecessor),
+  /// 0 otherwise (keeps every paper-policy wire format byte-identical).
+  std::uint64_t epoch_floor() const noexcept;
 
   // -- supervision --
   void check_services();
@@ -235,6 +242,9 @@ class GroupServiceDaemon final : public ServiceRuntime {
     int dissent = 0;
     int rounds_run = 0;
     bool done = false;          // round settled; ignore stragglers
+    /// Partitions whose vote was counted this round: a duplicated or
+    /// replayed RegroupVoteMsg must not be double-counted toward quorum.
+    std::vector<std::uint32_t> voters;
   };
   std::optional<Regroup> regroup_;
   std::uint64_t next_round_id_ = 1;

@@ -17,7 +17,9 @@ ServiceRuntime::ServiceRuntime(cluster::Cluster& cluster, std::string name,
       spans_(&cluster.span_store()) {
   // Every runtime understands the fencing broadcast; under the unilateral
   // policy the message simply never arrives.
-  on<EpochFenceMsg>([this](const EpochFenceMsg& fence) { admit_epoch(fence.epoch); });
+  on<EpochFenceMsg>([this](const EpochFenceMsg& fence) {
+    raise_epoch_watermark(fence.epoch);
+  });
   if (opts_.recover_on_start) {
     // The recovery loop is the only handler the runtime registers itself; a
     // service that needs CheckpointLoadReplyMsg for its own protocol (the
@@ -33,12 +35,13 @@ ServiceRuntime::~ServiceRuntime() = default;
 
 bool ServiceRuntime::admit_epoch(std::uint64_t epoch) {
   if (epoch == 0) return true;  // legacy / unfenced traffic
-  if (epoch >= witnessed_epoch_) {
-    witnessed_epoch_ = epoch;
-    return true;
-  }
+  if (epoch >= witnessed_epoch_) return true;
   ++counters_.fenced_rejections;
   return false;
+}
+
+void ServiceRuntime::raise_epoch_watermark(std::uint64_t epoch) {
+  if (epoch > witnessed_epoch_) witnessed_epoch_ = epoch;
 }
 
 void ServiceRuntime::handle(const net::Envelope& env) {

@@ -121,8 +121,10 @@ class ServiceRuntime : public cluster::Daemon {
   /// when it creates this instance as a replacement for a failed one).
   void mark_takeover() noexcept { pending_takeover_ = true; }
 
-  /// Highest meta-group epoch this runtime has witnessed (EpochFenceMsg or
-  /// an admitted epoch-stamped request). 0 until the first quorum takeover.
+  /// Highest meta-group epoch this runtime has been fenced to
+  /// (EpochFenceMsg). 0 until the meta-group's first quorum takeover
+  /// broadcasts a fence; quorum views bootstrap at epoch 1, so that first
+  /// fence already carries epoch >= 2 and outranks pre-takeover traffic.
   std::uint64_t witnessed_epoch() const noexcept { return witnessed_epoch_; }
 
  protected:
@@ -223,9 +225,18 @@ class ServiceRuntime : public cluster::Daemon {
   /// Epoch fencing gate for mutating requests. Epoch 0 is legacy/unfenced
   /// traffic and always passes (the paper's unilateral policy never stamps
   /// epochs, so its behaviour is untouched). A nonzero epoch at or above the
-  /// watermark is admitted and raises it; a stale one is rejected and
-  /// counted — the caller must drop or fail the request.
+  /// watermark is admitted; a stale one is rejected and counted — the caller
+  /// must drop or fail the request. Admission is a pure check: only the
+  /// meta-group's fence broadcast raises the watermark (see
+  /// raise_epoch_watermark), so a request stamped with an inflated epoch
+  /// cannot fence a runtime against legitimate traffic.
   bool admit_epoch(std::uint64_t epoch);
+
+  /// Raises the fencing watermark to `epoch` (never lowers it). Invoked by
+  /// the EpochFenceMsg handler. Trust assumption: the simulated fabric
+  /// carries no sender authentication, so any fence received is taken to
+  /// originate from the meta-group — only GSDs emit them in practice.
+  void raise_epoch_watermark(std::uint64_t epoch);
 
   /// Epoch this service stamps into its own mutating RPCs (checkpoint
   /// saves). 0 for every service except the GSD, which returns its

@@ -70,11 +70,12 @@ TEST(RegroupTest, QuorumTakeoverOnLeaderNodeCrash) {
   s.crash_node(leader_node);
   h.play(s, 45.0);
 
-  // The Princess assembled a quorum, took over, and bumped the epoch.
+  // The Princess assembled a quorum, took over, and bumped the epoch past
+  // the quorum bootstrap value of 1.
   auto& princess = h.kernel.gsd(net::PartitionId{1});
   EXPECT_TRUE(princess.is_leader());
   EXPECT_GE(princess.regroup_rounds(), 1u);
-  EXPECT_GE(princess.meta_epoch(), 1u);
+  EXPECT_GE(princess.meta_epoch(), 2u);
   EXPECT_EQ(princess.quorum_losses(), 0u);
 
   // Exactly one leader, never two at the same epoch.
@@ -91,7 +92,7 @@ TEST(RegroupTest, QuorumTakeoverOnLeaderNodeCrash) {
   // The fence reached every live node's PPM.
   EXPECT_GE(h.kernel.ppm(h.cluster.server_node(net::PartitionId{2}))
                 .witnessed_epoch(),
-            1u);
+            2u);
 
   // The crashed partition's GSD migrated and rejoined at the tail with the
   // new epoch; the takeover is journaled as a recovered node failure.
@@ -116,7 +117,7 @@ TEST(RegroupTest, TwoMemberViewNeverDeposes) {
   EXPECT_GE(survivor.quorum_losses(), 1u);
   EXPECT_GE(survivor.regroup_rounds(), 2u);  // retrying, not giving up
   EXPECT_FALSE(survivor.is_leader());
-  EXPECT_EQ(survivor.meta_epoch(), 0u);
+  EXPECT_EQ(survivor.meta_epoch(), 1u);  // still the quorum bootstrap epoch
   EXPECT_EQ(survivor.view().members.size(), 2u);
 }
 
@@ -141,7 +142,8 @@ TEST(RegroupTest, AsymmetricPartitionExoneratesLeaderUnderQuorum) {
   EXPECT_EQ(monitor.violations(), 0u);
   for (std::uint32_t p = 0; p < 4; ++p) {
     EXPECT_EQ(h.kernel.gsd(net::PartitionId{p}).view().members.size(), 4u) << p;
-    EXPECT_EQ(h.kernel.gsd(net::PartitionId{p}).meta_epoch(), 0u) << p;
+    // No takeover committed: everyone stays at the quorum bootstrap epoch.
+    EXPECT_EQ(h.kernel.gsd(net::PartitionId{p}).meta_epoch(), 1u) << p;
   }
   // At least one solicited member voted (with dissent, or this would have
   // ended in a removal).
@@ -165,6 +167,104 @@ TEST(RegroupTest, UnilateralPolicySplitBrainsOnAsymmetricPartition) {
 
   EXPECT_GE(monitor.violations(), 1u);
   EXPECT_GE(monitor.max_same_epoch_leaders(), 2);
+}
+
+// --- dissent veto -------------------------------------------------------------
+
+TEST(RegroupTest, OneDissentVetoesRemovalDespiteMajorityConcurrence) {
+  // 5-member view, quorum = 3. The initiator plus two concurring voters
+  // reach the majority arithmetically, but the third voter can still reach
+  // the suspect and dissents. One dissent must veto the removal outright —
+  // a reachable suspect is partitioned from some members, not dead.
+  cluster::ClusterSpec spec;
+  spec.partitions = 5;
+  spec.computes_per_partition = 2;
+  spec.backups_per_partition = 1;
+  KernelHarness h(spec, quorum_params());
+  LeaderInvariantMonitor monitor(h.kernel);
+  h.run_s(5.0);
+
+  // Leader's outbound links to the Princess (initiator) and voters 2 and 3
+  // are blackholed: the Princess stops hearing it and those voters' probes
+  // time out (concur). Partition 4's links stay clean: its probe answers,
+  // and its dissent lands well before the 280 ms concur timeouts.
+  const net::NodeId leader_node = h.cluster.server_node(net::PartitionId{0});
+  faults::Scenario s;
+  for (std::uint32_t p = 1; p <= 3; ++p) {
+    s.partition_asymmetric(leader_node,
+                           h.cluster.server_node(net::PartitionId{p}));
+  }
+  h.play(s, 12.0);
+
+  EXPECT_TRUE(h.kernel.gsd(net::PartitionId{0}).is_leader());
+  EXPECT_GE(h.kernel.gsd(net::PartitionId{1}).regroup_rounds(), 1u);
+  EXPECT_GE(h.kernel.gsd(net::PartitionId{4}).regroup_votes_cast(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(h.kernel.gsd(net::PartitionId{p}).view().members.size(), 5u) << p;
+    EXPECT_EQ(h.kernel.gsd(net::PartitionId{p}).meta_epoch(), 1u) << p;
+  }
+}
+
+// --- first takeover fences a still-running deposed Leader ---------------------
+
+TEST(RegroupTest, FirstTakeoverFencesStillRunningDeposedLeader) {
+  // The adversarial shape epoch fencing exists for: the Leader's node is
+  // fully partitioned from the other servers (alive, but silent and
+  // unreachable from their side), AND the direct stale-view notification
+  // plus the migration order are lost — so the deposed Leader keeps running
+  // with its pre-takeover view and never learns it was removed. Because
+  // quorum views bootstrap at epoch 1, everything it stamps is nonzero and
+  // falls below the epoch-2 fence of the FIRST takeover.
+  KernelHarness h(quad_spec(), quorum_params());
+  LeaderInvariantMonitor monitor(h.kernel);
+  h.run_s(5.0);
+
+  const net::PartitionId p0{0};
+  const net::NodeId leader_node = h.cluster.server_node(p0);
+  const net::NodeId princess_node = h.cluster.server_node(net::PartitionId{1});
+  faults::Scenario s;
+  // Leader's server is cut off from every other server, both directions.
+  for (std::uint32_t p = 1; p < 4; ++p) {
+    const net::NodeId other = h.cluster.server_node(net::PartitionId{p});
+    s.partition_asymmetric(leader_node, other);
+    s.partition_asymmetric(other, leader_node);
+  }
+  // The takeover's migration order to partition 0's backups is lost too, so
+  // the old GSD instance survives as a genuine still-running deposed Leader.
+  for (net::NodeId backup : h.cluster.backup_nodes(p0)) {
+    s.partition_asymmetric(princess_node, backup);
+  }
+  h.play(s, 25.0);
+
+  // The quorum deposed the Leader (epoch 1 -> 2) and fenced the cluster;
+  // the deposed Leader is still alive, still believes it leads, and still
+  // stamps the pre-takeover epoch 1 — never the legacy always-admitted 0.
+  auto& old_leader = h.kernel.gsd(p0);
+  auto& new_leader = h.kernel.gsd(net::PartitionId{1});
+  ASSERT_TRUE(old_leader.alive());
+  EXPECT_TRUE(old_leader.is_leader());
+  EXPECT_EQ(old_leader.meta_epoch(), 1u);
+  EXPECT_TRUE(new_leader.is_leader());
+  EXPECT_EQ(new_leader.meta_epoch(), 2u);
+  EXPECT_EQ(new_leader.view().members.size(), 3u);
+  EXPECT_EQ(monitor.violations(), 0u);  // different epochs: fenced, not split
+
+  // The fence reached partition 0's compute nodes (their links are clean).
+  const net::NodeId compute = h.cluster.compute_nodes(p0).front();
+  ASSERT_EQ(h.kernel.ppm(compute).witnessed_epoch(), 2u);
+
+  // Now the deposed Leader acts on its stale authority: its WD on a compute
+  // node dies, it diagnoses the process failure (those links still work),
+  // and orders a restart stamped with epoch 1. The fenced PPM must refuse.
+  h.injector.kill_daemon(h.kernel.watch_daemon(compute));
+  h.run_s(15.0);
+
+  EXPECT_GE(h.kernel.ppm(compute).counters().fenced_rejections, 1u);
+  EXPECT_FALSE(h.kernel.watch_daemon(compute).alive());  // not resurrected
+  EXPECT_TRUE(old_leader.is_leader());  // still ignorant of its deposition
+  EXPECT_EQ(old_leader.meta_epoch(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
 }
 
 // --- epoch fencing ------------------------------------------------------------
