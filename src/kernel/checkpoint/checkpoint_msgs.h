@@ -28,10 +28,14 @@ struct CheckpointSaveMsg final : net::Message {
   /// successor checkpointed. 0 = unfenced (every service but the GSD, and
   /// the GSD itself under the paper's unilateral policy — wire unchanged).
   std::uint64_t epoch = 0;
+  /// Ring scope the epoch belongs to (0 = the flat meta-group; zone rings
+  /// fence independently under a zoned topology). Adds bytes only when set.
+  std::uint32_t scope = 0;
 
   PHOENIX_MESSAGE_TYPE("ckpt.save")
   std::size_t wire_size() const noexcept override {
-    return service.size() + key.size() + data.size() + 16 + (epoch != 0 ? 8 : 0);
+    return service.size() + key.size() + data.size() + 16 +
+           (epoch != 0 ? 8 : 0) + (scope != 0 ? 4 : 0);
   }
 };
 

@@ -22,7 +22,7 @@ CheckpointService::CheckpointService(cluster::Cluster& cluster, net::NodeId node
   on<CheckpointSaveMsg>([this](const CheckpointSaveMsg& save) {
     // Fencing: silently drop writes stamped with a pre-takeover epoch (no
     // reply — to the deposed writer this store is simply gone).
-    if (!admit_epoch(save.epoch)) return;
+    if (!admit_epoch(save.epoch, save.scope)) return;
     serve_mutating(save, [&] {
       const std::uint64_t version = save_local(save.service, save.key, save.data);
       auto reply = std::make_shared<CheckpointSaveReplyMsg>();

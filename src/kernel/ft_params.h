@@ -64,6 +64,40 @@ struct FtParams {
     }
   };
 
+  /// Shape of the GSD membership layer. The paper keeps every partition's
+  /// GSD in ONE flat meta-group ring, so membership traffic and
+  /// reconfiguration serialize at O(partitions). The zoned topology groups
+  /// partitions into zone sub-rings (strided assignment: partition p is in
+  /// zone p % num_zones, so consecutive partitions — and rack-adjacent
+  /// failures — land in different zones) and forms a top ring out of the
+  /// zone leaders; the top ring's Leader is the cluster GSD head. Failure
+  /// events aggregate up through zone leaders and view changes fan out
+  /// down, so a zone regroup never blocks the other zones. flat() preserves
+  /// today's behaviour and wire bytes exactly.
+  struct GroupTopology {
+    enum class Mode : std::uint8_t {
+      kFlat,   // paper §4.3: one ring over all partitions
+      kZoned,  // zone sub-rings + top ring of zone leaders
+    };
+    Mode mode = Mode::kFlat;
+
+    /// Target partitions per zone (kZoned only). The number of zones is
+    /// ceil(partitions / zone_size); strided assignment keeps zone sizes
+    /// within one of each other.
+    std::uint32_t zone_size = 64;
+
+    /// The paper's flat meta-group (every wire format byte-identical).
+    static constexpr GroupTopology flat() { return {}; }
+
+    /// Two-level hierarchy: zone sub-rings + a top ring of zone leaders.
+    static constexpr GroupTopology zoned(std::uint32_t zone_size) {
+      GroupTopology t;
+      t.mode = Mode::kZoned;
+      t.zone_size = zone_size == 0 ? 1 : zone_size;
+      return t;
+    }
+  };
+
   /// WD -> GSD heartbeat period; also the GSD ring heartbeat period and the
   /// GSD local-service supervision period (paper uses 30 s for all).
   SimTime heartbeat_interval = 30 * sim::kSecond;
@@ -137,6 +171,10 @@ struct FtParams {
   /// Meta-group takeover policy (defaults to the paper's unilateral
   /// protocol; FailoverPolicy::quorum() opts into regroup + fencing).
   FailoverPolicy failover{};
+
+  /// Membership-layer shape (defaults to the paper's flat ring;
+  /// GroupTopology::zoned(n) opts into the two-level hierarchy).
+  GroupTopology topology{};
 
   /// Background CPU share each kernel daemon imposes on its node (fraction
   /// of one CPU). Drives the Linpack-overhead experiment.

@@ -9,10 +9,6 @@
 
 namespace phoenix::kernel {
 
-namespace {
-constexpr sim::SimTime kJoinRetryPeriod = 2 * sim::kSecond;
-}  // namespace
-
 GroupServiceDaemon::GroupServiceDaemon(cluster::Cluster& cluster, net::NodeId node,
                                        net::PartitionId partition,
                                        const FtParams& params,
@@ -33,27 +29,58 @@ GroupServiceDaemon::GroupServiceDaemon(cluster::Cluster& cluster, net::NodeId no
       supervised_(std::move(default_supervised)),
       partition_checker_(cluster.engine(), params.heartbeat_interval,
                          [this] { check_partition(); }),
-      meta_checker_(cluster.engine(), params.heartbeat_interval,
-                    [this] { check_meta(); }),
       service_checker_(cluster.engine(), params.heartbeat_interval,
                        [this] { check_services(); }),
-      ring_beater_(cluster.engine(), params.heartbeat_interval,
-                   [this] { send_ring_heartbeat(); }),
-      join_retrier_(cluster.engine(), kJoinRetryPeriod, [this] { try_rejoin(); }) {
+      census_checker_(cluster.engine(), params.heartbeat_interval,
+                      [this] { run_census(); }) {
+  zoned_ = params.topology.mode == FtParams::GroupTopology::Mode::kZoned;
+  zones_ = ZoneTopology::from(
+      params.topology, directory != nullptr ? directory->partition_count() : 1);
+  zone_ = zones_.zone_of(partition_);
+
+  MembershipRing::Config primary_cfg;
+  if (zoned_) {
+    primary_cfg.scope = zones_.zone_scope(zone_);
+    primary_cfg.label = "zone";
+  }
+  primary_ring_ = std::make_unique<MembershipRing>(*this, cluster, params,
+                                                   primary_cfg);
+  if (zoned_) {
+    MembershipRing::Config top_cfg;
+    top_cfg.scope = kTopRingScope;
+    top_cfg.label = "top";
+    top_cfg.recovers_partitions = false;
+    top_cfg.persists_view = false;
+    top_cfg.displaces_same_zone = true;
+    top_ring_ = std::make_unique<MembershipRing>(*this, cluster, params, top_cfg);
+    churn_ = std::make_unique<ZoneChurnAggregator>(
+        cluster.engine(), params.heartbeat_interval, [this](Event e) {
+          if (!alive()) return;
+          e.attrs.emplace_back("zone", std::to_string(zone_));
+          publish(std::move(e));
+        });
+  }
+
   on<HeartbeatMsg>([this](const HeartbeatMsg& hb, const net::Envelope& env) {
     handle_heartbeat(hb, env.network);
   });
   on<RingHeartbeatMsg>([this](const RingHeartbeatMsg& ring, const net::Envelope& env) {
-    handle_ring_heartbeat(ring, env);
+    if (MembershipRing* r = ring_for(ring.scope)) r->handle_ring_heartbeat(ring, env);
   });
   on<ProbeReplyMsg>([this](const ProbeReplyMsg& reply) { handle_probe_reply(reply); });
-  on<ViewChangeMsg>([this](const ViewChangeMsg& msg) { apply_view(msg.view); });
-  on<MetaJoinMsg>([this](const MetaJoinMsg& join) { handle_join(join); });
+  on<ViewChangeMsg>([this](const ViewChangeMsg& msg) {
+    if (MembershipRing* r = ring_for(msg.scope)) r->apply_view(msg.view);
+  });
+  on<MetaJoinMsg>([this](const MetaJoinMsg& join) {
+    if (MembershipRing* r = ring_for(join.scope)) r->handle_join(join);
+  });
   on<RegroupProposeMsg>([this](const RegroupProposeMsg& proposal) {
-    handle_regroup_propose(proposal);
+    if (MembershipRing* r = ring_for(proposal.scope)) {
+      r->handle_regroup_propose(proposal);
+    }
   });
   on<RegroupVoteMsg>([this](const RegroupVoteMsg& vote) {
-    handle_regroup_vote(vote);
+    if (MembershipRing* r = ring_for(vote.scope)) r->handle_regroup_vote(vote);
   });
   on<ServiceUpMsg>([this](const ServiceUpMsg& up) { handle_service_up(up); });
   on<StartServiceReplyMsg>([this](const StartServiceReplyMsg& reply) {
@@ -66,29 +93,21 @@ GroupServiceDaemon::GroupServiceDaemon(cluster::Cluster& cluster, net::NodeId no
   });
 }
 
-std::uint64_t GroupServiceDaemon::epoch_floor() const noexcept {
-  return params_.failover.mode == FtParams::FailoverPolicy::Mode::kQuorum &&
-                 params_.failover.fence_stale_epochs
-             ? 1
-             : 0;
+MembershipRing* GroupServiceDaemon::ring_for(std::uint32_t scope) {
+  if (scope == primary_ring_->scope()) return primary_ring_.get();
+  if (top_ring_ != nullptr && scope == top_ring_->scope()) return top_ring_.get();
+  return nullptr;
 }
 
 void GroupServiceDaemon::set_initial_view(MetaView view) {
-  view_ = std::move(view);
-  view_.epoch = std::max(view_.epoch, epoch_floor());
-  joined_ = view_.contains(partition_);
+  primary_ring_->seed_view(std::move(view));
   booted_with_view_ = true;
-  pred_partition_ = net::PartitionId{};
 }
 
-bool GroupServiceDaemon::is_leader() const {
-  auto l = view_.leader();
-  return l && l->partition == partition_ && joined_;
-}
-
-bool GroupServiceDaemon::is_princess() const {
-  auto p = view_.princess();
-  return p && p->partition == partition_ && joined_;
+void GroupServiceDaemon::seed_top_view(MetaView view) {
+  if (top_ring_ == nullptr) return;
+  has_seeded_top_view_ = true;
+  seeded_top_view_ = std::move(view);
 }
 
 void GroupServiceDaemon::supervise(SupervisedSpec spec) {
@@ -120,15 +139,16 @@ void GroupServiceDaemon::on_service_start() {
     watch.net_failed.assign(nets, false);
     watches_.emplace(n.value, std::move(watch));
   }
-  pred_last_per_net_.assign(nets, now());
-  pred_net_failed_.assign(nets, false);
-  pred_diagnosing_ = false;
+  primary_ring_->reset_runtime_state(nets);
   probes_.clear();
   pending_recoveries_.clear();
   service_recovering_.clear();
-  regroup_.reset();
-  vote_probes_.clear();
-  answered_rounds_.clear();
+  if (top_ring_ != nullptr) {
+    top_ring_->reset_runtime_state(nets);
+    top_ring_->stop();
+    top_active_ = false;
+    was_zone_leader_ = false;
+  }
 
   const sim::SimTime interval = params_.heartbeat_interval;
   // Heartbeat staleness is judged against interval + grace, but the SCAN
@@ -139,19 +159,16 @@ void GroupServiceDaemon::on_service_start() {
   const sim::SimTime scan =
       std::max<sim::SimTime>(params_.heartbeat_grace, 50 * sim::kMillisecond);
   partition_checker_.set_period(scan);
-  meta_checker_.set_period(scan);
-  service_checker_.set_period(interval);
-  ring_beater_.set_period(interval);
   partition_checker_.start_after(interval + params_.heartbeat_grace +
                                  1 * sim::kMillisecond);
-  meta_checker_.start_after(interval + params_.heartbeat_grace +
-                            2 * sim::kMillisecond);
+  primary_ring_->arm(scan,
+                     interval + params_.heartbeat_grace + 2 * sim::kMillisecond,
+                     interval);
+  service_checker_.set_period(interval);
   service_checker_.start_after(interval + 3 * sim::kMillisecond);
-  ring_beater_.start_after(engine().rng().uniform_int(1, 10 * sim::kMillisecond));
 
   announce_to_partition();
 
-  futile_join_attempts_ = 0;
   if (booted_with_view_ && !started_before_) {
     // Cluster boot: the kernel seeded the full view; nothing to recover.
     // Persist it so a later in-place restart recovers from the warm local
@@ -159,30 +176,34 @@ void GroupServiceDaemon::on_service_start() {
     booted_with_view_ = false;
     save_state();
   } else if (bootstrap_requested_ && !started_before_) {
-    // Ring founder (staged construction): start a singleton meta-group.
+    // Ring founder (staged construction): start a singleton group.
     bootstrap_requested_ = false;
-    MetaView v;
-    v.view_id = 1;
-    v.epoch = std::max(view_.epoch, epoch_floor());
-    v.members = {MetaMember{partition_, address(), incarnation_}};
-    view_ = std::move(v);
-    joined_ = true;
-    save_state();
+    primary_ring_->found(1, /*persist=*/true);
   } else {
     // Restart or migration: recover the last view, then rejoin the ring.
     booted_with_view_ = false;
-    joined_ = false;
+    primary_ring_->mark_unjoined();
     fetch_state_and_join();
   }
   started_before_ = true;
+
+  if (zoned_ && directory() != nullptr) {
+    // Hierarchy repair loop: first pass only after everything had a chance
+    // to boot and beat (2 intervals + a distinct offset).
+    census_checker_.set_period(interval);
+    census_checker_.start_after(2 * interval + 5 * sim::kMillisecond);
+    // Seed/boot paths set the zone view without going through apply_view;
+    // reconcile the role explicitly.
+    update_zone_role(primary_ring_->view());
+  }
 }
 
 void GroupServiceDaemon::on_service_stop() {
   partition_checker_.stop();
-  meta_checker_.stop();
   service_checker_.stop();
-  ring_beater_.stop();
-  join_retrier_.stop();
+  census_checker_.stop();
+  primary_ring_->stop();
+  if (top_ring_ != nullptr) top_ring_->stop();
 }
 
 void GroupServiceDaemon::publish(Event e) {
@@ -203,6 +224,324 @@ void GroupServiceDaemon::announce_to_partition() {
     announce->partition = partition_;
     send_any({n, port_of(ServiceKind::kWatchDaemon)}, std::move(announce));
   }
+}
+
+// --- MembershipRing::Host -----------------------------------------------------
+
+void GroupServiceDaemon::ring_trace(sim::TraceLevel level, const std::string& text) {
+  trace(level, text);
+}
+
+void GroupServiceDaemon::ring_publish(Event e) { publish(std::move(e)); }
+
+void GroupServiceDaemon::ring_send_any(net::Address to,
+                                       std::shared_ptr<const net::Message> msg) {
+  send_any(to, std::move(msg));
+}
+
+void GroupServiceDaemon::ring_send_all_networks(
+    net::Address to, std::shared_ptr<const net::Message> msg) {
+  send_all_networks(to, std::move(msg));
+}
+
+void GroupServiceDaemon::ring_save_state(MembershipRing& ring) {
+  if (&ring == primary_ring_.get()) save_state();
+}
+
+std::vector<net::Address> GroupServiceDaemon::ring_join_targets(
+    MembershipRing& ring) {
+  std::vector<net::Address> targets;
+  if (directory() == nullptr) return targets;
+  if (&ring == top_ring_.get()) {
+    // The top ring's membership is not statically known (any partition may
+    // lead its zone), so solicit every GSD: current top members forward the
+    // join to the top Leader, everyone else drops it.
+    for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
+      const net::PartitionId pid{static_cast<std::uint32_t>(p)};
+      if (pid == partition_) continue;
+      targets.push_back(
+          directory()->service_address(ServiceKind::kGroupService, pid));
+    }
+    return targets;
+  }
+  if (zoned_) {
+    for (net::PartitionId pid : zones_.zone_members(zone_)) {
+      if (pid == partition_) continue;
+      targets.push_back(
+          directory()->service_address(ServiceKind::kGroupService, pid));
+    }
+    return targets;
+  }
+  for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
+    const net::PartitionId pid{static_cast<std::uint32_t>(p)};
+    if (pid == partition_) continue;
+    targets.push_back(
+        directory()->service_address(ServiceKind::kGroupService, pid));
+  }
+  return targets;
+}
+
+void GroupServiceDaemon::ring_log_member_failure(
+    MembershipRing& ring, const MetaMember& member, bool node_dead,
+    sim::SimTime last_seen_at, sim::SimTime detected_at,
+    sim::SimTime diagnosed_at) {
+  (void)ring;
+  if (log_ == nullptr) return;
+  const FaultKind kind =
+      node_dead ? FaultKind::kNodeFailure : FaultKind::kProcessFailure;
+  log_->append(FaultRecord{
+      .component = "GSD",
+      .kind = kind,
+      .node = member.gsd.node,
+      .partition = member.partition,
+      .network = net::NetworkId{},
+      .last_seen_at = last_seen_at,
+      .detected_at = detected_at,
+      .diagnosed_at = diagnosed_at,
+  });
+  if (node_dead) {
+    // The server node carried the partition's kernel services too.
+    for (const char* component : {"ES", "DB", "CS"}) {
+      log_->append(FaultRecord{
+          .component = component,
+          .kind = FaultKind::kNodeFailure,
+          .node = member.gsd.node,
+          .partition = member.partition,
+          .network = net::NetworkId{},
+          .last_seen_at = last_seen_at,
+          .detected_at = detected_at,
+          .diagnosed_at = diagnosed_at,
+      });
+    }
+  }
+}
+
+void GroupServiceDaemon::ring_member_removed(MembershipRing& ring,
+                                             const MetaMember& member,
+                                             bool node_dead) {
+  if (&ring == top_ring_.get()) {
+    // A zone lost its representative (leader death or displacement race).
+    // The zone's own Princess promotion brings the replacement; the census
+    // catches the whole-zone-death case.
+    trace(sim::TraceLevel::kInfo,
+          "top ring: zone " + std::to_string(zones_.zone_of(member.partition)) +
+              " leader (partition " + std::to_string(member.partition.value) +
+              ") lost");
+    Event e;
+    e.type = "meta.zone.leader_lost";
+    e.subject_node = member.gsd.node;
+    e.attrs = {{"zone", std::to_string(zones_.zone_of(member.partition))},
+               {"partition", std::to_string(member.partition.value)}};
+    publish(std::move(e));
+    return;
+  }
+  Event e;
+  e.type = std::string(node_dead ? event_types::kNodeFailed
+                                 : event_types::kServiceFailed);
+  e.subject_node = member.gsd.node;
+  e.attrs = {{"service", "GSD"},
+             {"failed_partition", std::to_string(member.partition.value)}};
+  publish(std::move(e));
+}
+
+void GroupServiceDaemon::ring_recover_member(MembershipRing& ring,
+                                             const MetaMember& member,
+                                             bool node_dead) {
+  if (!node_dead) {
+    auto restart = std::make_shared<StartServiceMsg>();
+    restart->kind = ServiceKind::kGroupService;
+    restart->partition = member.partition;
+    restart->create = false;
+    restart->request_id = next_request_id_++;
+    restart->epoch = ring.view().epoch;
+    restart->scope = ring.scope();
+    send_any(ppm_at(member.gsd.node), std::move(restart));
+  } else {
+    migrate_partition(member, ring);
+  }
+}
+
+void GroupServiceDaemon::ring_member_recovered(MembershipRing& ring,
+                                               const MetaMember& member) {
+  if (&ring == top_ring_.get()) {
+    trace(sim::TraceLevel::kInfo,
+          "top ring: zone " + std::to_string(zones_.zone_of(member.partition)) +
+              " represented by partition " +
+              std::to_string(member.partition.value));
+    return;
+  }
+  if (log_ != nullptr &&
+      log_->mark_recovered_partition("GSD", member.partition, now())) {
+    Event e;
+    e.type = std::string(event_types::kServiceRecovered);
+    e.subject_node = member.gsd.node;
+    e.attrs = {{"service", "GSD"},
+               {"partition", std::to_string(member.partition.value)}};
+    publish(std::move(e));
+  }
+}
+
+void GroupServiceDaemon::ring_diagnose_network_failure(
+    MembershipRing& ring, net::NodeId node, net::NetworkId network,
+    sim::SimTime detected_at, sim::SimTime last_seen_at) {
+  (void)ring;
+  diagnose_network_failure(node, network, detected_at, "GSD", last_seen_at);
+}
+
+void GroupServiceDaemon::ring_regroup_round(MembershipRing& ring) {
+  if (!zoned_ || !cluster().metrics().enabled()) return;
+  cluster().metrics().counter(&ring == top_ring_.get() ? "meta.top.regroups"
+                                                       : "meta.zone.regroups")
+      ->inc();
+}
+
+void GroupServiceDaemon::ring_view_changed(MembershipRing& ring,
+                                           const MetaView& old_view) {
+  if (!zoned_) return;  // flat mode: nothing layered on top of the ring
+
+  if (&ring == top_ring_.get()) {
+    auto old_leader = old_view.leader();
+    auto new_leader = ring.view().leader();
+    if (new_leader &&
+        (!old_leader || !(old_leader->partition == new_leader->partition))) {
+      trace(sim::TraceLevel::kInfo,
+            "top ring: leader is now partition " +
+                std::to_string(new_leader->partition.value) + " (view " +
+                std::to_string(ring.view().view_id) + ")");
+    }
+    // A deposed zone leader must not linger in (or rejoin) the top ring.
+    if (!primary_ring_->is_ring_leader()) suspend_top_ring();
+    return;
+  }
+
+  // Primary (zone) ring. Zone leaders summarize member churn into one
+  // aggregated event per window instead of flooding per-member events up.
+  if (primary_ring_->is_ring_leader() && churn_ != nullptr) {
+    std::vector<net::PartitionId> removed;
+    std::vector<net::PartitionId> added;
+    for (const MetaMember& m : old_view.members) {
+      if (!ring.view().index_of(m.partition)) removed.push_back(m.partition);
+    }
+    for (const MetaMember& m : ring.view().members) {
+      if (!old_view.index_of(m.partition)) added.push_back(m.partition);
+    }
+    churn_->record(removed, added);
+  }
+  update_zone_role(old_view);
+}
+
+// --- zone hierarchy -----------------------------------------------------------
+
+void GroupServiceDaemon::update_zone_role(const MetaView& old_view) {
+  if (!zoned_ || top_ring_ == nullptr) return;
+  const bool leader_now = primary_ring_->is_ring_leader();
+  if (leader_now && !was_zone_leader_) {
+    was_zone_leader_ = true;
+    auto old_leader = old_view.leader();
+    const bool promotion =
+        old_leader && !(old_leader->partition == partition_);
+    trace(sim::TraceLevel::kInfo,
+          std::string("zone ") + std::to_string(zone_) + ": partition " +
+              std::to_string(partition_.value) +
+              (promotion ? " promoted to zone leader" : " elected zone leader"));
+    if (promotion && cluster().metrics().enabled()) {
+      cluster().metrics().counter("meta.zone.promotions")->inc();
+    }
+    ensure_top_ring_active();
+  } else if (!leader_now && was_zone_leader_) {
+    was_zone_leader_ = false;
+    trace(sim::TraceLevel::kInfo,
+          "zone " + std::to_string(zone_) + ": partition " +
+              std::to_string(partition_.value) + " ceded zone leadership");
+    suspend_top_ring();
+  }
+}
+
+void GroupServiceDaemon::ensure_top_ring_active() {
+  if (top_ring_ == nullptr || top_active_) return;
+  top_active_ = true;
+  const sim::SimTime interval = params_.heartbeat_interval;
+  const sim::SimTime scan =
+      std::max<sim::SimTime>(params_.heartbeat_grace, 50 * sim::kMillisecond);
+  top_ring_->arm(scan, interval + params_.heartbeat_grace + 4 * sim::kMillisecond,
+                 interval);
+  if (has_seeded_top_view_) {
+    // Cluster boot: the kernel seeded the zone leaders directly.
+    has_seeded_top_view_ = false;
+    top_ring_->seed_view(std::move(seeded_top_view_));
+    seeded_top_view_ = MetaView{};
+    if (top_ring_->joined()) return;
+  }
+  // Promotion (or re-activation): join the live top ring. If nobody
+  // answers — every other zone leader is gone too — the futile-join path
+  // self-founds a fresh top ring and the census rebuilds the rest.
+  top_ring_->rejoin_now();
+  top_ring_->begin_join_search(MembershipRing::kJoinRetryPeriod);
+}
+
+void GroupServiceDaemon::suspend_top_ring() {
+  if (top_ring_ == nullptr || !top_active_) return;
+  top_active_ = false;
+  top_ring_->stop();
+  // Drop the stale view: if this member is promoted again later, its old
+  // view ids must not outrank the ring it is rejoining.
+  top_ring_->forget_membership();
+}
+
+void GroupServiceDaemon::run_census() {
+  if (!alive() || !zoned_ || directory() == nullptr) return;
+  // Zone-member census (zone leader): every statically-assigned member of
+  // our zone must be in the zone view; absentees are probed and recovered.
+  if (primary_ring_->is_ring_leader()) {
+    for (net::PartitionId q : zones_.zone_members(zone_)) {
+      if (q == partition_) continue;
+      if (primary_ring_->view().contains(q)) continue;
+      census_probe(q, /*top=*/false);
+    }
+  }
+  // Orphan-zone census (top leader only — a single actor, so two survivors
+  // never race duplicate migrations): every zone must have a top-ring
+  // representative; for an orphaned zone, probe its first partition.
+  if (top_ring_ != nullptr && top_ring_->is_ring_leader()) {
+    for (std::uint32_t z = 0; z < zones_.num_zones; ++z) {
+      if (z == zone_) continue;  // we represent our own zone
+      bool represented = false;
+      for (const MetaMember& m : top_ring_->view().members) {
+        if (zones_.zone_of(m.partition) == z) {
+          represented = true;
+          break;
+        }
+      }
+      if (!represented) census_probe(zones_.first_of(z), /*top=*/true);
+    }
+  }
+}
+
+void GroupServiceDaemon::census_probe(net::PartitionId target, bool top) {
+  // Backoff: a recovery takes exec + state fetch + several join rounds;
+  // re-probing sooner would double-start the same partition.
+  auto& next_ok = census_backoff_[target.value];
+  if (now() < next_ok) return;
+  next_ok = now() + params_.gsd_exec_time + params_.checkpoint_federation_fetch +
+            12 * MembershipRing::kJoinRetryPeriod;
+  const net::NodeId node =
+      directory()->service_node(ServiceKind::kGroupService, target);
+  trace(sim::TraceLevel::kInfo,
+        std::string(top ? "orphan-zone census" : "zone census") +
+            ": probing partition " + std::to_string(target.value) + " on node " +
+            std::to_string(node.value));
+  const std::uint64_t id = next_probe_id_++;
+  Probe probe;
+  probe.node = node;
+  probe.attempts_left = 2;
+  probe.detected_at = now();
+  probe.started_at = now();
+  probe.last_seen_at = now();
+  probe.census = true;
+  probe.census_partition = target;
+  probe.census_top = top;
+  probes_.emplace(id, probe);
+  probe_attempt(id);
 }
 
 // --- partition (WD) monitoring ----------------------------------------------
@@ -321,7 +660,6 @@ void GroupServiceDaemon::begin_node_diagnosis(net::NodeId node) {
   Probe probe;
   probe.node = node;
   probe.attempts_left = params_.node_probe_attempts;
-  probe.meta = false;
   probe.detected_at = now();
   probe.started_at = now();
   probe.last_seen_at =
@@ -338,18 +676,20 @@ void GroupServiceDaemon::probe_attempt(std::uint64_t probe_id) {
 
   if (probe.attempts_left == 0) {
     // Every attempt timed out: the node is dead.
-    if (probe.meta) {
-      const MetaMember member = probe.meta_member;
-      const sim::SimTime detected = probe.detected_at;
-      const sim::SimTime last_seen = probe.last_seen_at;
-      probes_.erase(it);
-      conclude_meta_failure(member, /*node_dead=*/true, detected, last_seen);
+    const Probe dead = probe;
+    probes_.erase(it);
+    if (dead.census) {
+      // Census target unreachable: migrate the partition on behalf of the
+      // ring that missed it (its epoch/scope stamp the migration order).
+      MembershipRing& ring =
+          dead.census_top && top_ring_ != nullptr ? *top_ring_ : *primary_ring_;
+      migrate_partition(
+          MetaMember{dead.census_partition,
+                     {dead.node, port_of(ServiceKind::kGroupService)},
+                     0},
+          ring);
     } else {
-      const net::NodeId node = probe.node;
-      const sim::SimTime detected = probe.detected_at;
-      const sim::SimTime last_seen = probe.last_seen_at;
-      probes_.erase(it);
-      conclude_node_failure(node, detected, last_seen);
+      conclude_node_failure(dead.node, dead.detected_at, dead.last_seen_at);
     }
     return;
   }
@@ -359,9 +699,8 @@ void GroupServiceDaemon::probe_attempt(std::uint64_t probe_id) {
   msg->reply_to = address();
   msg->probe_id = probe_id;
   send_all_networks(ppm_at(probe.node), std::move(msg));
-  const sim::SimTime timeout =
-      probe.meta ? params_.meta_probe_timeout : params_.node_probe_timeout;
-  engine().schedule_after(timeout, [this, probe_id] { probe_attempt(probe_id); });
+  engine().schedule_after(params_.node_probe_timeout,
+                          [this, probe_id] { probe_attempt(probe_id); });
 }
 
 void GroupServiceDaemon::conclude_wd_process_failure(net::NodeId node,
@@ -403,7 +742,8 @@ void GroupServiceDaemon::conclude_wd_process_failure(net::NodeId node,
   restart->create = false;
   restart->reply_to = address();
   restart->request_id = rid;
-  restart->epoch = view_.epoch;
+  restart->epoch = primary_ring_->view().epoch;
+  restart->scope = primary_ring_->scope();
   send_any(ppm_at(node), std::move(restart));
 }
 
@@ -440,188 +780,12 @@ void GroupServiceDaemon::conclude_node_failure(net::NodeId node,
   publish(std::move(e));
 }
 
-// --- meta-group ---------------------------------------------------------------
+// --- membership plumbing ------------------------------------------------------
 
-void GroupServiceDaemon::send_ring_heartbeat() {
-  if (!alive() || !joined_ || view_.members.size() < 2) return;
-  auto succ = view_.successor_of(partition_);
-  if (!succ) return;
-  auto hb = std::make_shared<RingHeartbeatMsg>();
-  hb->from_partition = partition_;
-  hb->view_id = view_.view_id;
-  hb->seq = ++ring_seq_;
-  send_all_networks(succ->gsd, std::move(hb));
-}
-
-void GroupServiceDaemon::check_meta() {
-  if (!alive() || !joined_ || view_.members.size() < 2 || pred_diagnosing_ ||
-      regroup_.has_value()) {
-    return;
-  }
-  auto pred = view_.predecessor_of(partition_);
-  if (!pred) return;
-  if (pred->partition != pred_partition_) {
-    // Predecessor changed since the last check; restart the grace window.
-    pred_partition_ = pred->partition;
-    std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
-    std::fill(pred_net_failed_.begin(), pred_net_failed_.end(), false);
-    return;
-  }
-  const sim::SimTime threshold = params_.heartbeat_interval + params_.heartbeat_grace;
-  std::size_t fresh = 0;
-  for (sim::SimTime last : pred_last_per_net_) {
-    if (now() - last <= threshold) ++fresh;
-  }
-  if (fresh == pred_last_per_net_.size()) return;
-
-  if (fresh == 0) {
-    // Every network silent at once is exactly the asymmetric-partition shape
-    // that can split-brain a Princess takeover — flag it before probing.
-    trace(sim::TraceLevel::kError,
-          "meta predecessor partition " + std::to_string(pred->partition.value) +
-              " silent on all networks; split-brain suspect, probing");
-    pred_diagnosing_ = true;
-    const std::uint64_t id = next_probe_id_++;
-    Probe probe;
-    probe.node = pred->gsd.node;
-    probe.attempts_left = 1;
-    probe.meta = true;
-    probe.detected_at = now();
-    probe.started_at = now();
-    probe.last_seen_at =
-        *std::max_element(pred_last_per_net_.begin(), pred_last_per_net_.end());
-    probe.meta_member = *pred;
-    probes_.emplace(id, probe);
-    probe_attempt(id);
-    return;
-  }
-  const sim::SimTime net_threshold =
-      params_.network_miss_rounds * params_.heartbeat_interval +
-      params_.heartbeat_grace;
-  for (std::size_t n = 0; n < pred_last_per_net_.size(); ++n) {
-    if (now() - pred_last_per_net_[n] > net_threshold && !pred_net_failed_[n]) {
-      pred_net_failed_[n] = true;
-      diagnose_network_failure(pred->gsd.node,
-                               net::NetworkId{static_cast<std::uint8_t>(n)}, now(),
-                               "GSD", pred_last_per_net_[n]);
-    }
-  }
-}
-
-void GroupServiceDaemon::conclude_meta_failure(const MetaMember& pred, bool node_dead,
-                                               sim::SimTime detected_at,
-                                               sim::SimTime last_seen_at) {
-  if (!alive()) return;
-  pred_diagnosing_ = false;
-  // Only remove the exact member we diagnosed: if the partition's entry was
-  // replaced in the meantime (planned handover, concurrent recovery), the
-  // stale diagnosis must not expel the new instance.
-  const auto diagnosed_idx = view_.index_of(pred.partition);
-  if (!diagnosed_idx || !(view_.members[*diagnosed_idx] == pred)) return;
-  if (!node_dead && pred.partition == pred_partition_) {
-    // Confirmation round: a ring heartbeat since detection exonerates it.
-    for (sim::SimTime last : pred_last_per_net_) {
-      if (last > detected_at) return;
-    }
-  }
-
-  if (params_.failover.mode == FtParams::FailoverPolicy::Mode::kQuorum) {
-    // Silence alone is not grounds for removal under the quorum policy: a
-    // majority of the view must concur first (regroup round). The removal —
-    // if it happens — continues in commit_member_removal.
-    begin_regroup(pred, node_dead, detected_at, last_seen_at);
-    return;
-  }
-  commit_member_removal(pred, node_dead, detected_at, last_seen_at);
-}
-
-void GroupServiceDaemon::commit_member_removal(const MetaMember& pred,
-                                               bool node_dead,
-                                               sim::SimTime detected_at,
-                                               sim::SimTime last_seen_at) {
-  if (!alive()) return;
-  // Re-checked here because a regroup round may have elapsed since the
-  // diagnosis (no-op on the unilateral path, which enters synchronously).
-  const auto idx = view_.index_of(pred.partition);
-  if (!idx || !(view_.members[*idx] == pred)) return;
-  const sim::SimTime diagnosed_at = now();
-  const FaultKind kind =
-      node_dead ? FaultKind::kNodeFailure : FaultKind::kProcessFailure;
-  if (log_ != nullptr) {
-    log_->append(FaultRecord{
-        .component = "GSD",
-        .kind = kind,
-        .node = pred.gsd.node,
-        .partition = pred.partition,
-        .network = net::NetworkId{},
-        .last_seen_at = last_seen_at,
-        .detected_at = detected_at,
-        .diagnosed_at = diagnosed_at,
-    });
-    if (node_dead) {
-      // The server node carried the partition's kernel services too.
-      for (const char* component : {"ES", "DB", "CS"}) {
-        log_->append(FaultRecord{
-            .component = component,
-            .kind = FaultKind::kNodeFailure,
-            .node = pred.gsd.node,
-            .partition = pred.partition,
-            .network = net::NetworkId{},
-            .last_seen_at = last_seen_at,
-            .detected_at = detected_at,
-            .diagnosed_at = diagnosed_at,
-        });
-      }
-    }
-  }
-  {
-    Event e;
-    e.type = std::string(node_dead ? event_types::kNodeFailed
-                                   : event_types::kServiceFailed);
-    e.subject_node = pred.gsd.node;
-    e.attrs = {{"service", "GSD"},
-               {"failed_partition", std::to_string(pred.partition.value)}};
-    publish(std::move(e));
-  }
-
-  // View change: drop the failed member and tell the survivors.
-  tombstones_[pred.partition.value] =
-      std::max(tombstones_[pred.partition.value], pred.incarnation);
-  const bool fence =
-      params_.failover.mode == FtParams::FailoverPolicy::Mode::kQuorum &&
-      params_.failover.fence_stale_epochs;
-  MetaView next = view_;
-  next.remove(pred.partition);
-  ++next.view_id;
-  if (fence) ++next.epoch;  // quorum takeover: new fencing epoch
-  apply_view(next);
-  broadcast_view();
-  if (fence) {
-    send_fence();
-    // Tell the deposed member directly (it is no longer in the broadcast
-    // set): a merely-slow suspect that was legitimately removed steps down
-    // the moment this arrives and rejoins at the tail.
-    auto stale = std::make_shared<ViewChangeMsg>();
-    stale->view = view_;
-    send_any(pred.gsd, std::move(stale));
-  }
-
-  // Recovery of the failed partition.
-  if (!node_dead) {
-    auto restart = std::make_shared<StartServiceMsg>();
-    restart->kind = ServiceKind::kGroupService;
-    restart->partition = pred.partition;
-    restart->create = false;
-    restart->request_id = next_request_id_++;
-    restart->epoch = view_.epoch;
-    send_any(ppm_at(pred.gsd.node), std::move(restart));
-  } else {
-    migrate_partition(pred);
-  }
-}
-
-void GroupServiceDaemon::migrate_partition(const MetaMember& failed) {
-  engine().schedule_after(params_.migration_select_time, [this, failed] {
+void GroupServiceDaemon::migrate_partition(const MetaMember& failed,
+                                           MembershipRing& ring) {
+  MembershipRing* r = &ring;  // rings live as long as this daemon
+  engine().schedule_after(params_.migration_select_time, [this, failed, r] {
     if (!alive() || directory() == nullptr) return;
     const auto targets = directory()->migration_targets(failed.partition);
     if (targets.empty()) {
@@ -642,7 +806,8 @@ void GroupServiceDaemon::migrate_partition(const MetaMember& failed) {
     start->partition = failed.partition;
     start->create = true;
     start->request_id = next_request_id_++;
-    start->epoch = view_.epoch;
+    start->epoch = r->view().epoch;
+    start->scope = r->scope();
     send_any(ppm_at(targets.front()), std::move(start));
     Event e;
     e.type = std::string(event_types::kGsdMigrated);
@@ -654,431 +819,17 @@ void GroupServiceDaemon::migrate_partition(const MetaMember& failed) {
   });
 }
 
-// --- quorum regroup (FailoverPolicy::quorum()) --------------------------------
-//
-// MSCS-style concurrence before removal: the initiator solicits every other
-// live view member; each voter probes the suspect over its OWN links and
-// votes "concur" only if the suspect is silent from its side too. Majority
-// is floor(n/2)+1 of the view including the suspect, counting the
-// initiator's own observation — so a 2-member view can never depose (no
-// quorum exists), and a member on the minority side of a partition retries
-// until the partition heals instead of split-braining.
-
-void GroupServiceDaemon::begin_regroup(const MetaMember& suspect, bool node_dead,
-                                       sim::SimTime detected_at,
-                                       sim::SimTime last_seen_at) {
-  if (regroup_) return;  // one suspicion resolved at a time
-  Regroup r;
-  r.suspect = suspect;
-  r.node_dead = node_dead;
-  r.detected_at = detected_at;
-  r.last_seen_at = last_seen_at;
-  regroup_ = std::move(r);
-  trace(sim::TraceLevel::kWarn,
-        "regroup: soliciting concurrence to remove partition " +
-            std::to_string(suspect.partition.value));
-  solicit_regroup_round();
-}
-
-void GroupServiceDaemon::solicit_regroup_round() {
-  if (!alive() || !regroup_) return;
-  Regroup& r = *regroup_;
-  // The suspect may have been removed or replaced while we waited (another
-  // member's view change, a completed rejoin): drop the stale regroup.
-  const auto idx = view_.index_of(r.suspect.partition);
-  if (!idx || !(view_.members[*idx] == r.suspect)) {
-    regroup_.reset();
-    return;
-  }
-
-  r.round_id = next_round_id_++;
-  r.view_size = view_.members.size();
-  r.concur = 1;  // our own observation of silence
-  r.dissent = 0;
-  r.done = false;
-  r.voters.clear();
-  ++r.rounds_run;
-  ++regroup_rounds_;
-
-  for (const MetaMember& m : view_.members) {
-    if (m.partition == partition_ || m.partition == r.suspect.partition) continue;
-    auto msg = std::make_shared<RegroupProposeMsg>();
-    msg->initiator = partition_;
-    msg->suspect = r.suspect.partition;
-    msg->suspect_incarnation = r.suspect.incarnation;
-    msg->view_id = view_.view_id;
-    msg->round_id = r.round_id;
-    msg->reply_to = address();
-    send_all_networks(m.gsd, std::move(msg));
-  }
-
-  const std::uint64_t round = r.round_id;
-  engine().schedule_after(params_.failover.regroup_round_timeout, [this, round] {
-    if (alive() && regroup_ && regroup_->round_id == round && !regroup_->done) {
-      evaluate_regroup(/*round_over=*/true);
-    }
-  });
-  // A 2-member view settles immediately: quorum needs 2, we alone have 1.
-  evaluate_regroup(/*round_over=*/false);
-}
-
-void GroupServiceDaemon::evaluate_regroup(bool round_over) {
-  if (!regroup_ || regroup_->done) return;
-  Regroup& r = *regroup_;
-  if (r.dissent > 0) {
-    // Someone can still reach the suspect: our silence is a partition on
-    // OUR side, exactly the split-brain the paper's protocol would act on.
-    // One dissent vetoes the removal outright — even a majority of
-    // concurrences only proves the suspect is cut off from SOME members,
-    // not dead (docs/PROTOCOLS.md: "one dissent cancels the regroup").
-    cancel_regroup(/*exonerated=*/true);
-    return;
-  }
-  const int needed = static_cast<int>(r.view_size / 2 + 1);
-  const int solicited = static_cast<int>(r.view_size) - 2;  // minus us + suspect
-  const int received = (r.concur - 1) + r.dissent;
-  const int outstanding = round_over ? 0 : solicited - received;
-
-  if (r.concur >= needed) {
-    // Unanimous-so-far majority concurrence: the removal is safe against
-    // any single asymmetric partition. Commit and fence.
-    r.done = true;
-    const Regroup done = r;
-    regroup_.reset();
-    trace(sim::TraceLevel::kWarn,
-          "regroup: quorum reached (" + std::to_string(done.concur) + "/" +
-              std::to_string(needed) + "), removing partition " +
-              std::to_string(done.suspect.partition.value));
-    commit_member_removal(done.suspect, done.node_dead, done.detected_at,
-                          done.last_seen_at);
-    return;
-  }
-  if (r.concur + outstanding < needed) {
-    // Not enough reachable voters (minority side / 2-member view).
-    regroup_quorum_lost();
-  }
-}
-
-void GroupServiceDaemon::regroup_quorum_lost() {
-  if (!regroup_) return;
-  Regroup& r = *regroup_;
-  r.done = true;
-  ++quorum_losses_;
-  trace(sim::TraceLevel::kError,
-        "regroup: quorum lost (round " + std::to_string(r.rounds_run) +
-            "); suspect partition " + std::to_string(r.suspect.partition.value) +
-            " not removed");
-  Event e;
-  e.type = "meta.quorum_lost";
-  e.subject_node = r.suspect.gsd.node;
-  e.attrs = {{"suspect_partition", std::to_string(r.suspect.partition.value)},
-             {"round", std::to_string(r.rounds_run)}};
-  publish(std::move(e));
-
-  if (params_.failover.max_regroup_rounds > 0 &&
-      r.rounds_run >= params_.failover.max_regroup_rounds) {
-    // Give up until the suspicion re-triggers from a fresh silence period.
-    regroup_.reset();
-    std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
-    return;
-  }
-  engine().schedule_after(params_.failover.regroup_retry_delay,
-                          [this, round = r.round_id] {
-                            if (alive() && regroup_ &&
-                                regroup_->round_id == round) {
-                              solicit_regroup_round();
-                            }
-                          });
-}
-
-void GroupServiceDaemon::cancel_regroup(bool exonerated) {
-  if (!regroup_) return;
-  const MetaMember suspect = regroup_->suspect;
-  regroup_.reset();
-  if (exonerated) {
-    trace(sim::TraceLevel::kInfo,
-          "regroup: suspect partition " + std::to_string(suspect.partition.value) +
-              " exonerated");
-    if (suspect.partition == pred_partition_) {
-      // Fresh grace window: the suspect must go silent for a full period
-      // again before another regroup starts.
-      std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
-      std::fill(pred_net_failed_.begin(), pred_net_failed_.end(), false);
-    }
-  }
-}
-
-void GroupServiceDaemon::handle_regroup_propose(const RegroupProposeMsg& proposal) {
-  // The solicitation travels over every network; answer each round once.
-  auto& last_round = answered_rounds_[proposal.initiator.value];
-  if (proposal.round_id == last_round) return;
-  last_round = proposal.round_id;
-
-  if (proposal.suspect == partition_) {
-    // We are the suspect and evidently alive: dissent.
-    cast_vote(proposal.reply_to, proposal.round_id, false);
-    return;
-  }
-  const auto idx = view_.index_of(proposal.suspect);
-  if (!idx || view_.members[*idx].incarnation != proposal.suspect_incarnation) {
-    // Our view already dropped (or replaced) that member: concur.
-    cast_vote(proposal.reply_to, proposal.round_id, true);
-    return;
-  }
-  const MetaMember suspect = view_.members[*idx];
-
-  // Fresh first-hand evidence: if the suspect is our own ring predecessor
-  // and its heartbeats are current, it is alive — no probe needed.
-  if (suspect.partition == pred_partition_) {
-    const sim::SimTime threshold =
-        params_.heartbeat_interval + params_.heartbeat_grace;
-    for (sim::SimTime seen : pred_last_per_net_) {
-      if (now() - seen <= threshold) {
-        cast_vote(proposal.reply_to, proposal.round_id, false);
-        return;
-      }
-    }
-  }
-
-  // Independent probe over OUR links — the initiator may sit behind a
-  // one-way blackhole that we do not.
-  const std::uint64_t id = next_probe_id_++;
-  vote_probes_.emplace(id, PendingVote{proposal.reply_to, proposal.suspect,
-                                       proposal.round_id});
-  auto probe = std::make_shared<ProbeMsg>();
-  probe->reply_to = address();
-  probe->probe_id = id;
-  send_all_networks(ppm_at(suspect.gsd.node), std::move(probe));
-  engine().schedule_after(params_.failover.regroup_probe_timeout, [this, id] {
-    auto it = vote_probes_.find(id);
-    if (it == vote_probes_.end()) return;  // reply beat the timeout
-    const PendingVote pending = it->second;
-    vote_probes_.erase(it);
-    if (!alive()) return;
-    // Silent from our side too: concur with the removal.
-    cast_vote(pending.reply_to, pending.round_id, true);
-  });
-}
-
-void GroupServiceDaemon::cast_vote(net::Address reply_to, std::uint64_t round_id,
-                                   bool concur) {
-  if (!alive()) return;
-  ++regroup_votes_cast_;
-  auto vote = std::make_shared<RegroupVoteMsg>();
-  vote->voter = partition_;
-  vote->round_id = round_id;
-  vote->concur = concur;
-  send_any(reply_to, std::move(vote));
-}
-
-void GroupServiceDaemon::handle_regroup_vote(const RegroupVoteMsg& vote) {
-  if (!regroup_ || regroup_->done || regroup_->round_id != vote.round_id) return;
-  Regroup& r = *regroup_;
-  // One counted vote per current view member per round: neither we nor the
-  // suspect were solicited, a non-member has no say, and a retried or
-  // multi-path duplicate must not be double-counted toward quorum.
-  if (vote.voter == partition_ || vote.voter == r.suspect.partition) return;
-  if (!view_.index_of(vote.voter)) return;
-  if (std::find(r.voters.begin(), r.voters.end(), vote.voter.value) !=
-      r.voters.end()) {
-    return;
-  }
-  r.voters.push_back(vote.voter.value);
-  if (vote.concur) {
-    ++r.concur;
-  } else {
-    ++r.dissent;
-  }
-  evaluate_regroup(/*round_over=*/false);
-}
-
-void GroupServiceDaemon::send_fence() {
-  if (view_.epoch == 0) return;
-  // Raise the fencing watermark everywhere a deposed member could mutate
-  // state: every node's PPM (service starts) and every partition's
-  // checkpoint instance (view/state saves).
-  auto fence = std::make_shared<EpochFenceMsg>();
-  fence->epoch = view_.epoch;
-  for (const auto& node : cluster().nodes()) {
-    send_any(ppm_at(node.id()), fence);
-  }
-  if (directory() != nullptr) {
-    for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
-      send_any(directory()->service_address(
-                   ServiceKind::kCheckpointService,
-                   net::PartitionId{static_cast<std::uint32_t>(p)}),
-               fence);
-    }
-  }
-}
-
-void GroupServiceDaemon::apply_view(MetaView incoming) {
-  // Epoch ordering comes first: a quorum takeover's view beats any view_id
-  // a deposed member can offer, and a stale-epoch view is discarded unseen
-  // (fencing on the membership plane). Both epochs are 0 under the paper's
-  // unilateral policy, so this reduces to the original view_id ordering.
-  if (incoming.epoch < view_.epoch) return;
-  if (incoming.epoch == view_.epoch) {
-    if (incoming.view_id < view_.view_id) return;
-    if (incoming.view_id == view_.view_id) {
-      const std::string mine = view_.serialize();
-      const std::string theirs = incoming.serialize();
-      if (theirs == mine) return;
-      // Equal-id conflict (e.g. two concurrent ring founders): pick a
-      // deterministic winner — more members first, then serialization order —
-      // so every member converges on the same view.
-      if (incoming.members.size() < view_.members.size()) return;
-      if (incoming.members.size() == view_.members.size() && theirs > mine) return;
-    }
-  }
-
-  // Drop members our tombstones say are dead (stale entries from slow views).
-  std::erase_if(incoming.members, [this](const MetaMember& m) {
-    auto it = tombstones_.find(m.partition.value);
-    return it != tombstones_.end() && m.incarnation <= it->second;
-  });
-
-  trace(sim::TraceLevel::kInfo,
-        "applying view " + std::to_string(incoming.view_id) + " with " +
-            std::to_string(incoming.members.size()) + " members");
-  const MetaView old = std::exchange(view_, std::move(incoming));
-
-  joined_ = false;
-  for (const MetaMember& m : view_.members) {
-    if (m.partition == partition_ && m.incarnation == incarnation_) joined_ = true;
-  }
-  if (joined_) {
-    join_retrier_.stop();
-  } else if (running()) {
-    // Expelled by someone's view change (e.g. a stale diagnosis): get back
-    // in rather than silently running outside the ring.
-    join_retrier_.start_after(kJoinRetryPeriod);
-  }
-
-  // Predecessor may have changed; reset its grace window if so.
-  auto pred = view_.predecessor_of(partition_);
-  const net::PartitionId new_pred = pred ? pred->partition : net::PartitionId{};
-  if (new_pred != pred_partition_) {
-    pred_partition_ = new_pred;
-    std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
-    std::fill(pred_net_failed_.begin(), pred_net_failed_.end(), false);
-    pred_diagnosing_ = false;
-  }
-
-  // A member that is new or re-incarnated relative to the old view means a
-  // GSD recovery completed; close its fault record (first applier wins).
-  for (const MetaMember& m : view_.members) {
-    auto old_idx = old.index_of(m.partition);
-    const bool changed =
-        !old_idx || !(old.members[*old_idx].gsd == m.gsd &&
-                      old.members[*old_idx].incarnation == m.incarnation);
-    if (changed && log_ != nullptr &&
-        log_->mark_recovered_partition("GSD", m.partition, now())) {
-      Event e;
-      e.type = std::string(event_types::kServiceRecovered);
-      e.subject_node = m.gsd.node;
-      e.attrs = {{"service", "GSD"},
-                 {"partition", std::to_string(m.partition.value)}};
-      publish(std::move(e));
-    }
-  }
-
-  save_state();
-}
-
-void GroupServiceDaemon::broadcast_view() {
-  for (const MetaMember& m : view_.members) {
-    if (m.partition == partition_) continue;
-    auto msg = std::make_shared<ViewChangeMsg>();
-    msg->view = view_;
-    send_any(m.gsd, std::move(msg));
-  }
-}
-
-void GroupServiceDaemon::handle_join(const MetaJoinMsg& join) {
-  const MetaMember& member = join.member;
-  if (member.partition == partition_) return;
-
-  if (!is_leader()) {
-    // Forward to the current leader.
-    auto leader = view_.leader();
-    if (leader && leader->partition != partition_) {
-      auto fwd = std::make_shared<MetaJoinMsg>();
-      fwd->member = member;
-      send_any(leader->gsd, std::move(fwd));
-    }
-    return;
-  }
-
-  auto tomb = tombstones_.find(member.partition.value);
-  if (tomb != tombstones_.end() && member.incarnation <= tomb->second) return;
-
-  auto existing = view_.index_of(member.partition);
-  if (existing) {
-    const MetaMember& cur = view_.members[*existing];
-    if (cur.incarnation >= member.incarnation) {
-      // Duplicate join: re-send the current view so the joiner learns it.
-      auto msg = std::make_shared<ViewChangeMsg>();
-      msg->view = view_;
-      send_any(member.gsd, std::move(msg));
-      return;
-    }
-  }
-
-  MetaView next = view_;
-  next.remove(member.partition);
-  next.members.push_back(member);  // rejoiners go to the tail (paper's order)
-  ++next.view_id;
-  apply_view(next);
-  broadcast_view();
-  // The joiner may not be in our broadcast path if apply_view dropped it;
-  // send the view directly too.
-  auto msg = std::make_shared<ViewChangeMsg>();
-  msg->view = view_;
-  send_any(member.gsd, std::move(msg));
-}
-
-void GroupServiceDaemon::try_rejoin() {
-  if (!alive() || joined_ || directory() == nullptr) return;
-  if (++futile_join_attempts_ > 10) {
-    // Nobody answered ten rounds of joins: the ring is gone (or we are the
-    // first GSD up). Found a fresh singleton group; others will join it.
-    futile_join_attempts_ = 0;
-    join_retrier_.stop();
-    MetaView v;
-    v.view_id = view_.view_id + 1;
-    // Keep the fencing epoch across re-founding (floored: a migrated fresh
-    // instance that never recovered a view must still stamp nonzero epochs
-    // under quorum fencing).
-    v.epoch = std::max(view_.epoch, epoch_floor());
-    v.members = {MetaMember{partition_, address(), incarnation_}};
-    view_ = std::move(v);
-    joined_ = true;
-    save_state();
-    return;
-  }
-  auto join = std::make_shared<MetaJoinMsg>();
-  join->member = MetaMember{partition_, address(), incarnation_};
-  for (std::size_t p = 0; p < directory()->partition_count(); ++p) {
-    const net::PartitionId pid{static_cast<std::uint32_t>(p)};
-    if (pid == partition_) continue;
-    send_any(directory()->service_address(ServiceKind::kGroupService, pid), join);
-  }
-}
-
 void GroupServiceDaemon::fetch_state_and_join() {
   if (directory() == nullptr) {
-    joined_ = true;
+    primary_ring_->mark_joined();
     return;
   }
-  if (directory()->partition_count() == 1) {
+  const bool singleton =
+      zoned_ ? zones_.zone_members(zone_).size() == 1
+             : directory()->partition_count() == 1;
+  if (singleton) {
     // Nothing to rejoin; adopt a singleton view.
-    MetaView v;
-    v.view_id = view_.view_id + 1;
-    v.epoch = std::max(view_.epoch, epoch_floor());
-    v.members = {MetaMember{partition_, address(), incarnation_}};
-    view_ = v;
-    joined_ = true;
+    primary_ring_->found(primary_ring_->view().view_id + 1, /*persist=*/false);
     check_services();
     return;
   }
@@ -1096,14 +847,17 @@ void GroupServiceDaemon::fetch_state_and_join() {
              std::move(load));
   };
   send_load(partition_);
-  send_load(net::PartitionId{static_cast<std::uint32_t>(
-      (partition_.value + 1) % directory()->partition_count())});
+  // Replica target: the ring successor — (p+1) mod partitions on the flat
+  // ring, the next member of our zone under a zoned topology.
+  send_load(zoned_ ? zones_.next_in_zone(partition_)
+                   : net::PartitionId{static_cast<std::uint32_t>(
+                         (partition_.value + 1) % directory()->partition_count())});
   state_load_id_ = load_id;
 
   // Whether or not the state fetch answers, keep trying to join; and bring
   // local services back regardless.
-  join_retrier_.start_after(params_.checkpoint_federation_fetch +
-                            500 * sim::kMillisecond);
+  primary_ring_->begin_join_search(params_.checkpoint_federation_fetch +
+                                   500 * sim::kMillisecond);
 }
 
 void GroupServiceDaemon::check_services() {
@@ -1170,7 +924,8 @@ void GroupServiceDaemon::check_services() {
           start->partition = partition_;
           start->create = create;
           start->request_id = next_request_id_++;
-          start->epoch = view_.epoch;
+          start->epoch = primary_ring_->view().epoch;
+          start->scope = primary_ring_->scope();
           send_any(ppm_at(node_id()), std::move(start));
         });
     if (create && spec->kind == ServiceKind::kCheckpointService) {
@@ -1206,89 +961,68 @@ void GroupServiceDaemon::handle_service_up(const ServiceUpMsg& up) {
 
 // --- message handlers ---------------------------------------------------------
 
-void GroupServiceDaemon::handle_ring_heartbeat(const RingHeartbeatMsg& ring,
-                                               const net::Envelope& env) {
-  if (ring.from_partition != pred_partition_ ||
-      env.network.value >= pred_last_per_net_.size()) {
-    return;
-  }
-  pred_last_per_net_[env.network.value] = now();
-  if (pred_diagnosing_) {
-    // A live predecessor cancels any suspicion, including probes in flight.
-    pred_diagnosing_ = false;
-    std::erase_if(probes_, [&](const auto& kv) {
-      return kv.second.meta &&
-             kv.second.meta_member.partition == ring.from_partition;
-    });
-  }
-  if (regroup_ && regroup_->suspect.partition == ring.from_partition) {
-    // Direct proof of life mid-regroup: exonerate without waiting for votes.
-    cancel_regroup(/*exonerated=*/true);
-  }
-  if (pred_net_failed_[env.network.value]) {
-    pred_net_failed_[env.network.value] = false;
-    Event e;
-    e.type = std::string(event_types::kNetworkRecovered);
-    e.subject_node = env.from.node;
-    e.attrs = {{"network", std::to_string(env.network.value)},
-               {"component", "GSD"}};
-    publish(std::move(e));
-  }
-}
-
 void GroupServiceDaemon::handle_probe_reply(const ProbeReplyMsg& reply) {
-  // Voter-side regroup probe: our own reachability check of a solicited
-  // suspect. Alive GSD => dissent; node up but GSD dead => concur.
-  auto vit = vote_probes_.find(reply.probe_id);
-  if (vit != vote_probes_.end()) {
-    const PendingVote pending = vit->second;
-    vote_probes_.erase(vit);
-    cast_vote(pending.reply_to, pending.round_id, !reply.gsd_running);
-    return;
-  }
+  // Probe ids are globally unique across the rings' tables and ours, so the
+  // reply matches exactly one owner; route rings first (vote probes, then
+  // predecessor-diagnosis probes).
+  if (primary_ring_->consume_probe_reply(reply)) return;
+  if (top_ring_ != nullptr && top_ring_->consume_probe_reply(reply)) return;
 
   auto it = probes_.find(reply.probe_id);
   if (it == probes_.end() || it->second.answered) return;
   it->second.answered = true;
   const Probe probe = it->second;
   probes_.erase(it);
-  if (probe.meta) {
+  if (probe.census) {
+    MembershipRing& ring =
+        probe.census_top && top_ring_ != nullptr ? *top_ring_ : *primary_ring_;
     if (reply.gsd_running) {
-      // The GSD process is alive on its node: the ring heartbeats were
-      // lost in transit, not a failure. Reset the grace window.
-      pred_diagnosing_ = false;
-      if (probe.meta_member.partition == pred_partition_) {
-        std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
-      }
+      // Alive but absent from the ring: a stale believer (e.g. an isolated
+      // ex-leader still holding its old view). Re-invite it by sending the
+      // ring's current view — a higher view id dislodges its stale one and
+      // its rejoin logic does the rest.
+      auto msg = std::make_shared<ViewChangeMsg>();
+      msg->view = ring.view();
+      msg->scope = ring.scope();
+      send_any(directory()->service_address(ServiceKind::kGroupService,
+                                            probe.census_partition),
+               std::move(msg));
       return;
     }
-    // The node answered but its GSD is dead: one confirmation round
-    // before declaring the GSD process dead and reforming the ring.
-    engine().schedule_after(params_.process_confirm_delay, [this, probe] {
-      conclude_meta_failure(probe.meta_member, /*node_dead=*/false,
-                            probe.detected_at, probe.last_seen_at);
-    });
-  } else {
-    if (reply.wd_running) {
-      // False alarm (lost heartbeats): the WD process is alive.
-      auto wit = watches_.find(probe.node.value);
-      if (wit != watches_.end()) {
-        wit->second.diagnosing = false;
-        wit->second.status = NodeStatus::kHealthy;
-        std::fill(wit->second.last_per_net.begin(),
-                  wit->second.last_per_net.end(), now());
-      }
-      return;
-    }
-    // The node answered and its WD is dead. One more confirmation round
-    // before declaring it.
-    engine().schedule_after(params_.process_confirm_delay,
-                            [this, probe] {
-                              conclude_wd_process_failure(
-                                  probe.node, probe.detected_at,
-                                  probe.last_seen_at);
-                            });
+    // Node alive, GSD process dead: restart it in place under the ring's
+    // current epoch.
+    trace(sim::TraceLevel::kInfo,
+          "census: restarting dead GSD of partition " +
+              std::to_string(probe.census_partition.value));
+    auto restart = std::make_shared<StartServiceMsg>();
+    restart->kind = ServiceKind::kGroupService;
+    restart->partition = probe.census_partition;
+    restart->create = false;
+    restart->request_id = next_request_id_++;
+    restart->epoch = ring.view().epoch;
+    restart->scope = ring.scope();
+    send_any(ppm_at(probe.node), std::move(restart));
+    return;
   }
+  if (reply.wd_running) {
+    // False alarm (lost heartbeats): the WD process is alive.
+    auto wit = watches_.find(probe.node.value);
+    if (wit != watches_.end()) {
+      wit->second.diagnosing = false;
+      wit->second.status = NodeStatus::kHealthy;
+      std::fill(wit->second.last_per_net.begin(), wit->second.last_per_net.end(),
+                now());
+    }
+    return;
+  }
+  // The node answered and its WD is dead. One more confirmation round
+  // before declaring it.
+  engine().schedule_after(params_.process_confirm_delay,
+                          [this, probe] {
+                            conclude_wd_process_failure(
+                                probe.node, probe.detected_at,
+                                probe.last_seen_at);
+                          });
 }
 
 void GroupServiceDaemon::handle_start_service_reply(
@@ -1318,19 +1052,10 @@ void GroupServiceDaemon::handle_state_load_reply(
   if (reply.request_id != state_load_id_ || state_load_id_ == 0) return;
   state_load_id_ = 0;
   if (reply.found) {
-    MetaView recovered = MetaView::deserialize(reply.data);
-    // The recovered view predates our death; adopt it as a hint for the
-    // membership we are rejoining (addresses of live members).
-    if (recovered.view_id >= view_.view_id) {
-      recovered.remove(partition_);  // our old entry is stale
-      view_ = std::move(recovered);
-      // A checkpoint written before quorum fencing was enabled may carry
-      // epoch 0; re-apply the floor so our stamps stay nonzero.
-      view_.epoch = std::max(view_.epoch, epoch_floor());
-    }
+    primary_ring_->adopt_recovered_view(MetaView::deserialize(reply.data));
   }
-  try_rejoin();
-  join_retrier_.start_after(kJoinRetryPeriod);
+  primary_ring_->rejoin_now();
+  primary_ring_->begin_join_search(MembershipRing::kJoinRetryPeriod);
   check_services();
 }
 

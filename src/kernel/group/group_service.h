@@ -10,13 +10,22 @@
 //    compute node; single-NIC failures are only reported — each node has
 //    three networks, so one loss is not fatal).
 //
-//  * Meta-group membership: the GSDs form a ring (join order; Leader is
-//    the first member, Princess the second). Each member ring-heartbeats
-//    its successor over all networks and monitors its predecessor. The
-//    member next to a failed member removes it from the view, broadcasts
-//    the new view, and recovers the failed partition: restart the GSD in
-//    place (process death) or migrate it — and the partition's ES/CS/DB —
-//    to a backup node (server-node death).
+//  * Membership: the ring protocol itself (join order, Leader/Princess,
+//    ring heartbeats, regroup, fencing) lives in MembershipRing; the GSD
+//    hosts one or two instances of it depending on FtParams::GroupTopology:
+//
+//      - flat() (the paper's §4.3 shape): ONE ring at scope 0 spanning
+//        every partition's GSD — byte-identical on the wire to the
+//        pre-refactor implementation.
+//      - zoned(n): the partition's ZONE sub-ring (scope = zone + 1), which
+//        owns fault logging and partition recovery for its members, plus —
+//        while this GSD leads its zone — the TOP RING of zone leaders
+//        (scope = kTopRingScope, membership-only, never checkpointed).
+//        Zone churn aggregates up through the zone leader as one summarized
+//        event per window; a periodic census run by zone leaders (zone
+//        members) and the top leader (orphaned zones) re-invites stale
+//        members and migrates unreachable ones, so even whole-zone death
+//        heals without a flat view of the cluster.
 //
 //  * Service supervision: kernel services (and registered extension
 //    services such as the PWS scheduler) on the GSD's node are liveness-
@@ -38,8 +47,10 @@
 #include "kernel/event/event.h"
 #include "kernel/fault_log.h"
 #include "kernel/ft_params.h"
+#include "kernel/group/membership_ring.h"
 #include "kernel/group/meta_group.h"
 #include "kernel/group/watch_daemon.h"
+#include "kernel/group/zone_ring.h"
 #include "kernel/runtime/service_runtime.h"
 #include "kernel/service_kind.h"
 #include "kernel/service_msgs.h"
@@ -58,7 +69,8 @@ struct SupervisedSpec {
   net::PortId port;        // mailbox port of the supervised instance
 };
 
-class GroupServiceDaemon final : public ServiceRuntime {
+class GroupServiceDaemon final : public ServiceRuntime,
+                                 public MembershipRing::Host {
  public:
   enum class NodeStatus : std::uint8_t {
     kHealthy,
@@ -75,35 +87,76 @@ class GroupServiceDaemon final : public ServiceRuntime {
 
   net::PartitionId partition() const noexcept { return partition_; }
 
-  /// Seeds the initial meta-group view (used at cluster boot so the ring
-  /// forms without a join storm).
+  /// Seeds the initial view of this GSD's primary ring — the flat
+  /// meta-group, or the partition's zone sub-ring under a zoned topology
+  /// (used at cluster boot so the ring forms without a join storm).
   void set_initial_view(MetaView view);
 
-  /// Marks this GSD as the ring founder: on start it forms a singleton view
+  /// Seeds the initial top-ring view (zoned boot: the zone leaders). Adopted
+  /// when this GSD first becomes its zone's leader; ignored in flat mode.
+  void seed_top_view(MetaView view);
+
+  /// Marks this GSD as a ring founder: on start it forms a singleton view
   /// immediately instead of searching for peers. Used by the system
   /// construction tool's staged boot; later GSDs join incrementally.
   void request_bootstrap() noexcept { bootstrap_requested_ = true; }
 
-  bool joined() const noexcept { return joined_; }
+  bool joined() const noexcept { return primary_ring_->joined(); }
 
-  const MetaView& view() const noexcept { return view_; }
-  bool is_leader() const;
-  bool is_princess() const;
+  /// Primary-ring view: the flat meta-group, or this partition's zone
+  /// sub-ring under a zoned topology.
+  const MetaView& view() const noexcept { return primary_ring_->view(); }
+  bool is_leader() const { return primary_ring_->is_ring_leader(); }
+  bool is_princess() const { return primary_ring_->is_ring_princess(); }
   std::uint64_t incarnation() const noexcept { return incarnation_; }
 
-  /// Current meta-group fencing epoch. Always 0 under the paper's unilateral
-  /// policy; under quorum fencing, views bootstrap at epoch 1 (epoch_floor)
-  /// so even the FIRST takeover — which bumps to 2 — outranks the deposed
-  /// member's stamped traffic.
-  std::uint64_t meta_epoch() const noexcept { return view_.epoch; }
-  /// True while a regroup round (quorum solicitation) is in flight.
-  bool regroup_active() const noexcept { return regroup_.has_value(); }
+  /// Current fencing epoch of the primary ring. Always 0 under the paper's
+  /// unilateral policy; under quorum fencing, views bootstrap at epoch 1
+  /// (epoch_floor) so even the FIRST takeover — which bumps to 2 — outranks
+  /// the deposed member's stamped traffic.
+  std::uint64_t meta_epoch() const noexcept { return primary_ring_->view().epoch; }
+  /// True while a regroup round (quorum solicitation) is in flight on the
+  /// primary ring.
+  bool regroup_active() const noexcept { return primary_ring_->regroup_active(); }
   /// Regroup rounds this member has initiated / rounds that ended without a
   /// quorum (minority side of a partition, or a 2-member view).
-  std::uint64_t regroup_rounds() const noexcept { return regroup_rounds_; }
-  std::uint64_t quorum_losses() const noexcept { return quorum_losses_; }
+  std::uint64_t regroup_rounds() const noexcept {
+    return primary_ring_->regroup_rounds();
+  }
+  std::uint64_t quorum_losses() const noexcept {
+    return primary_ring_->quorum_losses();
+  }
   /// Concurrence votes this member cast as a solicited voter.
-  std::uint64_t regroup_votes_cast() const noexcept { return regroup_votes_cast_; }
+  std::uint64_t regroup_votes_cast() const noexcept {
+    return primary_ring_->regroup_votes_cast();
+  }
+
+  // -- zoned-topology observers (flat mode: aliases of the flat ring) --
+  bool zoned() const noexcept { return zoned_; }
+  const ZoneTopology& zones() const noexcept { return zones_; }
+  std::uint32_t zone() const noexcept { return zone_; }
+  std::uint32_t zone_count() const noexcept { return zones_.num_zones; }
+  /// Top-ring membership/leadership. In flat mode the single ring IS the
+  /// top ring, so these alias the flat accessors (keeps monitors uniform).
+  bool is_top_member() const noexcept {
+    return zoned_ ? top_ring_ != nullptr && top_ring_->joined() : joined();
+  }
+  bool is_top_leader() const noexcept {
+    return zoned_ ? top_ring_ != nullptr && top_ring_->is_ring_leader()
+                  : is_leader();
+  }
+  std::uint64_t top_epoch() const noexcept {
+    return zoned_ && top_ring_ != nullptr ? top_ring_->view().epoch
+                                          : meta_epoch();
+  }
+  const MetaView& top_view() const noexcept {
+    return zoned_ && top_ring_ != nullptr ? top_ring_->view()
+                                          : primary_ring_->view();
+  }
+  /// Aggregated zone-churn events this zone leader has emitted.
+  std::uint64_t zone_churn_events() const noexcept {
+    return churn_ != nullptr ? churn_->events_emitted() : 0;
+  }
 
   /// Registers an extension service on this node for supervision.
   void supervise(SupervisedSpec spec);
@@ -113,20 +166,60 @@ class GroupServiceDaemon final : public ServiceRuntime {
   /// Heartbeats received per node (tests).
   std::uint64_t heartbeats_received() const noexcept { return heartbeats_received_; }
 
+  // -- MembershipRing::Host --------------------------------------------------
+  cluster::Cluster& ring_cluster() override { return cluster(); }
+  bool ring_alive() const override { return alive(); }
+  bool ring_running() const override { return running(); }
+  net::Address ring_address() const override { return address(); }
+  net::PartitionId ring_partition() const override { return partition_; }
+  ServiceDirectory* ring_directory() override { return directory(); }
+  std::uint64_t ring_incarnation() const override { return incarnation_; }
+  std::uint64_t ring_next_probe_id() override { return next_probe_id_++; }
+  void ring_trace(sim::TraceLevel level, const std::string& text) override;
+  void ring_publish(Event e) override;
+  void ring_send_any(net::Address to,
+                     std::shared_ptr<const net::Message> msg) override;
+  void ring_send_all_networks(net::Address to,
+                              std::shared_ptr<const net::Message> msg) override;
+  void ring_save_state(MembershipRing& ring) override;
+  std::vector<net::Address> ring_join_targets(MembershipRing& ring) override;
+  std::uint32_t ring_zone_of(net::PartitionId p) const override {
+    return zones_.zone_of(p);
+  }
+  void ring_log_member_failure(MembershipRing& ring, const MetaMember& member,
+                               bool node_dead, sim::SimTime last_seen_at,
+                               sim::SimTime detected_at,
+                               sim::SimTime diagnosed_at) override;
+  void ring_member_removed(MembershipRing& ring, const MetaMember& member,
+                           bool node_dead) override;
+  void ring_recover_member(MembershipRing& ring, const MetaMember& member,
+                           bool node_dead) override;
+  void ring_member_recovered(MembershipRing& ring,
+                             const MetaMember& member) override;
+  void ring_diagnose_network_failure(MembershipRing& ring, net::NodeId node,
+                                     net::NetworkId network,
+                                     sim::SimTime detected_at,
+                                     sim::SimTime last_seen_at) override;
+  void ring_view_changed(MembershipRing& ring, const MetaView& old_view) override;
+  void ring_regroup_round(MembershipRing& ring) override;
+
  private:
   void on_service_start() override;
   void on_service_stop() override;
-  /// The checkpointed state is the meta-group view (paired with the custom
-  /// CheckpointLoadReplyMsg handler — recovery here is fetch_state_and_join,
-  /// not the runtime's generic restore-then-announce loop).
-  std::string snapshot() const override { return view_.serialize(); }
-  /// GSD checkpoint saves are stamped with the meta-group epoch so a deposed
-  /// instance cannot overwrite its successor's view (0 under unilateral).
-  std::uint64_t fence_epoch() const override { return view_.epoch; }
+  /// The checkpointed state is the primary ring's view (paired with the
+  /// custom CheckpointLoadReplyMsg handler — recovery here is
+  /// fetch_state_and_join, not the runtime's generic restore loop).
+  std::string snapshot() const override { return primary_ring_->view().serialize(); }
+  /// GSD checkpoint saves are stamped with the primary ring's epoch so a
+  /// deposed instance cannot overwrite its successor's view (0 under
+  /// unilateral).
+  std::uint64_t fence_epoch() const override { return primary_ring_->view().epoch; }
+  /// ... and with the primary ring's scope, so zone rings fence
+  /// independently (0 in flat mode — wire unchanged).
+  std::uint32_t fence_scope() const override { return primary_ring_->scope(); }
 
   // -- partition monitoring --
   void handle_heartbeat(const HeartbeatMsg& hb, net::NetworkId network);
-  void handle_ring_heartbeat(const RingHeartbeatMsg& ring, const net::Envelope& env);
   void handle_probe_reply(const ProbeReplyMsg& reply);
   void handle_start_service_reply(const StartServiceReplyMsg& reply);
   void handle_state_load_reply(const CheckpointLoadReplyMsg& reply);
@@ -141,36 +234,24 @@ class GroupServiceDaemon final : public ServiceRuntime {
                                 sim::SimTime detected_at, const char* component,
                                 sim::SimTime last_seen_at);
 
-  // -- meta-group --
-  void send_ring_heartbeat();
-  void check_meta();
-  void conclude_meta_failure(const MetaMember& pred, bool node_dead,
-                             sim::SimTime detected_at, sim::SimTime last_seen_at);
-  void commit_member_removal(const MetaMember& pred, bool node_dead,
-                             sim::SimTime detected_at, sim::SimTime last_seen_at);
-  void apply_view(MetaView incoming);
-  void broadcast_view();
-  void handle_join(const MetaJoinMsg& join);
-  void try_rejoin();
+  // -- membership plumbing --
+  MembershipRing* ring_for(std::uint32_t scope);
   void fetch_state_and_join();
-  void migrate_partition(const MetaMember& failed);
+  void migrate_partition(const MetaMember& failed, MembershipRing& ring);
 
-  // -- quorum regroup (FailoverPolicy::quorum()) --
-  void begin_regroup(const MetaMember& suspect, bool node_dead,
-                     sim::SimTime detected_at, sim::SimTime last_seen_at);
-  void solicit_regroup_round();
-  void evaluate_regroup(bool round_over);
-  void regroup_quorum_lost();
-  void cancel_regroup(bool exonerated);
-  void handle_regroup_propose(const RegroupProposeMsg& proposal);
-  void handle_regroup_vote(const RegroupVoteMsg& vote);
-  void cast_vote(net::Address reply_to, std::uint64_t round_id, bool concur);
-  void send_fence();
-  /// Floor for the meta-view fencing epoch: 1 under quorum fencing (so a
-  /// GSD's mutating RPCs are never stamped with the unconditionally-admitted
-  /// epoch 0, and the first takeover can already fence its predecessor),
-  /// 0 otherwise (keeps every paper-policy wire format byte-identical).
-  std::uint64_t epoch_floor() const noexcept;
+  // -- zone hierarchy --
+  /// Reconciles this GSD's role after a primary-ring view change: a newly
+  /// elected/promoted zone leader activates its top-ring membership; a
+  /// deposed one suspends it. No-op in flat mode.
+  void update_zone_role(const MetaView& old_view);
+  void ensure_top_ring_active();
+  void suspend_top_ring();
+  /// Periodic census (zoned only): as zone leader, probe-and-recover
+  /// statically-assigned zone members missing from the zone view; as top
+  /// leader, probe-and-recover the first partition of any zone with no top
+  /// ring representative (whole-zone death / stale believers).
+  void run_census();
+  void census_probe(net::PartitionId target, bool top);
 
   // -- supervision --
   void check_services();
@@ -188,6 +269,11 @@ class GroupServiceDaemon final : public ServiceRuntime {
   FaultLog* log_;
   std::uint64_t incarnation_ = 0;
 
+  // Zone decomposition (flat mode: one zone covering everything).
+  bool zoned_ = false;
+  ZoneTopology zones_;
+  std::uint32_t zone_ = 0;
+
   // Partition (WD) monitoring state.
   struct NodeWatch {
     std::vector<sim::SimTime> last_per_net;  // last heartbeat per network
@@ -198,16 +284,18 @@ class GroupServiceDaemon final : public ServiceRuntime {
   std::unordered_map<std::uint32_t, NodeWatch> watches_;
   std::uint64_t heartbeats_received_ = 0;
 
-  // Probe bookkeeping (both WD diagnosis and meta-group cross-checks).
+  // Probe bookkeeping (WD diagnosis + census probes; the rings keep their
+  // own probe tables, all drawing ids from the shared counter below).
   struct Probe {
     net::NodeId node;
     int attempts_left = 0;
-    bool meta = false;
     sim::SimTime detected_at = 0;
     sim::SimTime started_at = 0;
     sim::SimTime last_seen_at = 0;
     bool answered = false;
-    MetaMember meta_member;  // valid when meta
+    bool census = false;              // census probe (zoned hierarchy repair)
+    net::PartitionId census_partition;  // partition under census
+    bool census_top = false;          // repair on behalf of the top ring
   };
   std::unordered_map<std::uint64_t, Probe> probes_;
   std::uint64_t next_probe_id_ = 1;
@@ -220,66 +308,31 @@ class GroupServiceDaemon final : public ServiceRuntime {
   std::unordered_map<std::uint64_t, PendingRecovery> pending_recoveries_;
   std::uint64_t next_request_id_ = 1;
 
-  // Meta-group state.
-  MetaView view_;
-  std::uint64_t ring_seq_ = 0;
-  std::vector<sim::SimTime> pred_last_per_net_;
-  std::vector<bool> pred_net_failed_;
-  net::PartitionId pred_partition_{};
-  bool pred_diagnosing_ = false;
-  std::unordered_map<std::uint32_t, std::uint64_t> tombstones_;  // partition -> incarnation
+  // Membership rings. primary_ring_ always exists (scope 0 flat, or the
+  // partition's zone sub-ring); top_ring_ exists only under zoned().
+  std::unique_ptr<MembershipRing> primary_ring_;
+  std::unique_ptr<MembershipRing> top_ring_;
+  bool top_active_ = false;
+  bool was_zone_leader_ = false;
+  bool has_seeded_top_view_ = false;
+  MetaView seeded_top_view_;
+  std::unique_ptr<ZoneChurnAggregator> churn_;
+  // Per-partition census backoff: next time a census probe may be sent.
+  std::unordered_map<std::uint32_t, sim::SimTime> census_backoff_;
 
-  // Quorum regroup state (initiator side). One regroup at a time: the view
-  // change it commits re-evaluates every other suspicion anyway.
-  struct Regroup {
-    MetaMember suspect;
-    bool node_dead = false;
-    sim::SimTime detected_at = 0;
-    sim::SimTime last_seen_at = 0;
-    std::uint64_t round_id = 0;
-    std::size_t view_size = 0;  // members at solicitation, incl. us + suspect
-    int concur = 0;             // incl. our own observation
-    int dissent = 0;
-    int rounds_run = 0;
-    bool done = false;          // round settled; ignore stragglers
-    /// Partitions whose vote was counted this round: a duplicated or
-    /// replayed RegroupVoteMsg must not be double-counted toward quorum.
-    std::vector<std::uint32_t> voters;
-  };
-  std::optional<Regroup> regroup_;
-  std::uint64_t next_round_id_ = 1;
-  std::uint64_t regroup_rounds_ = 0;
-  std::uint64_t quorum_losses_ = 0;
-  std::uint64_t regroup_votes_cast_ = 0;
-
-  // Voter side: independent suspect probes in flight, keyed by probe id.
-  struct PendingVote {
-    net::Address reply_to;
-    net::PartitionId suspect;
-    std::uint64_t round_id = 0;
-  };
-  std::unordered_map<std::uint64_t, PendingVote> vote_probes_;
-  // Initiator partition -> last round answered (dedups the multi-network
-  // delivery of RegroupProposeMsg so each round gets exactly one vote).
-  std::unordered_map<std::uint32_t, std::uint64_t> answered_rounds_;
-
-  bool joined_ = false;
   bool booted_with_view_ = false;
   bool bootstrap_requested_ = false;
   bool started_before_ = false;
   std::uint64_t state_load_id_ = 0;
-  int futile_join_attempts_ = 0;
 
   // Supervised services.
   std::vector<SupervisedSpec> supervised_;
   std::unordered_map<std::string, bool> service_recovering_;  // by component
 
-  // Timers.
+  // Timers (the rings own their checker/beater/retrier timers).
   sim::PeriodicTask partition_checker_;
-  sim::PeriodicTask meta_checker_;
   sim::PeriodicTask service_checker_;
-  sim::PeriodicTask ring_beater_;
-  sim::PeriodicTask join_retrier_;
+  sim::PeriodicTask census_checker_;
 };
 
 }  // namespace phoenix::kernel

@@ -1,0 +1,786 @@
+#include "kernel/group/membership_ring.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "kernel/ppm/process_manager.h"
+
+namespace phoenix::kernel {
+
+MembershipRing::MembershipRing(Host& host, cluster::Cluster& cluster,
+                               const FtParams& params, Config config)
+    : host_(host),
+      cluster_(cluster),
+      params_(params),
+      config_(std::move(config)),
+      meta_checker_(cluster.engine(), params.heartbeat_interval,
+                    [this] { check_meta(); }),
+      ring_beater_(cluster.engine(), params.heartbeat_interval,
+                   [this] { send_ring_heartbeat(); }),
+      join_retrier_(cluster.engine(), kJoinRetryPeriod, [this] { try_rejoin(); }) {}
+
+std::uint64_t MembershipRing::epoch_floor() const noexcept {
+  return params_.failover.mode == FtParams::FailoverPolicy::Mode::kQuorum &&
+                 params_.failover.fence_stale_epochs
+             ? 1
+             : 0;
+}
+
+net::Address MembershipRing::ppm_at(net::NodeId node) const {
+  return {node, port_of(ServiceKind::kProcessManager)};
+}
+
+void MembershipRing::publish_scoped(Event e) {
+  if (config_.scope != 0) {
+    e.attrs.emplace_back("scope", std::to_string(config_.scope));
+  }
+  host_.ring_publish(std::move(e));
+}
+
+bool MembershipRing::is_ring_leader() const {
+  auto l = view_.leader();
+  return l && l->partition == host_.ring_partition() && joined_;
+}
+
+bool MembershipRing::is_ring_princess() const {
+  auto p = view_.princess();
+  return p && p->partition == host_.ring_partition() && joined_;
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+void MembershipRing::seed_view(MetaView view) {
+  view_ = std::move(view);
+  view_.epoch = std::max(view_.epoch, epoch_floor());
+  joined_ = view_.contains(host_.ring_partition());
+  pred_partition_ = net::PartitionId{};
+}
+
+void MembershipRing::found(std::uint64_t view_id, bool persist) {
+  futile_join_attempts_ = 0;
+  join_retrier_.stop();
+  MetaView v;
+  v.view_id = view_id;
+  // Keep the fencing epoch across re-founding (floored: a migrated fresh
+  // instance that never recovered a view must still stamp nonzero epochs
+  // under quorum fencing).
+  v.epoch = std::max(view_.epoch, epoch_floor());
+  v.members = {MetaMember{host_.ring_partition(), host_.ring_address(),
+                          host_.ring_incarnation()}};
+  const MetaView old = std::exchange(view_, std::move(v));
+  joined_ = true;
+  if (persist && config_.persists_view) host_.ring_save_state(*this);
+  host_.ring_view_changed(*this, old);
+}
+
+void MembershipRing::adopt_recovered_view(MetaView recovered) {
+  // The recovered view predates our death; adopt it as a hint for the
+  // membership we are rejoining (addresses of live members).
+  if (recovered.view_id >= view_.view_id) {
+    recovered.remove(host_.ring_partition());  // our old entry is stale
+    view_ = std::move(recovered);
+    // A checkpoint written before quorum fencing was enabled may carry
+    // epoch 0; re-apply the floor so our stamps stay nonzero.
+    view_.epoch = std::max(view_.epoch, epoch_floor());
+  }
+}
+
+void MembershipRing::reset_runtime_state(std::size_t network_count) {
+  pred_last_per_net_.assign(network_count, now());
+  pred_net_failed_.assign(network_count, false);
+  pred_diagnosing_ = false;
+  probes_.clear();
+  regroup_.reset();
+  vote_probes_.clear();
+  answered_rounds_.clear();
+  futile_join_attempts_ = 0;
+}
+
+void MembershipRing::arm(sim::SimTime scan_period, sim::SimTime checker_delay,
+                         sim::SimTime beat_period) {
+  meta_checker_.set_period(scan_period);
+  ring_beater_.set_period(beat_period);
+  meta_checker_.start_after(checker_delay);
+  // Jittered first beat so co-booted members do not phase-lock their ring
+  // traffic (same RNG draw position as the original GSD start sequence).
+  ring_beater_.start_after(
+      cluster_.engine().rng().uniform_int(1, 10 * sim::kMillisecond));
+}
+
+void MembershipRing::begin_join_search(sim::SimTime delay) {
+  join_retrier_.start_after(delay);
+}
+
+void MembershipRing::stop() {
+  meta_checker_.stop();
+  ring_beater_.stop();
+  join_retrier_.stop();
+}
+
+// --- ring heartbeats and predecessor monitoring ------------------------------
+
+void MembershipRing::send_ring_heartbeat() {
+  if (!host_.ring_alive() || !joined_ || view_.members.size() < 2) return;
+  auto succ = view_.successor_of(host_.ring_partition());
+  if (!succ) return;
+  auto hb = std::make_shared<RingHeartbeatMsg>();
+  hb->from_partition = host_.ring_partition();
+  hb->view_id = view_.view_id;
+  hb->seq = ++ring_seq_;
+  hb->scope = config_.scope;
+  host_.ring_send_all_networks(succ->gsd, std::move(hb));
+}
+
+void MembershipRing::check_meta() {
+  if (!host_.ring_alive() || !joined_ || view_.members.size() < 2 ||
+      pred_diagnosing_ || regroup_.has_value()) {
+    return;
+  }
+  auto pred = view_.predecessor_of(host_.ring_partition());
+  if (!pred) return;
+  if (pred->partition != pred_partition_) {
+    // Predecessor changed since the last check; restart the grace window.
+    pred_partition_ = pred->partition;
+    std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+    std::fill(pred_net_failed_.begin(), pred_net_failed_.end(), false);
+    return;
+  }
+  const sim::SimTime threshold = params_.heartbeat_interval + params_.heartbeat_grace;
+  std::size_t fresh = 0;
+  for (sim::SimTime last : pred_last_per_net_) {
+    if (now() - last <= threshold) ++fresh;
+  }
+  if (fresh == pred_last_per_net_.size()) return;
+
+  if (fresh == 0) {
+    // Every network silent at once is exactly the asymmetric-partition shape
+    // that can split-brain a Princess takeover — flag it before probing.
+    host_.ring_trace(
+        sim::TraceLevel::kError,
+        config_.label + " predecessor partition " +
+            std::to_string(pred->partition.value) +
+            " silent on all networks; split-brain suspect, probing");
+    pred_diagnosing_ = true;
+    const std::uint64_t id = host_.ring_next_probe_id();
+    MetaProbe probe;
+    probe.member = *pred;
+    probe.attempts_left = 1;
+    probe.detected_at = now();
+    probe.last_seen_at =
+        *std::max_element(pred_last_per_net_.begin(), pred_last_per_net_.end());
+    probes_.emplace(id, probe);
+    probe_attempt(id);
+    return;
+  }
+  const sim::SimTime net_threshold =
+      params_.network_miss_rounds * params_.heartbeat_interval +
+      params_.heartbeat_grace;
+  for (std::size_t n = 0; n < pred_last_per_net_.size(); ++n) {
+    if (now() - pred_last_per_net_[n] > net_threshold && !pred_net_failed_[n]) {
+      pred_net_failed_[n] = true;
+      host_.ring_diagnose_network_failure(
+          *this, pred->gsd.node, net::NetworkId{static_cast<std::uint8_t>(n)},
+          now(), pred_last_per_net_[n]);
+    }
+  }
+}
+
+void MembershipRing::probe_attempt(std::uint64_t probe_id) {
+  if (!host_.ring_alive()) return;
+  auto it = probes_.find(probe_id);
+  if (it == probes_.end() || it->second.answered) return;
+  MetaProbe& probe = it->second;
+
+  if (probe.attempts_left == 0) {
+    // Every attempt timed out: the node is dead.
+    const MetaMember member = probe.member;
+    const sim::SimTime detected = probe.detected_at;
+    const sim::SimTime last_seen = probe.last_seen_at;
+    probes_.erase(it);
+    conclude_meta_failure(member, /*node_dead=*/true, detected, last_seen);
+    return;
+  }
+
+  --probe.attempts_left;
+  auto msg = std::make_shared<ProbeMsg>();
+  msg->reply_to = host_.ring_address();
+  msg->probe_id = probe_id;
+  host_.ring_send_all_networks(ppm_at(probe.member.gsd.node), std::move(msg));
+  cluster_.engine().schedule_after(params_.meta_probe_timeout,
+                                   [this, probe_id] { probe_attempt(probe_id); });
+}
+
+bool MembershipRing::consume_probe_reply(const ProbeReplyMsg& reply) {
+  // Voter-side regroup probe: our own reachability check of a solicited
+  // suspect. Alive GSD => dissent; node up but GSD dead => concur.
+  auto vit = vote_probes_.find(reply.probe_id);
+  if (vit != vote_probes_.end()) {
+    const PendingVote pending = vit->second;
+    vote_probes_.erase(vit);
+    cast_vote(pending.reply_to, pending.round_id, !reply.gsd_running);
+    return true;
+  }
+
+  auto it = probes_.find(reply.probe_id);
+  if (it == probes_.end()) return false;
+  if (it->second.answered) return true;
+  it->second.answered = true;
+  const MetaProbe probe = it->second;
+  probes_.erase(it);
+  if (reply.gsd_running) {
+    // The GSD process is alive on its node: the ring heartbeats were
+    // lost in transit, not a failure. Reset the grace window.
+    pred_diagnosing_ = false;
+    if (probe.member.partition == pred_partition_) {
+      std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+    }
+    return true;
+  }
+  // The node answered but its GSD is dead: one confirmation round
+  // before declaring the GSD process dead and reforming the ring.
+  cluster_.engine().schedule_after(params_.process_confirm_delay, [this, probe] {
+    conclude_meta_failure(probe.member, /*node_dead=*/false, probe.detected_at,
+                          probe.last_seen_at);
+  });
+  return true;
+}
+
+void MembershipRing::handle_ring_heartbeat(const RingHeartbeatMsg& ring,
+                                           const net::Envelope& env) {
+  if (ring.from_partition != pred_partition_ ||
+      env.network.value >= pred_last_per_net_.size()) {
+    return;
+  }
+  pred_last_per_net_[env.network.value] = now();
+  if (pred_diagnosing_) {
+    // A live predecessor cancels any suspicion, including probes in flight.
+    pred_diagnosing_ = false;
+    std::erase_if(probes_, [&](const auto& kv) {
+      return kv.second.member.partition == ring.from_partition;
+    });
+  }
+  if (regroup_ && regroup_->suspect.partition == ring.from_partition) {
+    // Direct proof of life mid-regroup: exonerate without waiting for votes.
+    cancel_regroup(/*exonerated=*/true);
+  }
+  if (pred_net_failed_[env.network.value]) {
+    pred_net_failed_[env.network.value] = false;
+    Event e;
+    e.type = std::string(event_types::kNetworkRecovered);
+    e.subject_node = env.from.node;
+    e.attrs = {{"network", std::to_string(env.network.value)},
+               {"component", "GSD"}};
+    publish_scoped(std::move(e));
+  }
+}
+
+// --- removal and recovery -----------------------------------------------------
+
+void MembershipRing::conclude_meta_failure(const MetaMember& pred, bool node_dead,
+                                           sim::SimTime detected_at,
+                                           sim::SimTime last_seen_at) {
+  if (!host_.ring_alive()) return;
+  pred_diagnosing_ = false;
+  // Only remove the exact member we diagnosed: if the partition's entry was
+  // replaced in the meantime (planned handover, concurrent recovery), the
+  // stale diagnosis must not expel the new instance.
+  const auto diagnosed_idx = view_.index_of(pred.partition);
+  if (!diagnosed_idx || !(view_.members[*diagnosed_idx] == pred)) return;
+  if (!node_dead && pred.partition == pred_partition_) {
+    // Confirmation round: a ring heartbeat since detection exonerates it.
+    for (sim::SimTime last : pred_last_per_net_) {
+      if (last > detected_at) return;
+    }
+  }
+
+  if (params_.failover.mode == FtParams::FailoverPolicy::Mode::kQuorum) {
+    // Silence alone is not grounds for removal under the quorum policy: a
+    // majority of the view must concur first (regroup round). The removal —
+    // if it happens — continues in commit_member_removal.
+    begin_regroup(pred, node_dead, detected_at, last_seen_at);
+    return;
+  }
+  commit_member_removal(pred, node_dead, detected_at, last_seen_at);
+}
+
+void MembershipRing::commit_member_removal(const MetaMember& pred, bool node_dead,
+                                           sim::SimTime detected_at,
+                                           sim::SimTime last_seen_at) {
+  if (!host_.ring_alive()) return;
+  // Re-checked here because a regroup round may have elapsed since the
+  // diagnosis (no-op on the unilateral path, which enters synchronously).
+  const auto idx = view_.index_of(pred.partition);
+  if (!idx || !(view_.members[*idx] == pred)) return;
+  const sim::SimTime diagnosed_at = now();
+  if (config_.recovers_partitions) {
+    host_.ring_log_member_failure(*this, pred, node_dead, last_seen_at,
+                                  detected_at, diagnosed_at);
+  }
+  host_.ring_member_removed(*this, pred, node_dead);
+
+  // View change: drop the failed member and tell the survivors.
+  tombstones_[pred.partition.value] =
+      std::max(tombstones_[pred.partition.value], pred.incarnation);
+  const bool fence =
+      params_.failover.mode == FtParams::FailoverPolicy::Mode::kQuorum &&
+      params_.failover.fence_stale_epochs;
+  MetaView next = view_;
+  next.remove(pred.partition);
+  ++next.view_id;
+  if (fence) ++next.epoch;  // quorum takeover: new fencing epoch
+  apply_view(next);
+  broadcast_view();
+  if (fence) {
+    send_fence();
+    // Tell the deposed member directly (it is no longer in the broadcast
+    // set): a merely-slow suspect that was legitimately removed steps down
+    // the moment this arrives and rejoins at the tail.
+    auto stale = std::make_shared<ViewChangeMsg>();
+    stale->view = view_;
+    stale->scope = config_.scope;
+    host_.ring_send_any(pred.gsd, std::move(stale));
+  }
+
+  // Recovery of the failed partition (membership-only rings leave this to
+  // the zone layer's census).
+  if (config_.recovers_partitions) {
+    host_.ring_recover_member(*this, pred, node_dead);
+  }
+}
+
+// --- quorum regroup (FailoverPolicy::quorum()) --------------------------------
+//
+// MSCS-style concurrence before removal: the initiator solicits every other
+// live view member; each voter probes the suspect over its OWN links and
+// votes "concur" only if the suspect is silent from its side too. Majority
+// is floor(n/2)+1 of the view including the suspect, counting the
+// initiator's own observation — so a 2-member view can never depose (no
+// quorum exists), and a member on the minority side of a partition retries
+// until the partition heals instead of split-braining.
+
+void MembershipRing::begin_regroup(const MetaMember& suspect, bool node_dead,
+                                   sim::SimTime detected_at,
+                                   sim::SimTime last_seen_at) {
+  if (regroup_) return;  // one suspicion resolved at a time
+  Regroup r;
+  r.suspect = suspect;
+  r.node_dead = node_dead;
+  r.detected_at = detected_at;
+  r.last_seen_at = last_seen_at;
+  regroup_ = std::move(r);
+  host_.ring_trace(sim::TraceLevel::kWarn,
+                   "regroup: soliciting concurrence to remove partition " +
+                       std::to_string(suspect.partition.value));
+  solicit_regroup_round();
+}
+
+void MembershipRing::solicit_regroup_round() {
+  if (!host_.ring_alive() || !regroup_) return;
+  Regroup& r = *regroup_;
+  // The suspect may have been removed or replaced while we waited (another
+  // member's view change, a completed rejoin): drop the stale regroup.
+  const auto idx = view_.index_of(r.suspect.partition);
+  if (!idx || !(view_.members[*idx] == r.suspect)) {
+    regroup_.reset();
+    return;
+  }
+
+  r.round_id = next_round_id_++;
+  r.view_size = view_.members.size();
+  r.concur = 1;  // our own observation of silence
+  r.dissent = 0;
+  r.done = false;
+  r.voters.clear();
+  ++r.rounds_run;
+  ++regroup_rounds_;
+  host_.ring_regroup_round(*this);
+
+  for (const MetaMember& m : view_.members) {
+    if (m.partition == host_.ring_partition() ||
+        m.partition == r.suspect.partition) {
+      continue;
+    }
+    auto msg = std::make_shared<RegroupProposeMsg>();
+    msg->initiator = host_.ring_partition();
+    msg->suspect = r.suspect.partition;
+    msg->suspect_incarnation = r.suspect.incarnation;
+    msg->view_id = view_.view_id;
+    msg->round_id = r.round_id;
+    msg->reply_to = host_.ring_address();
+    msg->scope = config_.scope;
+    host_.ring_send_all_networks(m.gsd, std::move(msg));
+  }
+
+  const std::uint64_t round = r.round_id;
+  cluster_.engine().schedule_after(
+      params_.failover.regroup_round_timeout, [this, round] {
+        if (host_.ring_alive() && regroup_ && regroup_->round_id == round &&
+            !regroup_->done) {
+          evaluate_regroup(/*round_over=*/true);
+        }
+      });
+  // A 2-member view settles immediately: quorum needs 2, we alone have 1.
+  evaluate_regroup(/*round_over=*/false);
+}
+
+void MembershipRing::evaluate_regroup(bool round_over) {
+  if (!regroup_ || regroup_->done) return;
+  Regroup& r = *regroup_;
+  if (r.dissent > 0) {
+    // Someone can still reach the suspect: our silence is a partition on
+    // OUR side, exactly the split-brain the paper's protocol would act on.
+    // One dissent vetoes the removal outright — even a majority of
+    // concurrences only proves the suspect is cut off from SOME members,
+    // not dead (docs/PROTOCOLS.md: "one dissent cancels the regroup").
+    cancel_regroup(/*exonerated=*/true);
+    return;
+  }
+  const int needed = static_cast<int>(r.view_size / 2 + 1);
+  const int solicited = static_cast<int>(r.view_size) - 2;  // minus us + suspect
+  const int received = (r.concur - 1) + r.dissent;
+  const int outstanding = round_over ? 0 : solicited - received;
+
+  if (r.concur >= needed) {
+    // Unanimous-so-far majority concurrence: the removal is safe against
+    // any single asymmetric partition. Commit and fence.
+    r.done = true;
+    const Regroup done = r;
+    regroup_.reset();
+    host_.ring_trace(sim::TraceLevel::kWarn,
+                     "regroup: quorum reached (" + std::to_string(done.concur) +
+                         "/" + std::to_string(needed) + "), removing partition " +
+                         std::to_string(done.suspect.partition.value));
+    commit_member_removal(done.suspect, done.node_dead, done.detected_at,
+                          done.last_seen_at);
+    return;
+  }
+  if (r.concur + outstanding < needed) {
+    // Not enough reachable voters (minority side / 2-member view).
+    regroup_quorum_lost();
+  }
+}
+
+void MembershipRing::regroup_quorum_lost() {
+  if (!regroup_) return;
+  Regroup& r = *regroup_;
+  r.done = true;
+  ++quorum_losses_;
+  host_.ring_trace(
+      sim::TraceLevel::kError,
+      "regroup: quorum lost (round " + std::to_string(r.rounds_run) +
+          "); suspect partition " + std::to_string(r.suspect.partition.value) +
+          " not removed");
+  Event e;
+  e.type = "meta.quorum_lost";
+  e.subject_node = r.suspect.gsd.node;
+  e.attrs = {{"suspect_partition", std::to_string(r.suspect.partition.value)},
+             {"round", std::to_string(r.rounds_run)}};
+  publish_scoped(std::move(e));
+
+  if (params_.failover.max_regroup_rounds > 0 &&
+      r.rounds_run >= params_.failover.max_regroup_rounds) {
+    // Give up until the suspicion re-triggers from a fresh silence period.
+    regroup_.reset();
+    std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+    return;
+  }
+  cluster_.engine().schedule_after(params_.failover.regroup_retry_delay,
+                                   [this, round = r.round_id] {
+                                     if (host_.ring_alive() && regroup_ &&
+                                         regroup_->round_id == round) {
+                                       solicit_regroup_round();
+                                     }
+                                   });
+}
+
+void MembershipRing::cancel_regroup(bool exonerated) {
+  if (!regroup_) return;
+  const MetaMember suspect = regroup_->suspect;
+  regroup_.reset();
+  if (exonerated) {
+    host_.ring_trace(sim::TraceLevel::kInfo,
+                     "regroup: suspect partition " +
+                         std::to_string(suspect.partition.value) + " exonerated");
+    if (suspect.partition == pred_partition_) {
+      // Fresh grace window: the suspect must go silent for a full period
+      // again before another regroup starts.
+      std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+      std::fill(pred_net_failed_.begin(), pred_net_failed_.end(), false);
+    }
+  }
+}
+
+void MembershipRing::handle_regroup_propose(const RegroupProposeMsg& proposal) {
+  // The solicitation travels over every network; answer each round once.
+  auto& last_round = answered_rounds_[proposal.initiator.value];
+  if (proposal.round_id == last_round) return;
+  last_round = proposal.round_id;
+
+  if (proposal.suspect == host_.ring_partition()) {
+    // We are the suspect and evidently alive: dissent.
+    cast_vote(proposal.reply_to, proposal.round_id, false);
+    return;
+  }
+  const auto idx = view_.index_of(proposal.suspect);
+  if (!idx || view_.members[*idx].incarnation != proposal.suspect_incarnation) {
+    // Our view already dropped (or replaced) that member: concur.
+    cast_vote(proposal.reply_to, proposal.round_id, true);
+    return;
+  }
+  const MetaMember suspect = view_.members[*idx];
+
+  // Fresh first-hand evidence: if the suspect is our own ring predecessor
+  // and its heartbeats are current, it is alive — no probe needed.
+  if (suspect.partition == pred_partition_) {
+    const sim::SimTime threshold =
+        params_.heartbeat_interval + params_.heartbeat_grace;
+    for (sim::SimTime seen : pred_last_per_net_) {
+      if (now() - seen <= threshold) {
+        cast_vote(proposal.reply_to, proposal.round_id, false);
+        return;
+      }
+    }
+  }
+
+  // Independent probe over OUR links — the initiator may sit behind a
+  // one-way blackhole that we do not.
+  const std::uint64_t id = host_.ring_next_probe_id();
+  vote_probes_.emplace(id, PendingVote{proposal.reply_to, proposal.suspect,
+                                       proposal.round_id});
+  auto probe = std::make_shared<ProbeMsg>();
+  probe->reply_to = host_.ring_address();
+  probe->probe_id = id;
+  host_.ring_send_all_networks(ppm_at(suspect.gsd.node), std::move(probe));
+  cluster_.engine().schedule_after(
+      params_.failover.regroup_probe_timeout, [this, id] {
+        auto it = vote_probes_.find(id);
+        if (it == vote_probes_.end()) return;  // reply beat the timeout
+        const PendingVote pending = it->second;
+        vote_probes_.erase(it);
+        if (!host_.ring_alive()) return;
+        // Silent from our side too: concur with the removal.
+        cast_vote(pending.reply_to, pending.round_id, true);
+      });
+}
+
+void MembershipRing::cast_vote(net::Address reply_to, std::uint64_t round_id,
+                               bool concur) {
+  if (!host_.ring_alive()) return;
+  ++regroup_votes_cast_;
+  auto vote = std::make_shared<RegroupVoteMsg>();
+  vote->voter = host_.ring_partition();
+  vote->round_id = round_id;
+  vote->concur = concur;
+  vote->scope = config_.scope;
+  host_.ring_send_any(reply_to, std::move(vote));
+}
+
+void MembershipRing::handle_regroup_vote(const RegroupVoteMsg& vote) {
+  if (!regroup_ || regroup_->done || regroup_->round_id != vote.round_id) return;
+  Regroup& r = *regroup_;
+  // One counted vote per current view member per round: neither we nor the
+  // suspect were solicited, a non-member has no say, and a retried or
+  // multi-path duplicate must not be double-counted toward quorum.
+  if (vote.voter == host_.ring_partition() ||
+      vote.voter == r.suspect.partition) {
+    return;
+  }
+  if (!view_.index_of(vote.voter)) return;
+  if (std::find(r.voters.begin(), r.voters.end(), vote.voter.value) !=
+      r.voters.end()) {
+    return;
+  }
+  r.voters.push_back(vote.voter.value);
+  if (vote.concur) {
+    ++r.concur;
+  } else {
+    ++r.dissent;
+  }
+  evaluate_regroup(/*round_over=*/false);
+}
+
+void MembershipRing::send_fence() {
+  if (view_.epoch == 0) return;
+  // Raise the fencing watermark everywhere a deposed member could mutate
+  // state: every node's PPM (service starts) and every partition's
+  // checkpoint instance (view/state saves). The scope tag keeps each
+  // ring's watermark independent under a zoned topology.
+  auto fence = std::make_shared<EpochFenceMsg>();
+  fence->epoch = view_.epoch;
+  fence->scope = config_.scope;
+  for (const auto& node : cluster_.nodes()) {
+    host_.ring_send_any(ppm_at(node.id()), fence);
+  }
+  if (host_.ring_directory() != nullptr) {
+    for (std::size_t p = 0; p < host_.ring_directory()->partition_count(); ++p) {
+      host_.ring_send_any(
+          host_.ring_directory()->service_address(
+              ServiceKind::kCheckpointService,
+              net::PartitionId{static_cast<std::uint32_t>(p)}),
+          fence);
+    }
+  }
+}
+
+// --- views and joins ----------------------------------------------------------
+
+void MembershipRing::apply_view(MetaView incoming) {
+  // Epoch ordering comes first: a quorum takeover's view beats any view_id
+  // a deposed member can offer, and a stale-epoch view is discarded unseen
+  // (fencing on the membership plane). Both epochs are 0 under the paper's
+  // unilateral policy, so this reduces to the original view_id ordering.
+  if (incoming.epoch < view_.epoch) return;
+  if (incoming.epoch == view_.epoch) {
+    if (incoming.view_id < view_.view_id) return;
+    if (incoming.view_id == view_.view_id) {
+      const std::string mine = view_.serialize();
+      const std::string theirs = incoming.serialize();
+      if (theirs == mine) return;
+      // Equal-id conflict (e.g. two concurrent ring founders): pick a
+      // deterministic winner — more members first, then serialization order —
+      // so every member converges on the same view.
+      if (incoming.members.size() < view_.members.size()) return;
+      if (incoming.members.size() == view_.members.size() && theirs > mine) return;
+    }
+  }
+
+  // Drop members our tombstones say are dead (stale entries from slow views).
+  std::erase_if(incoming.members, [this](const MetaMember& m) {
+    auto it = tombstones_.find(m.partition.value);
+    return it != tombstones_.end() && m.incarnation <= it->second;
+  });
+
+  host_.ring_trace(sim::TraceLevel::kInfo,
+                   (config_.scope != 0 ? config_.label + ": " : "") +
+                       "applying view " + std::to_string(incoming.view_id) +
+                       " with " + std::to_string(incoming.members.size()) +
+                       " members");
+  const MetaView old = std::exchange(view_, std::move(incoming));
+
+  joined_ = false;
+  for (const MetaMember& m : view_.members) {
+    if (m.partition == host_.ring_partition() &&
+        m.incarnation == host_.ring_incarnation()) {
+      joined_ = true;
+    }
+  }
+  if (joined_) {
+    join_retrier_.stop();
+  } else if (host_.ring_running()) {
+    // Expelled by someone's view change (e.g. a stale diagnosis): get back
+    // in rather than silently running outside the ring.
+    join_retrier_.start_after(kJoinRetryPeriod);
+  }
+
+  // Predecessor may have changed; reset its grace window if so.
+  auto pred = view_.predecessor_of(host_.ring_partition());
+  const net::PartitionId new_pred = pred ? pred->partition : net::PartitionId{};
+  if (new_pred != pred_partition_) {
+    pred_partition_ = new_pred;
+    std::fill(pred_last_per_net_.begin(), pred_last_per_net_.end(), now());
+    std::fill(pred_net_failed_.begin(), pred_net_failed_.end(), false);
+    pred_diagnosing_ = false;
+  }
+
+  // A member that is new or re-incarnated relative to the old view means a
+  // recovery completed; let the host close its fault record.
+  for (const MetaMember& m : view_.members) {
+    auto old_idx = old.index_of(m.partition);
+    const bool changed =
+        !old_idx || !(old.members[*old_idx].gsd == m.gsd &&
+                      old.members[*old_idx].incarnation == m.incarnation);
+    if (changed) host_.ring_member_recovered(*this, m);
+  }
+
+  if (config_.persists_view) host_.ring_save_state(*this);
+  host_.ring_view_changed(*this, old);
+}
+
+void MembershipRing::broadcast_view() {
+  for (const MetaMember& m : view_.members) {
+    if (m.partition == host_.ring_partition()) continue;
+    auto msg = std::make_shared<ViewChangeMsg>();
+    msg->view = view_;
+    msg->scope = config_.scope;
+    host_.ring_send_any(m.gsd, std::move(msg));
+  }
+}
+
+void MembershipRing::handle_join(const MetaJoinMsg& join) {
+  const MetaMember& member = join.member;
+  if (member.partition == host_.ring_partition()) return;
+
+  if (!is_ring_leader()) {
+    // Forward to the current leader.
+    auto leader = view_.leader();
+    if (leader && leader->partition != host_.ring_partition()) {
+      auto fwd = std::make_shared<MetaJoinMsg>();
+      fwd->member = member;
+      fwd->scope = config_.scope;
+      host_.ring_send_any(leader->gsd, std::move(fwd));
+    }
+    return;
+  }
+
+  auto tomb = tombstones_.find(member.partition.value);
+  if (tomb != tombstones_.end() && member.incarnation <= tomb->second) return;
+
+  auto existing = view_.index_of(member.partition);
+  if (existing) {
+    const MetaMember& cur = view_.members[*existing];
+    if (cur.incarnation >= member.incarnation) {
+      // Duplicate join: re-send the current view so the joiner learns it.
+      auto msg = std::make_shared<ViewChangeMsg>();
+      msg->view = view_;
+      msg->scope = config_.scope;
+      host_.ring_send_any(member.gsd, std::move(msg));
+      return;
+    }
+  }
+
+  MetaView next = view_;
+  next.remove(member.partition);
+  // Top ring: one representative per zone. A newly promoted zone leader
+  // displaces its zone's stale entry; the displaced member is told
+  // directly so it stops acting as the zone's representative.
+  std::vector<MetaMember> displaced;
+  if (config_.displaces_same_zone) {
+    const std::uint32_t zone = host_.ring_zone_of(member.partition);
+    for (const MetaMember& m : next.members) {
+      if (host_.ring_zone_of(m.partition) == zone) displaced.push_back(m);
+    }
+    for (const MetaMember& m : displaced) next.remove(m.partition);
+  }
+  next.members.push_back(member);  // rejoiners go to the tail (paper's order)
+  ++next.view_id;
+  apply_view(next);
+  broadcast_view();
+  // The joiner may not be in our broadcast path if apply_view dropped it;
+  // send the view directly too.
+  auto msg = std::make_shared<ViewChangeMsg>();
+  msg->view = view_;
+  msg->scope = config_.scope;
+  host_.ring_send_any(member.gsd, msg);
+  for (const MetaMember& m : displaced) {
+    host_.ring_send_any(m.gsd, msg);
+  }
+}
+
+void MembershipRing::try_rejoin() {
+  if (!host_.ring_alive() || joined_ || host_.ring_directory() == nullptr) return;
+  if (++futile_join_attempts_ > 10) {
+    // Nobody answered ten rounds of joins: the ring is gone (or we are the
+    // first member up). Found a fresh singleton group; others will join it.
+    found(view_.view_id + 1, /*persist=*/true);
+    return;
+  }
+  auto join = std::make_shared<MetaJoinMsg>();
+  join->member = MetaMember{host_.ring_partition(), host_.ring_address(),
+                            host_.ring_incarnation()};
+  join->scope = config_.scope;
+  for (const net::Address& target : host_.ring_join_targets(*this)) {
+    host_.ring_send_any(target, join);
+  }
+}
+
+}  // namespace phoenix::kernel

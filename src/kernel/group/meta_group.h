@@ -84,32 +84,45 @@ struct MetaView {
   static MetaView deserialize(const std::string& data);
 };
 
-/// Ring heartbeat: each member to its successor, over all networks.
+/// Ring scope tag carried by every membership message. Scope 0 is the
+/// legacy flat meta-group; a zoned topology (FtParams::GroupTopology)
+/// runs one ring per zone (scope = zone + 1) plus a top ring of zone
+/// leaders (scope = kTopRingScope in zone_ring.h). A zero scope is omitted
+/// from the wire, so every flat-mode message stays byte-identical to the
+/// paper-mode format.
 struct RingHeartbeatMsg final : net::Message {
   net::PartitionId from_partition;
   std::uint64_t view_id = 0;
   std::uint64_t seq = 0;
+  std::uint32_t scope = 0;
 
   PHOENIX_MESSAGE_TYPE("meta.ring_heartbeat")
-  std::size_t wire_size() const noexcept override { return 24; }
+  std::size_t wire_size() const noexcept override {
+    return 24 + (scope != 0 ? 4 : 0);
+  }
 };
 
 /// View dissemination (initiator or leader -> all members).
 struct ViewChangeMsg final : net::Message {
   MetaView view;
+  std::uint32_t scope = 0;
 
   PHOENIX_MESSAGE_TYPE("meta.view_change")
   std::size_t wire_size() const noexcept override {
-    return 16 + view.members.size() * 12 + (view.epoch != 0 ? 8 : 0);
+    return 16 + view.members.size() * 12 + (view.epoch != 0 ? 8 : 0) +
+           (scope != 0 ? 4 : 0);
   }
 };
 
 /// A restarted / migrated GSD asking to (re)join the meta-group.
 struct MetaJoinMsg final : net::Message {
   MetaMember member;
+  std::uint32_t scope = 0;
 
   PHOENIX_MESSAGE_TYPE("meta.join")
-  std::size_t wire_size() const noexcept override { return 16; }
+  std::size_t wire_size() const noexcept override {
+    return 16 + (scope != 0 ? 4 : 0);
+  }
 };
 
 /// Quorum regroup solicitation (FailoverPolicy::quorum() only; never on the
@@ -123,9 +136,12 @@ struct RegroupProposeMsg final : net::Message {
   std::uint64_t view_id = 0;
   std::uint64_t round_id = 0;
   net::Address reply_to;
+  std::uint32_t scope = 0;
 
   PHOENIX_MESSAGE_TYPE("meta.regroup_propose")
-  std::size_t wire_size() const noexcept override { return 40; }
+  std::size_t wire_size() const noexcept override {
+    return 40 + (scope != 0 ? 4 : 0);
+  }
 };
 
 /// A voter's answer: `concur` when the suspect looks dead from the voter's
@@ -135,9 +151,12 @@ struct RegroupVoteMsg final : net::Message {
   net::PartitionId voter;
   std::uint64_t round_id = 0;
   bool concur = false;
+  std::uint32_t scope = 0;
 
   PHOENIX_MESSAGE_TYPE("meta.regroup_vote")
-  std::size_t wire_size() const noexcept override { return 16; }
+  std::size_t wire_size() const noexcept override {
+    return 16 + (scope != 0 ? 4 : 0);
+  }
 };
 
 }  // namespace phoenix::kernel

@@ -1,0 +1,78 @@
+#include "kernel/group/zone_ring.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace phoenix::kernel {
+
+ZoneTopology ZoneTopology::from(const FtParams::GroupTopology& topology,
+                                std::size_t partition_count) {
+  ZoneTopology t;
+  t.partitions = static_cast<std::uint32_t>(partition_count);
+  if (topology.mode == FtParams::GroupTopology::Mode::kFlat ||
+      t.partitions == 0) {
+    t.num_zones = 1;
+    return t;
+  }
+  const std::uint32_t size = std::max<std::uint32_t>(topology.zone_size, 1);
+  t.num_zones = (t.partitions + size - 1) / size;
+  if (t.num_zones == 0) t.num_zones = 1;
+  if (t.num_zones > t.partitions) t.num_zones = t.partitions;
+  return t;
+}
+
+std::vector<net::PartitionId> ZoneTopology::zone_members(
+    std::uint32_t zone) const {
+  std::vector<net::PartitionId> members;
+  for (std::uint32_t p = zone; p < partitions; p += num_zones) {
+    members.push_back(net::PartitionId{p});
+  }
+  return members;
+}
+
+net::PartitionId ZoneTopology::next_in_zone(net::PartitionId p) const noexcept {
+  const std::uint32_t next = p.value + num_zones;
+  if (next < partitions) return net::PartitionId{next};
+  return net::PartitionId{zone_of(p)};  // wrap to the zone's first partition
+}
+
+ZoneChurnAggregator::ZoneChurnAggregator(sim::Engine& engine, sim::SimTime window,
+                                         std::function<void(Event)> emit)
+    : engine_(engine), window_(window), emit_(std::move(emit)) {}
+
+void ZoneChurnAggregator::record(const std::vector<net::PartitionId>& removed,
+                                 const std::vector<net::PartitionId>& added) {
+  if (removed.empty() && added.empty()) return;
+  ++view_changes_;
+  for (net::PartitionId p : removed) removed_.push_back(p.value);
+  for (net::PartitionId p : added) added_.push_back(p.value);
+  if (flush_pending_) return;
+  flush_pending_ = true;
+  engine_.schedule_after(window_, [this] { flush(); });
+}
+
+void ZoneChurnAggregator::flush() {
+  flush_pending_ = false;
+  if (removed_.empty() && added_.empty()) return;
+  auto join = [](const std::vector<std::uint32_t>& ids) {
+    std::string out;
+    for (std::uint32_t id : ids) {
+      if (!out.empty()) out += ',';
+      out += std::to_string(id);
+    }
+    return out;
+  };
+  Event e;
+  e.type = "meta.zone.churn";
+  e.attrs = {{"removed", join(removed_)},
+             {"added", join(added_)},
+             {"view_changes", std::to_string(view_changes_)}};
+  removed_.clear();
+  added_.clear();
+  view_changes_ = 0;
+  ++events_emitted_;
+  emit_(std::move(e));
+}
+
+}  // namespace phoenix::kernel

@@ -1,0 +1,106 @@
+// Zone decomposition of the GSD membership layer.
+//
+// Under FtParams::GroupTopology::zoned(n) the flat meta-group is replaced
+// by a two-level hierarchy:
+//
+//  * Every partition belongs to exactly one ZONE. Assignment is strided —
+//    partition p is in zone p % num_zones — so consecutive partitions (and
+//    with them rack-adjacent failure bursts) land in DIFFERENT zones and
+//    their detections run in parallel instead of serializing around one
+//    flat ring.
+//
+//  * The partitions of a zone form a zone sub-ring: the same join-order
+//    ring, Leader/Princess succession, regroup and fencing protocol as the
+//    paper's flat meta-group, scoped to the zone (MembershipRing with
+//    scope = zone + 1). The zone ring owns fault logging, tombstones and
+//    partition recovery for its members.
+//
+//  * Each zone's Leader joins the TOP RING (scope = kTopRingScope), whose
+//    Leader is the cluster GSD head. The top ring is membership-only: it
+//    carries no partition recovery of its own, its view is reconstructible
+//    from the zone leaders and is never checkpointed, and a newly elected
+//    zone leader displaces its zone's stale entry on join. Member churn
+//    inside a zone is summarized by the zone leader into one aggregated
+//    event per window (ZoneChurnAggregator) instead of flooding every
+//    partition with per-member view traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kernel/event/event.h"
+#include "kernel/ft_params.h"
+#include "net/ids.h"
+#include "sim/engine.h"
+
+namespace phoenix::kernel {
+
+/// Scope tag of the top ring (zone rings use zone + 1; 0 is the flat ring).
+inline constexpr std::uint32_t kTopRingScope = 0x80000000u;
+
+/// Static partition->zone map derived from the topology parameters. The
+/// assignment is a pure function of (partitions, zone_size), so every node
+/// computes the same map with no coordination.
+struct ZoneTopology {
+  std::uint32_t partitions = 0;
+  std::uint32_t num_zones = 1;
+
+  static ZoneTopology from(const FtParams::GroupTopology& topology,
+                           std::size_t partition_count);
+
+  std::uint32_t zone_of(net::PartitionId p) const noexcept {
+    return num_zones == 0 ? 0 : p.value % num_zones;
+  }
+
+  /// Wire scope of a zone's sub-ring. Zone 0 maps to scope 1: scope 0 is
+  /// reserved for the flat ring so legacy messages stay scope-free.
+  std::uint32_t zone_scope(std::uint32_t zone) const noexcept {
+    return zone + 1;
+  }
+
+  /// The zone's boot-time leader (lowest partition id in the zone). With
+  /// strided assignment that is simply partition `zone`, so the top ring
+  /// seeds as partitions 0..num_zones-1 and partition 0 — the paper's GSD
+  /// head — leads it.
+  net::PartitionId first_of(std::uint32_t zone) const noexcept {
+    return net::PartitionId{zone};
+  }
+
+  std::vector<net::PartitionId> zone_members(std::uint32_t zone) const;
+
+  /// Ring successor of p inside its own zone (wraps). Used as the
+  /// checkpoint replica target on the zoned recovery path, mirroring the
+  /// flat protocol's (p+1) % partitions.
+  net::PartitionId next_in_zone(net::PartitionId p) const noexcept;
+};
+
+/// Collects the member churn a zone leader observes in its zone ring and
+/// flushes it as ONE summarized event per aggregation window — the "up"
+/// half of the hierarchy's event flow. The emit callback stamps the zone
+/// and hands the event to the indexed event service.
+class ZoneChurnAggregator {
+ public:
+  ZoneChurnAggregator(sim::Engine& engine, sim::SimTime window,
+                      std::function<void(Event)> emit);
+
+  /// Diffs two consecutive zone views and accumulates the delta.
+  void record(const std::vector<net::PartitionId>& removed,
+              const std::vector<net::PartitionId>& added);
+
+  std::uint64_t events_emitted() const noexcept { return events_emitted_; }
+
+ private:
+  void flush();
+
+  sim::Engine& engine_;
+  sim::SimTime window_;
+  std::function<void(Event)> emit_;
+  std::vector<std::uint32_t> removed_;
+  std::vector<std::uint32_t> added_;
+  std::uint64_t view_changes_ = 0;
+  std::uint64_t events_emitted_ = 0;
+  bool flush_pending_ = false;
+};
+
+}  // namespace phoenix::kernel

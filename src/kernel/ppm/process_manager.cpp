@@ -138,7 +138,7 @@ void ProcessManager::handle_start_service(const StartServiceMsg& msg) {
   auto reply = std::make_shared<StartServiceReplyMsg>();
   reply->request_id = msg.request_id;
 
-  if (!admit_epoch(msg.epoch)) {
+  if (!admit_epoch(msg.epoch, msg.scope)) {
     // A deposed meta-group member ordering restarts/migrations with its
     // pre-takeover epoch: refuse, or it could resurrect services the new
     // Leader is already recovering elsewhere.

@@ -134,10 +134,13 @@ struct StartServiceMsg final : net::Message {
   /// Sender's meta-group epoch (fencing). 0 = unfenced legacy traffic: the
   /// paper's unilateral policy never stamps it, keeping the wire identical.
   std::uint64_t epoch = 0;
+  /// Ring scope the epoch belongs to (0 = the flat meta-group; zone rings
+  /// fence independently under a zoned topology). Adds bytes only when set.
+  std::uint32_t scope = 0;
 
   PHOENIX_MESSAGE_TYPE("ppm.start_service")
   std::size_t wire_size() const noexcept override {
-    return extension.size() + 24 + (epoch != 0 ? 8 : 0);
+    return extension.size() + 24 + (epoch != 0 ? 8 : 0) + (scope != 0 ? 4 : 0);
   }
 };
 

@@ -18,7 +18,7 @@ ServiceRuntime::ServiceRuntime(cluster::Cluster& cluster, std::string name,
   // Every runtime understands the fencing broadcast; under the unilateral
   // policy the message simply never arrives.
   on<EpochFenceMsg>([this](const EpochFenceMsg& fence) {
-    raise_epoch_watermark(fence.epoch);
+    raise_epoch_watermark(fence.epoch, fence.scope);
   });
   if (opts_.recover_on_start) {
     // The recovery loop is the only handler the runtime registers itself; a
@@ -33,15 +33,27 @@ ServiceRuntime::ServiceRuntime(cluster::Cluster& cluster, std::string name,
 
 ServiceRuntime::~ServiceRuntime() = default;
 
-bool ServiceRuntime::admit_epoch(std::uint64_t epoch) {
+std::uint64_t ServiceRuntime::witnessed_epoch(std::uint32_t scope) const noexcept {
+  if (scope == 0) return witnessed_epoch_;
+  auto it = scoped_epochs_.find(scope);
+  return it == scoped_epochs_.end() ? 0 : it->second;
+}
+
+bool ServiceRuntime::admit_epoch(std::uint64_t epoch, std::uint32_t scope) {
   if (epoch == 0) return true;  // legacy / unfenced traffic
-  if (epoch >= witnessed_epoch_) return true;
+  if (epoch >= witnessed_epoch(scope)) return true;
   ++counters_.fenced_rejections;
   return false;
 }
 
-void ServiceRuntime::raise_epoch_watermark(std::uint64_t epoch) {
-  if (epoch > witnessed_epoch_) witnessed_epoch_ = epoch;
+void ServiceRuntime::raise_epoch_watermark(std::uint64_t epoch,
+                                           std::uint32_t scope) {
+  if (scope == 0) {
+    if (epoch > witnessed_epoch_) witnessed_epoch_ = epoch;
+    return;
+  }
+  auto& watermark = scoped_epochs_[scope];
+  if (epoch > watermark) watermark = epoch;
 }
 
 void ServiceRuntime::handle(const net::Envelope& env) {
@@ -162,6 +174,7 @@ void ServiceRuntime::save_state() {
   save->key = opts_.checkpoint_key;
   save->data = snapshot();
   save->epoch = fence_epoch();
+  save->scope = fence_scope();
   ++counters_.snapshots_saved;
   last_save_time_ = now();
   ever_saved_ = true;

@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -122,10 +123,12 @@ class ServiceRuntime : public cluster::Daemon {
   void mark_takeover() noexcept { pending_takeover_ = true; }
 
   /// Highest meta-group epoch this runtime has been fenced to
-  /// (EpochFenceMsg). 0 until the meta-group's first quorum takeover
-  /// broadcasts a fence; quorum views bootstrap at epoch 1, so that first
-  /// fence already carries epoch >= 2 and outranks pre-takeover traffic.
-  std::uint64_t witnessed_epoch() const noexcept { return witnessed_epoch_; }
+  /// (EpochFenceMsg) for the given ring scope. 0 until that ring's first
+  /// quorum takeover broadcasts a fence; quorum views bootstrap at epoch 1,
+  /// so that first fence already carries epoch >= 2 and outranks
+  /// pre-takeover traffic. Scope 0 is the flat meta-group; under a zoned
+  /// topology each zone ring and the top ring fence independently.
+  std::uint64_t witnessed_epoch(std::uint32_t scope = 0) const noexcept;
 
  protected:
   /// `directory` and `params` may be null for standalone use in unit tests;
@@ -229,19 +232,25 @@ class ServiceRuntime : public cluster::Daemon {
   /// must drop or fail the request. Admission is a pure check: only the
   /// meta-group's fence broadcast raises the watermark (see
   /// raise_epoch_watermark), so a request stamped with an inflated epoch
-  /// cannot fence a runtime against legitimate traffic.
-  bool admit_epoch(std::uint64_t epoch);
+  /// cannot fence a runtime against legitimate traffic. Watermarks are kept
+  /// per ring scope: a zone ring's takeover must not fence another zone's
+  /// leader (scope 0 — the flat meta-group — is the fast path).
+  bool admit_epoch(std::uint64_t epoch, std::uint32_t scope = 0);
 
-  /// Raises the fencing watermark to `epoch` (never lowers it). Invoked by
-  /// the EpochFenceMsg handler. Trust assumption: the simulated fabric
-  /// carries no sender authentication, so any fence received is taken to
-  /// originate from the meta-group — only GSDs emit them in practice.
-  void raise_epoch_watermark(std::uint64_t epoch);
+  /// Raises the fencing watermark of `scope` to `epoch` (never lowers it).
+  /// Invoked by the EpochFenceMsg handler. Trust assumption: the simulated
+  /// fabric carries no sender authentication, so any fence received is taken
+  /// to originate from the meta-group — only GSDs emit them in practice.
+  void raise_epoch_watermark(std::uint64_t epoch, std::uint32_t scope = 0);
 
   /// Epoch this service stamps into its own mutating RPCs (checkpoint
   /// saves). 0 for every service except the GSD, which returns its
   /// meta-group epoch so a deposed instance's writes can be fenced.
   virtual std::uint64_t fence_epoch() const { return 0; }
+
+  /// Ring scope fence_epoch() belongs to. 0 for every service except a GSD
+  /// running under a zoned topology, which stamps its zone ring's scope.
+  virtual std::uint32_t fence_scope() const { return 0; }
 
   /// Reports this instance up to the partition's GSD (closes open fault
   /// records). No-op without a directory.
@@ -286,7 +295,11 @@ class ServiceRuntime : public cluster::Daemon {
   const char* serve_outcome_ = nullptr;
 
   bool pending_takeover_ = false;
+  /// Fencing watermark of scope 0 (the flat meta-group) — scalar fast path,
+  /// the only scope that exists outside zoned topologies.
   std::uint64_t witnessed_epoch_ = 0;
+  /// Watermarks of nonzero scopes (zone rings, top ring); allocated lazily.
+  std::unordered_map<std::uint32_t, std::uint64_t> scoped_epochs_;
 
   // recover-on-start state (mirrors the original EventService protocol)
   int recovery_attempts_left_ = 0;

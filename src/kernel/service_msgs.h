@@ -29,9 +29,16 @@ struct ServiceUpMsg final : net::Message {
 /// failover policy (epochs stay 0 there and fencing is inert).
 struct EpochFenceMsg final : net::Message {
   std::uint64_t epoch = 0;
+  /// Ring scope the epoch belongs to (0 = the flat meta-group). Under a
+  /// zoned topology each ring fences independently, so a zone takeover
+  /// cannot invalidate another zone's in-flight recoveries. Zero is
+  /// omitted from the wire (flat mode stays byte-identical).
+  std::uint32_t scope = 0;
 
   PHOENIX_MESSAGE_TYPE("runtime.epoch_fence")
-  std::size_t wire_size() const noexcept override { return 8; }
+  std::size_t wire_size() const noexcept override {
+    return 8 + (scope != 0 ? 4 : 0);
+  }
 };
 
 }  // namespace phoenix::kernel
