@@ -2,9 +2,13 @@
 //
 // Each faults::Scenario from the adversarial vocabulary (leader crash,
 // asymmetric partition, flapping links, correlated rack failure, slow node,
-// GSD restart storm) runs once under the paper's unilateral takeover and
-// once under FailoverPolicy::quorum(), with a LeaderInvariantMonitor
-// sampling every 10 ms of simulated time. Reported per cell:
+// GSD restart storm, plus the zoned-topology rows: zone-leader crash,
+// whole-zone crash, zone network partition) runs once under the paper's
+// unilateral takeover and once under FailoverPolicy::quorum(), with a
+// LeaderInvariantMonitor sampling every 10 ms of simulated time. Zone rows
+// run on a 9-partition zoned(3) hierarchy; the monitor then checks the
+// split-brain invariant PER RING (each zone sub-ring and the top ring).
+// Reported per cell:
 //
 //   viol        samples where >= 2 partitions led at the SAME epoch
 //               (the split-brain the quorum protocol must prevent)
@@ -52,6 +56,23 @@ kernel::FtParams matrix_params(bool quorum) {
   return p;
 }
 
+// Zone rows: 9 partitions in 3 zones of 3 — each sub-ring big enough for a
+// majority (2 of 3), and whole-zone death still leaves a top-ring majority.
+cluster::ClusterSpec zoned_spec() {
+  cluster::ClusterSpec spec;
+  spec.partitions = 9;
+  spec.computes_per_partition = 2;
+  spec.backups_per_partition = 1;
+  spec.networks = 3;
+  return spec;
+}
+
+kernel::FtParams zoned_matrix_params(bool quorum) {
+  kernel::FtParams p = matrix_params(quorum);
+  p.topology = kernel::FtParams::GroupTopology::zoned(3);
+  return p;
+}
+
 struct Cell {
   std::string scenario;
   const char* policy = "";
@@ -70,6 +91,7 @@ struct ScenarioDef {
   const char* name;
   bool expects_takeover;  // a member is deposed and must be recovered
   std::function<void(Harness&, faults::Scenario&)> script;
+  bool zoned = false;     // run on the 9-partition zoned(3) hierarchy
 };
 
 std::vector<ScenarioDef> scenario_defs() {
@@ -111,11 +133,37 @@ std::vector<ScenarioDef> scenario_defs() {
        [](Harness& h, faults::Scenario& s) {
          s.restart_storm(h.kernel.gsd(PartitionId{3}), 3, 12 * sim::kSecond);
        }},
+      {"zone_leader_crash", true,
+       [](Harness& h, faults::Scenario& s) {
+         // Zone 1's leader dies: its Princess must win the zone regroup AND
+         // displace the stale entry on the top ring — two rings reconfigure
+         // without a same-epoch double leader in either.
+         s.crash_node(h.cluster.server_node(PartitionId{1}));
+       },
+       /*zoned=*/true},
+      {"zone_crash", false,
+       [](Harness& h, faults::Scenario& s) {
+         // Whole-zone death: every node of zone 1 dies at once. The other
+         // sub-rings must not churn; repair flows through the top census.
+         s.crash_zone(h.kernel, 1);
+       },
+       /*zoned=*/true},
+      {"zone_partition", false,
+       [](Harness& h, faults::Scenario& s) {
+         // Zone 1 is blackholed from the rest of the cluster, then healed.
+         // Its sub-ring stays internally healthy (no zone takeover), while
+         // the top ring drops and later re-admits its representative.
+         s.partition_zone(h.kernel, 1)
+             .after(20 * sim::kSecond)
+             .heal_zone(h.kernel, 1);
+       },
+       /*zoned=*/true},
   };
 }
 
 Cell run_cell(const ScenarioDef& def, bool quorum, double observe_s) {
-  Harness h(matrix_spec(), matrix_params(quorum));
+  Harness h(def.zoned ? zoned_spec() : matrix_spec(),
+            def.zoned ? zoned_matrix_params(quorum) : matrix_params(quorum));
   kernel::LeaderInvariantMonitor monitor(h.kernel);
   h.run_s(5.0);
   h.kernel.fault_log().clear();

@@ -50,6 +50,7 @@ run_one monitoring_plane "$repo_root/BENCH_monitoring_plane.json"
 run_one rpc_resilience "$repo_root/BENCH_rpc_resilience.json"
 run_one pws_gateway "$repo_root/BENCH_pws_gateway.json"
 run_one fault_matrix "$repo_root/BENCH_fault_matrix.json"
+run_one group_scale "$repo_root/BENCH_group_scale.json"
 run_one micro_kernel \
   "--benchmark_out=$repo_root/BENCH_micro_kernel.json" \
   --benchmark_out_format=json

@@ -2,7 +2,40 @@
 
 #include <algorithm>
 
+#include "kernel/kernel.h"
+
 namespace phoenix::faults {
+
+namespace {
+
+/// Nodes hosting a zone's GSD partitions, deduplicated, in zone-ring order.
+std::vector<net::NodeId> zone_nodes(kernel::PhoenixKernel& kernel,
+                                    std::uint32_t zone) {
+  const auto zones = kernel::ZoneTopology::from(kernel.params().topology,
+                                                kernel.partition_count());
+  std::vector<net::NodeId> out;
+  for (net::PartitionId p : zones.zone_members(zone)) {
+    const net::NodeId n =
+        kernel.service_node(kernel::ServiceKind::kGroupService, p);
+    if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+  }
+  return out;
+}
+
+/// Every cluster node NOT in `members`.
+std::vector<net::NodeId> other_nodes(kernel::PhoenixKernel& kernel,
+                                     const std::vector<net::NodeId>& members) {
+  std::vector<net::NodeId> out;
+  const auto total = kernel.cluster().node_count();
+  for (std::size_t i = 0; i < total; ++i) {
+    const net::NodeId n{static_cast<std::uint32_t>(i)};
+    if (std::find(members.begin(), members.end(), n) == members.end())
+      out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace
 
 Scenario& Scenario::at(sim::SimTime offset) {
   cursor_ = offset;
@@ -108,6 +141,44 @@ Scenario& Scenario::restart_storm(cluster::Daemon& daemon, int n,
   }
   if (n > 1) cursor_ += static_cast<sim::SimTime>(n - 1) * gap;
   return *this;
+}
+
+Scenario& Scenario::crash_zone(kernel::PhoenixKernel& kernel,
+                               std::uint32_t zone) {
+  return crash_rack(zone_nodes(kernel, zone));
+}
+
+Scenario& Scenario::restore_zone(kernel::PhoenixKernel& kernel,
+                                 std::uint32_t zone) {
+  return restore_rack(zone_nodes(kernel, zone));
+}
+
+Scenario& Scenario::partition_zone(kernel::PhoenixKernel& kernel,
+                                   std::uint32_t zone) {
+  const std::vector<net::NodeId> inside = zone_nodes(kernel, zone);
+  const std::vector<net::NodeId> outside = other_nodes(kernel, inside);
+  return add([inside, outside](FaultInjector& inj) {
+    for (net::NodeId a : inside) {
+      for (net::NodeId b : outside) {
+        inj.block_link(a, b);
+        inj.block_link(b, a);
+      }
+    }
+  });
+}
+
+Scenario& Scenario::heal_zone(kernel::PhoenixKernel& kernel,
+                              std::uint32_t zone) {
+  const std::vector<net::NodeId> inside = zone_nodes(kernel, zone);
+  const std::vector<net::NodeId> outside = other_nodes(kernel, inside);
+  return add([inside, outside](FaultInjector& inj) {
+    for (net::NodeId a : inside) {
+      for (net::NodeId b : outside) {
+        inj.unblock_link(a, b);
+        inj.unblock_link(b, a);
+      }
+    }
+  });
 }
 
 Scenario& Scenario::run(std::function<void(FaultInjector&)> fn) {

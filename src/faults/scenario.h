@@ -10,18 +10,25 @@
 //   crash_rack({n1, n2, ...})    correlated simultaneous node deaths
 //   slow_node(node, delay)       heartbeats late, node not dead
 //   restart_storm(daemon, n, g)  a daemon that keeps dying after recovery
+//   crash_zone(kernel, z)        every node of a group-topology zone dies
+//   partition_zone(kernel, z)    the zone is blackholed from the rest
 //
 // Every step fires through the injector's journaled verbs, so the benches
 // read a complete injection history with simulated timestamps; the script
 // itself is inert data until apply() schedules it.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "faults/fault_injector.h"
+
+namespace phoenix::kernel {
+class PhoenixKernel;
+}
 
 namespace phoenix::faults {
 
@@ -72,6 +79,25 @@ class Scenario {
   /// Restart storm: the daemon is killed `n` times, `gap` apart (recovery
   /// restarts it in between). Advances the cursor by (n - 1) * gap.
   Scenario& restart_storm(cluster::Daemon& daemon, int n, sim::SimTime gap);
+
+  // --- zone verbs (zoned group topology) ------------------------------------
+  //
+  // The node set of a zone is resolved at script-build time from the
+  // kernel's static zone map and GSD placement; the script itself stays
+  // inert data like every other verb.
+
+  /// Correlated zone failure: every node hosting one of `zone`'s GSD
+  /// partitions crashes at the cursor — the whole sub-ring dies at once and
+  /// detection falls to the top ring.
+  Scenario& crash_zone(kernel::PhoenixKernel& kernel, std::uint32_t zone);
+  Scenario& restore_zone(kernel::PhoenixKernel& kernel, std::uint32_t zone);
+
+  /// Network partition of the zone: every link between a zone node and any
+  /// node outside it is blackholed in both directions. Links among the
+  /// zone's own nodes keep flowing, so the sub-ring stays internally healthy
+  /// while its leader vanishes from the top ring.
+  Scenario& partition_zone(kernel::PhoenixKernel& kernel, std::uint32_t zone);
+  Scenario& heal_zone(kernel::PhoenixKernel& kernel, std::uint32_t zone);
 
   /// Escape hatch for injections the vocabulary lacks; `fn` runs at the
   /// cursor and should journal through the injector it receives.

@@ -2,10 +2,16 @@
 //
 // Samples every partition's current GSD on a fixed period and checks the
 // property the quorum failover policy exists to guarantee: at no instant may
-// two distinct partitions both claim meta-group leadership at the SAME
+// two distinct partitions both claim leadership of the SAME ring at the SAME
 // fencing epoch. A deposed Leader briefly claiming leadership at a STALE
 // epoch is permitted — that is exactly the state epoch fencing neutralises
 // (its mutating RPCs bounce off every ServiceRuntime's watermark).
+//
+// Under the zoned topology the invariant is checked per ring: leadership
+// claims are keyed by (ring scope, epoch), so two zone Leaders in DIFFERENT
+// zones at the same epoch are fine, while two Leaders of one zone — or two
+// top-ring Leaders — at one epoch is a violation. In flat mode every claim
+// lands on scope 0 and the check reduces to the original meta-group one.
 //
 // Used by the fault-matrix bench and the regroup tests; header-only so the
 // harnesses can instantiate it next to any PhoenixKernel.
@@ -31,12 +37,17 @@ class LeaderInvariantMonitor {
   }
 
   std::uint64_t samples() const noexcept { return samples_; }
-  /// Samples at which >= 2 partitions led with the same epoch.
+  /// Samples at which >= 2 partitions led ONE ring with the same epoch.
   std::uint64_t violations() const noexcept { return violations_; }
-  /// Worst simultaneous same-epoch leader count ever observed.
+  /// Samples at which a zone (or the flat meta) ring was double-led.
+  std::uint64_t ring_violations() const noexcept { return ring_violations_; }
+  /// Samples at which the top ring was double-led (zoned topology only).
+  std::uint64_t top_violations() const noexcept { return top_violations_; }
+  /// Worst simultaneous same-ring same-epoch leader count ever observed.
   int max_same_epoch_leaders() const noexcept { return max_leaders_; }
   sim::SimTime first_violation_at() const noexcept { return first_violation_at_; }
-  /// Longest observed stretch with NO live leader at all — the meta-group's
+  /// Longest observed stretch with NO live cluster head at all (flat: the
+  /// meta Leader; zoned: the top-ring Leader) — the group layer's
   /// unavailability window during a takeover (quantised to the period).
   sim::SimTime max_leaderless() const noexcept { return max_leaderless_; }
 
@@ -44,16 +55,28 @@ class LeaderInvariantMonitor {
   void sample() {
     ++samples_;
     claims_.clear();
-    int worst = 0;
-    bool any_leader = false;
+    int worst_ring = 0;
+    int worst_top = 0;
+    bool any_head = false;
     for (std::size_t p = 0; p < kernel_.partition_count(); ++p) {
       auto& gsd = kernel_.gsd(net::PartitionId{static_cast<std::uint32_t>(p)});
-      if (!gsd.alive() || !gsd.is_leader()) continue;
-      any_leader = true;
-      worst = std::max(worst, ++claims_[gsd.meta_epoch()]);
+      if (!gsd.alive()) continue;
+      if (gsd.is_leader()) {
+        const std::uint64_t scope = gsd.zoned() ? gsd.zone() + 1 : 0;
+        worst_ring = std::max(
+            worst_ring, ++claims_[(scope << 32) | (gsd.meta_epoch() & 0xffffffffu)]);
+        if (!gsd.zoned()) any_head = true;
+      }
+      if (gsd.zoned() && gsd.is_top_leader()) {
+        any_head = true;
+        worst_top = std::max(
+            worst_top, ++claims_[(std::uint64_t{kTopRingScope} << 32) |
+                                 (gsd.top_epoch() & 0xffffffffu)]);
+      }
     }
+    const int worst = std::max(worst_ring, worst_top);
     max_leaders_ = std::max(max_leaders_, worst);
-    if (any_leader) {
+    if (any_head) {
       leaderless_ = false;
     } else {
       if (!leaderless_) {
@@ -63,6 +86,8 @@ class LeaderInvariantMonitor {
       max_leaderless_ =
           std::max(max_leaderless_, engine_.now() - leaderless_since_);
     }
+    if (worst_ring >= 2) ++ring_violations_;
+    if (worst_top >= 2) ++top_violations_;
     if (worst >= 2) {
       if (violations_ == 0) first_violation_at_ = engine_.now();
       ++violations_;
@@ -71,9 +96,11 @@ class LeaderInvariantMonitor {
 
   PhoenixKernel& kernel_;
   sim::Engine& engine_;
-  std::unordered_map<std::uint64_t, int> claims_;  // epoch -> leader count
+  std::unordered_map<std::uint64_t, int> claims_;  // (scope, epoch) -> leaders
   std::uint64_t samples_ = 0;
   std::uint64_t violations_ = 0;
+  std::uint64_t ring_violations_ = 0;
+  std::uint64_t top_violations_ = 0;
   int max_leaders_ = 0;
   sim::SimTime first_violation_at_ = 0;
   bool leaderless_ = false;

@@ -48,7 +48,9 @@ std::string_view to_string(FaultKind kind) noexcept {
 PhoenixKernel::PhoenixKernel(cluster::Cluster& cluster, FtParams params)
     : cluster_(cluster), params_(params) {}
 
-PhoenixKernel::~PhoenixKernel() = default;
+PhoenixKernel::~PhoenixKernel() {
+  if (metrics_probe_id_ != 0) cluster_.metrics().unregister_probe(metrics_probe_id_);
+}
 
 std::vector<SupervisedSpec> PhoenixKernel::default_supervised() const {
   return {
@@ -138,6 +140,22 @@ void PhoenixKernel::create_daemons() {
         params_.server_daemon_cpu_share);
   }
 
+  if (params_.topology.mode == FtParams::GroupTopology::Mode::kZoned) {
+    // Hierarchy health gauges, sampled at metrics collection time from the
+    // current top leader's view (gsds_ entries are replaced on migration,
+    // so the probe must re-resolve instances on every sample).
+    metrics_probe_id_ =
+        cluster_.metrics().register_probe([this](obs::Registry& r) {
+          double top_size = 0;
+          for (const auto& gsd : gsds_) {
+            if (gsd != nullptr && gsd->alive() && gsd->is_top_leader()) {
+              top_size = static_cast<double>(gsd->top_view().members.size());
+              break;
+            }
+          }
+          r.gauge("meta.top.ring_size")->set(top_size);
+        });
+  }
 }
 
 void PhoenixKernel::start_core_services() {
@@ -157,7 +175,16 @@ void PhoenixKernel::start_partition_services(net::PartitionId p, bool found_ring
   ess_.at(p.value)->start();
   dbs_.at(p.value)->start();
   auto& gsd = gsds_.at(p.value);
-  if (found_ring) gsd->request_bootstrap();
+  if (params_.topology.mode == FtParams::GroupTopology::Mode::kZoned) {
+    // Staged construction under a zoned topology: rings are per zone, so
+    // the FIRST partition started in each zone founds its zone sub-ring
+    // (the caller's cluster-wide found_ring flag doesn't know about zones).
+    const ZoneTopology zones =
+        ZoneTopology::from(params_.topology, partition_count());
+    if (founded_zones_.insert(zones.zone_of(p)).second) gsd->request_bootstrap();
+  } else if (found_ring) {
+    gsd->request_bootstrap();
+  }
   gsd->start();
 }
 
@@ -166,16 +193,45 @@ void PhoenixKernel::boot() {
   booted_ = true;
   if (!created_) create_daemons();
 
-  // Seed the meta-group: all partitions in order, incarnation 0 (boot).
+  // Seed the membership layer, incarnation 0 (boot).
   const std::size_t parts = cluster_.spec().partitions;
-  MetaView initial;
-  initial.view_id = 1;
-  for (std::size_t p = 0; p < parts; ++p) {
-    const net::PartitionId pid{static_cast<std::uint32_t>(p)};
-    initial.members.push_back(
-        MetaMember{pid, gsds_[p]->address(), /*incarnation=*/0});
+  if (params_.topology.mode == FtParams::GroupTopology::Mode::kZoned) {
+    // Zoned: each partition gets its ZONE's sub-ring view, and each zone's
+    // boot-time leader (its first partition) gets the top-ring view of all
+    // zone leaders — so both levels form without a join storm.
+    const ZoneTopology zones = ZoneTopology::from(params_.topology, parts);
+    for (std::uint32_t z = 0; z < zones.num_zones; ++z) {
+      MetaView zone_view;
+      zone_view.view_id = 1;
+      for (net::PartitionId pid : zones.zone_members(z)) {
+        zone_view.members.push_back(
+            MetaMember{pid, gsds_[pid.value]->address(), /*incarnation=*/0});
+      }
+      for (net::PartitionId pid : zones.zone_members(z)) {
+        gsds_[pid.value]->set_initial_view(zone_view);
+      }
+    }
+    MetaView top;
+    top.view_id = 1;
+    for (std::uint32_t z = 0; z < zones.num_zones; ++z) {
+      const net::PartitionId lead = zones.first_of(z);
+      top.members.push_back(
+          MetaMember{lead, gsds_[lead.value]->address(), /*incarnation=*/0});
+    }
+    for (std::uint32_t z = 0; z < zones.num_zones; ++z) {
+      gsds_[zones.first_of(z).value]->seed_top_view(top);
+    }
+  } else {
+    // Flat meta-group (paper §4.3): all partitions in order.
+    MetaView initial;
+    initial.view_id = 1;
+    for (std::size_t p = 0; p < parts; ++p) {
+      const net::PartitionId pid{static_cast<std::uint32_t>(p)};
+      initial.members.push_back(
+          MetaMember{pid, gsds_[p]->address(), /*incarnation=*/0});
+    }
+    for (auto& gsd : gsds_) gsd->set_initial_view(initial);
   }
-  for (auto& gsd : gsds_) gsd->set_initial_view(initial);
 
   // Start everything. Dependencies are loose because all starts happen
   // before the engine delivers any message, but keep a sensible order:

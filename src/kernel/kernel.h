@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,11 @@ class PhoenixKernel final : public ServiceDirectory {
 
   std::map<std::string, ExtensionFactory> extension_factories_;
   std::map<std::string, std::unique_ptr<cluster::Daemon>> extension_instances_;
+
+  // Zones already founded during staged construction (zoned topology only).
+  std::set<std::uint32_t> founded_zones_;
+  // Top-ring size gauge probe (zoned topology); unregistered in the dtor.
+  std::uint64_t metrics_probe_id_ = 0;
 };
 
 }  // namespace phoenix::kernel
